@@ -1,0 +1,247 @@
+//! Higher-level context aggregation (§5 outlook).
+//!
+//! "Such complex context systems may unveil the true potential of Ubiquitous
+//! Computing … In order to process reasonable output, higher level context
+//! processors require a measure to decide which of the simpler context
+//! information to believe."
+//!
+//! The [`OfficeAggregator`] is that higher-level processor: it consumes the
+//! qualified context events of *all* appliances on the bus, fuses them per
+//! time bucket with quality weighting, and classifies the office situation
+//! into [`OfficeSituation`]s. ε-quality and discarded reports never reach
+//! the aggregate — the CQM acts as the belief gate.
+
+use std::collections::BTreeMap;
+
+use cqm_core::fusion::{fuse, ContextReport, FusionRule};
+use cqm_core::ClassId;
+use cqm_sensors::Context;
+
+use crate::events::ContextEvent;
+use crate::{ApplianceError, Result};
+
+/// The higher-level office situations derived from appliance activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OfficeSituation {
+    /// No appliance reports activity.
+    Idle,
+    /// Dominant writing activity: someone works at the whiteboard.
+    FocusedWork,
+    /// Dominant playing/handling activity: discussion, thinking, fiddling.
+    ActiveDiscussion,
+}
+
+impl OfficeSituation {
+    fn from_context(c: Context) -> OfficeSituation {
+        match c {
+            Context::LyingStill => OfficeSituation::Idle,
+            Context::Writing => OfficeSituation::FocusedWork,
+            Context::Playing => OfficeSituation::ActiveDiscussion,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OfficeSituation::Idle => "idle",
+            OfficeSituation::FocusedWork => "focused work",
+            OfficeSituation::ActiveDiscussion => "active discussion",
+        }
+    }
+}
+
+impl std::fmt::Display for OfficeSituation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One aggregated time bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregatedSituation {
+    /// Bucket start time (seconds).
+    pub t: f64,
+    /// The fused office situation.
+    pub situation: OfficeSituation,
+    /// Fused confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// Number of usable reports in the bucket.
+    pub reports: usize,
+    /// Reports excluded by quality (ε or publisher-discarded).
+    pub excluded: usize,
+}
+
+/// Bucketing aggregator over qualified context events.
+#[derive(Debug, Clone)]
+pub struct OfficeAggregator {
+    bucket_seconds: f64,
+    respect_decisions: bool,
+}
+
+impl OfficeAggregator {
+    /// Create an aggregator with the given time-bucket width.
+    ///
+    /// `respect_decisions` controls whether publisher-discarded events are
+    /// excluded (the quality-aware mode) or counted like any other report
+    /// (the naive baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplianceError::InvalidConfig`] for a non-positive bucket.
+    pub fn new(bucket_seconds: f64, respect_decisions: bool) -> Result<Self> {
+        if !(bucket_seconds > 0.0 && bucket_seconds.is_finite()) {
+            return Err(ApplianceError::InvalidConfig(format!(
+                "bucket width {bucket_seconds} must be positive"
+            )));
+        }
+        Ok(OfficeAggregator {
+            bucket_seconds,
+            respect_decisions,
+        })
+    }
+
+    /// Aggregate a batch of events into per-bucket office situations.
+    /// Buckets without any usable report are emitted as [`OfficeSituation::Idle`]
+    /// with zero confidence — silence is information in an office.
+    pub fn aggregate(&self, events: &[ContextEvent]) -> Vec<AggregatedSituation> {
+        if events.is_empty() {
+            return Vec::new();
+        }
+        let mut buckets: BTreeMap<i64, Vec<&ContextEvent>> = BTreeMap::new();
+        for e in events {
+            let key = (e.timestamp / self.bucket_seconds).floor() as i64;
+            buckets.entry(key).or_default().push(e);
+        }
+        let first = *buckets.keys().next().expect("non-empty");
+        let last = *buckets.keys().next_back().expect("non-empty");
+        let mut out = Vec::new();
+        for key in first..=last {
+            let t = key as f64 * self.bucket_seconds;
+            let bucket = buckets.get(&key);
+            let (usable, excluded): (Vec<&ContextEvent>, Vec<&ContextEvent>) = bucket
+                .map(|v| {
+                    v.iter()
+                        .partition(|e| !self.respect_decisions || e.usable())
+                })
+                .unwrap_or_default();
+            let reports: Vec<ContextReport> = usable
+                .iter()
+                .map(|e| ContextReport {
+                    source: e.source.clone(),
+                    class: ClassId(e.context.index()),
+                    quality: e.quality,
+                })
+                .collect();
+            match fuse(&reports, FusionRule::WeightedSum) {
+                Ok(fused) => {
+                    let context = Context::from_index(fused.class.0).expect("valid class index");
+                    out.push(AggregatedSituation {
+                        t,
+                        situation: OfficeSituation::from_context(context),
+                        confidence: fused.confidence,
+                        reports: reports.len(),
+                        excluded: excluded.len() + fused.epsilon_reports,
+                    });
+                }
+                Err(_) => out.push(AggregatedSituation {
+                    t,
+                    situation: OfficeSituation::Idle,
+                    confidence: 0.0,
+                    reports: 0,
+                    excluded: excluded.len(),
+                }),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqm_core::filter::Decision;
+    use cqm_core::normalize::Quality;
+
+    fn ev(t: f64, src: &str, ctx: Context, q: f64, d: Decision) -> ContextEvent {
+        ContextEvent {
+            source: src.into(),
+            context: ctx,
+            quality: Quality::Value(q),
+            decision: d,
+            timestamp: t,
+        }
+    }
+
+    #[test]
+    fn construction_validated() {
+        assert!(OfficeAggregator::new(0.0, true).is_err());
+        assert!(OfficeAggregator::new(f64::NAN, true).is_err());
+        assert!(OfficeAggregator::new(2.0, true).is_ok());
+    }
+
+    #[test]
+    fn buckets_fuse_by_quality() {
+        let agg = OfficeAggregator::new(5.0, true).unwrap();
+        let events = vec![
+            // Bucket 0: pen says writing strongly, cup weakly disagrees.
+            ev(1.0, "pen", Context::Writing, 0.95, Decision::Accept),
+            ev(2.0, "cup", Context::Playing, 0.3, Decision::Accept),
+            // Bucket 1: unanimous playing.
+            ev(6.0, "pen", Context::Playing, 0.8, Decision::Accept),
+            ev(7.0, "cup", Context::Playing, 0.9, Decision::Accept),
+        ];
+        let situations = agg.aggregate(&events);
+        assert_eq!(situations.len(), 2);
+        assert_eq!(situations[0].situation, OfficeSituation::FocusedWork);
+        assert_eq!(situations[1].situation, OfficeSituation::ActiveDiscussion);
+        assert!(situations[1].confidence > situations[0].confidence);
+    }
+
+    #[test]
+    fn discarded_reports_excluded_in_quality_mode() {
+        let events = vec![
+            ev(0.0, "pen", Context::Playing, 0.2, Decision::Discard),
+            ev(1.0, "cup", Context::Writing, 0.9, Decision::Accept),
+        ];
+        let quality_mode = OfficeAggregator::new(5.0, true).unwrap();
+        let s = quality_mode.aggregate(&events);
+        assert_eq!(s[0].situation, OfficeSituation::FocusedWork);
+        assert_eq!(s[0].reports, 1);
+        assert_eq!(s[0].excluded, 1);
+        // Naive mode counts the discarded report.
+        let naive = OfficeAggregator::new(5.0, false).unwrap();
+        let s = naive.aggregate(&events);
+        assert_eq!(s[0].reports, 2);
+    }
+
+    #[test]
+    fn silent_buckets_are_idle() {
+        let agg = OfficeAggregator::new(2.0, true).unwrap();
+        let events = vec![
+            ev(0.5, "pen", Context::Writing, 0.9, Decision::Accept),
+            // Gap: bucket at t=2..4 has no events.
+            ev(4.5, "pen", Context::Writing, 0.9, Decision::Accept),
+        ];
+        let s = agg.aggregate(&events);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[1].situation, OfficeSituation::Idle);
+        assert_eq!(s[1].confidence, 0.0);
+        assert_eq!(s[1].reports, 0);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let agg = OfficeAggregator::new(2.0, true).unwrap();
+        assert!(agg.aggregate(&[]).is_empty());
+    }
+
+    #[test]
+    fn lying_still_maps_to_idle() {
+        let agg = OfficeAggregator::new(5.0, true).unwrap();
+        let events = vec![ev(0.0, "pen", Context::LyingStill, 0.95, Decision::Accept)];
+        let s = agg.aggregate(&events);
+        assert_eq!(s[0].situation, OfficeSituation::Idle);
+        assert!(s[0].confidence > 0.9);
+        assert_eq!(OfficeSituation::Idle.to_string(), "idle");
+    }
+}

@@ -1,0 +1,149 @@
+//! In-process publish/subscribe event bus.
+//!
+//! Stands in for the Particle Computer radio network that distributes
+//! context events through the AwareOffice. Publishers broadcast to every
+//! live subscriber over unbounded crossbeam channels; dropped subscribers
+//! are pruned lazily on publish.
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use crate::events::ContextEvent;
+
+/// A cloneable handle to the office event bus.
+#[derive(Clone)]
+pub struct EventBus {
+    inner: Arc<Mutex<Vec<Sender<ContextEvent>>>>,
+}
+
+impl Default for EventBus {
+    fn default() -> Self {
+        EventBus::new()
+    }
+}
+
+impl EventBus {
+    /// Create an empty bus.
+    pub fn new() -> Self {
+        EventBus {
+            inner: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Subscribe; returns the receiving end of a fresh unbounded channel.
+    /// Dropping the receiver unsubscribes (lazily).
+    pub fn subscribe(&self) -> Receiver<ContextEvent> {
+        let (tx, rx) = unbounded();
+        self.inner.lock().push(tx);
+        rx
+    }
+
+    /// Publish an event to all live subscribers; returns how many received
+    /// it. Disconnected subscribers are removed.
+    pub fn publish(&self, event: &ContextEvent) -> usize {
+        let mut subs = self.inner.lock();
+        subs.retain(|tx| tx.send(event.clone()).is_ok());
+        subs.len()
+    }
+
+    /// Current number of subscribers (may include ones whose receiver was
+    /// dropped but not yet pruned).
+    pub fn subscriber_count(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Disconnect all subscribers: their receivers will observe the end of
+    /// the stream once drained. Used by the office runner to signal
+    /// end-of-scenario.
+    pub fn close(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+impl std::fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventBus")
+            .field("subscribers", &self.subscriber_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqm_core::filter::Decision;
+    use cqm_core::normalize::Quality;
+    use cqm_sensors::Context;
+
+    fn event(t: f64) -> ContextEvent {
+        ContextEvent {
+            source: "test".into(),
+            context: Context::Writing,
+            quality: Quality::Value(0.9),
+            decision: Decision::Accept,
+            timestamp: t,
+        }
+    }
+
+    #[test]
+    fn fan_out_to_all_subscribers() {
+        let bus = EventBus::new();
+        let rx1 = bus.subscribe();
+        let rx2 = bus.subscribe();
+        assert_eq!(bus.publish(&event(1.0)), 2);
+        assert_eq!(rx1.recv().unwrap().timestamp, 1.0);
+        assert_eq!(rx2.recv().unwrap().timestamp, 1.0);
+    }
+
+    #[test]
+    fn dropped_subscriber_pruned_on_publish() {
+        let bus = EventBus::new();
+        let rx1 = bus.subscribe();
+        {
+            let _rx2 = bus.subscribe();
+        } // rx2 dropped
+        assert_eq!(bus.subscriber_count(), 2);
+        assert_eq!(bus.publish(&event(2.0)), 1);
+        assert_eq!(bus.subscriber_count(), 1);
+        assert_eq!(rx1.recv().unwrap().timestamp, 2.0);
+    }
+
+    #[test]
+    fn close_ends_streams() {
+        let bus = EventBus::new();
+        let rx = bus.subscribe();
+        bus.publish(&event(1.0));
+        bus.close();
+        // Buffered event still delivered, then the channel ends.
+        assert!(rx.recv().is_ok());
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let bus = EventBus::new();
+        let rx = bus.subscribe();
+        let bus2 = bus.clone();
+        let handle = std::thread::spawn(move || {
+            for i in 0..10 {
+                bus2.publish(&event(i as f64));
+            }
+            bus2.close();
+        });
+        let mut count = 0;
+        while let Ok(e) = rx.recv() {
+            assert_eq!(e.timestamp, count as f64);
+            count += 1;
+        }
+        handle.join().unwrap();
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn publish_without_subscribers_is_fine() {
+        let bus = EventBus::new();
+        assert_eq!(bus.publish(&event(0.0)), 0);
+        assert!(format!("{bus:?}").contains("subscribers"));
+    }
+}

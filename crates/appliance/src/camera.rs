@@ -1,0 +1,271 @@
+//! The whiteboard camera appliance.
+//!
+//! "The context received from the pen is used by the camera of the
+//! whiteboard to take a picture copy of the content when a writing session
+//! was over" (§1). The camera watches the context stream; after a writing
+//! session it snapshots once the context has settled on non-writing for a
+//! debounce period. With quality filtering enabled it ignores events the
+//! CQM flagged as unreliable — the wrong mid-session "playing"
+//! classifications that would otherwise trigger premature photographs.
+
+use crossbeam_channel::Receiver;
+use cqm_sensors::Context;
+
+use crate::events::ContextEvent;
+use crate::{ApplianceError, Result};
+
+/// Camera decision policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CameraConfig {
+    /// Use only events the publisher's quality filter accepted.
+    pub use_quality: bool,
+    /// Consecutive non-writing events required to declare the session over.
+    pub debounce: usize,
+    /// Consecutive writing events required to declare a session started.
+    pub arm_count: usize,
+}
+
+impl Default for CameraConfig {
+    fn default() -> Self {
+        CameraConfig {
+            use_quality: true,
+            debounce: 3,
+            arm_count: 2,
+        }
+    }
+}
+
+impl CameraConfig {
+    /// Validate the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplianceError::InvalidConfig`] for zero counts.
+    pub fn validate(&self) -> Result<()> {
+        if self.debounce == 0 || self.arm_count == 0 {
+            return Err(ApplianceError::InvalidConfig(
+                "debounce and arm_count must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A snapshot the camera decided to take.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snapshot {
+    /// Time of the decision (timestamp of the triggering event).
+    pub t: f64,
+}
+
+/// The whiteboard camera state machine.
+#[derive(Debug, Clone)]
+pub struct WhiteboardCamera {
+    config: CameraConfig,
+    writing_streak: usize,
+    non_writing_streak: usize,
+    session_active: bool,
+    snapshots: Vec<Snapshot>,
+    events_seen: usize,
+    events_used: usize,
+}
+
+impl WhiteboardCamera {
+    /// Create a camera.
+    ///
+    /// # Errors
+    ///
+    /// Propagates config validation.
+    pub fn new(config: CameraConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(WhiteboardCamera {
+            config,
+            writing_streak: 0,
+            non_writing_streak: 0,
+            session_active: false,
+            snapshots: Vec::new(),
+            events_seen: 0,
+            events_used: 0,
+        })
+    }
+
+    /// Process one context event.
+    pub fn observe(&mut self, event: &ContextEvent) {
+        self.events_seen += 1;
+        if self.config.use_quality && !event.usable() {
+            return; // quality filter: ignore unreliable context
+        }
+        self.events_used += 1;
+        if event.context == Context::Writing {
+            self.writing_streak += 1;
+            self.non_writing_streak = 0;
+            if self.writing_streak >= self.config.arm_count {
+                self.session_active = true;
+            }
+        } else {
+            self.non_writing_streak += 1;
+            self.writing_streak = 0;
+            if self.session_active && self.non_writing_streak >= self.config.debounce {
+                self.snapshots.push(Snapshot { t: event.timestamp });
+                self.session_active = false;
+                self.non_writing_streak = 0;
+            }
+        }
+    }
+
+    /// Drain an event channel until it closes (office-runner entry point).
+    pub fn run(&mut self, rx: &Receiver<ContextEvent>) {
+        while let Ok(event) = rx.recv() {
+            self.observe(&event);
+        }
+        self.finish();
+    }
+
+    /// Declare end-of-scenario: an armed session that never saw its
+    /// debounce still produces its photograph (someone wrote and left).
+    pub fn finish(&mut self) {
+        if self.session_active {
+            self.snapshots.push(Snapshot { t: f64::INFINITY });
+            self.session_active = false;
+        }
+    }
+
+    /// Snapshots taken so far.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// Events observed / actually used (after quality filtering).
+    pub fn event_counts(&self) -> (usize, usize) {
+        (self.events_seen, self.events_used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqm_core::filter::Decision;
+    use cqm_core::normalize::Quality;
+
+    fn ev(t: f64, context: Context, decision: Decision) -> ContextEvent {
+        ContextEvent {
+            source: "pen".into(),
+            context,
+            quality: Quality::Value(if decision == Decision::Accept { 0.9 } else { 0.3 }),
+            decision,
+            timestamp: t,
+        }
+    }
+
+    fn writing(t: f64) -> ContextEvent {
+        ev(t, Context::Writing, Decision::Accept)
+    }
+
+    fn still(t: f64) -> ContextEvent {
+        ev(t, Context::LyingStill, Decision::Accept)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CameraConfig {
+            debounce: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CameraConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn snapshot_after_session_end() {
+        let mut cam = WhiteboardCamera::new(CameraConfig::default()).unwrap();
+        for t in 0..5 {
+            cam.observe(&writing(t as f64));
+        }
+        for t in 5..8 {
+            cam.observe(&still(t as f64));
+        }
+        assert_eq!(cam.snapshots().len(), 1);
+        assert_eq!(cam.snapshots()[0].t, 7.0);
+    }
+
+    #[test]
+    fn no_snapshot_without_session() {
+        let mut cam = WhiteboardCamera::new(CameraConfig::default()).unwrap();
+        for t in 0..10 {
+            cam.observe(&still(t as f64));
+        }
+        cam.finish();
+        assert!(cam.snapshots().is_empty());
+    }
+
+    #[test]
+    fn debounce_suppresses_blips() {
+        // One spurious non-writing event inside a session must not trigger.
+        let mut cam = WhiteboardCamera::new(CameraConfig::default()).unwrap();
+        cam.observe(&writing(0.0));
+        cam.observe(&writing(1.0));
+        cam.observe(&ev(2.0, Context::Playing, Decision::Accept));
+        cam.observe(&writing(3.0));
+        cam.observe(&ev(4.0, Context::Playing, Decision::Accept));
+        cam.observe(&writing(5.0));
+        cam.finish();
+        // Session still armed at the end: exactly one final snapshot.
+        assert_eq!(cam.snapshots().len(), 1);
+        assert_eq!(cam.snapshots()[0].t, f64::INFINITY);
+    }
+
+    #[test]
+    fn quality_filter_drops_discarded_events() {
+        let mut with_q = WhiteboardCamera::new(CameraConfig::default()).unwrap();
+        let mut without_q = WhiteboardCamera::new(CameraConfig {
+            use_quality: false,
+            ..CameraConfig::default()
+        })
+        .unwrap();
+        // A writing session interrupted by *discarded* (low-quality)
+        // playing classifications — the §1 scenario.
+        let mut events = Vec::new();
+        for t in 0..4 {
+            events.push(writing(t as f64));
+        }
+        for t in 4..8 {
+            events.push(ev(t as f64, Context::Playing, Decision::Discard));
+        }
+        for t in 8..12 {
+            events.push(writing(t as f64));
+        }
+        for t in 12..16 {
+            events.push(still(t as f64));
+        }
+        for e in &events {
+            with_q.observe(e);
+            without_q.observe(e);
+        }
+        with_q.finish();
+        without_q.finish();
+        // Quality-aware camera: one snapshot at the true session end.
+        assert_eq!(with_q.snapshots().len(), 1);
+        assert_eq!(with_q.snapshots()[0].t, 14.0);
+        // Naive camera: the fake playing burst triggers an extra snapshot.
+        assert_eq!(without_q.snapshots().len(), 2);
+        let (seen, used) = with_q.event_counts();
+        assert_eq!(seen, 16);
+        assert_eq!(used, 12);
+    }
+
+    #[test]
+    fn run_drains_channel() {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        for t in 0..3 {
+            tx.send(writing(t as f64)).unwrap();
+        }
+        for t in 3..6 {
+            tx.send(still(t as f64)).unwrap();
+        }
+        drop(tx);
+        let mut cam = WhiteboardCamera::new(CameraConfig::default()).unwrap();
+        cam.run(&rx);
+        assert_eq!(cam.snapshots().len(), 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Context events exchanged between appliances.
+//!
+//! "The detected situation information is then distributed to other
+//! appliances in the AwareOffice environment" (§1). An event carries the
+//! classification, its CQM, and the publishing appliance's accept/discard
+//! verdict — consumers may apply their own threshold instead.
+
+use cqm_core::filter::Decision;
+use cqm_core::normalize::Quality;
+use cqm_sensors::Context;
+use serde::{Deserialize, Serialize};
+
+/// A context report published on the office bus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextEvent {
+    /// Name of the publishing appliance ("awarepen", "mediacup", …).
+    pub source: String,
+    /// Detected context.
+    pub context: Context,
+    /// Quality of the detection.
+    pub quality: Quality,
+    /// The publisher's filter verdict at its trained threshold.
+    pub decision: Decision,
+    /// Sensor time of the underlying window (seconds).
+    pub timestamp: f64,
+}
+
+impl ContextEvent {
+    /// Whether a *quality-aware* consumer should act on this event.
+    pub fn usable(&self) -> bool {
+        matches!(self.decision, Decision::Accept)
+    }
+}
+
+impl std::fmt::Display for ContextEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:7.2}s] {} -> {} ({}, {:?})",
+            self.timestamp, self.source, self.context, self.quality, self.decision
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(decision: Decision) -> ContextEvent {
+        ContextEvent {
+            source: "awarepen".into(),
+            context: Context::Writing,
+            quality: Quality::Value(0.9),
+            decision,
+            timestamp: 12.5,
+        }
+    }
+
+    #[test]
+    fn usable_mirrors_decision() {
+        assert!(event(Decision::Accept).usable());
+        assert!(!event(Decision::Discard).usable());
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let s = event(Decision::Accept).to_string();
+        assert!(s.contains("awarepen"));
+        assert!(s.contains("writing"));
+        assert!(s.contains("12.50"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = event(Decision::Discard);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: ContextEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -1,0 +1,113 @@
+//! # cqm-appliance — the AwareOffice appliance simulation
+//!
+//! The paper's motivating application (§1): the AwarePen publishes detected
+//! contexts into the AwareOffice environment; the whiteboard camera consumes
+//! them and decides when a writing session has ended so it can photograph
+//! the board. Bad context classifications trigger wrong photographs; the
+//! CQM lets the camera discard low-quality contexts, improving the decision
+//! "by 33 % in our example".
+//!
+//! * [`events`] — the context event record distributed between appliances;
+//! * [`bus`] — an in-process publish/subscribe bus (crossbeam channels),
+//!   standing in for the Particle peer-to-peer radio network;
+//! * [`pen`] — the AwarePen: sensor node ⊕ TSK classifier ⊕ CQM;
+//! * [`camera`] — the whiteboard camera's end-of-writing detector, with
+//!   quality filtering on or off;
+//! * [`cup`] — a second appliance (MediaCup-style) demonstrating that the
+//!   same add-on generalizes ("backed up by other applications built in the
+//!   AwareOffice", §5);
+//! * [`office`] — the scenario runner wiring pen → bus → camera and scoring
+//!   camera decisions against ground truth;
+//! * [`aggregator`] — the §5 higher-level context processor fusing all
+//!   appliances' qualified reports into office situations.
+//!
+//! ```no_run
+//! use cqm_appliance::office::{run_office, OfficeConfig};
+//!
+//! let report = run_office(&OfficeConfig::default()).unwrap();
+//! // Quality filtering must not hurt the camera's decisions.
+//! assert!(report.with_quality.camera.false_triggers
+//!     <= report.without_quality.camera.false_triggers);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod aggregator;
+pub mod bus;
+pub mod camera;
+pub mod cup;
+pub mod events;
+pub mod office;
+pub mod pen;
+
+/// Errors produced by the appliance layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApplianceError {
+    /// Propagated from the sensing substrate.
+    Sensor(cqm_sensors::SensorError),
+    /// Propagated from classifier training.
+    Classify(cqm_classify::ClassifyError),
+    /// Propagated from the CQM core.
+    Core(cqm_core::CqmError),
+    /// The appliance was configured inconsistently.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for ApplianceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplianceError::Sensor(e) => write!(f, "sensor error: {e}"),
+            ApplianceError::Classify(e) => write!(f, "classify error: {e}"),
+            ApplianceError::Core(e) => write!(f, "core error: {e}"),
+            ApplianceError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ApplianceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApplianceError::Sensor(e) => Some(e),
+            ApplianceError::Classify(e) => Some(e),
+            ApplianceError::Core(e) => Some(e),
+            ApplianceError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<cqm_sensors::SensorError> for ApplianceError {
+    fn from(e: cqm_sensors::SensorError) -> Self {
+        ApplianceError::Sensor(e)
+    }
+}
+
+impl From<cqm_classify::ClassifyError> for ApplianceError {
+    fn from(e: cqm_classify::ClassifyError) -> Self {
+        ApplianceError::Classify(e)
+    }
+}
+
+impl From<cqm_core::CqmError> for ApplianceError {
+    fn from(e: cqm_core::CqmError) -> Self {
+        ApplianceError::Core(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ApplianceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_conversions() {
+        let e: ApplianceError = cqm_sensors::SensorError::InvalidSpec("s".into()).into();
+        assert!(e.to_string().contains("sensor"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ApplianceError = cqm_core::CqmError::InvalidInput("i".into()).into();
+        assert!(matches!(e, ApplianceError::Core(_)));
+        let e = ApplianceError::InvalidConfig("c".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,454 @@
+//! The AwareOffice scenario runner: pen → bus → cameras, scored against
+//! ground truth.
+//!
+//! One pen run feeds two cameras concurrently — one quality-aware, one
+//! naive — so both see the *identical* event stream and the comparison
+//! isolates exactly the effect of the CQM filter (the paper's improvement
+//! claim).
+
+use cqm_core::normalize::Quality;
+use cqm_sensors::synth::Scenario;
+use cqm_sensors::{Context, SensorNode};
+use cqm_stats::confusion::FilterOutcome;
+
+use crate::bus::EventBus;
+use crate::camera::{CameraConfig, Snapshot, WhiteboardCamera};
+use crate::pen::{train_pen, AwarePen, PenBuild, PenObservation};
+use crate::{ApplianceError, Result};
+
+/// Office experiment configuration.
+#[derive(Debug, Clone)]
+pub struct OfficeConfig {
+    /// Seed for training corpus and runtime sensing.
+    pub seed: u64,
+    /// Training corpus repetitions (per user style).
+    pub training_repetitions: usize,
+    /// The runtime scenario.
+    pub scenario: Scenario,
+    /// Camera debounce/arming policy (quality use is set per camera).
+    pub camera: CameraConfig,
+    /// Tolerance (seconds) when matching snapshots to true session ends.
+    pub match_tolerance: f64,
+}
+
+impl Default for OfficeConfig {
+    fn default() -> Self {
+        OfficeConfig {
+            seed: 42,
+            training_repetitions: 1,
+            scenario: Scenario::write_think_write()
+                .expect("built-in scenario")
+                .then(&Scenario::balanced_session().expect("built-in scenario")),
+            camera: CameraConfig::default(),
+            match_tolerance: 6.0,
+        }
+    }
+}
+
+/// Camera scoring against the scenario's true writing-session ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CameraMetrics {
+    /// True writing sessions in the scenario.
+    pub expected: usize,
+    /// Snapshots the camera took.
+    pub taken: usize,
+    /// Snapshots matched to a true session end within tolerance.
+    pub correct: usize,
+    /// Snapshots with no matching session end.
+    pub false_triggers: usize,
+    /// Session ends with no matching snapshot.
+    pub missed: usize,
+}
+
+impl CameraMetrics {
+    /// Decision accuracy: correct / (correct + false + missed); 1.0 when
+    /// nothing was expected and nothing taken.
+    pub fn decision_accuracy(&self) -> f64 {
+        let denom = self.correct + self.false_triggers + self.missed;
+        if denom == 0 {
+            1.0
+        } else {
+            self.correct as f64 / denom as f64
+        }
+    }
+}
+
+/// Outcome of one camera variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Snapshot scoring.
+    pub camera: CameraMetrics,
+    /// Events the camera observed / acted on.
+    pub events_seen: usize,
+    /// Events used after (optional) quality filtering.
+    pub events_used: usize,
+}
+
+/// Complete office experiment report.
+#[derive(Debug, Clone)]
+pub struct OfficeReport {
+    /// Quality-aware camera.
+    pub with_quality: RunSummary,
+    /// Naive camera (ignores the CQM).
+    pub without_quality: RunSummary,
+    /// Pen-level filter accounting over the run (the 33 % discard story).
+    pub filter: FilterOutcome,
+    /// Raw classification accuracy of the pen over the run.
+    pub pen_accuracy: f64,
+    /// Accuracy among accepted classifications.
+    pub pen_accuracy_accepted: f64,
+    /// The training build (for further inspection).
+    pub build: PenBuild,
+    /// The raw observations (events + ground truth).
+    pub observations: Vec<PenObservation>,
+}
+
+/// True end times of writing sessions in a scenario (a session is a maximal
+/// run of `Writing` segments).
+pub fn writing_session_ends(scenario: &Scenario) -> Vec<f64> {
+    let mut ends = Vec::new();
+    let mut t = 0.0;
+    let mut in_session = false;
+    for &(context, duration) in scenario.segments() {
+        if context == Context::Writing {
+            in_session = true;
+        } else if in_session {
+            ends.push(t);
+            in_session = false;
+        }
+        t += duration;
+    }
+    if in_session {
+        ends.push(t);
+    }
+    ends
+}
+
+/// Greedy time-based matching of snapshots to session ends.
+pub fn score_camera(
+    snapshots: &[Snapshot],
+    session_ends: &[f64],
+    tolerance: f64,
+    scenario_end: f64,
+) -> CameraMetrics {
+    let mut matched_end = vec![false; session_ends.len()];
+    let mut correct = 0usize;
+    let mut false_triggers = 0usize;
+    for snap in snapshots {
+        // The end-of-scenario snapshot (t = inf) matches a session that ran
+        // until the scenario ended.
+        let t = if snap.t.is_finite() {
+            snap.t
+        } else {
+            scenario_end
+        };
+        let hit = session_ends
+            .iter()
+            .enumerate()
+            .filter(|(i, &end)| !matched_end[*i] && t >= end - tolerance && t <= end + tolerance)
+            .min_by(|(_, a), (_, b)| {
+                (t - **a)
+                    .abs()
+                    .partial_cmp(&(t - **b).abs())
+                    .expect("finite")
+            })
+            .map(|(i, _)| i);
+        match hit {
+            Some(i) => {
+                matched_end[i] = true;
+                correct += 1;
+            }
+            None => false_triggers += 1,
+        }
+    }
+    let missed = matched_end.iter().filter(|&&m| !m).count();
+    CameraMetrics {
+        expected: session_ends.len(),
+        taken: snapshots.len(),
+        correct,
+        false_triggers,
+        missed,
+    }
+}
+
+/// Run the complete office experiment.
+///
+/// # Errors
+///
+/// Propagates pen training, sensing and camera configuration failures.
+pub fn run_office(config: &OfficeConfig) -> Result<OfficeReport> {
+    let build = train_pen(config.seed, config.training_repetitions)?;
+    run_office_with_build(config, build)
+}
+
+/// Run the office experiment with an existing pen build (lets experiments
+/// reuse one training run across scenario variations).
+///
+/// # Errors
+///
+/// Propagates sensing and camera configuration failures.
+pub fn run_office_with_build(config: &OfficeConfig, build: PenBuild) -> Result<OfficeReport> {
+    let node = SensorNode::with_seed(config.seed ^ 0xC0FFEE);
+    let mut pen = AwarePen::new(&build, node)?;
+    let bus = EventBus::new();
+
+    let quality_rx = bus.subscribe();
+    let naive_rx = bus.subscribe();
+    let cam_cfg = config.camera;
+    let quality_cam = std::thread::spawn(move || {
+        let mut cam = WhiteboardCamera::new(CameraConfig {
+            use_quality: true,
+            ..cam_cfg
+        })
+        .expect("validated config");
+        cam.run(&quality_rx);
+        cam
+    });
+    let naive_cam = std::thread::spawn(move || {
+        let mut cam = WhiteboardCamera::new(CameraConfig {
+            use_quality: false,
+            ..cam_cfg
+        })
+        .expect("validated config");
+        cam.run(&naive_rx);
+        cam
+    });
+
+    let observations = pen.run_scenario(&config.scenario, &bus)?;
+    bus.close();
+    let quality_cam = quality_cam.join().expect("camera thread");
+    let naive_cam = naive_cam.join().expect("camera thread");
+
+    // Pen-level filter accounting.
+    let filter = pen.system().filter();
+    let labeled: Vec<(Quality, bool)> = observations
+        .iter()
+        .map(|o| (o.event.quality, o.event.context == o.truth))
+        .collect();
+    let filter_outcome = filter.evaluate(&labeled);
+
+    let right = observations
+        .iter()
+        .filter(|o| o.event.context == o.truth)
+        .count();
+    let pen_accuracy = right as f64 / observations.len().max(1) as f64;
+
+    let ends = writing_session_ends(&config.scenario);
+    let scenario_end = config.scenario.duration();
+    let summarize = |cam: &WhiteboardCamera| {
+        let (seen, used) = cam.event_counts();
+        RunSummary {
+            camera: score_camera(cam.snapshots(), &ends, config.match_tolerance, scenario_end),
+            events_seen: seen,
+            events_used: used,
+        }
+    };
+
+    Ok(OfficeReport {
+        with_quality: summarize(&quality_cam),
+        without_quality: summarize(&naive_cam),
+        filter: filter_outcome,
+        pen_accuracy,
+        pen_accuracy_accepted: filter_outcome.accuracy_after(),
+        build,
+        observations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_ends_computed() {
+        let s = Scenario::write_think_write().unwrap();
+        // write(2..10), play(10..13), write(13..19), still(19..21):
+        // sessions end at 10 and 19.
+        assert_eq!(writing_session_ends(&s), vec![10.0, 19.0]);
+        // Trailing writing counts as ending at scenario end.
+        let s = Scenario::new(vec![
+            (Context::LyingStill, 1.0),
+            (Context::Writing, 4.0),
+        ])
+        .unwrap();
+        assert_eq!(writing_session_ends(&s), vec![5.0]);
+    }
+
+    #[test]
+    fn score_matches_greedily() {
+        let snaps = [Snapshot { t: 11.0 }, Snapshot { t: 40.0 }];
+        let ends = [10.0, 19.0];
+        let m = score_camera(&snaps, &ends, 5.0, 50.0);
+        assert_eq!(m.correct, 1);
+        assert_eq!(m.false_triggers, 1);
+        assert_eq!(m.missed, 1);
+        assert_eq!(m.expected, 2);
+        assert_eq!(m.taken, 2);
+        assert!((m.decision_accuracy() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinity_snapshot_matches_scenario_end() {
+        let snaps = [Snapshot { t: f64::INFINITY }];
+        let ends = [30.0];
+        let m = score_camera(&snaps, &ends, 5.0, 30.0);
+        assert_eq!(m.correct, 1);
+    }
+
+    #[test]
+    fn empty_everything_is_perfect() {
+        let m = score_camera(&[], &[], 5.0, 10.0);
+        assert_eq!(m.decision_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn office_run_end_to_end() {
+        // A single short run is statistically noisy, so per-run assertions
+        // cover invariants only; the improvement claim is asserted on the
+        // aggregate over several independent runs.
+        let mut agg_false = [0usize; 2]; // [with_quality, naive]
+        let mut agg_correct = [0usize; 2];
+        for seed in [5u64, 106, 207] {
+            let config = OfficeConfig {
+                seed,
+                ..OfficeConfig::default()
+            };
+            let report = run_office(&config).unwrap();
+            assert!(!report.observations.is_empty());
+            // Both cameras saw the same stream; the quality one used fewer.
+            assert_eq!(
+                report.with_quality.events_seen,
+                report.without_quality.events_seen
+            );
+            assert!(report.with_quality.events_used <= report.without_quality.events_used);
+            // Filtering must not reduce accepted-accuracy below raw
+            // accuracy.
+            assert!(
+                report.pen_accuracy_accepted + 1e-9 >= report.pen_accuracy,
+                "accepted {} < raw {}",
+                report.pen_accuracy_accepted,
+                report.pen_accuracy
+            );
+            agg_false[0] += report.with_quality.camera.false_triggers;
+            agg_false[1] += report.without_quality.camera.false_triggers;
+            agg_correct[0] += report.with_quality.camera.correct;
+            agg_correct[1] += report.without_quality.camera.correct;
+        }
+        // Aggregate: the quality-aware camera takes fewer false photographs
+        // without losing correct ones.
+        assert!(
+            agg_false[0] <= agg_false[1],
+            "false triggers with quality {} vs naive {}",
+            agg_false[0],
+            agg_false[1]
+        );
+        assert!(
+            agg_correct[0] + 1 >= agg_correct[1],
+            "correct with quality {} vs naive {}",
+            agg_correct[0],
+            agg_correct[1]
+        );
+    }
+}
+
+/// Result of the two-pen fusion experiment (the §5 outlook "fusion and
+/// aggregation for higher level contexts" exercised end-to-end).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusionReport {
+    /// Accuracy of the first pen alone.
+    pub pen_a_accuracy: f64,
+    /// Accuracy of the second pen alone.
+    pub pen_b_accuracy: f64,
+    /// Accuracy of the quality-weighted fusion of both.
+    pub fused_accuracy: f64,
+    /// Windows fused (both pens produced a usable quality).
+    pub fused_windows: usize,
+    /// Windows where fusion had to fall back to a single report or none.
+    pub degraded_windows: usize,
+}
+
+/// Run the same scenario through two independently trained pens (different
+/// seeds, different noise, same timeline) and fuse their per-window reports
+/// with quality weighting.
+///
+/// # Errors
+///
+/// Propagates training and sensing failures.
+pub fn run_fused_pens(scenario: &Scenario, seed_a: u64, seed_b: u64) -> Result<FusionReport> {
+    use cqm_core::fusion::{fuse, ContextReport, FusionRule};
+
+    let build_a = train_pen(seed_a, 1)?;
+    let build_b = train_pen(seed_b, 1)?;
+    let bus = EventBus::new();
+    let mut pen_a = AwarePen::new(&build_a, SensorNode::with_seed(seed_a ^ 0xAA))?;
+    let mut pen_b = AwarePen::new(&build_b, SensorNode::with_seed(seed_b ^ 0xBB))?;
+    let obs_a = pen_a.run_scenario(scenario, &bus)?;
+    let obs_b = pen_b.run_scenario(scenario, &bus)?;
+    if obs_a.len() != obs_b.len() {
+        return Err(ApplianceError::InvalidConfig(format!(
+            "pens produced different window counts: {} vs {}",
+            obs_a.len(),
+            obs_b.len()
+        )));
+    }
+
+    let acc = |obs: &[PenObservation]| {
+        obs.iter().filter(|o| o.event.context == o.truth).count() as f64 / obs.len().max(1) as f64
+    };
+    let mut fused_right = 0usize;
+    let mut fused_windows = 0usize;
+    let mut degraded = 0usize;
+    for (a, b) in obs_a.iter().zip(&obs_b) {
+        debug_assert_eq!(a.truth, b.truth, "pens observe the same timeline");
+        let reports = vec![
+            ContextReport {
+                source: "pen-a".into(),
+                class: cqm_core::ClassId(a.event.context.index()),
+                quality: a.event.quality,
+            },
+            ContextReport {
+                source: "pen-b".into(),
+                class: cqm_core::ClassId(b.event.context.index()),
+                quality: b.event.quality,
+            },
+        ];
+        match fuse(&reports, FusionRule::WeightedSum) {
+            Ok(fused) => {
+                fused_windows += 1;
+                if fused.class.0 == a.truth.index() {
+                    fused_right += 1;
+                }
+                if fused.epsilon_reports > 0 {
+                    degraded += 1;
+                }
+            }
+            Err(_) => degraded += 1,
+        }
+    }
+    Ok(FusionReport {
+        pen_a_accuracy: acc(&obs_a),
+        pen_b_accuracy: acc(&obs_b),
+        fused_accuracy: fused_right as f64 / fused_windows.max(1) as f64,
+        fused_windows,
+        degraded_windows: degraded,
+    })
+}
+
+#[cfg(test)]
+mod fusion_tests {
+    use super::*;
+
+    #[test]
+    fn fusion_not_worse_than_weaker_pen() {
+        let scenario = Scenario::balanced_session().unwrap();
+        let report = run_fused_pens(&scenario, 21, 22).unwrap();
+        assert!(report.fused_windows > 0);
+        let weakest = report.pen_a_accuracy.min(report.pen_b_accuracy);
+        assert!(
+            report.fused_accuracy + 0.05 >= weakest,
+            "fusion {:.3} collapsed below weakest pen {:.3}",
+            report.fused_accuracy,
+            weakest
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! The AwarePen appliance: sensor node ⊕ TSK context classifier ⊕ CQM
+//! (the full processing chain of the paper's Fig. 4).
+
+use cqm_classify::dataset::ClassifiedDataset;
+use cqm_classify::tsk::{FisClassifier, FisClassifierConfig};
+use cqm_core::classifier::ClassId;
+use cqm_core::pipeline::CqmSystem;
+use cqm_core::training::{train_cqm, CqmTrainingConfig, TrainedCqm};
+use cqm_sensors::node::{training_corpus, LabeledCues, SensorNode};
+use cqm_sensors::synth::Scenario;
+use cqm_sensors::Context;
+
+use crate::bus::EventBus;
+use crate::events::ContextEvent;
+use crate::{ApplianceError, Result};
+
+/// Training artifacts of an AwarePen build.
+#[derive(Debug, Clone)]
+pub struct PenBuild {
+    /// The trained context classifier.
+    pub classifier: FisClassifier,
+    /// The trained CQM with threshold and analysis statistics.
+    pub trained_cqm: TrainedCqm,
+    /// Accuracy of the classifier on its training corpus.
+    pub train_accuracy: f64,
+}
+
+/// Train the complete AwarePen stack from a synthetic corpus.
+///
+/// # Errors
+///
+/// Propagates corpus generation, classifier training and CQM training
+/// failures.
+pub fn train_pen(seed: u64, repetitions: usize) -> Result<PenBuild> {
+    let corpus = training_corpus(seed, repetitions)?;
+    build_pen_from_corpus(&corpus)
+}
+
+/// Train the AwarePen stack from an explicit corpus (used by experiments
+/// that control the corpus composition).
+///
+/// # Errors
+///
+/// Propagates classifier and CQM training failures.
+pub fn build_pen_from_corpus(corpus: &[LabeledCues]) -> Result<PenBuild> {
+    let data = ClassifiedDataset::from_labeled_cues(corpus)?;
+    let classifier = FisClassifier::train(&data, &FisClassifierConfig::default())?;
+    let train_accuracy = classifier.accuracy(&data);
+    let truth: Vec<ClassId> = data.labels().to_vec();
+    let trained_cqm = train_cqm(
+        &classifier,
+        data.cues(),
+        &truth,
+        &CqmTrainingConfig::default(),
+    )
+    .map_err(ApplianceError::Core)?;
+    Ok(PenBuild {
+        classifier,
+        trained_cqm,
+        train_accuracy,
+    })
+}
+
+/// One published classification together with the ground truth it was
+/// scored against (the truth never leaves the simulation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PenObservation {
+    /// The event as published on the bus.
+    pub event: ContextEvent,
+    /// Ground-truth context of the window.
+    pub truth: Context,
+    /// Whether the window straddles a context change.
+    pub is_transition: bool,
+}
+
+/// The runtime AwarePen appliance.
+pub struct AwarePen {
+    system: CqmSystem<FisClassifier>,
+    node: SensorNode,
+    name: String,
+}
+
+impl AwarePen {
+    /// Assemble a pen from a training build and a sensor node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension-mismatch failures from the system composition.
+    pub fn new(build: &PenBuild, node: SensorNode) -> Result<Self> {
+        let system = CqmSystem::from_trained(build.classifier.clone(), &build.trained_cqm)
+            .map_err(ApplianceError::Core)?;
+        Ok(AwarePen {
+            system,
+            node,
+            name: "awarepen".into(),
+        })
+    }
+
+    /// The appliance's bus name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The CQM system (for inspection).
+    pub fn system(&self) -> &CqmSystem<FisClassifier> {
+        &self.system
+    }
+
+    /// Run a scenario: classify every window, attach the CQM, publish each
+    /// event on the bus, and return the observations with ground truth for
+    /// scoring.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sensing and classification failures.
+    pub fn run_scenario(
+        &mut self,
+        scenario: &Scenario,
+        bus: &EventBus,
+    ) -> Result<Vec<PenObservation>> {
+        let windows = self.node.run_scenario(scenario)?;
+        let mut out = Vec::with_capacity(windows.len());
+        for w in windows {
+            let qualified = self
+                .system
+                .classify_with_quality(&w.cues)
+                .map_err(ApplianceError::Core)?;
+            let context = Context::from_index(qualified.class.0).ok_or_else(|| {
+                ApplianceError::InvalidConfig(format!(
+                    "classifier emitted unknown class {}",
+                    qualified.class
+                ))
+            })?;
+            let event = ContextEvent {
+                source: self.name.clone(),
+                context,
+                quality: qualified.quality,
+                decision: qualified.decision,
+                timestamp: w.t,
+            };
+            bus.publish(&event);
+            out.push(PenObservation {
+                event,
+                truth: w.truth,
+                is_transition: w.is_transition,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_build() -> PenBuild {
+        train_pen(11, 1).expect("pen training")
+    }
+
+    #[test]
+    fn pen_training_produces_competent_classifier() {
+        let build = quick_build();
+        assert!(
+            build.train_accuracy > 0.8,
+            "train accuracy {}",
+            build.train_accuracy
+        );
+        // The CQM found a usable threshold.
+        let s = build.trained_cqm.threshold.value;
+        assert!(s > 0.0 && s < 1.0, "threshold {s}");
+    }
+
+    #[test]
+    fn pen_publishes_on_bus_and_scores_against_truth() {
+        let build = quick_build();
+        let node = SensorNode::with_seed(99);
+        let mut pen = AwarePen::new(&build, node).unwrap();
+        let bus = EventBus::new();
+        let rx = bus.subscribe();
+        let obs = pen
+            .run_scenario(&Scenario::write_think_write().unwrap(), &bus)
+            .unwrap();
+        assert!(!obs.is_empty());
+        // Everything published.
+        bus.close();
+        let received: Vec<ContextEvent> = rx.iter().collect();
+        assert_eq!(received.len(), obs.len());
+        // Most non-transition classifications should be right.
+        let clean: Vec<&PenObservation> = obs.iter().filter(|o| !o.is_transition).collect();
+        let right = clean
+            .iter()
+            .filter(|o| o.event.context == o.truth)
+            .count();
+        assert!(
+            right as f64 / clean.len() as f64 > 0.7,
+            "{right}/{} clean windows right",
+            clean.len()
+        );
+    }
+
+    #[test]
+    fn accepted_events_are_more_accurate_than_discarded() {
+        let build = quick_build();
+        let node = SensorNode::with_seed(123);
+        let mut pen = AwarePen::new(&build, node).unwrap();
+        let bus = EventBus::new();
+        let scenario = Scenario::balanced_session()
+            .unwrap()
+            .then(&Scenario::write_think_write().unwrap());
+        let obs = pen.run_scenario(&scenario, &bus).unwrap();
+        let acc = |pred: &dyn Fn(&&PenObservation) -> bool| {
+            let sel: Vec<&PenObservation> = obs.iter().filter(pred).collect();
+            if sel.is_empty() {
+                return f64::NAN;
+            }
+            sel.iter().filter(|o| o.event.context == o.truth).count() as f64 / sel.len() as f64
+        };
+        let accepted = acc(&|o: &&PenObservation| o.event.usable());
+        let all = acc(&|_: &&PenObservation| true);
+        assert!(
+            accepted >= all,
+            "accepted accuracy {accepted} should be >= overall {all}"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the appliance layer's pure logic.
+
+use cqm_appliance::aggregator::OfficeAggregator;
+use cqm_appliance::camera::Snapshot;
+use cqm_appliance::events::ContextEvent;
+use cqm_appliance::office::score_camera;
+use cqm_core::filter::Decision;
+use cqm_core::normalize::Quality;
+use cqm_sensors::Context;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn camera_score_accounting_invariants(
+        snaps in prop::collection::vec(0.0f64..100.0, 0..12),
+        ends in prop::collection::vec(0.0f64..100.0, 0..8),
+        tolerance in 0.5f64..10.0,
+    ) {
+        let snapshots: Vec<Snapshot> = snaps.iter().map(|&t| Snapshot { t }).collect();
+        let m = score_camera(&snapshots, &ends, tolerance, 100.0);
+        prop_assert_eq!(m.taken, snapshots.len());
+        prop_assert_eq!(m.expected, ends.len());
+        // Accounting closes: every snapshot is correct or false; every end
+        // is matched or missed.
+        prop_assert_eq!(m.correct + m.false_triggers, m.taken);
+        prop_assert_eq!(m.correct + m.missed, m.expected);
+        prop_assert!(m.correct <= m.taken.min(m.expected));
+        let acc = m.decision_accuracy();
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn perfect_snapshots_score_perfectly(
+        ends in prop::collection::vec(1.0f64..100.0, 1..8),
+    ) {
+        // Distinct, well-separated ends: snapshot exactly at each end.
+        let mut sorted = ends.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.dedup_by(|a, b| (*a - *b).abs() < 2.0);
+        let snapshots: Vec<Snapshot> = sorted.iter().map(|&t| Snapshot { t }).collect();
+        let m = score_camera(&snapshots, &sorted, 0.5, 200.0);
+        prop_assert_eq!(m.correct, sorted.len());
+        prop_assert_eq!(m.false_triggers, 0);
+        prop_assert_eq!(m.missed, 0);
+        prop_assert_eq!(m.decision_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn aggregator_buckets_cover_event_span(
+        times in prop::collection::vec(0.0f64..60.0, 1..40),
+        bucket in 1.0f64..10.0,
+    ) {
+        let events: Vec<ContextEvent> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| ContextEvent {
+                source: format!("s{}", i % 3),
+                context: Context::ALL[i % 3],
+                quality: Quality::Value(0.5 + 0.4 * ((i % 5) as f64 / 5.0)),
+                decision: Decision::Accept,
+                timestamp: t,
+            })
+            .collect();
+        let agg = OfficeAggregator::new(bucket, true).unwrap();
+        let situations = agg.aggregate(&events);
+        prop_assert!(!situations.is_empty());
+        // Bucket times are multiples of the width, strictly increasing, and
+        // cover [min_t, max_t].
+        let min_t = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_t = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(situations.first().unwrap().t <= min_t + 1e-9);
+        prop_assert!(situations.last().unwrap().t + bucket >= max_t - 1e-9);
+        for w in situations.windows(2) {
+            prop_assert!((w[1].t - w[0].t - bucket).abs() < 1e-9);
+        }
+        // Total reports across buckets equals the event count.
+        let total: usize = situations.iter().map(|s| s.reports + s.excluded).sum();
+        prop_assert_eq!(total, events.len());
+    }
+}

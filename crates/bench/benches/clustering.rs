@@ -1,0 +1,51 @@
+//! Clustering benchmarks: subtractive clustering is O(n²) in the number of
+//! points (every point is a candidate center) — the practical cost of the
+//! paper's structure-identification choice, versus grid-bound mountain
+//! clustering and iterative FCM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cqm_cluster::fcm::fuzzy_c_means;
+use cqm_cluster::mountain::{MountainClustering, MountainParams};
+use cqm_cluster::subtractive::{SubtractiveClustering, SubtractiveParams};
+
+fn blob_data(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            let which = i % 3;
+            let t = i as f64 * 0.618;
+            vec![
+                which as f64 * 5.0 + t.sin() * 0.4,
+                which as f64 * 3.0 + (t * 1.3).cos() * 0.4,
+            ]
+        })
+        .collect()
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    for n in [100usize, 400, 1600] {
+        let data = blob_data(n);
+        group.bench_with_input(BenchmarkId::new("subtractive", n), &data, |b, data| {
+            b.iter(|| {
+                SubtractiveClustering::new(SubtractiveParams::default())
+                    .cluster(data)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mountain_g10", n), &data, |b, data| {
+            b.iter(|| {
+                MountainClustering::new(MountainParams::default())
+                    .cluster(data)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fcm_c3", n), &data, |b, data| {
+            b.iter(|| fuzzy_c_means(data, 3, 2.0, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

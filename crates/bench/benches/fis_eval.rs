@@ -1,0 +1,39 @@
+//! RT — micro-benchmarks backing the paper's real-time claim: evaluating
+//! the TSK classifier and the quality FIS (plus normalization) per window.
+//!
+//! The paper's platform is a 2000s Particle node; on modern hardware these
+//! evaluations run in well under a microsecond, i.e. orders of magnitude
+//! inside the 0.25–0.5 s window budget of the sensing pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cqm_bench::paper_testbed;
+use cqm_core::classifier::Classifier;
+
+fn bench_fis_eval(c: &mut Criterion) {
+    let testbed = paper_testbed(2007);
+    let classifier = &testbed.build.classifier;
+    let measure = &testbed.build.trained_cqm.measure;
+    // A representative writing-band cue vector.
+    let cues = vec![0.45, 0.3, 0.18];
+    let class = classifier.classify(&cues).expect("classification");
+
+    let mut group = c.benchmark_group("fis_eval");
+    group.bench_function("classifier_eval", |b| {
+        b.iter(|| classifier.classify(black_box(&cues)).unwrap())
+    });
+    group.bench_function("quality_raw_eval", |b| {
+        b.iter(|| measure.raw(black_box(&cues), black_box(class)).unwrap())
+    });
+    group.bench_function("quality_measure_normalized", |b| {
+        b.iter(|| measure.measure(black_box(&cues), black_box(class)).unwrap())
+    });
+    group.bench_function("normalize_l", |b| {
+        b.iter(|| cqm_core::normalize::normalize(black_box(1.07)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fis_eval);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! End-to-end pipeline latency: raw samples → window → cues → classify →
+//! quality → filter decision — the full per-window cost an appliance pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cqm_bench::paper_testbed;
+use cqm_core::pipeline::CqmSystem;
+use cqm_sensors::accel::AccelSample;
+use cqm_sensors::cues::CueSet;
+use cqm_sensors::window::Window;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let testbed = paper_testbed(2007);
+    let system = CqmSystem::from_trained(
+        testbed.build.classifier.clone(),
+        &testbed.build.trained_cqm,
+    )
+    .expect("composition");
+
+    // A synthetic 50-sample window resembling writing.
+    let window = Window {
+        samples: (0..50)
+            .map(|i| {
+                let t = i as f64 * 0.01;
+                AccelSample {
+                    t,
+                    axes: [
+                        1.2 + 0.5 * (22.0 * t).sin(),
+                        0.8 + 0.3 * (29.0 * t).sin(),
+                        9.7 + 0.2 * (15.0 * t).sin(),
+                    ],
+                }
+            })
+            .collect(),
+    };
+
+    let mut group = c.benchmark_group("pipeline");
+    group.bench_function("cue_extraction_stddev", |b| {
+        b.iter(|| CueSet::StdDev.extract(black_box(&window)))
+    });
+    group.bench_function("cue_extraction_extended", |b| {
+        b.iter(|| CueSet::Extended.extract(black_box(&window)))
+    });
+    group.bench_function("window_to_decision", |b| {
+        b.iter(|| {
+            let cues = CueSet::StdDev.extract(black_box(&window));
+            system.classify_with_quality(&cues).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

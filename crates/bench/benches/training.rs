@@ -1,0 +1,67 @@
+//! Training-cost benchmarks: the automated construction pipeline (§2.2) at
+//! its three stages — genfis, one LSE pass per backend, one hybrid epoch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cqm_anfis::dataset::Dataset;
+use cqm_anfis::genfis::{genfis, GenfisParams};
+use cqm_anfis::hybrid::{train_hybrid, HybridConfig};
+use cqm_anfis::lse::fit_consequents;
+use cqm_math::linsolve::LstsqMethod;
+
+fn sine_dataset(n: usize) -> Dataset {
+    let mut d = Dataset::new(2);
+    for i in 0..n {
+        let x = i as f64 / n as f64;
+        let y = (i as f64 * 0.37).sin().abs();
+        d.push(vec![x, y], (x * std::f64::consts::TAU).sin() * y)
+            .unwrap();
+    }
+    d
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training");
+    for n in [100usize, 400, 1600] {
+        let data = sine_dataset(n);
+        group.bench_with_input(BenchmarkId::new("genfis", n), &data, |b, data| {
+            b.iter(|| genfis(data, &GenfisParams::with_radius(0.3)).unwrap())
+        });
+    }
+
+    let data = sine_dataset(400);
+    let base = genfis(&data, &GenfisParams::with_radius(0.3)).unwrap();
+    for method in [
+        LstsqMethod::Svd,
+        LstsqMethod::Qr,
+        LstsqMethod::NormalEquations,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("lse_pass", method.to_string()),
+            &method,
+            |b, &method| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut fis| fit_consequents(&mut fis, &data, method).unwrap(),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+
+    group.bench_function("hybrid_epoch", |b| {
+        let config = HybridConfig {
+            epochs: 1,
+            ..HybridConfig::default()
+        };
+        b.iter_batched(
+            || base.clone(),
+            |mut fis| train_hybrid(&mut fis, &data, None, &config).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! ABL-CUES — the AwarePen uses three per-axis standard-deviation cues
+//! (§3.1). Does a richer cue vector (std-dev + range + zero-crossing rate,
+//! 9 cues) change the classifier's accuracy or the CQM's separation power?
+//!
+//! ```sh
+//! cargo run --release -p cqm-bench --bin ablation_cues
+//! ```
+
+use cqm_classify::dataset::ClassifiedDataset;
+use cqm_classify::tsk::{FisClassifier, FisClassifierConfig};
+use cqm_core::classifier::{ClassId, Classifier};
+use cqm_core::training::{train_cqm, CqmTrainingConfig};
+use cqm_sensors::cues::CueSet;
+use cqm_sensors::node::{NodeConfig, SensorNode};
+use cqm_sensors::synth::Scenario;
+use cqm_sensors::user::UserStyle;
+use cqm_stats::separation::auc;
+
+fn corpus(cue_set: CueSet, seed: u64) -> Vec<cqm_sensors::node::LabeledCues> {
+    let scenario = Scenario::balanced_session()
+        .expect("scenario")
+        .then(&Scenario::write_think_write().expect("scenario"));
+    let mut out = Vec::new();
+    for rep in 0..2 {
+        for (si, style) in UserStyle::population().into_iter().enumerate() {
+            let config = NodeConfig {
+                cue_set,
+                ..NodeConfig::default()
+            };
+            let node_seed = seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((rep * 31 + si) as u64);
+            let mut node = SensorNode::new(config, style, node_seed).expect("node");
+            out.extend(node.run_scenario(&scenario).expect("run"));
+        }
+    }
+    out
+}
+
+fn main() {
+    println!("== ABL-CUES: std-dev cues (paper) vs extended cue vector ==\n");
+    println!("cue set    dim   classifier acc   CQM threshold   selection   eval AUC");
+    println!("--------   ---   --------------   -------------   ---------   --------");
+    for (name, cue_set) in [("std-dev ", CueSet::StdDev), ("extended", CueSet::Extended)] {
+        let train = corpus(cue_set, 2007);
+        let data = ClassifiedDataset::from_labeled_cues(&train).expect("dataset");
+        let classifier =
+            FisClassifier::train(&data, &FisClassifierConfig::default()).expect("classifier");
+        let acc = classifier.accuracy(&data);
+        let truth: Vec<ClassId> = data.labels().to_vec();
+        let trained = train_cqm(
+            &classifier,
+            data.cues(),
+            &truth,
+            &CqmTrainingConfig::default(),
+        )
+        .expect("cqm");
+        // Fresh evaluation corpus with the same cue set.
+        let eval = corpus(cue_set, 7331);
+        let labeled: Vec<(f64, bool)> = eval
+            .iter()
+            .filter_map(|w| {
+                let class = classifier.classify(&w.cues).ok()?;
+                let right = class.0 == w.truth.index();
+                trained
+                    .measure
+                    .measure(&w.cues, class)
+                    .ok()?
+                    .value()
+                    .map(|q| (q, right))
+            })
+            .collect();
+        let a = auc(&labeled).unwrap_or(f64::NAN);
+        println!(
+            "{name}   {:3}   {:14.3}   {:13.3}   {:9.3}   {a:8.3}",
+            cue_set.dim(),
+            acc,
+            trained.threshold.value,
+            trained.probabilities.selection_right,
+        );
+    }
+    println!("\nexpected shape: extended cues may lift the classifier; the CQM add-on");
+    println!("works over either cue vector without modification (black-box property)");
+}

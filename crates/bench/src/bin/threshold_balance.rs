@@ -1,0 +1,79 @@
+//! THRBAL — §3.2 remark: "The threshold in the shown example is not
+//! in-between the highest (one) and the lowest (zero) measure but closer to
+//! the highest. This reflects the error of the context recognition … If the
+//! training set has equal amount of right and wrong samples the measure
+//! would lead to a threshold s ≈ 0.5."
+//!
+//! Sweep the right:wrong composition of the CQM training set and report the
+//! fitted optimal threshold for each mix.
+//!
+//! ```sh
+//! cargo run -p cqm-bench --bin threshold_balance
+//! ```
+
+use cqm_classify::dataset::ClassifiedDataset;
+use cqm_classify::tsk::{FisClassifier, FisClassifierConfig};
+use cqm_core::classifier::{ClassId, Classifier};
+use cqm_core::training::{train_cqm, CqmTrainingConfig};
+use cqm_sensors::node::training_corpus;
+
+fn main() {
+    println!("== THRBAL: training-set balance vs optimal threshold ==");
+    println!("(paper: unbalanced set -> s near 1; balanced -> s ≈ 0.5)\n");
+
+    let corpus = training_corpus(2007, 3).expect("corpus");
+    let data = ClassifiedDataset::from_labeled_cues(&corpus).expect("dataset");
+    let classifier =
+        FisClassifier::train(&data, &FisClassifierConfig::default()).expect("classifier");
+
+    // Split the corpus by classification outcome.
+    let mut rights = Vec::new();
+    let mut wrongs = Vec::new();
+    for (cues, label) in data.iter() {
+        let predicted = classifier.classify(cues).expect("classify");
+        if predicted == label {
+            rights.push((cues.to_vec(), label));
+        } else {
+            wrongs.push((cues.to_vec(), label));
+        }
+    }
+    println!(
+        "corpus: {} right / {} wrong classifications available\n",
+        rights.len(),
+        wrongs.len()
+    );
+    println!("right:wrong ratio   samples   threshold s   right mean   wrong mean");
+    println!("-----------------   -------   -----------   ----------   ----------");
+
+    // Mixes from heavily right-dominated (the natural situation) to
+    // balanced (the paper's hypothetical).
+    for (r_frac, w_frac) in [(8usize, 1usize), (4, 1), (2, 1), (1, 1)] {
+        // Build a subsampled training set with the requested ratio.
+        let per_unit = wrongs.len() / w_frac;
+        let n_wrong = per_unit * w_frac;
+        let n_right = (per_unit * r_frac).min(rights.len());
+        let mut cues: Vec<Vec<f64>> = Vec::new();
+        let mut truth: Vec<ClassId> = Vec::new();
+        let right_step = (rights.len() as f64 / n_right as f64).max(1.0);
+        for i in 0..n_right {
+            let (c, l) = &rights[(i as f64 * right_step) as usize % rights.len()];
+            cues.push(c.clone());
+            truth.push(*l);
+        }
+        for (c, l) in wrongs.iter().take(n_wrong) {
+            cues.push(c.clone());
+            truth.push(*l);
+        }
+        match train_cqm(&classifier, &cues, &truth, &CqmTrainingConfig::default()) {
+            Ok(trained) => println!(
+                "      {r_frac}:{w_frac}           {:6}       {:.4}       {:.4}       {:.4}",
+                cues.len(),
+                trained.threshold.value,
+                trained.groups.right.mu(),
+                trained.groups.wrong.mu()
+            ),
+            Err(e) => println!("      {r_frac}:{w_frac}           {:6}    failed: {e}", cues.len()),
+        }
+    }
+    println!("\nexpected shape: threshold decreases toward ~0.5 as the mix balances");
+}

@@ -1,0 +1,144 @@
+//! k-nearest-neighbours baseline classifier.
+
+use cqm_core::classifier::{ClassId, Classifier};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::ClassifiedDataset;
+use crate::{ClassifyError, Result};
+
+/// Plain k-NN with majority vote (ties broken by the nearest member).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnClassifier {
+    k: usize,
+    dim: usize,
+    num_classes: usize,
+    points: Vec<Vec<f64>>,
+    labels: Vec<ClassId>,
+}
+
+impl KnnClassifier {
+    /// Store the training set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassifyError::InvalidData`] if `k == 0`, the dataset is
+    /// empty, or `k` exceeds the dataset size.
+    pub fn train(data: &ClassifiedDataset, k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(ClassifyError::InvalidData("k must be >= 1".into()));
+        }
+        if data.is_empty() {
+            return Err(ClassifyError::InvalidData("empty dataset".into()));
+        }
+        if k > data.len() {
+            return Err(ClassifyError::InvalidData(format!(
+                "k = {k} exceeds dataset size {}",
+                data.len()
+            )));
+        }
+        Ok(KnnClassifier {
+            k,
+            dim: data.dim(),
+            num_classes: data.num_classes(),
+            points: data.cues().to_vec(),
+            labels: data.labels().to_vec(),
+        })
+    }
+
+    /// The `k` parameter.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn classify(&self, cues: &[f64]) -> cqm_core::Result<ClassId> {
+        self.check_cues(cues)?;
+        // Partial selection of the k nearest by distance.
+        let mut dist: Vec<(f64, ClassId)> = self
+            .points
+            .iter()
+            .zip(&self.labels)
+            .map(|(p, &l)| {
+                let d: f64 = p.iter().zip(cues).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d, l)
+            })
+            .collect();
+        dist.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let mut votes = vec![0usize; self.num_classes];
+        for (_, l) in dist.iter().take(self.k) {
+            votes[l.0] += 1;
+        }
+        let max_votes = *votes.iter().max().expect("non-empty votes");
+        // Tie break: nearest neighbour among the tied classes.
+        let winner = dist
+            .iter()
+            .take(self.k)
+            .find(|(_, l)| votes[l.0] == max_votes)
+            .map(|(_, l)| *l)
+            .expect("at least one neighbour");
+        Ok(winner)
+    }
+
+    fn cue_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data() -> ClassifiedDataset {
+        let mut d = ClassifiedDataset::new(1, 2);
+        for i in 0..20 {
+            let x = i as f64;
+            d.push(vec![x], ClassId(usize::from(x >= 10.0))).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn majority_vote() {
+        let clf = KnnClassifier::train(&line_data(), 3).unwrap();
+        assert_eq!(clf.classify(&[2.0]).unwrap(), ClassId(0));
+        assert_eq!(clf.classify(&[17.0]).unwrap(), ClassId(1));
+        assert_eq!(clf.k(), 3);
+    }
+
+    #[test]
+    fn k_one_is_nearest_neighbour() {
+        let clf = KnnClassifier::train(&line_data(), 1).unwrap();
+        assert_eq!(clf.classify(&[9.4]).unwrap(), ClassId(0));
+        assert_eq!(clf.classify(&[9.6]).unwrap(), ClassId(1));
+    }
+
+    #[test]
+    fn tie_breaks_to_nearest() {
+        // k = 2 across the boundary: one vote each, nearest wins.
+        let clf = KnnClassifier::train(&line_data(), 2).unwrap();
+        assert_eq!(clf.classify(&[9.4]).unwrap(), ClassId(0));
+        assert_eq!(clf.classify(&[9.6]).unwrap(), ClassId(1));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(KnnClassifier::train(&line_data(), 0).is_err());
+        assert!(KnnClassifier::train(&line_data(), 21).is_err());
+        assert!(KnnClassifier::train(&ClassifiedDataset::new(1, 2), 1).is_err());
+        let clf = KnnClassifier::train(&line_data(), 1).unwrap();
+        assert!(clf.classify(&[1.0, 2.0]).is_err());
+        assert!(clf.classify(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn contract_dimensions() {
+        let clf = KnnClassifier::train(&line_data(), 3).unwrap();
+        assert_eq!(clf.cue_dim(), 1);
+        assert_eq!(clf.num_classes(), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! # cqm-classify — context classifiers over sensor cues
+//!
+//! The paper's AwarePen uses a TSK-FIS for context classification: "a
+//! TSK-FIS is used that maps standard deviations from three acceleration
+//! sensor outputs onto context classes" (§3.1). [`tsk::FisClassifier`]
+//! reproduces that design, trained with the same genfis + ANFIS machinery
+//! as the quality system.
+//!
+//! Because the CQM treats the classifier as a black box, this crate also
+//! ships two deliberately different baselines —
+//! [`centroid::NearestCentroid`] and [`knn::KnnClassifier`] — used by the
+//! integration tests to demonstrate the add-on's classifier independence
+//! (§2: "applicable to all recognition algorithms").
+//!
+//! ```
+//! use cqm_classify::dataset::ClassifiedDataset;
+//! use cqm_classify::tsk::FisClassifier;
+//! use cqm_core::classifier::{ClassId, Classifier};
+//!
+//! // Tiny 1-D, 2-class problem.
+//! let mut data = ClassifiedDataset::new(1, 2);
+//! for i in 0..40 {
+//!     let x = i as f64 / 39.0;
+//!     data.push(vec![x], ClassId(usize::from(x > 0.5))).unwrap();
+//! }
+//! let clf = FisClassifier::train(&data, &Default::default()).unwrap();
+//! assert_eq!(clf.classify(&[0.1]).unwrap(), ClassId(0));
+//! assert_eq!(clf.classify(&[0.9]).unwrap(), ClassId(1));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod centroid;
+pub mod dataset;
+pub mod knn;
+pub mod tsk;
+
+pub use centroid::NearestCentroid;
+pub use dataset::ClassifiedDataset;
+pub use knn::KnnClassifier;
+pub use tsk::FisClassifier;
+
+/// Errors produced by classifier construction and training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClassifyError {
+    /// Propagated from ANFIS training.
+    Anfis(cqm_anfis::AnfisError),
+    /// Propagated from the CQM core (classifier contract violations).
+    Core(cqm_core::CqmError),
+    /// Training data was empty or inconsistent.
+    InvalidData(String),
+}
+
+impl std::fmt::Display for ClassifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClassifyError::Anfis(e) => write!(f, "anfis error: {e}"),
+            ClassifyError::Core(e) => write!(f, "core error: {e}"),
+            ClassifyError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClassifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClassifyError::Anfis(e) => Some(e),
+            ClassifyError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cqm_anfis::AnfisError> for ClassifyError {
+    fn from(e: cqm_anfis::AnfisError) -> Self {
+        ClassifyError::Anfis(e)
+    }
+}
+
+impl From<cqm_core::CqmError> for ClassifyError {
+    fn from(e: cqm_core::CqmError) -> Self {
+        ClassifyError::Core(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ClassifyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_conversions() {
+        let e: ClassifyError = cqm_anfis::AnfisError::InvalidData("x".into()).into();
+        assert!(e.to_string().contains("anfis"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ClassifyError = cqm_core::CqmError::InvalidInput("y".into()).into();
+        assert!(matches!(e, ClassifyError::Core(_)));
+    }
+}

@@ -1,0 +1,206 @@
+//! Crisp k-means (Lloyd's algorithm) with deterministic k-means++-style
+//! seeding driven by a caller-supplied seed.
+//!
+//! Not part of the paper's pipeline — it is the sanity baseline the
+//! clustering tests and the FCM initializer lean on.
+
+use crate::{check_data, ClusterError, Result};
+use cqm_math::vector::dist_sq;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Final cluster centers.
+    pub centers: Vec<Vec<f64>>,
+    /// Per-point cluster assignment.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Run k-means with `k` clusters.
+///
+/// Seeding is a deterministic k-means++ variant: the first center is the
+/// point nearest the data mean, each further center the point with the
+/// largest squared distance to its nearest chosen center, with `seed`
+/// rotating the starting point for reproducible variation.
+///
+/// # Errors
+///
+/// * [`ClusterError::InvalidData`] on bad data or `k > n`.
+/// * [`ClusterError::InvalidParameter`] if `k == 0`.
+/// * [`ClusterError::NoConvergence`] if assignments still change after the
+///   iteration budget (rare; budget is generous).
+pub fn kmeans(data: &[Vec<f64>], k: usize, seed: u64) -> Result<KMeansResult> {
+    let dim = check_data(data)?;
+    if k == 0 {
+        return Err(ClusterError::InvalidParameter {
+            name: "k",
+            value: 0.0,
+        });
+    }
+    let n = data.len();
+    if k > n {
+        return Err(ClusterError::InvalidData(format!(
+            "k = {k} exceeds number of points {n}"
+        )));
+    }
+
+    // Deterministic greedy seeding.
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let start = (seed as usize) % n;
+    centers.push(data[start].clone());
+    while centers.len() < k {
+        let far = (0..n)
+            .max_by(|&i, &j| {
+                let di = nearest_dist_sq(&data[i], &centers);
+                let dj = nearest_dist_sq(&data[j], &centers);
+                di.partial_cmp(&dj).expect("finite distances")
+            })
+            .expect("non-empty");
+        centers.push(data[far].clone());
+    }
+
+    let mut assignments = vec![0usize; n];
+    let max_iters = 300;
+    for iter in 0..max_iters {
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in data.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    let da = dist_sq(p, &centers[a]).expect("dims");
+                    let db = dist_sq(p, &centers[b]).expect("dims");
+                    da.partial_cmp(&db).expect("finite")
+                })
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in data.iter().zip(&assignments) {
+            counts[a] += 1;
+            for d in 0..dim {
+                sums[a][d] += p[d];
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the farthest point.
+                let far = (0..n)
+                    .max_by(|&i, &j| {
+                        let di = nearest_dist_sq(&data[i], &centers);
+                        let dj = nearest_dist_sq(&data[j], &centers);
+                        di.partial_cmp(&dj).expect("finite")
+                    })
+                    .expect("non-empty");
+                centers[c] = data[far].clone();
+                continue;
+            }
+            for d in 0..dim {
+                centers[c][d] = sums[c][d] / counts[c] as f64;
+            }
+        }
+        if !changed && iter > 0 {
+            let inertia = data
+                .iter()
+                .zip(&assignments)
+                .map(|(p, &a)| dist_sq(p, &centers[a]).expect("dims"))
+                .sum();
+            return Ok(KMeansResult {
+                centers,
+                assignments,
+                inertia,
+                iterations: iter + 1,
+            });
+        }
+    }
+    Err(ClusterError::NoConvergence {
+        method: "kmeans",
+        iterations: max_iters,
+    })
+}
+
+fn nearest_dist_sq(p: &[f64], centers: &[Vec<f64>]) -> f64 {
+    centers
+        .iter()
+        .map(|c| dist_sq(p, c).expect("dims"))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut data = Vec::new();
+        for i in 0..20 {
+            let t = i as f64 * 0.01;
+            data.push(vec![0.0 + t, 0.0 - t]);
+            data.push(vec![10.0 - t, 10.0 + t]);
+        }
+        data
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let r = kmeans(&blobs(), 2, 0).unwrap();
+        assert_eq!(r.centers.len(), 2);
+        // Centers near (0.1, -0.1) and (9.9, 10.1).
+        let mut cs = r.centers.clone();
+        cs.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
+        assert!(cs[0][0] < 1.0 && cs[1][0] > 9.0);
+        // All points in a blob share an assignment.
+        let first = r.assignments[0];
+        for i in (0..40).step_by(2) {
+            assert_eq!(r.assignments[i], first);
+        }
+        assert_ne!(r.assignments[1], first);
+    }
+
+    #[test]
+    fn k_equals_n_zero_inertia() {
+        let data = vec![vec![0.0], vec![5.0], vec![9.0]];
+        let r = kmeans(&data, 3, 0).unwrap();
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn k_one_center_is_mean() {
+        let data = vec![vec![0.0, 0.0], vec![2.0, 4.0], vec![4.0, 2.0]];
+        let r = kmeans(&data, 1, 7).unwrap();
+        assert!((r.centers[0][0] - 2.0).abs() < 1e-12);
+        assert!((r.centers[0][1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(kmeans(&[], 1, 0).is_err());
+        assert!(kmeans(&[vec![1.0]], 0, 0).is_err());
+        assert!(kmeans(&[vec![1.0]], 2, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = kmeans(&blobs(), 2, 3).unwrap();
+        let b = kmeans(&blobs(), 2, 3).unwrap();
+        assert_eq!(a.centers, b.centers);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let data = blobs();
+        let i1 = kmeans(&data, 1, 0).unwrap().inertia;
+        let i2 = kmeans(&data, 2, 0).unwrap().inertia;
+        let i4 = kmeans(&data, 4, 0).unwrap().inertia;
+        assert!(i2 < i1);
+        assert!(i4 <= i2 + 1e-9);
+    }
+}

@@ -1,0 +1,384 @@
+//! Subtractive clustering (Chiu 1994/1996).
+//!
+//! The paper's structure-identification step (§2.2.1): "This clustering
+//! estimates every data point as possible cluster center, so the prior
+//! specifications are none. A definition of parameters the subtractive
+//! clustering needs for good cluster determination are given by Chiu."
+//!
+//! The algorithm, on data normalized into the unit hypercube:
+//!
+//! 1. potential of each point: `P_i = Σ_j exp(−α ‖x_i − x_j‖²)`,
+//!    `α = 4 / r_a²`;
+//! 2. the point with the highest potential becomes a cluster center;
+//! 3. subtract its influence: `P_i ← P_i − P* exp(−β ‖x_i − x*‖²)`,
+//!    `β = 4 / r_b²`, `r_b = squash · r_a`;
+//! 4. accept further centers while the remaining peak potential is above
+//!    `accept_ratio · P₁*`; reject below `reject_ratio · P₁*`; in the gray
+//!    zone apply Chiu's distance criterion
+//!    `d_min/r_a + P*/P₁* ≥ 1`.
+
+use crate::normalize::UnitScaler;
+use crate::{check_data, ClusterError, Result};
+use cqm_math::vector::dist_sq;
+
+/// Parameters of subtractive clustering, defaults per Chiu (1997).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubtractiveParams {
+    /// Cluster radius `r_a` in normalized (unit-cube) coordinates.
+    pub radius: f64,
+    /// Squash factor: `r_b = squash · r_a` (default 1.25).
+    pub squash: f64,
+    /// Accept a center outright above this fraction of the first potential
+    /// (default 0.5).
+    pub accept_ratio: f64,
+    /// Reject a center outright below this fraction (default 0.15).
+    pub reject_ratio: f64,
+    /// Hard cap on the number of centers (defense against pathological
+    /// parameterizations; default 64).
+    pub max_centers: usize,
+}
+
+impl Default for SubtractiveParams {
+    fn default() -> Self {
+        SubtractiveParams {
+            radius: 0.5,
+            squash: 1.25,
+            accept_ratio: 0.5,
+            reject_ratio: 0.15,
+            max_centers: 64,
+        }
+    }
+}
+
+impl SubtractiveParams {
+    /// Validate parameter domains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidParameter`] for out-of-domain values.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.radius > 0.0 && self.radius.is_finite()) {
+            return Err(ClusterError::InvalidParameter {
+                name: "radius",
+                value: self.radius,
+            });
+        }
+        if !(self.squash > 0.0 && self.squash.is_finite()) {
+            return Err(ClusterError::InvalidParameter {
+                name: "squash",
+                value: self.squash,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.accept_ratio) {
+            return Err(ClusterError::InvalidParameter {
+                name: "accept_ratio",
+                value: self.accept_ratio,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.reject_ratio) || self.reject_ratio > self.accept_ratio {
+            return Err(ClusterError::InvalidParameter {
+                name: "reject_ratio",
+                value: self.reject_ratio,
+            });
+        }
+        if self.max_centers == 0 {
+            return Err(ClusterError::InvalidParameter {
+                name: "max_centers",
+                value: 0.0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of a subtractive clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubtractiveResult {
+    /// Cluster centers in the **original** coordinate system.
+    pub centers: Vec<Vec<f64>>,
+    /// Potential of each accepted center relative to the first (`P*/P₁*`).
+    pub relative_potentials: Vec<f64>,
+    /// The scaler fitted on the data (maps original ↔ unit cube); exposes
+    /// the per-dimension ranges the genfis step needs for its sigmas.
+    pub scaler: UnitScaler,
+}
+
+/// Subtractive clustering runner.
+#[derive(Debug, Clone)]
+pub struct SubtractiveClustering {
+    params: SubtractiveParams,
+}
+
+impl SubtractiveClustering {
+    /// Create a runner with the given parameters.
+    pub fn new(params: SubtractiveParams) -> Self {
+        SubtractiveClustering { params }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &SubtractiveParams {
+        &self.params
+    }
+
+    /// Run the algorithm on `data` (original coordinates; normalization is
+    /// internal).
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::InvalidData`] on empty/ragged/non-finite data.
+    /// * [`ClusterError::InvalidParameter`] from parameter validation.
+    pub fn cluster(&self, data: &[Vec<f64>]) -> Result<SubtractiveResult> {
+        check_data(data)?;
+        self.params.validate()?;
+        let scaler = UnitScaler::fit(data)?;
+        let x = scaler.transform_all(data)?;
+        let n = x.len();
+
+        let alpha = 4.0 / (self.params.radius * self.params.radius);
+        let rb = self.params.squash * self.params.radius;
+        let beta = 4.0 / (rb * rb);
+
+        // Initial potentials.
+        let mut potential = vec![0.0f64; n];
+        for i in 0..n {
+            // Symmetric: accumulate both halves in one pass.
+            potential[i] += 1.0; // j == i term
+            for j in (i + 1)..n {
+                let d2 = dist_sq(&x[i], &x[j]).expect("equal dims");
+                let p = (-alpha * d2).exp();
+                potential[i] += p;
+                potential[j] += p;
+            }
+        }
+
+        let mut centers_unit: Vec<Vec<f64>> = Vec::new();
+        let mut relative_potentials = Vec::new();
+        let mut first_potential = 0.0;
+
+        for _ in 0..self.params.max_centers {
+            let (best, p_star) = match cqm_math::vector::argmax(&potential) {
+                Some(bp) => bp,
+                None => break,
+            };
+            if centers_unit.is_empty() {
+                first_potential = p_star;
+                if first_potential <= 0.0 {
+                    break;
+                }
+            }
+            let rel = p_star / first_potential;
+            let accepted = if rel > self.params.accept_ratio {
+                true
+            } else if rel < self.params.reject_ratio {
+                false
+            } else {
+                // Gray zone: Chiu's distance criterion.
+                let d_min = centers_unit
+                    .iter()
+                    .map(|c| dist_sq(c, &x[best]).expect("equal dims").sqrt())
+                    .fold(f64::INFINITY, f64::min);
+                d_min / self.params.radius + rel >= 1.0
+            };
+            if !accepted {
+                break;
+            }
+            centers_unit.push(x[best].clone());
+            relative_potentials.push(rel);
+            // Subtract the accepted center's influence.
+            for i in 0..n {
+                let d2 = dist_sq(&x[i], &x[best]).expect("equal dims");
+                potential[i] -= p_star * (-beta * d2).exp();
+            }
+            // Revisiting the same peak forever is impossible because its own
+            // potential drops to ~0, but keep potentials non-negative for the
+            // ratio tests.
+            for p in potential.iter_mut() {
+                if *p < 0.0 {
+                    *p = 0.0;
+                }
+            }
+        }
+
+        if centers_unit.is_empty() {
+            return Err(ClusterError::InvalidData(
+                "no cluster center could be established".into(),
+            ));
+        }
+
+        let centers = centers_unit
+            .iter()
+            .map(|c| scaler.inverse(c))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(SubtractiveResult {
+            centers,
+            relative_potentials,
+            scaler,
+        })
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // one-bad-field fixtures
+mod tests {
+    use super::*;
+
+    fn blob(cx: f64, cy: f64, n: usize, spread: f64) -> Vec<Vec<f64>> {
+        // Deterministic ring of points around (cx, cy).
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64 * std::f64::consts::TAU;
+                vec![cx + spread * t.cos(), cy + spread * t.sin()]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn defaults_are_chius() {
+        let p = SubtractiveParams::default();
+        assert_eq!(p.radius, 0.5);
+        assert_eq!(p.squash, 1.25);
+        assert_eq!(p.accept_ratio, 0.5);
+        assert_eq!(p.reject_ratio, 0.15);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let mut p = SubtractiveParams::default();
+        p.radius = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = SubtractiveParams::default();
+        p.reject_ratio = 0.9; // above accept
+        assert!(p.validate().is_err());
+        let mut p = SubtractiveParams::default();
+        p.accept_ratio = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = SubtractiveParams::default();
+        p.max_centers = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn two_planted_blobs_found() {
+        let mut data = blob(0.0, 0.0, 30, 0.05);
+        data.extend(blob(10.0, 10.0, 30, 0.05));
+        let r = SubtractiveClustering::new(SubtractiveParams::default())
+            .cluster(&data)
+            .unwrap();
+        assert_eq!(r.centers.len(), 2, "centers: {:?}", r.centers);
+        // One center near each blob (original coordinates).
+        let near = |cx: f64, cy: f64| {
+            r.centers
+                .iter()
+                .any(|c| (c[0] - cx).abs() < 1.0 && (c[1] - cy).abs() < 1.0)
+        };
+        assert!(near(0.0, 0.0));
+        assert!(near(10.0, 10.0));
+        // First potential is the reference.
+        assert_eq!(r.relative_potentials[0], 1.0);
+        assert!(r.relative_potentials[1] <= 1.0);
+    }
+
+    #[test]
+    fn three_blobs_with_smaller_radius() {
+        let mut data = blob(0.0, 0.0, 25, 0.1);
+        data.extend(blob(5.0, 0.0, 25, 0.1));
+        data.extend(blob(0.0, 5.0, 25, 0.1));
+        let params = SubtractiveParams {
+            radius: 0.3,
+            ..SubtractiveParams::default()
+        };
+        let r = SubtractiveClustering::new(params).cluster(&data).unwrap();
+        assert_eq!(r.centers.len(), 3, "centers: {:?}", r.centers);
+    }
+
+    #[test]
+    fn single_dense_blob_first_center_at_density_peak() {
+        // Filled spiral: density concentrates at the middle. Normalization
+        // stretches any lone cluster across the whole unit cube, so the
+        // meaningful invariants are (a) the first center sits at the density
+        // peak and (b) a large radius keeps the center count minimal.
+        let data: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                let t = i as f64 / 60.0;
+                let ang = t * 6.0 * std::f64::consts::TAU;
+                vec![3.0 + 0.2 * t * ang.cos(), -2.0 + 0.2 * t * ang.sin()]
+            })
+            .collect();
+        let params = SubtractiveParams {
+            radius: 1.0,
+            ..SubtractiveParams::default()
+        };
+        let r = SubtractiveClustering::new(params).cluster(&data).unwrap();
+        assert!((r.centers[0][0] - 3.0).abs() < 0.15, "{:?}", r.centers[0]);
+        assert!((r.centers[0][1] + 2.0).abs() < 0.15, "{:?}", r.centers[0]);
+        assert!(r.centers.len() <= 2, "got {} centers", r.centers.len());
+    }
+
+    #[test]
+    fn centers_are_data_points() {
+        // Subtractive centers are always actual data points.
+        let mut data = blob(0.0, 0.0, 10, 0.3);
+        data.extend(blob(8.0, 1.0, 10, 0.3));
+        let r = SubtractiveClustering::new(SubtractiveParams::default())
+            .cluster(&data)
+            .unwrap();
+        for c in &r.centers {
+            assert!(
+                data.iter()
+                    .any(|p| p.iter().zip(c).all(|(a, b)| (a - b).abs() < 1e-9)),
+                "center {c:?} is not a data point"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_radius_fewer_clusters() {
+        let mut data = blob(0.0, 0.0, 20, 0.2);
+        data.extend(blob(3.0, 0.0, 20, 0.2));
+        data.extend(blob(6.0, 0.0, 20, 0.2));
+        data.extend(blob(9.0, 0.0, 20, 0.2));
+        let count = |radius: f64| {
+            let params = SubtractiveParams {
+                radius,
+                ..SubtractiveParams::default()
+            };
+            SubtractiveClustering::new(params)
+                .cluster(&data)
+                .unwrap()
+                .centers
+                .len()
+        };
+        assert!(count(0.2) >= count(0.9), "small radius should find >= clusters");
+        assert!(count(0.2) >= 3);
+    }
+
+    #[test]
+    fn max_centers_caps_output() {
+        let data: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let params = SubtractiveParams {
+            radius: 0.05,
+            max_centers: 4,
+            ..SubtractiveParams::default()
+        };
+        let r = SubtractiveClustering::new(params).cluster(&data).unwrap();
+        assert!(r.centers.len() <= 4);
+    }
+
+    #[test]
+    fn identical_points_give_one_center() {
+        let data = vec![vec![1.0, 1.0]; 12];
+        let r = SubtractiveClustering::new(SubtractiveParams::default())
+            .cluster(&data)
+            .unwrap();
+        assert_eq!(r.centers.len(), 1);
+        assert_eq!(r.centers[0], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_data_rejected() {
+        assert!(SubtractiveClustering::new(SubtractiveParams::default())
+            .cluster(&[])
+            .is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Cluster-validity indices.
+//!
+//! Used by the ablation experiments to judge cluster counts produced by the
+//! different structure-identification methods.
+
+use crate::{check_data, ClusterError, Result};
+use cqm_math::vector::dist_sq;
+
+/// Bezdek's partition coefficient `PC = (1/n) Σ_i Σ_c u_ic²`.
+///
+/// 1 for a crisp partition, `1/c` for a maximally fuzzy one; larger is
+/// better.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidData`] for an empty or ragged membership
+/// matrix.
+pub fn partition_coefficient(memberships: &[Vec<f64>]) -> Result<f64> {
+    if memberships.is_empty() || memberships[0].is_empty() {
+        return Err(ClusterError::InvalidData("empty membership matrix".into()));
+    }
+    let c = memberships[0].len();
+    if memberships.iter().any(|u| u.len() != c) {
+        return Err(ClusterError::InvalidData("ragged membership matrix".into()));
+    }
+    let n = memberships.len() as f64;
+    Ok(memberships
+        .iter()
+        .map(|u| u.iter().map(|x| x * x).sum::<f64>())
+        .sum::<f64>()
+        / n)
+}
+
+/// Partition entropy `PE = −(1/n) Σ_i Σ_c u_ic ln u_ic`; smaller is better.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidData`] for an empty or ragged membership
+/// matrix.
+pub fn partition_entropy(memberships: &[Vec<f64>]) -> Result<f64> {
+    if memberships.is_empty() || memberships[0].is_empty() {
+        return Err(ClusterError::InvalidData("empty membership matrix".into()));
+    }
+    let c = memberships[0].len();
+    if memberships.iter().any(|u| u.len() != c) {
+        return Err(ClusterError::InvalidData("ragged membership matrix".into()));
+    }
+    let n = memberships.len() as f64;
+    Ok(-memberships
+        .iter()
+        .map(|u| {
+            u.iter()
+                .map(|&x| if x > 0.0 { x * x.ln() } else { 0.0 })
+                .sum::<f64>()
+        })
+        .sum::<f64>()
+        / n)
+}
+
+/// Xie–Beni index: compactness / separation; smaller is better.
+///
+/// `XB = Σ_i Σ_c u_ic² d_ic² / (n · min_{j≠k} ‖v_j − v_k‖²)`
+///
+/// # Errors
+///
+/// * [`ClusterError::InvalidData`] on inconsistent shapes or fewer than two
+///   centers.
+pub fn xie_beni(
+    data: &[Vec<f64>],
+    centers: &[Vec<f64>],
+    memberships: &[Vec<f64>],
+) -> Result<f64> {
+    check_data(data)?;
+    if centers.len() < 2 {
+        return Err(ClusterError::InvalidData(
+            "xie-beni needs at least 2 centers".into(),
+        ));
+    }
+    if memberships.len() != data.len() {
+        return Err(ClusterError::InvalidData(
+            "membership rows must match data".into(),
+        ));
+    }
+    let mut compactness = 0.0;
+    for (p, u) in data.iter().zip(memberships) {
+        if u.len() != centers.len() {
+            return Err(ClusterError::InvalidData(
+                "membership columns must match centers".into(),
+            ));
+        }
+        for (uk, c) in u.iter().zip(centers) {
+            compactness += uk * uk * dist_sq(p, c).expect("dims");
+        }
+    }
+    let mut min_sep = f64::INFINITY;
+    for j in 0..centers.len() {
+        for k in (j + 1)..centers.len() {
+            min_sep = min_sep.min(dist_sq(&centers[j], &centers[k]).expect("dims"));
+        }
+    }
+    if min_sep <= 0.0 {
+        return Err(ClusterError::InvalidData(
+            "duplicate cluster centers".into(),
+        ));
+    }
+    Ok(compactness / (data.len() as f64 * min_sep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crisp_partition_pc_is_one() {
+        let u = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0]];
+        assert!((partition_coefficient(&u).unwrap() - 1.0).abs() < 1e-15);
+        assert!(partition_entropy(&u).unwrap().abs() < 1e-15);
+    }
+
+    #[test]
+    fn uniform_partition_pc_is_inverse_c() {
+        let u = vec![vec![0.5, 0.5]; 4];
+        assert!((partition_coefficient(&u).unwrap() - 0.5).abs() < 1e-15);
+        assert!((partition_entropy(&u).unwrap() - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pc_orders_sharp_vs_fuzzy() {
+        let sharp = vec![vec![0.9, 0.1], vec![0.1, 0.9]];
+        let fuzzy = vec![vec![0.6, 0.4], vec![0.4, 0.6]];
+        assert!(
+            partition_coefficient(&sharp).unwrap() > partition_coefficient(&fuzzy).unwrap()
+        );
+        assert!(partition_entropy(&sharp).unwrap() < partition_entropy(&fuzzy).unwrap());
+    }
+
+    #[test]
+    fn empty_or_ragged_rejected() {
+        assert!(partition_coefficient(&[]).is_err());
+        assert!(partition_coefficient(&[vec![]]).is_err());
+        assert!(partition_coefficient(&[vec![1.0], vec![0.5, 0.5]]).is_err());
+        assert!(partition_entropy(&[]).is_err());
+    }
+
+    #[test]
+    fn xie_beni_prefers_separated_tight_clusters() {
+        let data = vec![vec![0.0], vec![0.1], vec![9.9], vec![10.0]];
+        let good_centers = vec![vec![0.05], vec![9.95]];
+        let bad_centers = vec![vec![3.0], vec![7.0]];
+        let u = vec![
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+        ];
+        let good = xie_beni(&data, &good_centers, &u).unwrap();
+        let bad = xie_beni(&data, &bad_centers, &u).unwrap();
+        assert!(good < bad);
+    }
+
+    #[test]
+    fn xie_beni_validation() {
+        let data = vec![vec![0.0], vec![1.0]];
+        let u = vec![vec![1.0], vec![1.0]];
+        assert!(xie_beni(&data, &[vec![0.5]], &u).is_err());
+        let dup = vec![vec![0.5], vec![0.5]];
+        let u2 = vec![vec![0.5, 0.5], vec![0.5, 0.5]];
+        assert!(xie_beni(&data, &dup, &u2).is_err());
+        assert!(xie_beni(&data, &[vec![0.0], vec![1.0]], &[vec![1.0, 0.0]]).is_err());
+    }
+}

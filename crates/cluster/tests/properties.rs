@@ -1,0 +1,101 @@
+//! Property-based tests for the clustering crate.
+
+use cqm_cluster::fcm::fuzzy_c_means;
+use cqm_cluster::kmeans::kmeans;
+use cqm_cluster::normalize::UnitScaler;
+use cqm_cluster::subtractive::{SubtractiveClustering, SubtractiveParams};
+use proptest::prelude::*;
+
+fn dataset() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    // 2-D points, 4..40 of them, coordinates in a modest range.
+    prop::collection::vec(
+        ((-50.0f64..50.0), (-50.0f64..50.0)).prop_map(|(a, b)| vec![a, b]),
+        4..40,
+    )
+}
+
+proptest! {
+    #[test]
+    fn scaler_round_trip(data in dataset()) {
+        let s = UnitScaler::fit(&data).unwrap();
+        for p in &data {
+            let t = s.transform(p).unwrap();
+            for &x in &t {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&x));
+            }
+            let back = s.inverse(&t).unwrap();
+            for (a, b) in p.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-9 * a.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn subtractive_centers_are_data_points(data in dataset()) {
+        let r = SubtractiveClustering::new(SubtractiveParams::default())
+            .cluster(&data)
+            .unwrap();
+        prop_assert!(!r.centers.is_empty());
+        for c in &r.centers {
+            prop_assert!(
+                data.iter()
+                    .any(|p| p.iter().zip(c).all(|(a, b)| (a - b).abs() < 1e-6)),
+                "center {c:?} is not a data point"
+            );
+        }
+        // Relative potentials decrease-ish and start at 1.
+        prop_assert!((r.relative_potentials[0] - 1.0).abs() < 1e-12);
+        for w in &r.relative_potentials {
+            prop_assert!(*w > 0.0 && *w <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn subtractive_respects_max_centers(data in dataset(), cap in 1usize..5) {
+        let params = SubtractiveParams { max_centers: cap, radius: 0.15, ..Default::default() };
+        let r = SubtractiveClustering::new(params).cluster(&data).unwrap();
+        prop_assert!(r.centers.len() <= cap);
+    }
+
+    #[test]
+    fn kmeans_assignments_match_nearest_center(data in dataset(), k in 1usize..4) {
+        prop_assume!(k <= data.len());
+        let r = kmeans(&data, k, 1).unwrap();
+        for (p, &a) in data.iter().zip(&r.assignments) {
+            let da = cqm_math::vector::dist_sq(p, &r.centers[a]).unwrap();
+            for c in &r.centers {
+                let dc = cqm_math::vector::dist_sq(p, c).unwrap();
+                prop_assert!(da <= dc + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fcm_membership_rows_are_distributions(data in dataset(), c in 2usize..4) {
+        prop_assume!(c <= data.len());
+        if let Ok(r) = fuzzy_c_means(&data, c, 2.0, 0) {
+            for u in &r.memberships {
+                let s: f64 = u.iter().sum();
+                prop_assert!((s - 1.0).abs() < 1e-6);
+                for &x in u {
+                    prop_assert!((-1e-12..=1.0 + 1e-12).contains(&x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_centers_inside_data_hull(data in dataset()) {
+        // Bounding-box version of the hull property.
+        let r = SubtractiveClustering::new(SubtractiveParams::default())
+            .cluster(&data)
+            .unwrap();
+        for d in 0..2 {
+            let lo = data.iter().map(|p| p[d]).fold(f64::INFINITY, f64::min);
+            let hi = data.iter().map(|p| p[d]).fold(f64::NEG_INFINITY, f64::max);
+            for c in &r.centers {
+                prop_assert!(c[d] >= lo - 1e-9 && c[d] <= hi + 1e-9);
+            }
+        }
+    }
+}

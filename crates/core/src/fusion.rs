@@ -1,0 +1,178 @@
+//! Quality-weighted fusion of context reports (§5 outlook).
+//!
+//! "Higher level context processors require a measure to decide which of the
+//! simpler context information to believe." Given several appliances'
+//! `(class, quality)` reports about the same situation, the fuser
+//! accumulates quality mass per class and emits the winner together with a
+//! fused confidence.
+
+use std::collections::BTreeMap;
+
+use crate::classifier::ClassId;
+use crate::normalize::Quality;
+use crate::{CqmError, Result};
+
+/// One context report from a source appliance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextReport {
+    /// Name of the reporting appliance (for diagnostics).
+    pub source: String,
+    /// Reported context class.
+    pub class: ClassId,
+    /// Quality attached by the source's CQM.
+    pub quality: Quality,
+}
+
+/// Result of fusing several reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedContext {
+    /// Winning class.
+    pub class: ClassId,
+    /// Fused confidence: winner's quality mass over total mass, in `[0,1]`.
+    pub confidence: f64,
+    /// Quality mass accumulated per class.
+    pub mass: BTreeMap<ClassId, f64>,
+    /// Number of reports that carried ε and were excluded.
+    pub epsilon_reports: usize,
+}
+
+/// Strategy for combining per-class quality masses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FusionRule {
+    /// Sum of quality values per class (default).
+    #[default]
+    WeightedSum,
+    /// Maximum quality per class (a single confident source can win).
+    MaxQuality,
+}
+
+/// Fuse reports into a single context decision.
+///
+/// Reports with ε quality are excluded from the vote (they carry no
+/// semantically valid measure) but counted in the result.
+///
+/// # Errors
+///
+/// Returns [`CqmError::InvalidInput`] if no report carries a usable quality
+/// value — the fuser cannot decide on ε-only input.
+pub fn fuse(reports: &[ContextReport], rule: FusionRule) -> Result<FusedContext> {
+    let mut mass: BTreeMap<ClassId, f64> = BTreeMap::new();
+    let mut epsilon_reports = 0usize;
+    for r in reports {
+        match r.quality {
+            Quality::Value(q) => {
+                let entry = mass.entry(r.class).or_insert(0.0);
+                match rule {
+                    FusionRule::WeightedSum => *entry += q,
+                    FusionRule::MaxQuality => *entry = entry.max(q),
+                }
+            }
+            Quality::Epsilon => epsilon_reports += 1,
+        }
+    }
+    let total: f64 = mass.values().sum();
+    let winner = mass
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite mass"))
+        .map(|(c, m)| (*c, *m));
+    match winner {
+        Some((class, m)) if total > 0.0 => Ok(FusedContext {
+            class,
+            confidence: m / total,
+            mass,
+            epsilon_reports,
+        }),
+        _ => Err(CqmError::InvalidInput(
+            "no report carries a usable quality value".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(source: &str, class: usize, quality: Quality) -> ContextReport {
+        ContextReport {
+            source: source.into(),
+            class: ClassId(class),
+            quality,
+        }
+    }
+
+    #[test]
+    fn unanimous_reports_full_confidence() {
+        let reports = vec![
+            report("pen", 1, Quality::Value(0.9)),
+            report("cup", 1, Quality::Value(0.8)),
+        ];
+        let fused = fuse(&reports, FusionRule::WeightedSum).unwrap();
+        assert_eq!(fused.class, ClassId(1));
+        assert!((fused.confidence - 1.0).abs() < 1e-12);
+        assert_eq!(fused.epsilon_reports, 0);
+    }
+
+    #[test]
+    fn quality_outvotes_count() {
+        // Two low-quality votes for class 0 vs one high-quality for class 1.
+        let reports = vec![
+            report("a", 0, Quality::Value(0.2)),
+            report("b", 0, Quality::Value(0.25)),
+            report("c", 1, Quality::Value(0.95)),
+        ];
+        let fused = fuse(&reports, FusionRule::WeightedSum).unwrap();
+        assert_eq!(fused.class, ClassId(1));
+        assert!(fused.confidence > 0.6);
+    }
+
+    #[test]
+    fn max_rule_lets_single_confident_source_win() {
+        let reports = vec![
+            report("a", 0, Quality::Value(0.5)),
+            report("b", 0, Quality::Value(0.5)),
+            report("c", 1, Quality::Value(0.9)),
+        ];
+        // Weighted sum: class 0 wins (1.0 vs 0.9).
+        assert_eq!(
+            fuse(&reports, FusionRule::WeightedSum).unwrap().class,
+            ClassId(0)
+        );
+        // Max: class 1 wins (0.9 vs 0.5).
+        assert_eq!(
+            fuse(&reports, FusionRule::MaxQuality).unwrap().class,
+            ClassId(1)
+        );
+    }
+
+    #[test]
+    fn epsilon_reports_excluded_but_counted() {
+        let reports = vec![
+            report("a", 0, Quality::Epsilon),
+            report("b", 1, Quality::Value(0.6)),
+        ];
+        let fused = fuse(&reports, FusionRule::WeightedSum).unwrap();
+        assert_eq!(fused.class, ClassId(1));
+        assert_eq!(fused.epsilon_reports, 1);
+    }
+
+    #[test]
+    fn epsilon_only_input_rejected() {
+        let reports = vec![report("a", 0, Quality::Epsilon)];
+        assert!(fuse(&reports, FusionRule::WeightedSum).is_err());
+        assert!(fuse(&[], FusionRule::WeightedSum).is_err());
+    }
+
+    #[test]
+    fn mass_bookkeeping() {
+        let reports = vec![
+            report("a", 0, Quality::Value(0.3)),
+            report("b", 1, Quality::Value(0.4)),
+            report("c", 0, Quality::Value(0.2)),
+        ];
+        let fused = fuse(&reports, FusionRule::WeightedSum).unwrap();
+        assert!((fused.mass[&ClassId(0)] - 0.5).abs() < 1e-12);
+        assert!((fused.mass[&ClassId(1)] - 0.4).abs() < 1e-12);
+        assert_eq!(fused.class, ClassId(0));
+        assert!((fused.confidence - 0.5 / 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! # cqm-core — the Context Quality Measure (CQM)
+//!
+//! This crate is the paper's primary contribution: a **generic, real-time
+//! quality measure for context classifications** that treats the context
+//! recognition algorithm as a black box (§2). Every classification
+//! `c = classify(v_C)` is accompanied by a quality value `q ∈ [0, 1]`
+//! (or the error state ε) computed by a TSK fuzzy inference system over the
+//! joint vector `v_Q = (v_C, c)`.
+//!
+//! The building blocks:
+//!
+//! * [`classifier`] — the black-box [`classifier::Classifier`] trait and the
+//!   [`classifier::ClassId`] newtype. Any recognizer that maps a cue vector
+//!   to a class can be wrapped; the CQM never looks inside.
+//! * [`normalize`] — the normalization function `L` mapping the unbounded
+//!   FIS output onto `[0, 1] ∪ {ε}` (§2.1.3), yielding [`normalize::Quality`].
+//! * [`quality`] — [`quality::QualityMeasure`], the trained quality FIS
+//!   `S_Q = L ∘ S~_Q`.
+//! * [`training`] — the automated construction pipeline (§2.2): run the
+//!   black box over labeled data, build targets (1 = right, 0 = wrong),
+//!   genfis + ANFIS hybrid learning, then the statistical analysis (§2.3)
+//!   on a held-out analysis set to obtain the optimal threshold.
+//! * [`filter`] — threshold-based accept/discard decisions and their
+//!   bookkeeping (the paper's application improvement mechanism).
+//! * [`pipeline`] — [`pipeline::CqmSystem`], the runtime composition of
+//!   classifier ⊕ quality measure ⊕ filter shown in the paper's Fig. 2/4.
+//! * [`model`] — serde persistence of trained systems.
+//! * [`fusion`] — quality-weighted fusion of context reports from multiple
+//!   appliances (§5 outlook: "support fusion and aggregation for higher
+//!   level contexts").
+//! * [`prediction`] — quality-trend context prediction (§5 outlook: "the
+//!   measure can i.e. indicate that a context classification changes in
+//!   direction to another context").
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cqm_core::classifier::{ClassId, Classifier};
+//! use cqm_core::training::{train_cqm, CqmTrainingConfig};
+//!
+//! // A trivial black-box classifier: class 1 iff the cue exceeds 0.5 —
+//! // deliberately wrong in the band 0.45..0.55 where the cue is ambiguous.
+//! struct Thresholder;
+//! impl Classifier for Thresholder {
+//!     fn classify(&self, cues: &[f64]) -> cqm_core::Result<ClassId> {
+//!         Ok(ClassId(usize::from(cues[0] > 0.5)))
+//!     }
+//!     fn cue_dim(&self) -> usize { 1 }
+//!     fn num_classes(&self) -> usize { 2 }
+//! }
+//!
+//! // Labeled data whose true boundary is 0.45: samples in 0.45..0.55 get
+//! // misclassified by the black box, and the CQM learns to flag them.
+//! let cues: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 199.0]).collect();
+//! let truth: Vec<ClassId> = cues.iter().map(|c| ClassId(usize::from(c[0] > 0.45))).collect();
+//! let trained = train_cqm(&Thresholder, &cues, &truth, &CqmTrainingConfig::fast()).unwrap();
+//! assert!(trained.threshold.value > 0.0 && trained.threshold.value < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod classifier;
+pub mod filter;
+pub mod fusion;
+pub mod model;
+pub mod monitor;
+pub mod normalize;
+pub mod pipeline;
+pub mod prediction;
+pub mod quality;
+pub mod training;
+
+pub use classifier::{ClassId, Classifier};
+pub use filter::{Decision, QualityFilter};
+pub use normalize::Quality;
+pub use pipeline::CqmSystem;
+pub use quality::QualityMeasure;
+pub use training::{train_cqm, CqmTrainingConfig, TrainedCqm};
+
+/// Errors produced by the CQM layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CqmError {
+    /// Propagated from the fuzzy substrate.
+    Fuzzy(cqm_fuzzy::FuzzyError),
+    /// Propagated from ANFIS construction/training.
+    Anfis(cqm_anfis::AnfisError),
+    /// Propagated from the statistical analysis.
+    Stats(cqm_stats::StatsError),
+    /// Input data inconsistent with the system's dimensions.
+    InvalidInput(String),
+    /// Training data insufficient (e.g. only one outcome present).
+    InvalidTrainingData(String),
+    /// Persistence (serde) failure.
+    Persistence(String),
+}
+
+impl std::fmt::Display for CqmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CqmError::Fuzzy(e) => write!(f, "fuzzy error: {e}"),
+            CqmError::Anfis(e) => write!(f, "anfis error: {e}"),
+            CqmError::Stats(e) => write!(f, "stats error: {e}"),
+            CqmError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            CqmError::InvalidTrainingData(msg) => write!(f, "invalid training data: {msg}"),
+            CqmError::Persistence(msg) => write!(f, "persistence error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CqmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CqmError::Fuzzy(e) => Some(e),
+            CqmError::Anfis(e) => Some(e),
+            CqmError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cqm_fuzzy::FuzzyError> for CqmError {
+    fn from(e: cqm_fuzzy::FuzzyError) -> Self {
+        CqmError::Fuzzy(e)
+    }
+}
+
+impl From<cqm_anfis::AnfisError> for CqmError {
+    fn from(e: cqm_anfis::AnfisError) -> Self {
+        CqmError::Anfis(e)
+    }
+}
+
+impl From<cqm_stats::StatsError> for CqmError {
+    fn from(e: cqm_stats::StatsError) -> Self {
+        CqmError::Stats(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CqmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_conversions() {
+        let e: CqmError = cqm_fuzzy::FuzzyError::NoRuleFired.into();
+        assert!(matches!(e, CqmError::Fuzzy(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CqmError = cqm_stats::StatsError::InvalidData("x".into()).into();
+        assert!(e.to_string().contains("stats"));
+        let e = CqmError::Persistence("disk".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CqmError>();
+    }
+}

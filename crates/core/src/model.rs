@@ -1,0 +1,188 @@
+//! Persistence of trained CQM artifacts.
+//!
+//! A deployed appliance (the AwarePen's Particle node in the paper) receives
+//! a pre-trained model — training happens offline. The model bundles the
+//! quality FIS and the operating threshold, versioned for forward
+//! compatibility.
+
+use serde::{Deserialize, Serialize};
+
+use crate::filter::QualityFilter;
+use crate::quality::QualityMeasure;
+use crate::training::TrainedCqm;
+use crate::{CqmError, Result};
+
+/// Current model format version.
+pub const MODEL_VERSION: u32 = 1;
+
+/// Serializable bundle of everything an appliance needs at runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CqmModel {
+    /// Format version (for forward compatibility checks on load).
+    pub version: u32,
+    /// The trained quality measure.
+    pub measure: QualityMeasure,
+    /// The operating threshold.
+    pub threshold: f64,
+    /// Free-form provenance note (training set, date, appliance).
+    pub note: String,
+}
+
+impl CqmModel {
+    /// Bundle a training result.
+    pub fn from_trained(trained: &TrainedCqm, note: impl Into<String>) -> Self {
+        CqmModel {
+            version: MODEL_VERSION,
+            measure: trained.measure.clone(),
+            threshold: trained.threshold.value.clamp(0.0, 1.0),
+            note: note.into(),
+        }
+    }
+
+    /// Serialize to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CqmError::Persistence`] on serialization failure.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| CqmError::Persistence(e.to_string()))
+    }
+
+    /// Deserialize from a JSON string, checking the version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CqmError::Persistence`] on malformed JSON or a newer,
+    /// unknown format version.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let model: CqmModel =
+            serde_json::from_str(json).map_err(|e| CqmError::Persistence(e.to_string()))?;
+        if model.version > MODEL_VERSION {
+            return Err(CqmError::Persistence(format!(
+                "model version {} is newer than supported {}",
+                model.version, MODEL_VERSION
+            )));
+        }
+        if !(0.0..=1.0).contains(&model.threshold) {
+            return Err(CqmError::Persistence(format!(
+                "model threshold {} outside [0, 1]",
+                model.threshold
+            )));
+        }
+        Ok(model)
+    }
+
+    /// Write to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CqmError::Persistence`] on I/O or serialization failure.
+    pub fn save(&self, path: &std::path::Path) -> Result<()> {
+        let json = self.to_json()?;
+        std::fs::write(path, json).map_err(|e| CqmError::Persistence(e.to_string()))
+    }
+
+    /// Read from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CqmError::Persistence`] on I/O or parse failure.
+    pub fn load(path: &std::path::Path) -> Result<Self> {
+        let json =
+            std::fs::read_to_string(path).map_err(|e| CqmError::Persistence(e.to_string()))?;
+        Self::from_json(&json)
+    }
+
+    /// Rebuild the runtime filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CqmError::InvalidInput`] if the stored threshold is
+    /// invalid (guarded at load, so practically unreachable).
+    pub fn filter(&self) -> Result<QualityFilter> {
+        QualityFilter::new(self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::test_support::BoundaryClassifier;
+    use crate::classifier::ClassId;
+    use crate::training::{train_cqm, CqmTrainingConfig};
+
+    fn trained() -> TrainedCqm {
+        let cues: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 199.0]).collect();
+        let truth: Vec<ClassId> = cues
+            .iter()
+            .map(|c| ClassId(usize::from(c[0] > 0.45)))
+            .collect();
+        train_cqm(
+            &BoundaryClassifier { boundary: 0.5 },
+            &cues,
+            &truth,
+            &CqmTrainingConfig::fast(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn json_round_trip_preserves_behaviour() {
+        let t = trained();
+        let model = CqmModel::from_trained(&t, "unit test");
+        let json = model.to_json().unwrap();
+        let back = CqmModel::from_json(&json).unwrap();
+        assert_eq!(back, model);
+        // Behaviour identical.
+        let q1 = model.measure.measure(&[0.3], ClassId(0)).unwrap();
+        let q2 = back.measure.measure(&[0.3], ClassId(0)).unwrap();
+        assert_eq!(q1, q2);
+        assert_eq!(back.note, "unit test");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = trained();
+        let model = CqmModel::from_trained(&t, "file test");
+        let dir = std::env::temp_dir().join("cqm_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        model.save(&path).unwrap();
+        let back = CqmModel::load(&path).unwrap();
+        assert_eq!(back, model);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_guard() {
+        let t = trained();
+        let mut model = CqmModel::from_trained(&t, "v");
+        model.version = MODEL_VERSION + 1;
+        let json = model.to_json().unwrap();
+        let err = CqmModel::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("newer"));
+    }
+
+    #[test]
+    fn threshold_guard() {
+        let t = trained();
+        let mut model = CqmModel::from_trained(&t, "v");
+        model.threshold = 2.0;
+        let json = model.to_json().unwrap();
+        assert!(CqmModel::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(CqmModel::from_json("{not json").is_err());
+        assert!(CqmModel::load(std::path::Path::new("/nonexistent/x.json")).is_err());
+    }
+
+    #[test]
+    fn filter_reconstruction() {
+        let t = trained();
+        let model = CqmModel::from_trained(&t, "f");
+        let f = model.filter().unwrap();
+        assert!((f.threshold() - model.threshold).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,200 @@
+//! The quality measure `S_Q = L ∘ S~_Q` (§2.1.2–2.1.3).
+//!
+//! `S~_Q` is a first-order TSK FIS over the joint vector
+//! `v_Q = (v_1, …, v_n, c)`; `L` folds its unbounded output into
+//! `[0, 1] ∪ {ε}`. Evaluation is a handful of Gaussian evaluations and a
+//! weighted average — microseconds on any hardware, which is what makes the
+//! measure "real-time" in the paper's sense (benchmarked in `cqm-bench`).
+
+use serde::{Deserialize, Serialize};
+
+use cqm_fuzzy::TskFis;
+
+use crate::classifier::ClassId;
+use crate::normalize::{normalize, Quality};
+use crate::{CqmError, Result};
+
+/// A trained quality measure: the TSK FIS `S~_Q` plus the normalization `L`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityMeasure {
+    fis: TskFis,
+}
+
+impl QualityMeasure {
+    /// Wrap a trained FIS. Its input dimension must be `cue_dim + 1` (the
+    /// cues plus the class identifier).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CqmError::InvalidInput`] if the FIS has fewer than 2
+    /// inputs (the paper requires `n > 1` for the cue vector alone).
+    pub fn new(fis: TskFis) -> Result<Self> {
+        if fis.input_dim() < 2 {
+            return Err(CqmError::InvalidInput(format!(
+                "quality FIS needs >= 2 inputs (cues + class), got {}",
+                fis.input_dim()
+            )));
+        }
+        Ok(QualityMeasure { fis })
+    }
+
+    /// Cue dimensionality `n` (FIS inputs minus the class input).
+    pub fn cue_dim(&self) -> usize {
+        self.fis.input_dim() - 1
+    }
+
+    /// The underlying FIS (for inspection/verbalization).
+    pub fn fis(&self) -> &TskFis {
+        &self.fis
+    }
+
+    /// Assemble the joint vector `v_Q = (v_C, c)` (§2.1.1).
+    pub fn joint_input(&self, cues: &[f64], class: ClassId) -> Vec<f64> {
+        let mut v = Vec::with_capacity(cues.len() + 1);
+        v.extend_from_slice(cues);
+        v.push(class.as_f64());
+        v
+    }
+
+    /// Raw (non-normalized) FIS output `S~_Q(v_Q)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CqmError::InvalidInput`] on dimension mismatch or non-finite
+    ///   cues.
+    /// * [`CqmError::Fuzzy`] if no rule fires (input far outside the
+    ///   training support).
+    pub fn raw(&self, cues: &[f64], class: ClassId) -> Result<f64> {
+        if cues.len() != self.cue_dim() {
+            return Err(CqmError::InvalidInput(format!(
+                "cue vector has {} entries, quality measure expects {}",
+                cues.len(),
+                self.cue_dim()
+            )));
+        }
+        if cues.iter().any(|x| !x.is_finite()) {
+            return Err(CqmError::InvalidInput(
+                "cue vector contains non-finite values".into(),
+            ));
+        }
+        let v = self.joint_input(cues, class);
+        Ok(self.fis.eval(&v)?)
+    }
+
+    /// The Context Quality Measure `q = L(S~_Q(v_Q))`.
+    ///
+    /// Inputs on which the FIS cannot fire any rule yield ε rather than an
+    /// error: at runtime an appliance must always get *a* quality verdict,
+    /// and "no rule covers this situation" is exactly what ε means.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CqmError::InvalidInput`] on malformed cues (those are
+    /// caller bugs, not runtime conditions).
+    pub fn measure(&self, cues: &[f64], class: ClassId) -> Result<Quality> {
+        match self.raw(cues, class) {
+            Ok(raw) => Ok(normalize(raw)),
+            Err(CqmError::Fuzzy(cqm_fuzzy::FuzzyError::NoRuleFired)) => Ok(Quality::Epsilon),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqm_fuzzy::{MembershipFunction, TskRule};
+
+    /// Hand-built quality FIS over (cue, class): outputs ~1 when the cue
+    /// agrees with the class (cue near class value), ~0 otherwise.
+    fn agreement_fis() -> TskFis {
+        let g = |mu: f64, s: f64| MembershipFunction::gaussian(mu, s).unwrap();
+        TskFis::new(vec![
+            // cue near 0, class 0 -> right (1)
+            TskRule::new(vec![g(0.0, 0.25), g(0.0, 0.25)], vec![0.0, 0.0, 1.0]).unwrap(),
+            // cue near 1, class 1 -> right (1)
+            TskRule::new(vec![g(1.0, 0.25), g(1.0, 0.25)], vec![0.0, 0.0, 1.0]).unwrap(),
+            // cue near 0, class 1 -> wrong (0)
+            TskRule::new(vec![g(0.0, 0.25), g(1.0, 0.25)], vec![0.0, 0.0, 0.0]).unwrap(),
+            // cue near 1, class 0 -> wrong (0)
+            TskRule::new(vec![g(1.0, 0.25), g(0.0, 0.25)], vec![0.0, 0.0, 0.0]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_dimension() {
+        let one_input = TskFis::new(vec![TskRule::new(
+            vec![MembershipFunction::gaussian(0.0, 1.0).unwrap()],
+            vec![0.0, 0.0],
+        )
+        .unwrap()])
+        .unwrap();
+        assert!(QualityMeasure::new(one_input).is_err());
+        assert!(QualityMeasure::new(agreement_fis()).is_ok());
+    }
+
+    #[test]
+    fn joint_input_appends_class() {
+        let qm = QualityMeasure::new(agreement_fis()).unwrap();
+        assert_eq!(qm.cue_dim(), 1);
+        assert_eq!(qm.joint_input(&[0.3], ClassId(1)), vec![0.3, 1.0]);
+    }
+
+    #[test]
+    fn agreement_scores_high_disagreement_low() {
+        let qm = QualityMeasure::new(agreement_fis()).unwrap();
+        let right = qm.measure(&[0.05], ClassId(0)).unwrap().value().unwrap();
+        let wrong = qm.measure(&[0.05], ClassId(1)).unwrap().value().unwrap();
+        assert!(right > 0.9, "right-looking got q={right}");
+        assert!(wrong < 0.1, "wrong-looking got q={wrong}");
+    }
+
+    #[test]
+    fn measure_is_normalized() {
+        let qm = QualityMeasure::new(agreement_fis()).unwrap();
+        let mut x = 0.0;
+        while x <= 1.0 {
+            for c in 0..2 {
+                if let Quality::Value(v) = qm.measure(&[x], ClassId(c)).unwrap() {
+                    assert!((0.0..=1.0).contains(&v));
+                }
+            }
+            x += 0.05;
+        }
+    }
+
+    #[test]
+    fn uncovered_input_yields_epsilon_not_error() {
+        let qm = QualityMeasure::new(agreement_fis()).unwrap();
+        let q = qm.measure(&[1.0e5], ClassId(0)).unwrap();
+        assert!(q.is_epsilon());
+    }
+
+    #[test]
+    fn malformed_cues_are_errors() {
+        let qm = QualityMeasure::new(agreement_fis()).unwrap();
+        assert!(qm.measure(&[0.1, 0.2], ClassId(0)).is_err());
+        assert!(qm.measure(&[f64::NAN], ClassId(0)).is_err());
+        assert!(qm.raw(&[], ClassId(0)).is_err());
+    }
+
+    #[test]
+    fn raw_and_measure_consistent() {
+        let qm = QualityMeasure::new(agreement_fis()).unwrap();
+        let raw = qm.raw(&[0.4], ClassId(0)).unwrap();
+        let q = qm.measure(&[0.4], ClassId(0)).unwrap();
+        assert_eq!(q, crate::normalize::normalize(raw));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let qm = QualityMeasure::new(agreement_fis()).unwrap();
+        let json = serde_json::to_string(&qm).unwrap();
+        let back: QualityMeasure = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            back.measure(&[0.2], ClassId(0)).unwrap(),
+            qm.measure(&[0.2], ClassId(0)).unwrap()
+        );
+    }
+}

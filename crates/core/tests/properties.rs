@@ -1,0 +1,123 @@
+//! Property-based tests for the CQM core layer.
+
+use cqm_core::filter::{Decision, QualityFilter};
+use cqm_core::fusion::{fuse, ContextReport, FusionRule};
+use cqm_core::normalize::{normalize, Quality};
+use cqm_core::prediction::TrendPredictor;
+use cqm_core::ClassId;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn normalize_range_invariant(x in -100.0f64..100.0) {
+        match normalize(x) {
+            Quality::Value(v) => {
+                prop_assert!((0.0..=1.0).contains(&v));
+                prop_assert!((-0.5..=1.5).contains(&x));
+            }
+            Quality::Epsilon => prop_assert!(!(-0.5..=1.5).contains(&x)),
+        }
+    }
+
+    #[test]
+    fn normalize_mirror_symmetry(x in 0.0f64..0.5) {
+        // L(-x) == L(x) on the lower mirror; L(1+x) == L(1-x) on the upper
+        // (up to rounding: 2-(1+x) and 1-x differ by an ulp).
+        prop_assert_eq!(normalize(-x), normalize(x));
+        let hi = normalize(1.0 + x).value().unwrap();
+        let lo = normalize(1.0 - x).value().unwrap();
+        prop_assert!((hi - lo).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_idempotent_on_valid_values(x in 0.0f64..=1.0) {
+        // Values already in [0,1] pass through unchanged, so L ∘ L = L.
+        let once = normalize(x);
+        if let Quality::Value(v) = once {
+            prop_assert_eq!(normalize(v), once);
+        }
+    }
+
+    #[test]
+    fn filter_monotone_in_quality(s in 0.0f64..=1.0, q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+        // If a lower quality is accepted, any higher quality must be too.
+        let f = QualityFilter::new(s).unwrap();
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        if f.decide(Quality::Value(lo)) == Decision::Accept {
+            prop_assert_eq!(f.decide(Quality::Value(hi)), Decision::Accept);
+        }
+        // ε is never accepted, at any threshold.
+        prop_assert_eq!(f.decide(Quality::Epsilon), Decision::Discard);
+    }
+
+    #[test]
+    fn filter_outcome_accounting_conserves_samples(
+        s in 0.0f64..=1.0,
+        qs in prop::collection::vec((0.0f64..=1.0, any::<bool>()), 1..50),
+    ) {
+        let f = QualityFilter::new(s).unwrap();
+        let samples: Vec<(Quality, bool)> = qs
+            .iter()
+            .map(|&(q, r)| (Quality::Value(q), r))
+            .collect();
+        let outcome = f.evaluate(&samples);
+        prop_assert_eq!(outcome.total() as usize, samples.len());
+        prop_assert!(outcome.discard_rate() >= 0.0 && outcome.discard_rate() <= 1.0);
+    }
+
+    #[test]
+    fn fusion_winner_has_max_mass(
+        reports in prop::collection::vec((0usize..4, 0.01f64..=1.0), 1..12),
+    ) {
+        let reports: Vec<ContextReport> = reports
+            .into_iter()
+            .enumerate()
+            .map(|(i, (class, q))| ContextReport {
+                source: format!("s{i}"),
+                class: ClassId(class),
+                quality: Quality::Value(q),
+            })
+            .collect();
+        let fused = fuse(&reports, FusionRule::WeightedSum).unwrap();
+        let winner_mass = fused.mass[&fused.class];
+        for m in fused.mass.values() {
+            prop_assert!(winner_mass >= *m - 1e-12);
+        }
+        prop_assert!(fused.confidence > 0.0 && fused.confidence <= 1.0);
+    }
+
+    #[test]
+    fn fusion_scale_invariant_winner(
+        reports in prop::collection::vec((0usize..3, 0.1f64..=1.0), 2..8),
+        scale in 0.1f64..1.0,
+    ) {
+        // Scaling all qualities by the same factor must not change the
+        // weighted-sum winner.
+        let mk = |s: f64| -> Vec<ContextReport> {
+            reports
+                .iter()
+                .enumerate()
+                .map(|(i, &(class, q))| ContextReport {
+                    source: format!("s{i}"),
+                    class: ClassId(class),
+                    quality: Quality::Value(q * s),
+                })
+                .collect()
+        };
+        let a = fuse(&mk(1.0), FusionRule::WeightedSum).unwrap();
+        let b = fuse(&mk(scale), FusionRule::WeightedSum).unwrap();
+        prop_assert_eq!(a.class, b.class);
+    }
+
+    #[test]
+    fn trend_predictor_never_panics_on_arbitrary_streams(
+        stream in prop::collection::vec((0usize..3, -0.2f64..1.2, any::<bool>()), 0..60),
+    ) {
+        let mut p = TrendPredictor::new(4, 0.02).unwrap();
+        for (class, q, eps) in stream {
+            let quality = if eps { Quality::Epsilon } else { Quality::Value(q.clamp(0.0, 1.0)) };
+            let _ = p.observe(ClassId(class), quality);
+        }
+        // Reaching here without panic is the property.
+    }
+}

@@ -1,0 +1,215 @@
+//! Ergonomic builder for hand-authored TSK systems.
+//!
+//! The automated construction of `cqm-anfis` covers the paper's pipeline;
+//! this builder serves the other audience — appliance developers writing a
+//! small rule base by hand (as the original AwarePen prototype did before
+//! the automated process existed).
+
+use crate::membership::MembershipFunction;
+use crate::tnorm::TNorm;
+use crate::tsk::{TskFis, TskRule};
+use crate::{FuzzyError, Result};
+
+/// Non-consuming builder for [`TskFis`].
+///
+/// ```
+/// use cqm_fuzzy::builder::TskFisBuilder;
+/// use cqm_fuzzy::membership::MembershipFunction;
+///
+/// let mut b = TskFisBuilder::new(1);
+/// b.rule()
+///     .antecedent(MembershipFunction::gaussian(0.0, 0.3).unwrap())
+///     .constant(0.0)
+///     .done()
+///     .unwrap();
+/// b.rule()
+///     .antecedent(MembershipFunction::gaussian(1.0, 0.3).unwrap())
+///     .constant(1.0)
+///     .done()
+///     .unwrap();
+/// let fis = b.build().unwrap();
+/// assert!((fis.eval(&[0.5]).unwrap() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TskFisBuilder {
+    input_dim: usize,
+    tnorm: TNorm,
+    rules: Vec<TskRule>,
+}
+
+impl TskFisBuilder {
+    /// Start a builder for systems with `input_dim` inputs.
+    pub fn new(input_dim: usize) -> Self {
+        TskFisBuilder {
+            input_dim,
+            tnorm: TNorm::Product,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Override the antecedent T-norm (default: product).
+    pub fn tnorm(&mut self, tnorm: TNorm) -> &mut Self {
+        self.tnorm = tnorm;
+        self
+    }
+
+    /// Begin a new rule.
+    pub fn rule(&mut self) -> RuleBuilder<'_> {
+        RuleBuilder {
+            parent: self,
+            antecedents: Vec::new(),
+            consequent: None,
+        }
+    }
+
+    /// Number of rules added so far.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Finish the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuzzyError::InvalidRuleBase`] if no rule was added.
+    pub fn build(&self) -> Result<TskFis> {
+        Ok(TskFis::new(self.rules.clone())?.with_tnorm(self.tnorm))
+    }
+}
+
+/// Builder for one rule, tied to its parent [`TskFisBuilder`].
+#[derive(Debug)]
+pub struct RuleBuilder<'a> {
+    parent: &'a mut TskFisBuilder,
+    antecedents: Vec<MembershipFunction>,
+    consequent: Option<Vec<f64>>,
+}
+
+impl RuleBuilder<'_> {
+    /// Append the next input's membership function.
+    pub fn antecedent(mut self, mf: MembershipFunction) -> Self {
+        self.antecedents.push(mf);
+        self
+    }
+
+    /// Shorthand: Gaussian antecedent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates membership validation.
+    pub fn gaussian(self, mu: f64, sigma: f64) -> Result<Self> {
+        Ok(self.antecedent(MembershipFunction::gaussian(mu, sigma)?))
+    }
+
+    /// Zero-order consequent `f = c`.
+    pub fn constant(mut self, c: f64) -> Self {
+        let n = self.parent.input_dim;
+        let mut coeffs = vec![0.0; n + 1];
+        coeffs[n] = c;
+        self.consequent = Some(coeffs);
+        self
+    }
+
+    /// First-order consequent `f = a·v + b` with `coeffs = [a_1…a_n, b]`.
+    pub fn linear(mut self, coeffs: Vec<f64>) -> Self {
+        self.consequent = Some(coeffs);
+        self
+    }
+
+    /// Validate and commit the rule to the parent builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuzzyError::InvalidRuleBase`] if the antecedent count does
+    /// not match the builder's input dimension, or no consequent was set.
+    pub fn done(self) -> Result<&'static str> {
+        if self.antecedents.len() != self.parent.input_dim {
+            return Err(FuzzyError::InvalidRuleBase(format!(
+                "rule has {} antecedents, builder expects {}",
+                self.antecedents.len(),
+                self.parent.input_dim
+            )));
+        }
+        let consequent = self
+            .consequent
+            .ok_or_else(|| FuzzyError::InvalidRuleBase("rule has no consequent".into()))?;
+        let rule = TskRule::new(self.antecedents, consequent)?;
+        self.parent.rules.push(rule);
+        Ok("rule added")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_two_rule_system() {
+        let mut b = TskFisBuilder::new(1);
+        b.rule().gaussian(0.0, 0.3).unwrap().constant(0.0).done().unwrap();
+        b.rule().gaussian(1.0, 0.3).unwrap().constant(1.0).done().unwrap();
+        assert_eq!(b.rule_count(), 2);
+        let fis = b.build().unwrap();
+        assert_eq!(fis.rule_count(), 2);
+        assert!((fis.eval(&[0.5]).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_consequent() {
+        let mut b = TskFisBuilder::new(2);
+        b.rule()
+            .gaussian(0.0, 1.0)
+            .unwrap()
+            .gaussian(0.0, 1.0)
+            .unwrap()
+            .linear(vec![2.0, -1.0, 0.5])
+            .done()
+            .unwrap();
+        let fis = b.build().unwrap();
+        let y = fis.eval(&[1.0, 2.0]).unwrap();
+        assert!((y - (2.0 - 2.0 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut b = TskFisBuilder::new(2);
+        // Wrong antecedent count.
+        assert!(b
+            .rule()
+            .gaussian(0.0, 1.0)
+            .unwrap()
+            .constant(1.0)
+            .done()
+            .is_err());
+        // Missing consequent.
+        assert!(b
+            .rule()
+            .gaussian(0.0, 1.0)
+            .unwrap()
+            .gaussian(0.0, 1.0)
+            .unwrap()
+            .done()
+            .is_err());
+        // Empty build.
+        assert!(b.build().is_err());
+        // Wrong linear length surfaces at done().
+        assert!(b
+            .rule()
+            .gaussian(0.0, 1.0)
+            .unwrap()
+            .gaussian(0.0, 1.0)
+            .unwrap()
+            .linear(vec![1.0])
+            .done()
+            .is_err());
+    }
+
+    #[test]
+    fn tnorm_override() {
+        let mut b = TskFisBuilder::new(1);
+        b.tnorm(TNorm::Minimum);
+        b.rule().gaussian(0.5, 0.2).unwrap().constant(1.0).done().unwrap();
+        let fis = b.build().unwrap();
+        assert_eq!(fis.tnorm(), TNorm::Minimum);
+    }
+}

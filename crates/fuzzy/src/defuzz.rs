@@ -1,0 +1,175 @@
+//! Defuzzification of an aggregated output membership function.
+//!
+//! Only the Mamdani substrate needs these — TSK systems defuzzify implicitly
+//! through the weighted sum average (§2.1.2). Operating on a sampled
+//! membership curve keeps the methods shape-agnostic.
+
+use crate::{FuzzyError, Result};
+
+/// Defuzzification strategy for a sampled membership curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Defuzzifier {
+    /// Centroid of area (center of gravity).
+    #[default]
+    Centroid,
+    /// Abscissa splitting the area in half.
+    Bisector,
+    /// Mean of the abscissas attaining the maximum membership.
+    MeanOfMaxima,
+    /// Smallest abscissa attaining the maximum membership.
+    SmallestOfMaxima,
+    /// Largest abscissa attaining the maximum membership.
+    LargestOfMaxima,
+}
+
+impl Defuzzifier {
+    /// Defuzzify the curve given by parallel slices `xs` (strictly
+    /// increasing abscissas) and `mus` (membership degrees).
+    ///
+    /// # Errors
+    ///
+    /// * [`FuzzyError::DimensionMismatch`] if the slices differ in length.
+    /// * [`FuzzyError::InvalidRuleBase`] if fewer than 2 samples are given.
+    /// * [`FuzzyError::NoRuleFired`] if the curve is identically zero.
+    pub fn apply(&self, xs: &[f64], mus: &[f64]) -> Result<f64> {
+        if xs.len() != mus.len() {
+            return Err(FuzzyError::DimensionMismatch {
+                expected: xs.len(),
+                actual: mus.len(),
+            });
+        }
+        if xs.len() < 2 {
+            return Err(FuzzyError::InvalidRuleBase(
+                "defuzzification needs at least 2 samples".into(),
+            ));
+        }
+        let total_mu: f64 = mus.iter().sum();
+        if !(total_mu > 0.0) {
+            return Err(FuzzyError::NoRuleFired);
+        }
+        Ok(match self {
+            Defuzzifier::Centroid => {
+                // Trapezoid-weighted center of gravity.
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for i in 0..xs.len() - 1 {
+                    let w = xs[i + 1] - xs[i];
+                    let area = 0.5 * (mus[i] + mus[i + 1]) * w;
+                    let cx = 0.5 * (xs[i] + xs[i + 1]);
+                    num += area * cx;
+                    den += area;
+                }
+                if den == 0.0 {
+                    return Err(FuzzyError::NoRuleFired);
+                }
+                num / den
+            }
+            Defuzzifier::Bisector => {
+                let mut areas = Vec::with_capacity(xs.len() - 1);
+                let mut total = 0.0;
+                for i in 0..xs.len() - 1 {
+                    let a = 0.5 * (mus[i] + mus[i + 1]) * (xs[i + 1] - xs[i]);
+                    areas.push(a);
+                    total += a;
+                }
+                if total == 0.0 {
+                    return Err(FuzzyError::NoRuleFired);
+                }
+                let half = total / 2.0;
+                let mut acc = 0.0;
+                for (i, a) in areas.iter().enumerate() {
+                    if acc + a >= half {
+                        // Interpolate inside segment i.
+                        let frac = if *a > 0.0 { (half - acc) / a } else { 0.5 };
+                        return Ok(xs[i] + frac * (xs[i + 1] - xs[i]));
+                    }
+                    acc += a;
+                }
+                *xs.last().expect("non-empty")
+            }
+            Defuzzifier::MeanOfMaxima
+            | Defuzzifier::SmallestOfMaxima
+            | Defuzzifier::LargestOfMaxima => {
+                let peak = mus.iter().copied().fold(f64::MIN, f64::max);
+                let at_peak: Vec<f64> = xs
+                    .iter()
+                    .zip(mus)
+                    .filter(|(_, &m)| (m - peak).abs() < 1e-12)
+                    .map(|(&x, _)| x)
+                    .collect();
+                match self {
+                    Defuzzifier::MeanOfMaxima => {
+                        at_peak.iter().sum::<f64>() / at_peak.len() as f64
+                    }
+                    Defuzzifier::SmallestOfMaxima => at_peak[0],
+                    _ => *at_peak.last().expect("non-empty"),
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_curve() -> (Vec<f64>, Vec<f64>) {
+        // Symmetric triangle peaking at x = 1.
+        let xs: Vec<f64> = (0..=20).map(|i| i as f64 / 10.0).collect();
+        let mus: Vec<f64> = xs.iter().map(|&x| 1.0 - (x - 1.0).abs()).collect();
+        (xs, mus)
+    }
+
+    #[test]
+    fn centroid_of_symmetric_triangle() {
+        let (xs, mus) = triangle_curve();
+        let c = Defuzzifier::Centroid.apply(&xs, &mus).unwrap();
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisector_of_symmetric_triangle() {
+        let (xs, mus) = triangle_curve();
+        let b = Defuzzifier::Bisector.apply(&xs, &mus).unwrap();
+        assert!((b - 1.0).abs() < 0.06);
+    }
+
+    #[test]
+    fn maxima_family_on_plateau() {
+        let xs = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        let mus = vec![0.0, 1.0, 1.0, 1.0, 0.0];
+        assert_eq!(
+            Defuzzifier::SmallestOfMaxima.apply(&xs, &mus).unwrap(),
+            1.0
+        );
+        assert_eq!(Defuzzifier::LargestOfMaxima.apply(&xs, &mus).unwrap(), 3.0);
+        assert_eq!(Defuzzifier::MeanOfMaxima.apply(&xs, &mus).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn asymmetric_centroid_shifts_toward_mass() {
+        let xs = vec![0.0, 1.0, 2.0, 3.0];
+        let mus = vec![0.0, 0.2, 1.0, 0.0];
+        let c = Defuzzifier::Centroid.apply(&xs, &mus).unwrap();
+        assert!(c > 1.5, "centroid {c} should lean right");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Defuzzifier::Centroid.apply(&[0.0, 1.0], &[0.0]).is_err());
+        assert!(Defuzzifier::Centroid.apply(&[0.0], &[1.0]).is_err());
+        assert!(matches!(
+            Defuzzifier::Centroid.apply(&[0.0, 1.0], &[0.0, 0.0]),
+            Err(FuzzyError::NoRuleFired)
+        ));
+    }
+
+    #[test]
+    fn bisector_splits_area() {
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+        let mus: Vec<f64> = xs.clone(); // ramp
+        let b = Defuzzifier::Bisector.apply(&xs, &mus).unwrap();
+        // Area of ramp up to b is b^2/2; total 1/2 -> b = sqrt(1/2).
+        assert!((b - 0.5f64.sqrt()).abs() < 0.02);
+    }
+}

@@ -1,0 +1,244 @@
+//! Mamdani-type fuzzy inference.
+//!
+//! The paper notes (§4) that other context-reasoning systems use fuzzy
+//! inference "on higher levels of context processing" — those are typically
+//! Mamdani systems with fuzzy consequent sets. This substrate exists for
+//! comparison experiments and for completeness of the fuzzy toolbox; the
+//! CQM itself is TSK-based.
+
+use crate::defuzz::Defuzzifier;
+use crate::membership::MembershipFunction;
+use crate::tnorm::{SNorm, TNorm};
+use crate::{FuzzyError, Result};
+
+/// One Mamdani rule: input membership functions and an output fuzzy set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MamdaniRule {
+    antecedents: Vec<MembershipFunction>,
+    output: MembershipFunction,
+}
+
+impl MamdaniRule {
+    /// Create a rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuzzyError::InvalidRuleBase`] if the antecedent list is
+    /// empty.
+    pub fn new(antecedents: Vec<MembershipFunction>, output: MembershipFunction) -> Result<Self> {
+        if antecedents.is_empty() {
+            return Err(FuzzyError::InvalidRuleBase(
+                "rule needs at least one antecedent".into(),
+            ));
+        }
+        Ok(MamdaniRule {
+            antecedents,
+            output,
+        })
+    }
+
+    /// Number of inputs.
+    pub fn input_dim(&self) -> usize {
+        self.antecedents.len()
+    }
+}
+
+/// A Mamdani FIS with min-implication, max-aggregation (configurable) and a
+/// sampled-defuzzifier output stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MamdaniFis {
+    rules: Vec<MamdaniRule>,
+    tnorm: TNorm,
+    snorm: SNorm,
+    defuzzifier: Defuzzifier,
+    output_range: (f64, f64),
+    samples: usize,
+}
+
+impl MamdaniFis {
+    /// Build a system whose output universe is `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuzzyError::InvalidRuleBase`] if the rule list is empty or
+    /// dimensions disagree, and [`FuzzyError::InvalidParameter`] if
+    /// `lo >= hi`.
+    pub fn new(rules: Vec<MamdaniRule>, output_range: (f64, f64)) -> Result<Self> {
+        if rules.is_empty() {
+            return Err(FuzzyError::InvalidRuleBase("empty rule base".into()));
+        }
+        let dim = rules[0].input_dim();
+        if rules.iter().any(|r| r.input_dim() != dim) {
+            return Err(FuzzyError::InvalidRuleBase(
+                "rules have inconsistent input dimensions".into(),
+            ));
+        }
+        if !(output_range.0 < output_range.1) {
+            return Err(FuzzyError::InvalidParameter {
+                name: "output_range",
+                value: output_range.1 - output_range.0,
+            });
+        }
+        Ok(MamdaniFis {
+            rules,
+            tnorm: TNorm::Minimum,
+            snorm: SNorm::Maximum,
+            defuzzifier: Defuzzifier::Centroid,
+            output_range,
+            samples: 201,
+        })
+    }
+
+    /// Replace the antecedent T-norm.
+    pub fn with_tnorm(mut self, tnorm: TNorm) -> Self {
+        self.tnorm = tnorm;
+        self
+    }
+
+    /// Replace the aggregation S-norm.
+    pub fn with_snorm(mut self, snorm: SNorm) -> Self {
+        self.snorm = snorm;
+        self
+    }
+
+    /// Replace the defuzzifier (default: centroid).
+    pub fn with_defuzzifier(mut self, d: Defuzzifier) -> Self {
+        self.defuzzifier = d;
+        self
+    }
+
+    /// Number of inputs.
+    pub fn input_dim(&self) -> usize {
+        self.rules[0].input_dim()
+    }
+
+    /// Evaluate by clip (min) implication, S-norm aggregation over the
+    /// sampled output universe, then defuzzification.
+    ///
+    /// # Errors
+    ///
+    /// * [`FuzzyError::DimensionMismatch`] on wrong input length.
+    /// * [`FuzzyError::NoRuleFired`] if the aggregated curve is zero.
+    pub fn eval(&self, v: &[f64]) -> Result<f64> {
+        if v.len() != self.input_dim() {
+            return Err(FuzzyError::DimensionMismatch {
+                expected: self.input_dim(),
+                actual: v.len(),
+            });
+        }
+        let strengths: Vec<f64> = self
+            .rules
+            .iter()
+            .map(|r| {
+                self.tnorm
+                    .fold(r.antecedents.iter().zip(v).map(|(mf, &x)| mf.eval(x)))
+            })
+            .collect();
+        let (lo, hi) = self.output_range;
+        let xs: Vec<f64> = (0..self.samples)
+            .map(|i| lo + (hi - lo) * i as f64 / (self.samples - 1) as f64)
+            .collect();
+        let mus: Vec<f64> = xs
+            .iter()
+            .map(|&x| {
+                self.snorm.fold(
+                    self.rules
+                        .iter()
+                        .zip(&strengths)
+                        .map(|(r, &w)| w.min(r.output.eval(x))),
+                )
+            })
+            .collect();
+        self.defuzzifier.apply(&xs, &mus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tipper() -> MamdaniFis {
+        // Classic single-input tipper: poor service -> low tip, good -> high.
+        let poor = MembershipFunction::gaussian(0.0, 1.5).unwrap();
+        let good = MembershipFunction::gaussian(10.0, 1.5).unwrap();
+        let low = MembershipFunction::triangular(0.0, 5.0, 10.0).unwrap();
+        let high = MembershipFunction::triangular(15.0, 20.0, 25.0).unwrap();
+        MamdaniFis::new(
+            vec![
+                MamdaniRule::new(vec![poor], low).unwrap(),
+                MamdaniRule::new(vec![good], high).unwrap(),
+            ],
+            (0.0, 25.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(MamdaniFis::new(vec![], (0.0, 1.0)).is_err());
+        let r = MamdaniRule::new(
+            vec![MembershipFunction::gaussian(0.0, 1.0).unwrap()],
+            MembershipFunction::gaussian(0.0, 1.0).unwrap(),
+        )
+        .unwrap();
+        assert!(MamdaniFis::new(vec![r.clone()], (1.0, 1.0)).is_err());
+        assert!(MamdaniRule::new(vec![], MembershipFunction::gaussian(0.0, 1.0).unwrap()).is_err());
+        let r2 = MamdaniRule::new(
+            vec![
+                MembershipFunction::gaussian(0.0, 1.0).unwrap(),
+                MembershipFunction::gaussian(0.0, 1.0).unwrap(),
+            ],
+            MembershipFunction::gaussian(0.0, 1.0).unwrap(),
+        )
+        .unwrap();
+        assert!(MamdaniFis::new(vec![r, r2], (0.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn tipper_extremes() {
+        let fis = tipper();
+        let bad = fis.eval(&[0.0]).unwrap();
+        let good = fis.eval(&[10.0]).unwrap();
+        assert!(bad < 7.0, "bad service tip {bad}");
+        assert!(good > 17.0, "good service tip {good}");
+    }
+
+    #[test]
+    fn tipper_monotone_between_extremes() {
+        let fis = tipper();
+        let mut prev = fis.eval(&[0.0]).unwrap();
+        for i in 1..=10 {
+            let y = fis.eval(&[i as f64]).unwrap();
+            assert!(y >= prev - 1e-9, "tip should not decrease");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn dimension_checked() {
+        let fis = tipper();
+        assert!(matches!(
+            fis.eval(&[1.0, 2.0]),
+            Err(FuzzyError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn no_rule_fired_far_outside() {
+        let fis = tipper();
+        assert!(matches!(
+            fis.eval(&[1.0e4]),
+            Err(FuzzyError::NoRuleFired)
+        ));
+    }
+
+    #[test]
+    fn builder_variants_still_evaluate() {
+        let fis = tipper()
+            .with_tnorm(TNorm::Product)
+            .with_snorm(SNorm::ProbabilisticSum)
+            .with_defuzzifier(Defuzzifier::MeanOfMaxima);
+        let y = fis.eval(&[10.0]).unwrap();
+        assert!(y > 15.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Triangular norms (fuzzy AND) and conorms (fuzzy OR).
+//!
+//! The paper's antecedents combine memberships with the algebraic **product**
+//! (§2.1.2): `w_j = Π_i F_ij(v_i)`. Minimum is provided for the Mamdani
+//! substrate and for ablations.
+
+/// Fuzzy conjunction operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TNorm {
+    /// Algebraic product `a·b` — the paper's choice.
+    #[default]
+    Product,
+    /// Gödel minimum `min(a, b)`.
+    Minimum,
+    /// Łukasiewicz `max(0, a + b − 1)`.
+    Lukasiewicz,
+}
+
+impl TNorm {
+    /// Combine two membership degrees.
+    pub fn apply(&self, a: f64, b: f64) -> f64 {
+        match self {
+            TNorm::Product => a * b,
+            TNorm::Minimum => a.min(b),
+            TNorm::Lukasiewicz => (a + b - 1.0).max(0.0),
+        }
+    }
+
+    /// Fold over a sequence of degrees; identity element is 1.
+    pub fn fold<I: IntoIterator<Item = f64>>(&self, it: I) -> f64 {
+        it.into_iter().fold(1.0, |acc, x| self.apply(acc, x))
+    }
+}
+
+/// Fuzzy disjunction operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SNorm {
+    /// Maximum `max(a, b)`.
+    #[default]
+    Maximum,
+    /// Probabilistic sum `a + b − a·b`.
+    ProbabilisticSum,
+    /// Bounded sum `min(1, a + b)`.
+    BoundedSum,
+}
+
+impl SNorm {
+    /// Combine two membership degrees.
+    pub fn apply(&self, a: f64, b: f64) -> f64 {
+        match self {
+            SNorm::Maximum => a.max(b),
+            SNorm::ProbabilisticSum => a + b - a * b,
+            SNorm::BoundedSum => (a + b).min(1.0),
+        }
+    }
+
+    /// Fold over a sequence of degrees; identity element is 0.
+    pub fn fold<I: IntoIterator<Item = f64>>(&self, it: I) -> f64 {
+        it.into_iter().fold(0.0, |acc, x| self.apply(acc, x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NORMS: [TNorm; 3] = [TNorm::Product, TNorm::Minimum, TNorm::Lukasiewicz];
+    const SNORMS: [SNorm; 3] = [SNorm::Maximum, SNorm::ProbabilisticSum, SNorm::BoundedSum];
+
+    #[test]
+    fn tnorm_values() {
+        assert_eq!(TNorm::Product.apply(0.5, 0.4), 0.2);
+        assert_eq!(TNorm::Minimum.apply(0.5, 0.4), 0.4);
+        assert!((TNorm::Lukasiewicz.apply(0.7, 0.6) - 0.3).abs() < 1e-15);
+        assert_eq!(TNorm::Lukasiewicz.apply(0.3, 0.4), 0.0);
+    }
+
+    #[test]
+    fn snorm_values() {
+        assert_eq!(SNorm::Maximum.apply(0.5, 0.4), 0.5);
+        assert!((SNorm::ProbabilisticSum.apply(0.5, 0.4) - 0.7).abs() < 1e-15);
+        assert_eq!(SNorm::BoundedSum.apply(0.7, 0.6), 1.0);
+    }
+
+    #[test]
+    fn tnorm_axioms_on_grid() {
+        // Commutativity, monotonicity, boundary t(a,1)=a, closure in [0,1].
+        let grid: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+        for t in NORMS {
+            for &a in &grid {
+                assert!((t.apply(a, 1.0) - a).abs() < 1e-15, "{t:?} boundary");
+                for &b in &grid {
+                    let ab = t.apply(a, b);
+                    assert!((0.0..=1.0).contains(&ab));
+                    assert_eq!(ab, t.apply(b, a), "{t:?} commutativity");
+                    // Monotone in second arg.
+                    if b <= 0.9 {
+                        assert!(t.apply(a, b) <= t.apply(a, b + 0.1) + 1e-15);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snorm_axioms_on_grid() {
+        let grid: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+        for s in SNORMS {
+            for &a in &grid {
+                assert!((s.apply(a, 0.0) - a).abs() < 1e-15, "{s:?} boundary");
+                for &b in &grid {
+                    let ab = s.apply(a, b);
+                    assert!((0.0..=1.0).contains(&ab));
+                    assert_eq!(ab, s.apply(b, a), "{s:?} commutativity");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn folds_use_identities() {
+        assert_eq!(TNorm::Product.fold([]), 1.0);
+        assert_eq!(SNorm::Maximum.fold([]), 0.0);
+        assert!((TNorm::Product.fold([0.5, 0.5, 0.5]) - 0.125).abs() < 1e-15);
+        assert_eq!(SNorm::Maximum.fold([0.2, 0.9, 0.5]), 0.9);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        assert_eq!(TNorm::default(), TNorm::Product);
+        assert_eq!(SNorm::default(), SNorm::Maximum);
+    }
+}

@@ -1,0 +1,410 @@
+//! First-order Takagi–Sugeno–Kang fuzzy inference system (§2.1.2).
+//!
+//! A rule `j` over an `n`-dimensional input `v` reads
+//!
+//! ```text
+//! IF F_1j(v_1) AND … AND F_nj(v_n) THEN f_j(v) = a_1j v_1 + … + a_nj v_n + a_(n+1)j
+//! ```
+//!
+//! with firing strength `w_j(v) = Π_i F_ij(v_i)` and output
+//!
+//! ```text
+//! S(v) = Σ_j w_j(v) f_j(v) / Σ_j w_j(v)
+//! ```
+//!
+//! — the "weighted sum average … a combination of fuzzy reasoning and
+//! defuzzification" of the paper. The same structure serves as the AwarePen
+//! context classifier (§3.1) and, with the class identifier appended as the
+//! `(n+1)`-th input, as the quality system `S~_Q` (§2.1.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::membership::MembershipFunction;
+use crate::tnorm::TNorm;
+use crate::{FuzzyError, Result};
+
+/// One TSK rule: per-input membership functions plus linear consequent
+/// coefficients (the last coefficient is the constant term).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TskRule {
+    antecedents: Vec<MembershipFunction>,
+    consequent: Vec<f64>,
+}
+
+impl TskRule {
+    /// Create a rule with `n` antecedent membership functions and `n + 1`
+    /// consequent coefficients `[a_1, …, a_n, a_(n+1)]` (last = constant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuzzyError::InvalidRuleBase`] if the antecedent list is
+    /// empty, the consequent length is not `n + 1`, or a coefficient is not
+    /// finite.
+    pub fn new(antecedents: Vec<MembershipFunction>, consequent: Vec<f64>) -> Result<Self> {
+        if antecedents.is_empty() {
+            return Err(FuzzyError::InvalidRuleBase(
+                "rule needs at least one antecedent".into(),
+            ));
+        }
+        if consequent.len() != antecedents.len() + 1 {
+            return Err(FuzzyError::InvalidRuleBase(format!(
+                "rule with {} inputs needs {} consequent coefficients, got {}",
+                antecedents.len(),
+                antecedents.len() + 1,
+                consequent.len()
+            )));
+        }
+        if consequent.iter().any(|c| !c.is_finite()) {
+            return Err(FuzzyError::InvalidRuleBase(
+                "non-finite consequent coefficient".into(),
+            ));
+        }
+        Ok(TskRule {
+            antecedents,
+            consequent,
+        })
+    }
+
+    /// Create a zero-order (constant-consequent) rule: `f_j(v) = c`.
+    /// Used by the ABL-CONSEQ ablation; the paper explicitly prefers linear
+    /// consequents "since the results for the reliability determination are
+    /// better" (§2.1.2).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TskRule::new`].
+    pub fn constant(antecedents: Vec<MembershipFunction>, c: f64) -> Result<Self> {
+        let n = antecedents.len();
+        let mut consequent = vec![0.0; n + 1];
+        consequent[n] = c;
+        TskRule::new(antecedents, consequent)
+    }
+
+    /// Number of inputs.
+    pub fn input_dim(&self) -> usize {
+        self.antecedents.len()
+    }
+
+    /// Antecedent membership functions.
+    pub fn antecedents(&self) -> &[MembershipFunction] {
+        &self.antecedents
+    }
+
+    /// Mutable access to the antecedents (used by ANFIS tuning).
+    pub fn antecedents_mut(&mut self) -> &mut [MembershipFunction] {
+        &mut self.antecedents
+    }
+
+    /// Consequent coefficients `[a_1, …, a_n, a_(n+1)]`.
+    pub fn consequent(&self) -> &[f64] {
+        &self.consequent
+    }
+
+    /// Mutable access to the consequent (used by the LSE forward pass).
+    pub fn consequent_mut(&mut self) -> &mut [f64] {
+        &mut self.consequent
+    }
+
+    /// Firing strength `w_j(v) = T-norm over F_ij(v_i)`.
+    pub fn firing_strength(&self, v: &[f64], tnorm: TNorm) -> f64 {
+        tnorm.fold(self.antecedents.iter().zip(v).map(|(mf, &x)| mf.eval(x)))
+    }
+
+    /// Consequent value `f_j(v) = Σ a_ij v_i + a_(n+1)j`.
+    pub fn consequent_value(&self, v: &[f64]) -> f64 {
+        let n = self.antecedents.len();
+        self.consequent[..n]
+            .iter()
+            .zip(v)
+            .map(|(a, x)| a * x)
+            .sum::<f64>()
+            + self.consequent[n]
+    }
+}
+
+/// Detailed evaluation trace of a TSK FIS on one input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TskEvaluation {
+    /// Raw firing strengths `w_j`.
+    pub firing: Vec<f64>,
+    /// Normalized firing strengths `w̄_j = w_j / Σ w`.
+    pub normalized_firing: Vec<f64>,
+    /// Per-rule consequent values `f_j(v)`.
+    pub consequent_values: Vec<f64>,
+    /// Final output `Σ w̄_j f_j`.
+    pub output: f64,
+}
+
+/// A first-order TSK fuzzy inference system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TskFis {
+    rules: Vec<TskRule>,
+    #[serde(skip, default)]
+    tnorm: TNorm,
+}
+
+impl TskFis {
+    /// Build a FIS from rules sharing the same input dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuzzyError::InvalidRuleBase`] if the rule list is empty or
+    /// the rules disagree on input dimension.
+    pub fn new(rules: Vec<TskRule>) -> Result<Self> {
+        if rules.is_empty() {
+            return Err(FuzzyError::InvalidRuleBase("empty rule base".into()));
+        }
+        let dim = rules[0].input_dim();
+        if rules.iter().any(|r| r.input_dim() != dim) {
+            return Err(FuzzyError::InvalidRuleBase(
+                "rules have inconsistent input dimensions".into(),
+            ));
+        }
+        Ok(TskFis {
+            rules,
+            tnorm: TNorm::Product,
+        })
+    }
+
+    /// Replace the antecedent T-norm (default: product, the paper's choice).
+    pub fn with_tnorm(mut self, tnorm: TNorm) -> Self {
+        self.tnorm = tnorm;
+        self
+    }
+
+    /// Number of inputs.
+    pub fn input_dim(&self) -> usize {
+        self.rules[0].input_dim()
+    }
+
+    /// Number of rules `m`.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[TskRule] {
+        &self.rules
+    }
+
+    /// Mutable access to the rules (ANFIS tuning).
+    pub fn rules_mut(&mut self) -> &mut [TskRule] {
+        &mut self.rules
+    }
+
+    /// The antecedent T-norm.
+    pub fn tnorm(&self) -> TNorm {
+        self.tnorm
+    }
+
+    /// Evaluate the system: `S(v) = Σ w_j f_j / Σ w_j`.
+    ///
+    /// # Errors
+    ///
+    /// * [`FuzzyError::DimensionMismatch`] if `v.len()` differs from the
+    ///   input dimension.
+    /// * [`FuzzyError::NoRuleFired`] if every firing strength underflows to
+    ///   zero — the input lies numerically outside the support of all rules.
+    pub fn eval(&self, v: &[f64]) -> Result<f64> {
+        self.eval_detailed(v).map(|e| e.output)
+    }
+
+    /// Evaluate and return the full trace (firing strengths, normalized
+    /// strengths, per-rule consequent values). ANFIS training consumes this.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TskFis::eval`].
+    pub fn eval_detailed(&self, v: &[f64]) -> Result<TskEvaluation> {
+        if v.len() != self.input_dim() {
+            return Err(FuzzyError::DimensionMismatch {
+                expected: self.input_dim(),
+                actual: v.len(),
+            });
+        }
+        let firing: Vec<f64> = self
+            .rules
+            .iter()
+            .map(|r| r.firing_strength(v, self.tnorm))
+            .collect();
+        let total: f64 = firing.iter().sum();
+        if !(total > 0.0) || !total.is_finite() {
+            return Err(FuzzyError::NoRuleFired);
+        }
+        let normalized_firing: Vec<f64> = firing.iter().map(|w| w / total).collect();
+        let consequent_values: Vec<f64> =
+            self.rules.iter().map(|r| r.consequent_value(v)).collect();
+        let output = normalized_firing
+            .iter()
+            .zip(&consequent_values)
+            .map(|(w, f)| w * f)
+            .sum();
+        Ok(TskEvaluation {
+            firing,
+            normalized_firing,
+            consequent_values,
+            output,
+        })
+    }
+
+    /// Evaluate a batch of inputs, propagating the first error.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TskFis::eval`] for any row.
+    pub fn eval_batch(&self, inputs: &[Vec<f64>]) -> Result<Vec<f64>> {
+        inputs.iter().map(|v| self.eval(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian(mu: f64, sigma: f64) -> MembershipFunction {
+        MembershipFunction::gaussian(mu, sigma).unwrap()
+    }
+
+    fn two_rule_1d() -> TskFis {
+        TskFis::new(vec![
+            TskRule::new(vec![gaussian(0.0, 0.3)], vec![0.0, 0.0]).unwrap(),
+            TskRule::new(vec![gaussian(1.0, 0.3)], vec![0.0, 1.0]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rule_validation() {
+        assert!(TskRule::new(vec![], vec![1.0]).is_err());
+        assert!(TskRule::new(vec![gaussian(0.0, 1.0)], vec![1.0]).is_err());
+        assert!(TskRule::new(vec![gaussian(0.0, 1.0)], vec![1.0, f64::NAN]).is_err());
+        assert!(TskRule::new(vec![gaussian(0.0, 1.0)], vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn constant_rule_is_zero_order() {
+        let r = TskRule::constant(vec![gaussian(0.0, 1.0), gaussian(1.0, 1.0)], 7.0).unwrap();
+        assert_eq!(r.consequent(), &[0.0, 0.0, 7.0]);
+        assert_eq!(r.consequent_value(&[123.0, -5.0]), 7.0);
+    }
+
+    #[test]
+    fn fis_validation() {
+        assert!(TskFis::new(vec![]).is_err());
+        let r1 = TskRule::new(vec![gaussian(0.0, 1.0)], vec![0.0, 0.0]).unwrap();
+        let r2 = TskRule::new(
+            vec![gaussian(0.0, 1.0), gaussian(0.0, 1.0)],
+            vec![0.0, 0.0, 0.0],
+        )
+        .unwrap();
+        assert!(TskFis::new(vec![r1, r2]).is_err());
+    }
+
+    #[test]
+    fn firing_strength_is_product() {
+        let r = TskRule::new(
+            vec![gaussian(0.0, 1.0), gaussian(0.0, 1.0)],
+            vec![0.0, 0.0, 1.0],
+        )
+        .unwrap();
+        let w = r.firing_strength(&[1.0, 1.0], TNorm::Product);
+        let single = (-0.5f64).exp();
+        assert!((w - single * single).abs() < 1e-15);
+        let wmin = r.firing_strength(&[1.0, 2.0], TNorm::Minimum);
+        assert!((wmin - (-2.0f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn consequent_linear_function() {
+        let r = TskRule::new(
+            vec![gaussian(0.0, 1.0), gaussian(0.0, 1.0)],
+            vec![2.0, -1.0, 0.5],
+        )
+        .unwrap();
+        assert!((r.consequent_value(&[1.0, 3.0]) - (2.0 - 3.0 + 0.5)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eval_interpolates_between_rules() {
+        let fis = two_rule_1d();
+        assert!((fis.eval(&[0.5]).unwrap() - 0.5).abs() < 1e-12);
+        // Near a center the nearer rule dominates.
+        assert!(fis.eval(&[0.05]).unwrap() < 0.1);
+        assert!(fis.eval(&[0.95]).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn eval_at_rule_center_matches_mixture() {
+        // At x=0 both rules fire: w1 = 1, w2 = exp(-0.5*(1/0.3)^2).
+        let fis = two_rule_1d();
+        let w2 = (-0.5 * (1.0f64 / 0.3) * (1.0 / 0.3)).exp();
+        let want = w2 / (1.0 + w2);
+        assert!((fis.eval(&[0.0]).unwrap() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_within_consequent_hull() {
+        // With all consequents constant, output must stay inside [min, max].
+        let fis = TskFis::new(vec![
+            TskRule::constant(vec![gaussian(0.0, 0.5)], -2.0).unwrap(),
+            TskRule::constant(vec![gaussian(1.0, 0.5)], 3.0).unwrap(),
+        ])
+        .unwrap();
+        let mut x = -1.0;
+        while x <= 2.0 {
+            let y = fis.eval(&[x]).unwrap();
+            assert!((-2.0..=3.0).contains(&y), "x={x} y={y}");
+            x += 0.05;
+        }
+    }
+
+    #[test]
+    fn eval_detailed_consistency() {
+        let fis = two_rule_1d();
+        let e = fis.eval_detailed(&[0.3]).unwrap();
+        assert_eq!(e.firing.len(), 2);
+        let sum: f64 = e.normalized_firing.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        let manual: f64 = e
+            .normalized_firing
+            .iter()
+            .zip(&e.consequent_values)
+            .map(|(w, f)| w * f)
+            .sum();
+        assert_eq!(manual, e.output);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let fis = two_rule_1d();
+        assert!(matches!(
+            fis.eval(&[0.1, 0.2]),
+            Err(FuzzyError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn far_input_reports_no_rule_fired() {
+        let fis = two_rule_1d();
+        // 1e5 sigma away: both Gaussians underflow to exactly 0.
+        assert!(matches!(fis.eval(&[3.0e4]), Err(FuzzyError::NoRuleFired)));
+    }
+
+    #[test]
+    fn eval_batch_propagates() {
+        let fis = two_rule_1d();
+        let ys = fis.eval_batch(&[vec![0.0], vec![1.0]]).unwrap();
+        assert_eq!(ys.len(), 2);
+        assert!(fis.eval_batch(&[vec![0.0], vec![3.0e4]]).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_eval() {
+        let fis = two_rule_1d();
+        let json = serde_json::to_string(&fis).unwrap();
+        let back: TskFis = serde_json::from_str(&json).unwrap();
+        for &x in &[0.0, 0.25, 0.7, 1.0] {
+            assert_eq!(fis.eval(&[x]).unwrap(), back.eval(&[x]).unwrap());
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Least-squares front end over the SVD, QR and normal-equation backends.
+//!
+//! The paper fits TSK consequents by solving one large over-determined linear
+//! system with SVD (§2.2.2). We expose the method as an enum so that the
+//! ABL-LSQ ablation can swap backends without touching the training code.
+
+use crate::matrix::Matrix;
+use crate::qr::Qr;
+use crate::svd::Svd;
+use crate::{MathError, Result};
+
+/// Backend used to solve `A x ≈ b` in the least-squares sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LstsqMethod {
+    /// Singular value decomposition (the paper's choice): handles
+    /// rank-deficient systems by truncating small singular values.
+    #[default]
+    Svd,
+    /// Householder QR: faster, but fails on rank-deficient systems.
+    Qr,
+    /// Normal equations `AᵀA x = Aᵀb` with a tiny ridge term: fastest and
+    /// least accurate (squares the condition number).
+    NormalEquations,
+}
+
+impl std::fmt::Display for LstsqMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LstsqMethod::Svd => f.write_str("svd"),
+            LstsqMethod::Qr => f.write_str("qr"),
+            LstsqMethod::NormalEquations => f.write_str("normal-equations"),
+        }
+    }
+}
+
+/// Solve `A x ≈ b` in the least-squares sense with the given backend.
+///
+/// # Errors
+///
+/// * [`MathError::DimensionMismatch`] if `b.len() != a.rows()` or `a` is
+///   wider than tall.
+/// * [`MathError::Singular`] from the QR / normal-equation backends on
+///   rank-deficient input (the SVD backend instead returns the minimum-norm
+///   solution).
+pub fn lstsq(a: &Matrix, b: &[f64], method: LstsqMethod) -> Result<Vec<f64>> {
+    if b.len() != a.rows() {
+        return Err(MathError::DimensionMismatch {
+            context: "lstsq rhs",
+            expected: a.rows(),
+            actual: b.len(),
+        });
+    }
+    match method {
+        LstsqMethod::Svd => Svd::new(a)?.solve(b),
+        LstsqMethod::Qr => Qr::new(a)?.solve(b),
+        LstsqMethod::NormalEquations => normal_equations(a, b),
+    }
+}
+
+/// Residual 2-norm `||A x - b||`.
+///
+/// # Errors
+///
+/// Returns [`MathError::DimensionMismatch`] on shape mismatch.
+pub fn residual_norm(a: &Matrix, x: &[f64], b: &[f64]) -> Result<f64> {
+    let ax = a.matvec(x)?;
+    if ax.len() != b.len() {
+        return Err(MathError::DimensionMismatch {
+            context: "residual rhs",
+            expected: ax.len(),
+            actual: b.len(),
+        });
+    }
+    Ok(ax
+        .iter()
+        .zip(b)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        .sqrt())
+}
+
+fn normal_equations(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let at = a.transpose();
+    let mut ata = at.matmul(a)?;
+    let atb = at.matvec(b)?;
+    // Tiny ridge keeps the Cholesky-style elimination alive on borderline
+    // conditioning; genuinely singular systems still error out below.
+    let ridge = 1e-12 * ata.max_abs().max(1.0);
+    for i in 0..ata.rows() {
+        ata[(i, i)] += ridge;
+    }
+    gauss_solve(ata, atb)
+}
+
+/// Gaussian elimination with partial pivoting on a square system.
+fn gauss_solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>> {
+    let n = a.rows();
+    debug_assert_eq!(a.cols(), n);
+    debug_assert_eq!(b.len(), n);
+    let scale = a.max_abs().max(1.0);
+    for k in 0..n {
+        // Partial pivot.
+        let mut piv = k;
+        for i in (k + 1)..n {
+            if a[(i, k)].abs() > a[(piv, k)].abs() {
+                piv = i;
+            }
+        }
+        if a[(piv, k)].abs() < 1e-13 * scale {
+            return Err(MathError::Singular("gaussian elimination pivot"));
+        }
+        if piv != k {
+            for j in 0..n {
+                let tmp = a[(k, j)];
+                a[(k, j)] = a[(piv, j)];
+                a[(piv, j)] = tmp;
+            }
+            b.swap(k, piv);
+        }
+        for i in (k + 1)..n {
+            let f = a[(i, k)] / a[(k, k)];
+            if f == 0.0 {
+                continue;
+            }
+            for j in k..n {
+                let akj = a[(k, j)];
+                a[(i, j)] -= f * akj;
+            }
+            b[i] -= f * b[k];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for k in (0..n).rev() {
+        let mut acc = b[k];
+        for j in (k + 1)..n {
+            acc -= a[(k, j)] * x[j];
+        }
+        x[k] = acc / a[(k, k)];
+    }
+    Ok(x)
+}
+
+/// Solve the square linear system `A x = b` by Gaussian elimination with
+/// partial pivoting.
+///
+/// # Errors
+///
+/// * [`MathError::DimensionMismatch`] if `A` is not square or `b` has the
+///   wrong length.
+/// * [`MathError::Singular`] if a pivot vanishes.
+pub fn solve_square(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    if a.rows() != a.cols() {
+        return Err(MathError::DimensionMismatch {
+            context: "solve_square shape",
+            expected: a.rows(),
+            actual: a.cols(),
+        });
+    }
+    if b.len() != a.rows() {
+        return Err(MathError::DimensionMismatch {
+            context: "solve_square rhs",
+            expected: a.rows(),
+            actual: b.len(),
+        });
+    }
+    gauss_solve(a.clone(), b.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    fn regression_fixture() -> (Matrix, Vec<f64>) {
+        // y = 1.5x0 - 0.5x1 + 2 with exact targets.
+        let rows: Vec<Vec<f64>> = (0..8)
+            .map(|i| {
+                let x0 = i as f64;
+                let x1 = (i as f64 * 0.7).sin();
+                vec![x0, x1, 1.0]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 1.5 * r[0] - 0.5 * r[1] + 2.0).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs), y)
+    }
+
+    #[test]
+    fn all_backends_agree_on_well_posed_system() {
+        let (a, y) = regression_fixture();
+        for m in [
+            LstsqMethod::Svd,
+            LstsqMethod::Qr,
+            LstsqMethod::NormalEquations,
+        ] {
+            let x = lstsq(&a, &y, m).unwrap();
+            assert_close(x[0], 1.5, 1e-6);
+            assert_close(x[1], -0.5, 1e-6);
+            assert_close(x[2], 2.0, 1e-6);
+        }
+    }
+
+    #[test]
+    fn svd_survives_rank_deficiency_qr_does_not() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let b = [1.0, 2.0, 3.0];
+        assert!(lstsq(&a, &b, LstsqMethod::Svd).is_ok());
+        assert!(lstsq(&a, &b, LstsqMethod::Qr).is_err());
+    }
+
+    #[test]
+    fn residual_zero_for_consistent_system() {
+        let (a, y) = regression_fixture();
+        let x = lstsq(&a, &y, LstsqMethod::Svd).unwrap();
+        assert!(residual_norm(&a, &x, &y).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn residual_is_minimal() {
+        // Inconsistent system: residual of LS solution must not exceed the
+        // residual of nearby perturbed solutions.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let b = [1.0, 1.0, 0.0];
+        let x = lstsq(&a, &b, LstsqMethod::Svd).unwrap();
+        let r0 = residual_norm(&a, &x, &b).unwrap();
+        for d in [[0.01, 0.0], [0.0, 0.01], [-0.02, 0.015]] {
+            let xp = [x[0] + d[0], x[1] + d[1]];
+            assert!(residual_norm(&a, &xp, &b).unwrap() >= r0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::identity(2);
+        assert!(lstsq(&a, &[1.0], LstsqMethod::Svd).is_err());
+    }
+
+    #[test]
+    fn solve_square_pivoting() {
+        // Requires a row swap (zero leading pivot).
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve_square(&a, &[3.0, 5.0]).unwrap();
+        assert_close(x[0], 5.0, 1e-12);
+        assert_close(x[1], 3.0, 1e-12);
+    }
+
+    #[test]
+    fn solve_square_singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            solve_square(&a, &[1.0, 2.0]),
+            Err(MathError::Singular(_))
+        ));
+    }
+
+    #[test]
+    fn solve_square_shape_checks() {
+        let a = Matrix::zeros(2, 3);
+        assert!(solve_square(&a, &[1.0, 2.0]).is_err());
+        let a = Matrix::identity(2);
+        assert!(solve_square(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn method_display() {
+        assert_eq!(LstsqMethod::Svd.to_string(), "svd");
+        assert_eq!(LstsqMethod::default(), LstsqMethod::Svd);
+    }
+}

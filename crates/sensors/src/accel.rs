@@ -1,0 +1,215 @@
+//! The virtual 3-axis accelerometer: gravity projection + context motion +
+//! per-axis noise channels, sampled at a fixed rate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::motion::acceleration;
+use crate::noise::{NoiseChannel, NoiseModel};
+use crate::user::UserStyle;
+use crate::{Context, Result, SensorError};
+
+/// Standard gravity (m/s²).
+pub const GRAVITY: f64 = 9.81;
+
+/// One raw accelerometer sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelSample {
+    /// Time stamp in seconds since sensor start.
+    pub t: f64,
+    /// Acceleration per axis (m/s²), gravity included.
+    pub axes: [f64; 3],
+}
+
+/// The virtual ADXL sensor.
+#[derive(Debug, Clone)]
+pub struct Accelerometer {
+    rate_hz: f64,
+    channels: [NoiseChannel; 3],
+    rng: StdRng,
+    /// Pen attitude: fraction of gravity on each axis (unit vector).
+    gravity_dir: [f64; 3],
+    sample_index: u64,
+}
+
+impl Accelerometer {
+    /// Create a sensor sampling at `rate_hz` with the given noise model and
+    /// RNG seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InvalidParameter`] unless
+    /// `1 <= rate_hz <= 10_000`.
+    pub fn new(rate_hz: f64, noise: NoiseModel, seed: u64) -> Result<Self> {
+        if !(1.0..=10_000.0).contains(&rate_hz) {
+            return Err(SensorError::InvalidParameter {
+                name: "rate_hz",
+                value: rate_hz,
+            });
+        }
+        let mut accel = Accelerometer {
+            rate_hz,
+            channels: [
+                NoiseChannel::new(noise),
+                NoiseChannel::new(noise),
+                NoiseChannel::new(noise),
+            ],
+            rng: StdRng::seed_from_u64(seed),
+            gravity_dir: [0.0, 0.0, 1.0],
+            sample_index: 0,
+        };
+        // Pen resting roughly horizontally with a slight tilt
+        // (set_attitude normalizes).
+        accel.set_attitude([0.12, 0.08, 0.989]);
+        Ok(accel)
+    }
+
+    /// 100 Hz sensor with default noise — the configuration used by the
+    /// experiments.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in constants; the `Result` mirrors
+    /// [`Accelerometer::new`].
+    pub fn standard(seed: u64) -> Result<Self> {
+        Accelerometer::new(100.0, NoiseModel::default(), seed)
+    }
+
+    /// Sampling rate in Hz.
+    pub fn rate_hz(&self) -> f64 {
+        self.rate_hz
+    }
+
+    /// Current sensor time (seconds).
+    pub fn now(&self) -> f64 {
+        self.sample_index as f64 / self.rate_hz
+    }
+
+    /// Re-orient the pen (unit-normalized internally); playing with the pen
+    /// changes its attitude, which the scenario generator exploits.
+    pub fn set_attitude(&mut self, dir: [f64; 3]) {
+        let norm = (dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2]).sqrt();
+        if norm > 0.0 {
+            self.gravity_dir = [dir[0] / norm, dir[1] / norm, dir[2] / norm];
+        }
+    }
+
+    /// Produce the next sample for the given context/style. `phase`
+    /// decorrelates motion between scenario segments.
+    pub fn sample(&mut self, context: Context, style: &UserStyle, phase: f64) -> AccelSample {
+        let t = self.now();
+        let motion = acceleration(context, style, t, phase);
+        let tremor = if style.tremor > 0.0 && context != Context::LyingStill {
+            style.tremor
+        } else {
+            0.0
+        };
+        let mut axes = [0.0; 3];
+        for (i, axis) in axes.iter_mut().enumerate() {
+            let clean = GRAVITY * self.gravity_dir[i]
+                + motion[i]
+                + tremor * crate::noise::gaussian(&mut self.rng);
+            *axis = self.channels[i].apply(&mut self.rng, clean);
+        }
+        self.sample_index += 1;
+        AccelSample { t, axes }
+    }
+
+    /// Produce `n` consecutive samples.
+    pub fn sample_n(
+        &mut self,
+        context: Context,
+        style: &UserStyle,
+        phase: f64,
+        n: usize,
+    ) -> Vec<AccelSample> {
+        (0..n).map(|_| self.sample(context, style, phase)).collect()
+    }
+
+    /// Fresh random phase for a new scenario segment.
+    pub fn next_phase(&mut self) -> f64 {
+        self.rng.gen::<f64>() * std::f64::consts::TAU
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn std_dev(xs: &[f64]) -> f64 {
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn construction_validated() {
+        assert!(Accelerometer::new(0.5, NoiseModel::default(), 0).is_err());
+        assert!(Accelerometer::new(20000.0, NoiseModel::default(), 0).is_err());
+        assert!(Accelerometer::standard(0).is_ok());
+    }
+
+    #[test]
+    fn lying_still_measures_gravity() {
+        let mut acc = Accelerometer::new(100.0, NoiseModel::ideal(), 1).unwrap();
+        let s = acc.sample(Context::LyingStill, &UserStyle::default(), 0.0);
+        let mag = (s.axes[0].powi(2) + s.axes[1].powi(2) + s.axes[2].powi(2)).sqrt();
+        assert!((mag - GRAVITY).abs() < 1e-9, "magnitude {mag}");
+    }
+
+    #[test]
+    fn timestamps_advance_at_rate() {
+        let mut acc = Accelerometer::standard(2).unwrap();
+        let samples = acc.sample_n(Context::Writing, &UserStyle::default(), 0.0, 5);
+        for (i, s) in samples.iter().enumerate() {
+            assert!((s.t - i as f64 * 0.01).abs() < 1e-12);
+        }
+        assert!((acc.now() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn context_energy_visible_in_std_dev() {
+        let style = UserStyle::default();
+        let run = |ctx: Context| {
+            let mut acc = Accelerometer::standard(3).unwrap();
+            let samples = acc.sample_n(ctx, &style, 0.0, 200);
+            let xs: Vec<f64> = samples.iter().map(|s| s.axes[0]).collect();
+            std_dev(&xs)
+        };
+        let still = run(Context::LyingStill);
+        let writing = run(Context::Writing);
+        let playing = run(Context::Playing);
+        assert!(still < writing, "{still} {writing}");
+        assert!(writing < playing, "{writing} {playing}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Accelerometer::standard(7).unwrap();
+        let mut b = Accelerometer::standard(7).unwrap();
+        let sa = a.sample_n(Context::Playing, &UserStyle::default(), 0.3, 10);
+        let sb = b.sample_n(Context::Playing, &UserStyle::default(), 0.3, 10);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn attitude_rotates_gravity() {
+        let mut acc = Accelerometer::new(100.0, NoiseModel::ideal(), 1).unwrap();
+        acc.set_attitude([1.0, 0.0, 0.0]);
+        let s = acc.sample(Context::LyingStill, &UserStyle::default(), 0.0);
+        assert!((s.axes[0] - GRAVITY).abs() < 1e-9);
+        assert!(s.axes[2].abs() < 1e-9);
+    }
+
+    #[test]
+    fn tremor_adds_energy_when_moving() {
+        let style_tremor = UserStyle::new(1.0, 1.0, 1.0).unwrap();
+        let style_steady = UserStyle::default();
+        let sd = |style: &UserStyle| {
+            let mut acc = Accelerometer::new(100.0, NoiseModel::ideal(), 9).unwrap();
+            let samples = acc.sample_n(Context::Writing, style, 0.0, 300);
+            let xs: Vec<f64> = samples.iter().map(|s| s.axes[0]).collect();
+            std_dev(&xs)
+        };
+        assert!(sd(&style_tremor) > sd(&style_steady));
+    }
+}

@@ -1,0 +1,87 @@
+//! The AwarePen context classes (§3.1): lying still, writing, playing
+//! around.
+
+use serde::{Deserialize, Serialize};
+
+/// A pen usage context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Context {
+    /// The pen lies untouched (e.g. on the whiteboard tray).
+    LyingStill,
+    /// Someone writes on the whiteboard.
+    Writing,
+    /// Someone fiddles/plays with the pen (e.g. while thinking).
+    Playing,
+}
+
+impl Context {
+    /// All contexts, in index order.
+    pub const ALL: [Context; 3] = [Context::LyingStill, Context::Writing, Context::Playing];
+
+    /// Stable numeric index (the class identifier `c` fed into the CQM).
+    pub fn index(&self) -> usize {
+        match self {
+            Context::LyingStill => 0,
+            Context::Writing => 1,
+            Context::Playing => 2,
+        }
+    }
+
+    /// Inverse of [`Context::index`].
+    pub fn from_index(i: usize) -> Option<Context> {
+        Context::ALL.get(i).copied()
+    }
+
+    /// Human-readable name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Context::LyingStill => "lying still",
+            Context::Writing => "writing",
+            Context::Playing => "playing",
+        }
+    }
+}
+
+impl std::fmt::Display for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for c in Context::ALL {
+            assert_eq!(Context::from_index(c.index()), Some(c));
+        }
+        assert_eq!(Context::from_index(3), None);
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        let mut seen = [false; 3];
+        for c in Context::ALL {
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Context::LyingStill.to_string(), "lying still");
+        assert_eq!(Context::Writing.to_string(), "writing");
+        assert_eq!(Context::Playing.to_string(), "playing");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for c in Context::ALL {
+            let json = serde_json::to_string(&c).unwrap();
+            let back: Context = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, c);
+        }
+    }
+}

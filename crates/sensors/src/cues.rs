@@ -1,0 +1,150 @@
+//! Cue extraction from sample windows.
+//!
+//! The paper's AwarePen maps "standard deviations from three acceleration
+//! (aka adxl) sensor outputs onto context classes" (§3.1) — that is the
+//! [`CueSet::StdDev`] extractor. [`CueSet::Extended`] adds mean-removed
+//! energy, range and zero-crossing-rate cues per axis for the richer-cue
+//! ablation.
+
+use cqm_math::stats::Welford;
+
+use crate::window::Window;
+
+/// Which cue vector to extract from a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CueSet {
+    /// Per-axis standard deviation — the paper's 3-cue configuration.
+    #[default]
+    StdDev,
+    /// Per-axis std-dev, range and zero-crossing rate (9 cues).
+    Extended,
+}
+
+impl CueSet {
+    /// Dimensionality of the produced cue vector.
+    pub fn dim(&self) -> usize {
+        match self {
+            CueSet::StdDev => 3,
+            CueSet::Extended => 9,
+        }
+    }
+
+    /// Extract the cue vector from a window.
+    pub fn extract(&self, window: &Window) -> Vec<f64> {
+        match self {
+            CueSet::StdDev => (0..3).map(|a| axis_std_dev(window, a)).collect(),
+            CueSet::Extended => {
+                let mut cues = Vec::with_capacity(9);
+                for a in 0..3 {
+                    cues.push(axis_std_dev(window, a));
+                }
+                for a in 0..3 {
+                    cues.push(axis_range(window, a));
+                }
+                for a in 0..3 {
+                    cues.push(axis_zero_crossing_rate(window, a));
+                }
+                cues
+            }
+        }
+    }
+}
+
+/// Population standard deviation of one axis (streaming, single pass).
+pub fn axis_std_dev(window: &Window, axis: usize) -> f64 {
+    let mut w = Welford::new();
+    for s in &window.samples {
+        w.push(s.axes[axis]);
+    }
+    w.population_std_dev()
+}
+
+/// Peak-to-peak range of one axis.
+pub fn axis_range(window: &Window, axis: usize) -> f64 {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for s in &window.samples {
+        lo = lo.min(s.axes[axis]);
+        hi = hi.max(s.axes[axis]);
+    }
+    hi - lo
+}
+
+/// Zero-crossing rate of the mean-removed signal of one axis, normalized by
+/// window length (0..1).
+pub fn axis_zero_crossing_rate(window: &Window, axis: usize) -> f64 {
+    let xs = window.axis(axis);
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let mut crossings = 0usize;
+    for pair in xs.windows(2) {
+        if (pair[0] - mean).signum() != (pair[1] - mean).signum() {
+            crossings += 1;
+        }
+    }
+    crossings as f64 / (xs.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::AccelSample;
+
+    fn window_from(xs: &[f64]) -> Window {
+        Window {
+            samples: xs
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| AccelSample {
+                    t: i as f64,
+                    axes: [x, 2.0 * x, 0.0],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn std_dev_matches_definition() {
+        let w = window_from(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((axis_std_dev(&w, 0) - 2.0).abs() < 1e-12);
+        // Second axis is scaled by 2.
+        assert!((axis_std_dev(&w, 1) - 4.0).abs() < 1e-12);
+        // Constant axis.
+        assert_eq!(axis_std_dev(&w, 2), 0.0);
+    }
+
+    #[test]
+    fn range_and_zero_crossings() {
+        let w = window_from(&[1.0, -1.0, 1.0, -1.0, 1.0]);
+        assert_eq!(axis_range(&w, 0), 2.0);
+        // Mean 0.2; signal crosses it on every step: 4 crossings / 4 steps.
+        assert_eq!(axis_zero_crossing_rate(&w, 0), 1.0);
+        let flat = window_from(&[3.0, 3.0, 3.0]);
+        assert_eq!(axis_range(&flat, 0), 0.0);
+    }
+
+    #[test]
+    fn cue_set_dimensions() {
+        let w = window_from(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(CueSet::StdDev.extract(&w).len(), CueSet::StdDev.dim());
+        assert_eq!(CueSet::Extended.extract(&w).len(), CueSet::Extended.dim());
+        assert_eq!(CueSet::StdDev.dim(), 3);
+        assert_eq!(CueSet::Extended.dim(), 9);
+    }
+
+    #[test]
+    fn extended_contains_std_dev_prefix() {
+        let w = window_from(&[0.5, 1.5, -0.5, 2.5]);
+        let basic = CueSet::StdDev.extract(&w);
+        let extended = CueSet::Extended.extract(&w);
+        assert_eq!(&extended[..3], &basic[..]);
+    }
+
+    #[test]
+    fn cues_are_finite_and_nonnegative() {
+        let w = window_from(&[-5.0, 3.0, 0.0, 7.0, -2.0]);
+        for cue in CueSet::Extended.extract(&w) {
+            assert!(cue.is_finite());
+            assert!(cue >= 0.0);
+        }
+    }
+}

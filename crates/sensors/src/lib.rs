@@ -1,0 +1,107 @@
+//! # cqm-sensors — synthetic AwarePen sensing substrate
+//!
+//! The paper's evaluation platform is the **AwarePen**: a whiteboard marker
+//! with a Particle Computer node and a 3-axis ADXL accelerometer, detecting
+//! the contexts *lying still*, *writing* and *playing around* from the
+//! per-axis standard deviation of the acceleration (§3.1).
+//!
+//! Physical hardware being unavailable, this crate provides a faithful
+//! simulation of that sensing chain (DESIGN.md §2 documents the
+//! substitution argument):
+//!
+//! * [`context`] — the three AwarePen contexts;
+//! * [`user`] — per-user motion styles; different writing styles are the
+//!   paper's prime source of classification difficulty ("other users having
+//!   a different style of using the pen while writing", §1);
+//! * [`motion`] — per-context acceleration models (pen physics);
+//! * [`noise`] — sensor imperfections: white noise, slow drift, 8-bit
+//!   quantization, saturation — matching a 2000s ADXL part;
+//! * [`accel`] — the virtual accelerometer combining gravity, motion and
+//!   noise;
+//! * [`window`] + [`cues`] — sliding windows and cue extraction (std-dev
+//!   per axis, §3.1, plus extended cues for ablations);
+//! * [`synth`] — scenario-driven trace generation with **transition
+//!   windows**, reproducing the "user writes, briefly plays while thinking,
+//!   writes again" situation (§1) that produces hard-to-classify samples;
+//! * [`node`] — the virtual sensor node gluing the chain together and
+//!   emitting labeled cue vectors.
+//!
+//! ```
+//! use cqm_sensors::context::Context;
+//! use cqm_sensors::node::SensorNode;
+//! use cqm_sensors::synth::Scenario;
+//!
+//! let scenario = Scenario::new(vec![
+//!     (Context::LyingStill, 3.0),
+//!     (Context::Writing, 5.0),
+//!     (Context::Playing, 4.0),
+//! ]).unwrap();
+//! let mut node = SensorNode::with_seed(7);
+//! let samples = node.run_scenario(&scenario).unwrap();
+//! assert!(!samples.is_empty());
+//! // Every sample: 3 std-dev cues plus a ground-truth label.
+//! assert_eq!(samples[0].cues.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod accel;
+pub mod context;
+pub mod cues;
+pub mod motion;
+pub mod node;
+pub mod noise;
+pub mod replay;
+pub mod synth;
+pub mod user;
+pub mod window;
+
+pub use context::Context;
+pub use node::{LabeledCues, SensorNode};
+pub use synth::Scenario;
+
+/// Errors produced by the sensing substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SensorError {
+    /// A configuration value was out of its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A scenario or window specification was structurally invalid.
+    InvalidSpec(String),
+}
+
+impl std::fmt::Display for SensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SensorError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            SensorError::InvalidSpec(msg) => write!(f, "invalid specification: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SensorError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = SensorError::InvalidParameter {
+            name: "rate",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("rate"));
+        let e = SensorError::InvalidSpec("empty scenario".into());
+        assert!(e.to_string().contains("empty scenario"));
+    }
+}

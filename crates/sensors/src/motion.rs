@@ -1,0 +1,161 @@
+//! Per-context pen motion models.
+//!
+//! Each context produces a characteristic 3-axis acceleration signature
+//! (beyond gravity), parameterized by the [`UserStyle`]:
+//!
+//! * **lying still** — no motion at all; only sensor noise remains;
+//! * **writing** — small-amplitude strokes at a few hertz, dominated by the
+//!   pen-tip plane (x/y), with stroke-to-stroke amplitude modulation;
+//! * **playing** — large, slow, irregular swings on all axes with occasional
+//!   jerks (pen twirling, tapping).
+//!
+//! The amplitudes are chosen so the per-axis standard deviations of the
+//! three contexts form distinct but *adjacent* bands, and so that user
+//! styles overlap them (energetic writing ≈ calm playing) — the error
+//! structure the paper reports.
+
+use crate::user::UserStyle;
+use crate::Context;
+
+/// Deterministic per-context acceleration (m/s², gravity excluded) at time
+/// `t` seconds. `phase` decorrelates independent segments.
+pub fn acceleration(context: Context, style: &UserStyle, t: f64, phase: f64) -> [f64; 3] {
+    match context {
+        Context::LyingStill => [0.0, 0.0, 0.0],
+        Context::Writing => {
+            // Strokes: 3.5 Hz base with amplitude modulated at ~0.4 Hz
+            // (words/pauses) plus a weaker orthogonal component. Writers
+            // also *hold* the pen briefly between words/lines — those
+            // near-still stretches are the windows that get confused with
+            // "lying still" (§1's ambiguity).
+            let f = 3.5 * style.tempo;
+            let amp = 0.9 * style.vigor;
+            let w = t * std::f64::consts::TAU;
+            let hold_gate = (0.22 * style.tempo * w + 1.7 * phase).sin();
+            let hold = if hold_gate > 0.78 { 0.06 } else { 1.0 };
+            let envelope =
+                hold * (0.6 + 0.4 * (0.4 * style.tempo * w + phase).sin().abs());
+            let x = amp * envelope * (f * w + phase).sin();
+            let y = 0.55 * amp * envelope * (1.31 * f * w + 1.2 + phase).sin();
+            // The tip stays on the board, but wrist rotation still couples
+            // a fair share of the stroke energy into the vertical axis.
+            let z = 0.3 * amp * envelope * (0.7 * f * w + 0.5 + phase).sin();
+            [x, y, z]
+        }
+        Context::Playing => {
+            // Slow swings + twirl harmonics + sporadic jerks. Playing is
+            // irregular: the intensity wanders between gentle fiddling
+            // (overlapping an energetic writer's band) and big swings.
+            let f = 1.2 * style.tempo;
+            let intensity = 0.22
+                + 0.78
+                    * (0.17 * t * std::f64::consts::TAU + phase)
+                        .sin()
+                        .abs()
+                        .powf(1.5);
+            let amp = 2.2 * style.vigor * intensity;
+            let w = t * std::f64::consts::TAU;
+            let jerk_gate = (0.23 * w + phase).sin();
+            let jerk = if jerk_gate > 0.93 {
+                2.2 * style.vigor * intensity
+            } else {
+                0.0
+            };
+            // Twirling happens mostly in the hand plane; the vertical axis
+            // carries less than writing's wrist rotation would suggest, so
+            // the per-axis signature alone cannot separate the classes.
+            let x = amp * (f * w + phase).sin() + jerk;
+            let y = amp * 0.8 * (0.77 * f * w + 2.1 + phase).sin();
+            let z = amp * 0.55 * (1.13 * f * w + 4.2 + phase).sin() - jerk * 0.5;
+            [x, y, z]
+        }
+    }
+}
+
+/// Root-mean-square acceleration magnitude of a context over one second of
+/// nominal motion — a scalar summary used by tests and diagnostics.
+pub fn nominal_rms(context: Context, style: &UserStyle) -> f64 {
+    let n = 200;
+    let mut acc = 0.0;
+    for i in 0..n {
+        let t = i as f64 / n as f64;
+        let a = acceleration(context, style, t, 0.0);
+        acc += a[0] * a[0] + a[1] * a[1] + a[2] * a[2];
+    }
+    (acc / n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lying_still_is_motionless() {
+        let s = UserStyle::default();
+        for i in 0..50 {
+            let a = acceleration(Context::LyingStill, &s, i as f64 * 0.01, 0.3);
+            assert_eq!(a, [0.0, 0.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn energy_ordering_nominal_style() {
+        let s = UserStyle::default();
+        let still = nominal_rms(Context::LyingStill, &s);
+        let writing = nominal_rms(Context::Writing, &s);
+        let playing = nominal_rms(Context::Playing, &s);
+        assert!(still < writing, "{still} < {writing}");
+        assert!(writing < playing, "{writing} < {playing}");
+    }
+
+    #[test]
+    fn energetic_writing_overlaps_calm_playing() {
+        // The deliberate ambiguity: an energetic writer's energy reaches
+        // into a calm player's band.
+        let energetic_writing = nominal_rms(Context::Writing, &UserStyle::energetic());
+        let calm_playing = nominal_rms(Context::Playing, &UserStyle::calm());
+        assert!(
+            energetic_writing > 0.55 * calm_playing,
+            "no overlap: writing {energetic_writing} vs playing {calm_playing}"
+        );
+    }
+
+    #[test]
+    fn vigor_scales_amplitude() {
+        let weak = UserStyle::new(0.5, 1.0, 0.0).unwrap();
+        let strong = UserStyle::new(2.0, 1.0, 0.0).unwrap();
+        assert!(
+            nominal_rms(Context::Writing, &strong) > 2.0 * nominal_rms(Context::Writing, &weak)
+        );
+    }
+
+    #[test]
+    fn writing_stays_mostly_planar() {
+        let s = UserStyle::default();
+        let mut z_energy = 0.0;
+        let mut xy_energy = 0.0;
+        for i in 0..400 {
+            let a = acceleration(Context::Writing, &s, i as f64 * 0.005, 0.0);
+            z_energy += a[2] * a[2];
+            xy_energy += a[0] * a[0] + a[1] * a[1];
+        }
+        assert!(z_energy < 0.2 * xy_energy);
+    }
+
+    #[test]
+    fn phase_decorrelates_segments() {
+        let s = UserStyle::default();
+        let a = acceleration(Context::Playing, &s, 0.5, 0.0);
+        let b = acceleration(Context::Playing, &s, 0.5, 2.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = UserStyle::default();
+        assert_eq!(
+            acceleration(Context::Writing, &s, 0.123, 0.7),
+            acceleration(Context::Writing, &s, 0.123, 0.7)
+        );
+    }
+}

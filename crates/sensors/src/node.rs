@@ -1,0 +1,290 @@
+//! The virtual sensor node (the AwarePen's Particle Computer): sampling,
+//! windowing and cue extraction glued into one labeled stream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::accel::Accelerometer;
+use crate::cues::CueSet;
+use crate::synth::Scenario;
+use crate::user::UserStyle;
+use crate::window::Windower;
+use crate::{Context, Result};
+
+/// One labeled cue observation produced by the node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledCues {
+    /// Cue vector (per the node's [`CueSet`]).
+    pub cues: Vec<f64>,
+    /// Ground-truth context (majority context of the window).
+    pub truth: Context,
+    /// Window start time in seconds.
+    pub t: f64,
+    /// Whether the window spans a context change — the hard samples.
+    pub is_transition: bool,
+}
+
+/// Node configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeConfig {
+    /// Sampling rate (Hz).
+    pub rate_hz: f64,
+    /// Window length in samples.
+    pub window: usize,
+    /// Window hop in samples.
+    pub hop: usize,
+    /// Which cues to extract.
+    pub cue_set: CueSet,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        // 100 Hz, 0.5 s windows, 50% overlap: short enough that writing
+        // holds and gentle-playing stretches fill whole windows (the hard
+        // samples), frequent enough for training.
+        NodeConfig {
+            rate_hz: 100.0,
+            window: 50,
+            hop: 25,
+            cue_set: CueSet::StdDev,
+        }
+    }
+}
+
+/// The virtual AwarePen sensor node.
+#[derive(Debug, Clone)]
+pub struct SensorNode {
+    config: NodeConfig,
+    accel: Accelerometer,
+    style: UserStyle,
+    rng: StdRng,
+}
+
+impl SensorNode {
+    /// Create a node with explicit configuration, style and seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation from the accelerometer and
+    /// windower.
+    pub fn new(config: NodeConfig, style: UserStyle, seed: u64) -> Result<Self> {
+        // Validate windower parameters eagerly; the windower itself is
+        // created per run.
+        Windower::new(config.window, config.hop)?;
+        let accel = Accelerometer::new(config.rate_hz, crate::noise::NoiseModel::default(), seed)?;
+        Ok(SensorNode {
+            config,
+            accel,
+            style,
+            rng: StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A),
+        })
+    }
+
+    /// Default configuration, nominal user, explicit seed.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; the default configuration is valid.
+    pub fn with_seed(seed: u64) -> Self {
+        SensorNode::new(NodeConfig::default(), UserStyle::default(), seed)
+            .expect("default node configuration is valid")
+    }
+
+    /// The node's cue dimensionality.
+    pub fn cue_dim(&self) -> usize {
+        self.config.cue_set.dim()
+    }
+
+    /// Replace the user style (e.g. between sessions).
+    pub fn set_style(&mut self, style: UserStyle) {
+        self.style = style;
+    }
+
+    /// Run a scenario and emit labeled cue windows. Windows spanning a
+    /// context change are labeled with the majority context and flagged
+    /// `is_transition` — those are the paper's "difficult to classify"
+    /// samples and are deliberately *kept*.
+    ///
+    /// # Errors
+    ///
+    /// Propagates windower construction failure (impossible after
+    /// [`SensorNode::new`] validation).
+    pub fn run_scenario(&mut self, scenario: &Scenario) -> Result<Vec<LabeledCues>> {
+        let mut windower = Windower::new(self.config.window, self.config.hop)?;
+        let mut out = Vec::new();
+        // Per-sample context labels for majority voting inside windows.
+        let mut labels: std::collections::VecDeque<Context> = std::collections::VecDeque::new();
+        for &(context, duration) in scenario.segments() {
+            let phase = self.accel.next_phase();
+            // Playing changes the pen attitude; settle a new one per segment.
+            if context == Context::Playing {
+                let dir = [
+                    self.rng.gen::<f64>() - 0.5,
+                    self.rng.gen::<f64>() - 0.5,
+                    self.rng.gen::<f64>() * 0.8 + 0.2,
+                ];
+                self.accel.set_attitude(dir);
+            }
+            let n = (duration * self.config.rate_hz).round() as usize;
+            for _ in 0..n {
+                let sample = self.accel.sample(context, &self.style, phase);
+                labels.push_back(context);
+                if let Some(window) = windower.push(sample) {
+                    // The window covers the last `window` labels; with hop
+                    // `h`, `h` labels retire per emitted window.
+                    let window_labels: Vec<Context> = labels
+                        .iter()
+                        .rev()
+                        .take(self.config.window)
+                        .copied()
+                        .collect();
+                    let mut counts = [0usize; 3];
+                    for c in &window_labels {
+                        counts[c.index()] += 1;
+                    }
+                    let majority = (0..3)
+                        .max_by_key(|&i| counts[i])
+                        .and_then(Context::from_index)
+                        .expect("non-empty window");
+                    let is_transition = counts.iter().filter(|&&c| c > 0).count() > 1;
+                    out.push(LabeledCues {
+                        cues: self.config.cue_set.extract(&window),
+                        truth: majority,
+                        t: window.start(),
+                        is_transition,
+                    });
+                    while labels.len() > self.config.window {
+                        labels.pop_front();
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Generate a mixed training corpus: the balanced session plus the
+/// write-think-write situation, run once per user style in
+/// [`UserStyle::population`], with per-style seeds derived from `seed`.
+///
+/// # Errors
+///
+/// Propagates node/scenario construction failures (none for the built-in
+/// configuration).
+pub fn training_corpus(seed: u64, repetitions: usize) -> Result<Vec<LabeledCues>> {
+    let mut out = Vec::new();
+    let scenario = Scenario::balanced_session()?.then(&Scenario::write_think_write()?);
+    for rep in 0..repetitions {
+        for (si, style) in UserStyle::population().into_iter().enumerate() {
+            let node_seed = seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((rep * 31 + si) as u64);
+            let mut node = SensorNode::new(NodeConfig::default(), style, node_seed)?;
+            out.extend(node.run_scenario(&scenario)?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_produces_expected_window_count() {
+        let mut node = SensorNode::with_seed(1);
+        let scenario = Scenario::new(vec![(Context::Writing, 10.0)]).unwrap();
+        let samples = node.run_scenario(&scenario).unwrap();
+        // 1000 samples, window 50, hop 25 -> floor((1000-50)/25)+1 = 39.
+        assert_eq!(samples.len(), 39);
+        for s in &samples {
+            assert_eq!(s.truth, Context::Writing);
+            assert!(!s.is_transition);
+            assert_eq!(s.cues.len(), 3);
+        }
+    }
+
+    #[test]
+    fn transition_windows_flagged() {
+        let mut node = SensorNode::with_seed(2);
+        let scenario = Scenario::new(vec![
+            (Context::LyingStill, 3.0),
+            (Context::Playing, 3.0),
+        ])
+        .unwrap();
+        let samples = node.run_scenario(&scenario).unwrap();
+        assert!(samples.iter().any(|s| s.is_transition));
+        assert!(samples.iter().any(|s| !s.is_transition));
+        // Majority labeling: transition windows still get one of the two
+        // adjacent contexts.
+        for s in &samples {
+            assert!(s.truth == Context::LyingStill || s.truth == Context::Playing);
+        }
+    }
+
+    #[test]
+    fn cue_separation_between_contexts() {
+        let mut node = SensorNode::with_seed(3);
+        let scenario = Scenario::new(vec![
+            (Context::LyingStill, 8.0),
+            (Context::Playing, 8.0),
+        ])
+        .unwrap();
+        let samples = node.run_scenario(&scenario).unwrap();
+        let mean_cue = |ctx: Context| {
+            let sel: Vec<&LabeledCues> = samples
+                .iter()
+                .filter(|s| s.truth == ctx && !s.is_transition)
+                .collect();
+            sel.iter().map(|s| s.cues[0]).sum::<f64>() / sel.len() as f64
+        };
+        assert!(mean_cue(Context::Playing) > 5.0 * mean_cue(Context::LyingStill));
+    }
+
+    #[test]
+    fn determinism_and_seed_sensitivity() {
+        let scenario = Scenario::write_think_write().unwrap();
+        let run = |seed| {
+            let mut node = SensorNode::with_seed(seed);
+            node.run_scenario(&scenario).unwrap()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn timestamps_monotone() {
+        let mut node = SensorNode::with_seed(4);
+        let samples = node
+            .run_scenario(&Scenario::balanced_session().unwrap())
+            .unwrap();
+        for pair in samples.windows(2) {
+            assert!(pair[1].t > pair[0].t);
+        }
+    }
+
+    #[test]
+    fn training_corpus_covers_all_contexts_and_transitions() {
+        let corpus = training_corpus(0, 1).unwrap();
+        for ctx in Context::ALL {
+            assert!(
+                corpus.iter().any(|s| s.truth == ctx),
+                "missing context {ctx}"
+            );
+        }
+        assert!(corpus.iter().any(|s| s.is_transition));
+        // 4 styles, ~ (30+21)s at 2 windows/s each.
+        assert!(corpus.len() > 300, "corpus size {}", corpus.len());
+    }
+
+    #[test]
+    fn style_changes_cue_statistics() {
+        let scenario = Scenario::new(vec![(Context::Writing, 10.0)]).unwrap();
+        let mean_std = |style: UserStyle| {
+            let mut node = SensorNode::new(NodeConfig::default(), style, 9).unwrap();
+            let samples = node.run_scenario(&scenario).unwrap();
+            samples.iter().map(|s| s.cues[0]).sum::<f64>() / samples.len() as f64
+        };
+        assert!(mean_std(UserStyle::energetic()) > mean_std(UserStyle::calm()));
+    }
+}

@@ -1,0 +1,205 @@
+//! Sensor imperfection models for a 2000s-era 3-axis ADXL part on an 8-bit
+//! sensor node: white Gaussian noise, slow thermal drift, quantization and
+//! range saturation.
+
+use rand::Rng;
+
+use crate::{Result, SensorError};
+
+/// Noise model applied to each raw acceleration sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// White-noise standard deviation (m/s²).
+    pub white_sigma: f64,
+    /// Drift random-walk step standard deviation per sample (m/s²).
+    pub drift_sigma: f64,
+    /// Quantization step (m/s²); 0 disables quantization.
+    pub quantization: f64,
+    /// Symmetric full-scale range (m/s²); samples saturate at ±range.
+    pub range: f64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        // ~ADXL202 on a Particle node: ±2 g range (~19.6), 8-bit resolution
+        // (2*19.6/256 ≈ 0.153), moderate noise floor.
+        NoiseModel {
+            white_sigma: 0.09,
+            drift_sigma: 0.0015,
+            quantization: 0.153,
+            range: 19.6,
+        }
+    }
+}
+
+impl NoiseModel {
+    /// Validated constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InvalidParameter`] for negative parameters or
+    /// a non-positive range.
+    pub fn new(white_sigma: f64, drift_sigma: f64, quantization: f64, range: f64) -> Result<Self> {
+        for (name, v) in [
+            ("white_sigma", white_sigma),
+            ("drift_sigma", drift_sigma),
+            ("quantization", quantization),
+        ] {
+            if !(v >= 0.0 && v.is_finite()) {
+                return Err(SensorError::InvalidParameter { name, value: v });
+            }
+        }
+        if !(range > 0.0 && range.is_finite()) {
+            return Err(SensorError::InvalidParameter {
+                name: "range",
+                value: range,
+            });
+        }
+        Ok(NoiseModel {
+            white_sigma,
+            drift_sigma,
+            quantization,
+            range,
+        })
+    }
+
+    /// An ideal (noise-free, continuous, unbounded-range) sensor.
+    pub fn ideal() -> Self {
+        NoiseModel {
+            white_sigma: 0.0,
+            drift_sigma: 0.0,
+            quantization: 0.0,
+            range: f64::INFINITY,
+        }
+    }
+}
+
+/// Stateful noise channel for one axis (owns its drift state).
+#[derive(Debug, Clone)]
+pub struct NoiseChannel {
+    model: NoiseModel,
+    drift: f64,
+}
+
+impl NoiseChannel {
+    /// New channel with zero initial drift.
+    pub fn new(model: NoiseModel) -> Self {
+        NoiseChannel { model, drift: 0.0 }
+    }
+
+    /// Current drift offset.
+    pub fn drift(&self) -> f64 {
+        self.drift
+    }
+
+    /// Corrupt one sample.
+    pub fn apply<R: Rng>(&mut self, rng: &mut R, clean: f64) -> f64 {
+        let m = &self.model;
+        self.drift += m.drift_sigma * gaussian(rng);
+        let mut v = clean + self.drift + m.white_sigma * gaussian(rng);
+        if m.quantization > 0.0 {
+            v = (v / m.quantization).round() * m.quantization;
+        }
+        v.clamp(-m.range, m.range)
+    }
+}
+
+/// Standard normal sample via Box–Muller (the approved `rand` crate has no
+/// normal distribution without `rand_distr`).
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation() {
+        assert!(NoiseModel::new(0.1, 0.01, 0.1, 20.0).is_ok());
+        assert!(NoiseModel::new(-0.1, 0.0, 0.0, 20.0).is_err());
+        assert!(NoiseModel::new(0.1, f64::NAN, 0.0, 20.0).is_err());
+        assert!(NoiseModel::new(0.1, 0.0, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn ideal_channel_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ch = NoiseChannel::new(NoiseModel::ideal());
+        for &x in &[0.0, 1.5, -9.81, 100.0] {
+            assert_eq!(ch.apply(&mut rng, x), x);
+        }
+        assert_eq!(ch.drift(), 0.0);
+    }
+
+    #[test]
+    fn white_noise_statistics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = NoiseModel::new(0.5, 0.0, 0.0, 1e6).unwrap();
+        let mut ch = NoiseChannel::new(model);
+        let n = 20000;
+        let samples: Vec<f64> = (0..n).map(|_| ch.apply(&mut rng, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn quantization_snaps_to_grid() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = NoiseModel::new(0.0, 0.0, 0.25, 100.0).unwrap();
+        let mut ch = NoiseChannel::new(model);
+        let v = ch.apply(&mut rng, 1.13);
+        assert!((v - 1.25).abs() < 1e-12 || (v - 1.0).abs() < 1e-12);
+        let steps = v / 0.25;
+        assert!((steps - steps.round()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = NoiseModel::new(0.0, 0.0, 0.0, 19.6).unwrap();
+        let mut ch = NoiseChannel::new(model);
+        assert_eq!(ch.apply(&mut rng, 50.0), 19.6);
+        assert_eq!(ch.apply(&mut rng, -50.0), -19.6);
+    }
+
+    #[test]
+    fn drift_accumulates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = NoiseModel::new(0.0, 0.1, 0.0, 1e6).unwrap();
+        let mut ch = NoiseChannel::new(model);
+        for _ in 0..1000 {
+            ch.apply(&mut rng, 0.0);
+        }
+        // Random walk: |drift| should be around 0.1 * sqrt(1000) ≈ 3.
+        assert!(ch.drift().abs() > 0.1, "drift {}", ch.drift());
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 50000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let g = gaussian(&mut rng);
+            sum += g;
+            sum2 += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

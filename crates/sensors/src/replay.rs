@@ -1,0 +1,191 @@
+//! Trace recording and replay.
+//!
+//! The original AwareOffice work accumulated recorded sessions "since
+//! several years"; this module provides the equivalent workflow for the
+//! simulator: labeled cue traces can be exported to a simple CSV format,
+//! shared, and replayed into training or evaluation later — making
+//! experiment corpora portable artifacts rather than (seed, code-version)
+//! pairs.
+//!
+//! Format: header `t,is_transition,truth,cue0,cue1,…`, one row per window.
+
+use crate::node::LabeledCues;
+use crate::{Context, Result, SensorError};
+
+/// Serialize a trace to CSV.
+///
+/// # Errors
+///
+/// Returns [`SensorError::InvalidSpec`] for an empty or ragged trace.
+pub fn to_csv(trace: &[LabeledCues]) -> Result<String> {
+    let first = trace
+        .first()
+        .ok_or_else(|| SensorError::InvalidSpec("empty trace".into()))?;
+    let dim = first.cues.len();
+    let mut out = String::from("t,is_transition,truth");
+    for i in 0..dim {
+        out.push_str(&format!(",cue{i}"));
+    }
+    out.push('\n');
+    for w in trace {
+        if w.cues.len() != dim {
+            return Err(SensorError::InvalidSpec(format!(
+                "ragged trace: expected {dim} cues, found {}",
+                w.cues.len()
+            )));
+        }
+        out.push_str(&format!(
+            "{},{},{}",
+            w.t,
+            u8::from(w.is_transition),
+            w.truth.index()
+        ));
+        for c in &w.cues {
+            out.push_str(&format!(",{c}"));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Parse a trace from CSV produced by [`to_csv`].
+///
+/// # Errors
+///
+/// Returns [`SensorError::InvalidSpec`] on malformed headers, rows, numbers
+/// or unknown context indices.
+pub fn from_csv(csv: &str) -> Result<Vec<LabeledCues>> {
+    let mut lines = csv.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| SensorError::InvalidSpec("empty csv".into()))?;
+    let cols: Vec<&str> = header.split(',').collect();
+    if cols.len() < 4 || cols[0] != "t" || cols[1] != "is_transition" || cols[2] != "truth" {
+        return Err(SensorError::InvalidSpec(format!(
+            "unexpected header: {header}"
+        )));
+    }
+    let dim = cols.len() - 3;
+    let mut out = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != dim + 3 {
+            return Err(SensorError::InvalidSpec(format!(
+                "row {}: expected {} fields, found {}",
+                lineno + 2,
+                dim + 3,
+                fields.len()
+            )));
+        }
+        let parse = |s: &str, what: &str| -> Result<f64> {
+            s.parse::<f64>().map_err(|_| {
+                SensorError::InvalidSpec(format!("row {}: bad {what} '{s}'", lineno + 2))
+            })
+        };
+        let t = parse(fields[0], "timestamp")?;
+        let is_transition = match fields[1] {
+            "0" => false,
+            "1" => true,
+            other => {
+                return Err(SensorError::InvalidSpec(format!(
+                    "row {}: bad transition flag '{other}'",
+                    lineno + 2
+                )))
+            }
+        };
+        let truth_idx = fields[2].parse::<usize>().map_err(|_| {
+            SensorError::InvalidSpec(format!("row {}: bad truth '{}'", lineno + 2, fields[2]))
+        })?;
+        let truth = Context::from_index(truth_idx).ok_or_else(|| {
+            SensorError::InvalidSpec(format!("row {}: unknown context {truth_idx}", lineno + 2))
+        })?;
+        let mut cues = Vec::with_capacity(dim);
+        for f in &fields[3..] {
+            let v = parse(f, "cue")?;
+            if !v.is_finite() {
+                return Err(SensorError::InvalidSpec(format!(
+                    "row {}: non-finite cue",
+                    lineno + 2
+                )));
+            }
+            cues.push(v);
+        }
+        out.push(LabeledCues {
+            cues,
+            truth,
+            t,
+            is_transition,
+        });
+    }
+    if out.is_empty() {
+        return Err(SensorError::InvalidSpec("csv has no data rows".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::SensorNode;
+    use crate::synth::Scenario;
+
+    fn sample_trace() -> Vec<LabeledCues> {
+        let mut node = SensorNode::with_seed(9);
+        node.run_scenario(&Scenario::write_think_write().unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let trace = sample_trace();
+        let csv = to_csv(&trace).unwrap();
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(back.len(), trace.len());
+        for (a, b) in trace.iter().zip(&back) {
+            assert_eq!(a.truth, b.truth);
+            assert_eq!(a.is_transition, b.is_transition);
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.cues, b.cues);
+        }
+    }
+
+    #[test]
+    fn header_shape() {
+        let trace = sample_trace();
+        let csv = to_csv(&trace).unwrap();
+        assert!(csv.starts_with("t,is_transition,truth,cue0,cue1,cue2\n"));
+        assert_eq!(csv.lines().count(), trace.len() + 1);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(to_csv(&[]).is_err());
+        assert!(from_csv("").is_err());
+        assert!(from_csv("wrong,header\n").is_err());
+        assert!(from_csv("t,is_transition,truth,cue0\n").is_err()); // no rows
+        assert!(from_csv("t,is_transition,truth,cue0\n1.0,2,0,0.5\n").is_err()); // bad flag
+        assert!(from_csv("t,is_transition,truth,cue0\n1.0,0,9,0.5\n").is_err()); // bad ctx
+        assert!(from_csv("t,is_transition,truth,cue0\n1.0,0,0\n").is_err()); // short row
+        assert!(from_csv("t,is_transition,truth,cue0\n1.0,0,0,NaN\n").is_err());
+        assert!(from_csv("t,is_transition,truth,cue0\nx,0,0,0.5\n").is_err());
+    }
+
+    #[test]
+    fn ragged_trace_rejected_on_export() {
+        let mut trace = sample_trace();
+        trace[1].cues.pop();
+        assert!(to_csv(&trace).is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "t,is_transition,truth,cue0\n1.0,0,1,0.25\n\n2.0,1,2,0.5\n";
+        let trace = from_csv(csv).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[1].truth, Context::Playing);
+        assert!(trace[1].is_transition);
+    }
+}

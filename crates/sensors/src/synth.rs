@@ -1,0 +1,132 @@
+//! Scenario scripting for trace generation.
+//!
+//! A scenario is a timed sequence of contexts, e.g. the paper's motivating
+//! situation: "a user writing a text on the board, then for some seconds
+//! playing with the pen when thinking and then continuing writing" (§1).
+//! Windows spanning a context change are the hard-to-classify transition
+//! samples.
+
+use crate::{Context, Result, SensorError};
+
+/// A timed sequence of `(context, duration-in-seconds)` segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    segments: Vec<(Context, f64)>,
+}
+
+impl Scenario {
+    /// Create a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InvalidSpec`] if the list is empty or any
+    /// duration is non-positive/non-finite.
+    pub fn new(segments: Vec<(Context, f64)>) -> Result<Self> {
+        if segments.is_empty() {
+            return Err(SensorError::InvalidSpec("empty scenario".into()));
+        }
+        for (c, d) in &segments {
+            if !(d.is_finite() && *d > 0.0) {
+                return Err(SensorError::InvalidSpec(format!(
+                    "segment '{c}' has invalid duration {d}"
+                )));
+            }
+        }
+        Ok(Scenario { segments })
+    }
+
+    /// The paper's §1 whiteboard situation: write, think (play), write.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in constants.
+    pub fn write_think_write() -> Result<Self> {
+        Scenario::new(vec![
+            (Context::LyingStill, 2.0),
+            (Context::Writing, 8.0),
+            (Context::Playing, 3.0),
+            (Context::Writing, 6.0),
+            (Context::LyingStill, 2.0),
+        ])
+    }
+
+    /// A balanced session visiting each context twice.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in constants.
+    pub fn balanced_session() -> Result<Self> {
+        Scenario::new(vec![
+            (Context::LyingStill, 5.0),
+            (Context::Writing, 5.0),
+            (Context::Playing, 5.0),
+            (Context::Writing, 5.0),
+            (Context::LyingStill, 5.0),
+            (Context::Playing, 5.0),
+        ])
+    }
+
+    /// Segments.
+    pub fn segments(&self) -> &[(Context, f64)] {
+        &self.segments
+    }
+
+    /// Total duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.segments.iter().map(|(_, d)| d).sum()
+    }
+
+    /// Number of context changes.
+    pub fn transitions(&self) -> usize {
+        self.segments
+            .windows(2)
+            .filter(|w| w[0].0 != w[1].0)
+            .count()
+    }
+
+    /// Concatenate with another scenario.
+    pub fn then(mut self, other: &Scenario) -> Scenario {
+        self.segments.extend_from_slice(&other.segments);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Scenario::new(vec![]).is_err());
+        assert!(Scenario::new(vec![(Context::Writing, 0.0)]).is_err());
+        assert!(Scenario::new(vec![(Context::Writing, -1.0)]).is_err());
+        assert!(Scenario::new(vec![(Context::Writing, f64::NAN)]).is_err());
+        assert!(Scenario::new(vec![(Context::Writing, 1.0)]).is_ok());
+    }
+
+    #[test]
+    fn built_in_scenarios() {
+        let w = Scenario::write_think_write().unwrap();
+        assert_eq!(w.duration(), 21.0);
+        assert_eq!(w.transitions(), 4);
+        let b = Scenario::balanced_session().unwrap();
+        assert_eq!(b.duration(), 30.0);
+        assert_eq!(b.segments().len(), 6);
+    }
+
+    #[test]
+    fn then_concatenates() {
+        let a = Scenario::new(vec![(Context::Writing, 1.0)]).unwrap();
+        let b = Scenario::new(vec![(Context::Playing, 2.0)]).unwrap();
+        let c = a.then(&b);
+        assert_eq!(c.segments().len(), 2);
+        assert_eq!(c.duration(), 3.0);
+        assert_eq!(c.transitions(), 1);
+    }
+
+    #[test]
+    fn same_context_segments_no_transition() {
+        let s = Scenario::new(vec![(Context::Writing, 1.0), (Context::Writing, 2.0)]).unwrap();
+        assert_eq!(s.transitions(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-user motion styles.
+//!
+//! The paper attributes much of the classification difficulty to user
+//! variation: "movement patterns — e.g. produced by other users having a
+//! different style of using the pen while writing — are much more difficult
+//! to classify" (§1). A [`UserStyle`] scales the amplitude and tempo of the
+//! motion models; an *energetic writer* overlaps with a *calm player*,
+//! which is precisely the ambiguity the CQM must detect.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, SensorError};
+
+/// A user's motion style: multiplicative modifiers on the motion models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserStyle {
+    /// Scales motion amplitude (1.0 = nominal).
+    pub vigor: f64,
+    /// Scales motion frequency (1.0 = nominal).
+    pub tempo: f64,
+    /// Additional hand tremor amplitude in m/s² (0 = steady hand).
+    pub tremor: f64,
+}
+
+impl Default for UserStyle {
+    fn default() -> Self {
+        UserStyle {
+            vigor: 1.0,
+            tempo: 1.0,
+            tremor: 0.0,
+        }
+    }
+}
+
+impl UserStyle {
+    /// Validated constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InvalidParameter`] unless `vigor` and `tempo`
+    /// are in `(0, 5]` and `tremor` in `[0, 2]`.
+    pub fn new(vigor: f64, tempo: f64, tremor: f64) -> Result<Self> {
+        if !(vigor > 0.0 && vigor <= 5.0) {
+            return Err(SensorError::InvalidParameter {
+                name: "vigor",
+                value: vigor,
+            });
+        }
+        if !(tempo > 0.0 && tempo <= 5.0) {
+            return Err(SensorError::InvalidParameter {
+                name: "tempo",
+                value: tempo,
+            });
+        }
+        if !(0.0..=2.0).contains(&tremor) {
+            return Err(SensorError::InvalidParameter {
+                name: "tremor",
+                value: tremor,
+            });
+        }
+        Ok(UserStyle {
+            vigor,
+            tempo,
+            tremor,
+        })
+    }
+
+    /// A calm, precise writer (low amplitude — writing cues close to the
+    /// lying-still regime).
+    pub fn calm() -> Self {
+        UserStyle {
+            vigor: 0.55,
+            tempo: 0.8,
+            tremor: 0.02,
+        }
+    }
+
+    /// An energetic user whose writing looks like gentle playing.
+    pub fn energetic() -> Self {
+        UserStyle {
+            vigor: 1.9,
+            tempo: 1.4,
+            tremor: 0.12,
+        }
+    }
+
+    /// A nervous user with visible tremor.
+    pub fn nervous() -> Self {
+        UserStyle {
+            vigor: 1.1,
+            tempo: 1.7,
+            tremor: 0.5,
+        }
+    }
+
+    /// The population used by the experiments: nominal plus the three
+    /// stereotypes.
+    pub fn population() -> Vec<UserStyle> {
+        vec![
+            UserStyle::default(),
+            UserStyle::calm(),
+            UserStyle::energetic(),
+            UserStyle::nervous(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_nominal() {
+        let s = UserStyle::default();
+        assert_eq!(s.vigor, 1.0);
+        assert_eq!(s.tempo, 1.0);
+        assert_eq!(s.tremor, 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(UserStyle::new(1.0, 1.0, 0.0).is_ok());
+        assert!(UserStyle::new(0.0, 1.0, 0.0).is_err());
+        assert!(UserStyle::new(1.0, 6.0, 0.0).is_err());
+        assert!(UserStyle::new(1.0, 1.0, -0.1).is_err());
+        assert!(UserStyle::new(1.0, 1.0, 3.0).is_err());
+    }
+
+    #[test]
+    fn stereotypes_are_distinct_and_valid() {
+        let pop = UserStyle::population();
+        assert_eq!(pop.len(), 4);
+        for s in &pop {
+            assert!(UserStyle::new(s.vigor, s.tempo, s.tremor).is_ok());
+        }
+        // Energetic writes harder than calm.
+        assert!(UserStyle::energetic().vigor > UserStyle::calm().vigor);
+    }
+}

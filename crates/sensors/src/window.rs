@@ -1,0 +1,191 @@
+//! Sliding-window segmentation of the raw sample stream.
+//!
+//! The AwarePen computes its cues over fixed windows of accelerometer
+//! samples; the window length trades latency against cue stability.
+
+use crate::accel::AccelSample;
+use crate::{Result, SensorError};
+
+/// A window of consecutive samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Window {
+    /// The samples (non-empty).
+    pub samples: Vec<AccelSample>,
+}
+
+impl Window {
+    /// Start time of the window.
+    pub fn start(&self) -> f64 {
+        self.samples.first().expect("non-empty window").t
+    }
+
+    /// End time of the window.
+    pub fn end(&self) -> f64 {
+        self.samples.last().expect("non-empty window").t
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Windows are never empty; this mirrors the std convention anyway.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// One axis of the window as a contiguous vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= 3`.
+    pub fn axis(&self, axis: usize) -> Vec<f64> {
+        assert!(axis < 3, "axis index out of range");
+        self.samples.iter().map(|s| s.axes[axis]).collect()
+    }
+}
+
+/// Fixed-size windower with configurable hop (overlap = size − hop).
+#[derive(Debug, Clone)]
+pub struct Windower {
+    size: usize,
+    hop: usize,
+    buffer: Vec<AccelSample>,
+}
+
+impl Windower {
+    /// Create a windower emitting windows of `size` samples every `hop`
+    /// samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InvalidSpec`] unless `size >= 2` and
+    /// `1 <= hop <= size`.
+    pub fn new(size: usize, hop: usize) -> Result<Self> {
+        if size < 2 {
+            return Err(SensorError::InvalidSpec(format!(
+                "window size {size} must be >= 2"
+            )));
+        }
+        if hop == 0 || hop > size {
+            return Err(SensorError::InvalidSpec(format!(
+                "hop {hop} must be in 1..={size}"
+            )));
+        }
+        Ok(Windower {
+            size,
+            hop,
+            buffer: Vec::new(),
+        })
+    }
+
+    /// Non-overlapping windower (`hop == size`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Windower::new`].
+    pub fn tumbling(size: usize) -> Result<Self> {
+        Windower::new(size, size)
+    }
+
+    /// Window size in samples.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Feed one sample; returns a completed window when one is due.
+    pub fn push(&mut self, sample: AccelSample) -> Option<Window> {
+        self.buffer.push(sample);
+        if self.buffer.len() == self.size {
+            let window = Window {
+                samples: self.buffer.clone(),
+            };
+            self.buffer.drain(..self.hop);
+            Some(window)
+        } else {
+            None
+        }
+    }
+
+    /// Feed many samples; returns all completed windows.
+    pub fn push_all(&mut self, samples: &[AccelSample]) -> Vec<Window> {
+        samples.iter().filter_map(|&s| self.push(s)).collect()
+    }
+
+    /// Discard any partial window (e.g. at a segment boundary).
+    pub fn reset(&mut self) {
+        self.buffer.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64) -> AccelSample {
+        AccelSample {
+            t,
+            axes: [t, 2.0 * t, -t],
+        }
+    }
+
+    #[test]
+    fn construction_validated() {
+        assert!(Windower::new(1, 1).is_err());
+        assert!(Windower::new(4, 0).is_err());
+        assert!(Windower::new(4, 5).is_err());
+        assert!(Windower::new(4, 4).is_ok());
+        assert!(Windower::tumbling(8).is_ok());
+    }
+
+    #[test]
+    fn tumbling_windows_partition_stream() {
+        let mut w = Windower::tumbling(3).unwrap();
+        let samples: Vec<AccelSample> = (0..9).map(|i| sample(i as f64)).collect();
+        let windows = w.push_all(&samples);
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].start(), 0.0);
+        assert_eq!(windows[0].end(), 2.0);
+        assert_eq!(windows[2].start(), 6.0);
+        assert_eq!(windows[1].len(), 3);
+    }
+
+    #[test]
+    fn overlapping_windows_share_samples() {
+        let mut w = Windower::new(4, 2).unwrap();
+        let samples: Vec<AccelSample> = (0..8).map(|i| sample(i as f64)).collect();
+        let windows = w.push_all(&samples);
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].start(), 0.0);
+        assert_eq!(windows[1].start(), 2.0);
+        assert_eq!(windows[2].start(), 4.0);
+    }
+
+    #[test]
+    fn axis_extraction() {
+        let mut w = Windower::tumbling(2).unwrap();
+        let windows = w.push_all(&[sample(1.0), sample(2.0)]);
+        assert_eq!(windows[0].axis(1), vec![2.0, 4.0]);
+        assert!(!windows[0].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "axis index")]
+    fn axis_bounds_checked() {
+        let mut w = Windower::tumbling(2).unwrap();
+        let windows = w.push_all(&[sample(1.0), sample(2.0)]);
+        let _ = windows[0].axis(3);
+    }
+
+    #[test]
+    fn reset_discards_partial() {
+        let mut w = Windower::tumbling(3).unwrap();
+        assert!(w.push(sample(0.0)).is_none());
+        assert!(w.push(sample(1.0)).is_none());
+        w.reset();
+        assert!(w.push(sample(2.0)).is_none());
+        assert!(w.push(sample(3.0)).is_none());
+        let win = w.push(sample(4.0)).unwrap();
+        assert_eq!(win.start(), 2.0);
+    }
+}

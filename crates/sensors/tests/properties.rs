@@ -1,0 +1,114 @@
+//! Property-based tests for the sensing substrate.
+
+use cqm_sensors::accel::{AccelSample, Accelerometer};
+use cqm_sensors::context::Context;
+use cqm_sensors::cues::CueSet;
+use cqm_sensors::motion::acceleration;
+use cqm_sensors::node::{NodeConfig, SensorNode};
+use cqm_sensors::synth::Scenario;
+use cqm_sensors::user::UserStyle;
+use cqm_sensors::window::{Window, Windower};
+use proptest::prelude::*;
+
+fn any_style() -> impl Strategy<Value = UserStyle> {
+    (0.2f64..3.0, 0.2f64..3.0, 0.0f64..1.0)
+        .prop_map(|(v, t, tr)| UserStyle::new(v, t, tr).unwrap())
+}
+
+fn any_context() -> impl Strategy<Value = Context> {
+    prop_oneof![
+        Just(Context::LyingStill),
+        Just(Context::Writing),
+        Just(Context::Playing),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn motion_is_finite_and_bounded(ctx in any_context(), style in any_style(),
+                                    t in 0.0f64..100.0, phase in 0.0f64..7.0) {
+        let a = acceleration(ctx, &style, t, phase);
+        for v in a {
+            prop_assert!(v.is_finite());
+            // Physical bound: a hand cannot exceed ~30 m/s² with a pen.
+            prop_assert!(v.abs() < 30.0, "{v}");
+        }
+    }
+
+    #[test]
+    fn sensor_samples_within_range(seed in 0u64..500, ctx in any_context(), style in any_style()) {
+        let mut accel = Accelerometer::standard(seed).unwrap();
+        for s in accel.sample_n(ctx, &style, 0.0, 50) {
+            for v in s.axes {
+                prop_assert!(v.is_finite());
+                prop_assert!(v.abs() <= 19.6 + 1e-9, "saturation bound violated: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn windower_emits_expected_count(n in 10usize..300, size in 2usize..20, hop in 1usize..20) {
+        prop_assume!(hop <= size);
+        let mut w = Windower::new(size, hop).unwrap();
+        let samples: Vec<AccelSample> = (0..n)
+            .map(|i| AccelSample { t: i as f64, axes: [0.0; 3] })
+            .collect();
+        let windows = w.push_all(&samples);
+        let expected = if n >= size { (n - size) / hop + 1 } else { 0 };
+        prop_assert_eq!(windows.len(), expected);
+        for win in &windows {
+            prop_assert_eq!(win.len(), size);
+        }
+    }
+
+    #[test]
+    fn cues_nonnegative_finite(xs in prop::collection::vec(-15.0f64..15.0, 4..40)) {
+        let window = Window {
+            samples: xs
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| AccelSample { t: i as f64, axes: [x, -x, 0.5 * x] })
+                .collect(),
+        };
+        for set in [CueSet::StdDev, CueSet::Extended] {
+            let cues = set.extract(&window);
+            prop_assert_eq!(cues.len(), set.dim());
+            for c in cues {
+                prop_assert!(c.is_finite());
+                prop_assert!(c >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_windows_are_fully_labeled(seed in 0u64..200) {
+        let mut node = SensorNode::with_seed(seed);
+        let scenario = Scenario::new(vec![
+            (Context::LyingStill, 2.0),
+            (Context::Writing, 2.0),
+            (Context::Playing, 2.0),
+        ]).unwrap();
+        let windows = node.run_scenario(&scenario).unwrap();
+        prop_assert!(!windows.is_empty());
+        for w in &windows {
+            prop_assert_eq!(w.cues.len(), 3);
+            prop_assert!(w.cues.iter().all(|c| c.is_finite()));
+            prop_assert!(w.t >= 0.0);
+        }
+        // Timestamps strictly increase.
+        for pair in windows.windows(2) {
+            prop_assert!(pair[1].t > pair[0].t);
+        }
+    }
+
+    #[test]
+    fn node_runs_are_reproducible(seed in 0u64..200) {
+        let scenario = Scenario::write_think_write().unwrap();
+        let run = |s| {
+            let mut node = SensorNode::new(NodeConfig::default(), UserStyle::default(), s)
+                .unwrap();
+            node.run_scenario(&scenario).unwrap()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

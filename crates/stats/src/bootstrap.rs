@@ -1,0 +1,242 @@
+//! Bootstrap confidence intervals for the separation statistics.
+//!
+//! The paper draws its conclusions from 24 samples; resampling quantifies
+//! how much such small-set numbers can be trusted (directly relevant to the
+//! LARGE experiment's "the odds … are worse" observation). Percentile
+//! bootstrap over labeled `(quality, right)` samples.
+
+use crate::separation::auc;
+use crate::threshold::optimal_threshold;
+use crate::{mle::QualityGroups, Result, StatsError};
+
+/// A two-sided percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the full sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Confidence level (e.g. 0.95).
+    pub level: f64,
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} [{:.4}, {:.4}] @ {:.0}%",
+            self.estimate,
+            self.lo,
+            self.hi,
+            100.0 * self.level
+        )
+    }
+}
+
+/// Deterministic xorshift resampler (no external RNG dependency here).
+struct Resampler {
+    state: u64,
+}
+
+impl Resampler {
+    fn new(seed: u64) -> Self {
+        Resampler {
+            state: seed.wrapping_mul(0x9E3779B97F4A7C15).max(1),
+        }
+    }
+
+    fn next_index(&mut self, n: usize) -> usize {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        (self.state % n as u64) as usize
+    }
+
+    fn resample<T: Copy>(&mut self, data: &[T]) -> Vec<T> {
+        (0..data.len())
+            .map(|_| data[self.next_index(data.len())])
+            .collect()
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Generic percentile bootstrap over labeled samples: `statistic` maps a
+/// resample to a value; resamples where it fails (e.g. single-outcome
+/// draws) are skipped.
+///
+/// # Errors
+///
+/// * [`StatsError::InvalidData`] if the base statistic fails, fewer than 8
+///   samples are given, or too few resamples succeed.
+pub fn bootstrap_ci<F>(
+    samples: &[(f64, bool)],
+    statistic: F,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+) -> Result<ConfidenceInterval>
+where
+    F: Fn(&[(f64, bool)]) -> Result<f64>,
+{
+    if samples.len() < 8 {
+        return Err(StatsError::InvalidData(format!(
+            "bootstrap needs >= 8 samples, got {}",
+            samples.len()
+        )));
+    }
+    if !(0.5..1.0).contains(&level) {
+        return Err(StatsError::InvalidData(format!(
+            "confidence level {level} outside [0.5, 1)"
+        )));
+    }
+    let estimate = statistic(samples)?;
+    let mut resampler = Resampler::new(seed);
+    let mut values = Vec::with_capacity(replicates);
+    for _ in 0..replicates {
+        let draw = resampler.resample(samples);
+        if let Ok(v) = statistic(&draw) {
+            values.push(v);
+        }
+    }
+    if values.len() < replicates / 2 {
+        return Err(StatsError::InvalidData(format!(
+            "only {}/{replicates} bootstrap resamples were valid",
+            values.len()
+        )));
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
+    let alpha = (1.0 - level) / 2.0;
+    Ok(ConfidenceInterval {
+        estimate,
+        lo: percentile(&values, alpha),
+        hi: percentile(&values, 1.0 - alpha),
+        level,
+    })
+}
+
+/// Bootstrap CI for the AUC of the quality measure.
+///
+/// # Errors
+///
+/// Propagates [`bootstrap_ci`] failures.
+pub fn auc_ci(
+    samples: &[(f64, bool)],
+    replicates: usize,
+    level: f64,
+    seed: u64,
+) -> Result<ConfidenceInterval> {
+    bootstrap_ci(samples, auc, replicates, level, seed)
+}
+
+/// Bootstrap CI for the optimal threshold.
+///
+/// # Errors
+///
+/// Propagates [`bootstrap_ci`] failures.
+pub fn threshold_ci(
+    samples: &[(f64, bool)],
+    replicates: usize,
+    level: f64,
+    seed: u64,
+) -> Result<ConfidenceInterval> {
+    bootstrap_ci(
+        samples,
+        |s| {
+            let groups = QualityGroups::fit_labeled(s)?;
+            if !groups.is_ordered() {
+                return Err(StatsError::InvalidData("unordered resample".into()));
+            }
+            optimal_threshold(&groups).map(|t| t.value)
+        },
+        replicates,
+        level,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separated_samples(n_right: usize, n_wrong: usize) -> Vec<(f64, bool)> {
+        let mut v = Vec::new();
+        for i in 0..n_right {
+            v.push((0.85 + 0.1 * (i as f64 / n_right as f64), true));
+        }
+        for i in 0..n_wrong {
+            v.push((0.2 + 0.3 * (i as f64 / n_wrong as f64), false));
+        }
+        v
+    }
+
+    #[test]
+    fn auc_ci_brackets_estimate() {
+        let samples = separated_samples(30, 15);
+        let ci = auc_ci(&samples, 300, 0.95, 7).unwrap();
+        assert!(ci.lo <= ci.estimate + 1e-12);
+        assert!(ci.hi >= ci.estimate - 1e-12);
+        assert!(ci.estimate > 0.95); // well separated
+        assert!(ci.level == 0.95);
+    }
+
+    #[test]
+    fn threshold_ci_contains_point_estimate() {
+        let samples = separated_samples(24, 12);
+        let ci = threshold_ci(&samples, 300, 0.9, 11).unwrap();
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert!(ci.lo > 0.0 && ci.hi < 1.0);
+    }
+
+    #[test]
+    fn small_sets_have_wider_intervals() {
+        // The LARGE experiment's message in bootstrap form.
+        let small = separated_samples(10, 6);
+        let large = separated_samples(200, 120);
+        let ci_small = auc_ci(&small, 400, 0.95, 3).unwrap();
+        let ci_large = auc_ci(&large, 400, 0.95, 3).unwrap();
+        assert!(
+            ci_small.hi - ci_small.lo >= ci_large.hi - ci_large.lo,
+            "small {} vs large {}",
+            ci_small.hi - ci_small.lo,
+            ci_large.hi - ci_large.lo
+        );
+    }
+
+    #[test]
+    fn validation() {
+        let tiny = separated_samples(3, 2);
+        assert!(auc_ci(&tiny, 100, 0.95, 1).is_err());
+        let ok = separated_samples(20, 10);
+        assert!(auc_ci(&ok, 100, 0.3, 1).is_err());
+        assert!(auc_ci(&ok, 100, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let samples = separated_samples(20, 10);
+        let a = auc_ci(&samples, 200, 0.95, 5).unwrap();
+        let b = auc_ci(&samples, 200, 0.95, 5).unwrap();
+        assert_eq!(a, b);
+        let c = auc_ci(&samples, 200, 0.95, 6).unwrap();
+        assert!(a != c || a.estimate == c.estimate);
+    }
+
+    #[test]
+    fn display_format() {
+        let ci = ConfidenceInterval {
+            estimate: 0.88,
+            lo: 0.8,
+            hi: 0.95,
+            level: 0.95,
+        };
+        let s = ci.to_string();
+        assert!(s.contains("0.8800"));
+        assert!(s.contains("95%"));
+    }
+}

@@ -1,0 +1,299 @@
+//! Confusion-matrix accounting for multi-class context classifiers and for
+//! the binary accept/discard filter decision.
+
+use crate::{Result, StatsError};
+
+/// A `k × k` confusion matrix: `counts[truth][predicted]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<u64>>,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix for `k` classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidData`] if `k == 0`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(StatsError::InvalidData("zero classes".into()));
+        }
+        Ok(ConfusionMatrix {
+            counts: vec![vec![0; k]; k],
+        })
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Record one observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidData`] if either index is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) -> Result<()> {
+        let k = self.classes();
+        if truth >= k || predicted >= k {
+            return Err(StatsError::InvalidData(format!(
+                "class index out of range: truth {truth}, predicted {predicted}, k {k}"
+            )));
+        }
+        self.counts[truth][predicted] += 1;
+        Ok(())
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Raw count cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth][predicted]
+    }
+
+    /// Overall accuracy (0 for an empty matrix).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes()).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of class `c` (`None` if nothing was predicted as `c`).
+    pub fn precision(&self, c: usize) -> Option<f64> {
+        let predicted: u64 = (0..self.classes()).map(|t| self.counts[t][c]).sum();
+        if predicted == 0 {
+            None
+        } else {
+            Some(self.counts[c][c] as f64 / predicted as f64)
+        }
+    }
+
+    /// Recall of class `c` (`None` if class `c` never occurred).
+    pub fn recall(&self, c: usize) -> Option<f64> {
+        let occurred: u64 = self.counts[c].iter().sum();
+        if occurred == 0 {
+            None
+        } else {
+            Some(self.counts[c][c] as f64 / occurred as f64)
+        }
+    }
+
+    /// Macro-averaged F1 over classes that occurred.
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0;
+        for c in 0..self.classes() {
+            if let (Some(p), Some(r)) = (self.precision(c), self.recall(c)) {
+                if p + r > 0.0 {
+                    sum += 2.0 * p * r / (p + r);
+                }
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "truth \\ predicted")?;
+        for row in &self.counts {
+            for c in row {
+                write!(f, "{c:8}")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "accuracy = {:.4}", self.accuracy())
+    }
+}
+
+/// Outcome counts of the accept/discard quality filter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterOutcome {
+    /// Right classifications that were accepted (good).
+    pub accepted_right: u64,
+    /// Wrong classifications that were accepted (bad — slipped through).
+    pub accepted_wrong: u64,
+    /// Right classifications that were discarded (cost of filtering).
+    pub discarded_right: u64,
+    /// Wrong classifications that were discarded (the filter's purpose).
+    pub discarded_wrong: u64,
+    /// Samples whose measure was the error state ε (always discarded).
+    pub epsilon: u64,
+}
+
+impl FilterOutcome {
+    /// Total samples seen.
+    pub fn total(&self) -> u64 {
+        self.accepted_right
+            + self.accepted_wrong
+            + self.discarded_right
+            + self.discarded_wrong
+            + self.epsilon
+    }
+
+    /// Fraction of classifications discarded (the paper's headline is 33 %).
+    pub fn discard_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        (self.discarded_right + self.discarded_wrong + self.epsilon) as f64 / t as f64
+    }
+
+    /// Accuracy of the raw classifications, before filtering.
+    pub fn accuracy_before(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        (self.accepted_right + self.discarded_right) as f64 / t as f64
+    }
+
+    /// Accuracy among accepted classifications, after filtering.
+    pub fn accuracy_after(&self) -> f64 {
+        let accepted = self.accepted_right + self.accepted_wrong;
+        if accepted == 0 {
+            return 0.0;
+        }
+        self.accepted_right as f64 / accepted as f64
+    }
+
+    /// Absolute improvement in accuracy gained by filtering.
+    pub fn improvement(&self) -> f64 {
+        self.accuracy_after() - self.accuracy_before()
+    }
+}
+
+impl std::fmt::Display for FilterOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "accepted {}R/{}W, discarded {}R/{}W, eps {}; discard rate {:.1}%, accuracy {:.1}% -> {:.1}%",
+            self.accepted_right,
+            self.accepted_wrong,
+            self.discarded_right,
+            self.discarded_wrong,
+            self.epsilon,
+            100.0 * self.discard_rate(),
+            100.0 * self.accuracy_before(),
+            100.0 * self.accuracy_after()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_accuracy() {
+        let mut m = ConfusionMatrix::new(3).unwrap();
+        m.record(0, 0).unwrap();
+        m.record(0, 0).unwrap();
+        m.record(1, 1).unwrap();
+        m.record(2, 1).unwrap();
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.count(2, 1), 1);
+        assert!((m.accuracy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall() {
+        let mut m = ConfusionMatrix::new(2).unwrap();
+        // truth 0 predicted 0 twice; truth 1 predicted 0 once; truth 1 predicted 1 once.
+        m.record(0, 0).unwrap();
+        m.record(0, 0).unwrap();
+        m.record(1, 0).unwrap();
+        m.record(1, 1).unwrap();
+        assert!((m.precision(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall(0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((m.precision(1).unwrap() - 1.0).abs() < 1e-12);
+        assert!((m.recall(1).unwrap() - 0.5).abs() < 1e-12);
+        assert!(m.macro_f1() > 0.0);
+    }
+
+    #[test]
+    fn absent_class_yields_none() {
+        let mut m = ConfusionMatrix::new(3).unwrap();
+        m.record(0, 0).unwrap();
+        assert!(m.precision(1).is_none());
+        assert!(m.recall(2).is_none());
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut m = ConfusionMatrix::new(2).unwrap();
+        assert!(m.record(2, 0).is_err());
+        assert!(m.record(0, 5).is_err());
+        assert!(ConfusionMatrix::new(0).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_metrics() {
+        let m = ConfusionMatrix::new(2).unwrap();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.macro_f1(), 0.0);
+    }
+
+    #[test]
+    fn filter_outcome_paper_scenario() {
+        // The paper's 24-point example: 16 right, 8 wrong, filter discards
+        // exactly the 8 wrong ones -> 33% discard, accuracy 66.7% -> 100%.
+        let o = FilterOutcome {
+            accepted_right: 16,
+            accepted_wrong: 0,
+            discarded_right: 0,
+            discarded_wrong: 8,
+            epsilon: 0,
+        };
+        assert_eq!(o.total(), 24);
+        assert!((o.discard_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((o.accuracy_before() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((o.accuracy_after() - 1.0).abs() < 1e-12);
+        assert!((o.improvement() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_outcome_empty() {
+        let o = FilterOutcome::default();
+        assert_eq!(o.discard_rate(), 0.0);
+        assert_eq!(o.accuracy_after(), 0.0);
+    }
+
+    #[test]
+    fn epsilon_counts_as_discard() {
+        let o = FilterOutcome {
+            accepted_right: 2,
+            accepted_wrong: 0,
+            discarded_right: 0,
+            discarded_wrong: 1,
+            epsilon: 1,
+        };
+        assert!((o.discard_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn displays_render() {
+        let mut m = ConfusionMatrix::new(2).unwrap();
+        m.record(0, 0).unwrap();
+        assert!(m.to_string().contains("accuracy"));
+        let o = FilterOutcome::default();
+        assert!(o.to_string().contains("discard rate"));
+    }
+}

@@ -1,0 +1,95 @@
+//! # cqm-stats — statistical analysis of the quality measure (§2.3)
+//!
+//! After the quality FIS is trained, the paper analyses "how the
+//! probabilistic odds are to separate the correct from the wrong
+//! classifications through the measure":
+//!
+//! * [`mle`] — Gaussian maximum-likelihood fits of the quality values of
+//!   right and wrong classifications (§2.31);
+//! * [`threshold`] — the optimal threshold `s` at the **intersection of the
+//!   two density functions** (§2.32; the paper's example finds `s = 0.81`);
+//! * [`probabilities`] — the four tail integrals ("median cuts") and the
+//!   separation/selection quantities built from them (§2.33);
+//! * [`separation`] — ROC curve and AUC over the quality measure, used by
+//!   the LARGE experiment ("for a large set of data the odds for separating
+//!   the data are worse");
+//! * [`confusion`] — plain confusion-matrix accounting for classifier and
+//!   filter evaluation.
+//!
+//! ```
+//! use cqm_stats::mle::QualityGroups;
+//! use cqm_stats::threshold::optimal_threshold;
+//!
+//! let right = vec![0.95, 0.9, 1.0, 0.97, 0.92];
+//! let wrong = vec![0.1, 0.3, 0.2, 0.15, 0.4];
+//! let groups = QualityGroups::fit(&right, &wrong).unwrap();
+//! let s = optimal_threshold(&groups).unwrap();
+//! assert!(s.value > 0.4 && s.value < 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod bootstrap;
+pub mod confusion;
+pub mod mle;
+pub mod probabilities;
+pub mod separation;
+pub mod threshold;
+
+pub use mle::QualityGroups;
+pub use probabilities::TailProbabilities;
+pub use threshold::{optimal_threshold, Threshold};
+
+/// Errors produced by the statistical analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// Propagated from the math substrate.
+    Math(cqm_math::MathError),
+    /// A group of quality values was too small or degenerate.
+    InvalidData(String),
+    /// No usable threshold exists (e.g. identical densities).
+    NoThreshold(String),
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::Math(e) => write!(f, "math error: {e}"),
+            StatsError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
+            StatsError::NoThreshold(msg) => write!(f, "no threshold: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StatsError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cqm_math::MathError> for StatsError {
+    fn from(e: cqm_math::MathError) -> Self {
+        StatsError::Math(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StatsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let e: StatsError = cqm_math::MathError::EmptyInput("x").into();
+        assert!(e.to_string().contains("math"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = StatsError::NoThreshold("identical".into());
+        assert!(e.to_string().contains("identical"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

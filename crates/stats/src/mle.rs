@@ -1,0 +1,178 @@
+//! Gaussian MLE fits of the quality values per correctness class (§2.31).
+//!
+//! "With a maximum likelihood method the normal distributions of the measure
+//! for right and wrong classified data points are estimated." The fit needs
+//! a *second* labeled data set, different from the CQM training set — the
+//! pipeline layer in `cqm-core` enforces that split.
+
+use cqm_math::gaussian::Gaussian;
+
+use crate::{Result, StatsError};
+
+/// Default standard-deviation floor for degenerate groups. A perfectly
+/// separating quality measure can put every right classification at exactly
+/// 1.0; a zero-width density would make the threshold construction
+/// meaningless, so a small floor (on the quality scale `[0, 1]`) is applied.
+pub const DEFAULT_SIGMA_FLOOR: f64 = 0.01;
+
+/// The two fitted densities `ϕ_{µ_r,σ_r}` (right) and `ϕ_{µ_w,σ_w}` (wrong).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityGroups {
+    /// Density of quality values for **right** classifications.
+    pub right: Gaussian,
+    /// Density of quality values for **wrong** classifications.
+    pub wrong: Gaussian,
+    /// Number of right samples used in the fit.
+    pub n_right: usize,
+    /// Number of wrong samples used in the fit.
+    pub n_wrong: usize,
+}
+
+impl QualityGroups {
+    /// Fit both densities with the default sigma floor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidData`] if either group is empty or
+    /// contains non-finite values.
+    pub fn fit(right: &[f64], wrong: &[f64]) -> Result<Self> {
+        Self::fit_with_floor(right, wrong, DEFAULT_SIGMA_FLOOR)
+    }
+
+    /// Fit both densities with an explicit sigma floor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidData`] if either group is empty,
+    /// contains non-finite values, or the floor is non-positive.
+    pub fn fit_with_floor(right: &[f64], wrong: &[f64], sigma_floor: f64) -> Result<Self> {
+        for (name, group) in [("right", right), ("wrong", wrong)] {
+            if group.is_empty() {
+                return Err(StatsError::InvalidData(format!(
+                    "{name} group is empty; the analysis set must contain both outcomes"
+                )));
+            }
+            if group.iter().any(|x| !x.is_finite()) {
+                return Err(StatsError::InvalidData(format!(
+                    "{name} group contains non-finite quality values"
+                )));
+            }
+        }
+        let right_g = Gaussian::mle_with_floor(right, sigma_floor)?;
+        let wrong_g = Gaussian::mle_with_floor(wrong, sigma_floor)?;
+        Ok(QualityGroups {
+            right: right_g,
+            wrong: wrong_g,
+            n_right: right.len(),
+            n_wrong: wrong.len(),
+        })
+    }
+
+    /// Split labeled quality values into groups and fit: `samples` pairs a
+    /// quality value with whether the classification was right.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QualityGroups::fit`].
+    pub fn fit_labeled(samples: &[(f64, bool)]) -> Result<Self> {
+        let right: Vec<f64> = samples.iter().filter(|(_, r)| *r).map(|(q, _)| *q).collect();
+        let wrong: Vec<f64> = samples
+            .iter()
+            .filter(|(_, r)| !*r)
+            .map(|(q, _)| *q)
+            .collect();
+        Self::fit(&right, &wrong)
+    }
+
+    /// Whether the fit is *sane* for thresholding: right-classification
+    /// quality should exceed wrong-classification quality on average. A
+    /// violation means the quality FIS failed to learn anything useful.
+    pub fn is_ordered(&self) -> bool {
+        self.right.mu() > self.wrong.mu()
+    }
+
+    /// Empirical prior of a right classification from the group sizes.
+    pub fn prior_right(&self) -> f64 {
+        self.n_right as f64 / (self.n_right + self.n_wrong) as f64
+    }
+}
+
+impl std::fmt::Display for QualityGroups {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "right ~ {} (n={}), wrong ~ {} (n={})",
+            self.right, self.n_right, self.wrong, self.n_wrong
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_group_statistics() {
+        let right = [0.8, 0.9, 1.0];
+        let wrong = [0.1, 0.2, 0.3];
+        let g = QualityGroups::fit(&right, &wrong).unwrap();
+        assert!((g.right.mu() - 0.9).abs() < 1e-12);
+        assert!((g.wrong.mu() - 0.2).abs() < 1e-12);
+        assert_eq!(g.n_right, 3);
+        assert_eq!(g.n_wrong, 3);
+        assert!(g.is_ordered());
+        assert!((g.prior_right() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_group_rejected_with_useful_message() {
+        let err = QualityGroups::fit(&[], &[0.1]).unwrap_err();
+        assert!(err.to_string().contains("right group is empty"));
+        let err = QualityGroups::fit(&[0.9], &[]).unwrap_err();
+        assert!(err.to_string().contains("wrong group is empty"));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert!(QualityGroups::fit(&[0.9, f64::NAN], &[0.1]).is_err());
+        assert!(QualityGroups::fit(&[0.9], &[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn degenerate_group_uses_floor() {
+        let g = QualityGroups::fit(&[1.0, 1.0, 1.0], &[0.0, 0.0]).unwrap();
+        assert_eq!(g.right.sigma(), DEFAULT_SIGMA_FLOOR);
+        assert_eq!(g.wrong.sigma(), DEFAULT_SIGMA_FLOOR);
+        assert!(g.is_ordered());
+    }
+
+    #[test]
+    fn fit_labeled_partitions() {
+        let samples = [(0.9, true), (0.1, false), (0.8, true), (0.2, false)];
+        let g = QualityGroups::fit_labeled(&samples).unwrap();
+        assert_eq!(g.n_right, 2);
+        assert_eq!(g.n_wrong, 2);
+        assert!((g.right.mu() - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_outcome_labeled_set_rejected() {
+        let samples = [(0.9, true), (0.8, true)];
+        assert!(QualityGroups::fit_labeled(&samples).is_err());
+    }
+
+    #[test]
+    fn unordered_fit_detected() {
+        let g = QualityGroups::fit(&[0.1, 0.2], &[0.8, 0.9]).unwrap();
+        assert!(!g.is_ordered());
+    }
+
+    #[test]
+    fn display_mentions_both_groups() {
+        let g = QualityGroups::fit(&[0.9, 1.0], &[0.1, 0.2]).unwrap();
+        let s = g.to_string();
+        assert!(s.contains("right"));
+        assert!(s.contains("wrong"));
+        assert!(s.contains("n=2"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Empirical separability analysis: ROC curve, AUC and the full-separation
+//! check used by the paper's evaluation ("In the test data set the correct
+//! classifications are fully separable from the wrong contextual
+//! classifications", §3.2).
+
+use crate::{Result, StatsError};
+
+/// One point of an ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Decision threshold that produced this point.
+    pub threshold: f64,
+    /// True-positive rate: fraction of right classifications accepted.
+    pub tpr: f64,
+    /// False-positive rate: fraction of wrong classifications accepted.
+    pub fpr: f64,
+}
+
+/// Empirical ROC over labeled quality samples `(q, was_right)`, treating
+/// "accept (q >= t)" as the positive decision.
+///
+/// Returns points sorted by descending threshold, from (0,0) to (1,1).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidData`] unless both outcomes are present.
+pub fn roc_curve(samples: &[(f64, bool)]) -> Result<Vec<RocPoint>> {
+    let n_pos = samples.iter().filter(|(_, r)| *r).count();
+    let n_neg = samples.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return Err(StatsError::InvalidData(
+            "roc needs both right and wrong samples".into(),
+        ));
+    }
+    if samples.iter().any(|(q, _)| !q.is_finite()) {
+        return Err(StatsError::InvalidData(
+            "non-finite quality value in roc input".into(),
+        ));
+    }
+    let mut sorted: Vec<(f64, bool)> = samples.to_vec();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+    let mut points = vec![RocPoint {
+        threshold: f64::INFINITY,
+        tpr: 0.0,
+        fpr: 0.0,
+    }];
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut i = 0;
+    while i < sorted.len() {
+        // Consume ties together so the curve is well defined.
+        let q = sorted[i].0;
+        while i < sorted.len() && sorted[i].0 == q {
+            if sorted[i].1 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            threshold: q,
+            tpr: tp as f64 / n_pos as f64,
+            fpr: fp as f64 / n_neg as f64,
+        });
+    }
+    Ok(points)
+}
+
+/// Area under the empirical ROC curve by trapezoidal integration.
+///
+/// 1.0 means the measure fully separates right from wrong; 0.5 means it is
+/// uninformative.
+///
+/// # Errors
+///
+/// Propagates [`roc_curve`] failures.
+pub fn auc(samples: &[(f64, bool)]) -> Result<f64> {
+    let curve = roc_curve(samples)?;
+    let mut area = 0.0;
+    for w in curve.windows(2) {
+        area += (w[1].fpr - w[0].fpr) * 0.5 * (w[0].tpr + w[1].tpr);
+    }
+    Ok(area)
+}
+
+/// Whether a single threshold perfectly separates the groups (every right
+/// sample strictly above every wrong one) — the paper's 24-point test set
+/// has this property.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidData`] unless both outcomes are present.
+pub fn fully_separable(samples: &[(f64, bool)]) -> Result<bool> {
+    let min_right = samples
+        .iter()
+        .filter(|(_, r)| *r)
+        .map(|(q, _)| *q)
+        .fold(f64::INFINITY, f64::min);
+    let max_wrong = samples
+        .iter()
+        .filter(|(_, r)| !*r)
+        .map(|(q, _)| *q)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if min_right.is_infinite() || max_wrong.is_infinite() {
+        return Err(StatsError::InvalidData(
+            "separability needs both right and wrong samples".into(),
+        ));
+    }
+    Ok(min_right > max_wrong)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separated() -> Vec<(f64, bool)> {
+        vec![
+            (0.9, true),
+            (0.95, true),
+            (1.0, true),
+            (0.85, true),
+            (0.2, false),
+            (0.3, false),
+            (0.1, false),
+        ]
+    }
+
+    fn mixed() -> Vec<(f64, bool)> {
+        vec![
+            (0.9, true),
+            (0.4, true),
+            (0.6, false),
+            (0.2, false),
+            (0.8, true),
+            (0.7, false),
+        ]
+    }
+
+    #[test]
+    fn perfect_separation_auc_one() {
+        assert!((auc(&separated()).unwrap() - 1.0).abs() < 1e-12);
+        assert!(fully_separable(&separated()).unwrap());
+    }
+
+    #[test]
+    fn mixed_data_auc_below_one() {
+        let a = auc(&mixed()).unwrap();
+        assert!(a < 1.0 && a > 0.5, "auc = {a}");
+        assert!(!fully_separable(&mixed()).unwrap());
+    }
+
+    #[test]
+    fn inverted_measure_auc_below_half() {
+        let inverted: Vec<(f64, bool)> =
+            separated().iter().map(|&(q, r)| (1.0 - q, r)).collect();
+        assert!(auc(&inverted).unwrap() < 0.5);
+    }
+
+    #[test]
+    fn roc_endpoints() {
+        let curve = roc_curve(&mixed()).unwrap();
+        let first = curve.first().unwrap();
+        let last = curve.last().unwrap();
+        assert_eq!((first.tpr, first.fpr), (0.0, 0.0));
+        assert_eq!((last.tpr, last.fpr), (1.0, 1.0));
+        // Monotone non-decreasing in both coordinates.
+        for w in curve.windows(2) {
+            assert!(w[1].tpr >= w[0].tpr);
+            assert!(w[1].fpr >= w[0].fpr);
+        }
+    }
+
+    #[test]
+    fn ties_handled_together() {
+        let samples = vec![(0.5, true), (0.5, false), (0.9, true), (0.1, false)];
+        let curve = roc_curve(&samples).unwrap();
+        // The tie at 0.5 must move tpr and fpr in a single step.
+        let tie_point = curve.iter().find(|p| p.threshold == 0.5).unwrap();
+        assert_eq!(tie_point.tpr, 1.0);
+        assert_eq!(tie_point.fpr, 0.5);
+    }
+
+    #[test]
+    fn single_class_rejected() {
+        assert!(roc_curve(&[(0.5, true)]).is_err());
+        assert!(auc(&[(0.5, false)]).is_err());
+        assert!(fully_separable(&[(0.5, true)]).is_err());
+        assert!(roc_curve(&[(f64::NAN, true), (0.2, false)]).is_err());
+    }
+}

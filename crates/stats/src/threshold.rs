@@ -1,0 +1,212 @@
+//! Optimal threshold determination (§2.32).
+//!
+//! "The threshold s is now determined through the intersection of the two
+//! Gaussian density functions." The closed-form quadratic from
+//! [`cqm_math::gaussian::Gaussian::intersections`] is used first; if it
+//! yields no crossing between the means (extreme σ ratios), a bisection on
+//! the density difference provides the fallback. The module also implements
+//! the paper's remark that an MLE over the *pooled unlabeled* measures
+//! converges to the same threshold for large data.
+
+use cqm_math::roots::bisect;
+
+use crate::mle::QualityGroups;
+use crate::{Result, StatsError};
+
+/// How a threshold was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdMethod {
+    /// Closed-form intersection of the two fitted densities.
+    DensityIntersection,
+    /// Bisection fallback on the density difference.
+    Bisection,
+    /// Mean of the pooled, unlabeled measures (§2.32's "MLE for a data set
+    /// without secondary knowledge").
+    PooledMean,
+}
+
+/// A separation threshold on the quality measure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Threshold {
+    /// The threshold value `s`.
+    pub value: f64,
+    /// How it was computed.
+    pub method: ThresholdMethod,
+}
+
+impl std::fmt::Display for Threshold {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s = {:.4} ({:?})", self.value, self.method)
+    }
+}
+
+/// Compute the optimal threshold as the density intersection between the two
+/// group means.
+///
+/// # Errors
+///
+/// * [`StatsError::InvalidData`] if the groups are unordered (right mean not
+///   above wrong mean) — thresholding a non-informative measure is
+///   meaningless and the caller must know.
+/// * [`StatsError::NoThreshold`] if no crossing exists between the means
+///   even by bisection (identical densities).
+pub fn optimal_threshold(groups: &QualityGroups) -> Result<Threshold> {
+    if !groups.is_ordered() {
+        return Err(StatsError::InvalidData(format!(
+            "right mean {:.4} does not exceed wrong mean {:.4}; quality measure is uninformative",
+            groups.right.mu(),
+            groups.wrong.mu()
+        )));
+    }
+    let lo = groups.wrong.mu();
+    let hi = groups.right.mu();
+    let mid = 0.5 * (lo + hi);
+    // Closed form first. A valid separation threshold is a crossing where
+    // density dominance switches from wrong (below) to right (above) — with
+    // unequal sigmas the crossing between the means may not exist (a wide
+    // wrong density can dominate on both sides of its own mean), but a
+    // wrong→right switch always does when the densities cross at all.
+    let crossings = groups.right.intersections(&groups.wrong);
+    let eps = 1e-6 * (groups.right.sigma() + groups.wrong.sigma());
+    let switches_to_right = |x: f64| {
+        groups.wrong.pdf(x - eps) >= groups.right.pdf(x - eps)
+            && groups.right.pdf(x + eps) >= groups.wrong.pdf(x + eps)
+    };
+    let candidates: Vec<f64> = crossings
+        .iter()
+        .copied()
+        .filter(|&x| switches_to_right(x))
+        .collect();
+    // Prefer a switch between the means; otherwise the one nearest their
+    // midpoint.
+    if let Some(&s) = candidates
+        .iter()
+        .find(|&&x| x >= lo - 1e-12 && x <= hi + 1e-12)
+    {
+        return Ok(Threshold {
+            value: s,
+            method: ThresholdMethod::DensityIntersection,
+        });
+    }
+    if let Some(&s) = candidates.iter().min_by(|a, b| {
+        (*a - mid)
+            .abs()
+            .partial_cmp(&(*b - mid).abs())
+            .expect("finite")
+    }) {
+        return Ok(Threshold {
+            value: s,
+            method: ThresholdMethod::DensityIntersection,
+        });
+    }
+    // Fallback: bisect φ_w − φ_r over [µ_w, µ_r].
+    let f = |x: f64| groups.wrong.pdf(x) - groups.right.pdf(x);
+    match bisect(f, lo, hi, 1e-12) {
+        Ok(s) => Ok(Threshold {
+            value: s,
+            method: ThresholdMethod::Bisection,
+        }),
+        Err(_) => Err(StatsError::NoThreshold(
+            "densities do not cross between the group means".into(),
+        )),
+    }
+}
+
+/// The paper's unlabeled alternative: the mean of the pooled measures. For
+/// balanced groups and an infinite sample this converges to the intersection
+/// threshold.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidData`] for an empty or non-finite pool.
+pub fn pooled_mean_threshold(all_measures: &[f64]) -> Result<Threshold> {
+    if all_measures.is_empty() {
+        return Err(StatsError::InvalidData("empty measure pool".into()));
+    }
+    if all_measures.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::InvalidData(
+            "non-finite value in measure pool".into(),
+        ));
+    }
+    let mean = all_measures.iter().sum::<f64>() / all_measures.len() as f64;
+    Ok(Threshold {
+        value: mean,
+        method: ThresholdMethod::PooledMean,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mle::QualityGroups;
+
+    #[test]
+    fn equal_sigma_threshold_is_midpoint() {
+        let g = QualityGroups::fit_with_floor(&[0.9, 1.0, 0.8], &[0.0, 0.1, 0.2], 0.1).unwrap();
+        // Force equal sigmas by construction: both groups have the same
+        // spread (0.9 +- 0.1 vs 0.1 +- 0.1), so intersection = midpoint 0.5.
+        let t = optimal_threshold(&g).unwrap();
+        assert!((t.value - 0.5).abs() < 1e-9, "{t}");
+        assert_eq!(t.method, ThresholdMethod::DensityIntersection);
+    }
+
+    #[test]
+    fn threshold_between_means() {
+        let right = [0.7, 0.8, 0.85, 0.9, 0.95, 1.0];
+        let wrong = [0.1, 0.25, 0.4, 0.3];
+        let g = QualityGroups::fit(&right, &wrong).unwrap();
+        let t = optimal_threshold(&g).unwrap();
+        assert!(t.value > g.wrong.mu() && t.value < g.right.mu(), "{t}");
+        // The threshold is a density crossing.
+        assert!((g.right.pdf(t.value) - g.wrong.pdf(t.value)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_right_group_pushes_threshold_high() {
+        // The paper's situation: wrong samples rare and spread, right
+        // samples tight near 1 -> threshold close to the high end (0.81 in
+        // the paper's example).
+        let right = [0.95, 0.97, 0.99, 1.0, 0.98, 0.96, 0.97, 0.99];
+        let wrong = [0.2, 0.5, 0.35, 0.6];
+        let g = QualityGroups::fit(&right, &wrong).unwrap();
+        let t = optimal_threshold(&g).unwrap();
+        assert!(t.value > 0.7, "{t}");
+    }
+
+    #[test]
+    fn unordered_groups_rejected() {
+        let g = QualityGroups::fit(&[0.1, 0.2], &[0.8, 0.9]).unwrap();
+        let err = optimal_threshold(&g).unwrap_err();
+        assert!(err.to_string().contains("uninformative"));
+    }
+
+    #[test]
+    fn pooled_mean_threshold_basic() {
+        let t = pooled_mean_threshold(&[0.0, 1.0, 0.5, 0.5]).unwrap();
+        assert!((t.value - 0.5).abs() < 1e-12);
+        assert_eq!(t.method, ThresholdMethod::PooledMean);
+        assert!(pooled_mean_threshold(&[]).is_err());
+        assert!(pooled_mean_threshold(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn pooled_mean_approaches_intersection_for_balanced_groups() {
+        // Balanced, symmetric groups: intersection = 0.5 = pooled mean.
+        let right: Vec<f64> = (0..500).map(|i| 0.8 + 0.1 * ((i % 10) as f64 / 10.0)).collect();
+        let wrong: Vec<f64> = (0..500).map(|i| 0.1 + 0.1 * ((i % 10) as f64 / 10.0)).collect();
+        let g = QualityGroups::fit(&right, &wrong).unwrap();
+        let ti = optimal_threshold(&g).unwrap();
+        let pool: Vec<f64> = right.iter().chain(&wrong).copied().collect();
+        let tp = pooled_mean_threshold(&pool).unwrap();
+        assert!((ti.value - tp.value).abs() < 0.05, "{ti} vs {tp}");
+    }
+
+    #[test]
+    fn display_contains_value() {
+        let t = Threshold {
+            value: 0.81,
+            method: ThresholdMethod::DensityIntersection,
+        };
+        assert!(t.to_string().contains("0.81"));
+    }
+}

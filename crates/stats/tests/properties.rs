@@ -1,0 +1,102 @@
+//! Property-based tests for the statistical analysis layer.
+
+use cqm_stats::confusion::FilterOutcome;
+use cqm_stats::mle::QualityGroups;
+use cqm_stats::probabilities::TailProbabilities;
+use cqm_stats::separation::{auc, roc_curve};
+use cqm_stats::threshold::optimal_threshold;
+use proptest::prelude::*;
+
+fn ordered_groups() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    // Right group above wrong group on average, both inside [0, 1].
+    (
+        prop::collection::vec(0.6f64..1.0, 3..30),
+        prop::collection::vec(0.0f64..0.55, 3..30),
+    )
+}
+
+proptest! {
+    #[test]
+    fn threshold_lies_between_extreme_means((right, wrong) in ordered_groups()) {
+        let groups = QualityGroups::fit(&right, &wrong).unwrap();
+        prop_assume!(groups.is_ordered());
+        let t = optimal_threshold(&groups).unwrap();
+        // The threshold is a crossing where right-dominance begins; it must
+        // sit below the right mean (else nothing would be accepted).
+        prop_assert!(t.value < groups.right.mu() + 1e-9);
+        // And the densities really cross there.
+        prop_assert!(
+            (groups.right.pdf(t.value) - groups.wrong.pdf(t.value)).abs()
+                < 1e-6 * groups.right.pdf(t.value).max(1e-12)
+        );
+    }
+
+    #[test]
+    fn selection_identity_holds_at_threshold((right, wrong) in ordered_groups()) {
+        let groups = QualityGroups::fit(&right, &wrong).unwrap();
+        prop_assume!(groups.is_ordered());
+        let t = optimal_threshold(&groups).unwrap();
+        let p = TailProbabilities::at(&groups, &t);
+        prop_assert!((p.selection_right - p.selection_wrong).abs() < 1e-9);
+        for v in [p.selection_right, p.false_negative, p.false_positive,
+                  p.posterior_right_given_accept, p.posterior_wrong_given_discard] {
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn auc_flip_symmetry(samples in prop::collection::vec((0.0f64..=1.0, any::<bool>()), 4..60)) {
+        let has_both = samples.iter().any(|(_, r)| *r) && samples.iter().any(|(_, r)| !*r);
+        prop_assume!(has_both);
+        let a = auc(&samples).unwrap();
+        // Inverting the measure inverts the ranking: AUC -> 1 - AUC.
+        let flipped: Vec<(f64, bool)> = samples.iter().map(|&(q, r)| (1.0 - q, r)).collect();
+        let b = auc(&flipped).unwrap();
+        prop_assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b}");
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn roc_is_monotone_staircase(samples in prop::collection::vec((0.0f64..=1.0, any::<bool>()), 4..60)) {
+        let has_both = samples.iter().any(|(_, r)| *r) && samples.iter().any(|(_, r)| !*r);
+        prop_assume!(has_both);
+        let curve = roc_curve(&samples).unwrap();
+        prop_assert_eq!(curve.first().map(|p| (p.tpr, p.fpr)), Some((0.0, 0.0)));
+        prop_assert_eq!(curve.last().map(|p| (p.tpr, p.fpr)), Some((1.0, 1.0)));
+        for w in curve.windows(2) {
+            prop_assert!(w[1].tpr >= w[0].tpr - 1e-12);
+            prop_assert!(w[1].fpr >= w[0].fpr - 1e-12);
+            prop_assert!(w[1].threshold <= w[0].threshold);
+        }
+    }
+
+    #[test]
+    fn filter_outcome_metrics_consistent(
+        ar in 0u64..50, aw in 0u64..50, dr in 0u64..50, dw in 0u64..50, eps in 0u64..20,
+    ) {
+        let o = FilterOutcome {
+            accepted_right: ar,
+            accepted_wrong: aw,
+            discarded_right: dr,
+            discarded_wrong: dw,
+            epsilon: eps,
+        };
+        prop_assert_eq!(o.total(), ar + aw + dr + dw + eps);
+        prop_assert!((0.0..=1.0).contains(&o.discard_rate()));
+        prop_assert!((0.0..=1.0).contains(&o.accuracy_before()));
+        prop_assert!((0.0..=1.0).contains(&o.accuracy_after()));
+        // Accuracy definitions agree on the degenerate all-accepted case.
+        if dr == 0 && dw == 0 && eps == 0 && ar + aw > 0 {
+            prop_assert!((o.accuracy_before() - o.accuracy_after()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mle_groups_reflect_sample_means((right, wrong) in ordered_groups()) {
+        let groups = QualityGroups::fit(&right, &wrong).unwrap();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        prop_assert!((groups.right.mu() - mean(&right)).abs() < 1e-9);
+        prop_assert!((groups.wrong.mu() - mean(&wrong)).abs() < 1e-9);
+        prop_assert!(groups.prior_right() > 0.0 && groups.prior_right() < 1.0);
+    }
+}

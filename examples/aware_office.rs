@@ -1,0 +1,63 @@
+//! The paper's motivating application: the whiteboard camera photographs
+//! the board when a writing session ends, driven by AwarePen context events
+//! over the office bus. Compares the quality-aware camera against a naive
+//! one on the identical event stream.
+//!
+//! ```sh
+//! cargo run --example aware_office
+//! ```
+
+use cqm::appliance::office::{run_office, OfficeConfig};
+use cqm::sensors::{Context, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== AwareOffice: whiteboard camera decision ==");
+
+    // A workday-like session: several writing phases with thinking pauses.
+    let scenario = Scenario::new(vec![
+        (Context::LyingStill, 4.0),
+        (Context::Writing, 10.0),
+        (Context::Playing, 4.0), // thinking pause mid-session
+        (Context::Writing, 8.0),
+        (Context::LyingStill, 6.0), // session 1 over -> photo expected
+        (Context::Playing, 5.0),
+        (Context::Writing, 9.0),
+        (Context::LyingStill, 5.0), // session 2 over -> photo expected
+    ])?;
+
+    let config = OfficeConfig {
+        seed: 2026,
+        scenario,
+        ..OfficeConfig::default()
+    };
+    let report = run_office(&config)?;
+
+    println!(
+        "pen classification accuracy   : {:.1}% raw, {:.1}% after CQM filtering",
+        100.0 * report.pen_accuracy,
+        100.0 * report.pen_accuracy_accepted
+    );
+    println!("pen filter accounting         : {}", report.filter);
+
+    for (label, summary) in [
+        ("quality-aware camera", &report.with_quality),
+        ("naive camera        ", &report.without_quality),
+    ] {
+        println!(
+            "{label}: {} expected, {} taken, {} correct, {} false, {} missed (events used {}/{})",
+            summary.camera.expected,
+            summary.camera.taken,
+            summary.camera.correct,
+            summary.camera.false_triggers,
+            summary.camera.missed,
+            summary.events_used,
+            summary.events_seen,
+        );
+    }
+    println!(
+        "decision accuracy             : {:.1}% with CQM vs {:.1}% without",
+        100.0 * report.with_quality.camera.decision_accuracy(),
+        100.0 * report.without_quality.camera.decision_accuracy()
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Offline training, on-device deployment: train the CQM, persist it as a
+//! versioned JSON model (what would be flashed onto the Particle node),
+//! reload it and verify identical behaviour. Also prints the learned rule
+//! base in the paper's linguistic IF-THEN form.
+//!
+//! ```sh
+//! cargo run --example model_persistence
+//! ```
+
+use cqm::appliance::pen::train_pen;
+use cqm::core::classifier::Classifier;
+use cqm::core::model::CqmModel;
+use cqm::fuzzy::linguistic::{verbalize_fis, VariableNames};
+use cqm::sensors::{Scenario, SensorNode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== model persistence & rule inspection ==");
+    let build = train_pen(17, 1)?;
+    let model = CqmModel::from_trained(&build.trained_cqm, "awarepen sim, seed 17");
+
+    // Inspect what the automated construction learned.
+    println!("\nlearned quality rules (v_Q = std_x, std_y, std_z, class):");
+    let names = VariableNames::new(["std_x", "std_y", "std_z", "class"]);
+    for line in verbalize_fis(build.trained_cqm.measure.fis(), &names).lines() {
+        println!("  {line}");
+    }
+
+    // Persist and reload.
+    let path = std::env::temp_dir().join("awarepen_cqm_model.json");
+    model.save(&path)?;
+    let size = std::fs::metadata(&path)?.len();
+    println!("\nsaved model to {} ({size} bytes)", path.display());
+    let reloaded = CqmModel::load(&path)?;
+    println!(
+        "reloaded: version {}, threshold {:.3}, note {:?}",
+        reloaded.version, reloaded.threshold, reloaded.note
+    );
+
+    // Verify identical behaviour on fresh data.
+    let mut node = SensorNode::with_seed(3);
+    let windows = node.run_scenario(&Scenario::balanced_session()?)?;
+    let mut checked = 0;
+    for w in &windows {
+        let class = build.classifier.classify(&w.cues)?;
+        let q1 = build.trained_cqm.measure.measure(&w.cues, class)?;
+        let q2 = reloaded.measure.measure(&w.cues, class)?;
+        assert_eq!(q1, q2, "model behaviour changed after round-trip");
+        checked += 1;
+    }
+    println!("verified bit-identical quality on {checked} fresh windows");
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Higher-level context aggregation (§5): the AwarePen and the MediaCup
+//! both publish qualified contexts on the office bus; a higher-level
+//! processor fuses them per time bucket into office situations, believing
+//! each appliance exactly as much as its CQM warrants.
+//!
+//! ```sh
+//! cargo run --example office_aggregation
+//! ```
+
+use cqm::appliance::aggregator::OfficeAggregator;
+use cqm::appliance::bus::EventBus;
+use cqm::appliance::cup::{coffee_break, train_cup, MediaCup};
+use cqm::appliance::pen::{train_pen, AwarePen};
+use cqm::sensors::{Scenario, SensorNode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== office aggregation: pen + cup -> office situation ==");
+    println!("training both appliances...");
+    let pen_build = train_pen(2026, 1)?;
+    let cup_build = train_cup(2027)?;
+
+    let bus = EventBus::new();
+    let rx = bus.subscribe();
+
+    // Both appliances live through the same 21 s of office time.
+    let mut pen = AwarePen::new(&pen_build, SensorNode::with_seed(5))?;
+    let mut cup = MediaCup::new(&cup_build, SensorNode::with_seed(6))?;
+    pen.run_scenario(&Scenario::write_think_write()?, &bus)?;
+    cup.run_scenario(&coffee_break()?, &bus)?;
+    bus.close();
+    let events: Vec<_> = rx.iter().collect();
+    println!("collected {} qualified events from 2 appliances\n", events.len());
+
+    let aggregator = OfficeAggregator::new(3.0, true)?;
+    println!("  bucket   situation           confidence   reports (excluded)");
+    println!("  ------   -----------------   ----------   ------------------");
+    for s in aggregator.aggregate(&events) {
+        println!(
+            "  {:5.0}s   {:17}   {:10.2}   {:3} ({})",
+            s.t,
+            s.situation.to_string(),
+            s.confidence,
+            s.reports,
+            s.excluded
+        );
+    }
+    println!("\nthe aggregator believed each appliance exactly as much as its CQM allowed");
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! The paper's outlook features (§5): context prediction from quality
+//! trends, and quality-weighted fusion of multiple appliances' reports.
+//!
+//! ```sh
+//! cargo run --example prediction_and_fusion
+//! ```
+
+use cqm::appliance::pen::train_pen;
+use cqm::core::classifier::{ClassId, Classifier};
+use cqm::core::fusion::{fuse, ContextReport, FusionRule};
+use cqm::core::normalize::Quality;
+use cqm::core::prediction::{PredictionHint, TrendPredictor};
+use cqm::sensors::{Context, Scenario, SensorNode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== outlook features: prediction & fusion ==\n");
+    let build = train_pen(5, 1)?;
+
+    // --- Prediction: watch quality decay ahead of a context change.
+    println!("-- quality-trend prediction --");
+    let scenario = Scenario::new(vec![
+        (Context::Writing, 8.0),
+        (Context::Playing, 4.0), // the change the trend should foreshadow
+    ])?;
+    let mut node = SensorNode::with_seed(31);
+    let windows = node.run_scenario(&scenario)?;
+    let mut predictor = TrendPredictor::new(5, 0.015)?;
+    let mut hinted_at = None;
+    let mut changed_at = None;
+    for w in &windows {
+        let class = build.classifier.classify(&w.cues)?;
+        let quality = build.trained_cqm.measure.measure(&w.cues, class)?;
+        let hint = predictor.observe(class, quality);
+        if matches!(hint, PredictionHint::TransitionLikely { .. }) && hinted_at.is_none() {
+            hinted_at = Some(w.t);
+        }
+        if w.truth == Context::Playing && changed_at.is_none() {
+            changed_at = Some(w.t);
+        }
+        println!(
+            "  t={:5.1}  truth={:12} q={:18}  hint={:?}",
+            w.t,
+            w.truth.to_string(),
+            quality.to_string(),
+            hint
+        );
+    }
+    match (hinted_at, changed_at) {
+        (Some(h), Some(c)) => println!("\n  transition hinted at t={h:.1}s, truth changed at t={c:.1}s"),
+        _ => println!("\n  (no transition hint fired on this run)"),
+    }
+
+    // --- Fusion: several appliances reporting with different confidence.
+    println!("\n-- quality-weighted fusion --");
+    let reports = vec![
+        ContextReport {
+            source: "awarepen".into(),
+            class: ClassId(Context::Writing.index()),
+            quality: Quality::Value(0.93),
+        },
+        ContextReport {
+            source: "mediacup".into(),
+            class: ClassId(Context::Playing.index()),
+            quality: Quality::Value(0.35),
+        },
+        ContextReport {
+            source: "chair".into(),
+            class: ClassId(Context::Writing.index()),
+            quality: Quality::Value(0.58),
+        },
+        ContextReport {
+            source: "door".into(),
+            class: ClassId(Context::Playing.index()),
+            quality: Quality::Epsilon, // excluded from the vote
+        },
+    ];
+    for r in &reports {
+        println!(
+            "  {:9} says {:12} with {}",
+            r.source,
+            Context::from_index(r.class.0).expect("valid class").to_string(),
+            r.quality
+        );
+    }
+    let fused = fuse(&reports, FusionRule::WeightedSum)?;
+    println!(
+        "\n  fused decision: {} (confidence {:.2}, {} eps report(s) excluded)",
+        Context::from_index(fused.class.0).expect("valid class"),
+        fused.confidence,
+        fused.epsilon_reports
+    );
+    Ok(())
+}

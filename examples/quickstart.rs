@@ -1,0 +1,76 @@
+//! Quickstart: train the AwarePen stack and watch the CQM qualify live
+//! classifications.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use cqm::appliance::pen::train_pen;
+use cqm::core::classifier::Classifier;
+use cqm::core::filter::QualityFilter;
+use cqm::sensors::{Context, Scenario, SensorNode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== CQM quickstart ==");
+    println!("training the AwarePen (TSK classifier + quality FIS)...");
+    let build = train_pen(42, 1)?;
+    println!(
+        "  classifier train accuracy : {:.1}%",
+        100.0 * build.train_accuracy
+    );
+    println!("  quality groups            : {}", build.trained_cqm.groups);
+    println!("  optimal threshold         : {}", build.trained_cqm.threshold);
+
+    // A fresh session the system has never seen, with hard transitions and
+    // an *energetic* user whose writing borders on playing — the paper's
+    // "different style of using the pen" difficulty.
+    let scenario = Scenario::new(vec![
+        (Context::LyingStill, 3.0),
+        (Context::Writing, 6.0),
+        (Context::Playing, 3.0),
+        (Context::Writing, 5.0),
+    ])?;
+    let mut node = SensorNode::new(
+        cqm::sensors::node::NodeConfig::default(),
+        cqm::sensors::user::UserStyle::energetic(),
+        777,
+    )?;
+    let windows = node.run_scenario(&scenario)?;
+    let filter = QualityFilter::new(build.trained_cqm.threshold.value.clamp(0.0, 1.0))?;
+
+    println!("\n  time   truth         predicted     quality   decision");
+    println!("  ----   -----         ---------     -------   --------");
+    let mut right_accepted = 0;
+    let mut wrong_discarded = 0;
+    let mut wrong_total = 0;
+    for w in &windows {
+        let class = build.classifier.classify(&w.cues)?;
+        let quality = build.trained_cqm.measure.measure(&w.cues, class)?;
+        let decision = filter.decide(quality);
+        let predicted = Context::from_index(class.0).expect("valid class");
+        let right = predicted == w.truth;
+        if right && decision.is_accept() {
+            right_accepted += 1;
+        }
+        if !right {
+            wrong_total += 1;
+            if !decision.is_accept() {
+                wrong_discarded += 1;
+            }
+        }
+        println!(
+            "  {:5.1}  {:12}  {:12}  {:8}  {:?}{}",
+            w.t,
+            w.truth.to_string(),
+            predicted.to_string(),
+            quality.to_string(),
+            decision,
+            if right { "" } else { "   <- misclassified" }
+        );
+    }
+    println!(
+        "\n  {right_accepted} right classifications accepted; \
+         {wrong_discarded}/{wrong_total} wrong ones discarded by the CQM"
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! §2's central design claim: the quality system treats the recognizer as a
+//! black box and is "applicable to all recognition algorithms". The same
+//! training pipeline must work unchanged over classifiers with completely
+//! different internals.
+
+use cqm::classify::{ClassifiedDataset, FisClassifier, KnnClassifier, NearestCentroid};
+use cqm::core::classifier::{ClassId, Classifier};
+use cqm::core::training::{train_cqm, CqmTrainingConfig};
+use cqm::sensors::node::training_corpus;
+use cqm::stats::separation::auc;
+
+fn corpus_data() -> (ClassifiedDataset, Vec<ClassId>) {
+    let corpus = training_corpus(2026, 1).expect("corpus");
+    let data = ClassifiedDataset::from_labeled_cues(&corpus).expect("dataset");
+    let truth = data.labels().to_vec();
+    (data, truth)
+}
+
+fn assert_informative(classifier: &dyn Classifier, data: &ClassifiedDataset, truth: &[ClassId]) {
+    let trained = train_cqm(classifier, data.cues(), truth, &CqmTrainingConfig::fast())
+        .expect("CQM training over black box");
+    assert!(trained.groups.is_ordered(), "{}", trained.groups);
+    let labeled: Vec<(f64, bool)> = trained
+        .analysis_samples
+        .iter()
+        .filter_map(|s| s.quality.value().map(|q| (q, s.was_right)))
+        .collect();
+    let a = auc(&labeled).expect("auc");
+    assert!(
+        a > 0.55,
+        "quality measure uninformative over this black box: AUC {a}"
+    );
+}
+
+#[test]
+fn cqm_works_over_fis_classifier() {
+    let (data, truth) = corpus_data();
+    let clf = FisClassifier::train(&data, &Default::default()).expect("fis classifier");
+    assert_informative(&clf, &data, &truth);
+}
+
+#[test]
+fn cqm_works_over_knn() {
+    let (data, truth) = corpus_data();
+    // k high enough that k-NN actually errs on its own training points.
+    let clf = KnnClassifier::train(&data, 25).expect("knn");
+    assert_informative(&clf, &data, &truth);
+}
+
+#[test]
+fn cqm_works_over_nearest_centroid() {
+    let (data, truth) = corpus_data();
+    let clf = NearestCentroid::train(&data).expect("centroid");
+    assert_informative(&clf, &data, &truth);
+}
+
+#[test]
+fn boxed_dyn_classifier_works() {
+    // The add-on composes with trait objects, the loosest coupling.
+    let (data, truth) = corpus_data();
+    let boxed: Box<dyn Classifier> =
+        Box::new(NearestCentroid::train(&data).expect("centroid"));
+    let trained = train_cqm(&boxed, data.cues(), &truth, &CqmTrainingConfig::fast())
+        .expect("training over boxed classifier");
+    assert!(trained.threshold.value > 0.0 && trained.threshold.value < 1.0);
+}

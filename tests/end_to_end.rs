@@ -1,0 +1,119 @@
+//! Cross-crate integration: the full corpus → train → measure → filter
+//! pipeline, determinism, and persistence through the whole stack.
+
+use cqm::appliance::pen::{build_pen_from_corpus, train_pen};
+use cqm::core::classifier::Classifier;
+use cqm::core::filter::QualityFilter;
+use cqm::core::model::CqmModel;
+use cqm::sensors::node::training_corpus;
+use cqm::sensors::{Context, Scenario, SensorNode};
+
+#[test]
+fn full_stack_training_and_filtering() {
+    let build = train_pen(2024, 1).expect("pen training");
+    assert!(build.train_accuracy > 0.7, "accuracy {}", build.train_accuracy);
+    let threshold = build.trained_cqm.threshold.value;
+    assert!(threshold > 0.0 && threshold < 1.0);
+    // Threshold sits above the wrong mean and below the right mean.
+    assert!(threshold > build.trained_cqm.groups.wrong.mu());
+    assert!(threshold < build.trained_cqm.groups.right.mu());
+
+    // Run fresh data through the filter; accepted accuracy must not drop
+    // below raw accuracy.
+    let mut node = SensorNode::with_seed(5150);
+    let scenario = Scenario::balanced_session().unwrap();
+    let windows = node.run_scenario(&scenario).unwrap();
+    let filter = QualityFilter::new(threshold.clamp(0.0, 1.0)).unwrap();
+    let labeled: Vec<_> = windows
+        .iter()
+        .map(|w| {
+            let class = build.classifier.classify(&w.cues).unwrap();
+            let q = build.trained_cqm.measure.measure(&w.cues, class).unwrap();
+            let right = Context::from_index(class.0).unwrap() == w.truth;
+            (q, right)
+        })
+        .collect();
+    let outcome = filter.evaluate(&labeled);
+    assert!(outcome.total() as usize == windows.len());
+    assert!(
+        outcome.accuracy_after() + 1e-9 >= outcome.accuracy_before(),
+        "{outcome}"
+    );
+}
+
+#[test]
+fn training_is_deterministic() {
+    let a = train_pen(7, 1).expect("training");
+    let b = train_pen(7, 1).expect("training");
+    assert_eq!(a.trained_cqm.threshold.value, b.trained_cqm.threshold.value);
+    assert_eq!(a.trained_cqm.measure, b.trained_cqm.measure);
+    assert_eq!(a.train_accuracy, b.train_accuracy);
+    let c = train_pen(8, 1).expect("training");
+    assert_ne!(a.trained_cqm.threshold.value, c.trained_cqm.threshold.value);
+}
+
+#[test]
+fn corpus_built_pen_matches_train_pen() {
+    let corpus = training_corpus(99, 1).unwrap();
+    let a = build_pen_from_corpus(&corpus).unwrap();
+    let b = train_pen(99, 1).unwrap();
+    assert_eq!(a.trained_cqm.threshold.value, b.trained_cqm.threshold.value);
+}
+
+#[test]
+fn model_persistence_preserves_behaviour_through_stack() {
+    let build = train_pen(11, 1).expect("training");
+    let model = CqmModel::from_trained(&build.trained_cqm, "integration");
+    let json = model.to_json().unwrap();
+    let reloaded = CqmModel::from_json(&json).unwrap();
+
+    let mut node = SensorNode::with_seed(606);
+    let windows = node
+        .run_scenario(&Scenario::write_think_write().unwrap())
+        .unwrap();
+    for w in &windows {
+        let class = build.classifier.classify(&w.cues).unwrap();
+        assert_eq!(
+            build.trained_cqm.measure.measure(&w.cues, class).unwrap(),
+            reloaded.measure.measure(&w.cues, class).unwrap()
+        );
+    }
+}
+
+#[test]
+fn quality_lower_on_transition_windows() {
+    // The paper's core observation: quality drops on the hard samples.
+    let build = train_pen(3, 2).expect("training");
+    let mut node = SensorNode::with_seed(8080);
+    let scenario = Scenario::balanced_session()
+        .unwrap()
+        .then(&Scenario::write_think_write().unwrap());
+    let windows = node.run_scenario(&scenario).unwrap();
+    let mut transition_q = Vec::new();
+    let mut clean_q = Vec::new();
+    for w in &windows {
+        let class = build.classifier.classify(&w.cues).unwrap();
+        if let Some(q) = build
+            .trained_cqm
+            .measure
+            .measure(&w.cues, class)
+            .unwrap()
+            .value()
+        {
+            if w.is_transition {
+                transition_q.push(q);
+            } else {
+                clean_q.push(q);
+            }
+        }
+    }
+    assert!(!transition_q.is_empty());
+    assert!(!clean_q.is_empty());
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&transition_q) < mean(&clean_q),
+        "transition quality {} should be below clean quality {}",
+        mean(&transition_q),
+        mean(&clean_q)
+    );
+}

@@ -1,0 +1,150 @@
+//! Integration tests for the extension features: drift monitoring, trace
+//! replay, quality-weighted fusion and the MediaCup second appliance.
+
+use cqm::appliance::bus::EventBus;
+use cqm::appliance::pen::train_pen;
+use cqm::core::classifier::Classifier;
+use cqm::core::monitor::{MonitorStatus, OperatingProfile, QualityMonitor};
+use cqm::sensors::node::{training_corpus, NodeConfig, SensorNode};
+use cqm::sensors::replay::{from_csv, to_csv};
+use cqm::sensors::user::UserStyle;
+use cqm::sensors::{Context, Scenario};
+
+#[test]
+fn monitor_detects_sensor_degradation() {
+    let build = train_pen(13, 1).expect("training");
+    let profile = OperatingProfile::from_trained(&build.trained_cqm);
+    let mut monitor = QualityMonitor::new(profile, 24, 0.3).expect("monitor");
+    let filter = cqm::core::filter::QualityFilter::new(
+        build.trained_cqm.threshold.value.clamp(0.0, 1.0),
+    )
+    .expect("filter");
+
+    // Phase 1: healthy operation on in-distribution data. Individual
+    // 24-window tails fluctuate, so assert on the majority verdict.
+    let mut node = SensorNode::with_seed(777);
+    let windows = node
+        .run_scenario(
+            &Scenario::balanced_session()
+                .unwrap()
+                .then(&Scenario::write_think_write().unwrap()),
+        )
+        .unwrap();
+    let mut verdicts = Vec::new();
+    let mut last = MonitorStatus::Warmup;
+    for w in &windows {
+        let class = build.classifier.classify(&w.cues).unwrap();
+        let q = build.trained_cqm.measure.measure(&w.cues, class).unwrap();
+        last = monitor.observe(q, filter.decide(q));
+        verdicts.push(last);
+    }
+    let healthy = verdicts
+        .iter()
+        .filter(|v| matches!(v, MonitorStatus::Healthy))
+        .count();
+    let judged = verdicts
+        .iter()
+        .filter(|v| !matches!(v, MonitorStatus::Warmup))
+        .count();
+    assert!(
+        healthy * 2 > judged,
+        "in-distribution data mostly drifted: {healthy}/{judged} healthy"
+    );
+
+    // Phase 2: the sensor breaks — cues saturate far outside training.
+    for _ in 0..20 {
+        let broken = vec![400.0, 400.0, 400.0];
+        let class = build.classifier.classify(&broken).unwrap_or_default();
+        let q = build
+            .trained_cqm
+            .measure
+            .measure(&broken, class)
+            .unwrap();
+        last = monitor.observe(q, filter.decide(q));
+    }
+    assert!(
+        matches!(last, MonitorStatus::Drifted { .. }),
+        "broken sensor not flagged: {last:?}"
+    );
+}
+
+#[test]
+fn replayed_corpus_trains_identically() {
+    use cqm::appliance::pen::build_pen_from_corpus;
+    let corpus = training_corpus(55, 1).unwrap();
+    let csv = to_csv(&corpus).unwrap();
+    let replayed = from_csv(&csv).unwrap();
+    let a = build_pen_from_corpus(&corpus).unwrap();
+    let b = build_pen_from_corpus(&replayed).unwrap();
+    assert_eq!(
+        a.trained_cqm.threshold.value,
+        b.trained_cqm.threshold.value
+    );
+    assert_eq!(a.trained_cqm.measure, b.trained_cqm.measure);
+}
+
+#[test]
+fn bus_handles_concurrent_publishers() {
+    use cqm::appliance::events::ContextEvent;
+    use cqm::core::filter::Decision;
+    use cqm::core::normalize::Quality;
+
+    let bus = EventBus::new();
+    let rx = bus.subscribe();
+    let mut handles = Vec::new();
+    for p in 0..4u64 {
+        let bus = bus.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..50 {
+                bus.publish(&ContextEvent {
+                    source: format!("pen-{p}"),
+                    context: Context::Writing,
+                    quality: Quality::Value(0.9),
+                    decision: Decision::Accept,
+                    timestamp: i as f64,
+                });
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    bus.close();
+    let events: Vec<_> = rx.iter().collect();
+    assert_eq!(events.len(), 200);
+    // All four publishers delivered.
+    for p in 0..4 {
+        let name = format!("pen-{p}");
+        assert_eq!(events.iter().filter(|e| e.source == name).count(), 50);
+    }
+}
+
+#[test]
+fn unseen_user_style_degrades_classification() {
+    // The paper's core difficulty ("other users having a different style"):
+    // a style outside the training population costs classification
+    // accuracy — and the CQM filter still never hurts accepted accuracy.
+    let build = train_pen(17, 1).expect("training");
+    let scenario = Scenario::balanced_session().unwrap();
+    let accuracy = |style: UserStyle, seed: u64| {
+        let mut node = SensorNode::new(NodeConfig::default(), style, seed).unwrap();
+        let windows = node.run_scenario(&scenario).unwrap();
+        let right = windows
+            .iter()
+            .filter(|w| {
+                build
+                    .classifier
+                    .classify(&w.cues)
+                    .map(|c| c.0 == w.truth.index())
+                    .unwrap_or(false)
+            })
+            .count();
+        right as f64 / windows.len() as f64
+    };
+    let seen = accuracy(UserStyle::default(), 31);
+    let unseen = accuracy(UserStyle::new(2.8, 2.2, 0.6).unwrap(), 31);
+    assert!(
+        unseen < seen,
+        "unseen style accuracy {unseen} should fall below seen style {seen}"
+    );
+}

@@ -1,0 +1,129 @@
+//! Failure injection: malformed cues, uncovered inputs, ε propagation, and
+//! appliance behaviour under degraded event streams.
+
+use cqm::appliance::camera::{CameraConfig, WhiteboardCamera};
+use cqm::appliance::events::ContextEvent;
+use cqm::appliance::pen::train_pen;
+use cqm::core::classifier::ClassId;
+use cqm::core::filter::{Decision, QualityFilter};
+use cqm::core::fusion::{fuse, ContextReport, FusionRule};
+use cqm::core::normalize::Quality;
+use cqm::core::pipeline::CqmSystem;
+use cqm::sensors::Context;
+
+#[test]
+fn nan_and_wrong_dimension_cues_are_errors_not_panics() {
+    let build = train_pen(1, 1).expect("training");
+    let system =
+        CqmSystem::from_trained(build.classifier.clone(), &build.trained_cqm).expect("compose");
+    assert!(system.classify_with_quality(&[f64::NAN, 0.1, 0.1]).is_err());
+    assert!(system.classify_with_quality(&[0.1, 0.1]).is_err());
+    assert!(system
+        .classify_with_quality(&[f64::INFINITY, 0.0, 0.0])
+        .is_err());
+}
+
+#[test]
+fn saturated_cues_yield_epsilon_and_are_discarded() {
+    let build = train_pen(1, 1).expect("training");
+    // A cue vector far outside anything the FIS saw: stuck-at-full-scale
+    // sensor. The classifier may still emit a class (clamped), but the
+    // quality must be ε, and ε is always discarded.
+    let stuck = vec![500.0, 500.0, 500.0];
+    let class = ClassId(2);
+    let q = build
+        .trained_cqm
+        .measure
+        .measure(&stuck, class)
+        .expect("measure on uncovered input");
+    assert!(q.is_epsilon(), "expected epsilon, got {q}");
+    let filter = QualityFilter::new(0.0).unwrap(); // even the laxest filter
+    assert_eq!(filter.decide(q), Decision::Discard);
+}
+
+#[test]
+fn epsilon_only_fusion_is_rejected_mixed_fusion_survives() {
+    let eps = |src: &str| ContextReport {
+        source: src.into(),
+        class: ClassId(0),
+        quality: Quality::Epsilon,
+    };
+    assert!(fuse(&[eps("a"), eps("b")], FusionRule::WeightedSum).is_err());
+    let mut reports = vec![eps("a"), eps("b")];
+    reports.push(ContextReport {
+        source: "c".into(),
+        class: ClassId(1),
+        quality: Quality::Value(0.4),
+    });
+    let fused = fuse(&reports, FusionRule::WeightedSum).expect("one usable report");
+    assert_eq!(fused.class, ClassId(1));
+    assert_eq!(fused.epsilon_reports, 2);
+}
+
+#[test]
+fn camera_survives_all_discarded_stream() {
+    // Every event discarded: the quality-aware camera must simply do
+    // nothing (no panic, no snapshot).
+    let mut cam = WhiteboardCamera::new(CameraConfig::default()).unwrap();
+    for t in 0..50 {
+        cam.observe(&ContextEvent {
+            source: "pen".into(),
+            context: Context::Writing,
+            quality: Quality::Value(0.1),
+            decision: Decision::Discard,
+            timestamp: t as f64,
+        });
+    }
+    cam.finish();
+    assert!(cam.snapshots().is_empty());
+    let (seen, used) = cam.event_counts();
+    assert_eq!(seen, 50);
+    assert_eq!(used, 0);
+}
+
+#[test]
+fn camera_handles_epsilon_quality_events() {
+    let mut cam = WhiteboardCamera::new(CameraConfig {
+        use_quality: false, // even a naive camera must not choke on ε
+        ..CameraConfig::default()
+    })
+    .unwrap();
+    for t in 0..5 {
+        cam.observe(&ContextEvent {
+            source: "pen".into(),
+            context: Context::Writing,
+            quality: Quality::Epsilon,
+            decision: Decision::Discard,
+            timestamp: t as f64,
+        });
+    }
+    for t in 5..10 {
+        cam.observe(&ContextEvent {
+            source: "pen".into(),
+            context: Context::LyingStill,
+            quality: Quality::Epsilon,
+            decision: Decision::Discard,
+            timestamp: t as f64,
+        });
+    }
+    cam.finish();
+    // Naive camera acted on the classes regardless of ε quality.
+    assert_eq!(cam.snapshots().len(), 1);
+}
+
+#[test]
+fn training_rejects_degenerate_labels() {
+    use cqm::core::training::{train_cqm, CqmTrainingConfig};
+    let build = train_pen(1, 1).expect("training");
+    // All-identical truth labels make the classifier all-right or
+    // all-wrong: the pipeline must refuse, not produce a bogus threshold.
+    let cues: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 * 0.01, 0.1, 0.1]).collect();
+    let truth = vec![ClassId(0); 50];
+    let result = train_cqm(
+        &build.classifier,
+        &cues,
+        &truth,
+        &CqmTrainingConfig::fast(),
+    );
+    assert!(result.is_err());
+}

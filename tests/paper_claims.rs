@@ -1,0 +1,114 @@
+//! The paper's evaluation claims as executable assertions (shape-level —
+//! exact numbers from the authors' 24 physical samples are out of scope;
+//! see EXPERIMENTS.md).
+
+use cqm::core::normalize::{normalize, Quality};
+use cqm::stats::mle::QualityGroups;
+use cqm::stats::probabilities::TailProbabilities;
+use cqm::stats::threshold::optimal_threshold;
+
+/// §2.1.3 — the normalization maps onto `[0,1] ∪ {ε}` with the stated
+/// ε-domain boundaries at −0.5 and 1.5.
+#[test]
+fn normalization_domain_partition() {
+    let mut x = -1.0;
+    while x <= 2.0 {
+        match normalize(x) {
+            Quality::Value(v) => {
+                assert!((0.0..=1.0).contains(&v));
+                assert!(
+                    (-0.5..=1.5).contains(&x),
+                    "value produced outside the valid domain at {x}"
+                );
+            }
+            Quality::Epsilon => {
+                assert!(
+                    !(-0.5..=1.5).contains(&x),
+                    "epsilon produced inside the valid domain at {x}"
+                );
+            }
+        }
+        x += 0.001;
+    }
+}
+
+/// §2.32/§3.2 — for an unbalanced (mostly-right) sample the optimal
+/// threshold sits close to the high end, like the paper's s = 0.81.
+#[test]
+fn unbalanced_threshold_near_high_end() {
+    // 16:8 composition shaped like the paper's Fig. 5 statistics.
+    let right: Vec<f64> = (0..16).map(|i| 0.88 + 0.008 * i as f64).collect();
+    let wrong: Vec<f64> = (0..8).map(|i| 0.25 + 0.05 * i as f64).collect();
+    let groups = QualityGroups::fit(&right, &wrong).unwrap();
+    let t = optimal_threshold(&groups).unwrap();
+    assert!(
+        t.value > 0.6,
+        "threshold {t} should be near the high end for unbalanced data"
+    );
+    assert!(t.value < groups.right.mu());
+}
+
+/// §2.33 — the selection identity P(right|q>s) = P(wrong|q<s) holds exactly
+/// at the density-intersection threshold.
+#[test]
+fn selection_identity_at_intersection() {
+    let right = [0.92, 0.95, 0.98, 0.91, 0.99, 0.94];
+    let wrong = [0.3, 0.5, 0.45, 0.6];
+    let groups = QualityGroups::fit(&right, &wrong).unwrap();
+    let t = optimal_threshold(&groups).unwrap();
+    let p = TailProbabilities::at(&groups, &t);
+    assert!((p.selection_right - p.selection_wrong).abs() < 1e-10);
+    // And the four §2.33 quantities are probabilities.
+    for v in [
+        p.selection_right,
+        p.selection_wrong,
+        p.false_negative,
+        p.false_positive,
+    ] {
+        assert!((0.0..=1.0).contains(&v));
+    }
+}
+
+/// §3.2 headline — filtering the paper's 16/8 scenario at a separating
+/// threshold discards exactly the wrong third and lifts accuracy to 100 %.
+#[test]
+fn headline_improvement_with_separating_measure() {
+    use cqm::core::filter::QualityFilter;
+    let mut samples = Vec::new();
+    for i in 0..16 {
+        samples.push((Quality::Value(0.9 + 0.005 * i as f64), true));
+    }
+    for i in 0..8 {
+        samples.push((Quality::Value(0.2 + 0.04 * i as f64), false));
+    }
+    let filter = QualityFilter::new(0.81).unwrap();
+    let outcome = filter.evaluate(&samples);
+    assert!((outcome.discard_rate() - 1.0 / 3.0).abs() < 1e-12);
+    assert!((outcome.accuracy_before() - 2.0 / 3.0).abs() < 1e-12);
+    assert!((outcome.accuracy_after() - 1.0).abs() < 1e-12);
+    assert!((outcome.improvement() - 1.0 / 3.0).abs() < 1e-12);
+}
+
+/// End-to-end shape on the simulated testbed: the trained system's
+/// statistical analysis is ordered and the filter helps (smoke-level
+/// version of the IMP33 experiment — the full sweep lives in cqm-bench).
+#[test]
+fn trained_system_reproduces_improvement_shape() {
+    use cqm::appliance::pen::train_pen;
+    let build = train_pen(31337, 1).expect("training");
+    let probs = &build.trained_cqm.probabilities;
+    assert!(build.trained_cqm.groups.is_ordered());
+    assert!(
+        probs.selection_right > 0.2,
+        "selection index {} too weak",
+        probs.selection_right
+    );
+    // The threshold reflects the error rate: mostly-right training data
+    // pushes it toward the right mean (paper §3.2's observation).
+    let t = build.trained_cqm.threshold.value;
+    let mid = 0.5;
+    assert!(
+        t > mid - 0.1,
+        "threshold {t} unexpectedly low for unbalanced training data"
+    );
+}
