@@ -1,0 +1,115 @@
+//! CLI driver: `cqm-analyze [--deny-all] [--list] [--root DIR] [PATH...]`
+//!
+//! With no `PATH` arguments the tool walks `crates/*/src` under the root
+//! (default: the current directory, or the nearest ancestor containing
+//! `Cargo.toml` with a `crates/` sibling). Findings print one per line as
+//! `file:line: [LINT_ID] message`.
+//!
+//! Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cqm_analyze::passes::{default_passes, Level};
+
+fn usage() -> &'static str {
+    "usage: cqm-analyze [--deny-all] [--list] [--root DIR] [PATH...]\n\
+     \n\
+     --deny-all   treat warn-level findings as errors (CI mode)\n\
+     --list       list the lint passes and exit\n\
+     --root DIR   workspace root to scan when no PATHs are given\n\
+     PATH...      files or directories to scan instead of crates/*/src"
+}
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut list = false;
+    let mut root: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--list" => list = true,
+            "--root" => match argv.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown flag `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    let passes = default_passes();
+    if list {
+        for p in &passes {
+            println!("{:16} {}", p.id(), p.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if paths.is_empty() {
+        let root = root.unwrap_or_else(|| PathBuf::from("."));
+        let crates_dir = root.join("crates");
+        match std::fs::read_dir(&crates_dir) {
+            Ok(entries) => {
+                for entry in entries.flatten() {
+                    let src = entry.path().join("src");
+                    if src.is_dir() {
+                        paths.push(src);
+                    }
+                }
+                paths.sort();
+            }
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", crates_dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        if paths.is_empty() {
+            eprintln!("error: no crates/*/src directories under {}", root.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let report = match cqm_analyze::run(&paths, &passes) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        let tag = match f.level {
+            Level::Deny => "",
+            Level::Warn => if deny_all { "" } else { " (warn)" },
+        };
+        println!("{f}{tag}");
+    }
+
+    let failed = report.failed(deny_all);
+    eprintln!(
+        "cqm-analyze: {} file(s), {} deny, {} warn -> {}",
+        report.files_scanned,
+        report.deny_count(),
+        report.warn_count(),
+        if failed { "FAIL" } else { "ok" }
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,199 @@
+//! `cqm-analyze` — std-only static analysis for the CQM workspace.
+//!
+//! The numeric pipeline (quality measure → fusion → appliance control) has
+//! integrity invariants that `rustc` cannot see: NaN-stable orderings,
+//! panic-free inference paths, domain guards on numeric entry points, and a
+//! single construction site for the quality value `q ∈ [0,1] ∪ {ε}`. This
+//! crate enforces them as composable [`passes::LintPass`] passes over a
+//! hand-rolled scanner ([`scanner::SourceFile`]) — no `syn`, no external
+//! dependencies, so it runs in the same no-network environment as the rest
+//! of the workspace.
+//!
+//! The `cqm-analyze` binary walks `crates/*/src`, prints findings as
+//! `file:line: [LINT_ID] message`, and exits nonzero when any deny-level
+//! finding (or, under `--deny-all`, any finding at all) survives the
+//! suppression pragmas. Suppressions are never silent: each pragma must
+//! carry `-- reason` text, and malformed pragmas are themselves findings.
+
+pub mod passes;
+pub mod scanner;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use passes::{Finding, Level, LintPass};
+use scanner::SourceFile;
+
+/// Result of analyzing a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings at [`Level::Deny`].
+    pub fn deny_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.level == Level::Deny).count()
+    }
+
+    /// Findings at [`Level::Warn`].
+    pub fn warn_count(&self) -> usize {
+        self.findings.len() - self.deny_count()
+    }
+
+    /// Whether the run fails: deny findings always do; warn findings only
+    /// under `deny_all`.
+    pub fn failed(&self, deny_all: bool) -> bool {
+        self.deny_count() > 0 || (deny_all && !self.findings.is_empty())
+    }
+}
+
+/// Recursively collect `.rs` files under `root` (or `root` itself if it is
+/// a file), sorted for deterministic output. `target/` directories are
+/// skipped.
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    collect_into(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn collect_into(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if path.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return Ok(());
+    }
+    for entry in fs::read_dir(path)? {
+        let entry = entry?;
+        let p = entry.path();
+        let name = entry.file_name();
+        if p.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_into(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Analyze one already-scanned file with `passes`, including the
+/// pragma-integrity checks the driver owns: malformed pragmas and pragmas
+/// naming unknown lint ids are deny-level findings, so a typo can never
+/// silently disable a lint.
+pub fn analyze_file(file: &SourceFile, passes: &[Box<dyn LintPass>]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for pass in passes {
+        pass.check(file, &mut findings);
+    }
+    for (line, text) in &file.malformed_pragmas {
+        findings.push(Finding {
+            file: file.path.clone(),
+            line: *line,
+            lint: "PRAGMA",
+            message: format!("malformed suppression pragma ({text}); syntax is \
+                              `// lint: allow(LINT_ID[, LINT_ID][, file]) -- reason` \
+                              and the reason is mandatory"),
+            level: Level::Deny,
+        });
+    }
+    for pragma in &file.pragmas {
+        for id in &pragma.lint_ids {
+            if !passes.iter().any(|p| p.id() == id) {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: pragma.line,
+                    lint: "PRAGMA",
+                    message: format!("pragma allows unknown lint id `{id}`"),
+                    level: Level::Deny,
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Run `passes` over every `.rs` file reachable from `roots`.
+///
+/// # Errors
+///
+/// Returns the first I/O error encountered while walking or reading.
+pub fn run(roots: &[PathBuf], passes: &[Box<dyn LintPass>]) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for root in roots {
+        for path in collect_rs_files(root)? {
+            let text = fs::read_to_string(&path)?;
+            let file = SourceFile::scan(&path, &text);
+            report.findings.extend(analyze_file(&file, passes));
+            report.files_scanned += 1;
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use passes::default_passes;
+
+    fn analyze_src(src: &str) -> Vec<Finding> {
+        let file = SourceFile::scan(Path::new("crates/x/src/t.rs"), src);
+        analyze_file(&file, &default_passes())
+    }
+
+    #[test]
+    fn malformed_pragma_is_a_deny_finding() {
+        let f = analyze_src("// lint: allow(PANIC_IN_LIB)\nfn f() {}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "PRAGMA");
+        assert_eq!(f[0].level, Level::Deny);
+    }
+
+    #[test]
+    fn unknown_lint_id_is_a_deny_finding() {
+        let f = analyze_src("// lint: allow(NO_SUCH_LINT) -- oops\nfn f() {}\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("NO_SUCH_LINT"));
+    }
+
+    #[test]
+    fn clean_file_has_no_findings() {
+        let f = analyze_src(
+            "pub fn pick(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.total_cmp(b));\n}\n",
+        );
+        assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn report_fail_logic() {
+        let mut r = Report::default();
+        assert!(!r.failed(false) && !r.failed(true));
+        r.findings.push(Finding {
+            file: PathBuf::from("a.rs"),
+            line: 1,
+            lint: "X",
+            message: String::new(),
+            level: Level::Warn,
+        });
+        assert!(!r.failed(false));
+        assert!(r.failed(true));
+        r.findings.push(Finding {
+            file: PathBuf::from("a.rs"),
+            line: 2,
+            lint: "X",
+            message: String::new(),
+            level: Level::Deny,
+        });
+        assert!(r.failed(false));
+    }
+}

@@ -1,0 +1,224 @@
+//! ASSERT_DENSITY — numeric public API must state its domain.
+//!
+//! Every public function in the numeric crates (`cqm-math`, `cqm-fuzzy`,
+//! `cqm-core`) that takes `f64`/`&[f64]` input is a place where a NaN or an
+//! out-of-domain value can slip into the pipeline unnoticed. Each such
+//! function must either carry a `debug_assert!` family domain guard in its
+//! body or an explicit `// lint: allow(ASSERT_DENSITY) -- reason` pragma
+//! saying why the domain is unrestricted.
+
+use super::{find_all, matching_brace, matching_paren, word_boundary_before, Finding, Level,
+            LintPass};
+use crate::scanner::SourceFile;
+
+/// See module docs.
+pub struct AssertDensity {
+    /// Path fragments this pass applies to; empty means every file.
+    path_filters: Vec<&'static str>,
+}
+
+const ID: &str = "ASSERT_DENSITY";
+
+/// Substrings whose presence in a function body counts as a domain guard.
+/// `assert!` also matches `debug_assert!`; listed separately for clarity.
+/// `return Err` counts too: explicit runtime rejection of bad input is a
+/// *stronger* domain statement than a debug_assert.
+const GUARDS: [&str; 5] = [
+    "debug_assert",
+    "assert!",
+    "assert_eq!",
+    "assert_ne!",
+    "return Err",
+];
+
+impl Default for AssertDensity {
+    fn default() -> Self {
+        AssertDensity {
+            path_filters: vec!["math/src", "fuzzy/src", "core/src"],
+        }
+    }
+}
+
+impl AssertDensity {
+    /// A variant with no path restriction (used by tests and fixtures).
+    pub fn unrestricted() -> Self {
+        AssertDensity {
+            path_filters: Vec::new(),
+        }
+    }
+}
+
+impl LintPass for AssertDensity {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "public fns taking f64/&[f64] in the numeric crates must carry a \
+         debug_assert! domain guard (or a pragma explaining why not)"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if !self.path_filters.is_empty() {
+            let p = file.path.to_string_lossy().replace('\\', "/");
+            if !self.path_filters.iter().any(|frag| p.contains(frag)) {
+                return;
+            }
+        }
+        let joined = file.joined_code();
+
+        for pos in find_all(&joined, "pub fn ") {
+            if !word_boundary_before(&joined, pos) {
+                continue;
+            }
+            let line = file.line_of(pos + 1);
+            if file.lines[line - 1].in_test || file.is_allowed(ID, line) {
+                continue;
+            }
+
+            let name_start = pos + "pub fn ".len();
+            let name: String = joined[name_start..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+
+            // Parameter list: first `(` after the name (skipping generics).
+            let Some(open) = joined[name_start..].find('(').map(|o| name_start + o) else {
+                continue;
+            };
+            let Some(params_end) = matching_paren(&joined, open) else {
+                continue;
+            };
+            let params = &joined[open..params_end];
+            if !takes_f64(params) {
+                continue;
+            }
+
+            // Body: first `{` or `;` after the params. `;` means a bodyless
+            // trait method declaration — nothing to guard there.
+            let mut body_open = None;
+            for (k, c) in joined[params_end..].char_indices() {
+                match c {
+                    '{' => {
+                        body_open = Some(params_end + k);
+                        break;
+                    }
+                    ';' => break,
+                    _ => {}
+                }
+            }
+            let Some(body_open) = body_open else {
+                continue;
+            };
+            let Some(body_end) = matching_brace(&joined, body_open) else {
+                continue;
+            };
+            let body = &joined[body_open..body_end];
+
+            if GUARDS.iter().any(|g| body.contains(g)) {
+                continue;
+            }
+            findings.push(Finding {
+                file: file.path.clone(),
+                line,
+                lint: ID,
+                message: format!(
+                    "public fn `{name}` takes f64 input but has no debug_assert! \
+                     domain guard; assert the domain or add a pragma with a reason"
+                ),
+                level: Level::Warn,
+            });
+        }
+    }
+}
+
+/// Does the parenthesized parameter list mention an `f64` parameter
+/// (`f64`, `&f64`, `&[f64]`, `Vec<f64>`, …) at a word boundary?
+fn takes_f64(params: &str) -> bool {
+    find_all(params, "f64").iter().any(|&p| {
+        word_boundary_before(params, p)
+            && !params[p + 3..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::scan(Path::new("crates/math/src/t.rs"), src);
+        let mut out = Vec::new();
+        AssertDensity::default().check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unguarded_pub_fn() {
+        let f = run("pub fn mean(xs: &[f64]) -> f64 {\n    xs.iter().sum::<f64>() / xs.len() as f64\n}\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`mean`"));
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn guarded_fn_is_clean() {
+        let f = run("pub fn mean(xs: &[f64]) -> f64 {\n    debug_assert!(!xs.is_empty());\n    xs.iter().sum::<f64>() / xs.len() as f64\n}\n");
+        assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn non_float_and_private_fns_ignored() {
+        let src = "\
+pub fn count(xs: &[usize]) -> usize { xs.len() }
+fn helper(x: f64) -> f64 { x }
+pub fn not_f64(x: u64, name: &str) -> u64 { x }
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn f64_in_return_type_only_is_ignored() {
+        assert!(run("pub fn zero() -> f64 { 0.0 }\n").is_empty());
+    }
+
+    #[test]
+    fn bodyless_trait_decl_ignored() {
+        assert!(run("pub trait Kernel {\n    pub fn eval(&self, x: f64) -> f64;\n}\n").is_empty());
+    }
+
+    #[test]
+    fn result_validation_counts_as_guard() {
+        let f = run("pub fn checked(x: f64) -> Result<f64, String> {\n    if !x.is_finite() {\n        return Err(\"non-finite\".into());\n    }\n    Ok(x)\n}\n");
+        assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn pragma_accepted_with_reason() {
+        let f = run("// lint: allow(ASSERT_DENSITY) -- domain is all of R by construction\npub fn ident(x: f64) -> f64 {\n    x\n}\n");
+        assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn path_filter_respected() {
+        let file = SourceFile::scan(
+            Path::new("crates/appliance/src/t.rs"),
+            "pub fn raw(x: f64) -> f64 { x }\n",
+        );
+        let mut out = Vec::new();
+        AssertDensity::default().check(&file, &mut out);
+        assert!(out.is_empty());
+        AssertDensity::unrestricted().check(&file, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn generic_fn_with_angle_brackets() {
+        let f = run("pub fn map<F: Fn(f64) -> f64>(xs: &[f64], f: F) -> Vec<f64> {\n    xs.iter().map(|&x| f(x)).collect()\n}\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`map`"));
+    }
+}

@@ -1,0 +1,220 @@
+//! EPSILON_DOMAIN — `Quality::Value` must come from the normalizer.
+//!
+//! The invariant `q ∈ [0,1] ∪ {ε}` lives in exactly one place: the
+//! normalization function `L` (`core/src/normalize.rs::normalize`). Any
+//! other construction of `Quality::Value(...)` from a raw literal or
+//! expression bypasses the range fold and can smuggle an out-of-range or
+//! NaN quality into the pipeline. This pass allows constructions inside
+//! `fn normalize*` bodies and pass-through rewraps of a plain local
+//! variable; everything else must be rewritten as `normalize(x)` or carry a
+//! pragma.
+
+use super::{find_all, matching_brace, matching_paren, Finding, Level, LintPass};
+use crate::scanner::SourceFile;
+
+/// See module docs.
+pub struct EpsilonDomain {
+    /// Path fragments this pass applies to; empty means every file.
+    path_filters: Vec<&'static str>,
+}
+
+const ID: &str = "EPSILON_DOMAIN";
+
+impl Default for EpsilonDomain {
+    fn default() -> Self {
+        EpsilonDomain {
+            path_filters: vec!["core/src/quality.rs", "core/src/normalize.rs"],
+        }
+    }
+}
+
+impl EpsilonDomain {
+    /// A variant with no path restriction (used by tests and fixtures).
+    pub fn unrestricted() -> Self {
+        EpsilonDomain {
+            path_filters: Vec::new(),
+        }
+    }
+}
+
+impl LintPass for EpsilonDomain {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "Quality::Value(..) may only be constructed inside the L(.) \
+         normalizer; elsewhere call normalize() so the [0,1] u {eps} fold \
+         is applied"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if !self.path_filters.is_empty() {
+            let p = file.path.to_string_lossy().replace('\\', "/");
+            if !self.path_filters.iter().any(|frag| p.ends_with(frag)) {
+                return;
+            }
+        }
+        let joined = file.joined_code();
+        let exempt = normalizer_spans(&joined);
+
+        for pos in find_all(&joined, "Quality::Value(") {
+            if exempt.iter().any(|&(a, b)| pos >= a && pos < b) {
+                continue;
+            }
+            let line = file.line_of(pos + 1);
+            if file.lines[line - 1].in_test || file.is_allowed(ID, line) {
+                continue;
+            }
+            let open = pos + "Quality::Value".len();
+            let inner = match matching_paren(&joined, open) {
+                Some(end) => joined[open + 1..end - 1].trim(),
+                None => "",
+            };
+            // A lone local variable is a pass-through rewrap (e.g. matching
+            // on an already-normalized quality); anything with structure —
+            // literals, arithmetic, calls — is a fresh construction.
+            if is_bare_local(inner) {
+                continue;
+            }
+            findings.push(Finding {
+                file: file.path.clone(),
+                line,
+                lint: ID,
+                message: format!(
+                    "Quality::Value({inner}) bypasses the L(.) normalizer; \
+                     construct quality values via normalize() so the \
+                     [0,1] u {{eps}} fold applies"
+                ),
+                level: Level::Deny,
+            });
+        }
+    }
+}
+
+/// Byte spans of bodies of functions named `normalize*` — the one family
+/// allowed to construct `Quality::Value` directly.
+fn normalizer_spans(joined: &str) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for pos in find_all(joined, "fn normalize") {
+        let after = pos + "fn normalize".len();
+        // Accept `fn normalize(` and `fn normalize_batch(` etc., but not an
+        // unrelated identifier like `fn normalized_weights` — a suffix must
+        // still begin with `_` or `(`.
+        match joined[after..].chars().next() {
+            Some('(') | Some('_') | Some('<') => {}
+            _ => continue,
+        }
+        let Some(open) = joined[after..].find('{').map(|o| after + o) else {
+            continue;
+        };
+        if let Some(end) = matching_brace(joined, open) {
+            spans.push((open, end));
+        }
+    }
+    spans
+}
+
+/// Is `inner` a single plain local variable (optionally dereferenced)?
+fn is_bare_local(inner: &str) -> bool {
+    let t = inner.trim_start_matches('*').trim_start_matches('&');
+    !t.is_empty()
+        && t.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+        && t.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn run_at(path: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::scan(Path::new(path), src);
+        let mut out = Vec::new();
+        EpsilonDomain::default().check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_raw_literal_construction() {
+        let f = run_at(
+            "crates/core/src/quality.rs",
+            "fn bad() -> Quality {\n    Quality::Value(1.2)\n}\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].level, Level::Deny);
+        assert!(f[0].message.contains("1.2"));
+    }
+
+    #[test]
+    fn flags_arithmetic_construction() {
+        let f = run_at(
+            "crates/core/src/quality.rs",
+            "fn bad(x: f64) -> Quality {\n    Quality::Value(x * 0.5 + 0.1)\n}\n",
+        );
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn normalize_fn_is_exempt() {
+        let src = "\
+pub fn normalize(x: f64) -> Quality {
+    if (0.0..=1.0).contains(&x) {
+        Quality::Value(x)
+    } else if (-0.5..0.0).contains(&x) {
+        Quality::Value(-x)
+    } else if x > 1.0 && x <= 1.5 {
+        Quality::Value(2.0 - x)
+    } else {
+        Quality::Epsilon
+    }
+}
+";
+        assert!(run_at("crates/core/src/normalize.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bare_variable_rewrap_is_clean() {
+        let f = run_at(
+            "crates/core/src/quality.rs",
+            "fn rewrap(v: f64) -> Quality {\n    Quality::Value(v)\n}\n",
+        );
+        assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn other_files_ignored_by_default() {
+        let f = run_at(
+            "crates/appliance/src/office.rs",
+            "fn q() -> Quality { Quality::Value(0.9) }\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn tests_and_pragmas_skipped() {
+        let src = "\
+fn covered() -> Quality {
+    // lint: allow(EPSILON_DOMAIN) -- boundary value proven in [0,1] by caller
+    Quality::Value(0.0)
+}
+#[cfg(test)]
+mod tests {
+    fn t() -> Quality { Quality::Value(9.0) }
+}
+";
+        assert!(run_at("crates/core/src/quality.rs", src).is_empty());
+    }
+
+    #[test]
+    fn normalized_weights_fn_is_not_exempt() {
+        let src = "\
+fn normalized_weights() -> Quality {
+    Quality::Value(0.3)
+}
+";
+        assert_eq!(run_at("crates/core/src/normalize.rs", src).len(), 1);
+    }
+}

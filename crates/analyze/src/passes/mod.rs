@@ -1,0 +1,141 @@
+//! The lint-pass library. Each pass is a [`LintPass`] over a scanned
+//! [`SourceFile`]; adding a pass means implementing the trait and listing
+//! the pass in [`default_passes`].
+
+mod assert_density;
+mod epsilon_domain;
+mod nan_cmp;
+mod panic_lib;
+
+pub use assert_density::AssertDensity;
+pub use epsilon_domain::EpsilonDomain;
+pub use nan_cmp::NanUnsafeCmp;
+pub use panic_lib::PanicInLib;
+
+use crate::scanner::SourceFile;
+use std::path::PathBuf;
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Reported, but only fails the run under `--deny-all`.
+    Warn,
+    /// Always fails the run.
+    Deny,
+}
+
+/// One violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// File the violation is in.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// Lint id, e.g. `PANIC_IN_LIB`.
+    pub lint: &'static str,
+    /// Human-readable explanation with the offending snippet.
+    pub message: String,
+    /// Severity.
+    pub level: Level,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.lint,
+            self.message
+        )
+    }
+}
+
+/// A composable static-analysis pass.
+pub trait LintPass {
+    /// Uppercase stable id used in output and pragmas.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list`.
+    fn description(&self) -> &'static str;
+    /// Run over one file, appending findings. Implementations must honor
+    /// suppression pragmas via [`SourceFile::is_allowed`] and skip test
+    /// code via [`crate::scanner::Line::in_test`].
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>);
+}
+
+/// The pass set `cqm-analyze` ships with.
+pub fn default_passes() -> Vec<Box<dyn LintPass>> {
+    vec![
+        Box::new(NanUnsafeCmp),
+        Box::new(PanicInLib),
+        Box::new(AssertDensity::default()),
+        Box::new(EpsilonDomain::default()),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Shared string-matching helpers for the passes
+// ---------------------------------------------------------------------------
+
+/// Is `text[i]` the start of `needle` at an identifier boundary on the left?
+pub(crate) fn word_boundary_before(text: &str, i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    let prev = text.as_bytes()[i - 1] as char;
+    !(prev.is_alphanumeric() || prev == '_')
+}
+
+/// Byte index just past the `)` matching the `(` at `open` (which must point
+/// at a `(`), or `None` if unbalanced.
+pub(crate) fn matching_paren(text: &str, open: usize) -> Option<usize> {
+    let bytes = text.as_bytes();
+    debug_assert!(bytes.get(open) == Some(&b'('));
+    let mut depth = 0i32;
+    for (k, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Byte index just past the `}` matching the `{` at `open` (which must
+/// point at a `{`), or `None` if unbalanced.
+pub(crate) fn matching_brace(text: &str, open: usize) -> Option<usize> {
+    let bytes = text.as_bytes();
+    debug_assert!(bytes.get(open) == Some(&b'{'));
+    let mut depth = 0i32;
+    for (k, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// All byte offsets where `needle` occurs in `haystack`.
+pub(crate) fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        out.push(from + pos);
+        from += pos + needle.len();
+    }
+    out
+}

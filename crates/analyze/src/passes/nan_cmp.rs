@@ -1,0 +1,253 @@
+//! NAN_UNSAFE_CMP — float comparisons that misbehave on NaN.
+//!
+//! The quality value `q ∈ [0,1] ∪ {ε}` must never silently become NaN
+//! mid-pipeline; a `partial_cmp(..).unwrap()` inside a sort is exactly the
+//! place where one NaN produced upstream turns into a panic (or, with
+//! `unwrap_or(Equal)`, into a silently mis-sorted result). `f64::total_cmp`
+//! is total and NaN-stable, so these sites have a mechanical fix.
+
+use super::{find_all, matching_paren, Finding, Level, LintPass};
+use crate::scanner::SourceFile;
+
+/// See module docs.
+pub struct NanUnsafeCmp;
+
+const ID: &str = "NAN_UNSAFE_CMP";
+
+impl LintPass for NanUnsafeCmp {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "flags partial_cmp().unwrap()/expect(), float == / != literals, and \
+         partial_cmp-based sort/min/max closures; use f64::total_cmp"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        let joined = file.joined_code();
+
+        // Rule 1 + 3: `partial_cmp` chained into unwrap/expect (Deny), or
+        // used inside a comparator without unwrap (Warn — still NaN-unsound
+        // ordering when swallowed with unwrap_or).
+        for pos in find_all(&joined, ".partial_cmp") {
+            let line = file.line_of(pos + 1);
+            if file.lines[line - 1].in_test || file.is_allowed(ID, line) {
+                continue;
+            }
+            let after_name = pos + ".partial_cmp".len();
+            let Some(open) = joined[after_name..]
+                .find('(')
+                .map(|o| after_name + o)
+                .filter(|&o| joined[after_name..o].trim().is_empty())
+            else {
+                continue;
+            };
+            let Some(end) = matching_paren(&joined, open) else {
+                continue;
+            };
+            let tail = joined[end..].trim_start();
+            if tail.starts_with(".unwrap()") || tail.starts_with(".expect(") {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line,
+                    lint: ID,
+                    message: "partial_cmp().unwrap()/.expect() panics on NaN; \
+                              use f64::total_cmp for a total, NaN-stable order"
+                        .to_string(),
+                    level: Level::Deny,
+                });
+            } else if tail.starts_with(".unwrap_or(") || tail.starts_with(".unwrap_or_else(") {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line,
+                    lint: ID,
+                    message: "partial_cmp with a NaN fallback yields an inconsistent \
+                              comparator (breaks sort contracts); use f64::total_cmp"
+                        .to_string(),
+                    level: Level::Warn,
+                });
+            }
+        }
+
+        // Rule 2: `==` / `!=` against a float literal or float constant.
+        for (idx, l) in file.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if l.in_test || file.is_allowed(ID, lineno) {
+                continue;
+            }
+            let code = &l.code;
+            for op in ["==", "!="] {
+                for pos in find_all(code, op) {
+                    // Exclude `<=`, `>=`, `!=` matched inside `==` etc.
+                    if pos > 0 {
+                        let prev = code.as_bytes()[pos - 1] as char;
+                        if prev == '<' || prev == '>' || prev == '=' || prev == '!' {
+                            continue;
+                        }
+                    }
+                    if code.as_bytes().get(pos + 2) == Some(&b'=') {
+                        continue;
+                    }
+                    let lhs = code[..pos].trim_end();
+                    let rhs = code[pos + 2..].trim_start();
+                    if float_literal_leads(rhs) || float_literal_trails(lhs) {
+                        findings.push(Finding {
+                            file: file.path.clone(),
+                            line: lineno,
+                            lint: ID,
+                            message: format!(
+                                "float `{op}` comparison is exact (and always false for \
+                                 NaN); compare with an epsilon or restructure"
+                            ),
+                            level: Level::Warn,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Does `text` *start* with a float literal (`0.5`, `-1.`, `1e-9`) or a
+/// NaN/infinity constant?
+fn float_literal_leads(text: &str) -> bool {
+    let t = text.strip_prefix('-').unwrap_or(text).trim_start();
+    if t.starts_with("f64::NAN")
+        || t.starts_with("f32::NAN")
+        || t.starts_with("f64::INFINITY")
+        || t.starts_with("f64::NEG_INFINITY")
+    {
+        return true;
+    }
+    let mut saw_digit = false;
+    let mut chars = t.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_digit() || c == '_' {
+            saw_digit = true;
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    if !saw_digit {
+        return false;
+    }
+    match chars.next() {
+        // `1.5`, `1.` — but not a method call like `1.max(x)` or tuple index.
+        Some('.') => matches!(chars.next(), Some(c) if c.is_ascii_digit() || c == '0')
+            || matches!(chars.peek(), None),
+        // `1e9` scientific notation.
+        Some('e') | Some('E') => true,
+        _ => false,
+    }
+}
+
+/// Does `text` *end* with a float literal or NaN/infinity constant?
+fn float_literal_trails(text: &str) -> bool {
+    let t = text.trim_end();
+    if t.ends_with("f64::NAN")
+        || t.ends_with("f32::NAN")
+        || t.ends_with("f64::INFINITY")
+        || t.ends_with("f64::NEG_INFINITY")
+    {
+        return true;
+    }
+    // Strip a possible `f64` / `f32` suffix.
+    let t = t.strip_suffix("f64").or_else(|| t.strip_suffix("f32")).unwrap_or(t);
+    let bytes = t.as_bytes();
+    let mut i = t.len();
+    let mut saw_digit_after_dot = false;
+    while i > 0 && (bytes[i - 1].is_ascii_digit() || bytes[i - 1] == b'_') {
+        saw_digit_after_dot = true;
+        i -= 1;
+    }
+    if !saw_digit_after_dot || i == 0 || bytes[i - 1] != b'.' {
+        return false;
+    }
+    // Require digits before the dot too (rules out `..5` ranges and tuple
+    // field access like `x.0`... which *is* digits.dot.digits — but `x.0`
+    // ends with `.0` preceded by an identifier, so check what precedes).
+    let mut j = i - 1;
+    let mut saw_digit_before = false;
+    while j > 0 && (bytes[j - 1].is_ascii_digit() || bytes[j - 1] == b'_') {
+        saw_digit_before = true;
+        j -= 1;
+    }
+    if !saw_digit_before {
+        return false;
+    }
+    if j > 0 {
+        let prev = bytes[j - 1] as char;
+        if prev.is_alphanumeric() || prev == '_' || prev == '.' {
+            // `x.0`, `v1.5` — field access / identifier, not a literal.
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::scan(Path::new("t.rs"), src);
+        let mut out = Vec::new();
+        NanUnsafeCmp.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_partial_cmp_unwrap() {
+        let f = run("fn f(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[0].level, Level::Deny);
+    }
+
+    #[test]
+    fn flags_multiline_chain() {
+        let f = run("fn f() {\n    xs.min_by(|a, b| {\n        a.partial_cmp(&(b + 1.0))\n            .unwrap()\n    });\n}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn warns_on_unwrap_or_fallback() {
+        let f = run("fn f() {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));\n}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].level, Level::Warn);
+    }
+
+    #[test]
+    fn total_cmp_is_clean() {
+        let f = run("fn f(v: &mut Vec<f64>) {\n    v.sort_by(f64::total_cmp);\n    v.sort_by(|a, b| a.total_cmp(b));\n}\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn flags_float_literal_eq() {
+        let f = run("fn f(x: f64) -> bool {\n    x == 0.0\n}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].level, Level::Warn);
+        let f = run("fn f(x: f64) -> bool {\n    1.5 != x\n}\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn integer_eq_is_clean() {
+        assert!(run("fn f(x: usize) -> bool { x == 0 }\n").is_empty());
+        assert!(run("fn f(x: &str) -> bool { x == \"0.5\" }\n").is_empty());
+        assert!(run("fn f(t: (f64, f64), y: f64) -> bool { t.0 == y }\n").is_empty());
+    }
+
+    #[test]
+    fn respects_pragma_and_tests() {
+        let f = run(
+            "fn f(v: &mut Vec<f64>) {\n    // lint: allow(NAN_UNSAFE_CMP) -- inputs validated finite at api boundary\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n#[cfg(test)]\nmod tests {\n    fn t(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n}\n",
+        );
+        assert!(f.is_empty(), "got {f:?}");
+    }
+}

@@ -1,0 +1,190 @@
+//! PANIC_IN_LIB — panicking constructs in non-test library code.
+//!
+//! Inference must degrade to the error state ε, never abort: a stray
+//! `unwrap()` in a sensor-fusion path takes the whole appliance down with
+//! it. Flags `unwrap()/expect()`, the panicking macros, and unchecked
+//! bare-index subscripts (`xs[i]`). Suppressible per line or per file with
+//! `// lint: allow(PANIC_IN_LIB) -- reason`; the reason is mandatory.
+
+use super::{find_all, word_boundary_before, Finding, Level, LintPass};
+use crate::scanner::SourceFile;
+
+/// See module docs.
+pub struct PanicInLib;
+
+const ID: &str = "PANIC_IN_LIB";
+
+/// Method-call tokens that panic.
+const PANIC_CALLS: [&str; 2] = [".unwrap()", ".expect("];
+/// Macros that panic (matched at word boundary, with the `!`).
+const PANIC_MACROS: [&str; 4] = ["panic!", "unreachable!", "todo!", "unimplemented!"];
+
+impl LintPass for PanicInLib {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "flags unwrap()/expect()/panic!/unreachable!/todo! and bare-index \
+         subscripts (xs[i]) in non-test library code"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        for (idx, l) in file.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if l.in_test || file.is_allowed(ID, lineno) {
+                continue;
+            }
+            let code = &l.code;
+
+            for needle in PANIC_CALLS {
+                for _pos in find_all(code, needle) {
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line: lineno,
+                        lint: ID,
+                        message: format!(
+                            "`{}` can panic; return a Result/Option or document the \
+                             invariant with a pragma",
+                            needle.trim_start_matches('.').trim_end_matches('('),
+                        ),
+                        level: Level::Deny,
+                    });
+                }
+            }
+
+            for needle in PANIC_MACROS {
+                for pos in find_all(code, needle) {
+                    if !word_boundary_before(code, pos) {
+                        continue;
+                    }
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line: lineno,
+                        lint: ID,
+                        message: format!("`{needle}` aborts inference; degrade to ε instead"),
+                        level: Level::Deny,
+                    });
+                }
+            }
+
+            for (pos, subscript) in bare_index_subscripts(code) {
+                let _ = pos;
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: lineno,
+                    lint: ID,
+                    message: format!(
+                        "unchecked index `[{subscript}]` can panic; use .get(), \
+                         iterators, or assert the bound first"
+                    ),
+                    level: Level::Warn,
+                });
+            }
+        }
+    }
+}
+
+/// Find `expr[ident]` subscripts where the index is a single bare
+/// identifier — the classic unchecked-loop-index shape. Literal indices
+/// (`x[0]`), ranges (`x[a..b]`), arithmetic (`x[i + 1]`), and tuple keys
+/// (`m[(i, j)]`) are *not* matched: the bare-ident form is where an
+/// off-by-one loop bound most often escapes review.
+fn bare_index_subscripts(code: &str) -> Vec<(usize, String)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for pos in find_all(code, "[") {
+        // Receiver must end in an identifier char, `)`, or `]` — rules out
+        // attributes `#[...]`, array types `[f64; 4]`, slice patterns.
+        if pos == 0 {
+            continue;
+        }
+        let prev = bytes[pos - 1] as char;
+        if !(prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']') {
+            continue;
+        }
+        let Some(close_rel) = code[pos + 1..].find(']') else {
+            continue;
+        };
+        let inner = code[pos + 1..pos + 1 + close_rel].trim();
+        let is_bare_ident = !inner.is_empty()
+            && inner
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+            && inner.chars().all(|c| c.is_alphanumeric() || c == '_');
+        if is_bare_ident {
+            out.push((pos, inner.to_string()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::scan(Path::new("t.rs"), src);
+        let mut out = Vec::new();
+        PanicInLib.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let f = run("fn f(x: Option<u8>) {\n    x.unwrap();\n    x.expect(\"boom\");\n    panic!(\"no\");\n    unreachable!();\n}\n");
+        assert_eq!(f.len(), 4);
+        assert!(f.iter().all(|x| x.level == Level::Deny));
+    }
+
+    #[test]
+    fn unwrap_or_is_clean() {
+        let f = run("fn f(x: Option<u8>) -> u8 {\n    x.unwrap_or(0).max(x.unwrap_or_default())\n}\n");
+        assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn expect_err_and_debug_assert_clean() {
+        assert!(run("fn f() { debug_assert!(true); assert!(1 > 0); }\n").is_empty());
+    }
+
+    #[test]
+    fn flags_bare_index() {
+        let f = run("fn f(xs: &[f64], i: usize) -> f64 {\n    xs[i]\n}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].level, Level::Warn);
+        assert!(f[0].message.contains("[i]"));
+    }
+
+    #[test]
+    fn literal_range_and_tuple_indices_clean() {
+        let f = run("fn f(xs: &[f64], m: &M, i: usize) {\n    let _ = xs[0];\n    let _ = &xs[1..3];\n    let _ = m[(i, 0)];\n    let _ = xs[i + 1];\n    let a: [f64; 2] = [0.0; 2];\n    let _ = a;\n}\n");
+        assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn strings_comments_tests_pragmas_skipped() {
+        let src = "\
+// panic!(\"in comment\")
+fn f(x: Option<u8>) {
+    let _s = \"unwrap() inside string\";
+    x.unwrap() // lint: allow(PANIC_IN_LIB) -- checked Some above by caller contract
+}
+#[test]
+fn t() { None::<u8>.unwrap(); }
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn file_pragma_covers_everything() {
+        let src = "\
+// lint: allow(PANIC_IN_LIB, file) -- dense kernel, bounds asserted at entry
+fn f(xs: &[f64], i: usize) -> f64 { xs[i] }
+fn g(x: Option<u8>) -> u8 { x.unwrap() }
+";
+        assert!(run(src).is_empty());
+    }
+}

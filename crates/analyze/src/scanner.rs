@@ -1,0 +1,586 @@
+//! Line/token scanner: the string-level "lexer" the lint passes run on.
+//!
+//! Rust source is reduced to a *code view* in which comments and the
+//! contents of string/char literals are blanked out (replaced by spaces, so
+//! byte columns still line up with the original text). Passes match
+//! patterns against the code view and therefore never fire on text inside
+//! comments, doc comments, or string literals.
+//!
+//! The scanner also extracts:
+//! * suppression pragmas — `// lint: allow(LINT_ID) -- reason` (see
+//!   [`Pragma`]); the reason text is mandatory;
+//! * test regions — bodies of `#[cfg(test)]` modules and `#[test]`
+//!   functions, so passes can skip test code;
+//! * per-line brace depth, which passes use to recover function spans.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Scope of a suppression pragma.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PragmaScope {
+    /// Applies to one source line (the pragma's own line, or the next code
+    /// line when the pragma stands alone).
+    Line,
+    /// Applies to the whole file.
+    File,
+}
+
+/// A parsed `// lint: allow(...) -- reason` suppression.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Lint ids being allowed (uppercase, e.g. `PANIC_IN_LIB`).
+    pub lint_ids: Vec<String>,
+    /// Line or file scope.
+    pub scope: PragmaScope,
+    /// Mandatory justification text after `--`.
+    pub reason: String,
+    /// 1-based line the pragma was written on.
+    pub line: usize,
+    /// 1-based line the pragma suppresses (for line scope).
+    pub target_line: usize,
+}
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code view: original text with comments and literal contents blanked.
+    pub code: String,
+    /// Whether the line lies inside a `#[cfg(test)]` module or `#[test]` fn.
+    pub in_test: bool,
+    /// Brace depth at the *start* of the line.
+    pub depth_at_start: i32,
+}
+
+/// A fully scanned file, ready for lint passes.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path as given to [`SourceFile::scan`].
+    pub path: PathBuf,
+    /// Scanned lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+    /// All pragmas found in the file (both scopes).
+    pub pragmas: Vec<Pragma>,
+    /// Pragmas that failed to parse (missing reason, bad syntax): reported
+    /// as findings by the driver so suppressions can never be silent.
+    pub malformed_pragmas: Vec<(usize, String)>,
+}
+
+impl SourceFile {
+    /// Scan `text` as the contents of `path`.
+    pub fn scan(path: &Path, text: &str) -> SourceFile {
+        Scanner::new(text).run(path)
+    }
+
+    /// Whether `lint_id` is suppressed on 1-based `line`.
+    pub fn is_allowed(&self, lint_id: &str, line: usize) -> bool {
+        self.pragmas.iter().any(|p| {
+            p.lint_ids.iter().any(|id| id == lint_id)
+                && match p.scope {
+                    PragmaScope::File => true,
+                    PragmaScope::Line => p.target_line == line,
+                }
+        })
+    }
+
+    /// The code view of 1-based `line` (empty string when out of range).
+    pub fn code(&self, line: usize) -> &str {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map(|l| l.code.as_str())
+            .unwrap_or("")
+    }
+
+    /// Whole-file code view joined with `\n` — for matching multi-line
+    /// patterns. Byte offsets map back to lines via [`SourceFile::line_of`].
+    pub fn joined_code(&self) -> String {
+        let mut s = String::new();
+        for l in &self.lines {
+            s.push_str(&l.code);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Map a byte offset in [`SourceFile::joined_code`] to a 1-based line.
+    pub fn line_of(&self, joined_offset: usize) -> usize {
+        let mut offset = joined_offset;
+        for (i, l) in self.lines.iter().enumerate() {
+            if offset <= l.code.len() {
+                return i + 1;
+            }
+            offset -= l.code.len() + 1;
+        }
+        self.lines.len().max(1)
+    }
+}
+
+impl fmt::Display for SourceFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} lines)", self.path.display(), self.lines.len())
+    }
+}
+
+struct Scanner<'a> {
+    chars: Vec<char>,
+    text: &'a str,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(text: &'a str) -> Self {
+        Scanner {
+            chars: text.chars().collect(),
+            text,
+        }
+    }
+
+    fn run(self, path: &Path) -> SourceFile {
+        // Pass 1: build the code view character by character.
+        let mut code_lines: Vec<String> = Vec::new();
+        let mut current = String::new();
+        let mut comment_lines: Vec<String> = Vec::new();
+        let mut current_comment = String::new();
+
+        let mut mode = Mode::Code;
+        let n = self.chars.len();
+        let mut i = 0;
+        while i < n {
+            // lint: allow(PANIC_IN_LIB) -- i < n is the loop guard one line up
+            let c = self.chars[i];
+            let next = self.chars.get(i + 1).copied();
+            if c == '\n' {
+                if mode == Mode::LineComment {
+                    mode = Mode::Code;
+                }
+                code_lines.push(std::mem::take(&mut current));
+                comment_lines.push(std::mem::take(&mut current_comment));
+                i += 1;
+                continue;
+            }
+            match mode {
+                Mode::Code => match c {
+                    '/' if next == Some('/') => {
+                        mode = Mode::LineComment;
+                        current_comment.push_str("//");
+                        current.push(' ');
+                        current.push(' ');
+                        i += 2;
+                    }
+                    '/' if next == Some('*') => {
+                        mode = Mode::BlockComment(1);
+                        current.push_str("  ");
+                        i += 2;
+                    }
+                    '"' => {
+                        mode = Mode::Str;
+                        current.push('"');
+                        i += 1;
+                    }
+                    'r' | 'b' => match self.raw_string_hashes(i) {
+                        Some((prefix_len, hashes)) => {
+                            mode = Mode::RawStr(hashes);
+                            for _ in 0..prefix_len {
+                                current.push(' ');
+                            }
+                            current.push('"');
+                            i += prefix_len + 1;
+                        }
+                        None => {
+                            current.push(c);
+                            i += 1;
+                        }
+                    },
+                    '\'' => {
+                        // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
+                        if self.is_char_literal(i) {
+                            mode = Mode::Char;
+                            current.push('\'');
+                        } else {
+                            current.push('\'');
+                        }
+                        i += 1;
+                    }
+                    c => {
+                        current.push(c);
+                        i += 1;
+                    }
+                },
+                Mode::LineComment => {
+                    current_comment.push(c);
+                    current.push(' ');
+                    i += 1;
+                }
+                Mode::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        if depth == 1 {
+                            mode = Mode::Code;
+                        } else {
+                            mode = Mode::BlockComment(depth - 1);
+                        }
+                        current.push_str("  ");
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        mode = Mode::BlockComment(depth + 1);
+                        current.push_str("  ");
+                        i += 2;
+                    } else {
+                        current.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if c == '\\' {
+                        if next == Some('\n') {
+                            // Line-continuation escape: keep the newline so
+                            // line numbering stays aligned.
+                            current.push(' ');
+                            i += 1;
+                        } else {
+                            current.push_str("  ");
+                            i += 2;
+                        }
+                    } else if c == '"' {
+                        mode = Mode::Code;
+                        current.push('"');
+                        i += 1;
+                    } else {
+                        current.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if c == '"' && self.followed_by_hashes(i + 1, hashes) {
+                        mode = Mode::Code;
+                        current.push('"');
+                        for _ in 0..hashes {
+                            current.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                    } else {
+                        current.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::Char => {
+                    if c == '\\' {
+                        current.push_str("  ");
+                        i += 2;
+                    } else if c == '\'' {
+                        mode = Mode::Code;
+                        current.push('\'');
+                        i += 1;
+                    } else {
+                        current.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        if !current.is_empty() || !current_comment.is_empty() || self.text.ends_with('\n') {
+            code_lines.push(current);
+            comment_lines.push(current_comment);
+        }
+        // A trailing newline creates a phantom empty last line; drop it so
+        // line counts match editors.
+        if self.text.ends_with('\n') {
+            if let Some(last) = code_lines.last() {
+                if last.trim().is_empty() {
+                    code_lines.pop();
+                    comment_lines.pop();
+                }
+            }
+        }
+
+        // Pass 2: brace depth + test regions.
+        let mut lines = Vec::with_capacity(code_lines.len());
+        let mut depth: i32 = 0;
+        let mut pending_test = false;
+        let mut test_region_depth: Option<i32> = None;
+        for code in &code_lines {
+            let depth_at_start = depth;
+            let in_test = test_region_depth.is_some();
+            let trimmed = code.trim();
+            if trimmed.contains("#[cfg(test)]") || trimmed.contains("#[test]") {
+                pending_test = true;
+            }
+            // A one-line test fn (`#[test]` above `fn t() { ... }`) opens and
+            // closes its region within this line; remember that it was ever
+            // active so the line still counts as test code.
+            let mut entered_test = false;
+            for ch in code.chars() {
+                match ch {
+                    '{' => {
+                        if pending_test {
+                            // Inside an already-open region the attribute is
+                            // satisfied by the region itself; either way the
+                            // pending flag must not leak past this brace.
+                            if test_region_depth.is_none() {
+                                test_region_depth = Some(depth);
+                                entered_test = true;
+                            }
+                            pending_test = false;
+                        }
+                        depth += 1;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if let Some(d) = test_region_depth {
+                            if depth <= d {
+                                test_region_depth = None;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            lines.push(Line {
+                code: code.clone(),
+                in_test: in_test || test_region_depth.is_some() || entered_test,
+                depth_at_start,
+            });
+        }
+
+        // Pass 3: pragmas out of the comment view.
+        let mut pragmas = Vec::new();
+        let mut malformed = Vec::new();
+        for (idx, comment) in comment_lines.iter().enumerate() {
+            let lineno = idx + 1;
+            let Some(rest) = pragma_text(comment) else {
+                continue;
+            };
+            match parse_pragma(rest) {
+                Ok((ids, scope, reason)) => {
+                    // A pragma alone on its line targets the next line;
+                    // trailing a code line, it targets that line.
+                    // lint: allow(PANIC_IN_LIB) -- code/comment views are built in lockstep, same length
+                    let own_line_has_code = !code_lines[idx].trim().is_empty();
+                    let target_line = if own_line_has_code { lineno } else { lineno + 1 };
+                    pragmas.push(Pragma {
+                        lint_ids: ids,
+                        scope,
+                        reason,
+                        line: lineno,
+                        target_line,
+                    });
+                }
+                Err(why) => malformed.push((lineno, why)),
+            }
+        }
+
+        SourceFile {
+            path: path.to_path_buf(),
+            lines,
+            pragmas,
+            malformed_pragmas: malformed,
+        }
+    }
+
+    /// If position `i` starts a raw (byte) string: (prefix length before the
+    /// opening quote, number of hashes).
+    fn raw_string_hashes(&self, i: usize) -> Option<(usize, u32)> {
+        let mut j = i;
+        if self.chars.get(j) == Some(&'b') {
+            j += 1;
+        }
+        if self.chars.get(j) != Some(&'r') {
+            return None;
+        }
+        j += 1;
+        let mut hashes = 0u32;
+        while self.chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if self.chars.get(j) == Some(&'"') {
+            Some((j - i, hashes))
+        } else {
+            None
+        }
+    }
+
+    fn followed_by_hashes(&self, i: usize, hashes: u32) -> bool {
+        (0..hashes as usize).all(|k| self.chars.get(i + k) == Some(&'#'))
+    }
+
+    /// Distinguish `'a` (lifetime) from `'x'` / `'\n'` (char literal) at the
+    /// `'` in position `i`.
+    fn is_char_literal(&self, i: usize) -> bool {
+        match self.chars.get(i + 1) {
+            Some('\\') => true,
+            Some(_) => self.chars.get(i + 2) == Some(&'\''),
+            None => false,
+        }
+    }
+}
+
+/// Extract pragma text from one line of the comment view: the comment must
+/// *begin* with `lint:` (after the `//`), so prose that merely quotes the
+/// pragma syntax — like this doc comment — is not itself a pragma.
+fn pragma_text(comment_line: &str) -> Option<&str> {
+    let t = comment_line.trim_start().strip_prefix("//")?;
+    let t = t.trim_start_matches('/');
+    let t = t.strip_prefix('!').unwrap_or(t);
+    Some(t.trim_start().strip_prefix("lint:")?.trim())
+}
+
+/// Parse the text after `lint:` — `allow(ID[, ID...][, file]) -- reason`.
+fn parse_pragma(rest: &str) -> Result<(Vec<String>, PragmaScope, String), String> {
+    let rest = rest.trim();
+    let Some(args_start) = rest.strip_prefix("allow") else {
+        return Err(format!("expected `allow(...)` after `lint:`, got `{rest}`"));
+    };
+    let args_start = args_start.trim_start();
+    let Some(inner_and_tail) = args_start.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_string());
+    };
+    let Some(close) = inner_and_tail.find(')') else {
+        return Err("unclosed `allow(` pragma".to_string());
+    };
+    let inner = &inner_and_tail[..close];
+    let tail = inner_and_tail[close + 1..].trim();
+
+    let mut ids = Vec::new();
+    let mut scope = PragmaScope::Line;
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if part == "file" {
+            scope = PragmaScope::File;
+        } else if part.chars().all(|c| c.is_ascii_uppercase() || c == '_') {
+            ids.push(part.to_string());
+        } else {
+            return Err(format!("bad lint id `{part}` in pragma"));
+        }
+    }
+    if ids.is_empty() {
+        return Err("pragma allows no lint ids".to_string());
+    }
+    let Some(reason) = tail.strip_prefix("--") else {
+        return Err("pragma is missing the mandatory `-- reason` text".to_string());
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("pragma reason must not be empty".to_string());
+    }
+    Ok((ids, scope, reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn scan(text: &str) -> SourceFile {
+        SourceFile::scan(Path::new("test.rs"), text)
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let f = scan("let x = \"a.unwrap()\"; // trailing unwrap()\nlet y = 1;\n");
+        assert!(!f.code(1).contains("unwrap"));
+        assert!(f.code(1).contains("let x ="));
+        assert_eq!(f.code(2).trim(), "let y = 1;");
+    }
+
+    #[test]
+    fn strips_block_comments_nested() {
+        let f = scan("a /* x /* y */ z */ b\nc\n");
+        assert_eq!(f.code(1).replace(' ', ""), "ab");
+        assert_eq!(f.code(2).trim(), "c");
+    }
+
+    #[test]
+    fn multiline_block_comment() {
+        let f = scan("fn f() {}\n/* comment with unwrap()\nstill comment */\nfn g() {}\n");
+        assert!(!f.joined_code().contains("unwrap"));
+        assert!(f.code(4).contains("fn g"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let f = scan("let s = r#\"panic!(\"inner\")\"#;\nlet c = '\\'';\nlet l: &'static str = \"x\";\n");
+        assert!(!f.joined_code().contains("panic!"));
+        assert!(f.code(3).contains("&'static str"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let f = scan("fn f<'a>(x: &'a [f64]) -> &'a f64 { &x[0] }\n");
+        assert!(f.code(1).contains("&x[0]"));
+    }
+
+    #[test]
+    fn test_region_detection() {
+        let src = "\
+pub fn real() {}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn t() { real(); }
+}
+pub fn after() {}
+";
+        let f = scan(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[3].in_test, "inside test mod");
+        assert!(f.lines[5].in_test, "inside test fn");
+        assert!(!f.lines[7].in_test, "after test mod");
+    }
+
+    #[test]
+    fn pragma_line_and_file_scope() {
+        let src = "\
+// lint: allow(PANIC_IN_LIB, file) -- kernel indexing is bounds-checked at entry
+fn f() {
+    x.unwrap(); // lint: allow(PANIC_IN_LIB) -- invariant: x was just inserted
+    // lint: allow(NAN_UNSAFE_CMP) -- sorted input is finite by construction
+    y.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+";
+        let f = scan(src);
+        assert_eq!(f.pragmas.len(), 3);
+        assert!(f.is_allowed("PANIC_IN_LIB", 3));
+        assert!(f.is_allowed("PANIC_IN_LIB", 999), "file scope covers all");
+        assert!(f.is_allowed("NAN_UNSAFE_CMP", 5), "standalone targets next line");
+        assert!(!f.is_allowed("NAN_UNSAFE_CMP", 3));
+        assert!(f.malformed_pragmas.is_empty());
+    }
+
+    #[test]
+    fn pragma_without_reason_is_malformed() {
+        let f = scan("x.unwrap(); // lint: allow(PANIC_IN_LIB)\n");
+        assert!(f.pragmas.is_empty());
+        assert_eq!(f.malformed_pragmas.len(), 1);
+        let f = scan("x.unwrap(); // lint: allow(PANIC_IN_LIB) --   \n");
+        assert_eq!(f.malformed_pragmas.len(), 1);
+    }
+
+    #[test]
+    fn joined_code_line_mapping() {
+        let f = scan("aaa\nbbb\nccc\n");
+        let joined = f.joined_code();
+        let off = joined.find("ccc").unwrap();
+        assert_eq!(f.line_of(off), 3);
+    }
+
+    #[test]
+    fn depth_tracking() {
+        let f = scan("fn f() {\n    if x {\n        y();\n    }\n}\n");
+        assert_eq!(f.lines[0].depth_at_start, 0);
+        assert_eq!(f.lines[2].depth_at_start, 2);
+        assert_eq!(f.lines[4].depth_at_start, 1);
+    }
+}

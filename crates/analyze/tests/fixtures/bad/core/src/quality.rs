@@ -1,0 +1,6 @@
+//! Known-bad fixture: a quality value fabricated outside the normalizer
+//! (EPSILON_DOMAIN). Not compiled — scanned by the integration tests only.
+
+pub fn fabricate() -> Quality {
+    Quality::Value(0.7)
+}

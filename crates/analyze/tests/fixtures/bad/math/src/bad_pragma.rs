@@ -1,0 +1,12 @@
+//! Known-bad fixture: suppressions that do not carry their weight (PRAGMA).
+//! Not compiled — scanned by the integration tests only.
+
+// lint: allow(PANIC_IN_LIB)
+pub fn quiet(values: &[usize]) -> usize {
+    values.len()
+}
+
+// lint: allow(NO_SUCH_LINT) -- misspelled id should be a deny finding
+pub fn other(values: &[usize]) -> usize {
+    values.len()
+}

@@ -1,0 +1,10 @@
+//! Known-bad fixture: NaN-unsafe comparisons (NAN_UNSAFE_CMP).
+//! Not compiled — scanned by the integration tests only.
+
+pub fn sort_scores(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn is_converged(err: f64) -> bool {
+    err == 0.0
+}

@@ -1,0 +1,14 @@
+//! Known-bad fixture: panic paths in library code (PANIC_IN_LIB).
+//! Not compiled — scanned by the integration tests only.
+
+pub fn pick(values: &[usize], idx: usize) -> usize {
+    values[idx]
+}
+
+pub fn must_first(values: &[usize]) -> usize {
+    *values.first().unwrap()
+}
+
+pub fn giveup() {
+    unimplemented!()
+}

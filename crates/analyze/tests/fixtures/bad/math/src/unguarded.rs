@@ -1,0 +1,6 @@
+//! Known-bad fixture: numeric public API without a domain guard
+//! (ASSERT_DENSITY). Not compiled — scanned by the integration tests only.
+
+pub fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}

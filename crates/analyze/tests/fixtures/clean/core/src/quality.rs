@@ -1,0 +1,12 @@
+//! Known-clean fixture: the quality value is built inside a normalizer
+//! function, the one place EPSILON_DOMAIN allows it.
+//! Not compiled — scanned by the integration tests only.
+
+pub fn normalize(x: f64) -> Quality {
+    debug_assert!(!x.is_nan(), "normalizer input must not be NaN");
+    if (0.0..=1.0).contains(&x) {
+        Quality::Value(x)
+    } else {
+        Quality::Epsilon
+    }
+}

@@ -1,0 +1,18 @@
+//! Known-clean fixture: NaN-stable ordering, guarded numeric API, and a
+//! suppression that documents its reason.
+//! Not compiled — scanned by the integration tests only.
+
+// lint: allow(ASSERT_DENSITY) -- total_cmp gives NaN a total order; there is no domain to guard
+pub fn sort_scores(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn mean(xs: &[f64]) -> f64 {
+    debug_assert!(!xs.is_empty(), "mean of an empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+pub fn last_resort(values: &[usize]) -> usize {
+    // lint: allow(PANIC_IN_LIB) -- fixture demonstrating a justified, documented suppression
+    *values.first().unwrap()
+}

@@ -1,0 +1,110 @@
+//! Integration tests: run the real pass set over the fixtures corpus and
+//! over the workspace's own sources.
+//!
+//! The fixture trees under `tests/fixtures/{bad,clean}` mirror the path
+//! shapes the path-filtered passes care about (`math/src`, `core/src`), so
+//! the default passes apply to them exactly as they do to the real crates.
+
+use std::path::PathBuf;
+
+use cqm_analyze::passes::default_passes;
+use cqm_analyze::{run, Report};
+
+fn fixture(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel)
+}
+
+fn analyze(rel: &str) -> Report {
+    run(&[fixture(rel)], &default_passes()).expect("fixture tree readable")
+}
+
+fn count(report: &Report, lint: &str) -> usize {
+    report.findings.iter().filter(|f| f.lint == lint).count()
+}
+
+#[test]
+fn nan_cmp_fixture_is_flagged() {
+    let r = analyze("bad/math/src/nan_cmp.rs");
+    // One for the partial_cmp().unwrap() comparator, one for the exact `==`.
+    assert_eq!(count(&r, "NAN_UNSAFE_CMP"), 2, "{:#?}", r.findings);
+    assert!(r.failed(true));
+}
+
+#[test]
+fn panic_fixture_is_flagged() {
+    let r = analyze("bad/math/src/panics.rs");
+    // Bare index, .unwrap(), and unimplemented! — one finding each.
+    assert_eq!(count(&r, "PANIC_IN_LIB"), 3, "{:#?}", r.findings);
+    assert!(r.failed(false), "unwrap/unimplemented are deny-level");
+}
+
+#[test]
+fn unguarded_numeric_api_is_flagged() {
+    let r = analyze("bad/math/src/unguarded.rs");
+    assert_eq!(count(&r, "ASSERT_DENSITY"), 1, "{:#?}", r.findings);
+    assert!(!r.failed(false), "ASSERT_DENSITY is warn-level");
+    assert!(r.failed(true), "--deny-all must fail on it");
+}
+
+#[test]
+fn quality_outside_normalizer_is_flagged() {
+    let r = analyze("bad/core/src/quality.rs");
+    assert_eq!(count(&r, "EPSILON_DOMAIN"), 1, "{:#?}", r.findings);
+    assert!(r.failed(false), "EPSILON_DOMAIN is deny-level");
+}
+
+#[test]
+fn reasonless_and_misspelled_pragmas_are_flagged() {
+    let r = analyze("bad/math/src/bad_pragma.rs");
+    assert_eq!(count(&r, "PRAGMA"), 2, "{:#?}", r.findings);
+    assert!(r.failed(false), "pragma integrity findings are deny-level");
+}
+
+#[test]
+fn bad_tree_fails_even_without_deny_all() {
+    let r = analyze("bad");
+    assert_eq!(r.files_scanned, 5);
+    assert!(r.failed(false));
+}
+
+#[test]
+fn clean_fixtures_pass_deny_all() {
+    let r = analyze("clean");
+    assert_eq!(r.files_scanned, 2);
+    assert!(
+        !r.failed(true),
+        "clean fixtures produced findings:\n{}",
+        render(&r)
+    );
+}
+
+/// The self-check the whole exercise exists for: the workspace's own
+/// sources stay clean under `--deny-all`, pragma reasons included.
+#[test]
+fn workspace_sources_are_clean_under_deny_all() {
+    let crates_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../crates");
+    let mut roots = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir).expect("crates dir readable") {
+        let src = entry.expect("dir entry").path().join("src");
+        if src.is_dir() {
+            roots.push(src);
+        }
+    }
+    assert!(roots.len() >= 5, "expected a workspace, got {roots:?}");
+    let r = run(&roots, &default_passes()).expect("workspace readable");
+    assert!(
+        !r.failed(true),
+        "workspace sources have findings:\n{}",
+        render(&r)
+    );
+}
+
+fn render(r: &Report) -> String {
+    r.findings
+        .iter()
+        .map(|f| f.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}

@@ -11,6 +11,8 @@
 //! where `p ∈ {µ, σ}` and `w_j / F_ij` is the product of the *other*
 //! memberships of rule `j` (computed by division with an underflow guard).
 
+// lint: allow(PANIC_IN_LIB, file) -- gradient buffers are allocated to the FIS shape before the update loops
+
 use cqm_fuzzy::TskFis;
 
 use crate::dataset::Dataset;
@@ -111,6 +113,7 @@ pub fn premise_gradients(fis: &TskFis, data: &Dataset) -> Result<PremiseGradient
 /// at `min_sigma` to keep memberships well defined.
 pub fn apply_premise_step(fis: &mut TskFis, grads: &PremiseGradients, step: f64, min_sigma: f64) {
     let norm = grads.norm();
+    // lint: allow(NAN_UNSAFE_CMP) -- an exactly-zero (or non-finite) gradient norm means no usable step; skipping is the correct update
     if norm == 0.0 || !norm.is_finite() {
         return;
     }

@@ -174,6 +174,7 @@ impl Dataset {
 impl Extend<(Vec<f64>, f64)> for Dataset {
     fn extend<T: IntoIterator<Item = (Vec<f64>, f64)>>(&mut self, iter: T) {
         for (x, y) in iter {
+            // lint: allow(PANIC_IN_LIB) -- Extend cannot return Result; the panic message names the contract callers accept
             self.push(x, y).expect("extend with valid samples");
         }
     }
@@ -248,8 +249,8 @@ mod tests {
         // Same multiset of targets.
         let mut ta = a.targets().to_vec();
         let mut t0 = sample().targets().to_vec();
-        ta.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        t0.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        ta.sort_by(|x, y| x.total_cmp(y));
+        t0.sort_by(|x, y| x.total_cmp(y));
         assert_eq!(ta, t0);
     }
 

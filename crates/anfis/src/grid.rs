@@ -8,6 +8,8 @@
 //! identification — but is exact for low-dimensional smooth targets and
 //! serves as a reference point in the construction ablations.
 
+// lint: allow(PANIC_IN_LIB, file) -- grid partition kernel: rule/input shapes fixed at construction
+
 use cqm_fuzzy::{MembershipFunction, TskFis, TskRule};
 use cqm_math::linsolve::LstsqMethod;
 

@@ -229,6 +229,7 @@ pub fn train_hybrid(
         }
     }
 
+    // lint: allow(PANIC_IN_LIB) -- config.validate rejects epochs == 0, so the loop body assigns best at least once
     let (_, best_fis, best_epoch) = best.expect("at least one epoch ran");
     *fis = best_fis;
     // Re-fit consequents for the restored premises (the stored clone already
@@ -329,7 +330,7 @@ mod tests {
             .check_errors
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(report.best_epoch, argmin);

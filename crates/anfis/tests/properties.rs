@@ -90,8 +90,8 @@ proptest! {
         prop_assert_eq!(shuffled.len(), data.len());
         let mut a: Vec<f64> = data.targets().to_vec();
         let mut b: Vec<f64> = shuffled.targets().to_vec();
-        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        a.sort_by(|x, y| x.total_cmp(y));
+        b.sort_by(|x, y| x.total_cmp(y));
         prop_assert_eq!(a, b);
     }
 }

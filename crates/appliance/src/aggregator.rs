@@ -11,6 +11,8 @@
 //! into [`OfficeSituation`]s. ε-quality and discarded reports never reach
 //! the aggregate — the CQM acts as the belief gate.
 
+// lint: allow(PANIC_IN_LIB, file) -- aggregation windows are non-empty by construction before the statistics
+
 use std::collections::BTreeMap;
 
 use cqm_core::fusion::{fuse, ContextReport, FusionRule};

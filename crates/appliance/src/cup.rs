@@ -222,6 +222,7 @@ impl MediaCup {
                     qualified.class
                 ))
             })?;
+            // lint: allow(PANIC_IN_LIB) -- CupContext and the window truth enumerate the same index space; from_index is total on it
             let truth = CupContext::from_index(w.truth.index()).expect("shared index space");
             let event = ContextEvent {
                 source: "mediacup".into(),

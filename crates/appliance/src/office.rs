@@ -6,6 +6,8 @@
 //! isolates exactly the effect of the CQM filter (the paper's improvement
 //! claim).
 
+// lint: allow(PANIC_IN_LIB, file) -- simulation harness: scenario invariants are established by the setup code
+
 use cqm_core::normalize::Quality;
 use cqm_sensors::synth::Scenario;
 use cqm_sensors::{Context, SensorNode};
@@ -146,12 +148,7 @@ pub fn score_camera(
             .iter()
             .enumerate()
             .filter(|(i, &end)| !matched_end[*i] && t >= end - tolerance && t <= end + tolerance)
-            .min_by(|(_, a), (_, b)| {
-                (t - **a)
-                    .abs()
-                    .partial_cmp(&(t - **b).abs())
-                    .expect("finite")
-            })
+            .min_by(|(_, a), (_, b)| (t - **a).abs().total_cmp(&(t - **b).abs()))
             .map(|(i, _)| i);
         match hit {
             Some(i) => {

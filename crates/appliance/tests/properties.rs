@@ -35,7 +35,7 @@ proptest! {
     ) {
         // Distinct, well-separated ends: snapshot exactly at each end.
         let mut sorted = ends.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         sorted.dedup_by(|a, b| (*a - *b).abs() < 2.0);
         let snapshots: Vec<Snapshot> = sorted.iter().map(|&t| Snapshot { t }).collect();
         let m = score_camera(&snapshots, &sorted, 0.5, 200.0);

@@ -10,6 +10,8 @@
 //! cargo run --release -p cqm-bench --bin ablation_consequent
 //! ```
 
+// lint: allow(PANIC_IN_LIB, file) -- experiment driver: abort loudly on setup failure instead of degrading
+
 use cqm_anfis::dataset::Dataset;
 use cqm_anfis::genfis::genfis;
 use cqm_anfis::lse::fit_constant_consequents;

@@ -6,6 +6,8 @@
 //! cargo run --release -p cqm-bench --bin ablation_cues
 //! ```
 
+// lint: allow(PANIC_IN_LIB, file) -- experiment driver: abort loudly on setup failure instead of degrading
+
 use cqm_classify::dataset::ClassifiedDataset;
 use cqm_classify::tsk::{FisClassifier, FisClassifierConfig};
 use cqm_core::classifier::{ClassId, Classifier};

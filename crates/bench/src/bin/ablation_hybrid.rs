@@ -6,6 +6,8 @@
 //! cargo run --release -p cqm-bench --bin ablation_hybrid
 //! ```
 
+// lint: allow(PANIC_IN_LIB, file) -- experiment driver: abort loudly on setup failure instead of degrading
+
 use cqm_anfis::hybrid::HybridConfig;
 use cqm_bench::{evaluation_pool, labeled_qualities, paper_testbed, Testbed};
 use cqm_classify::dataset::ClassifiedDataset;

@@ -6,6 +6,8 @@
 //! cargo run -p cqm-bench --bin fig5
 //! ```
 
+// lint: allow(PANIC_IN_LIB, file) -- experiment driver: abort loudly on setup failure instead of degrading
+
 use cqm_bench::{evaluation_pool, labeled_qualities, paper_testbed, render_quality_scatter, select_test_set};
 use cqm_stats::mle::QualityGroups;
 

@@ -11,6 +11,8 @@
 //! cargo run --release -p cqm-bench --bin fusion_experiment
 //! ```
 
+// lint: allow(PANIC_IN_LIB, file) -- experiment driver: abort loudly on setup failure instead of degrading
+
 use cqm_appliance::office::run_fused_pens;
 use cqm_sensors::synth::Scenario;
 

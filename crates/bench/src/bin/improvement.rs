@@ -13,6 +13,8 @@
 //! cargo run -p cqm-bench --bin improvement
 //! ```
 
+// lint: allow(PANIC_IN_LIB, file) -- experiment driver: abort loudly on setup failure instead of degrading
+
 use cqm_appliance::office::{run_office, OfficeConfig};
 use cqm_bench::{evaluation_pool, labeled_qualities, paper_testbed, select_test_set};
 use cqm_core::filter::QualityFilter;

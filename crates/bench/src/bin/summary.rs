@@ -7,6 +7,8 @@
 //! cargo run --release -p cqm-bench --bin summary
 //! ```
 
+// lint: allow(PANIC_IN_LIB, file) -- experiment driver: abort loudly on setup failure instead of degrading
+
 use cqm_bench::{evaluation_pool, labeled_qualities, paper_testbed, select_test_set};
 use cqm_core::filter::QualityFilter;
 use cqm_stats::bootstrap::auc_ci;

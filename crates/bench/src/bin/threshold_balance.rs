@@ -11,6 +11,8 @@
 //! cargo run -p cqm-bench --bin threshold_balance
 //! ```
 
+// lint: allow(PANIC_IN_LIB, file) -- experiment driver: abort loudly on setup failure instead of degrading
+
 use cqm_classify::dataset::ClassifiedDataset;
 use cqm_classify::tsk::{FisClassifier, FisClassifierConfig};
 use cqm_core::classifier::{ClassId, Classifier};

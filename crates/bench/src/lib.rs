@@ -19,6 +19,8 @@
 //! Criterion benches (`cargo bench -p cqm-bench`) back the paper's
 //! "real-time" claim with FIS-evaluation and end-to-end latencies.
 
+// lint: allow(PANIC_IN_LIB, file) -- experiment driver: abort loudly on setup failure instead of degrading
+
 
 #![forbid(unsafe_code)]
 

@@ -85,7 +85,7 @@ impl Classifier for NearestCentroid {
             .min_by(|(_, a), (_, b)| {
                 let da: f64 = a.iter().zip(cues).map(|(c, x)| (c - x) * (c - x)).sum();
                 let db: f64 = b.iter().zip(cues).map(|(c, x)| (c - x) * (c - x)).sum();
-                da.partial_cmp(&db).expect("finite distances")
+                da.total_cmp(&db)
             })
             .map(|(i, _)| ClassId(i))
             .ok_or_else(|| CqmError::InvalidInput("no trained centroids".into()))?;

@@ -64,11 +64,12 @@ impl Classifier for KnnClassifier {
                 (d, l)
             })
             .collect();
-        dist.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        dist.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut votes = vec![0usize; self.num_classes];
         for (_, l) in dist.iter().take(self.k) {
             votes[l.0] += 1;
         }
+        // lint: allow(PANIC_IN_LIB) -- train() rejects an empty dataset, so num_classes >= 1 and votes is non-empty
         let max_votes = *votes.iter().max().expect("non-empty votes");
         // Tie break: nearest neighbour among the tied classes.
         let winner = dist
@@ -76,6 +77,7 @@ impl Classifier for KnnClassifier {
             .take(self.k)
             .find(|(_, l)| votes[l.0] == max_votes)
             .map(|(_, l)| *l)
+            // lint: allow(PANIC_IN_LIB) -- k >= 1 and a non-empty training set are enforced in train(), so a tied class has a neighbour
             .expect("at least one neighbour");
         Ok(winner)
     }

@@ -4,6 +4,8 @@
 //! Not part of the paper's pipeline — it is the sanity baseline the
 //! clustering tests and the FCM initializer lean on.
 
+// lint: allow(PANIC_IN_LIB, file) -- dims validated by check_data at entry and k >= 1, n >= k checked; loops index validated shapes
+
 use crate::{check_data, ClusterError, Result};
 use cqm_math::vector::dist_sq;
 
@@ -57,7 +59,7 @@ pub fn kmeans(data: &[Vec<f64>], k: usize, seed: u64) -> Result<KMeansResult> {
             .max_by(|&i, &j| {
                 let di = nearest_dist_sq(&data[i], &centers);
                 let dj = nearest_dist_sq(&data[j], &centers);
-                di.partial_cmp(&dj).expect("finite distances")
+                di.total_cmp(&dj)
             })
             .expect("non-empty");
         centers.push(data[far].clone());
@@ -73,7 +75,7 @@ pub fn kmeans(data: &[Vec<f64>], k: usize, seed: u64) -> Result<KMeansResult> {
                 .min_by(|&a, &b| {
                     let da = dist_sq(p, &centers[a]).expect("dims");
                     let db = dist_sq(p, &centers[b]).expect("dims");
-                    da.partial_cmp(&db).expect("finite")
+                    da.total_cmp(&db)
                 })
                 .expect("k >= 1");
             if assignments[i] != best {
@@ -97,7 +99,7 @@ pub fn kmeans(data: &[Vec<f64>], k: usize, seed: u64) -> Result<KMeansResult> {
                     .max_by(|&i, &j| {
                         let di = nearest_dist_sq(&data[i], &centers);
                         let dj = nearest_dist_sq(&data[j], &centers);
-                        di.partial_cmp(&dj).expect("finite")
+                        di.total_cmp(&dj)
                     })
                     .expect("non-empty");
                 centers[c] = data[far].clone();
@@ -154,7 +156,7 @@ mod tests {
         assert_eq!(r.centers.len(), 2);
         // Centers near (0.1, -0.1) and (9.9, 10.1).
         let mut cs = r.centers.clone();
-        cs.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
+        cs.sort_by(|a, b| a[0].total_cmp(&b[0]));
         assert!(cs[0][0] < 1.0 && cs[1][0] > 9.0);
         // All points in a blob share an assignment.
         let first = r.assignments[0];

@@ -7,6 +7,8 @@
 //! mountain method evaluates it on a regular grid over the unit cube, so its
 //! centers are grid vertices rather than data points.
 
+// lint: allow(PANIC_IN_LIB, file) -- grid dimensions fixed at construction; peak search operates on non-empty grids
+
 use crate::normalize::UnitScaler;
 use crate::{check_data, ClusterError, Result};
 use cqm_math::vector::dist_sq;

@@ -5,6 +5,8 @@
 //! (Chiu 1994). The transform is remembered so cluster centers can be mapped
 //! back to the original coordinates.
 
+// lint: allow(PANIC_IN_LIB, file) -- column indices range over dims validated by check_data
+
 use crate::{check_data, ClusterError, Result};
 
 /// Affine per-dimension normalizer `x' = (x − lo) / (hi − lo)`.

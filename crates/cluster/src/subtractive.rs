@@ -17,6 +17,8 @@
 //!    zone apply Chiu's distance criterion
 //!    `d_min/r_a + P*/P₁* ≥ 1`.
 
+// lint: allow(PANIC_IN_LIB, file) -- density kernel over shapes validated at entry; potentials vector sized to n
+
 use crate::normalize::UnitScaler;
 use crate::{check_data, ClusterError, Result};
 use cqm_math::vector::dist_sq;

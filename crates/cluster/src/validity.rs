@@ -3,6 +3,8 @@
 //! Used by the ablation experiments to judge cluster counts produced by the
 //! different structure-identification methods.
 
+// lint: allow(PANIC_IN_LIB, file) -- membership/center shapes cross-checked at entry before the index loops
+
 use crate::{check_data, ClusterError, Result};
 use cqm_math::vector::dist_sq;
 

@@ -73,7 +73,7 @@ pub fn fuse(reports: &[ContextReport], rule: FusionRule) -> Result<FusedContext>
     let total: f64 = mass.values().sum();
     let winner = mass
         .iter()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite mass"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(c, m)| (*c, *m));
     match winner {
         Some((class, m)) if total > 0.0 => Ok(FusedContext {

@@ -48,6 +48,7 @@ impl Quality {
 
     /// The value, or `default` for ε. Useful for conservative consumers
     /// that treat ε as zero quality.
+    // lint: allow(ASSERT_DENSITY) -- the default is the caller's substitute for eps; any f64 is acceptable by design
     pub fn value_or(&self, default: f64) -> f64 {
         self.value().unwrap_or(default)
     }
@@ -65,10 +66,9 @@ impl std::fmt::Display for Quality {
 /// The normalization function `L: ℝ → [0, 1] ∪ {ε}` exactly per §2.1.3
 /// (with the reconstructed mirror clauses — see module docs).
 pub fn normalize(x: f64) -> Quality {
-    if x.is_nan() {
-        return Quality::Epsilon;
-    }
-    if (0.0..=1.0).contains(&x) {
+    let q = if x.is_nan() {
+        Quality::Epsilon
+    } else if (0.0..=1.0).contains(&x) {
         Quality::Value(x)
     } else if (-0.5..0.0).contains(&x) {
         Quality::Value(-x)
@@ -76,7 +76,14 @@ pub fn normalize(x: f64) -> Quality {
         Quality::Value(2.0 - x)
     } else {
         Quality::Epsilon
+    };
+    if cfg!(feature = "strict-math") {
+        debug_assert!(
+            q.value().map_or(true, |v| (0.0..=1.0).contains(&v)),
+            "L-normalization left [0, 1]: L({x}) = {q}"
+        );
     }
+    q
 }
 
 #[cfg(test)]

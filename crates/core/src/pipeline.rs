@@ -88,6 +88,7 @@ impl<C: Classifier> CqmSystem<C> {
     ///
     /// * [`CqmError::InvalidInput`] on malformed cues.
     /// * Errors from the black-box classifier itself.
+    // lint: allow(ASSERT_DENSITY) -- cue validation lives in QualityMeasure::raw, which rejects bad input via Result
     pub fn classify_with_quality(&self, cues: &[f64]) -> Result<QualifiedClassification> {
         let class = self.classifier.classify(cues)?;
         let quality = self.measure.measure(cues, class)?;
@@ -103,6 +104,7 @@ impl<C: Classifier> CqmSystem<C> {
     /// # Errors
     ///
     /// Same conditions as [`CqmSystem::classify_with_quality`].
+    // lint: allow(ASSERT_DENSITY) -- delegates row-wise to classify_with_quality, which validates via Result
     pub fn classify_batch(&self, batch: &[Vec<f64>]) -> Result<Vec<QualifiedClassification>> {
         batch.iter().map(|c| self.classify_with_quality(c)).collect()
     }

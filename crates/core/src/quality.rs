@@ -50,6 +50,14 @@ impl QualityMeasure {
 
     /// Assemble the joint vector `v_Q = (v_C, c)` (§2.1.1).
     pub fn joint_input(&self, cues: &[f64], class: ClassId) -> Vec<f64> {
+        if cfg!(feature = "strict-math") {
+            debug_assert!(
+                cues.len() == self.cue_dim(),
+                "joint_input: {} cues, measure expects {}",
+                cues.len(),
+                self.cue_dim()
+            );
+        }
         let mut v = Vec::with_capacity(cues.len() + 1);
         v.extend_from_slice(cues);
         v.push(class.as_f64());
@@ -92,11 +100,18 @@ impl QualityMeasure {
     /// Returns [`CqmError::InvalidInput`] on malformed cues (those are
     /// caller bugs, not runtime conditions).
     pub fn measure(&self, cues: &[f64], class: ClassId) -> Result<Quality> {
-        match self.raw(cues, class) {
-            Ok(raw) => Ok(normalize(raw)),
-            Err(CqmError::Fuzzy(cqm_fuzzy::FuzzyError::NoRuleFired)) => Ok(Quality::Epsilon),
-            Err(e) => Err(e),
+        let q = match self.raw(cues, class) {
+            Ok(raw) => normalize(raw),
+            Err(CqmError::Fuzzy(cqm_fuzzy::FuzzyError::NoRuleFired)) => Quality::Epsilon,
+            Err(e) => return Err(e),
+        };
+        if cfg!(feature = "strict-math") {
+            debug_assert!(
+                q.value().map_or(true, |v| (0.0..=1.0).contains(&v)),
+                "quality left [0, 1] union eps: {q}"
+            );
         }
+        Ok(q)
     }
 }
 

@@ -14,6 +14,8 @@
 //! 4. fits the right/wrong Gaussians on the analysis set, intersects them
 //!    for the optimal threshold `s` and computes the §2.33 probabilities.
 
+// lint: allow(PANIC_IN_LIB, file) -- training folds index datasets whose shape was validated upstream
+
 use cqm_anfis::dataset::Dataset;
 use cqm_anfis::genfis::{genfis, GenfisParams};
 use cqm_anfis::hybrid::{train_hybrid, HybridConfig, TrainReport};

@@ -97,20 +97,26 @@ impl RuleBuilder<'_> {
     /// # Errors
     ///
     /// Propagates membership validation.
+    // lint: allow(ASSERT_DENSITY) -- parameter validation happens in MembershipFunction::gaussian, surfaced via Result
     pub fn gaussian(self, mu: f64, sigma: f64) -> Result<Self> {
         Ok(self.antecedent(MembershipFunction::gaussian(mu, sigma)?))
     }
 
     /// Zero-order consequent `f = c`.
     pub fn constant(mut self, c: f64) -> Self {
+        if cfg!(feature = "strict-math") {
+            debug_assert!(c.is_finite(), "constant consequent must be finite, got {c}");
+        }
         let n = self.parent.input_dim;
         let mut coeffs = vec![0.0; n + 1];
+        // lint: allow(PANIC_IN_LIB) -- coeffs has n + 1 elements by construction on the previous line
         coeffs[n] = c;
         self.consequent = Some(coeffs);
         self
     }
 
     /// First-order consequent `f = a·v + b` with `coeffs = [a_1…a_n, b]`.
+    // lint: allow(ASSERT_DENSITY) -- coefficient shape is validated by the rule commit step, which returns Result
     pub fn linear(mut self, coeffs: Vec<f64>) -> Self {
         self.consequent = Some(coeffs);
         self

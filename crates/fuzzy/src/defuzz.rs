@@ -4,6 +4,8 @@
 //! through the weighted sum average (§2.1.2). Operating on a sampled
 //! membership curve keeps the methods shape-agnostic.
 
+// lint: allow(PANIC_IN_LIB, file) -- defuzzifier grids are validated non-empty and uniform at entry
+
 use crate::{FuzzyError, Result};
 
 /// Defuzzification strategy for a sampled membership curve.
@@ -59,6 +61,7 @@ impl Defuzzifier {
                     num += area * cx;
                     den += area;
                 }
+                // lint: allow(NAN_UNSAFE_CMP) -- exactly-zero aggregate area means no rule fired; anything nonzero defuzzifies
                 if den == 0.0 {
                     return Err(FuzzyError::NoRuleFired);
                 }
@@ -72,6 +75,7 @@ impl Defuzzifier {
                     areas.push(a);
                     total += a;
                 }
+                // lint: allow(NAN_UNSAFE_CMP) -- exactly-zero aggregate area means no rule fired; anything nonzero defuzzifies
                 if total == 0.0 {
                     return Err(FuzzyError::NoRuleFired);
                 }

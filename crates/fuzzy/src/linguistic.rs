@@ -48,6 +48,7 @@ pub fn verbalize_rule(rule: &TskRule, index: usize, names: &VariableNames) -> St
         .filter(|(_, &a)| a.abs() > 1e-12)
         .map(|(i, &a)| format!("{a:+.4}*{}", names.name(i)))
         .collect();
+    // lint: allow(PANIC_IN_LIB) -- TskRule::new guarantees consequent.len() == input_dim() + 1
     terms.push(format!("{:+.4}", rule.consequent()[n]));
     format!("R{}: IF {} THEN f = {}", index + 1, antecedent, terms.join(" "))
 }

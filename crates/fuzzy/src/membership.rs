@@ -151,6 +151,9 @@ impl MembershipFunction {
 
     /// Membership degree at `x`, always in `[0, 1]`.
     pub fn eval(&self, x: f64) -> f64 {
+        if cfg!(feature = "strict-math") {
+            debug_assert!(!x.is_nan(), "membership eval: NaN input");
+        }
         match *self {
             MembershipFunction::Gaussian { mu, sigma } => {
                 let z = (x - mu) / sigma;
@@ -196,6 +199,7 @@ impl MembershipFunction {
     /// used by the ANFIS backward pass. Returns `None` for non-Gaussian
     /// shapes (only Gaussians are tuned by hybrid learning in this
     /// reproduction, matching the paper).
+    // lint: allow(ASSERT_DENSITY) -- gradients are defined for all real x; eval guards NaN under strict-math
     pub fn gaussian_grad(&self, x: f64) -> Option<(f64, f64)> {
         match *self {
             MembershipFunction::Gaussian { mu, sigma } => {

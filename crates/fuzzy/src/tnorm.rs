@@ -19,6 +19,12 @@ pub enum TNorm {
 impl TNorm {
     /// Combine two membership degrees.
     pub fn apply(&self, a: f64, b: f64) -> f64 {
+        if cfg!(feature = "strict-math") {
+            debug_assert!(
+                (0.0..=1.0).contains(&a) && (0.0..=1.0).contains(&b),
+                "t-norm inputs must be membership degrees in [0, 1], got {a} and {b}"
+            );
+        }
         match self {
             TNorm::Product => a * b,
             TNorm::Minimum => a.min(b),
@@ -47,6 +53,12 @@ pub enum SNorm {
 impl SNorm {
     /// Combine two membership degrees.
     pub fn apply(&self, a: f64, b: f64) -> f64 {
+        if cfg!(feature = "strict-math") {
+            debug_assert!(
+                (0.0..=1.0).contains(&a) && (0.0..=1.0).contains(&b),
+                "s-norm inputs must be membership degrees in [0, 1], got {a} and {b}"
+            );
+        }
         match self {
             SNorm::Maximum => a.max(b),
             SNorm::ProbabilisticSum => a + b - a * b,

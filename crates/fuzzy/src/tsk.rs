@@ -74,8 +74,12 @@ impl TskRule {
     ///
     /// Same conditions as [`TskRule::new`].
     pub fn constant(antecedents: Vec<MembershipFunction>, c: f64) -> Result<Self> {
+        if cfg!(feature = "strict-math") {
+            debug_assert!(c.is_finite(), "constant consequent must be finite, got {c}");
+        }
         let n = antecedents.len();
         let mut consequent = vec![0.0; n + 1];
+        // lint: allow(PANIC_IN_LIB) -- consequent has n + 1 elements by construction on the previous line
         consequent[n] = c;
         TskRule::new(antecedents, consequent)
     }
@@ -107,17 +111,28 @@ impl TskRule {
 
     /// Firing strength `w_j(v) = T-norm over F_ij(v_i)`.
     pub fn firing_strength(&self, v: &[f64], tnorm: TNorm) -> f64 {
-        tnorm.fold(self.antecedents.iter().zip(v).map(|(mf, &x)| mf.eval(x)))
+        let w = tnorm.fold(self.antecedents.iter().zip(v).map(|(mf, &x)| mf.eval(x)));
+        if cfg!(feature = "strict-math") {
+            debug_assert!(
+                w.is_finite() && w >= 0.0,
+                "firing strength must be a finite non-negative degree, got {w}"
+            );
+        }
+        w
     }
 
     /// Consequent value `f_j(v) = Σ a_ij v_i + a_(n+1)j`.
     pub fn consequent_value(&self, v: &[f64]) -> f64 {
         let n = self.antecedents.len();
+        if cfg!(feature = "strict-math") {
+            debug_assert!(v.len() >= n, "consequent_value: input has {} entries, need {n}", v.len());
+        }
         self.consequent[..n]
             .iter()
             .zip(v)
             .map(|(a, x)| a * x)
             .sum::<f64>()
+            // lint: allow(PANIC_IN_LIB) -- TskRule::new guarantees consequent.len() == n + 1
             + self.consequent[n]
     }
 }
@@ -205,6 +220,7 @@ impl TskFis {
     ///   input dimension.
     /// * [`FuzzyError::NoRuleFired`] if every firing strength underflows to
     ///   zero — the input lies numerically outside the support of all rules.
+    // lint: allow(ASSERT_DENSITY) -- thin delegation; eval_detailed validates dimensions and firing via Result
     pub fn eval(&self, v: &[f64]) -> Result<f64> {
         self.eval_detailed(v).map(|e| e.output)
     }
@@ -252,6 +268,7 @@ impl TskFis {
     /// # Errors
     ///
     /// Same conditions as [`TskFis::eval`] for any row.
+    // lint: allow(ASSERT_DENSITY) -- delegates row-wise to eval, which validates via Result
     pub fn eval_batch(&self, inputs: &[Vec<f64>]) -> Result<Vec<f64>> {
         inputs.iter().map(|v| self.eval(v)).collect()
     }

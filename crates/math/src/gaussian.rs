@@ -54,17 +54,26 @@ impl Gaussian {
 
     /// Density `φ(x) = 1/(σ√2π) e^(−(x−µ)²/2σ²)`.
     pub fn pdf(&self, x: f64) -> f64 {
+        if cfg!(feature = "strict-math") {
+            debug_assert!(self.sigma > 0.0, "Gaussian sigma must stay positive, got {}", self.sigma);
+        }
         let z = (x - self.mu) / self.sigma;
         (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
     }
 
     /// Lower median cut `Φ(s) = ∫_{−∞}^{s} φ(x) dx` (§2.33).
     pub fn cdf(&self, s: f64) -> f64 {
+        if cfg!(feature = "strict-math") {
+            debug_assert!(self.sigma > 0.0, "Gaussian sigma must stay positive, got {}", self.sigma);
+        }
         0.5 * (1.0 + erf((s - self.mu) / (self.sigma * std::f64::consts::SQRT_2)))
     }
 
     /// Upper median cut `Φ̄(s) = ∫_{s}^{∞} φ(x) dx` (§2.33).
     pub fn tail(&self, s: f64) -> f64 {
+        if cfg!(feature = "strict-math") {
+            debug_assert!(self.sigma > 0.0, "Gaussian sigma must stay positive, got {}", self.sigma);
+        }
         0.5 * crate::special::erfc((s - self.mu) / (self.sigma * std::f64::consts::SQRT_2))
     }
 
@@ -150,7 +159,7 @@ impl Gaussian {
         }
         let sq = disc.sqrt();
         let mut roots = vec![(-b - sq) / (2.0 * a), (-b + sq) / (2.0 * a)];
-        roots.sort_by(|x, y| x.partial_cmp(y).expect("finite roots"));
+        roots.sort_by(|x, y| x.total_cmp(y));
         roots.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
         roots
     }

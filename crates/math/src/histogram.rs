@@ -53,6 +53,7 @@ impl Histogram {
     }
 
     /// Record one observation. NaN observations are ignored.
+    // lint: allow(ASSERT_DENSITY) -- NaN observations are explicitly dropped on the first line; every other f64 lands in a clamped bin
     pub fn add(&mut self, x: f64) {
         if x.is_nan() {
             return;
@@ -60,6 +61,7 @@ impl Histogram {
         let n = self.counts.len();
         let t = (x - self.lo) / (self.hi - self.lo);
         let idx = ((t * n as f64).floor() as i64).clamp(0, n as i64 - 1) as usize;
+        // lint: allow(PANIC_IN_LIB) -- idx is clamped into 0..n on the previous line
         self.counts[idx] += 1;
         self.total += 1;
     }
@@ -104,6 +106,7 @@ impl Histogram {
             return 0.0;
         }
         let w = (self.hi - self.lo) / self.counts.len() as f64;
+        // lint: allow(PANIC_IN_LIB) -- i is bound-checked by the assert at function entry
         self.counts[i] as f64 / (self.total as f64 * w)
     }
 }

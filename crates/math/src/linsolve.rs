@@ -4,6 +4,8 @@
 //! system with SVD (§2.2.2). We expose the method as an enum so that the
 //! ABL-LSQ ablation can swap backends without touching the training code.
 
+// lint: allow(PANIC_IN_LIB, file) -- elimination kernel: square-shape checks at entry bound all indices
+
 use crate::matrix::Matrix;
 use crate::qr::Qr;
 use crate::svd::Svd;
@@ -119,6 +121,7 @@ fn gauss_solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>> {
         }
         for i in (k + 1)..n {
             let f = a[(i, k)] / a[(k, k)];
+            // lint: allow(NAN_UNSAFE_CMP) -- an exactly-zero multiplier makes this elimination row a no-op; skip preserves bits
             if f == 0.0 {
                 continue;
             }

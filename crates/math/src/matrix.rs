@@ -159,6 +159,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
+                // lint: allow(NAN_UNSAFE_CMP) -- exact-zero skip in the sparse-aware inner loop; any other value multiplies through
                 if a == 0.0 {
                     continue;
                 }
@@ -216,6 +217,9 @@ impl Matrix {
 
     /// Scalar multiple.
     pub fn scale(&self, k: f64) -> Matrix {
+        if cfg!(feature = "strict-math") {
+            debug_assert!(k.is_finite(), "Matrix::scale: non-finite factor {k}");
+        }
         Matrix {
             rows: self.rows,
             cols: self.cols,

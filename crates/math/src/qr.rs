@@ -4,6 +4,8 @@
 //! ablation to quantify what the paper's SVD choice buys over QR and normal
 //! equations on the ANFIS design matrices.
 
+// lint: allow(PANIC_IN_LIB, file) -- dense linear-algebra kernel: dimensions are checked once at entry
+
 use crate::matrix::Matrix;
 use crate::{MathError, Result};
 
@@ -53,6 +55,7 @@ impl Qr {
                 norm_sq += f[(i, k)] * f[(i, k)];
             }
             let norm = norm_sq.sqrt();
+            // lint: allow(NAN_UNSAFE_CMP) -- an exactly-zero column norm is a degenerate column; tau = 0 marks the reflection skipped
             if norm == 0.0 {
                 tau[k] = 0.0;
                 continue;
@@ -103,6 +106,7 @@ impl Qr {
         // y = Qᵀ b by applying the Householder reflections in order.
         let mut y = b.to_vec();
         for k in 0..n {
+            // lint: allow(NAN_UNSAFE_CMP) -- tau == 0.0 is the exact skip marker written by the factorization for degenerate columns
             if self.tau[k] == 0.0 {
                 continue;
             }

@@ -27,9 +27,11 @@ pub fn bisect<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, tol: f64) -> Result<f64
     let mut b = hi;
     let mut fa = f(a);
     let fb = f(b);
+    // lint: allow(NAN_UNSAFE_CMP) -- exact root at the bracket edge short-circuits; NaN falls through to the sign test
     if fa == 0.0 {
         return Ok(a);
     }
+    // lint: allow(NAN_UNSAFE_CMP) -- exact root at the bracket edge short-circuits; NaN falls through to the sign test
     if fb == 0.0 {
         return Ok(b);
     }
@@ -42,6 +44,7 @@ pub fn bisect<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, tol: f64) -> Result<f64
     for _ in 0..200 {
         let mid = 0.5 * (a + b);
         let fm = f(mid);
+        // lint: allow(NAN_UNSAFE_CMP) -- exact root hit ends bisection early; the tolerance test is the real stop
         if fm == 0.0 || (b - a) / 2.0 < tol {
             return Ok(mid);
         }

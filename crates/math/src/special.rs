@@ -16,6 +16,7 @@
 /// assert!((erf(1.0) - 0.8427007929497149).abs() < 1e-12);
 /// assert!((erf(-1.0) + 0.8427007929497149).abs() < 1e-12);
 /// ```
+// lint: allow(ASSERT_DENSITY) -- erf is total on R; NaN is handled explicitly on the first line
 pub fn erf(x: f64) -> f64 {
     if x.is_nan() {
         return f64::NAN;
@@ -35,6 +36,7 @@ pub fn erf(x: f64) -> f64 {
 
 /// Complementary error function `erfc(x) = 1 − erf(x)`, accurate in the far
 /// tail where `1 − erf(x)` would cancel catastrophically.
+// lint: allow(ASSERT_DENSITY) -- erfc is total on R; NaN is handled explicitly on the first line
 pub fn erfc(x: f64) -> f64 {
     if x.is_nan() {
         return f64::NAN;
@@ -112,6 +114,7 @@ fn erfc_cf(x: f64) -> f64 {
 /// Panics if `|y| >= 1`.
 pub fn erfinv(y: f64) -> f64 {
     assert!(y > -1.0 && y < 1.0, "erfinv domain is (-1, 1), got {y}");
+    // lint: allow(NAN_UNSAFE_CMP) -- exact-zero shortcut: erfinv(0) = 0 identically; NaN is excluded by the assert above
     if y == 0.0 {
         return 0.0;
     }
@@ -125,6 +128,7 @@ pub fn erfinv(y: f64) -> f64 {
     for _ in 0..3 {
         let err = erf(x) - y;
         let deriv = c * (-x * x).exp();
+        // lint: allow(NAN_UNSAFE_CMP) -- a fully underflowed Newton derivative ends polishing; division would blow up
         if deriv == 0.0 {
             break;
         }

@@ -25,6 +25,9 @@ pub fn mean(data: &[f64]) -> Result<f64> {
 ///
 /// Returns [`MathError::EmptyInput`] for an empty slice.
 pub fn population_variance(data: &[f64]) -> Result<f64> {
+    if cfg!(feature = "strict-math") {
+        debug_assert!(data.iter().all(|x| x.is_finite()), "population_variance: non-finite observation");
+    }
     let m = mean(data)?;
     Ok(data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / data.len() as f64)
 }
@@ -47,6 +50,7 @@ pub fn sample_variance(data: &[f64]) -> Result<f64> {
 /// # Errors
 ///
 /// Returns [`MathError::EmptyInput`] for an empty slice.
+// lint: allow(ASSERT_DENSITY) -- delegates to population_variance, which guards the domain
 pub fn std_dev(data: &[f64]) -> Result<f64> {
     population_variance(data).map(f64::sqrt)
 }
@@ -56,6 +60,7 @@ pub fn std_dev(data: &[f64]) -> Result<f64> {
 /// # Errors
 ///
 /// Returns [`MathError::EmptyInput`] if the slice is empty or all-NaN.
+// lint: allow(ASSERT_DENSITY) -- NaN-tolerant by contract: NaNs are filtered, empty/all-NaN is an Err
 pub fn min_max(data: &[f64]) -> Result<(f64, f64)> {
     let mut it = data.iter().copied().filter(|x| !x.is_nan());
     let first = it.next().ok_or(MathError::EmptyInput("min_max"))?;
@@ -72,7 +77,7 @@ pub fn median(data: &[f64]) -> Result<f64> {
         return Err(MathError::EmptyInput("median"));
     }
     let mut v = data.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in median input"));
+    v.sort_by(|a, b| a.total_cmp(b));
     let n = v.len();
     Ok(if n % 2 == 1 {
         v[n / 2]
@@ -121,6 +126,7 @@ pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64> {
         va += (x - ma) * (x - ma);
         vb += (y - mb) * (y - mb);
     }
+    // lint: allow(NAN_UNSAFE_CMP) -- exactly-zero variance detects a constant series; anything else falls through to the division
     if va == 0.0 || vb == 0.0 {
         return Err(MathError::Singular("constant series in pearson"));
     }
@@ -151,6 +157,9 @@ impl Welford {
 
     /// Add one observation.
     pub fn push(&mut self, x: f64) {
+        if cfg!(feature = "strict-math") {
+            debug_assert!(x.is_finite(), "Welford::push: non-finite observation {x}");
+        }
         self.n += 1;
         let delta = x - self.mean;
         self.mean += delta / self.n as f64;

@@ -6,6 +6,8 @@
 //! of rows, tens of columns): it iteratively orthogonalises the columns of
 //! `A`, yielding `A = U Σ Vᵀ` with `U` column-orthonormal (thin SVD).
 
+// lint: allow(PANIC_IN_LIB, file) -- dense linear-algebra kernel: dimensions are checked once at entry
+
 use crate::matrix::Matrix;
 use crate::{MathError, Result};
 
@@ -127,7 +129,7 @@ impl Svd {
         for (j, s) in sigma.iter_mut().enumerate() {
             *s = (0..m).map(|i| u[(i, j)] * u[(i, j)]).sum::<f64>().sqrt();
         }
-        order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).expect("finite sigma"));
+        order.sort_by(|&i, &j| sigma[j].total_cmp(&sigma[i]));
 
         let mut u_sorted = Matrix::zeros(m, n);
         let mut v_sorted = Matrix::zeros(n, n);
@@ -165,6 +167,7 @@ impl Svd {
     pub fn condition_number(&self) -> f64 {
         let smax = self.sigma.first().copied().unwrap_or(0.0);
         let smin = self.sigma.last().copied().unwrap_or(0.0);
+        // lint: allow(NAN_UNSAFE_CMP) -- an exactly-zero singular value is rank deficiency; the condition number is infinite by definition
         if smin == 0.0 {
             f64::INFINITY
         } else {

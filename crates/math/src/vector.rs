@@ -30,6 +30,9 @@ pub fn dot(a: &[f64], b: &[f64]) -> Result<f64> {
 
 /// Euclidean (L2) norm.
 pub fn norm(a: &[f64]) -> f64 {
+    if cfg!(feature = "strict-math") {
+        debug_assert!(a.iter().all(|x| x.is_finite()), "norm: non-finite input component");
+    }
     a.iter().map(|x| x * x).sum::<f64>().sqrt()
 }
 
@@ -54,6 +57,7 @@ pub fn dist_sq(a: &[f64], b: &[f64]) -> Result<f64> {
 /// # Errors
 ///
 /// Returns [`MathError::DimensionMismatch`] if the lengths differ.
+// lint: allow(ASSERT_DENSITY) -- thin wrapper; dist_sq validates the shapes via Result
 pub fn dist(a: &[f64], b: &[f64]) -> Result<f64> {
     dist_sq(a, b).map(f64::sqrt)
 }
@@ -92,6 +96,9 @@ pub fn sub(a: &[f64], b: &[f64]) -> Result<Vec<f64>> {
 
 /// Scalar multiple `k * a`.
 pub fn scale(a: &[f64], k: f64) -> Vec<f64> {
+    if cfg!(feature = "strict-math") {
+        debug_assert!(k.is_finite(), "scale: non-finite factor {k}");
+    }
     a.iter().map(|x| k * x).collect()
 }
 
@@ -110,6 +117,7 @@ pub fn axpy(a: &mut [f64], k: f64, b: &[f64]) {
 
 /// Index and value of the maximum element. Returns `None` for an empty slice
 /// or a slice whose every element is NaN.
+// lint: allow(ASSERT_DENSITY) -- NaN-tolerant by contract: NaN elements are skipped, all-NaN yields None
 pub fn argmax(a: &[f64]) -> Option<(usize, f64)> {
     let mut best: Option<(usize, f64)> = None;
     for (i, &v) in a.iter().enumerate() {
@@ -126,6 +134,7 @@ pub fn argmax(a: &[f64]) -> Option<(usize, f64)> {
 
 /// Index and value of the minimum element. Returns `None` for an empty slice
 /// or a slice whose every element is NaN.
+// lint: allow(ASSERT_DENSITY) -- NaN-tolerant by contract: NaN elements are skipped, all-NaN yields None
 pub fn argmin(a: &[f64]) -> Option<(usize, f64)> {
     argmax(&scale(a, -1.0)).map(|(i, v)| (i, -v))
 }

@@ -1,6 +1,8 @@
 //! The virtual 3-axis accelerometer: gravity projection + context motion +
 //! per-axis noise channels, sampled at a fixed rate.
 
+// lint: allow(PANIC_IN_LIB, file) -- sample triples are indexed 0..3 against fixed-size axis arrays
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -6,6 +6,8 @@
 //! energy, range and zero-crossing-rate cues per axis for the richer-cue
 //! ablation.
 
+// lint: allow(PANIC_IN_LIB, file) -- axis indices are 0..3 by construction of the cue set
+
 use cqm_math::stats::Welford;
 
 use crate::window::Window;

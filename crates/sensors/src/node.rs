@@ -1,6 +1,8 @@
 //! The virtual sensor node (the AwarePen's Particle Computer): sampling,
 //! windowing and cue extraction glued into one labeled stream.
 
+// lint: allow(PANIC_IN_LIB, file) -- default node config is valid and generated windows are non-empty
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -3,6 +3,8 @@
 //! The AwarePen computes its cues over fixed windows of accelerometer
 //! samples; the window length trades latency against cue stability.
 
+// lint: allow(PANIC_IN_LIB, file) -- windows hold at least one sample and axis < 3 by construction
+
 use crate::accel::AccelSample;
 use crate::{Result, SensorError};
 

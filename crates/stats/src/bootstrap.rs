@@ -110,7 +110,7 @@ where
             values.len()
         )));
     }
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
+    values.sort_by(|a, b| a.total_cmp(b));
     let alpha = (1.0 - level) / 2.0;
     Ok(ConfidenceInterval {
         estimate,

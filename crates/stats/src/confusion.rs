@@ -1,6 +1,8 @@
 //! Confusion-matrix accounting for multi-class context classifiers and for
 //! the binary accept/discard filter decision.
 
+// lint: allow(PANIC_IN_LIB, file) -- class indices are bounded by the num_classes check at entry
+
 use crate::{Result, StatsError};
 
 /// A `k × k` confusion matrix: `counts[truth][predicted]`.

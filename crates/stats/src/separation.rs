@@ -3,6 +3,8 @@
 //! classifications are fully separable from the wrong contextual
 //! classifications", §3.2).
 
+// lint: allow(PANIC_IN_LIB, file) -- parallel score/label vectors are built in lockstep in this module
+
 use crate::{Result, StatsError};
 
 /// One point of an ROC curve.
@@ -38,7 +40,7 @@ pub fn roc_curve(samples: &[(f64, bool)]) -> Result<Vec<RocPoint>> {
         ));
     }
     let mut sorted: Vec<(f64, bool)> = samples.to_vec();
-    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+    sorted.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mut points = vec![RocPoint {
         threshold: f64::INFINITY,
         tpr: 0.0,

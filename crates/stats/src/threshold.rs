@@ -88,12 +88,10 @@ pub fn optimal_threshold(groups: &QualityGroups) -> Result<Threshold> {
             method: ThresholdMethod::DensityIntersection,
         });
     }
-    if let Some(&s) = candidates.iter().min_by(|a, b| {
-        (*a - mid)
-            .abs()
-            .partial_cmp(&(*b - mid).abs())
-            .expect("finite")
-    }) {
+    if let Some(&s) = candidates
+        .iter()
+        .min_by(|a, b| (*a - mid).abs().total_cmp(&(*b - mid).abs()))
+    {
         return Ok(Threshold {
             value: s,
             method: ThresholdMethod::DensityIntersection,

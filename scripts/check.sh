@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Tier-1 gate: build, test, then hold the workspace to its own static-analysis
+# bar. Everything a PR must pass locally before it ships.
+#
+#   ./scripts/check.sh
+#
+# The analyzer step runs `cqm-analyze --deny-all`, which promotes warn-level
+# findings (ASSERT_DENSITY, bare-index PANIC_IN_LIB, float `==`) to failures.
+# Suppressions must use `// lint: allow(LINT_ID) -- reason` pragmas with a
+# written reason; see DESIGN.md section 6.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cqm-analyze --deny-all"
+cargo run -q --release -p cqm-analyze -- --deny-all
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "check.sh: all gates passed"

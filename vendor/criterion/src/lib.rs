@@ -1,0 +1,190 @@
+//! Offline stand-in for `criterion`: runs each benchmark in a simple
+//! calibrated timing loop and prints a median-of-samples ns/iter figure.
+//! No statistics, plots, or baselines — just enough to keep `[[bench]]`
+//! targets compiling and producing comparable numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers compile.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Rough wall-clock budget per benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            _name: name.to_string(),
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(id, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Override the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-based here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Entry point used by `criterion_main!`.
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    _name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(id, self.criterion.measurement_time, &mut f);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&id.0, self.criterion.measurement_time, &mut |b| f(b, input));
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier combining a function name and a parameter display value.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Throughput hint (ignored by this shim).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; drives the timing loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, budget: Duration, f: &mut F) {
+    // Calibrate: grow the iteration count until one sample takes >= ~1 ms.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || iters >= 1 << 30 {
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+    // Measure: collect samples until the budget is spent, report the median.
+    let mut samples: Vec<f64> = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < budget || samples.is_empty() {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        if samples.len() >= 200 {
+            break;
+        }
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    println!("  {id:<40} {median:>12.1} ns/iter ({} samples x {iters} iters)", samples.len());
+}
+
+/// Define a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,359 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy it selects.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (rejection sampling, bounded).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "proptest shim: prop_filter({}) rejected 10000 consecutive values",
+            self.whence
+        );
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from a non-empty list of options.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges as strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + (rng.next_u64() % span) as i64) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i64, *self.end() as i64);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                (lo + (rng.next_u64() % span) as i64) as $t
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        // next_f64 is in [0, 1); stretch slightly so hi is reachable.
+        let t = rng.next_f64() * (1.0 + f64::EPSILON);
+        (lo + t.min(1.0) * (hi - lo)).min(hi)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() as f32 * (self.end - self.start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples of strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Canonical whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Whole-domain strategy for a primitive (used by [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_prim {
+    ($($t:ty => $gen:expr),* $(,)?) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            #[allow(clippy::redundant_closure_call)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                ($gen)(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+arbitrary_prim! {
+    bool => |rng: &mut TestRng| rng.next_u64() & 1 == 1,
+    u8 => |rng: &mut TestRng| rng.next_u64() as u8,
+    u16 => |rng: &mut TestRng| rng.next_u64() as u16,
+    u32 => |rng: &mut TestRng| rng.next_u64() as u32,
+    u64 => |rng: &mut TestRng| rng.next_u64(),
+    usize => |rng: &mut TestRng| rng.next_u64() as usize,
+    i8 => |rng: &mut TestRng| rng.next_u64() as i8,
+    i16 => |rng: &mut TestRng| rng.next_u64() as i16,
+    i32 => |rng: &mut TestRng| rng.next_u64() as i32,
+    i64 => |rng: &mut TestRng| rng.next_u64() as i64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic("ranges_respect_bounds");
+        for _ in 0..500 {
+            let u = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&u));
+            let f = (-1.5f64..2.5).generate(&mut rng);
+            assert!((-1.5..2.5).contains(&f));
+            let g = (0.0f64..=1.0).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::deterministic("combinators_compose");
+        let strat = (1usize..4)
+            .prop_flat_map(|n| crate::collection::vec(0.0f64..1.0, n))
+            .prop_map(|v| v.len());
+        for _ in 0..100 {
+            let len = strat.generate(&mut rng);
+            assert!((1..4).contains(&len));
+        }
+    }
+
+    #[test]
+    fn union_picks_all_options() {
+        let mut rng = TestRng::deterministic("union_picks_all_options");
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed(), Just(3u8).boxed()]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

@@ -1,0 +1,471 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! shim. No `syn`/`quote` — the build environment cannot fetch crates, so
+//! the input is parsed directly from `proc_macro::TokenTree`s and the
+//! generated impl is emitted as a string.
+//!
+//! Supported shapes (the ones this workspace uses):
+//! * named structs (with `#[serde(skip)]` / `#[serde(default)]` on fields)
+//! * tuple structs (newtype = transparent, like real serde)
+//! * unit structs
+//! * enums with unit / tuple / struct variants (externally tagged)
+//!
+//! Generic types are intentionally rejected with a clear panic message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug, Clone)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    gen_serialize(&name, &shape).parse().unwrap()
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    gen_deserialize(&name, &shape).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility to find `struct` / `enum`.
+    let mut kind = String::new();
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = s;
+                    i += 1;
+                    break;
+                }
+                i += 1; // `pub`, `crate`, ...
+            }
+            _ => i += 1,
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive shim: unsupported struct body {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive shim: unsupported enum body {other:?}"),
+        }
+    };
+    (name, shape)
+}
+
+/// Scan one `#[...]` attribute group; returns (skip, default) flags if it is
+/// a `#[serde(...)]` attribute.
+fn serde_attr_flags(group: &proc_macro::Group) -> (bool, bool) {
+    let mut it = group.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return (false, false),
+    }
+    let (mut skip, mut default) = (false, false);
+    if let Some(TokenTree::Group(args)) = it.next() {
+        for tok in args.stream() {
+            if let TokenTree::Ident(id) = tok {
+                match id.to_string().as_str() {
+                    "skip" | "skip_serializing" | "skip_deserializing" => skip = true,
+                    "default" => default = true,
+                    other => panic!(
+                        "serde_derive shim: unsupported #[serde({other})] attribute"
+                    ),
+                }
+            }
+        }
+    }
+    (skip, default)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes.
+        let (mut skip, mut default) = (false, false);
+        loop {
+            match (&tokens.get(i), &tokens.get(i + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    let (s, d) = serde_attr_flags(g);
+                    skip |= s;
+                    default |= d;
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+        }
+        // Field name.
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        i += 1;
+        // `:` then the type, ending at a top-level comma (tracking `<...>`
+        // nesting, since generic args are not token groups).
+        debug_assert!(matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'));
+        i += 1;
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle: i32 = 0;
+    let mut count = 0;
+    let mut saw_tokens = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes before the variant.
+        while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(_))) =
+            (&tokens.get(i).cloned(), &tokens.get(i + 1).cloned())
+        {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to (and past) the separating comma, tolerating discriminants.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut entries: Vec<(String, serde::Value)> = Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "entries.push((\"{n}\".to_string(), serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("serde::Value::Map(entries)");
+            s
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => serde::Value::Str(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(f0) => serde::Value::Map(vec![(\"{v}\".to_string(), serde::Serialize::to_value(f0))]),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({b}) => serde::Value::Map(vec![(\"{v}\".to_string(), serde::Value::Seq(vec![{i}]))]),\n",
+                            v = v.name,
+                            b = binds.join(", "),
+                            i = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {b} }} => serde::Value::Map(vec![(\"{v}\".to_string(), serde::Value::Map(vec![{i}]))]),\n",
+                            v = v.name,
+                            b = binds.join(", "),
+                            i = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn field_expr(f: &Field, source: &str) -> String {
+    if f.skip {
+        return format!("{n}: Default::default(),\n", n = f.name);
+    }
+    if f.default {
+        return format!(
+            "{n}: match {source}.get(\"{n}\") {{ Some(v) => serde::Deserialize::from_value(v)?, None => Default::default() }},\n",
+            n = f.name
+        );
+    }
+    format!(
+        "{n}: match {source}.get(\"{n}\") {{ Some(v) => serde::Deserialize::from_value(v)?, None => return Err(serde::Error::msg(\"missing field `{n}`\")) }},\n",
+        n = f.name
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&field_expr(f, "value"));
+            }
+            format!(
+                "match value {{\n\
+                 serde::Value::Map(_) => Ok({name} {{\n{inits}}}),\n\
+                 _ => Err(serde::Error::msg(\"expected map for struct {name}\")),\n}}"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(value)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "serde::Deserialize::from_value(items.get({i}).ok_or_else(|| serde::Error::msg(\"tuple struct too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                 serde::Value::Seq(items) => Ok({name}({items})),\n\
+                 _ => Err(serde::Error::msg(\"expected sequence for {name}\")),\n}}",
+                items = items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{v}\" => Ok({name}::{v}),\n",
+                            v = v.name
+                        ));
+                        // Accept the map form {"V": null} too.
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => Ok({name}::{v}),\n",
+                            v = v.name
+                        ));
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => Ok({name}::{v}(serde::Deserialize::from_value(payload)?)),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "serde::Deserialize::from_value(items.get({i}).ok_or_else(|| serde::Error::msg(\"variant tuple too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => match payload {{\n\
+                             serde::Value::Seq(items) => Ok({name}::{v}({items})),\n\
+                             _ => Err(serde::Error::msg(\"expected sequence for variant {v}\")),\n}},\n",
+                            v = v.name,
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&field_expr(f, "payload"));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => match payload {{\n\
+                             serde::Value::Map(_) => Ok({name}::{v} {{\n{inits}}}),\n\
+                             _ => Err(serde::Error::msg(\"expected map for variant {v}\")),\n}},\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                 serde::Value::Str(tag) => match tag.as_str() {{\n{unit_arms}\
+                 other => Err(serde::Error::msg(format!(\"unknown variant `{{other}}` of {name}\"))),\n}},\n\
+                 serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 other => Err(serde::Error::msg(format!(\"unknown variant `{{other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => Err(serde::Error::msg(\"expected string or single-key map for enum {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(value: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
