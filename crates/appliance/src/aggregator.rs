@@ -19,6 +19,7 @@ use cqm_core::fusion::{fuse, ContextReport, FusionRule};
 use cqm_core::ClassId;
 use cqm_sensors::Context;
 
+use crate::bus::{BusHealth, EventBus};
 use crate::events::ContextEvent;
 use crate::{ApplianceError, Result};
 
@@ -156,6 +157,34 @@ impl OfficeAggregator {
         }
         out
     }
+
+    /// Aggregate and attach a snapshot of the transporting bus's delivery
+    /// health, so higher-level consumers see not just *what* the office
+    /// reported but how much of the report survived the transport (shed
+    /// events are invisible in `events` by definition).
+    pub fn aggregate_with_bus(&self, events: &[ContextEvent], bus: &EventBus) -> OfficeReport {
+        OfficeReport {
+            situations: self.aggregate(events),
+            bus: bus.health(),
+        }
+    }
+}
+
+/// Aggregated situations together with transport health.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfficeReport {
+    /// Per-bucket fused office situations.
+    pub situations: Vec<AggregatedSituation>,
+    /// Bus delivery statistics at aggregation time.
+    pub bus: BusHealth,
+}
+
+impl OfficeReport {
+    /// Whether the transport shed any events — if so, the situations were
+    /// fused from an incomplete record and should be treated accordingly.
+    pub fn transport_lossy(&self) -> bool {
+        self.bus.dropped > 0
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +264,30 @@ mod tests {
     fn empty_input_empty_output() {
         let agg = OfficeAggregator::new(2.0, true).unwrap();
         assert!(agg.aggregate(&[]).is_empty());
+    }
+
+    #[test]
+    fn bus_health_surfaces_through_aggregation() {
+        use crate::bus::SlowSubscriberPolicy;
+        let bus = EventBus::bounded(1, SlowSubscriberPolicy::DropNewest).unwrap();
+        let rx = bus.subscribe();
+        // Two publishes into a capacity-1 queue nobody drains: one sheds.
+        let e1 = ev(0.0, "pen", Context::Writing, 0.9, Decision::Accept);
+        let e2 = ev(1.0, "pen", Context::Writing, 0.8, Decision::Accept);
+        bus.publish(&e1);
+        bus.publish(&e2);
+        let received: Vec<ContextEvent> = rx.try_iter().collect();
+        let agg = OfficeAggregator::new(5.0, true).unwrap();
+        let report = agg.aggregate_with_bus(&received, &bus);
+        assert_eq!(report.situations.len(), 1);
+        assert_eq!(report.situations[0].situation, OfficeSituation::FocusedWork);
+        assert!(report.transport_lossy());
+        assert_eq!(report.bus.dropped, 1);
+        assert_eq!(report.bus.delivered, 1);
+        // A clean bus yields a non-lossy report.
+        let clean = EventBus::new();
+        let report = agg.aggregate_with_bus(&[], &clean);
+        assert!(!report.transport_lossy());
     }
 
     #[test]

@@ -2,19 +2,112 @@
 //!
 //! Stands in for the Particle Computer radio network that distributes
 //! context events through the AwareOffice. Publishers broadcast to every
-//! live subscriber over unbounded crossbeam channels; dropped subscribers
-//! are pruned lazily on publish.
+//! live subscriber; dropped subscribers are pruned lazily on publish.
+//!
+//! Two delivery modes exist:
+//!
+//! * **Unbounded** ([`EventBus::new`]) — the historical behaviour: every
+//!   subscriber gets an unbounded queue, a stalled consumer grows it
+//!   without limit.
+//! * **Bounded** ([`EventBus::bounded`]) — each subscriber gets a queue of
+//!   fixed capacity and a [`SlowSubscriberPolicy`] decides what happens
+//!   when it fills: shed the oldest queued event, shed the incoming event,
+//!   or block the publisher up to a timeout. Shedding is per-subscriber —
+//!   one stalled consumer never costs the others an event — and every shed
+//!   event is counted, queryable via [`EventBus::health`].
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::events::ContextEvent;
+use crate::{ApplianceError, Result};
+
+/// What a bounded bus does when a subscriber's queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlowSubscriberPolicy {
+    /// Evict the oldest queued event to make room (freshest data wins —
+    /// the right default for live context, where stale events lose value).
+    DropOldest,
+    /// Drop the incoming event for that subscriber (history wins).
+    DropNewest,
+    /// Block the publisher up to the timeout, then drop the incoming event.
+    Block {
+        /// Longest the publisher will wait on one subscriber.
+        timeout: Duration,
+    },
+}
+
+/// Per-subscriber delivery statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriberStats {
+    /// Stable id, assigned in subscription order.
+    pub id: usize,
+    /// Events enqueued to this subscriber.
+    pub delivered: u64,
+    /// Events shed for this subscriber (policy drops + block timeouts).
+    pub dropped: u64,
+}
+
+/// A snapshot of the bus's delivery health.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BusHealth {
+    /// Live subscribers at snapshot time.
+    pub subscribers: usize,
+    /// Total publish calls.
+    pub published: u64,
+    /// Total successful enqueues across all subscribers, live and pruned.
+    pub delivered: u64,
+    /// Total shed events across all subscribers, live and pruned.
+    pub dropped: u64,
+    /// Per-subscriber breakdown (live subscribers only).
+    pub per_subscriber: Vec<SubscriberStats>,
+}
+
+impl BusHealth {
+    /// Fraction of attempted deliveries that were shed, in `[0, 1]`.
+    pub fn drop_rate(&self) -> f64 {
+        let attempts = self.delivered + self.dropped;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / attempts as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BusMode {
+    Unbounded,
+    Bounded {
+        capacity: usize,
+        policy: SlowSubscriberPolicy,
+    },
+}
+
+struct Subscriber {
+    id: usize,
+    tx: Sender<ContextEvent>,
+    delivered: u64,
+    dropped: u64,
+}
+
+struct BusInner {
+    subs: Vec<Subscriber>,
+    next_id: usize,
+    published: u64,
+    /// Totals carried over from pruned subscribers so bus-wide counters
+    /// never go backwards.
+    retired_delivered: u64,
+    retired_dropped: u64,
+}
 
 /// A cloneable handle to the office event bus.
 #[derive(Clone)]
 pub struct EventBus {
-    inner: Arc<Mutex<Vec<Sender<ContextEvent>>>>,
+    inner: Arc<Mutex<BusInner>>,
+    mode: BusMode,
 }
 
 impl Default for EventBus {
@@ -24,40 +117,183 @@ impl Default for EventBus {
 }
 
 impl EventBus {
-    /// Create an empty bus.
-    pub fn new() -> Self {
+    fn with_mode(mode: BusMode) -> Self {
         EventBus {
-            inner: Arc::new(Mutex::new(Vec::new())),
+            inner: Arc::new(Mutex::new(BusInner {
+                subs: Vec::new(),
+                next_id: 0,
+                published: 0,
+                retired_delivered: 0,
+                retired_dropped: 0,
+            })),
+            mode,
         }
     }
 
-    /// Subscribe; returns the receiving end of a fresh unbounded channel.
-    /// Dropping the receiver unsubscribes (lazily).
+    /// Create an empty bus with unbounded subscriber queues.
+    pub fn new() -> Self {
+        EventBus::with_mode(BusMode::Unbounded)
+    }
+
+    /// Create an empty bus whose subscribers each get a queue of `capacity`
+    /// events, governed by `policy` when full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplianceError::InvalidConfig`] for zero capacity or a
+    /// zero `Block` timeout (which would be an unconditional drop dressed
+    /// up as a block).
+    pub fn bounded(capacity: usize, policy: SlowSubscriberPolicy) -> Result<Self> {
+        if capacity == 0 {
+            return Err(ApplianceError::InvalidConfig(
+                "bus capacity must be positive".into(),
+            ));
+        }
+        if let SlowSubscriberPolicy::Block { timeout } = policy {
+            if timeout.is_zero() {
+                return Err(ApplianceError::InvalidConfig(
+                    "block timeout must be positive; use DropNewest for zero waiting".into(),
+                ));
+            }
+        }
+        Ok(EventBus::with_mode(BusMode::Bounded { capacity, policy }))
+    }
+
+    /// Subscribe; returns the receiving end of a fresh channel (bounded or
+    /// not per the bus mode). Dropping the receiver unsubscribes (lazily).
     pub fn subscribe(&self) -> Receiver<ContextEvent> {
-        let (tx, rx) = unbounded();
-        self.inner.lock().push(tx);
+        let (tx, rx) = match self.mode {
+            BusMode::Unbounded => unbounded(),
+            BusMode::Bounded { capacity, .. } => bounded(capacity),
+        };
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.subs.push(Subscriber {
+            id,
+            tx,
+            delivered: 0,
+            dropped: 0,
+        });
         rx
     }
 
-    /// Publish an event to all live subscribers; returns how many received
-    /// it. Disconnected subscribers are removed.
+    /// Publish an event to all live subscribers; returns how many
+    /// subscribers the event was actually enqueued to. Disconnected
+    /// subscribers are pruned *before* counting, so the return value counts
+    /// successful sends only — a full queue under `DropNewest`/`Block` is a
+    /// shed (counted in [`EventBus::health`]), not a success.
     pub fn publish(&self, event: &ContextEvent) -> usize {
-        let mut subs = self.inner.lock();
-        subs.retain(|tx| tx.send(event.clone()).is_ok());
-        subs.len()
+        let mode = self.mode;
+        let mut inner = self.inner.lock();
+        inner.published += 1;
+        let mut successes = 0usize;
+        let mut retired_delivered = 0u64;
+        let mut retired_dropped = 0u64;
+        inner.subs.retain_mut(|sub| {
+            let outcome = deliver(&sub.tx, event, mode);
+            match outcome {
+                Delivery::Enqueued { evicted } => {
+                    sub.delivered += 1;
+                    successes += 1;
+                    if evicted {
+                        sub.dropped += 1;
+                    }
+                    true
+                }
+                Delivery::Shed => {
+                    sub.dropped += 1;
+                    true
+                }
+                Delivery::Disconnected => {
+                    retired_delivered += sub.delivered;
+                    retired_dropped += sub.dropped;
+                    false
+                }
+            }
+        });
+        inner.retired_delivered += retired_delivered;
+        inner.retired_dropped += retired_dropped;
+        successes
     }
 
     /// Current number of subscribers (may include ones whose receiver was
     /// dropped but not yet pruned).
     pub fn subscriber_count(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().subs.len()
+    }
+
+    /// Snapshot the bus's delivery statistics.
+    pub fn health(&self) -> BusHealth {
+        let inner = self.inner.lock();
+        let per_subscriber: Vec<SubscriberStats> = inner
+            .subs
+            .iter()
+            .map(|s| SubscriberStats {
+                id: s.id,
+                delivered: s.delivered,
+                dropped: s.dropped,
+            })
+            .collect();
+        let live_delivered: u64 = per_subscriber.iter().map(|s| s.delivered).sum();
+        let live_dropped: u64 = per_subscriber.iter().map(|s| s.dropped).sum();
+        BusHealth {
+            subscribers: inner.subs.len(),
+            published: inner.published,
+            delivered: inner.retired_delivered + live_delivered,
+            dropped: inner.retired_dropped + live_dropped,
+            per_subscriber,
+        }
     }
 
     /// Disconnect all subscribers: their receivers will observe the end of
     /// the stream once drained. Used by the office runner to signal
     /// end-of-scenario.
     pub fn close(&self) {
-        self.inner.lock().clear();
+        let mut inner = self.inner.lock();
+        let retired: u64 = inner.subs.iter().map(|s| s.delivered).sum();
+        let dropped: u64 = inner.subs.iter().map(|s| s.dropped).sum();
+        inner.retired_delivered += retired;
+        inner.retired_dropped += dropped;
+        inner.subs.clear();
+    }
+}
+
+enum Delivery {
+    /// Enqueued; `evicted` marks a DropOldest eviction that made room.
+    Enqueued { evicted: bool },
+    /// Queue full and the policy shed the incoming event.
+    Shed,
+    /// The subscriber's receiver is gone.
+    Disconnected,
+}
+
+fn deliver(tx: &Sender<ContextEvent>, event: &ContextEvent, mode: BusMode) -> Delivery {
+    match mode {
+        BusMode::Unbounded => match tx.send(event.clone()) {
+            Ok(()) => Delivery::Enqueued { evicted: false },
+            Err(_) => Delivery::Disconnected,
+        },
+        BusMode::Bounded { policy, .. } => match policy {
+            SlowSubscriberPolicy::DropOldest => match tx.force_send(event.clone()) {
+                Ok(evicted) => Delivery::Enqueued {
+                    evicted: evicted.is_some(),
+                },
+                Err(_) => Delivery::Disconnected,
+            },
+            SlowSubscriberPolicy::DropNewest => match tx.try_send(event.clone()) {
+                Ok(()) => Delivery::Enqueued { evicted: false },
+                Err(TrySendError::Full(_)) => Delivery::Shed,
+                Err(TrySendError::Disconnected(_)) => Delivery::Disconnected,
+            },
+            SlowSubscriberPolicy::Block { timeout } => {
+                match tx.send_timeout(event.clone(), timeout) {
+                    Ok(()) => Delivery::Enqueued { evicted: false },
+                    Err(e) if e.is_timeout() => Delivery::Shed,
+                    Err(_) => Delivery::Disconnected,
+                }
+            }
+        },
     }
 }
 
@@ -65,6 +301,7 @@ impl std::fmt::Debug for EventBus {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventBus")
             .field("subscribers", &self.subscriber_count())
+            .field("mode", &self.mode)
             .finish()
     }
 }
@@ -75,6 +312,7 @@ mod tests {
     use cqm_core::filter::Decision;
     use cqm_core::normalize::Quality;
     use cqm_sensors::Context;
+    use std::time::Instant;
 
     fn event(t: f64) -> ContextEvent {
         ContextEvent {
@@ -145,5 +383,143 @@ mod tests {
         let bus = EventBus::new();
         assert_eq!(bus.publish(&event(0.0)), 0);
         assert!(format!("{bus:?}").contains("subscribers"));
+    }
+
+    #[test]
+    fn bounded_construction_validated() {
+        assert!(EventBus::bounded(0, SlowSubscriberPolicy::DropOldest).is_err());
+        assert!(EventBus::bounded(
+            4,
+            SlowSubscriberPolicy::Block {
+                timeout: Duration::ZERO
+            }
+        )
+        .is_err());
+        assert!(EventBus::bounded(4, SlowSubscriberPolicy::DropNewest).is_ok());
+    }
+
+    #[test]
+    fn drop_oldest_keeps_freshest_events() {
+        let bus = EventBus::bounded(3, SlowSubscriberPolicy::DropOldest).unwrap();
+        let rx = bus.subscribe();
+        for i in 0..10 {
+            // Every publish succeeds: eviction makes room.
+            assert_eq!(bus.publish(&event(i as f64)), 1);
+        }
+        // The stalled subscriber wakes up and sees exactly the 3 freshest.
+        let got: Vec<f64> = rx.try_iter().map(|e| e.timestamp).collect();
+        assert_eq!(got, vec![7.0, 8.0, 9.0]);
+        let health = bus.health();
+        assert_eq!(health.published, 10);
+        assert_eq!(health.delivered, 10);
+        assert_eq!(health.dropped, 7);
+        assert_eq!(health.per_subscriber[0].dropped, 7);
+    }
+
+    #[test]
+    fn drop_newest_keeps_earliest_events() {
+        let bus = EventBus::bounded(3, SlowSubscriberPolicy::DropNewest).unwrap();
+        let rx = bus.subscribe();
+        let mut successes = 0;
+        for i in 0..10 {
+            successes += bus.publish(&event(i as f64));
+        }
+        // Only the first 3 fit; the rest were shed for this subscriber.
+        assert_eq!(successes, 3);
+        let got: Vec<f64> = rx.try_iter().map(|e| e.timestamp).collect();
+        assert_eq!(got, vec![0.0, 1.0, 2.0]);
+        let health = bus.health();
+        assert_eq!(health.delivered, 3);
+        assert_eq!(health.dropped, 7);
+        assert!((health.drop_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stalled_subscriber_does_not_starve_others() {
+        let bus = EventBus::bounded(2, SlowSubscriberPolicy::DropNewest).unwrap();
+        let stalled = bus.subscribe();
+        let healthy = bus.subscribe();
+        for i in 0..8 {
+            bus.publish(&event(i as f64));
+            // The healthy consumer drains every event promptly.
+            assert_eq!(healthy.recv().unwrap().timestamp, i as f64);
+        }
+        let health = bus.health();
+        let stalled_stats = health.per_subscriber[0];
+        let healthy_stats = health.per_subscriber[1];
+        // Drop counters are exact: the stalled queue took 2, shed 6.
+        assert_eq!(stalled_stats.delivered, 2);
+        assert_eq!(stalled_stats.dropped, 6);
+        assert_eq!(healthy_stats.delivered, 8);
+        assert_eq!(healthy_stats.dropped, 0);
+        drop(stalled);
+    }
+
+    #[test]
+    fn block_policy_bounds_publisher_latency() {
+        let bus = EventBus::bounded(
+            1,
+            SlowSubscriberPolicy::Block {
+                timeout: Duration::from_millis(20),
+            },
+        )
+        .unwrap();
+        let _rx = bus.subscribe();
+        assert_eq!(bus.publish(&event(0.0)), 1); // fills the queue
+        let start = Instant::now();
+        assert_eq!(bus.publish(&event(1.0)), 0); // no room: blocks, then sheds
+        let waited = start.elapsed();
+        assert!(waited >= Duration::from_millis(15), "returned too early");
+        assert!(
+            waited < Duration::from_millis(500),
+            "publisher blocked far past its timeout"
+        );
+        assert_eq!(bus.health().dropped, 1);
+    }
+
+    #[test]
+    fn block_policy_delivers_once_drained() {
+        let bus = EventBus::bounded(
+            1,
+            SlowSubscriberPolicy::Block {
+                timeout: Duration::from_millis(200),
+            },
+        )
+        .unwrap();
+        let rx = bus.subscribe();
+        bus.publish(&event(0.0));
+        let bus2 = bus.clone();
+        let publisher = std::thread::spawn(move || bus2.publish(&event(1.0)));
+        // Drain while the publisher blocks: the send completes inside the
+        // timeout instead of shedding.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(rx.recv().unwrap().timestamp, 0.0);
+        assert_eq!(publisher.join().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap().timestamp, 1.0);
+        assert_eq!(bus.health().dropped, 0);
+    }
+
+    #[test]
+    fn health_survives_pruning_and_close() {
+        let bus = EventBus::bounded(2, SlowSubscriberPolicy::DropNewest).unwrap();
+        {
+            let _rx = bus.subscribe();
+            for i in 0..5 {
+                bus.publish(&event(i as f64));
+            }
+        } // subscriber dropped with 2 delivered / 3 shed on its counters
+        bus.publish(&event(9.0)); // prunes it
+        let health = bus.health();
+        assert_eq!(health.subscribers, 0);
+        assert_eq!(health.delivered, 2);
+        assert_eq!(health.dropped, 3);
+        assert_eq!(health.published, 6);
+        // close() on a fresh subscriber also retires its counters.
+        let _rx = bus.subscribe();
+        bus.publish(&event(10.0));
+        bus.close();
+        let health = bus.health();
+        assert_eq!(health.delivered, 3);
+        assert_eq!(BusHealth::default().drop_rate(), 0.0);
     }
 }

@@ -265,6 +265,91 @@ mod tests {
     }
 
     #[test]
+    fn drift_reset_then_rehealthy() {
+        // The full recovery path: a drifted monitor is reset (model swap /
+        // recalibration), re-warms, and reports Healthy again on good data.
+        let mut m = monitor();
+        let mut last = MonitorStatus::Warmup;
+        for _ in 0..12 {
+            last = m.observe(Quality::Value(0.2), Decision::Discard);
+        }
+        assert!(matches!(last, MonitorStatus::Drifted { .. }));
+        m.reset();
+        // After reset: warmup for window-1 observations, then Healthy —
+        // never Drifted, because the bad history is gone. The healthy
+        // stream matches the profile: 4 accepts to 1 discard (rate 0.8).
+        let profile_stream = |i: usize| {
+            if i % 5 == 4 {
+                discard(0.8)
+            } else {
+                accept(0.9)
+            }
+        };
+        for i in 0..9 {
+            let (q, d) = profile_stream(i);
+            assert_eq!(
+                m.observe(q, d),
+                MonitorStatus::Warmup,
+                "observation {i} after reset"
+            );
+        }
+        for i in 9..20 {
+            let (q, d) = profile_stream(i);
+            assert_eq!(m.observe(q, d), MonitorStatus::Healthy);
+        }
+    }
+
+    #[test]
+    fn drift_clears_without_reset_once_window_rolls_over() {
+        // Recovery also happens organically: once the sliding window is
+        // fully repopulated with healthy observations the verdict flips
+        // back, no reset required.
+        let mut m = monitor();
+        for _ in 0..12 {
+            m.observe(Quality::Value(0.2), Decision::Discard);
+        }
+        let mut last = MonitorStatus::Warmup;
+        for i in 0..10 {
+            let (q, d) = if i % 5 == 4 { discard(0.8) } else { accept(0.9) };
+            last = m.observe(q, d);
+        }
+        assert_eq!(last, MonitorStatus::Healthy);
+    }
+
+    #[test]
+    fn exactly_at_tolerance_does_not_flap() {
+        // The drift predicate is strict (`> tolerance`): a stream whose
+        // statistics sit exactly on the tolerance boundary stays Healthy on
+        // every observation — no Healthy/Drifted oscillation. All values
+        // chosen exactly representable in binary (0.75, 0.5, 0.25) so the
+        // boundary really is the boundary.
+        //
+        // Profile accept_rate 0.75, all accepts → |Δ rate| = 0.25 = tol.
+        // Profile mean_quality 0.75, all q = 0.5 → |Δ mean| = 0.25 = tol.
+        let profile = OperatingProfile::new(0.75, 0.75).unwrap();
+        let mut m = QualityMonitor::new(profile, 8, 0.25).unwrap();
+        let mut verdicts = Vec::new();
+        for _ in 0..32 {
+            verdicts.push(m.observe(Quality::Value(0.5), Decision::Accept));
+        }
+        // Post-warmup, every verdict is Healthy: exactly-at-tolerance is
+        // inside the healthy band, on every single observation.
+        for (i, v) in verdicts.iter().enumerate().skip(7) {
+            assert_eq!(*v, MonitorStatus::Healthy, "flapped at observation {i}");
+        }
+        // One hair past the tolerance does drift.
+        let mut m2 = QualityMonitor::new(profile, 8, 0.25).unwrap();
+        let mut last = MonitorStatus::Warmup;
+        for _ in 0..8 {
+            last = m2.observe(Quality::Value(0.499), Decision::Accept);
+        }
+        assert!(
+            matches!(last, MonitorStatus::Drifted { .. }),
+            "0.001 past tolerance must drift, got {last:?}"
+        );
+    }
+
+    #[test]
     fn profile_from_trained_cqm() {
         use crate::classifier::test_support::BoundaryClassifier;
         use crate::classifier::ClassId;

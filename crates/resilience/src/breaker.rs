@@ -1,0 +1,388 @@
+//! Per-source circuit breakers feeding quality-weighted fusion.
+//!
+//! Fusion (`cqm_core::fusion`) already discounts a *single* bad report via
+//! its quality weight, but a flapping sensor keeps injecting reports — some
+//! ε, some plausible-looking garbage — faster than the weights can discount
+//! them. The classical remedy is a circuit breaker per source: after
+//! `trip_after` consecutive failures the source is quarantined (its reports
+//! ignored outright), and after a cooldown a single probe decides whether it
+//! has genuinely recovered. All timing is tick-based (one tick per fusion
+//! round), so behaviour is deterministic and replayable.
+
+use std::collections::BTreeMap;
+
+use cqm_core::fusion::{fuse, ContextReport, FusedContext, FusionRule};
+
+use crate::{ResilienceError, Result};
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BreakerState {
+    /// Source trusted; failures are being counted.
+    Closed,
+    /// Source quarantined; reports ignored until the cooldown elapses.
+    Open,
+    /// Cooldown over; the next report is a probe.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A tick-based circuit breaker for one context source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    trip_after: usize,
+    cooldown: usize,
+    state: BreakerState,
+    failures: usize,
+    cooldown_left: usize,
+    trips: usize,
+}
+
+impl CircuitBreaker {
+    /// Create a breaker that opens after `trip_after` consecutive failures
+    /// and stays open for `cooldown` ticks before probing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResilienceError::InvalidConfig`] if either parameter is
+    /// zero.
+    pub fn new(trip_after: usize, cooldown: usize) -> Result<Self> {
+        if trip_after == 0 || cooldown == 0 {
+            return Err(ResilienceError::InvalidConfig(format!(
+                "trip_after {trip_after} and cooldown {cooldown} must be positive"
+            )));
+        }
+        Ok(CircuitBreaker {
+            trip_after,
+            cooldown,
+            state: BreakerState::Closed,
+            failures: 0,
+            cooldown_left: 0,
+            trips: 0,
+        })
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// How many times this breaker has tripped open.
+    pub fn trips(&self) -> usize {
+        self.trips
+    }
+
+    /// Advance one tick and report whether the source may contribute this
+    /// round. While `Open` this counts down the cooldown; the tick the
+    /// cooldown expires transitions to `HalfOpen` and admits a probe.
+    pub fn allow(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                self.cooldown_left = self.cooldown_left.saturating_sub(1);
+                if self.cooldown_left == 0 {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a good report (valid, non-ε quality).
+    pub fn on_success(&mut self) {
+        match self.state {
+            BreakerState::Closed => self.failures = 0,
+            BreakerState::HalfOpen => {
+                // Probe succeeded: trust restored.
+                self.state = BreakerState::Closed;
+                self.failures = 0;
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Record a failure (ε report, missing report, poll error).
+    pub fn on_failure(&mut self) {
+        match self.state {
+            BreakerState::Closed => {
+                self.failures += 1;
+                if self.failures >= self.trip_after {
+                    self.trip();
+                }
+            }
+            BreakerState::HalfOpen => {
+                // Probe failed: back into quarantine for a full cooldown.
+                self.trip();
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.cooldown_left = self.cooldown;
+        self.failures = 0;
+        self.trips += 1;
+    }
+}
+
+/// Outcome of one quarantine-aware fusion round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionTick {
+    /// The fused context, or `None` when no trusted, non-ε report survived
+    /// (the ε-only condition the raw fuser reports as an error).
+    pub fused: Option<FusedContext>,
+    /// Sources quarantined this round (breaker `Open`).
+    pub quarantined: Vec<String>,
+    /// Number of reports that actually entered the fusion vote.
+    pub contributing: usize,
+}
+
+/// Fusion frontend that runs every source through its own circuit breaker
+/// before the vote.
+///
+/// Sources are registered lazily on first sight; a source's *absence* in a
+/// round (it was expected but delivered nothing) counts as a failure just
+/// like an ε report does.
+#[derive(Debug, Clone)]
+pub struct QuarantineFuser {
+    prototype: CircuitBreaker,
+    rule: FusionRule,
+    breakers: BTreeMap<String, CircuitBreaker>,
+}
+
+impl QuarantineFuser {
+    /// Create a fuser whose per-source breakers trip after `trip_after`
+    /// consecutive failures and cool down for `cooldown` ticks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResilienceError::InvalidConfig`] if either breaker
+    /// parameter is zero.
+    pub fn new(trip_after: usize, cooldown: usize, rule: FusionRule) -> Result<Self> {
+        Ok(QuarantineFuser {
+            prototype: CircuitBreaker::new(trip_after, cooldown)?,
+            rule,
+            breakers: BTreeMap::new(),
+        })
+    }
+
+    /// Pre-register a source so its silence counts as failure from the first
+    /// round (lazily-discovered sources only start being tracked once they
+    /// report).
+    pub fn register(&mut self, source: &str) {
+        let proto = self.prototype.clone();
+        self.breakers
+            .entry(source.to_string())
+            .or_insert_with(|| proto);
+    }
+
+    /// Breaker state for a source, if it is tracked.
+    pub fn breaker_state(&self, source: &str) -> Option<BreakerState> {
+        self.breakers.get(source).map(CircuitBreaker::state)
+    }
+
+    /// All tracked sources and their states.
+    pub fn states(&self) -> Vec<(String, BreakerState)> {
+        self.breakers
+            .iter()
+            .map(|(s, b)| (s.clone(), b.state()))
+            .collect()
+    }
+
+    /// Run one fusion round: feed every tracked source's breaker, quarantine
+    /// open ones, fuse the trusted survivors.
+    pub fn fuse_tick(&mut self, reports: &[ContextReport]) -> FusionTick {
+        let proto = self.prototype.clone();
+        for r in reports {
+            self.breakers
+                .entry(r.source.clone())
+                .or_insert_with(|| proto.clone());
+        }
+        let mut used: Vec<ContextReport> = Vec::new();
+        let mut quarantined = Vec::new();
+        for (name, breaker) in &mut self.breakers {
+            if !breaker.allow() {
+                quarantined.push(name.clone());
+                continue;
+            }
+            match reports.iter().find(|r| &r.source == name) {
+                Some(r) if !r.quality.is_epsilon() => {
+                    breaker.on_success();
+                    used.push(r.clone());
+                }
+                _ => breaker.on_failure(),
+            }
+        }
+        let contributing = used.len();
+        FusionTick {
+            fused: fuse(&used, self.rule).ok(),
+            quarantined,
+            contributing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqm_core::classifier::ClassId;
+    use cqm_core::normalize::Quality;
+
+    fn report(source: &str, class: usize, quality: Quality) -> ContextReport {
+        ContextReport {
+            source: source.into(),
+            class: ClassId(class),
+            quality,
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CircuitBreaker::new(0, 4).is_err());
+        assert!(CircuitBreaker::new(3, 0).is_err());
+        assert!(CircuitBreaker::new(3, 4).is_ok());
+        assert!(QuarantineFuser::new(0, 1, FusionRule::WeightedSum).is_err());
+    }
+
+    #[test]
+    fn trips_only_on_consecutive_failures() {
+        let mut b = CircuitBreaker::new(3, 4).unwrap();
+        for _ in 0..10 {
+            b.on_failure();
+            b.on_failure();
+            b.on_success();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+        b.on_failure();
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn cooldown_then_probe() {
+        let mut b = CircuitBreaker::new(2, 3).unwrap();
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown: 2 denied ticks, 3rd tick admits the probe.
+        assert!(!b.allow());
+        assert!(!b.allow());
+        assert!(b.allow());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_full_cooldown() {
+        let mut b = CircuitBreaker::new(2, 3).unwrap();
+        b.on_failure();
+        b.on_failure();
+        for _ in 0..2 {
+            assert!(!b.allow());
+        }
+        assert!(b.allow());
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        assert!(!b.allow());
+        assert!(!b.allow());
+        assert!(b.allow());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn flapping_source_quarantined_from_fusion() {
+        let mut f = QuarantineFuser::new(2, 5, FusionRule::WeightedSum).unwrap();
+        // Two steady sources agree on class 1; "flappy" reports ε forever.
+        let mut quarantined_rounds = 0;
+        for _ in 0..12 {
+            let tick = f.fuse_tick(&[
+                report("pen", 1, Quality::Value(0.8)),
+                report("cup", 1, Quality::Value(0.7)),
+                report("flappy", 0, Quality::Epsilon),
+            ]);
+            let fused = tick.fused.expect("steady sources must fuse");
+            assert_eq!(fused.class, ClassId(1));
+            if tick.quarantined.contains(&"flappy".to_string()) {
+                quarantined_rounds += 1;
+                assert_eq!(tick.contributing, 2);
+            }
+        }
+        assert!(quarantined_rounds > 0, "flappy was never quarantined");
+        assert_eq!(f.breaker_state("pen"), Some(BreakerState::Closed));
+    }
+
+    #[test]
+    fn quarantined_source_readmitted_after_recovery() {
+        let mut f = QuarantineFuser::new(2, 3, FusionRule::WeightedSum).unwrap();
+        for _ in 0..4 {
+            f.fuse_tick(&[
+                report("pen", 1, Quality::Value(0.8)),
+                report("cam", 0, Quality::Epsilon),
+            ]);
+        }
+        assert_eq!(f.breaker_state("cam"), Some(BreakerState::Open));
+        // cam recovers; after the cooldown its probe succeeds and it votes
+        // again.
+        let mut readmitted = false;
+        for _ in 0..6 {
+            let tick = f.fuse_tick(&[
+                report("pen", 1, Quality::Value(0.8)),
+                report("cam", 0, Quality::Value(0.9)),
+            ]);
+            if tick.contributing == 2 {
+                readmitted = true;
+                break;
+            }
+        }
+        assert!(readmitted);
+        assert_eq!(f.breaker_state("cam"), Some(BreakerState::Closed));
+    }
+
+    #[test]
+    fn registered_sources_silence_counts_as_failure() {
+        let mut f = QuarantineFuser::new(2, 3, FusionRule::WeightedSum).unwrap();
+        f.register("ghost");
+        for _ in 0..2 {
+            f.fuse_tick(&[report("pen", 1, Quality::Value(0.8))]);
+        }
+        assert_eq!(f.breaker_state("ghost"), Some(BreakerState::Open));
+        assert_eq!(f.breaker_state("missing"), None);
+    }
+
+    #[test]
+    fn all_sources_quarantined_yields_none() {
+        let mut f = QuarantineFuser::new(1, 10, FusionRule::WeightedSum).unwrap();
+        f.fuse_tick(&[report("a", 0, Quality::Epsilon)]);
+        let tick = f.fuse_tick(&[report("a", 0, Quality::Value(0.9))]);
+        assert!(tick.fused.is_none());
+        assert_eq!(tick.quarantined, vec!["a".to_string()]);
+        assert_eq!(tick.contributing, 0);
+        assert!(BreakerState::HalfOpen.to_string().contains("half-open"));
+        let states = f.states();
+        assert_eq!(states.len(), 1);
+    }
+}

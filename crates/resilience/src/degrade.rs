@@ -1,0 +1,344 @@
+//! The degradation ladder: `Healthy → Degraded → Failsafe → Recovering`.
+//!
+//! Escalation is streak-driven: consecutive *fault* signals (ε quality,
+//! classify errors, dropouts, timeouts, monitor drift) push the system down
+//! the ladder; consecutive successes climb back up — but only through the
+//! explicit `Recovering` state, and only after strictly more successes than
+//! the failures that caused the demotion (hysteresis). A single fault while
+//! `Recovering` demotes immediately, so a flapping source cannot oscillate
+//! the system in and out of `Healthy`.
+
+use crate::{ResilienceError, Result};
+
+/// The four rungs of the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HealthState {
+    /// Normal operation: fresh contexts served.
+    Healthy,
+    /// Sustained faults observed: contexts still served, consumers should
+    /// treat them with suspicion (cached fallbacks appear here).
+    Degraded,
+    /// The pipeline cannot produce trustworthy context: consumers must fall
+    /// back to their no-context behaviour.
+    Failsafe,
+    /// Probation on the way back up: data looks good again but the system
+    /// has not yet re-earned `Healthy`.
+    Recovering,
+}
+
+impl HealthState {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Failsafe => "failsafe",
+            HealthState::Recovering => "recovering",
+        }
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Streak thresholds for the ladder transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationPolicy {
+    /// Consecutive faults in `Healthy` before demotion to `Degraded`.
+    pub degrade_after: usize,
+    /// Consecutive faults (total streak) before `Degraded` drops to
+    /// `Failsafe`; must exceed `degrade_after`.
+    pub failsafe_after: usize,
+    /// Consecutive successes in `Degraded`/`Failsafe` before probation
+    /// (`Recovering`) begins.
+    pub recover_after: usize,
+    /// Consecutive successes in `Recovering` before `Healthy` is re-earned.
+    pub healthy_after: usize,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy {
+            degrade_after: 3,
+            failsafe_after: 8,
+            recover_after: 4,
+            healthy_after: 6,
+        }
+    }
+}
+
+impl DegradationPolicy {
+    /// Validated constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResilienceError::InvalidConfig`] if any threshold is zero
+    /// or `failsafe_after <= degrade_after` (the ladder must be ordered).
+    pub fn new(
+        degrade_after: usize,
+        failsafe_after: usize,
+        recover_after: usize,
+        healthy_after: usize,
+    ) -> Result<Self> {
+        for (name, v) in [
+            ("degrade_after", degrade_after),
+            ("failsafe_after", failsafe_after),
+            ("recover_after", recover_after),
+            ("healthy_after", healthy_after),
+        ] {
+            if v == 0 {
+                return Err(ResilienceError::InvalidConfig(format!(
+                    "{name} must be positive"
+                )));
+            }
+        }
+        if failsafe_after <= degrade_after {
+            return Err(ResilienceError::InvalidConfig(format!(
+                "failsafe_after {failsafe_after} must exceed degrade_after {degrade_after}"
+            )));
+        }
+        Ok(DegradationPolicy {
+            degrade_after,
+            failsafe_after,
+            recover_after,
+            healthy_after,
+        })
+    }
+}
+
+/// One recorded state change, `(tick, new_state)`.
+pub type Transition = (usize, HealthState);
+
+/// The stateful ladder: feed it per-tick success/fault signals and read the
+/// current [`HealthState`].
+#[derive(Debug, Clone)]
+pub struct DegradationLadder {
+    policy: DegradationPolicy,
+    state: HealthState,
+    fault_streak: usize,
+    ok_streak: usize,
+    tick: usize,
+    transitions: Vec<Transition>,
+}
+
+impl DegradationLadder {
+    /// A fresh ladder in `Healthy`.
+    pub fn new(policy: DegradationPolicy) -> Self {
+        DegradationLadder {
+            policy,
+            state: HealthState::Healthy,
+            fault_streak: 0,
+            ok_streak: 0,
+            tick: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &DegradationPolicy {
+        &self.policy
+    }
+
+    /// Current consecutive-fault streak.
+    pub fn fault_streak(&self) -> usize {
+        self.fault_streak
+    }
+
+    /// All recorded state changes as `(tick, new_state)` pairs.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    fn enter(&mut self, next: HealthState) {
+        if next != self.state {
+            self.state = next;
+            self.transitions.push((self.tick, next));
+        }
+    }
+
+    /// Record a successful tick (fresh, in-domain classification).
+    pub fn on_success(&mut self) -> HealthState {
+        self.tick += 1;
+        self.fault_streak = 0;
+        self.ok_streak += 1;
+        match self.state {
+            HealthState::Healthy => {}
+            HealthState::Degraded | HealthState::Failsafe => {
+                if self.ok_streak >= self.policy.recover_after {
+                    self.ok_streak = 0;
+                    self.enter(HealthState::Recovering);
+                }
+            }
+            HealthState::Recovering => {
+                if self.ok_streak >= self.policy.healthy_after {
+                    self.ok_streak = 0;
+                    self.enter(HealthState::Healthy);
+                }
+            }
+        }
+        self.state
+    }
+
+    /// Record a faulted tick (ε, error, dropout, timeout, drift signal).
+    pub fn on_fault(&mut self) -> HealthState {
+        self.tick += 1;
+        self.ok_streak = 0;
+        self.fault_streak += 1;
+        match self.state {
+            HealthState::Healthy => {
+                if self.fault_streak >= self.policy.degrade_after {
+                    self.enter(HealthState::Degraded);
+                }
+            }
+            HealthState::Degraded => {
+                if self.fault_streak >= self.policy.failsafe_after {
+                    self.enter(HealthState::Failsafe);
+                }
+            }
+            HealthState::Failsafe => {}
+            HealthState::Recovering => {
+                // Probation failed: straight back down, streak restarts so a
+                // persistent fault still reaches Failsafe.
+                self.enter(HealthState::Degraded);
+            }
+        }
+        self.state
+    }
+
+    /// Reset to `Healthy` with empty streaks (e.g. after a model swap).
+    pub fn reset(&mut self) {
+        self.state = HealthState::Healthy;
+        self.fault_streak = 0;
+        self.ok_streak = 0;
+        self.transitions.push((self.tick, HealthState::Healthy));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> DegradationLadder {
+        DegradationLadder::new(DegradationPolicy::new(3, 8, 4, 6).unwrap())
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(DegradationPolicy::new(0, 8, 4, 6).is_err());
+        assert!(DegradationPolicy::new(3, 3, 4, 6).is_err());
+        assert!(DegradationPolicy::new(3, 2, 4, 6).is_err());
+        assert!(DegradationPolicy::new(3, 8, 0, 6).is_err());
+        assert!(DegradationPolicy::new(3, 8, 4, 0).is_err());
+        assert!(DegradationPolicy::new(3, 8, 4, 6).is_ok());
+    }
+
+    #[test]
+    fn escalates_at_streak_bounds() {
+        let mut l = ladder();
+        assert_eq!(l.on_fault(), HealthState::Healthy);
+        assert_eq!(l.on_fault(), HealthState::Healthy);
+        assert_eq!(l.on_fault(), HealthState::Degraded); // 3rd fault
+        for _ in 3..7 {
+            assert_eq!(l.on_fault(), HealthState::Degraded);
+        }
+        assert_eq!(l.on_fault(), HealthState::Failsafe); // 8th fault
+        assert_eq!(l.fault_streak(), 8);
+    }
+
+    #[test]
+    fn isolated_faults_do_not_degrade() {
+        let mut l = ladder();
+        for _ in 0..20 {
+            l.on_fault();
+            l.on_fault();
+            assert_eq!(l.on_success(), HealthState::Healthy);
+        }
+        assert!(l.transitions().is_empty());
+    }
+
+    #[test]
+    fn recovery_passes_through_recovering_with_hysteresis() {
+        let mut l = ladder();
+        for _ in 0..8 {
+            l.on_fault();
+        }
+        assert_eq!(l.state(), HealthState::Failsafe);
+        // 4 successes -> Recovering, 6 more -> Healthy.
+        for _ in 0..3 {
+            assert_eq!(l.on_success(), HealthState::Failsafe);
+        }
+        assert_eq!(l.on_success(), HealthState::Recovering);
+        for _ in 0..5 {
+            assert_eq!(l.on_success(), HealthState::Recovering);
+        }
+        assert_eq!(l.on_success(), HealthState::Healthy);
+        let states: Vec<HealthState> = l.transitions().iter().map(|&(_, s)| s).collect();
+        assert_eq!(
+            states,
+            vec![
+                HealthState::Degraded,
+                HealthState::Failsafe,
+                HealthState::Recovering,
+                HealthState::Healthy
+            ]
+        );
+    }
+
+    #[test]
+    fn fault_during_probation_demotes_immediately() {
+        let mut l = ladder();
+        for _ in 0..3 {
+            l.on_fault();
+        }
+        for _ in 0..4 {
+            l.on_success();
+        }
+        assert_eq!(l.state(), HealthState::Recovering);
+        assert_eq!(l.on_fault(), HealthState::Degraded);
+        // And a persistent fault still reaches Failsafe from here.
+        for _ in 0..7 {
+            l.on_fault();
+        }
+        assert_eq!(l.state(), HealthState::Failsafe);
+    }
+
+    #[test]
+    fn flapping_source_cannot_oscillate_into_healthy() {
+        // Alternate 4 ok / 4 fault forever: the ladder must never re-enter
+        // Healthy (probation needs 6 clean in a row).
+        let mut l = ladder();
+        for _ in 0..3 {
+            l.on_fault();
+        }
+        assert_eq!(l.state(), HealthState::Degraded);
+        for _ in 0..12 {
+            for _ in 0..4 {
+                l.on_success();
+            }
+            for _ in 0..4 {
+                l.on_fault();
+            }
+            assert_ne!(l.state(), HealthState::Healthy);
+        }
+    }
+
+    #[test]
+    fn reset_restores_healthy() {
+        let mut l = ladder();
+        for _ in 0..10 {
+            l.on_fault();
+        }
+        l.reset();
+        assert_eq!(l.state(), HealthState::Healthy);
+        assert_eq!(l.fault_streak(), 0);
+        assert_eq!(HealthState::Failsafe.to_string(), "failsafe");
+    }
+}

@@ -1,0 +1,99 @@
+//! # cqm-resilience — fault injection and graceful degradation
+//!
+//! The paper's central claim is that the CQM lets an appliance *survive bad
+//! context*: discard low-quality classifications instead of acting on them
+//! (§3). That claim is only meaningful if it still holds when the sensing
+//! substrate itself misbehaves — stuck sensors, dropouts, spikes, slow
+//! drift, delivery latency, intermittent flapping. This crate provides both
+//! sides of that argument:
+//!
+//! * [`fault`] — a **deterministic fault-injection layer** wrapping any cue
+//!   source. A [`fault::FaultPlan`] schedules per-channel faults over window
+//!   indices; the resulting [`fault::FaultInjector`] is seeded and
+//!   replayable, and composes with the sample-level `sensors::NoiseModel`
+//!   (noise corrupts samples inside a window, faults corrupt the cue stream
+//!   between windows).
+//! * [`degrade`] — the explicit degradation state machine
+//!   `Healthy → Degraded → Failsafe → Recovering` with hysteresis
+//!   ([`degrade::DegradationLadder`]).
+//! * [`supervisor`] — [`supervisor::SupervisedSystem`], the graceful-
+//!   degradation wrapper around `cqm_core::pipeline::CqmSystem`: per-call
+//!   timeout, bounded retry with backoff on transient errors, a last-good-
+//!   context cache with a staleness TTL, and ε/error-streak escalation
+//!   (optionally driven by `cqm_core::monitor::QualityMonitor`) into the
+//!   degradation ladder.
+//! * [`breaker`] — per-source [`breaker::CircuitBreaker`]s and the
+//!   [`breaker::QuarantineFuser`] feeding `cqm_core::fusion`, so a flapping
+//!   sensor is quarantined instead of fused into the office aggregate.
+//!
+//! The chaos suite (`tests/chaos.rs` at the workspace root) asserts, for
+//! every fault class, that the supervised pipeline never panics, escalates
+//! within its configured streak bound, recovers with hysteresis once the
+//! fault clears, and preserves the paper's acceptance-vs-error tradeoff on
+//! the surviving windows.
+
+#![forbid(unsafe_code)]
+
+pub mod breaker;
+pub mod degrade;
+pub mod fault;
+pub mod supervisor;
+
+pub use breaker::{BreakerState, CircuitBreaker, QuarantineFuser};
+pub use degrade::{DegradationLadder, DegradationPolicy, HealthState};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultyReading, ScheduledFault};
+pub use supervisor::{
+    CueSource, Poll, Reading, ServedContext, StepFault, StepReport, SupervisedSystem,
+    SupervisorConfig, WindowSource,
+};
+
+/// Errors produced by the resilience layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResilienceError {
+    /// A fault plan or policy parameter was out of its valid domain.
+    InvalidConfig(String),
+    /// Propagated from the CQM core.
+    Core(cqm_core::CqmError),
+}
+
+impl std::fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResilienceError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            ResilienceError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResilienceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResilienceError::Core(e) => Some(e),
+            ResilienceError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<cqm_core::CqmError> for ResilienceError {
+    fn from(e: cqm_core::CqmError) -> Self {
+        ResilienceError::Core(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ResilienceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let e = ResilienceError::InvalidConfig("bad".into());
+        assert!(e.to_string().contains("bad"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e: ResilienceError = cqm_core::CqmError::InvalidInput("dim".into()).into();
+        assert!(e.to_string().contains("dim"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

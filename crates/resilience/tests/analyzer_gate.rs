@@ -1,0 +1,21 @@
+//! Locks the resilience crate into the repo's own static-analysis gate:
+//! `cqm-analyze` walks `crates/*/src` by convention, so this crate is
+//! scanned automatically — this test makes that an explicit, local
+//! guarantee (no panics/unwraps in lib code, NaN-safe comparisons) instead
+//! of a property only `scripts/check.sh` enforces.
+
+use std::path::PathBuf;
+
+use cqm_analyze::passes::default_passes;
+
+#[test]
+fn resilience_sources_pass_cqm_analyze_deny_all() {
+    let src = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src");
+    let report = cqm_analyze::run(&[src], &default_passes()).expect("scan resilience sources");
+    assert!(report.files_scanned >= 5, "expected all modules scanned");
+    assert!(
+        !report.failed(true),
+        "cqm-analyze findings in crates/resilience: {:#?}",
+        report.findings
+    );
+}

@@ -1,0 +1,104 @@
+//! Graceful degradation: the office pipeline under a fault storm.
+//!
+//! An AwarePen's cue stream is corrupted mid-session (a stuck-at rail
+//! followed by a sensor dropout). The supervised runtime rides it out:
+//! retries, serves last-good context while it is fresh enough, walks the
+//! degradation ladder down to failsafe, and re-earns `Healthy` only after
+//! the configured probation once the fault clears. Meanwhile a flaky
+//! second source is quarantined by its circuit breaker so fusion never
+//! waits on a known-bad channel.
+//!
+//! ```sh
+//! cargo run --example degraded_office
+//! ```
+
+use cqm::appliance::pen::train_pen;
+use cqm::core::fusion::{ContextReport, FusionRule};
+use cqm::core::normalize::Quality;
+use cqm::core::pipeline::CqmSystem;
+use cqm::core::ClassId;
+use cqm::resilience::{
+    FaultInjector, FaultKind, FaultPlan, QuarantineFuser, ScheduledFault, ServedContext,
+    SupervisedSystem, SupervisorConfig, WindowSource,
+};
+use cqm::sensors::{Context, Scenario, SensorNode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== degraded office: the CQM pipeline under a fault storm ==");
+    println!("training the pen...");
+    let build = train_pen(2026, 1)?;
+    let system = CqmSystem::from_trained(build.classifier.clone(), &build.trained_cqm)?;
+    let mut supervised = SupervisedSystem::new(system, SupervisorConfig::default());
+
+    // A real session, then sabotage: windows 25..45 read a stuck rail,
+    // windows 60..75 vanish entirely.
+    let mut node = SensorNode::with_seed(909);
+    let scenario = Scenario::balanced_session()?.then(&Scenario::write_think_write()?);
+    let windows = node.run_scenario(&scenario)?;
+    println!("running {} windows with two fault bands injected\n", windows.len());
+    let plan = FaultPlan::new(
+        42,
+        vec![
+            ScheduledFault {
+                channel: None,
+                kind: FaultKind::StuckAt(Some(500.0)),
+                from: 25,
+                until: 45,
+            },
+            ScheduledFault {
+                channel: None,
+                kind: FaultKind::Dropout,
+                from: 60,
+                until: 75,
+            },
+        ],
+    )?;
+    let cues: Vec<Vec<f64>> = windows.iter().map(|w| w.cues.clone()).collect();
+    let mut source = WindowSource::new(cues, FaultInjector::new(&plan));
+    let reports = supervised.run(&mut source);
+
+    let mut fresh = 0usize;
+    let mut cached = 0usize;
+    let mut unavailable = 0usize;
+    for r in &reports {
+        match &r.served {
+            ServedContext::Fresh { .. } => fresh += 1,
+            ServedContext::Cached { .. } => cached += 1,
+            ServedContext::Unavailable => unavailable += 1,
+        }
+    }
+    println!("served contexts: {fresh} fresh, {cached} cached fallbacks, {unavailable} unavailable");
+    println!("\ndegradation ladder (step: state):");
+    for (tick, state) in supervised.ladder().transitions() {
+        println!("  step {tick:3}: -> {state}");
+    }
+    println!("final state: {}", supervised.state());
+
+    // A flaky co-located sensor keeps reporting ε; its breaker trips and
+    // fusion stops waiting for it until the cooldown probe succeeds.
+    println!("\nfusing the pen with a flaky wearable (circuit breaker, trip=3, cooldown=5):");
+    let mut fuser = QuarantineFuser::new(3, 5, FusionRule::WeightedSum)?;
+    for tick in 0..16 {
+        let pen_report = ContextReport {
+            source: "pen".into(),
+            class: ClassId(Context::Writing.index()),
+            quality: Quality::Value(0.9),
+        };
+        let wearable = ContextReport {
+            source: "wearable".into(),
+            class: ClassId(Context::Playing.index()),
+            quality: if tick < 8 { Quality::Epsilon } else { Quality::Value(0.8) },
+        };
+        let out = fuser.fuse_tick(&[pen_report, wearable]);
+        let fused = out
+            .fused
+            .map(|f| format!("{:?} ({:.2})", Context::from_index(f.class.0), f.confidence))
+            .unwrap_or_else(|| "none".into());
+        println!(
+            "  tick {tick:2}: fused {fused:24} contributing {}  quarantined {:?}",
+            out.contributing, out.quarantined
+        );
+    }
+    println!("\nthe office never blocked on a bad sensor, and never trusted stale context silently");
+    Ok(())
+}

@@ -20,4 +20,10 @@ cargo run -q --release -p cqm-analyze -- --deny-all
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> cargo test (strict-math runtime guards)"
+cargo test -q --features strict-math
+
+echo "==> chaos suite (fault injection & degradation)"
+cargo test -q --test chaos
+
 echo "check.sh: all gates passed"

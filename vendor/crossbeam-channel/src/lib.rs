@@ -1,9 +1,12 @@
-//! Offline stand-in for `crossbeam-channel`: an unbounded MPMC channel on
-//! top of `Mutex<VecDeque>` + `Condvar`.
+//! Offline stand-in for `crossbeam-channel`: unbounded and bounded MPMC
+//! channels on top of `Mutex<VecDeque>` + `Condvar`.
 //!
 //! Semantics mirrored from crossbeam: senders and receivers are cloneable;
 //! `send` fails once every receiver is gone; `recv` drains remaining
 //! messages after the last sender is gone, then reports disconnection.
+//! Bounded channels additionally support `try_send` (fails with
+//! [`TrySendError::Full`]), `send_timeout`, and the ring-buffer style
+//! [`Sender::force_send`] used by drop-oldest backpressure policies.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -12,7 +15,12 @@ use std::time::{Duration, Instant};
 
 struct Shared<T> {
     queue: Mutex<VecDeque<T>>,
+    /// Signals receivers that a message arrived (or all senders left).
     ready: Condvar,
+    /// Signals blocked bounded senders that capacity freed up.
+    space: Condvar,
+    /// `None` = unbounded.
+    capacity: Option<usize>,
     senders: AtomicUsize,
     receivers: AtomicUsize,
 }
@@ -20,6 +28,52 @@ struct Shared<T> {
 /// Error returned by [`Sender::send`] when all receivers are gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// Every receiver was dropped.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recover the message that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+
+    /// Whether the failure was a full channel (as opposed to disconnection).
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+}
+
+/// Error returned by [`Sender::send_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The deadline passed with the channel still full.
+    Timeout(T),
+    /// Every receiver was dropped.
+    Disconnected(T),
+}
+
+impl<T> SendTimeoutError<T> {
+    /// Recover the message that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            SendTimeoutError::Timeout(v) | SendTimeoutError::Disconnected(v) => v,
+        }
+    }
+
+    /// Whether the failure was a timeout (as opposed to disconnection).
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, SendTimeoutError::Timeout(_))
+    }
+}
 
 /// Error returned by [`Receiver::recv`] on empty + disconnected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,21 +97,22 @@ pub enum RecvTimeoutError {
     Disconnected,
 }
 
-/// Sending half of an unbounded channel.
+/// Sending half of a channel.
 pub struct Sender<T> {
     shared: Arc<Shared<T>>,
 }
 
-/// Receiving half of an unbounded channel.
+/// Receiving half of a channel.
 pub struct Receiver<T> {
     shared: Arc<Shared<T>>,
 }
 
-/// Create an unbounded MPMC channel.
-pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
         queue: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
+        space: Condvar::new(),
+        capacity,
         senders: AtomicUsize::new(1),
         receivers: AtomicUsize::new(1),
     });
@@ -69,17 +124,108 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     )
 }
 
+/// Create an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// Create a bounded MPMC channel holding at most `capacity` messages.
+/// A capacity of zero is rounded up to one (the shim has no rendezvous
+/// channel; a 1-slot buffer is the closest deliverable semantics).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(capacity.max(1)))
+}
+
+impl<T> Shared<T> {
+    fn is_full(&self, len: usize) -> bool {
+        self.capacity.is_some_and(|cap| len >= cap)
+    }
+}
+
 impl<T> Sender<T> {
-    /// Enqueue a message; fails iff all receivers were dropped.
+    /// Enqueue a message, blocking while a bounded channel is full; fails
+    /// iff all receivers were dropped.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
         if self.shared.receivers.load(Ordering::Acquire) == 0 {
             return Err(SendError(value));
         }
         let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        while self.shared.is_full(q.len()) {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            q = self
+                .shared
+                .space
+                .wait(q)
+                .unwrap_or_else(|p| p.into_inner());
+        }
         q.push_back(value);
         drop(q);
         self.shared.ready.notify_one();
         Ok(())
+    }
+
+    /// Enqueue without blocking; a full bounded channel is an error.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        if self.shared.receivers.load(Ordering::Acquire) == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        if self.shared.is_full(q.len()) {
+            return Err(TrySendError::Full(value));
+        }
+        q.push_back(value);
+        drop(q);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue, waiting at most `timeout` for capacity.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        if self.shared.receivers.load(Ordering::Acquire) == 0 {
+            return Err(SendTimeoutError::Disconnected(value));
+        }
+        let deadline = Instant::now() + timeout;
+        let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        while self.shared.is_full(q.len()) {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SendTimeoutError::Timeout(value));
+            }
+            let (guard, _res) = self
+                .shared
+                .space
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            q = guard;
+        }
+        q.push_back(value);
+        drop(q);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Ring-buffer push: enqueue unconditionally, evicting the oldest
+    /// queued message if the channel is full. Returns the evicted message,
+    /// if any. This is the primitive behind drop-oldest backpressure.
+    pub fn force_send(&self, value: T) -> Result<Option<T>, SendError<T>> {
+        if self.shared.receivers.load(Ordering::Acquire) == 0 {
+            return Err(SendError(value));
+        }
+        let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        let evicted = if self.shared.is_full(q.len()) {
+            q.pop_front()
+        } else {
+            None
+        };
+        q.push_back(value);
+        drop(q);
+        self.shared.ready.notify_one();
+        Ok(evicted)
     }
 }
 
@@ -103,11 +249,18 @@ impl<T> Drop for Sender<T> {
 }
 
 impl<T> Receiver<T> {
+    fn took_one(&self) {
+        // A slot freed: wake one blocked bounded sender.
+        self.shared.space.notify_one();
+    }
+
     /// Block until a message arrives or every sender is dropped.
     pub fn recv(&self) -> Result<T, RecvError> {
         let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if let Some(v) = q.pop_front() {
+                drop(q);
+                self.took_one();
                 return Ok(v);
             }
             if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -125,6 +278,8 @@ impl<T> Receiver<T> {
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(v) = q.pop_front() {
+            drop(q);
+            self.took_one();
             return Ok(v);
         }
         if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -140,6 +295,8 @@ impl<T> Receiver<T> {
         let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if let Some(v) = q.pop_front() {
+                drop(q);
+                self.took_one();
                 return Ok(v);
             }
             if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -194,7 +351,11 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last receiver gone: wake blocked senders so they observe the
+            // disconnect instead of waiting for capacity forever.
+            self.shared.space.notify_all();
+        }
     }
 }
 
@@ -285,5 +446,90 @@ mod tests {
         let got: Vec<i32> = rx.iter().collect();
         handle.join().unwrap();
         assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn bounded_try_send_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        match tx.try_send(3) {
+            Err(TrySendError::Full(v)) => assert_eq!(v, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.recv(), Ok(1));
+        // A slot freed up.
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_send_timeout_times_out() {
+        let (tx, _rx) = bounded(1);
+        tx.send(1).unwrap();
+        let start = Instant::now();
+        let err = tx.send_timeout(2, Duration::from_millis(20)).unwrap_err();
+        assert!(err.is_timeout());
+        assert_eq!(err.into_inner(), 2);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn bounded_send_timeout_succeeds_when_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            rx.recv().unwrap()
+        });
+        tx.send_timeout(2, Duration::from_millis(500)).unwrap();
+        assert_eq!(t.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn force_send_evicts_oldest() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(tx.force_send(1).unwrap(), None);
+        assert_eq!(tx.force_send(2).unwrap(), None);
+        assert_eq!(tx.force_send(3).unwrap(), Some(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn force_send_fails_disconnected() {
+        let (tx, rx) = bounded::<i32>(1);
+        drop(rx);
+        assert!(tx.force_send(1).is_err());
+    }
+
+    #[test]
+    fn bounded_blocking_send_unblocks_on_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        let tx2 = tx.clone();
+        let sender = std::thread::spawn(move || tx2.send(1).unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(0));
+        sender.join().unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+    }
+
+    #[test]
+    fn blocked_sender_observes_receiver_drop() {
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        let sender = std::thread::spawn(move || tx.send(1));
+        std::thread::sleep(Duration::from_millis(10));
+        drop(rx);
+        assert!(sender.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn zero_capacity_rounds_up_to_one() {
+        let (tx, rx) = bounded(0);
+        tx.try_send(9).unwrap();
+        assert_eq!(rx.recv(), Ok(9));
     }
 }
