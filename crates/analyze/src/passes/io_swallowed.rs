@@ -1,0 +1,215 @@
+//! IO_SWALLOWED — persistence code must not discard I/O errors.
+//!
+//! Durability is a chain of checked syscalls: a `write_all` that fails
+//! unnoticed leaves a checkpoint that will not survive the crash it exists
+//! for, and a swallowed `sync_all` turns "fsynced" into "probably cached".
+//! In persistence paths, discarding an I/O `Result` via `let _ = ...` or a
+//! trailing `.ok()` is therefore a durability bug unless the suppression is
+//! reasoned about explicitly with a pragma (the one legitimate site is a
+//! `Drop` impl, which cannot propagate errors).
+
+use super::{Finding, Level, LintPass};
+use crate::scanner::SourceFile;
+
+/// See module docs.
+pub struct IoSwallowed {
+    /// Path fragments this pass applies to; empty means every file.
+    path_filters: Vec<&'static str>,
+}
+
+const ID: &str = "IO_SWALLOWED";
+
+/// Method/function names whose `Result` is an I/O outcome. Matched as
+/// `<name>(` so `sync_all` does not fire on an identifier `sync_all_done`.
+const IO_CALLS: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "flush",
+    "write_all",
+    "set_len",
+    "rename",
+    "remove_file",
+    "remove_dir_all",
+    "create_dir_all",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+];
+
+impl Default for IoSwallowed {
+    fn default() -> Self {
+        IoSwallowed {
+            path_filters: vec!["persist/src/"],
+        }
+    }
+}
+
+impl IoSwallowed {
+    /// A variant with no path restriction (used by tests and fixtures).
+    pub fn unrestricted() -> Self {
+        IoSwallowed {
+            path_filters: Vec::new(),
+        }
+    }
+}
+
+impl LintPass for IoSwallowed {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "persistence paths must not discard I/O Results with `let _ =` or \
+         `.ok()`; check the error or carry a reasoned pragma"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if !self.path_filters.is_empty() {
+            let p = file.path.to_string_lossy().replace('\\', "/");
+            if !self.path_filters.iter().any(|frag| p.contains(frag)) {
+                return;
+            }
+        }
+        for (i, line) in file.lines.iter().enumerate() {
+            let lineno = i + 1;
+            if line.in_test || file.is_allowed(ID, lineno) {
+                continue;
+            }
+            let code = line.code.trim();
+            let Some(call) = io_call_in(code) else {
+                continue;
+            };
+            let swallow = if code.starts_with("let _ =") || code.starts_with("let _=") {
+                Some("let _ =")
+            } else if code.ends_with(".ok();") || code.ends_with(".ok()") {
+                Some(".ok()")
+            } else {
+                None
+            };
+            if let Some(how) = swallow {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: lineno,
+                    lint: ID,
+                    message: format!(
+                        "I/O result of `{call}()` is swallowed via `{how}`; a \
+                         failed {call} silently breaks durability — propagate \
+                         the error or add a reasoned pragma"
+                    ),
+                    level: Level::Deny,
+                });
+            }
+        }
+    }
+}
+
+/// First I/O call name occurring on the line as a call (`name(`), if any.
+fn io_call_in(code: &str) -> Option<&'static str> {
+    IO_CALLS.iter().copied().find(|name| {
+        code.match_indices(name).any(|(pos, _)| {
+            let boundary_ok = pos == 0 || {
+                let prev = code.as_bytes()[pos - 1] as char;
+                !(prev.is_alphanumeric() || prev == '_')
+            };
+            boundary_ok && code[pos + name.len()..].starts_with('(')
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn run_at(path: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::scan(Path::new(path), src);
+        let mut out = Vec::new();
+        IoSwallowed::default().check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_let_underscore_on_fsync() {
+        let f = run_at(
+            "crates/persist/src/journal.rs",
+            "fn close(f: &std::fs::File) {\n    let _ = f.sync_all();\n}\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].level, Level::Deny);
+        assert!(f[0].message.contains("sync_all"));
+    }
+
+    #[test]
+    fn flags_trailing_ok_on_flush() {
+        let f = run_at(
+            "crates/persist/src/checkpoint.rs",
+            "fn finish(w: &mut impl std::io::Write) {\n    w.flush().ok();\n}\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("flush"));
+    }
+
+    #[test]
+    fn checked_io_is_clean() {
+        let f = run_at(
+            "crates/persist/src/journal.rs",
+            "fn close(f: &std::fs::File) -> std::io::Result<()> {\n    f.sync_all()?;\n    Ok(())\n}\n",
+        );
+        assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn non_io_discard_is_clean() {
+        let f = run_at(
+            "crates/persist/src/recovery.rs",
+            "fn note() {\n    let _ = compute_sync_allowance();\n    sender.send(1).ok();\n}\n",
+        );
+        assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn pragma_with_reason_suppresses() {
+        let src = "\
+impl Drop for W {
+    fn drop(&mut self) {
+        // lint: allow(IO_SWALLOWED) -- Drop cannot propagate errors
+        let _ = self.file.sync_data();
+    }
+}
+";
+        assert!(run_at("crates/persist/src/journal.rs", src).is_empty());
+    }
+
+    #[test]
+    fn other_crates_ignored_by_default() {
+        let f = run_at(
+            "crates/core/src/model.rs",
+            "fn lazy(f: &std::fs::File) {\n    let _ = f.sync_all();\n}\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t(f: &std::fs::File) {
+        let _ = f.sync_all();
+    }
+}
+";
+        assert!(run_at("crates/persist/src/journal.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unrestricted_variant_sees_every_file() {
+        let file = SourceFile::scan(
+            Path::new("anywhere.rs"),
+            "fn f(w: &mut impl std::io::Write) {\n    w.flush().ok();\n}\n",
+        );
+        let mut out = Vec::new();
+        IoSwallowed::unrestricted().check(&file, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+}

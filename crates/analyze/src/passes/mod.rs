@@ -4,11 +4,13 @@
 
 mod assert_density;
 mod epsilon_domain;
+mod io_swallowed;
 mod nan_cmp;
 mod panic_lib;
 
 pub use assert_density::AssertDensity;
 pub use epsilon_domain::EpsilonDomain;
+pub use io_swallowed::IoSwallowed;
 pub use nan_cmp::NanUnsafeCmp;
 pub use panic_lib::PanicInLib;
 
@@ -71,6 +73,7 @@ pub fn default_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(PanicInLib),
         Box::new(AssertDensity::default()),
         Box::new(EpsilonDomain::default()),
+        Box::new(IoSwallowed::default()),
     ]
 }
 

@@ -1,0 +1,12 @@
+//! Fixture: persistence code that swallows I/O errors.
+
+use std::fs::File;
+use std::io::Write;
+
+pub fn careless_close(file: &File) {
+    let _ = file.sync_all();
+}
+
+pub fn careless_flush(w: &mut impl Write) {
+    w.flush().ok();
+}

@@ -1,0 +1,23 @@
+//! Fixture: persistence code that checks every I/O result.
+
+use std::fs::File;
+use std::io::{Result, Write};
+
+pub fn careful_close(file: &File) -> Result<()> {
+    file.sync_all()
+}
+
+pub fn careful_flush(w: &mut impl Write) -> Result<()> {
+    w.flush()
+}
+
+pub struct Guard {
+    file: File,
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        // lint: allow(IO_SWALLOWED) -- Drop cannot propagate errors; callers use careful_close
+        let _ = self.file.sync_all();
+    }
+}

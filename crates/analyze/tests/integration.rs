@@ -63,16 +63,24 @@ fn reasonless_and_misspelled_pragmas_are_flagged() {
 }
 
 #[test]
+fn swallowed_io_in_persistence_is_flagged() {
+    let r = analyze("bad/persist/src/swallow.rs");
+    // One `let _ = sync_all()` and one trailing `.ok()` on flush.
+    assert_eq!(count(&r, "IO_SWALLOWED"), 2, "{:#?}", r.findings);
+    assert!(r.failed(false), "IO_SWALLOWED is deny-level");
+}
+
+#[test]
 fn bad_tree_fails_even_without_deny_all() {
     let r = analyze("bad");
-    assert_eq!(r.files_scanned, 5);
+    assert_eq!(r.files_scanned, 6);
     assert!(r.failed(false));
 }
 
 #[test]
 fn clean_fixtures_pass_deny_all() {
     let r = analyze("clean");
-    assert_eq!(r.files_scanned, 2);
+    assert_eq!(r.files_scanned, 3);
     assert!(
         !r.failed(true),
         "clean fixtures produced findings:\n{}",

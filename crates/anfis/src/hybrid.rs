@@ -16,6 +16,7 @@
 
 use cqm_fuzzy::TskFis;
 use cqm_math::linsolve::LstsqMethod;
+use serde::{Deserialize, Serialize};
 
 use crate::backprop::{apply_premise_step, premise_gradients};
 use crate::dataset::Dataset;
@@ -103,7 +104,7 @@ impl HybridConfig {
 }
 
 /// Outcome of a hybrid training run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainReport {
     /// Training RMSE after each epoch.
     pub train_errors: Vec<f64>,

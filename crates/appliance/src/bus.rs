@@ -18,6 +18,7 @@
 
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -40,7 +41,7 @@ pub enum SlowSubscriberPolicy {
 }
 
 /// Per-subscriber delivery statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SubscriberStats {
     /// Stable id, assigned in subscription order.
     pub id: usize,
@@ -51,7 +52,7 @@ pub struct SubscriberStats {
 }
 
 /// A snapshot of the bus's delivery health.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct BusHealth {
     /// Live subscribers at snapshot time.
     pub subscribers: usize,

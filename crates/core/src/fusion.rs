@@ -8,6 +8,8 @@
 
 use std::collections::BTreeMap;
 
+use serde::{Deserialize, Serialize};
+
 use crate::classifier::ClassId;
 use crate::normalize::Quality;
 use crate::{CqmError, Result};
@@ -37,7 +39,7 @@ pub struct FusedContext {
 }
 
 /// Strategy for combining per-class quality masses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum FusionRule {
     /// Sum of quality values per class (default).
     #[default]

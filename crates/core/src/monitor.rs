@@ -10,12 +10,14 @@
 
 use std::collections::VecDeque;
 
+use serde::{Deserialize, Serialize};
+
 use crate::filter::Decision;
 use crate::normalize::Quality;
 use crate::{CqmError, Result};
 
 /// Expected operating statistics captured at training time.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OperatingProfile {
     /// Expected acceptance rate (fraction of classifications above the
     /// threshold) on in-distribution data.
@@ -75,7 +77,7 @@ impl OperatingProfile {
 }
 
 /// Verdict of the monitor after an observation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum MonitorStatus {
     /// Not enough observations yet.
     Warmup,
@@ -161,6 +163,44 @@ impl QualityMonitor {
     pub fn reset(&mut self) {
         self.history.clear();
     }
+
+    /// Capture the monitor's full state for persistence.
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        MonitorSnapshot {
+            profile: self.profile,
+            window: self.window,
+            tolerance: self.tolerance,
+            history: self.history.iter().copied().collect(),
+        }
+    }
+
+    /// Rebuild a monitor from a persisted snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CqmError::InvalidInput`] if the snapshot's window or
+    /// tolerance are out of domain (same rules as [`QualityMonitor::new`]).
+    pub fn from_snapshot(snap: &MonitorSnapshot) -> Result<Self> {
+        let mut m = QualityMonitor::new(snap.profile, snap.window, snap.tolerance)?;
+        // Keep at most `window` trailing observations, matching observe().
+        let skip = snap.history.len().saturating_sub(snap.window);
+        m.history = snap.history.iter().skip(skip).copied().collect();
+        Ok(m)
+    }
+}
+
+/// Serializable snapshot of a [`QualityMonitor`] (profile, knobs, and the
+/// sliding observation window) for crash-safe persistence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorSnapshot {
+    /// The training-time operating profile.
+    pub profile: OperatingProfile,
+    /// Sliding-window length.
+    pub window: usize,
+    /// Absolute drift tolerance.
+    pub tolerance: f64,
+    /// Observations, oldest first: `(quality value or None for eps, accepted)`.
+    pub history: Vec<(Option<f64>, bool)>,
 }
 
 #[cfg(test)]

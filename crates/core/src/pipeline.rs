@@ -5,6 +5,8 @@
 //! (§2.1.1) — [`CqmSystem::classify_with_quality`] performs exactly that
 //! interconnection on every sample.
 
+use serde::{Deserialize, Serialize};
+
 use crate::classifier::{ClassId, Classifier};
 use crate::filter::{Decision, QualityFilter};
 use crate::normalize::Quality;
@@ -13,7 +15,7 @@ use crate::training::TrainedCqm;
 use crate::{CqmError, Result};
 
 /// A context classification annotated with its quality and filter decision.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QualifiedClassification {
     /// The class the black box emitted.
     pub class: ClassId,

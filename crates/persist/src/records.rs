@@ -1,0 +1,166 @@
+//! The persisted vocabulary: what a checkpoint and a journal record carry.
+
+use cqm_anfis::TrainReport;
+use cqm_appliance::events::ContextEvent;
+use cqm_core::model::CqmModel;
+use cqm_core::monitor::MonitorSnapshot;
+use cqm_resilience::breaker::FuserSnapshot;
+use cqm_resilience::fault::{FaultPlan, ScheduledFault};
+use cqm_resilience::supervisor::{StepReport, SupervisorConfig, SupervisorSnapshot};
+use serde::{Deserialize, Serialize};
+
+use crate::Result;
+
+/// Everything a restart needs that is *not* derivable from the journal: the
+/// trained model, optional training provenance, and the full supervisor /
+/// breaker runtime state at the moment the checkpoint was cut.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeCheckpoint {
+    /// Number of journaled steps already reflected in this checkpoint;
+    /// recovery replays only journal steps with `seq` greater than this.
+    pub seq: u64,
+    /// The trained model (quality FIS + threshold), version-guarded by
+    /// [`CqmModel`] itself on top of the envelope's format version.
+    pub model: CqmModel,
+    /// ANFIS training provenance, when the model came from hybrid learning.
+    pub training: Option<TrainReport>,
+    /// Supervisor runtime state: config, ladder, cache, monitor.
+    pub supervisor: SupervisorSnapshot,
+    /// Circuit-breaker fuser state, when fusion is in play.
+    pub fuser: Option<FuserSnapshot>,
+}
+
+/// First record of every journal: the deterministic run description. Replay
+/// needs the exact window stream, the fault plan, and the supervisor config
+/// the run started with.
+///
+/// The fault plan is stored as its raw parts (`seed` + schedule) rather
+/// than as a `FaultPlan`, so rebuilding goes through the validating
+/// constructor — a tampered journal cannot smuggle in an unvalidated plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunHeader {
+    /// Seed of the fault injector's RNG.
+    pub seed: u64,
+    /// The scheduled faults.
+    pub faults: Vec<ScheduledFault>,
+    /// The clean window stream fed to the source.
+    pub windows: Vec<Vec<f64>>,
+    /// Supervisor config the run started with.
+    pub config: SupervisorConfig,
+    /// Quality-monitor state at run start, when one was attached (needed so
+    /// deterministic replay reproduces drift verdicts).
+    pub monitor: Option<MonitorSnapshot>,
+}
+
+impl RunHeader {
+    /// Rebuild the validated fault plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PersistError::InvalidState`] if the journaled
+    /// schedule no longer passes `FaultPlan` validation.
+    pub fn fault_plan(&self) -> Result<FaultPlan> {
+        Ok(FaultPlan::new(self.seed, self.faults.clone())?)
+    }
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// Run description; must be the journal's first record.
+    Header(RunHeader),
+    /// One supervisor step, `seq` counting from 1.
+    Step {
+        /// 1-based step sequence number.
+        seq: u64,
+        /// The full step outcome.
+        report: StepReport,
+    },
+    /// A context event published on the office bus.
+    Event {
+        /// Sequence number of the step that produced the event.
+        seq: u64,
+        /// The published event.
+        event: ContextEvent,
+    },
+    /// A checkpoint was durably written covering steps `1..=seq`.
+    CheckpointMark {
+        /// Steps covered by the checkpoint.
+        seq: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqm_core::filter::Decision;
+    use cqm_core::normalize::Quality;
+    use cqm_resilience::degrade::HealthState;
+    use cqm_resilience::fault::FaultKind;
+    use cqm_resilience::supervisor::{ServedContext, StepFault};
+    use cqm_sensors::Context;
+
+    fn header() -> RunHeader {
+        RunHeader {
+            seed: 42,
+            faults: vec![ScheduledFault {
+                channel: None,
+                kind: FaultKind::Dropout,
+                from: 3,
+                until: 9,
+            }],
+            windows: vec![vec![0.1, 0.2], vec![0.3, 0.4]],
+            config: SupervisorConfig::default(),
+            monitor: None,
+        }
+    }
+
+    #[test]
+    fn header_round_trips_and_rebuilds_plan() {
+        let h = header();
+        let json = serde_json::to_string(&h).unwrap();
+        let back: RunHeader = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+        assert!(back.fault_plan().is_ok());
+    }
+
+    #[test]
+    fn tampered_header_fails_plan_validation() {
+        let mut h = header();
+        h.faults[0].until = h.faults[0].from; // empty interval: invalid
+        assert!(h.fault_plan().is_err());
+    }
+
+    #[test]
+    fn journal_record_variants_round_trip() {
+        let records = vec![
+            JournalRecord::Header(header()),
+            JournalRecord::Step {
+                seq: 1,
+                report: StepReport {
+                    served: ServedContext::Unavailable,
+                    state: HealthState::Degraded,
+                    fault: Some(StepFault::Dropout),
+                    retries: 2,
+                    monitor: None,
+                },
+            },
+            JournalRecord::Event {
+                seq: 1,
+                event: ContextEvent {
+                    source: "awarepen".into(),
+                    context: Context::Writing,
+                    quality: Quality::Value(0.875),
+                    decision: Decision::Accept,
+                    timestamp: 1.5,
+                },
+            },
+            JournalRecord::CheckpointMark { seq: 1 },
+        ];
+        for r in records {
+            let json = serde_json::to_string(&r).unwrap();
+            let back: JournalRecord = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+}

@@ -12,11 +12,12 @@
 use std::collections::BTreeMap;
 
 use cqm_core::fusion::{fuse, ContextReport, FusedContext, FusionRule};
+use serde::{Deserialize, Serialize};
 
 use crate::{ResilienceError, Result};
 
 /// Observable breaker state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BreakerState {
     /// Source trusted; failures are being counted.
     Closed,
@@ -142,6 +143,51 @@ impl CircuitBreaker {
         self.failures = 0;
         self.trips += 1;
     }
+
+    /// Capture the breaker's full state for persistence.
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        BreakerSnapshot {
+            trip_after: self.trip_after,
+            cooldown: self.cooldown,
+            state: self.state,
+            failures: self.failures,
+            cooldown_left: self.cooldown_left,
+            trips: self.trips,
+        }
+    }
+
+    /// Rebuild a breaker from a persisted snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResilienceError::InvalidConfig`] if the snapshot carries
+    /// invalid parameters (same rules as [`CircuitBreaker::new`]).
+    pub fn from_snapshot(snap: &BreakerSnapshot) -> Result<Self> {
+        // Revalidate: the snapshot may come from a corrupted checkpoint.
+        let mut b = CircuitBreaker::new(snap.trip_after, snap.cooldown)?;
+        b.state = snap.state;
+        b.failures = snap.failures;
+        b.cooldown_left = snap.cooldown_left;
+        b.trips = snap.trips;
+        Ok(b)
+    }
+}
+
+/// Serializable snapshot of one [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerSnapshot {
+    /// Consecutive failures before the breaker opens.
+    pub trip_after: usize,
+    /// Ticks the breaker stays open before probing.
+    pub cooldown: usize,
+    /// Current state.
+    pub state: BreakerState,
+    /// Consecutive-failure count while `Closed`.
+    pub failures: usize,
+    /// Cooldown ticks remaining while `Open`.
+    pub cooldown_left: usize,
+    /// Times this breaker has tripped open.
+    pub trips: usize,
 }
 
 /// Outcome of one quarantine-aware fusion round.
@@ -239,6 +285,51 @@ impl QuarantineFuser {
             contributing,
         }
     }
+
+    /// Capture the fuser's full state (prototype, rule, every tracked
+    /// breaker) for persistence.
+    pub fn snapshot(&self) -> FuserSnapshot {
+        FuserSnapshot {
+            prototype: self.prototype.snapshot(),
+            rule: self.rule,
+            breakers: self
+                .breakers
+                .iter()
+                .map(|(name, b)| (name.clone(), b.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Rebuild a fuser from a persisted snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResilienceError::InvalidConfig`] if the prototype or any
+    /// tracked breaker fails revalidation.
+    pub fn from_snapshot(snap: &FuserSnapshot) -> Result<Self> {
+        let prototype = CircuitBreaker::from_snapshot(&snap.prototype)?;
+        let mut breakers = BTreeMap::new();
+        for (name, b) in &snap.breakers {
+            breakers.insert(name.clone(), CircuitBreaker::from_snapshot(b)?);
+        }
+        Ok(QuarantineFuser {
+            prototype,
+            rule: snap.rule,
+            breakers,
+        })
+    }
+}
+
+/// Serializable snapshot of a [`QuarantineFuser`] and all its per-source
+/// breakers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuserSnapshot {
+    /// Prototype breaker cloned for newly-seen sources.
+    pub prototype: BreakerSnapshot,
+    /// Fusion rule in force.
+    pub rule: FusionRule,
+    /// Tracked sources and their breaker states, in source-name order.
+    pub breakers: Vec<(String, BreakerSnapshot)>,
 }
 
 #[cfg(test)]
@@ -371,6 +462,64 @@ mod tests {
         }
         assert_eq!(f.breaker_state("ghost"), Some(BreakerState::Open));
         assert_eq!(f.breaker_state("missing"), None);
+    }
+
+    #[test]
+    fn breaker_snapshot_round_trip_resumes_identically() {
+        let mut a = CircuitBreaker::new(2, 3).unwrap();
+        a.on_failure();
+        a.on_failure();
+        assert!(!a.allow()); // mid-cooldown
+        let json = serde_json::to_string(&a.snapshot()).unwrap();
+        let snap: BreakerSnapshot = serde_json::from_str(&json).unwrap();
+        let mut b = CircuitBreaker::from_snapshot(&snap).unwrap();
+        assert_eq!(a, b);
+        // Both finish the cooldown and probe in lockstep.
+        for _ in 0..3 {
+            assert_eq!(a.allow(), b.allow());
+        }
+        assert_eq!(a.state(), b.state());
+    }
+
+    #[test]
+    fn breaker_snapshot_revalidates() {
+        let b = CircuitBreaker::new(2, 3).unwrap();
+        let mut snap = b.snapshot();
+        snap.trip_after = 0;
+        assert!(CircuitBreaker::from_snapshot(&snap).is_err());
+    }
+
+    #[test]
+    fn fuser_snapshot_round_trip_resumes_identically() {
+        let mut a = QuarantineFuser::new(2, 3, FusionRule::WeightedSum).unwrap();
+        a.register("ghost");
+        for _ in 0..3 {
+            a.fuse_tick(&[
+                report("pen", 1, Quality::Value(0.8)),
+                report("cam", 0, Quality::Epsilon),
+            ]);
+        }
+        let json = serde_json::to_string(&a.snapshot()).unwrap();
+        let snap: FuserSnapshot = serde_json::from_str(&json).unwrap();
+        let mut b = QuarantineFuser::from_snapshot(&snap).unwrap();
+        assert_eq!(a.states(), b.states());
+        // Identical future rounds produce identical ticks.
+        for _ in 0..6 {
+            let reports = [
+                report("pen", 1, Quality::Value(0.8)),
+                report("cam", 0, Quality::Value(0.9)),
+            ];
+            assert_eq!(a.fuse_tick(&reports), b.fuse_tick(&reports));
+        }
+    }
+
+    #[test]
+    fn fuser_snapshot_revalidates_every_breaker() {
+        let mut f = QuarantineFuser::new(2, 3, FusionRule::WeightedSum).unwrap();
+        f.register("pen");
+        let mut snap = f.snapshot();
+        snap.breakers[0].1.cooldown = 0;
+        assert!(QuarantineFuser::from_snapshot(&snap).is_err());
     }
 
     #[test]

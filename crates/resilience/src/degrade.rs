@@ -8,10 +8,12 @@
 //! `Recovering` demotes immediately, so a flapping source cannot oscillate
 //! the system in and out of `Healthy`.
 
+use serde::{Deserialize, Serialize};
+
 use crate::{ResilienceError, Result};
 
 /// The four rungs of the degradation ladder.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum HealthState {
     /// Normal operation: fresh contexts served.
     Healthy,
@@ -45,7 +47,7 @@ impl std::fmt::Display for HealthState {
 }
 
 /// Streak thresholds for the ladder transitions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DegradationPolicy {
     /// Consecutive faults in `Healthy` before demotion to `Degraded`.
     pub degrade_after: usize,
@@ -220,6 +222,61 @@ impl DegradationLadder {
         self.ok_streak = 0;
         self.transitions.push((self.tick, HealthState::Healthy));
     }
+
+    /// Capture the ladder's full state for persistence.
+    pub fn snapshot(&self) -> LadderSnapshot {
+        LadderSnapshot {
+            policy: self.policy,
+            state: self.state,
+            fault_streak: self.fault_streak,
+            ok_streak: self.ok_streak,
+            tick: self.tick,
+            transitions: self.transitions.clone(),
+        }
+    }
+
+    /// Rebuild a ladder from a persisted snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResilienceError::InvalidConfig`] if the snapshot carries an
+    /// invalid policy (same rules as [`DegradationPolicy::new`]).
+    pub fn from_snapshot(snap: &LadderSnapshot) -> Result<Self> {
+        // Revalidate: the snapshot may come from a corrupted or hand-edited
+        // checkpoint.
+        let policy = DegradationPolicy::new(
+            snap.policy.degrade_after,
+            snap.policy.failsafe_after,
+            snap.policy.recover_after,
+            snap.policy.healthy_after,
+        )?;
+        Ok(DegradationLadder {
+            policy,
+            state: snap.state,
+            fault_streak: snap.fault_streak,
+            ok_streak: snap.ok_streak,
+            tick: snap.tick,
+            transitions: snap.transitions.clone(),
+        })
+    }
+}
+
+/// Serializable snapshot of a [`DegradationLadder`] for crash-safe
+/// persistence: state, streak counters, and the full transition log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LadderSnapshot {
+    /// The policy in force.
+    pub policy: DegradationPolicy,
+    /// Current state.
+    pub state: HealthState,
+    /// Consecutive-fault streak.
+    pub fault_streak: usize,
+    /// Consecutive-success streak.
+    pub ok_streak: usize,
+    /// Ticks elapsed.
+    pub tick: usize,
+    /// Recorded `(tick, new_state)` transitions.
+    pub transitions: Vec<Transition>,
 }
 
 #[cfg(test)]

@@ -22,11 +22,12 @@ use std::collections::VecDeque;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use crate::{ResilienceError, Result};
 
 /// What a scheduled fault does to the affected windows.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum FaultKind {
     /// Channel frozen: `Some(v)` = stuck at rail `v`; `None` = stuck at the
     /// last value observed before the fault began (a frozen sensor).
@@ -63,7 +64,7 @@ pub enum FaultKind {
 }
 
 /// One fault scheduled over a half-open window-index range.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ScheduledFault {
     /// Affected cue channel; `None` = the whole reading.
     pub channel: Option<usize>,

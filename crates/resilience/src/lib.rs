@@ -39,12 +39,12 @@ pub mod degrade;
 pub mod fault;
 pub mod supervisor;
 
-pub use breaker::{BreakerState, CircuitBreaker, QuarantineFuser};
-pub use degrade::{DegradationLadder, DegradationPolicy, HealthState};
+pub use breaker::{BreakerSnapshot, BreakerState, CircuitBreaker, FuserSnapshot, QuarantineFuser};
+pub use degrade::{DegradationLadder, DegradationPolicy, HealthState, LadderSnapshot};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultyReading, ScheduledFault};
 pub use supervisor::{
-    CueSource, Poll, Reading, ServedContext, StepFault, StepReport, SupervisedSystem,
-    SupervisorConfig, WindowSource,
+    CacheSnapshot, CueSource, Poll, Reading, ServedContext, StepFault, StepReport,
+    SupervisedSystem, SupervisorConfig, SupervisorSnapshot, WindowSource,
 };
 
 /// Errors produced by the resilience layer.

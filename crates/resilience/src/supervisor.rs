@@ -20,12 +20,14 @@
 use std::time::{Duration, Instant};
 
 use cqm_core::classifier::{ClassId, Classifier};
-use cqm_core::monitor::{MonitorStatus, QualityMonitor};
+use cqm_core::monitor::{MonitorSnapshot, MonitorStatus, QualityMonitor};
 use cqm_core::normalize::Quality;
 use cqm_core::pipeline::{CqmSystem, QualifiedClassification};
+use serde::{Deserialize, Serialize};
 
-use crate::degrade::{DegradationLadder, DegradationPolicy, HealthState};
+use crate::degrade::{DegradationLadder, DegradationPolicy, HealthState, LadderSnapshot};
 use crate::fault::FaultInjector;
+use crate::{ResilienceError, Result};
 
 /// One delivered cue reading.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,7 +104,7 @@ impl CueSource for WindowSource {
 }
 
 /// Supervisor tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SupervisorConfig {
     /// Extra poll/classify attempts per step after the first.
     pub max_retries: usize,
@@ -136,7 +138,7 @@ impl Default for SupervisorConfig {
 }
 
 /// Why a step counted as a fault.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum StepFault {
     /// The source had nothing to deliver, retries included.
     Dropout,
@@ -167,7 +169,7 @@ impl std::fmt::Display for StepFault {
 }
 
 /// What the supervisor served this step.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ServedContext {
     /// A fresh classification straight from the pipeline.
     Fresh {
@@ -203,7 +205,7 @@ impl ServedContext {
 }
 
 /// Full accounting for one supervisor step.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StepReport {
     /// What was served.
     pub served: ServedContext,
@@ -223,6 +225,34 @@ struct CachedContext {
     class: ClassId,
     quality: Quality,
     age_steps: usize,
+}
+
+/// Serializable mirror of the last-good-context cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheSnapshot {
+    /// Window index the cached context was produced at.
+    pub index: usize,
+    /// Cached class.
+    pub class: ClassId,
+    /// Quality the cached classification carried.
+    pub quality: Quality,
+    /// How many steps ago the cache was filled.
+    pub age_steps: usize,
+}
+
+/// Everything a [`SupervisedSystem`] needs to survive a restart, minus the
+/// wrapped `CqmSystem` itself (the model is checkpointed separately; see the
+/// `cqm-persist` crate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SupervisorSnapshot {
+    /// Tuning knobs in force.
+    pub config: SupervisorConfig,
+    /// Degradation ladder state, streaks and transition log.
+    pub ladder: LadderSnapshot,
+    /// Last-good-context cache, if filled.
+    pub cache: Option<CacheSnapshot>,
+    /// Quality-monitor state, if a monitor is attached.
+    pub monitor: Option<MonitorSnapshot>,
 }
 
 /// The graceful-degradation wrapper around [`CqmSystem`].
@@ -324,6 +354,13 @@ impl<C: Classifier> SupervisedSystem<C> {
             match source.poll() {
                 Poll::Ended => {
                     if attempt == 0 {
+                        // The end-of-stream probe produced no report, so it
+                        // must not count as a step: undo the cache aging so
+                        // state is exactly the sum of reported steps (the
+                        // crash-recovery replay invariant).
+                        if let Some(c) = self.cache.as_mut() {
+                            c.age_steps = c.age_steps.saturating_sub(1);
+                        }
                         return None;
                     }
                     // The stream ran out mid-retry: surface the transient
@@ -405,6 +442,85 @@ impl<C: Classifier> SupervisedSystem<C> {
             out.push(report);
         }
         out
+    }
+
+    /// Capture the supervisor's full runtime state for persistence.
+    pub fn snapshot(&self) -> SupervisorSnapshot {
+        SupervisorSnapshot {
+            config: self.config,
+            ladder: self.ladder.snapshot(),
+            cache: self.cache.as_ref().map(|c| CacheSnapshot {
+                index: c.index,
+                class: c.class,
+                quality: c.quality,
+                age_steps: c.age_steps,
+            }),
+            monitor: self.monitor.as_ref().map(QualityMonitor::snapshot),
+        }
+    }
+
+    /// Rebuild a supervisor around `system` from a persisted snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResilienceError::InvalidConfig`] if the snapshot carries an
+    /// invalid or internally inconsistent policy, or a core error if the
+    /// monitor state fails revalidation — a corrupted or hand-edited
+    /// checkpoint must surface as a typed error, never as a bad supervisor.
+    pub fn restore(system: CqmSystem<C>, snap: &SupervisorSnapshot) -> Result<Self> {
+        let ladder = DegradationLadder::from_snapshot(&snap.ladder)?;
+        if snap.config.policy != *ladder.policy() {
+            return Err(ResilienceError::InvalidConfig(
+                "snapshot config.policy disagrees with ladder policy".to_string(),
+            ));
+        }
+        let monitor = match &snap.monitor {
+            Some(m) => Some(QualityMonitor::from_snapshot(m)?),
+            None => None,
+        };
+        Ok(SupervisedSystem {
+            system,
+            config: snap.config,
+            ladder,
+            monitor,
+            cache: snap.cache.as_ref().map(|c| CachedContext {
+                index: c.index,
+                class: c.class,
+                quality: c.quality,
+                age_steps: c.age_steps,
+            }),
+        })
+    }
+
+    /// Re-apply one journaled step's state effects without re-running
+    /// inference. Crash recovery replays the journal tail through this: the
+    /// recorded outcome drives the ladder, cache and monitor exactly as the
+    /// original [`step`](Self::step) did, so the rebuilt supervisor lands in
+    /// the same state the crashed process was in.
+    pub fn apply_journaled_step(&mut self, report: &StepReport) {
+        if let Some(c) = self.cache.as_mut() {
+            c.age_steps = c.age_steps.saturating_add(1);
+        }
+        if let ServedContext::Fresh { index, result } = &report.served {
+            if report.monitor.is_some() {
+                if let Some(m) = self.monitor.as_mut() {
+                    m.observe(result.quality, result.decision);
+                }
+            }
+            if result.decision.is_accept() {
+                self.cache = Some(CachedContext {
+                    index: *index,
+                    class: result.class,
+                    quality: result.quality,
+                    age_steps: 0,
+                });
+            }
+        }
+        if report.fault.is_some() {
+            self.ladder.on_fault();
+        } else {
+            self.ladder.on_success();
+        }
     }
 }
 
@@ -718,6 +834,123 @@ mod tests {
         });
         let r = sup.step(&mut src2).unwrap();
         assert_eq!(r.served, ServedContext::Unavailable);
+    }
+
+    /// A faulty-but-recovering plan used by the persistence tests.
+    fn bumpy_plan(seed: u64) -> FaultPlan {
+        FaultPlan::new(
+            seed,
+            vec![
+                ScheduledFault {
+                    channel: None,
+                    kind: FaultKind::Dropout,
+                    from: 8,
+                    until: 20,
+                },
+                ScheduledFault {
+                    channel: None,
+                    kind: FaultKind::Flapping { period: 2 },
+                    from: 35,
+                    until: 45,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut sup = supervisor();
+        let mut src = source(clean_windows(60), &bumpy_plan(11));
+        sup.run(&mut src);
+        let snap = sup.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: SupervisorSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+        assert!(snap.cache.is_some(), "accepted steps must fill the cache");
+    }
+
+    #[test]
+    fn restore_resumes_bit_identically() {
+        // Run A for 25 steps, snapshot, restore B from the snapshot, then
+        // drive both over the identical remaining stream: every report must
+        // match exactly (the deterministic-recovery contract).
+        let mut a = supervisor();
+        let mut src = source(clean_windows(80), &bumpy_plan(12));
+        for _ in 0..25 {
+            a.step(&mut src).unwrap();
+        }
+        let snap = a.snapshot();
+        let mut b = SupervisedSystem::restore(trained_system(), &snap).unwrap();
+        let mut src_b = src.clone();
+        let rest_a = a.run(&mut src);
+        let rest_b = b.run(&mut src_b);
+        assert_eq!(rest_a, rest_b);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn restore_preserves_monitor_state() {
+        let monitor =
+            QualityMonitor::new(OperatingProfile::new(1.0, 0.95).unwrap(), 8, 0.2).unwrap();
+        let mut a = SupervisedSystem::new(trained_system(), SupervisorConfig::default())
+            .with_monitor(monitor);
+        let windows: Vec<Vec<f64>> =
+            (0..30).map(|i| vec![0.46 + 0.001 * (i % 10) as f64]).collect();
+        let mut src = source(windows.clone(), &FaultPlan::clean(0));
+        for _ in 0..15 {
+            a.step(&mut src).unwrap();
+        }
+        let snap = a.snapshot();
+        assert!(snap.monitor.is_some());
+        let mut b = SupervisedSystem::restore(trained_system(), &snap).unwrap();
+        let mut src_b = src.clone();
+        assert_eq!(a.run(&mut src), b.run(&mut src_b));
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_policy() {
+        let sup = supervisor();
+        let mut snap = sup.snapshot();
+        snap.ladder.policy.failsafe_after = snap.ladder.policy.degrade_after; // invalid
+        assert!(SupervisedSystem::restore(trained_system(), &snap).is_err());
+        let mut snap2 = sup.snapshot();
+        snap2.config.policy = DegradationPolicy::new(2, 9, 4, 6).unwrap(); // mismatch
+        assert!(SupervisedSystem::restore(trained_system(), &snap2).is_err());
+    }
+
+    #[test]
+    fn journal_replay_reaches_the_crashed_state() {
+        // Original process: run to completion, journaling every report.
+        let mut original = supervisor();
+        let mut src = source(clean_windows(60), &bumpy_plan(13));
+        let journal = original.run(&mut src);
+        // Recovery: fresh supervisor + replayed journal tail.
+        let mut recovered = supervisor();
+        for report in &journal {
+            recovered.apply_journaled_step(report);
+        }
+        assert_eq!(original.snapshot(), recovered.snapshot());
+    }
+
+    #[test]
+    fn journal_replay_with_monitor_reaches_the_crashed_state() {
+        let mk = || {
+            let monitor =
+                QualityMonitor::new(OperatingProfile::new(1.0, 0.95).unwrap(), 8, 0.2).unwrap();
+            SupervisedSystem::new(trained_system(), SupervisorConfig::default())
+                .with_monitor(monitor)
+        };
+        let mut original = mk();
+        let windows: Vec<Vec<f64>> =
+            (0..40).map(|i| vec![0.46 + 0.001 * (i % 10) as f64]).collect();
+        let mut src = source(windows, &FaultPlan::clean(0));
+        let journal = original.run(&mut src);
+        let mut recovered = mk();
+        for report in &journal {
+            recovered.apply_journaled_step(report);
+        }
+        assert_eq!(original.snapshot(), recovered.snapshot());
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! cargo run --example degraded_office
 //! ```
 
+use cqm::appliance::bus::{EventBus, SlowSubscriberPolicy};
+use cqm::appliance::events::ContextEvent;
 use cqm::appliance::pen::train_pen;
 use cqm::core::fusion::{ContextReport, FusionRule};
 use cqm::core::normalize::Quality;
@@ -57,6 +59,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut source = WindowSource::new(cues, FaultInjector::new(&plan));
     let reports = supervised.run(&mut source);
 
+    // Distribute the fresh classifications over a bounded office bus: a
+    // live dashboard drains promptly, a wedged logger never does, so the
+    // DropOldest policy sheds its stale backlog instead of blocking.
+    let bus = EventBus::bounded(8, SlowSubscriberPolicy::DropOldest)?;
+    let dashboard = bus.subscribe();
+    let _wedged_logger = bus.subscribe();
+    for r in &reports {
+        if let ServedContext::Fresh { index, result } = &r.served {
+            if let Some(context) = Context::from_index(result.class.0) {
+                bus.publish(&ContextEvent {
+                    source: "awarepen".into(),
+                    context,
+                    quality: result.quality,
+                    decision: result.decision,
+                    timestamp: *index as f64,
+                });
+                while dashboard.try_recv().is_ok() {}
+            }
+        }
+    }
+
     let mut fresh = 0usize;
     let mut cached = 0usize;
     let mut unavailable = 0usize;
@@ -100,5 +123,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("\nthe office never blocked on a bad sensor, and never trusted stale context silently");
+
+    let health = bus.health();
+    println!(
+        "SUMMARY steps={} fresh={fresh} cached={cached} unavailable={unavailable} state={} \
+         bus_subscribers={} bus_published={} bus_delivered={} bus_dropped={} bus_drop_rate={:.4}",
+        reports.len(),
+        supervised.state().name(),
+        health.subscribers,
+        health.published,
+        health.delivered,
+        health.dropped,
+        health.drop_rate(),
+    );
     Ok(())
 }

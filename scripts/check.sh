@@ -26,4 +26,27 @@ cargo test -q --features strict-math
 echo "==> chaos suite (fault injection & degradation)"
 cargo test -q --test chaos
 
+echo "==> recovery suite (checkpoint, journal, replay)"
+cargo test -q --test recovery
+
+echo "==> crash-recovery drill (abort mid-journal, restart, verify replay)"
+cargo build -q --release --example restartable_office
+CRASH_DIR="$(mktemp -d)"
+trap 'rm -rf "$CRASH_DIR"' EXIT
+# The run leg aborts itself after step 20 with a torn journal tail, so a
+# non-zero exit here is the expected crash, not a failure.
+if ./target/release/examples/restartable_office "$CRASH_DIR" run 20; then
+    echo "check.sh: crash leg exited cleanly; expected an abort" >&2
+    exit 1
+fi
+./target/release/examples/restartable_office "$CRASH_DIR" recover | tee /tmp/cqm_recover.log
+grep -q "REPLAY verified=20 status=ok" /tmp/cqm_recover.log || {
+    echo "check.sh: recovery replay did not verify bit-identically" >&2
+    exit 1
+}
+grep -q "^SUMMARY " /tmp/cqm_recover.log || {
+    echo "check.sh: recovery run did not finish the session" >&2
+    exit 1
+}
+
 echo "check.sh: all gates passed"

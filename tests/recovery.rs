@@ -1,0 +1,411 @@
+//! Crash → restart → replay integration suite for `cqm-persist`.
+//!
+//! The contract under test (ISSUE: crash-safe persistence):
+//!
+//! * a run journaled through [`RecoveryManager`] can be recovered after an
+//!   abrupt stop, and the recovered supervisor is **bit-identical** to the
+//!   one that crashed — same ladder position, same last-good-context cache,
+//!   same future behaviour;
+//! * deterministic replay of the journaled fault plan regenerates every
+//!   journaled step report exactly;
+//! * corrupted checkpoints and torn/truncated journals surface as typed
+//!   [`PersistError`]s — never a panic, never silently-wrong state.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cqm::appliance::events::ContextEvent;
+use cqm::core::classifier::{ClassId, Classifier};
+use cqm::core::filter::Decision;
+use cqm::core::model::CqmModel;
+use cqm::core::normalize::Quality;
+use cqm::core::pipeline::CqmSystem;
+use cqm::core::training::{train_cqm, CqmTrainingConfig};
+use cqm::core::Result as CoreResult;
+use cqm::persist::records::{RunHeader, RuntimeCheckpoint};
+use cqm::persist::recovery::RecoveryManager;
+use cqm::persist::PersistError;
+use cqm::resilience::fault::{FaultInjector, FaultKind, FaultPlan, ScheduledFault};
+use cqm::resilience::supervisor::{SupervisedSystem, SupervisorConfig, WindowSource};
+use cqm::sensors::Context;
+
+/// Deterministic 1-D classifier: class 1 iff `cue[0] > boundary`.
+#[derive(Clone)]
+struct BoundaryClassifier {
+    boundary: f64,
+}
+
+impl Classifier for BoundaryClassifier {
+    fn classify(&self, cues: &[f64]) -> CoreResult<ClassId> {
+        self.check_cues(cues)?;
+        Ok(ClassId(usize::from(cues[0] > self.boundary)))
+    }
+
+    fn cue_dim(&self) -> usize {
+        1
+    }
+
+    fn num_classes(&self) -> usize {
+        2
+    }
+}
+
+fn classifier() -> BoundaryClassifier {
+    BoundaryClassifier { boundary: 0.5 }
+}
+
+fn trained_model() -> CqmModel {
+    let cues: Vec<Vec<f64>> = (0..300).map(|i| vec![i as f64 / 299.0]).collect();
+    let truth: Vec<ClassId> = cues
+        .iter()
+        .map(|c| ClassId(usize::from(c[0] > 0.45)))
+        .collect();
+    let trained = train_cqm(&classifier(), &cues, &truth, &CqmTrainingConfig::fast())
+        .expect("CQM training");
+    CqmModel::from_trained(&trained, "recovery suite")
+}
+
+fn system_from(model: &CqmModel) -> CqmSystem<BoundaryClassifier> {
+    CqmSystem::new(
+        classifier(),
+        model.measure.clone(),
+        model.filter().expect("stored threshold valid"),
+    )
+    .expect("dimension match")
+}
+
+/// Mixed stream: confident class-1 windows with an ambiguous patch, so runs
+/// exercise accepts, discards and cache fills.
+fn windows(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            if i % 7 == 3 {
+                vec![0.46 + 0.002 * (i % 5) as f64]
+            } else {
+                vec![0.82 + 0.1 * (i as f64 / n as f64)]
+            }
+        })
+        .collect()
+}
+
+fn bumpy_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(
+        seed,
+        vec![
+            ScheduledFault {
+                channel: None,
+                kind: FaultKind::Dropout,
+                from: 8,
+                until: 18,
+            },
+            ScheduledFault {
+                channel: None,
+                kind: FaultKind::Flapping { period: 2 },
+                from: 30,
+                until: 40,
+            },
+        ],
+    )
+    .expect("valid plan")
+}
+
+fn run_header(w: &[Vec<f64>], plan: &FaultPlan, config: SupervisorConfig) -> RunHeader {
+    RunHeader {
+        seed: plan.seed(),
+        faults: plan.faults().to_vec(),
+        windows: w.to_vec(),
+        config,
+        monitor: None,
+    }
+}
+
+fn initial_checkpoint(
+    model: &CqmModel,
+    supervisor: &SupervisedSystem<BoundaryClassifier>,
+) -> RuntimeCheckpoint {
+    RuntimeCheckpoint {
+        seq: 0,
+        model: model.clone(),
+        training: None,
+        supervisor: supervisor.snapshot(),
+        fuser: None,
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cqm_recovery_{tag}_{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Journal `crash_after` steps (checkpointing at `ckpt_at` if nonzero),
+/// then stop abruptly. Returns the crashed supervisor and its source so the
+/// test can compare post-crash continuations.
+fn crashy_run(
+    dir: &PathBuf,
+    model: &CqmModel,
+    crash_after: usize,
+    ckpt_at: usize,
+) -> (SupervisedSystem<BoundaryClassifier>, WindowSource) {
+    let w = windows(80);
+    let plan = bumpy_plan(21);
+    let config = SupervisorConfig::default();
+    let mut supervisor = SupervisedSystem::new(system_from(model), config);
+    let mut source = WindowSource::new(w.clone(), FaultInjector::new(&plan));
+
+    let mut mgr = RecoveryManager::new(dir.clone(), 1).expect("manager");
+    mgr.begin_run(
+        &initial_checkpoint(model, &supervisor),
+        &run_header(&w, &plan, config),
+    )
+    .expect("begin_run");
+    for step in 1..=crash_after {
+        let report = supervisor.step(&mut source).expect("stream long enough");
+        mgr.record_step(&report).expect("record_step");
+        if step == ckpt_at {
+            let mut state = initial_checkpoint(model, &supervisor);
+            state.seq = step as u64;
+            mgr.checkpoint(&state).expect("checkpoint");
+        }
+    }
+    // "Crash": the manager is simply dropped — no clean shutdown record.
+    (supervisor, source)
+}
+
+#[test]
+fn kill_restart_replay_is_bit_identical() {
+    let dir = scratch("kill_restart");
+    let model = trained_model();
+    let (crashed, source) = crashy_run(&dir, &model, 30, 15);
+
+    let mgr = RecoveryManager::new(dir.clone(), 1).expect("manager");
+    let recovered = mgr.recover().expect("recover");
+    assert_eq!(recovered.steps.len(), 30);
+    assert_eq!(recovered.checkpoint.seq, 15);
+    assert_eq!(recovered.tail().len(), 15);
+    assert_eq!(recovered.last_checkpoint_mark, 15);
+    assert_eq!(recovered.truncated_bytes, 0);
+
+    // The rebuilt supervisor is exactly the crashed one.
+    let mut restored = recovered
+        .restore_supervisor(classifier())
+        .expect("restore_supervisor");
+    let mut crashed = crashed;
+    assert_eq!(crashed.snapshot(), restored.snapshot());
+
+    // Deterministic replay regenerates the whole journal bit-for-bit.
+    assert_eq!(recovered.verify_replay(classifier()).expect("verify"), 30);
+
+    // And the futures coincide: both supervisors produce identical reports
+    // over the identical remaining stream.
+    let mut source_restored = source.clone();
+    let mut source = source;
+    let tail_crashed = crashed.run(&mut source);
+    let tail_restored = restored.run(&mut source_restored);
+    assert!(!tail_crashed.is_empty());
+    assert_eq!(tail_crashed, tail_restored);
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_without_midrun_checkpoint_replays_whole_journal() {
+    let dir = scratch("no_midrun_ckpt");
+    let model = trained_model();
+    let (mut crashed, _) = crashy_run(&dir, &model, 22, 0);
+    let mgr = RecoveryManager::new(dir.clone(), 1).expect("manager");
+    let recovered = mgr.recover().expect("recover");
+    assert_eq!(recovered.checkpoint.seq, 0);
+    assert_eq!(recovered.tail().len(), 22);
+    let mut restored = recovered.restore_supervisor(classifier()).expect("restore");
+    assert_eq!(crashed.snapshot(), restored.snapshot());
+    // Both climb the ladder identically afterwards.
+    let mut src_a = WindowSource::new(windows(5), FaultInjector::new(&FaultPlan::clean(1)));
+    let mut src_b = src_a.clone();
+    assert_eq!(crashed.run(&mut src_a), restored.run(&mut src_b));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn journaled_events_are_recovered_in_order() {
+    let dir = scratch("events");
+    let model = trained_model();
+    let w = windows(12);
+    let plan = FaultPlan::clean(3);
+    let config = SupervisorConfig::default();
+    let mut supervisor = SupervisedSystem::new(system_from(&model), config);
+    let mut source = WindowSource::new(w.clone(), FaultInjector::new(&plan));
+    let mut mgr = RecoveryManager::new(dir.clone(), 2).expect("manager");
+    mgr.begin_run(
+        &initial_checkpoint(&model, &supervisor),
+        &run_header(&w, &plan, config),
+    )
+    .expect("begin_run");
+    for i in 0..6u64 {
+        let report = supervisor.step(&mut source).expect("stream long enough");
+        let seq = mgr.record_step(&report).expect("record_step");
+        assert_eq!(seq, i + 1);
+        mgr.record_event(&ContextEvent {
+            source: "awarepen".into(),
+            context: Context::Writing,
+            quality: Quality::Value(0.5 + 0.05 * i as f64),
+            decision: Decision::Accept,
+            timestamp: i as f64,
+        })
+        .expect("record_event");
+    }
+    mgr.sync().expect("sync");
+    let recovered = mgr.recover().expect("recover");
+    assert_eq!(recovered.events.len(), 6);
+    for (i, e) in recovered.events.iter().enumerate() {
+        assert_eq!(e.timestamp, i as f64);
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn first_boot_reports_no_checkpoint() {
+    let dir = scratch("first_boot");
+    let mgr = RecoveryManager::new(dir.clone(), 1).expect("manager");
+    assert!(matches!(
+        mgr.recover(),
+        Err(PersistError::NoCheckpoint(_))
+    ));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_checkpoint_never_panics_always_typed_error() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let dir = scratch("corrupt_ckpt");
+    let model = trained_model();
+    crashy_run(&dir, &model, 10, 5);
+    let mgr = RecoveryManager::new(dir.clone(), 1).expect("manager");
+    let pristine = fs::read(mgr.checkpoint_path()).expect("checkpoint bytes");
+    let mut rng = StdRng::seed_from_u64(0xBAD_C0DE);
+    for _ in 0..150 {
+        let mut bytes = pristine.clone();
+        for _ in 0..rng.gen_range(1..5) {
+            let i = rng.gen_range(0..bytes.len());
+            bytes[i] ^= 1u8 << rng.gen_range(0..8u32);
+        }
+        fs::write(mgr.checkpoint_path(), &bytes).expect("write corrupted");
+        match mgr.recover() {
+            // CRC (or a downstream guard) caught it: typed error only.
+            Err(
+                PersistError::Corrupt(_)
+                | PersistError::Decode(_)
+                | PersistError::SchemaVersion { .. }
+                | PersistError::InvalidState(_),
+            ) => {}
+            Err(other) => panic!("unexpected error class: {other}"),
+            Ok(_) => panic!("corrupted checkpoint accepted"),
+        }
+    }
+    // Restoring the pristine bytes recovers cleanly: the damage was
+    // contained to the copy, nothing latched.
+    fs::write(mgr.checkpoint_path(), &pristine).expect("restore pristine");
+    assert!(mgr.recover().is_ok());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn journal_truncated_at_every_offset_never_panics() {
+    let dir = scratch("truncate_all");
+    let model = trained_model();
+    crashy_run(&dir, &model, 6, 3);
+    let mgr = RecoveryManager::new(dir.clone(), 1).expect("manager");
+    let pristine = fs::read(mgr.journal_path()).expect("journal bytes");
+    let full = mgr.recover().expect("pristine recover");
+    for keep in 0..pristine.len() {
+        fs::write(mgr.journal_path(), &pristine[..keep]).expect("truncate");
+        match mgr.recover() {
+            Ok(recovered) => {
+                // Whatever survived is an exact prefix of the full run.
+                assert!(recovered.steps.len() <= full.steps.len());
+                assert_eq!(
+                    recovered.steps[..],
+                    full.steps[..recovered.steps.len()],
+                    "truncation to {keep} bytes corrupted a surviving record"
+                );
+            }
+            // Cutting into the header record (or the checkpoint/steps
+            // consistency) is a typed corruption, not a crash.
+            Err(PersistError::Corrupt(_) | PersistError::Decode(_)) => {}
+            Err(other) => panic!("unexpected error at truncation {keep}: {other}"),
+        }
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_tail_is_repaired_and_run_resumes() {
+    let dir = scratch("torn_resume");
+    let model = trained_model();
+    let (mut crashed, mut source) = crashy_run(&dir, &model, 12, 6);
+    // Tear the journal mid-record, as a crash between write and fsync would.
+    let mut mgr = RecoveryManager::new(dir.clone(), 1).expect("manager");
+    let pristine = fs::read(mgr.journal_path()).expect("journal bytes");
+    fs::write(mgr.journal_path(), &pristine[..pristine.len() - 7]).expect("tear");
+
+    let recovered = mgr.recover().expect("recover");
+    assert!(recovered.truncated_bytes > 0, "tear must be detected");
+    assert_eq!(recovered.steps.len(), 11, "last record lost to the tear");
+    // The journal file itself was truncated back to the valid prefix.
+    let repaired_len = fs::metadata(mgr.journal_path()).expect("meta").len();
+    assert!(repaired_len < pristine.len() as u64);
+
+    // Resume journaling: the next step continues the sequence.
+    let mut restored = recovered.restore_supervisor(classifier()).expect("restore");
+    mgr.resume_run(&recovered).expect("resume");
+    // The restored supervisor is one step behind the crashed one (the torn
+    // step was never durably journaled) — regenerate it from the live
+    // source the crashed process would have re-polled... which for the
+    // suite means: step the restored supervisor and journal it.
+    let mut replay_src = {
+        // Rebuild the source at the recovered position by replaying the
+        // journaled plan from scratch.
+        let plan = recovered.header.fault_plan().expect("plan");
+        let mut sup = SupervisedSystem::new(system_from(&model), recovered.header.config);
+        let mut src = WindowSource::new(
+            recovered.header.windows.clone(),
+            FaultInjector::new(&plan),
+        );
+        for _ in 0..recovered.steps.len() {
+            sup.step(&mut src).expect("replay step");
+        }
+        src
+    };
+    let report = restored.step(&mut replay_src).expect("resumed step");
+    let seq = mgr.record_step(&report).expect("record resumed step");
+    assert_eq!(seq, 12);
+    let after = mgr.recover().expect("second recover");
+    assert_eq!(after.steps.len(), 12);
+    assert_eq!(after.truncated_bytes, 0);
+    // The resumed step is the same step the crashed process had taken.
+    let crashed_snapshot = crashed.snapshot();
+    let mut resumed = after.restore_supervisor(classifier()).expect("restore 2");
+    assert_eq!(crashed_snapshot, resumed.snapshot());
+    // Identical continuations from here.
+    let mut src_b = source.clone();
+    assert_eq!(crashed.run(&mut source), resumed.run(&mut src_b));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn verify_replay_detects_tampered_journal() {
+    let dir = scratch("tamper");
+    let model = trained_model();
+    crashy_run(&dir, &model, 10, 0);
+    let mgr = RecoveryManager::new(dir.clone(), 1).expect("manager");
+    let mut recovered = mgr.recover().expect("recover");
+    // Tamper with a journaled outcome: claim a retry that never happened.
+    recovered.steps[4].retries += 1;
+    match recovered.verify_replay(classifier()) {
+        Err(PersistError::ReplayDivergence { step, .. }) => assert_eq!(step, 4),
+        other => panic!("tampered journal must fail verification, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}

@@ -350,6 +350,31 @@ impl_tuple! {
     (0 A, 1 B, 2 C, 3 D)
 }
 
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        // Matches real serde's representation: {"secs": u64, "nanos": u32}.
+        Value::Map(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            ("nanos".to_string(), Value::U64(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let secs = value
+            .get("secs")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::msg("Duration: missing `secs`"))?;
+        let nanos = value
+            .get("nanos")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::msg("Duration: missing `nanos`"))?;
+        let nanos = u32::try_from(nanos).map_err(|_| Error::msg("Duration: `nanos` too large"))?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
 impl<V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<String, V, S> {
     fn to_value(&self) -> Value {
         let mut entries: Vec<(String, Value)> = self
