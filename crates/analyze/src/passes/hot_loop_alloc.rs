@@ -1,0 +1,272 @@
+//! HOT_LOOP_ALLOC — heap allocation inside loops of hot-path files.
+//!
+//! The PR 4 runtime contract is that steady-state evaluation allocates
+//! nothing: scratch buffers are caller-provided and reused, and the
+//! data-parallel kernels work on preallocated slabs. A `Vec::new()`,
+//! `vec![...]`, `.collect()` or `.clone()` inside a loop of one of those
+//! kernels silently reintroduces per-iteration allocation and undoes the
+//! optimisation without failing any test.
+//!
+//! The pass is opt-in per file: it only runs on files carrying the
+//! `// analyze: hot-path` marker comment, so ordinary setup/config code is
+//! not flooded with findings. Loop bodies are recovered from the code view
+//! (`for`/`while`/`loop` keyword → body braces); allocations that are
+//! genuinely bounded (e.g. once per accepted cluster center, not once per
+//! data point) are suppressed the usual way with
+//! `// lint: allow(HOT_LOOP_ALLOC) -- reason`.
+
+use std::collections::BTreeSet;
+
+use super::{find_all, matching_brace, word_boundary_before, Finding, Level, LintPass};
+use crate::scanner::SourceFile;
+
+/// See module docs.
+pub struct HotLoopAlloc;
+
+const ID: &str = "HOT_LOOP_ALLOC";
+
+/// The file tag that opts a file into this pass.
+pub const HOT_PATH_TAG: &str = "hot-path";
+
+impl LintPass for HotLoopAlloc {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "flags Vec::new/vec![/.collect()/.clone() inside loops of files \
+         tagged `// analyze: hot-path`"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if !file.has_tag(HOT_PATH_TAG) {
+            return;
+        }
+        let joined = file.joined_code();
+        let ranges = loop_body_ranges(&joined);
+        if ranges.is_empty() {
+            return;
+        }
+        // Nested loop bodies overlap; report each match site once.
+        let mut seen = BTreeSet::new();
+        for (pos, alloc) in allocation_sites(&joined) {
+            if !ranges.iter().any(|&(lo, hi)| pos >= lo && pos < hi) {
+                continue;
+            }
+            let lineno = file.line_of(pos);
+            if !seen.insert((pos, alloc)) {
+                continue;
+            }
+            let Some(l) = file.lines.get(lineno - 1) else {
+                continue;
+            };
+            if l.in_test || file.is_allowed(ID, lineno) {
+                continue;
+            }
+            findings.push(Finding {
+                file: file.path.clone(),
+                line: lineno,
+                lint: ID,
+                message: format!(
+                    "`{alloc}` allocates on every loop iteration in a hot-path \
+                     file; hoist the buffer out of the loop or reuse scratch \
+                     (suppress with a pragma if the allocation is bounded)"
+                ),
+                level: Level::Warn,
+            });
+        }
+    }
+}
+
+/// Byte ranges (in the joined code view) of `for`/`while`/`loop` bodies,
+/// opening brace excluded.
+///
+/// Loop headers are excluded: `for x in ys.clone()` runs its allocation
+/// once, not per iteration. An `impl Trait for Type` is told apart from a
+/// `for` loop by requiring the ` in ` token in the header.
+fn loop_body_ranges(joined: &str) -> Vec<(usize, usize)> {
+    let bytes = joined.as_bytes();
+    let mut ranges = Vec::new();
+    for kw in ["for", "while", "loop"] {
+        for pos in find_all(joined, kw) {
+            if !word_boundary_before(joined, pos) {
+                continue;
+            }
+            let after = pos + kw.len();
+            // Identifier continues (`form`, `loops`) — not the keyword.
+            if bytes
+                .get(after)
+                .is_some_and(|&b| (b as char).is_alphanumeric() || b == b'_')
+            {
+                continue;
+            }
+            let Some(rel) = joined[after..].find('{') else {
+                continue;
+            };
+            let open = after + rel;
+            let header = &joined[after..open];
+            match kw {
+                // `for` must be a loop header, not `impl T for U` or a
+                // higher-ranked `for<'a>` bound.
+                "for" if !header.contains(" in ") => continue,
+                // `loop` takes no header at all.
+                "loop" if !header.trim().is_empty() => continue,
+                _ => {}
+            }
+            let Some(close) = matching_brace(joined, open) else {
+                continue;
+            };
+            ranges.push((open + 1, close.saturating_sub(1)));
+        }
+    }
+    ranges
+}
+
+/// `(byte offset, pattern)` of every allocation site in the code view.
+fn allocation_sites(joined: &str) -> Vec<(usize, &'static str)> {
+    let mut out = Vec::new();
+    for pos in find_all(joined, "Vec::new") {
+        if word_boundary_before(joined, pos) {
+            out.push((pos, "Vec::new"));
+        }
+    }
+    for pos in find_all(joined, "vec!") {
+        if word_boundary_before(joined, pos) {
+            out.push((pos, "vec!["));
+        }
+    }
+    // `.collect()` and the turbofish `.collect::<T>()` both allocate.
+    for pos in find_all(joined, ".collect") {
+        let next = joined.as_bytes().get(pos + ".collect".len()).copied();
+        if next == Some(b'(') || next == Some(b':') {
+            out.push((pos, ".collect()"));
+        }
+    }
+    out.extend(find_all(joined, ".clone()").into_iter().map(|p| (p, ".clone()")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::scan(Path::new("t.rs"), src);
+        let mut out = Vec::new();
+        HotLoopAlloc.check(&file, &mut out);
+        out
+    }
+
+    const TAG: &str = "// analyze: hot-path\n";
+
+    #[test]
+    fn untagged_file_is_ignored() {
+        let f = run("fn f(n: usize) {\n    for _ in 0..n {\n        let v = vec![0.0; 8];\n        let _ = v;\n    }\n}\n");
+        assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn flags_all_four_patterns_in_loops() {
+        let src = format!(
+            "{TAG}fn f(n: usize, xs: &[f64]) {{\n\
+             \x20   for _ in 0..n {{\n\
+             \x20       let a: Vec<f64> = Vec::new();\n\
+             \x20       let b = vec![0.0; 8];\n\
+             \x20       let c: Vec<f64> = xs.iter().copied().collect();\n\
+             \x20       let d = b.clone();\n\
+             \x20       let _ = (a, c, d);\n\
+             \x20   }}\n\
+             }}\n"
+        );
+        let f = run(&src);
+        assert_eq!(f.len(), 4, "got {f:?}");
+        assert!(f.iter().all(|x| x.level == Level::Warn));
+        let msgs: Vec<&str> = f.iter().map(|x| x.message.as_str()).collect();
+        for pat in ["Vec::new", "vec![", ".collect()", ".clone()"] {
+            assert!(msgs.iter().any(|m| m.contains(pat)), "missing {pat}");
+        }
+    }
+
+    #[test]
+    fn turbofish_collect_and_while_and_loop_bodies() {
+        let src = format!(
+            "{TAG}fn f(mut n: usize) {{\n\
+             \x20   while n > 0 {{\n\
+             \x20       let _ = (0..n).collect::<Vec<_>>();\n\
+             \x20       n -= 1;\n\
+             \x20   }}\n\
+             \x20   loop {{\n\
+             \x20       let _: Vec<f64> = Vec::new();\n\
+             \x20       break;\n\
+             \x20   }}\n\
+             }}\n"
+        );
+        let f = run(&src);
+        assert_eq!(f.len(), 2, "got {f:?}");
+    }
+
+    #[test]
+    fn allocations_outside_loops_are_clean() {
+        let src = format!(
+            "{TAG}fn f(xs: &[f64]) -> Vec<f64> {{\n\
+             \x20   let mut out: Vec<f64> = xs.to_vec();\n\
+             \x20   let extra = vec![1.0];\n\
+             \x20   out.extend(extra.iter().copied());\n\
+             \x20   out\n\
+             }}\n"
+        );
+        let f = run(&src);
+        assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn impl_for_and_hrtb_are_not_loops() {
+        let src = format!(
+            "{TAG}struct S;\n\
+             impl Clone for S {{\n\
+             \x20   fn clone(&self) -> S {{\n\
+             \x20       let _ = vec![0u8; 2];\n\
+             \x20       S\n\
+             \x20   }}\n\
+             }}\n"
+        );
+        let f = run(&src);
+        assert!(f.is_empty(), "impl-for block misread as loop: {f:?}");
+    }
+
+    #[test]
+    fn loop_header_allocation_is_clean() {
+        let src = format!(
+            "{TAG}fn f(xs: &Vec<f64>) {{\n\
+             \x20   for x in xs.clone() {{\n\
+             \x20       let _ = x;\n\
+             \x20   }}\n\
+             }}\n"
+        );
+        let f = run(&src);
+        assert!(f.is_empty(), "header clone runs once, got {f:?}");
+    }
+
+    #[test]
+    fn pragma_and_test_code_suppress() {
+        let src = format!(
+            "{TAG}fn f(n: usize) {{\n\
+             \x20   for _ in 0..n {{\n\
+             \x20       // lint: allow(HOT_LOOP_ALLOC) -- bounded by accepted centers, not data size\n\
+             \x20       let _ = vec![0.0; 4];\n\
+             \x20   }}\n\
+             }}\n\
+             #[cfg(test)]\n\
+             mod tests {{\n\
+             \x20   fn t(n: usize) {{\n\
+             \x20       for _ in 0..n {{\n\
+             \x20           let _ = vec![0.0; 4];\n\
+             \x20       }}\n\
+             \x20   }}\n\
+             }}\n"
+        );
+        let f = run(&src);
+        assert!(f.is_empty(), "got {f:?}");
+    }
+}

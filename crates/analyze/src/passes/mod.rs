@@ -4,12 +4,14 @@
 
 mod assert_density;
 mod epsilon_domain;
+mod hot_loop_alloc;
 mod io_swallowed;
 mod nan_cmp;
 mod panic_lib;
 
 pub use assert_density::AssertDensity;
 pub use epsilon_domain::EpsilonDomain;
+pub use hot_loop_alloc::{HotLoopAlloc, HOT_PATH_TAG};
 pub use io_swallowed::IoSwallowed;
 pub use nan_cmp::NanUnsafeCmp;
 pub use panic_lib::PanicInLib;
@@ -74,6 +76,7 @@ pub fn default_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(AssertDensity::default()),
         Box::new(EpsilonDomain::default()),
         Box::new(IoSwallowed::default()),
+        Box::new(HotLoopAlloc),
     ]
 }
 

@@ -64,12 +64,20 @@ pub struct SourceFile {
     /// Pragmas that failed to parse (missing reason, bad syntax): reported
     /// as findings by the driver so suppressions can never be silent.
     pub malformed_pragmas: Vec<(usize, String)>,
+    /// File tags from `// analyze: <tag>` marker comments (e.g. `hot-path`),
+    /// used by passes that only apply to opted-in files.
+    pub tags: Vec<String>,
 }
 
 impl SourceFile {
     /// Scan `text` as the contents of `path`.
     pub fn scan(path: &Path, text: &str) -> SourceFile {
         Scanner::new(text).run(path)
+    }
+
+    /// Whether the file carries a `// analyze: <tag>` marker.
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.iter().any(|t| t == tag)
     }
 
     /// Whether `lint_id` is suppressed on 1-based `line`.
@@ -350,11 +358,18 @@ impl<'a> Scanner<'a> {
             });
         }
 
-        // Pass 3: pragmas out of the comment view.
+        // Pass 3: pragmas and file tags out of the comment view.
         let mut pragmas = Vec::new();
         let mut malformed = Vec::new();
+        let mut tags = Vec::new();
         for (idx, comment) in comment_lines.iter().enumerate() {
             let lineno = idx + 1;
+            if let Some(tag) = tag_text(comment) {
+                if !tag.is_empty() && !tags.iter().any(|t: &String| t == tag) {
+                    tags.push(tag.to_string());
+                }
+                continue;
+            }
             let Some(rest) = pragma_text(comment) else {
                 continue;
             };
@@ -382,6 +397,7 @@ impl<'a> Scanner<'a> {
             lines,
             pragmas,
             malformed_pragmas: malformed,
+            tags,
         }
     }
 
@@ -431,6 +447,15 @@ fn pragma_text(comment_line: &str) -> Option<&str> {
     let t = t.trim_start_matches('/');
     let t = t.strip_prefix('!').unwrap_or(t);
     Some(t.trim_start().strip_prefix("lint:")?.trim())
+}
+
+/// Extract a file tag from one line of the comment view: the comment must
+/// *begin* with `analyze:` (after the `//`) — e.g. `// analyze: hot-path`.
+fn tag_text(comment_line: &str) -> Option<&str> {
+    let t = comment_line.trim_start().strip_prefix("//")?;
+    let t = t.trim_start_matches('/');
+    let t = t.strip_prefix('!').unwrap_or(t);
+    Some(t.trim_start().strip_prefix("analyze:")?.trim())
 }
 
 /// Parse the text after `lint:` — `allow(ID[, ID...][, file]) -- reason`.
@@ -566,6 +591,18 @@ fn f() {
         assert_eq!(f.malformed_pragmas.len(), 1);
         let f = scan("x.unwrap(); // lint: allow(PANIC_IN_LIB) --   \n");
         assert_eq!(f.malformed_pragmas.len(), 1);
+    }
+
+    #[test]
+    fn file_tags_are_collected() {
+        let f = scan("// analyze: hot-path\n// analyze: hot-path\nfn f() {}\n");
+        assert_eq!(f.tags, vec!["hot-path".to_string()], "deduplicated");
+        assert!(f.has_tag("hot-path"));
+        assert!(!f.has_tag("cold-path"));
+        assert!(f.malformed_pragmas.is_empty(), "tags are not pragmas");
+
+        let f = scan("// prose mentioning analyze: hot-path mid-comment\nfn f() {}\n");
+        assert!(f.tags.is_empty(), "tag must begin the comment");
     }
 
     #[test]

@@ -1,0 +1,24 @@
+// analyze: hot-path
+//! Fixture: allocations inside the loops of a hot-path-tagged file.
+
+pub fn potentials(points: &[Vec<f64>]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(points.len());
+    for p in points {
+        // Per-iteration clone of the row — exactly what the pass exists for.
+        let local = p.clone();
+        let doubled: Vec<f64> = local.iter().map(|x| x * 2.0).collect();
+        out.push(doubled.iter().sum());
+    }
+    out
+}
+
+pub fn widths(n: usize) -> f64 {
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i < n {
+        let scratch = vec![0.0f64; 8];
+        acc += scratch.len() as f64;
+        i += 1;
+    }
+    acc
+}

@@ -1,0 +1,28 @@
+// analyze: hot-path
+//! Fixture: a hot-path-tagged file that keeps its loops allocation-free —
+//! buffers are hoisted, and the one bounded allocation carries a pragma.
+
+pub fn potentials(points: &[Vec<f64>], scratch: &mut Vec<f64>) -> f64 {
+    debug_assert!(!points.is_empty(), "potentials of an empty point set");
+    // Allocation happens once, outside the loop.
+    scratch.clear();
+    scratch.extend(points.iter().map(|p| p.iter().sum::<f64>()));
+    let mut acc = 0.0;
+    for s in scratch.iter() {
+        acc += s * s;
+    }
+    acc
+}
+
+pub fn accepted_rows(points: &[Vec<f64>], accept: f64) -> Vec<Vec<f64>> {
+    debug_assert!(accept.is_finite(), "acceptance threshold must be finite");
+    let mut rows = Vec::new();
+    for p in points {
+        let score: f64 = p.iter().sum();
+        if score > accept {
+            // lint: allow(HOT_LOOP_ALLOC) -- bounded by accepted rows, not by the scan itself
+            rows.push(p.clone());
+        }
+    }
+    rows
+}

@@ -71,16 +71,35 @@ fn swallowed_io_in_persistence_is_flagged() {
 }
 
 #[test]
+fn hot_loop_allocations_are_flagged() {
+    let r = analyze("bad/math/src/hot_alloc.rs");
+    // `.clone()` and `.collect()` in the `for` body, `vec![` in the `while`.
+    assert_eq!(count(&r, "HOT_LOOP_ALLOC"), 3, "{:#?}", r.findings);
+    assert!(!r.failed(false), "HOT_LOOP_ALLOC is warn-level");
+    assert!(r.failed(true), "--deny-all must fail on it");
+}
+
+#[test]
+fn hot_clean_fixture_passes() {
+    let r = analyze("clean/math/src/hot_clean.rs");
+    assert!(
+        !r.failed(true),
+        "hoisted/suppressed allocations must not be flagged:\n{}",
+        render(&r)
+    );
+}
+
+#[test]
 fn bad_tree_fails_even_without_deny_all() {
     let r = analyze("bad");
-    assert_eq!(r.files_scanned, 6);
+    assert_eq!(r.files_scanned, 7);
     assert!(r.failed(false));
 }
 
 #[test]
 fn clean_fixtures_pass_deny_all() {
     let r = analyze("clean");
-    assert_eq!(r.files_scanned, 3);
+    assert_eq!(r.files_scanned, 4);
     assert!(
         !r.failed(true),
         "clean fixtures produced findings:\n{}",

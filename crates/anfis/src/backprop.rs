@@ -11,9 +11,12 @@
 //! where `p ∈ {µ, σ}` and `w_j / F_ij` is the product of the *other*
 //! memberships of rule `j` (computed by division with an underflow guard).
 
+// analyze: hot-path
+
 // lint: allow(PANIC_IN_LIB, file) -- gradient buffers are allocated to the FIS shape before the update loops
 
 use cqm_fuzzy::TskFis;
+use cqm_parallel::{WorkerPool, REDUCE_CHUNK};
 
 use crate::dataset::Dataset;
 use crate::{AnfisError, Result};
@@ -57,7 +60,59 @@ impl PremiseGradients {
 ///
 /// * [`AnfisError::InvalidData`] if the dataset is empty, disagrees on
 ///   dimension, or no sample fires any rule.
+// lint: allow(ASSERT_DENSITY) -- thin delegation; the pooled variant validates via Result
 pub fn premise_gradients(fis: &TskFis, data: &Dataset) -> Result<PremiseGradients> {
+    premise_gradients_with(fis, data, &WorkerPool::serial())
+}
+
+/// Accumulate one sample into `acc` — the inner body shared verbatim by
+/// every chunk, so chunked and sequential accumulation perform the same
+/// operations in the same order within a chunk.
+fn accumulate_sample(fis: &TskFis, x: &[f64], y: f64, acc: &mut PremiseGradients) {
+    let eval = match fis.eval_detailed(x) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    let total_w: f64 = eval.firing.iter().sum();
+    let err = eval.output - y;
+    acc.sse += err * err;
+    acc.samples += 1;
+    for (j, rule) in fis.rules().iter().enumerate() {
+        let wj = eval.firing[j];
+        if wj <= 0.0 {
+            continue;
+        }
+        // dE/dw_j = err * (f_j - ŷ) / Σw
+        let de_dwj = err * (eval.consequent_values[j] - eval.output) / total_w;
+        for (i, mf) in rule.antecedents().iter().enumerate() {
+            let fij = mf.eval(x[i]);
+            if fij < 1e-150 {
+                continue; // underflow guard: w_j / F_ij would explode
+            }
+            let others = wj / fij;
+            if let Some((dmu, dsigma)) = mf.gaussian_grad(x[i]) {
+                acc.grads[j][i].0 += de_dwj * others * dmu;
+                acc.grads[j][i].1 += de_dwj * others * dsigma;
+            }
+        }
+    }
+}
+
+/// [`premise_gradients`] on a worker pool. Samples are split into fixed
+/// [`REDUCE_CHUNK`]-sized chunks (a pure function of the dataset length,
+/// never of the thread count); each chunk accumulates sequentially and the
+/// partials are folded strictly in chunk order, so the result is
+/// bit-identical at any thread count. Datasets of at most `REDUCE_CHUNK`
+/// samples reduce in a single chunk — exactly the plain sequential loop.
+///
+/// # Errors
+///
+/// Same conditions as [`premise_gradients`].
+pub fn premise_gradients_with(
+    fis: &TskFis,
+    data: &Dataset,
+    pool: &WorkerPool,
+) -> Result<PremiseGradients> {
     if data.is_empty() {
         return Err(AnfisError::InvalidData("empty dataset".into()));
     }
@@ -70,33 +125,25 @@ pub fn premise_gradients(fis: &TskFis, data: &Dataset) -> Result<PremiseGradient
     }
     let m = fis.rule_count();
     let n = fis.input_dim();
-    let mut acc = PremiseGradients::zeros(m, n);
-    for (x, y) in data.iter() {
-        let eval = match fis.eval_detailed(x) {
-            Ok(e) => e,
-            Err(_) => continue,
-        };
-        let total_w: f64 = eval.firing.iter().sum();
-        let err = eval.output - y;
-        acc.sse += err * err;
-        acc.samples += 1;
-        for (j, rule) in fis.rules().iter().enumerate() {
-            let wj = eval.firing[j];
-            if wj <= 0.0 {
-                continue;
-            }
-            // dE/dw_j = err * (f_j - ŷ) / Σw
-            let de_dwj = err * (eval.consequent_values[j] - eval.output) / total_w;
-            for (i, mf) in rule.antecedents().iter().enumerate() {
-                let fij = mf.eval(x[i]);
-                if fij < 1e-150 {
-                    continue; // underflow guard: w_j / F_ij would explode
-                }
-                let others = wj / fij;
-                if let Some((dmu, dsigma)) = mf.gaussian_grad(x[i]) {
-                    acc.grads[j][i].0 += de_dwj * others * dmu;
-                    acc.grads[j][i].1 += de_dwj * others * dsigma;
-                }
+    let inputs = data.inputs();
+    let targets = data.targets();
+    let partials = pool.run_chunks(data.len(), REDUCE_CHUNK, |chunk| {
+        let mut part = PremiseGradients::zeros(m, n);
+        for idx in chunk.start..chunk.end {
+            accumulate_sample(fis, &inputs[idx], targets[idx], &mut part);
+        }
+        part
+    });
+    let mut it = partials.into_iter();
+    // A non-empty dataset always yields at least one chunk.
+    let mut acc = it.next().unwrap_or_else(|| PremiseGradients::zeros(m, n));
+    for part in it {
+        acc.sse += part.sse;
+        acc.samples += part.samples;
+        for (row, prow) in acc.grads.iter_mut().zip(&part.grads) {
+            for (g, pg) in row.iter_mut().zip(prow) {
+                g.0 += pg.0;
+                g.1 += pg.1;
             }
         }
     }

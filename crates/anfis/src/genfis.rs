@@ -15,9 +15,10 @@
 use cqm_cluster::subtractive::{SubtractiveClustering, SubtractiveParams};
 use cqm_fuzzy::{MembershipFunction, TskFis, TskRule};
 use cqm_math::linsolve::LstsqMethod;
+use cqm_parallel::WorkerPool;
 
 use crate::dataset::Dataset;
-use crate::lse::fit_consequents;
+use crate::lse::fit_consequents_with;
 use crate::{AnfisError, Result};
 
 /// Parameters of the automated FIS generation.
@@ -63,13 +64,26 @@ impl GenfisParams {
 /// * [`AnfisError::InvalidData`] for an empty dataset.
 /// * [`AnfisError::Cluster`] if clustering fails.
 /// * [`AnfisError::Math`] if the least-squares fit fails.
+// lint: allow(ASSERT_DENSITY) -- thin delegation; the pooled variant validates via Result
 pub fn genfis(data: &Dataset, params: &GenfisParams) -> Result<TskFis> {
+    genfis_with(data, params, &WorkerPool::serial())
+}
+
+/// [`genfis`] on a worker pool: the subtractive-clustering potential field
+/// and the consequent least-squares design matrix are computed in parallel.
+/// Both stages are deterministic in the thread count, so the generated FIS
+/// is bit-identical to the serial build.
+///
+/// # Errors
+///
+/// Same conditions as [`genfis`].
+pub fn genfis_with(data: &Dataset, params: &GenfisParams, pool: &WorkerPool) -> Result<TskFis> {
     if data.is_empty() {
         return Err(AnfisError::InvalidData("empty dataset".into()));
     }
     let joint = data.joint_rows();
     let clustering = SubtractiveClustering::new(params.clustering);
-    let result = clustering.cluster(&joint)?;
+    let result = clustering.cluster_with(&joint, pool)?;
 
     let n = data.dim();
     // Chiu's width heuristic: sigma = ra * range / sqrt(8), per dimension,
@@ -88,7 +102,7 @@ pub fn genfis(data: &Dataset, params: &GenfisParams) -> Result<TskFis> {
         rules.push(TskRule::new(antecedents, vec![0.0; n + 1])?);
     }
     let mut fis = TskFis::new(rules)?;
-    fit_consequents(&mut fis, data, params.lstsq)?;
+    fit_consequents_with(&mut fis, data, params.lstsq, pool)?;
     Ok(fis)
 }
 
@@ -233,7 +247,7 @@ pub fn genfis_from_centers(
         rules.push(TskRule::new(antecedents, vec![0.0; n + 1])?);
     }
     let mut fis = TskFis::new(rules)?;
-    fit_consequents(&mut fis, data, params.lstsq)?;
+    fit_consequents_with(&mut fis, data, params.lstsq, &WorkerPool::serial())?;
     Ok(fis)
 }
 

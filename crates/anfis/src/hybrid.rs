@@ -16,12 +16,15 @@
 
 use cqm_fuzzy::TskFis;
 use cqm_math::linsolve::LstsqMethod;
+use cqm_parallel::WorkerPool;
 use serde::{Deserialize, Serialize};
 
-use crate::backprop::{apply_premise_step, premise_gradients};
+use crate::backprop::{apply_premise_step, premise_gradients_with};
 use crate::dataset::Dataset;
-use crate::lse::fit_consequents;
-use crate::{rmse, AnfisError, Result};
+use crate::lse::fit_consequents_with;
+use crate::{rmse_with, AnfisError, Result};
+#[cfg(test)]
+use crate::rmse;
 
 /// Configuration of the hybrid training loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -146,11 +149,31 @@ impl TrainReport {
 /// * [`AnfisError::InvalidData`] if train/check sets are empty or disagree
 ///   with the FIS dimension.
 /// * [`AnfisError::Math`] if the LSE forward pass fails.
+// lint: allow(ASSERT_DENSITY) -- thin delegation; the pooled variant validates via Result
 pub fn train_hybrid(
     fis: &mut TskFis,
     train: &Dataset,
     check: Option<&Dataset>,
     config: &HybridConfig,
+) -> Result<TrainReport> {
+    train_hybrid_with(fis, train, check, config, &WorkerPool::serial())
+}
+
+/// [`train_hybrid`] on a worker pool. Every epoch stage — the LSE design
+/// matrix, both RMSE evaluations and the premise gradients — runs on `pool`
+/// with deterministic chunking (see `cqm_parallel`), so the trained
+/// parameters and the full [`TrainReport`] are bit-identical at any thread
+/// count, including the serial pool used by [`train_hybrid`].
+///
+/// # Errors
+///
+/// Same conditions as [`train_hybrid`].
+pub fn train_hybrid_with(
+    fis: &mut TskFis,
+    train: &Dataset,
+    check: Option<&Dataset>,
+    config: &HybridConfig,
+    pool: &WorkerPool,
 ) -> Result<TrainReport> {
     config.validate()?;
     if let Some(c) = check {
@@ -175,12 +198,12 @@ pub fn train_hybrid(
 
     for epoch in 0..config.epochs {
         // Forward pass: LSE on consequents.
-        fit_consequents(fis, train, config.lstsq)?;
-        let train_err = rmse(fis, train);
+        fit_consequents_with(fis, train, config.lstsq, pool)?;
+        let train_err = rmse_with(fis, train, pool);
         train_errors.push(train_err);
 
         if let Some(c) = check {
-            let check_err = rmse(fis, c);
+            let check_err = rmse_with(fis, c, pool);
             check_errors.push(check_err);
             match &best {
                 Some((e, _, _)) if *e <= check_err => {
@@ -225,7 +248,7 @@ pub fn train_hybrid(
 
         // Backward pass: gradient descent on the Gaussian premises.
         if epoch + 1 < config.epochs {
-            let grads = premise_gradients(fis, train)?;
+            let grads = premise_gradients_with(fis, train, pool)?;
             apply_premise_step(fis, &grads, step, config.min_sigma);
         }
     }

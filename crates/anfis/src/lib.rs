@@ -49,8 +49,8 @@ pub mod hybrid;
 pub mod lse;
 
 pub use dataset::Dataset;
-pub use genfis::{genfis, GenfisParams};
-pub use hybrid::{train_hybrid, HybridConfig, TrainReport};
+pub use genfis::{genfis, genfis_with, GenfisParams};
+pub use hybrid::{train_hybrid, train_hybrid_with, HybridConfig, TrainReport};
 
 /// Errors produced by ANFIS construction and training.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,13 +121,43 @@ pub type Result<T> = std::result::Result<T, AnfisError>;
 /// Root-mean-square error of a FIS over a dataset; samples on which the FIS
 /// cannot fire any rule are skipped (they are reported by training instead).
 pub fn rmse(fis: &cqm_fuzzy::TskFis, data: &dataset::Dataset) -> f64 {
+    rmse_with(fis, data, &cqm_parallel::WorkerPool::serial())
+}
+
+/// [`rmse`] on a worker pool. Samples are split into fixed
+/// [`cqm_parallel::REDUCE_CHUNK`]-sized chunks (independent of the thread
+/// count); each chunk accumulates its squared-error sum sequentially and the
+/// partials are folded strictly in chunk order, making the result
+/// bit-identical at any thread count. Datasets of at most one chunk reduce
+/// exactly like the plain sequential loop.
+pub fn rmse_with(
+    fis: &cqm_fuzzy::TskFis,
+    data: &dataset::Dataset,
+    pool: &cqm_parallel::WorkerPool,
+) -> f64 {
+    let kernel = fis.kernel();
+    let inputs = data.inputs();
+    let targets = data.targets();
+    let parts = pool.run_chunks(data.len(), cqm_parallel::REDUCE_CHUNK, |chunk| {
+        let mut scratch = cqm_fuzzy::TskScratch::with_rules(kernel.rule_count());
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        let rows = inputs[chunk.start..chunk.end]
+            .iter()
+            .zip(&targets[chunk.start..chunk.end]);
+        for (x, &y) in rows {
+            if let Ok(pred) = kernel.eval_into(x, &mut scratch) {
+                sum += (pred - y) * (pred - y);
+                n += 1;
+            }
+        }
+        (sum, n)
+    });
     let mut sum = 0.0;
     let mut n = 0usize;
-    for (x, y) in data.iter() {
-        if let Ok(pred) = fis.eval(x) {
-            sum += (pred - y) * (pred - y);
-            n += 1;
-        }
+    for (s, c) in parts {
+        sum += s;
+        n += c;
     }
     if n == 0 {
         f64::INFINITY

@@ -12,14 +12,22 @@
 //! SVD; the recursive formulation (RLS) from Jang's original ANFIS paper is
 //! also provided for the streaming case.
 
+// analyze: hot-path
+
 // lint: allow(PANIC_IN_LIB, file) -- design-matrix indices come from the validated dataset/FIS dimensions
 
 use cqm_fuzzy::TskFis;
 use cqm_math::linsolve::{lstsq, LstsqMethod};
 use cqm_math::matrix::Matrix;
+use cqm_parallel::WorkerPool;
 
 use crate::dataset::Dataset;
 use crate::{AnfisError, Result};
+
+/// Samples per parallel work item when assembling the design matrix. Rows
+/// are per-sample independent, so any chunking yields bit-identical output;
+/// this only balances scheduling granularity against dispatch overhead.
+const DESIGN_CHUNK: usize = 64;
 
 /// Build the LSE design matrix and target vector for `fis` over `data`.
 ///
@@ -31,7 +39,24 @@ use crate::{AnfisError, Result};
 ///
 /// * [`AnfisError::InvalidData`] if the dataset is empty, disagrees with the
 ///   FIS input dimension, or *no* sample activates any rule.
+// lint: allow(ASSERT_DENSITY) -- thin delegation; the pooled variant validates via Result
 pub fn design_matrix(fis: &TskFis, data: &Dataset) -> Result<(Matrix, Vec<f64>, Vec<usize>)> {
+    design_matrix_with(fis, data, &WorkerPool::serial())
+}
+
+/// [`design_matrix`] on a worker pool. Each sample's row block is
+/// independent, so chunks of [`DESIGN_CHUNK`] samples are assembled
+/// concurrently and concatenated in order — the matrix, targets and skipped
+/// indices are bit-identical to the serial build at any thread count.
+///
+/// # Errors
+///
+/// Same conditions as [`design_matrix`].
+pub fn design_matrix_with(
+    fis: &TskFis,
+    data: &Dataset,
+    pool: &WorkerPool,
+) -> Result<(Matrix, Vec<f64>, Vec<usize>)> {
     if data.is_empty() {
         return Err(AnfisError::InvalidData("empty dataset".into()));
     }
@@ -45,23 +70,37 @@ pub fn design_matrix(fis: &TskFis, data: &Dataset) -> Result<(Matrix, Vec<f64>, 
     let n = fis.input_dim();
     let m = fis.rule_count();
     let cols = m * (n + 1);
+    let inputs = data.inputs();
+    let all_targets = data.targets();
+    let parts = pool.run_chunks(data.len(), DESIGN_CHUNK, |chunk| {
+        let mut rows: Vec<f64> = Vec::with_capacity(chunk.len() * cols);
+        let mut targets = Vec::with_capacity(chunk.len());
+        let mut skipped = Vec::new();
+        for idx in chunk.start..chunk.end {
+            let x = &inputs[idx];
+            match fis.eval_detailed(x) {
+                Ok(eval) => {
+                    for j in 0..m {
+                        let wbar = eval.normalized_firing[j];
+                        for &xi in x.iter() {
+                            rows.push(wbar * xi);
+                        }
+                        rows.push(wbar);
+                    }
+                    targets.push(all_targets[idx]);
+                }
+                Err(_) => skipped.push(idx),
+            }
+        }
+        (rows, targets, skipped)
+    });
     let mut rows: Vec<f64> = Vec::new();
     let mut targets = Vec::new();
     let mut skipped = Vec::new();
-    for (idx, (x, y)) in data.iter().enumerate() {
-        match fis.eval_detailed(x) {
-            Ok(eval) => {
-                for j in 0..m {
-                    let wbar = eval.normalized_firing[j];
-                    for &xi in x {
-                        rows.push(wbar * xi);
-                    }
-                    rows.push(wbar);
-                }
-                targets.push(y);
-            }
-            Err(_) => skipped.push(idx),
-        }
+    for (r, t, s) in parts {
+        rows.extend_from_slice(&r);
+        targets.extend_from_slice(&t);
+        skipped.extend_from_slice(&s);
     }
     if targets.is_empty() {
         return Err(AnfisError::InvalidData(
@@ -80,8 +119,26 @@ pub fn design_matrix(fis: &TskFis, data: &Dataset) -> Result<(Matrix, Vec<f64>, 
 /// * Propagates [`design_matrix`] failures.
 /// * [`AnfisError::Math`] if the chosen backend cannot solve the system
 ///   (e.g. QR on rank-deficient activations — use SVD).
+// lint: allow(ASSERT_DENSITY) -- thin delegation; the pooled variant validates via Result
 pub fn fit_consequents(fis: &mut TskFis, data: &Dataset, method: LstsqMethod) -> Result<f64> {
-    let (a, y, _skipped) = design_matrix(fis, data)?;
+    fit_consequents_with(fis, data, method, &WorkerPool::serial())
+}
+
+/// [`fit_consequents`] on a worker pool: the design matrix is assembled in
+/// parallel (see [`design_matrix_with`]); the least-squares solve itself
+/// stays serial, so the fitted coefficients are bit-identical at any thread
+/// count.
+///
+/// # Errors
+///
+/// Same conditions as [`fit_consequents`].
+pub fn fit_consequents_with(
+    fis: &mut TskFis,
+    data: &Dataset,
+    method: LstsqMethod,
+    pool: &WorkerPool,
+) -> Result<f64> {
+    let (a, y, _skipped) = design_matrix_with(fis, data, pool)?;
     let theta = lstsq(&a, &y, method).map_err(AnfisError::Math)?;
     apply_theta(fis, &theta);
     let resid = cqm_math::linsolve::residual_norm(&a, &theta, &y).map_err(AnfisError::Math)?;

@@ -2,36 +2,23 @@
 //! points for right (o) and wrong (+) contextual classifications and
 //! statistical mean values (dashed lines)".
 //!
+//! Thin wrapper over `cqm_bench::experiments::run_fig5`; `summary` runs the
+//! same section (and all others) off one shared testbed.
+//!
 //! ```sh
 //! cargo run -p cqm-bench --bin fig5
 //! ```
 
 // lint: allow(PANIC_IN_LIB, file) -- experiment driver: abort loudly on setup failure instead of degrading
 
-use cqm_bench::{evaluation_pool, labeled_qualities, paper_testbed, render_quality_scatter, select_test_set};
-use cqm_stats::mle::QualityGroups;
+use cqm_bench::experiments::{paper_eval, run_fig5};
+use cqm_bench::paper_testbed;
 
 fn main() {
     println!("== FIG5: quality measure for the 24-point test set ==");
     println!("(paper: 16 right / 8 wrong, fully separable, right mean near 1)\n");
 
     let testbed = paper_testbed(2007);
-    let pool = evaluation_pool(&testbed, 550, 2);
-    let set = select_test_set(&pool, 16, 8);
-    assert_eq!(set.len(), 24, "pool must supply 16 right + 8 wrong samples");
-
-    println!("{}", render_quality_scatter(&set));
-
-    let labeled = labeled_qualities(&set);
-    let groups = QualityGroups::fit_labeled(&labeled).expect("both outcomes present");
-    println!("\nstatistical mean values (the dashed lines of Fig. 5):");
-    println!("  right mean = {:.4} (sigma {:.4}, n={})",
-        groups.right.mu(), groups.right.sigma(), groups.n_right);
-    println!("  wrong mean = {:.4} (sigma {:.4}, n={})",
-        groups.wrong.mu(), groups.wrong.sigma(), groups.n_wrong);
-
-    let separable = cqm_stats::separation::fully_separable(&labeled).expect("both outcomes");
-    println!("\nfully separable by a single threshold: {separable}   (paper: true)");
-    let auc = cqm_stats::separation::auc(&labeled).expect("both outcomes");
-    println!("empirical AUC over the test set     : {auc:.4} (paper: 1.0 implied)");
+    let eval = paper_eval(&testbed);
+    run_fig5(&eval);
 }

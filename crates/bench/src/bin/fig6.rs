@@ -6,69 +6,21 @@
 //! * `P(right|q>s) = P(wrong|q<s) = 0.8112`;
 //! * `P(wrong|q>s) = 0.0217`, `P(right|q<s) = 0.0846`.
 //!
+//! Thin wrapper over `cqm_bench::experiments::run_fig6`; `summary` runs the
+//! same section (and all others) off one shared testbed.
+//!
 //! ```sh
 //! cargo run -p cqm-bench --bin fig6
 //! ```
 
 // lint: allow(PANIC_IN_LIB, file) -- experiment driver: abort loudly on setup failure instead of degrading
 
-use cqm_bench::{evaluation_pool, labeled_qualities, paper_testbed, select_test_set};
-use cqm_math::histogram::Histogram;
-use cqm_stats::mle::QualityGroups;
-use cqm_stats::probabilities::TailProbabilities;
-use cqm_stats::threshold::optimal_threshold;
+use cqm_bench::experiments::{paper_eval, run_fig6};
+use cqm_bench::paper_testbed;
 
 fn main() {
     println!("== FIG6: densities, optimal threshold, probabilities ==\n");
     let testbed = paper_testbed(2007);
-    let pool = evaluation_pool(&testbed, 550, 2);
-    let set = select_test_set(&pool, 16, 8);
-    let labeled = labeled_qualities(&set);
-    let groups = QualityGroups::fit_labeled(&labeled).expect("both outcomes present");
-    let threshold = optimal_threshold(&groups).expect("informative measure");
-
-    println!("fitted densities (MLE, §2.31):");
-    println!("  right: {}", groups.right);
-    println!("  wrong: {}", groups.wrong);
-    println!("\noptimal threshold (density intersection, §2.32):");
-    println!("  {threshold}   (paper example: s = 0.81)\n");
-
-    // Density series over the measure axis — the Fig. 6 curves — alongside
-    // the empirical histogram densities of the underlying samples.
-    let mut hist_r = Histogram::new(0.0, 1.0, 20).expect("valid histogram");
-    let mut hist_w = Histogram::new(0.0, 1.0, 20).expect("valid histogram");
-    for &(q, right) in &labeled {
-        if right {
-            hist_r.add(q);
-        } else {
-            hist_w.add(q);
-        }
-    }
-    println!("density series (q, fitted phi vs empirical histogram density):");
-    println!("   q     phi_r    emp_r    phi_w    emp_w");
-    for bin in 0..20 {
-        let q = hist_r.bin_center(bin);
-        let marker = if (q - threshold.value).abs() < 0.025 {
-            "  <-- threshold"
-        } else {
-            ""
-        };
-        println!(
-            "  {q:.3}  {:8.4} {:8.4} {:8.4} {:8.4}{marker}",
-            groups.right.pdf(q),
-            hist_r.density(bin),
-            groups.wrong.pdf(q),
-            hist_w.density(bin)
-        );
-    }
-
-    let probs = TailProbabilities::at(&groups, &threshold);
-    println!("\nprobability table (§2.33 median cuts):");
-    println!("{probs}");
-
-    // The identity the paper reports at the optimal threshold.
-    let identity_gap = (probs.selection_right - probs.selection_wrong).abs();
-    println!(
-        "\nidentity P(right|q>s) == P(wrong|q<s): gap = {identity_gap:.2e} (paper: exact equality)"
-    );
+    let eval = paper_eval(&testbed);
+    run_fig6(&eval);
 }

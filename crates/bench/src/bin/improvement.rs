@@ -3,11 +3,15 @@
 //! classifications, when using the measure" and the abstract's "gain of 33%
 //! in context detection".
 //!
-//! Two reproductions:
+//! Three reproductions (see `cqm_bench::experiments::run_improvement`):
 //! 1. the paper's 24-point accounting (16 right / 8 wrong, filter at the
 //!    optimal threshold);
-//! 2. the application-level whiteboard-camera decision improvement,
+//! 2. whole-pool accounting at the deployment threshold;
+//! 3. the application-level whiteboard-camera decision improvement,
 //!    aggregated over several office runs.
+//!
+//! Thin wrapper over the shared experiments module; `summary` runs the same
+//! section (and all others) off one shared testbed.
 //!
 //! ```sh
 //! cargo run -p cqm-bench --bin improvement
@@ -15,92 +19,12 @@
 
 // lint: allow(PANIC_IN_LIB, file) -- experiment driver: abort loudly on setup failure instead of degrading
 
-use cqm_appliance::office::{run_office, OfficeConfig};
-use cqm_bench::{evaluation_pool, labeled_qualities, paper_testbed, select_test_set};
-use cqm_core::filter::QualityFilter;
-use cqm_stats::mle::QualityGroups;
-use cqm_stats::threshold::optimal_threshold;
+use cqm_bench::experiments::{paper_eval, run_improvement};
+use cqm_bench::paper_testbed;
 
 fn main() {
     println!("== IMP33: discard rate and decision improvement ==\n");
     let testbed = paper_testbed(2007);
-
-    // --- Part 1: the paper's 24-point accounting. §3.2 derives the optimal
-    // threshold from the statistical analysis of the test set itself (the
-    // Fig. 6 densities), then filters that same set.
-    let pool = evaluation_pool(&testbed, 550, 2);
-    let set = select_test_set(&pool, 16, 8);
-    let groups = QualityGroups::fit_labeled(&labeled_qualities(&set)).expect("both outcomes");
-    let threshold = optimal_threshold(&groups)
-        .expect("informative measure")
-        .value
-        .clamp(0.0, 1.0);
-    let filter = QualityFilter::new(threshold).expect("valid threshold");
-    let labeled: Vec<_> = set.iter().map(|s| (s.quality, s.right)).collect();
-    let outcome = filter.evaluate(&labeled);
-    println!("-- 24-point test set (16 right / 8 wrong), threshold s = {threshold:.3} (paper: 0.81) --");
-    println!("  {outcome}");
-    println!(
-        "  discard rate            : {:5.1}%   (paper: 33% = all wrong ones)",
-        100.0 * outcome.discard_rate()
-    );
-    println!(
-        "  accuracy before filter  : {:5.1}%   (paper: 66.7%)",
-        100.0 * outcome.accuracy_before()
-    );
-    println!(
-        "  accuracy after filter   : {:5.1}%   (paper: 100%)",
-        100.0 * outcome.accuracy_after()
-    );
-    println!(
-        "  improvement             : {:+5.1} percentage points (paper: +33.3)",
-        100.0 * outcome.improvement()
-    );
-
-    // --- Part 2: whole-pool accounting (honest large-sample version) at
-    // the *deployment* threshold learned during training.
-    let deploy_threshold = testbed.build.trained_cqm.threshold.value.clamp(0.0, 1.0);
-    let deploy_filter = QualityFilter::new(deploy_threshold).expect("valid threshold");
-    let labeled_pool: Vec<_> = pool.iter().map(|s| (s.quality, s.right)).collect();
-    let pool_outcome = deploy_filter.evaluate(&labeled_pool);
-    println!(
-        "\n-- full evaluation pool ({} windows), deployment threshold s = {deploy_threshold:.3} --",
-        pool.len()
-    );
-    println!("  {pool_outcome}");
-
-    // --- Part 3: application-level camera decision, aggregated.
-    println!("\n-- whiteboard camera decision (aggregate over 6 office runs) --");
-    let mut agg = [[0usize; 3]; 2];
-    for seed in 0..6u64 {
-        let config = OfficeConfig {
-            seed: seed * 131 + 11,
-            ..OfficeConfig::default()
-        };
-        let report = run_office(&config).expect("office run");
-        for (i, s) in [&report.with_quality, &report.without_quality]
-            .iter()
-            .enumerate()
-        {
-            agg[i][0] += s.camera.correct;
-            agg[i][1] += s.camera.false_triggers;
-            agg[i][2] += s.camera.missed;
-        }
-    }
-    for (label, row) in [("with CQM   ", agg[0]), ("without CQM", agg[1])] {
-        let acc = row[0] as f64 / (row[0] + row[1] + row[2]) as f64;
-        println!(
-            "  {label}: {} correct, {} false, {} missed  -> decision accuracy {:.1}%",
-            row[0],
-            row[1],
-            row[2],
-            100.0 * acc
-        );
-    }
-    let with_acc = agg[0][0] as f64 / (agg[0][0] + agg[0][1] + agg[0][2]) as f64;
-    let without_acc = agg[1][0] as f64 / (agg[1][0] + agg[1][1] + agg[1][2]) as f64;
-    println!(
-        "  improvement: {:+.1} percentage points (paper: +33 on their example)",
-        100.0 * (with_acc - without_acc)
-    );
+    let eval = paper_eval(&testbed);
+    run_improvement(&testbed, &eval);
 }

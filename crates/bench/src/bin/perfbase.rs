@@ -1,0 +1,325 @@
+//! PERFBASE — the performance baseline harness (PR 4).
+//!
+//! Times the four hot paths (subtractive clustering, ANFIS training,
+//! single-sample FIS evaluation, batch FIS evaluation) serially and on
+//! worker pools of 1/2/4/8 threads, asserts serial/parallel bit-identity
+//! on the way, and writes the results as `BENCH_PR4.json` (schema
+//! documented in `cqm_bench::perf`).
+//!
+//! ```sh
+//! cargo run --release -p cqm-bench --bin perfbase            # full sizes
+//! cargo run --release -p cqm-bench --bin perfbase -- --smoke # CI gate
+//! cargo run --release -p cqm-bench --bin perfbase -- --out /tmp/perf.json
+//! ```
+//!
+//! `--smoke` shrinks the workloads to CI size and applies the core-aware
+//! performance gate (`PerfBaseline::gate`): on a ≥4-core machine the pooled
+//! clustering path must not be slower than serial; on fewer cores only
+//! bounded dispatch overhead is accepted, because a 4-thread pool cannot
+//! physically beat serial there (determinism guarantees the speedup carries
+//! over unchanged to multicore hardware).
+
+// lint: allow(PANIC_IN_LIB, file) -- perf driver: abort loudly on setup failure instead of degrading
+
+use std::process::ExitCode;
+
+use cqm_anfis::{train_hybrid_with, Dataset, HybridConfig};
+use cqm_fuzzy::TskFis;
+use cqm_bench::perf::{available_cores, time_best, PerfBaseline, Section, ThreadTiming, SCHEMA, THREAD_COUNTS};
+use cqm_cluster::subtractive::{SubtractiveClustering, SubtractiveParams};
+use cqm_parallel::WorkerPool;
+
+/// Deterministic synthetic points: a plain LCG so the workload is identical
+/// on every run and machine (no RNG crate, no wall-clock seeding).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_unit(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // Top 53 bits -> [0, 1).
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn synth_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = Lcg(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.next_unit() * 4.0 - 2.0).collect())
+        .collect()
+}
+
+/// A smooth nonlinear target over 2 inputs for the training workload.
+fn synth_dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = Lcg(seed);
+    let mut data = Dataset::new(2);
+    for _ in 0..n {
+        let a = rng.next_unit() * 2.0 - 1.0;
+        let b = rng.next_unit() * 2.0 - 1.0;
+        let y = (3.0 * a).sin() * 0.5 + b * b - 0.3 * a * b;
+        data.push(vec![a, b], y).expect("finite sample");
+    }
+    data
+}
+
+fn pools() -> Vec<(usize, WorkerPool)> {
+    THREAD_COUNTS
+        .iter()
+        .map(|&t| (t, WorkerPool::new(t)))
+        .collect()
+}
+
+fn section_clustering(smoke: bool, reps: usize) -> Section {
+    let n = if smoke { 400 } else { 2000 };
+    let data = synth_points(n, 3, 0xC1);
+    let clustering = SubtractiveClustering::new(SubtractiveParams {
+        radius: 0.4,
+        ..SubtractiveParams::default()
+    });
+
+    let reference = clustering.cluster(&data).expect("clustering");
+    let serial_millis = time_best(reps, || {
+        let r = clustering.cluster(&data).expect("clustering");
+        assert_eq!(r.centers.len(), reference.centers.len());
+    });
+    let threaded = pools()
+        .iter()
+        .map(|(t, pool)| {
+            let r = clustering.cluster_with(&data, pool).expect("clustering");
+            // Bit-identity between serial and every pooled run — the
+            // property the whole runtime is built on.
+            assert_eq!(r.centers.len(), reference.centers.len(), "threads={t}");
+            for (a, b) in r.centers.iter().zip(&reference.centers) {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "threads={t}");
+                }
+            }
+            ThreadTiming {
+                threads: *t,
+                millis: time_best(reps, || {
+                    clustering.cluster_with(&data, pool).expect("clustering");
+                }),
+            }
+        })
+        .collect();
+    Section {
+        name: "clustering".into(),
+        workload: format!("subtractive clustering, n={n} points, d=3, radius 0.4"),
+        serial_millis,
+        threaded,
+    }
+}
+
+fn section_anfis(smoke: bool, reps: usize) -> Section {
+    let n = if smoke { 200 } else { 600 };
+    let data = synth_dataset(n, 0xA2);
+    let params = cqm_anfis::GenfisParams::with_radius(0.5);
+    let base = cqm_anfis::genfis(&data, &params).expect("genfis");
+    let epochs = 3usize;
+    let config = HybridConfig {
+        epochs,
+        patience: epochs,
+        ..HybridConfig::default()
+    };
+
+    let mut reference: Option<TskFis> = None;
+    let serial_millis = time_best(reps, || {
+        let mut fis = base.clone();
+        train_hybrid_with(&mut fis, &data, None, &config, &WorkerPool::serial()).expect("training");
+        reference = Some(fis);
+    });
+    let reference = reference.expect("at least one rep");
+    let threaded = pools()
+        .iter()
+        .map(|(t, pool)| ThreadTiming {
+            threads: *t,
+            millis: time_best(reps, || {
+                let mut fis = base.clone();
+                train_hybrid_with(&mut fis, &data, None, &config, pool).expect("training");
+                assert_eq!(fis.rules().len(), reference.rules().len(), "threads={t}");
+            }),
+        })
+        .collect();
+    Section {
+        name: "anfis_epoch".into(),
+        workload: format!("hybrid training, n={n} samples, dim=2, {epochs} epochs"),
+        serial_millis,
+        threaded,
+    }
+}
+
+fn section_eval_single(fis: &TskFis, reps: usize) -> Section {
+    let inputs = synth_points(2000, fis.input_dim(), 0xE5)
+        .into_iter()
+        .map(|v| v.into_iter().map(|x| x * 0.4).collect::<Vec<f64>>())
+        .collect::<Vec<_>>();
+
+    let serial_millis = time_best(reps, || {
+        let mut acc = 0.0f64;
+        for v in &inputs {
+            acc += fis.eval(v).expect("eval");
+        }
+        assert!(acc.is_finite());
+    });
+    let kernel = fis.kernel();
+    let mut scratch = cqm_fuzzy::TskScratch::with_rules(kernel.rule_count());
+    let kernel_millis = time_best(reps, || {
+        let mut acc = 0.0f64;
+        for v in &inputs {
+            acc += kernel.eval_into(v, &mut scratch).expect("eval");
+        }
+        assert!(acc.is_finite());
+    });
+    Section {
+        name: "eval_single".into(),
+        workload: format!(
+            "2000 single-sample evals, {} rules, dim={} (threaded[0] = allocation-free kernel)",
+            fis.rules().len(),
+            fis.input_dim()
+        ),
+        serial_millis,
+        threaded: vec![ThreadTiming {
+            threads: 1,
+            millis: kernel_millis,
+        }],
+    }
+}
+
+fn section_eval_batch(fis: &TskFis, smoke: bool, reps: usize) -> Section {
+    let n = if smoke { 1000 } else { 5000 };
+    let inputs = synth_points(n, fis.input_dim(), 0xB7)
+        .into_iter()
+        .map(|v| v.into_iter().map(|x| x * 0.4).collect::<Vec<f64>>())
+        .collect::<Vec<_>>();
+
+    let reference = fis.eval_batch(&inputs).expect("batch eval");
+    let serial_millis = time_best(reps, || {
+        let out = fis.eval_batch(&inputs).expect("batch eval");
+        assert_eq!(out.len(), inputs.len());
+    });
+    let threaded = pools()
+        .iter()
+        .map(|(t, pool)| {
+            let out = fis.eval_batch_with(&inputs, pool).expect("batch eval");
+            for (a, b) in out.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={t}");
+            }
+            ThreadTiming {
+                threads: *t,
+                millis: time_best(reps, || {
+                    fis.eval_batch_with(&inputs, pool).expect("batch eval");
+                }),
+            }
+        })
+        .collect();
+    Section {
+        name: "eval_batch".into(),
+        workload: format!("batch eval, n={n} rows, {} rules", fis.rules().len()),
+        serial_millis,
+        threaded,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    let reps = if smoke { 4 } else { 3 };
+
+    println!("== perfbase: performance baseline ({}) ==", if smoke { "smoke" } else { "full" });
+    let cores = available_cores();
+    println!("available parallelism: {cores} core(s)\n");
+
+    println!("[1/4] clustering ...");
+    let clustering = section_clustering(smoke, reps);
+    println!("[2/4] anfis training ...");
+    let anfis = section_anfis(smoke, reps);
+
+    // Reuse a trained FIS for the evaluation sections.
+    let data = synth_dataset(if smoke { 200 } else { 600 }, 0xA2);
+    let mut fis = cqm_anfis::genfis(&data, &cqm_anfis::GenfisParams::with_radius(0.5)).expect("genfis");
+    train_hybrid_with(
+        &mut fis,
+        &data,
+        None,
+        &HybridConfig {
+            epochs: 3,
+            patience: 3,
+            ..HybridConfig::default()
+        },
+        &WorkerPool::auto(),
+    )
+    .expect("training");
+
+    println!("[3/4] single-sample eval ...");
+    let eval_single = section_eval_single(&fis, reps);
+    println!("[4/4] batch eval ...");
+    let eval_batch = section_eval_batch(&fis, smoke, reps);
+
+    let baseline = PerfBaseline {
+        schema: SCHEMA.to_string(),
+        smoke,
+        available_parallelism: cores,
+        sections: vec![clustering, anfis, eval_single, eval_batch],
+    };
+
+    println!("\n{:14} {:>10} {:>8} {:>8} {:>8} {:>8}", "section", "serial", "t=1", "t=2", "t=4", "t=8");
+    for s in &baseline.sections {
+        let cell = |t: usize| {
+            s.millis_at(t)
+                .map_or_else(|| "-".to_string(), |m| format!("{m:.2}"))
+        };
+        println!(
+            "{:14} {:>10.2} {:>8} {:>8} {:>8} {:>8}",
+            s.name,
+            s.serial_millis,
+            cell(1),
+            cell(2),
+            cell(4),
+            cell(8)
+        );
+    }
+    if let Some(speedup) = baseline
+        .section("clustering")
+        .and_then(|s| s.speedup_at(4))
+    {
+        println!("\nclustering speedup at 4 threads: {speedup:.2}x (on {cores} core(s))");
+    }
+
+    let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
+    std::fs::write(&out_path, &json).expect("write baseline file");
+    println!("wrote {out_path}");
+
+    // Validate by re-parsing what was actually written.
+    let written = std::fs::read_to_string(&out_path).expect("read baseline back");
+    let parsed: PerfBaseline = match serde_json::from_str(&written) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("perfbase: written JSON does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = parsed.validate() {
+        eprintln!("perfbase: schema validation failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("schema validation: ok ({SCHEMA})");
+
+    if smoke {
+        match parsed.gate() {
+            Ok(()) => println!("perf gate: ok"),
+            Err(e) => {
+                eprintln!("perfbase: perf gate failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

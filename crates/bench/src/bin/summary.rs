@@ -1,7 +1,7 @@
-//! One-shot reproduction summary: runs the core experiment pipeline once
-//! and prints the paper-vs-measured table (a fast, self-contained
-//! cross-check of EXPERIMENTS.md; the per-experiment binaries give the full
-//! detail).
+//! One-shot reproduction summary: trains the testbed **once**, builds the
+//! evaluation pool **once**, then runs every paper experiment section off
+//! the shared state (the per-experiment binaries remain as thin wrappers
+//! for focused output; historically each of them retrained the testbed).
 //!
 //! ```sh
 //! cargo run --release -p cqm-bench --bin summary
@@ -9,63 +9,24 @@
 
 // lint: allow(PANIC_IN_LIB, file) -- experiment driver: abort loudly on setup failure instead of degrading
 
-use cqm_bench::{evaluation_pool, labeled_qualities, paper_testbed, select_test_set};
-use cqm_core::filter::QualityFilter;
-use cqm_stats::bootstrap::auc_ci;
-use cqm_stats::mle::QualityGroups;
-use cqm_stats::probabilities::TailProbabilities;
-use cqm_stats::separation::auc;
-use cqm_stats::threshold::optimal_threshold;
+use cqm_bench::experiments::{paper_eval, run_fig5, run_fig6, run_improvement, run_summary};
+use cqm_bench::paper_testbed;
 
 fn main() {
     println!("== CQM reproduction summary ==\n");
-    println!("training the AwarePen testbed (seed 2007)...");
+    println!("training the AwarePen testbed (seed 2007, once for all sections)...");
     let testbed = paper_testbed(2007);
-    let pool = evaluation_pool(&testbed, 550, 2);
-    let set = select_test_set(&pool, 16, 8);
-    let labeled = labeled_qualities(&set);
-    let groups = QualityGroups::fit_labeled(&labeled).expect("both outcomes");
-    let threshold = optimal_threshold(&groups).expect("informative measure");
-    let probs = TailProbabilities::at(&groups, &threshold);
-    let filter = QualityFilter::new(threshold.value.clamp(0.0, 1.0)).expect("filter");
-    let outcome = filter.evaluate(&set.iter().map(|s| (s.quality, s.right)).collect::<Vec<_>>());
-    let set_auc = auc(&labeled).expect("auc");
-    let ci = auc_ci(&labeled, 400, 0.95, 42).expect("bootstrap");
+    let eval = paper_eval(&testbed);
 
-    println!("\n{:38} {:>10} {:>12}", "quantity", "paper", "measured");
-    println!("{}", "-".repeat(64));
-    let row = |name: &str, paper: &str, measured: String| {
-        println!("{name:38} {paper:>10} {measured:>12}");
-    };
-    row("optimal threshold s", "0.81", format!("{:.3}", threshold.value));
-    row("right-group mean", "~0.95", format!("{:.3}", groups.right.mu()));
-    row("wrong-group mean", "~0.3", format!("{:.3}", groups.wrong.mu()));
-    row(
-        "P(right|q>s) = P(wrong|q<s)",
-        "0.8112",
-        format!("{:.3}", probs.selection_right),
-    );
-    row("P(right|q<s)", "0.0846", format!("{:.3}", probs.false_negative));
-    row("P(wrong|q>s)", "0.0217", format!("{:.3}", probs.false_positive));
-    row(
-        "discard rate (24-pt set)",
-        "33%",
-        format!("{:.1}%", 100.0 * outcome.discard_rate()),
-    );
-    row(
-        "accuracy before -> after",
-        "67->100%",
-        format!(
-            "{:.0}->{:.0}%",
-            100.0 * outcome.accuracy_before(),
-            100.0 * outcome.accuracy_after()
-        ),
-    );
-    row("24-pt AUC", "1.0 impl.", format!("{set_auc:.3}"));
-    row(
-        "24-pt AUC 95% bootstrap CI",
-        "n/a",
-        format!("[{:.2},{:.2}]", ci.lo, ci.hi),
-    );
-    println!("\nsee EXPERIMENTS.md for the full per-experiment record and deviations");
+    println!("\n---- paper-vs-measured table ----");
+    run_summary(&eval);
+
+    println!("\n---- fig. 5: quality scatter ----");
+    run_fig5(&eval);
+
+    println!("\n---- fig. 6: densities and threshold ----");
+    run_fig6(&eval);
+
+    println!("\n---- improvement accounting ----");
+    run_improvement(&testbed, &eval);
 }

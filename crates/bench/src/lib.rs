@@ -24,9 +24,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod experiments;
+pub mod perf;
+
 use cqm_appliance::pen::{train_pen, PenBuild};
 use cqm_core::classifier::Classifier;
 use cqm_core::normalize::Quality;
+use cqm_core::quality::QualityScratch;
+use cqm_parallel::WorkerPool;
 use cqm_sensors::node::{NodeConfig, SensorNode};
 use cqm_sensors::synth::Scenario;
 use cqm_sensors::user::UserStyle;
@@ -75,46 +80,70 @@ pub fn paper_testbed(seed: u64) -> Testbed {
 ///
 /// Panics on simulation failure (fixed configurations, covered by tests).
 pub fn evaluation_pool(testbed: &Testbed, seed: u64, sessions: usize) -> Vec<EvalSample> {
+    evaluation_pool_with(testbed, seed, sessions, &WorkerPool::serial())
+}
+
+/// [`evaluation_pool`] on a worker pool: each (session, style) simulation is
+/// an independent work item (its RNG seed is a pure function of the indices,
+/// never of scheduling), and the per-item results are concatenated in the
+/// same nested order the serial loop uses — so the pool contents are
+/// identical at any thread count. Quality values are evaluated through the
+/// allocation-free [`cqm_core::QualityKernel`], which is bit-identical to
+/// `QualityMeasure::measure`.
+///
+/// # Panics
+///
+/// Panics on simulation failure (fixed configurations, covered by tests).
+pub fn evaluation_pool_with(
+    testbed: &Testbed,
+    seed: u64,
+    sessions: usize,
+    pool: &WorkerPool,
+) -> Vec<EvalSample> {
     let mut styles = UserStyle::population();
     // A style outside the training population: very vigorous and quick.
     styles.push(UserStyle::new(2.6, 1.9, 0.3).expect("valid style"));
     let scenario = Scenario::write_think_write()
         .expect("built-in scenario")
         .then(&Scenario::balanced_session().expect("built-in scenario"));
-    let mut pool = Vec::new();
+    let mut jobs: Vec<(usize, usize, UserStyle)> = Vec::new();
     for session in 0..sessions {
         for (si, style) in styles.iter().enumerate() {
-            let node_seed = seed
-                .wrapping_mul(0x100000001B3)
-                .wrapping_add((session * 97 + si) as u64);
-            let mut node = SensorNode::new(NodeConfig::default(), *style, node_seed)
-                .expect("valid node config");
-            let windows = node.run_scenario(&scenario).expect("scenario run");
-            for w in windows {
-                let class = testbed
-                    .build
-                    .classifier
-                    .classify(&w.cues)
-                    .expect("classification");
-                let predicted = Context::from_index(class.0).expect("valid class");
-                let quality = testbed
-                    .build
-                    .trained_cqm
-                    .measure
-                    .measure(&w.cues, class)
-                    .expect("quality");
-                pool.push(EvalSample {
-                    cues: w.cues,
-                    truth: w.truth,
-                    predicted,
-                    right: predicted == w.truth,
-                    quality,
-                    is_transition: w.is_transition,
-                });
-            }
+            jobs.push((session, si, *style));
         }
     }
-    pool
+    let kernel = testbed.build.trained_cqm.measure.kernel();
+    let per_job = pool.par_map_chunks(&jobs, 1, |_, &(session, si, style)| {
+        let node_seed = seed
+            .wrapping_mul(0x100000001B3)
+            .wrapping_add((session * 97 + si) as u64);
+        let mut node =
+            SensorNode::new(NodeConfig::default(), style, node_seed).expect("valid node config");
+        let windows = node.run_scenario(&scenario).expect("scenario run");
+        let mut scratch = QualityScratch::new();
+        let mut out = Vec::with_capacity(windows.len());
+        for w in windows {
+            let class = testbed
+                .build
+                .classifier
+                .classify(&w.cues)
+                .expect("classification");
+            let predicted = Context::from_index(class.0).expect("valid class");
+            let quality = kernel
+                .measure_into(&w.cues, class, &mut scratch)
+                .expect("quality");
+            out.push(EvalSample {
+                cues: w.cues,
+                truth: w.truth,
+                predicted,
+                right: predicted == w.truth,
+                quality,
+                is_transition: w.is_transition,
+            });
+        }
+        out
+    });
+    per_job.into_iter().flatten().collect()
 }
 
 /// Deterministically select a small hard test set with the paper's
@@ -198,5 +227,24 @@ mod tests {
         assert_eq!(scatter.lines().count(), 24);
         assert!(scatter.contains('o'));
         assert!(scatter.contains('+') || scatter.contains("epsilon"));
+
+        // The pool contents are a pure function of (seed, sessions) — never
+        // of the worker count (reuses the already-trained testbed because
+        // training dominates this test's runtime).
+        for threads in [2usize, 8] {
+            let threaded = evaluation_pool_with(&testbed, 77, 1, &WorkerPool::new(threads));
+            assert_eq!(threaded.len(), pool.len(), "threads={threads}");
+            for (a, b) in threaded.iter().zip(&pool) {
+                assert_eq!(a.truth, b.truth, "threads={threads}");
+                assert_eq!(a.predicted, b.predicted, "threads={threads}");
+                assert_eq!(a.is_transition, b.is_transition, "threads={threads}");
+                match (a.quality, b.quality) {
+                    (Quality::Value(va), Quality::Value(vb)) => {
+                        assert_eq!(va.to_bits(), vb.to_bits(), "threads={threads}");
+                    }
+                    (qa, qb) => assert_eq!(qa, qb, "threads={threads}"),
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,322 @@
+//! Performance baseline harness behind the `perfbase` binary.
+//!
+//! Times the four hot paths of the runtime — subtractive clustering, one
+//! ANFIS training run, single-sample FIS evaluation and batch FIS
+//! evaluation — serial and on worker pools of 1/2/4/8 threads, and writes
+//! the results as `BENCH_PR4.json`.
+//!
+//! # `BENCH_PR4.json` schema (`cqm-bench/perfbase/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "cqm-bench/perfbase/v1",
+//!   "smoke": false,
+//!   "available_parallelism": 8,
+//!   "sections": [
+//!     {
+//!       "name": "clustering",
+//!       "workload": "subtractive clustering, n=2000 points, d=3",
+//!       "serial_millis": 123.4,
+//!       "threaded": [
+//!         { "threads": 1, "millis": 124.0 },
+//!         { "threads": 2, "millis": 63.1 },
+//!         { "threads": 4, "millis": 33.0 },
+//!         { "threads": 8, "millis": 30.9 }
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! * `schema` — exact constant [`SCHEMA`]; bump on layout changes.
+//! * `smoke` — whether the fast CI workload sizes were used.
+//! * `available_parallelism` — cores visible to the process when the
+//!   numbers were taken; timings from a 1-core container show ≈1.0×
+//!   "speedups" by construction and must be read alongside this field.
+//! * `sections[*].name` — one of `clustering`, `anfis_epoch`,
+//!   `eval_single`, `eval_batch` (all four required).
+//! * `sections[*].serial_millis` — wall-clock milliseconds of the plain
+//!   serial API (`cluster`, `train_hybrid`, `eval`, `eval_batch`).
+//! * `sections[*].threaded` — wall-clock milliseconds of the pooled API at
+//!   each thread count; `clustering`, `anfis_epoch` and `eval_batch` carry
+//!   all of 1/2/4/8, `eval_single` carries a single `threads: 1` entry
+//!   timing the allocation-free kernel path (thread pools do not apply to
+//!   one sample).
+//!
+//! Every pooled path is bit-identical to its serial counterpart at any
+//! thread count (the property the runtime is built around), so timings on
+//! multi-core machines measure the same computation, not a numerically
+//! different one.
+
+// lint: allow(PANIC_IN_LIB, file) -- perf driver: abort loudly on setup failure instead of degrading
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// Schema identifier written to and expected in `BENCH_PR4.json`.
+pub const SCHEMA: &str = "cqm-bench/perfbase/v1";
+
+/// Thread counts every multi-threaded section must cover.
+pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Section names that must be present in a valid baseline.
+pub const SECTION_NAMES: [&str; 4] = ["clustering", "anfis_epoch", "eval_single", "eval_batch"];
+
+/// Wall-clock timing of one pooled run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadTiming {
+    /// Worker-pool thread count.
+    pub threads: usize,
+    /// Best-of-reps wall-clock milliseconds.
+    pub millis: f64,
+}
+
+/// One timed hot path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Section {
+    /// Section name (see [`SECTION_NAMES`]).
+    pub name: String,
+    /// Human-readable workload description (sizes, dimensions).
+    pub workload: String,
+    /// Best-of-reps wall-clock milliseconds of the serial API.
+    pub serial_millis: f64,
+    /// Pooled timings per thread count.
+    pub threaded: Vec<ThreadTiming>,
+}
+
+impl Section {
+    /// Pooled milliseconds at `threads`, if that count was measured.
+    pub fn millis_at(&self, threads: usize) -> Option<f64> {
+        self.threaded
+            .iter()
+            .find(|t| t.threads == threads)
+            .map(|t| t.millis)
+    }
+
+    /// `serial / threaded` speedup factor at `threads`.
+    pub fn speedup_at(&self, threads: usize) -> Option<f64> {
+        self.millis_at(threads).map(|m| self.serial_millis / m)
+    }
+}
+
+/// The complete `BENCH_PR4.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfBaseline {
+    /// Schema identifier ([`SCHEMA`]).
+    pub schema: String,
+    /// Whether smoke (CI-sized) workloads were used.
+    pub smoke: bool,
+    /// Cores visible to the process at measurement time.
+    pub available_parallelism: usize,
+    /// The timed hot paths.
+    pub sections: Vec<Section>,
+}
+
+impl PerfBaseline {
+    /// Look up a section by name.
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// Validate the document against the schema contract: identifier,
+    /// required sections, required thread counts, positive finite timings.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != SCHEMA {
+            return Err(format!("schema is {:?}, expected {SCHEMA:?}", self.schema));
+        }
+        if self.available_parallelism == 0 {
+            return Err("available_parallelism must be >= 1".into());
+        }
+        for name in SECTION_NAMES {
+            let section = self
+                .section(name)
+                .ok_or_else(|| format!("missing section {name:?}"))?;
+            if !(section.serial_millis > 0.0 && section.serial_millis.is_finite()) {
+                return Err(format!(
+                    "section {name:?}: serial_millis {} not positive finite",
+                    section.serial_millis
+                ));
+            }
+            if section.workload.is_empty() {
+                return Err(format!("section {name:?}: empty workload description"));
+            }
+            for t in &section.threaded {
+                if !(t.millis > 0.0 && t.millis.is_finite()) {
+                    return Err(format!(
+                        "section {name:?}: threads={} millis {} not positive finite",
+                        t.threads, t.millis
+                    ));
+                }
+            }
+            let required: &[usize] = if name == "eval_single" {
+                &[1]
+            } else {
+                &THREAD_COUNTS
+            };
+            for &threads in required {
+                if section.millis_at(threads).is_none() {
+                    return Err(format!(
+                        "section {name:?}: missing timing for {threads} threads"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The CI performance gate: the pooled clustering path at 4 threads must
+    /// not be slower than the serial path. The tolerance is core-aware —
+    /// with at least 4 cores the pool must genuinely win (ratio ≤ 1.0 with a
+    /// small noise margin); on fewer cores a 4-thread pool cannot physically
+    /// beat serial, so only bounded dispatch overhead is accepted (the
+    /// determinism guarantee means the speedup materialises unchanged on
+    /// multicore hardware).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violation.
+    pub fn gate(&self) -> Result<(), String> {
+        let section = self
+            .section("clustering")
+            .ok_or_else(|| "missing clustering section".to_string())?;
+        let t4 = section
+            .millis_at(4)
+            .ok_or_else(|| "clustering: no 4-thread timing".to_string())?;
+        let ratio = t4 / section.serial_millis;
+        let limit = if self.available_parallelism >= 4 {
+            1.05
+        } else {
+            // On fewer cores the 4 threads time-slice one another; allow
+            // scheduling overhead but still catch pathological slowdowns.
+            1.5
+        };
+        if ratio > limit {
+            return Err(format!(
+                "clustering at 4 threads is {ratio:.2}x the serial time \
+                 (limit {limit:.2} on {} cores): serial {:.2} ms vs pooled {:.2} ms",
+                self.available_parallelism, section.serial_millis, t4
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Cores visible to this process (1 if the runtime cannot tell).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Best-of-`reps` wall-clock milliseconds of `f`.
+pub fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline(cores: usize, clustering_t4: f64) -> PerfBaseline {
+        let full = |name: &str, t4: f64| Section {
+            name: name.into(),
+            workload: "test".into(),
+            serial_millis: 100.0,
+            threaded: THREAD_COUNTS
+                .iter()
+                .map(|&threads| ThreadTiming {
+                    threads,
+                    millis: if threads == 4 { t4 } else { 100.0 },
+                })
+                .collect(),
+        };
+        PerfBaseline {
+            schema: SCHEMA.into(),
+            smoke: true,
+            available_parallelism: cores,
+            sections: vec![
+                full("clustering", clustering_t4),
+                full("anfis_epoch", 100.0),
+                Section {
+                    name: "eval_single".into(),
+                    workload: "test".into(),
+                    serial_millis: 1.0,
+                    threaded: vec![ThreadTiming {
+                        threads: 1,
+                        millis: 0.8,
+                    }],
+                },
+                full("eval_batch", 100.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_baseline_passes() {
+        let b = baseline(1, 110.0);
+        b.validate().unwrap();
+        assert!(b.section("clustering").is_some());
+        assert!((b.section("eval_single").unwrap().speedup_at(1).unwrap() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_schema_drift() {
+        let mut b = baseline(1, 100.0);
+        b.schema = "other/v0".into();
+        assert!(b.validate().is_err());
+
+        let mut b = baseline(1, 100.0);
+        b.sections.retain(|s| s.name != "anfis_epoch");
+        assert!(b.validate().unwrap_err().contains("anfis_epoch"));
+
+        let mut b = baseline(1, 100.0);
+        b.sections[0].threaded.retain(|t| t.threads != 8);
+        assert!(b.validate().unwrap_err().contains("8 threads"));
+
+        let mut b = baseline(1, 100.0);
+        b.sections[0].serial_millis = 0.0;
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn gate_is_core_aware() {
+        // 1 core: 4-thread pool may cost bounded overhead but not more.
+        assert!(baseline(1, 145.0).gate().is_ok());
+        assert!(baseline(1, 160.0).gate().is_err());
+        // >= 4 cores: the pool must not be slower than serial.
+        assert!(baseline(8, 100.0).gate().is_ok());
+        assert!(baseline(8, 120.0).gate().is_err());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let b = baseline(2, 100.0);
+        let json = serde_json::to_string_pretty(&b).expect("serialize");
+        let back: PerfBaseline = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, b);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn time_best_measures_something() {
+        let ms = time_best(3, || {
+            let mut acc = 0.0f64;
+            for i in 0..10_000 {
+                acc += (i as f64).sqrt();
+            }
+            assert!(acc > 0.0);
+        });
+        assert!(ms > 0.0 && ms.is_finite());
+    }
+}

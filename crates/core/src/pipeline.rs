@@ -5,14 +5,20 @@
 //! (§2.1.1) — [`CqmSystem::classify_with_quality`] performs exactly that
 //! interconnection on every sample.
 
+use cqm_parallel::WorkerPool;
 use serde::{Deserialize, Serialize};
 
 use crate::classifier::{ClassId, Classifier};
 use crate::filter::{Decision, QualityFilter};
 use crate::normalize::Quality;
-use crate::quality::QualityMeasure;
+use crate::quality::{QualityKernel, QualityMeasure, QualityScratch};
 use crate::training::TrainedCqm;
 use crate::{CqmError, Result};
+
+/// Cue vectors per parallel work item in [`CqmSystem::classify_batch_with`].
+/// Rows are independent, so any chunking yields identical results; this only
+/// balances scheduling granularity against dispatch overhead.
+const CLASSIFY_CHUNK: usize = 64;
 
 /// A context classification annotated with its quality and filter decision.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -110,6 +116,64 @@ impl<C: Classifier> CqmSystem<C> {
     pub fn classify_batch(&self, batch: &[Vec<f64>]) -> Result<Vec<QualifiedClassification>> {
         batch.iter().map(|c| self.classify_with_quality(c)).collect()
     }
+
+    /// Build the allocation-free quality evaluator for this system's
+    /// measure (see [`QualityKernel`]).
+    pub fn quality_kernel(&self) -> QualityKernel {
+        self.measure.kernel()
+    }
+
+    /// [`CqmSystem::classify_with_quality`] through a prebuilt
+    /// [`QualityKernel`] and caller-provided scratch: the quality evaluation
+    /// allocates nothing in the steady state and the result is bit-identical
+    /// to the plain path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CqmSystem::classify_with_quality`].
+    // lint: allow(ASSERT_DENSITY) -- cue validation lives in QualityKernel::raw_into, which rejects bad input via Result
+    pub fn classify_with_quality_into(
+        &self,
+        cues: &[f64],
+        kernel: &QualityKernel,
+        scratch: &mut QualityScratch,
+    ) -> Result<QualifiedClassification> {
+        let class = self.classifier.classify(cues)?;
+        let quality = kernel.measure_into(cues, class, scratch)?;
+        Ok(QualifiedClassification {
+            class,
+            quality,
+            decision: self.filter.decide(quality),
+        })
+    }
+
+    /// Classify a batch on a worker pool. Rows are independent, so the
+    /// outputs are bit-identical to [`CqmSystem::classify_batch`] at any
+    /// thread count; the error propagated is always the first by row index.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CqmSystem::classify_with_quality`].
+    // lint: allow(ASSERT_DENSITY) -- delegates row-wise to classify_with_quality_into, which validates via Result
+    pub fn classify_batch_with(
+        &self,
+        batch: &[Vec<f64>],
+        pool: &WorkerPool,
+    ) -> Result<Vec<QualifiedClassification>>
+    where
+        C: Sync,
+    {
+        let kernel = self.quality_kernel();
+        let parts = pool.run_chunks(batch.len(), CLASSIFY_CHUNK, |chunk| {
+            let mut scratch = QualityScratch::new();
+            let mut out = Vec::with_capacity(chunk.len());
+            for cues in &batch[chunk.start..chunk.end] {
+                out.push(self.classify_with_quality_into(cues, &kernel, &mut scratch));
+            }
+            out
+        });
+        parts.into_iter().flatten().collect()
+    }
 }
 
 #[cfg(test)]
@@ -199,5 +263,43 @@ mod tests {
         assert_eq!(sys.classifier().cue_dim(), 1);
         assert_eq!(sys.measure().cue_dim(), 1);
         assert!(sys.filter().threshold() >= 0.0);
+    }
+
+    #[test]
+    fn batch_with_pool_matches_serial_batch() {
+        let sys = trained_system();
+        let batch: Vec<Vec<f64>> = (0..150).map(|i| vec![i as f64 / 149.0]).collect();
+        let reference = sys.classify_batch(&batch).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            let got = sys
+                .classify_batch_with(&batch, &WorkerPool::new(threads))
+                .unwrap();
+            assert_eq!(got.len(), reference.len());
+            for (a, b) in got.iter().zip(&reference) {
+                assert_eq!(a.class, b.class, "threads={threads}");
+                assert_eq!(a.decision, b.decision, "threads={threads}");
+                match (a.quality, b.quality) {
+                    (Quality::Value(va), Quality::Value(vb)) => {
+                        assert_eq!(va.to_bits(), vb.to_bits(), "threads={threads}")
+                    }
+                    (qa, qb) => assert_eq!(qa, qb, "threads={threads}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_path_matches_plain_path() {
+        let sys = trained_system();
+        let kernel = sys.quality_kernel();
+        let mut scratch = crate::quality::QualityScratch::new();
+        for i in 0..50 {
+            let cues = vec![i as f64 / 49.0];
+            let a = sys.classify_with_quality(&cues).unwrap();
+            let b = sys
+                .classify_with_quality_into(&cues, &kernel, &mut scratch)
+                .unwrap();
+            assert_eq!(a, b);
+        }
     }
 }

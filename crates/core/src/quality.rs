@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use cqm_fuzzy::TskFis;
+use cqm_fuzzy::{TskFis, TskKernel, TskScratch};
 
 use crate::classifier::ClassId;
 use crate::normalize::{normalize, Quality};
@@ -101,6 +101,105 @@ impl QualityMeasure {
     /// caller bugs, not runtime conditions).
     pub fn measure(&self, cues: &[f64], class: ClassId) -> Result<Quality> {
         let q = match self.raw(cues, class) {
+            Ok(raw) => normalize(raw),
+            Err(CqmError::Fuzzy(cqm_fuzzy::FuzzyError::NoRuleFired)) => Quality::Epsilon,
+            Err(e) => return Err(e),
+        };
+        if cfg!(feature = "strict-math") {
+            debug_assert!(
+                q.value().map_or(true, |v| (0.0..=1.0).contains(&v)),
+                "quality left [0, 1] union eps: {q}"
+            );
+        }
+        Ok(q)
+    }
+
+    /// Build the allocation-free runtime evaluator for this measure (see
+    /// [`QualityKernel`]). The kernel snapshots the FIS: retraining requires
+    /// rebuilding it.
+    pub fn kernel(&self) -> QualityKernel {
+        QualityKernel {
+            kernel: self.fis.kernel(),
+            cue_dim: self.cue_dim(),
+        }
+    }
+}
+
+/// Reusable evaluation scratch for [`QualityKernel`]: the joint input buffer
+/// plus the FIS firing buffer. One instance per thread of control.
+#[derive(Debug, Clone, Default)]
+pub struct QualityScratch {
+    joint: Vec<f64>,
+    fis: TskScratch,
+}
+
+impl QualityScratch {
+    /// An empty scratch (sizes itself on first evaluation).
+    pub fn new() -> Self {
+        QualityScratch::default()
+    }
+}
+
+/// Flat runtime evaluator of a [`QualityMeasure`]: the struct-of-arrays TSK
+/// kernel plus the cue dimensionality. With a caller-provided
+/// [`QualityScratch`], [`QualityKernel::measure_into`] evaluates the CQM
+/// with zero steady-state heap allocations and results bit-identical to
+/// [`QualityMeasure::measure`].
+#[derive(Debug, Clone)]
+pub struct QualityKernel {
+    kernel: TskKernel,
+    cue_dim: usize,
+}
+
+impl QualityKernel {
+    /// Cue dimensionality `n`.
+    pub fn cue_dim(&self) -> usize {
+        self.cue_dim
+    }
+
+    /// Allocation-free [`QualityMeasure::raw`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QualityMeasure::raw`].
+    pub fn raw_into(
+        &self,
+        cues: &[f64],
+        class: ClassId,
+        scratch: &mut QualityScratch,
+    ) -> Result<f64> {
+        if cues.len() != self.cue_dim {
+            return Err(CqmError::InvalidInput(format!(
+                "cue vector has {} entries, quality measure expects {}",
+                cues.len(),
+                self.cue_dim
+            )));
+        }
+        if cues.iter().any(|x| !x.is_finite()) {
+            return Err(CqmError::InvalidInput(
+                "cue vector contains non-finite values".into(),
+            ));
+        }
+        scratch.joint.clear();
+        scratch.joint.reserve(cues.len() + 1);
+        scratch.joint.extend_from_slice(cues);
+        scratch.joint.push(class.as_f64());
+        Ok(self.kernel.eval_into(&scratch.joint, &mut scratch.fis)?)
+    }
+
+    /// Allocation-free [`QualityMeasure::measure`] — bit-identical output,
+    /// same ε mapping for uncovered inputs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QualityMeasure::measure`].
+    pub fn measure_into(
+        &self,
+        cues: &[f64],
+        class: ClassId,
+        scratch: &mut QualityScratch,
+    ) -> Result<Quality> {
+        let q = match self.raw_into(cues, class, scratch) {
             Ok(raw) => normalize(raw),
             Err(CqmError::Fuzzy(cqm_fuzzy::FuzzyError::NoRuleFired)) => Quality::Epsilon,
             Err(e) => return Err(e),
@@ -211,5 +310,49 @@ mod tests {
             back.measure(&[0.2], ClassId(0)).unwrap(),
             qm.measure(&[0.2], ClassId(0)).unwrap()
         );
+    }
+
+    #[test]
+    fn kernel_matches_measure_bitwise() {
+        let qm = QualityMeasure::new(agreement_fis()).unwrap();
+        let kernel = qm.kernel();
+        assert_eq!(kernel.cue_dim(), qm.cue_dim());
+        let mut scratch = QualityScratch::new();
+        let mut x = -0.2;
+        while x <= 1.2 {
+            for c in 0..2 {
+                let a = qm.measure(&[x], ClassId(c)).unwrap();
+                let b = kernel.measure_into(&[x], ClassId(c), &mut scratch).unwrap();
+                match (a, b) {
+                    (Quality::Value(va), Quality::Value(vb)) => {
+                        assert_eq!(va.to_bits(), vb.to_bits(), "x={x} c={c}")
+                    }
+                    (qa, qb) => assert_eq!(qa, qb, "x={x} c={c}"),
+                }
+                let ra = qm.raw(&[x], ClassId(c)).unwrap();
+                let rb = kernel.raw_into(&[x], ClassId(c), &mut scratch).unwrap();
+                assert_eq!(ra.to_bits(), rb.to_bits(), "raw x={x} c={c}");
+            }
+            x += 0.05;
+        }
+    }
+
+    #[test]
+    fn kernel_error_and_epsilon_parity() {
+        let qm = QualityMeasure::new(agreement_fis()).unwrap();
+        let kernel = qm.kernel();
+        let mut scratch = QualityScratch::new();
+        // Uncovered input: ε, not an error — like the measure.
+        assert!(kernel
+            .measure_into(&[1.0e5], ClassId(0), &mut scratch)
+            .unwrap()
+            .is_epsilon());
+        // Malformed cues stay errors.
+        assert!(kernel
+            .measure_into(&[0.1, 0.2], ClassId(0), &mut scratch)
+            .is_err());
+        assert!(kernel
+            .measure_into(&[f64::NAN], ClassId(0), &mut scratch)
+            .is_err());
     }
 }

@@ -17,8 +17,9 @@
 // lint: allow(PANIC_IN_LIB, file) -- training folds index datasets whose shape was validated upstream
 
 use cqm_anfis::dataset::Dataset;
-use cqm_anfis::genfis::{genfis, GenfisParams};
-use cqm_anfis::hybrid::{train_hybrid, HybridConfig, TrainReport};
+use cqm_anfis::genfis::{genfis_with, GenfisParams};
+use cqm_anfis::hybrid::{train_hybrid_with, HybridConfig, TrainReport};
+use cqm_parallel::WorkerPool;
 use cqm_stats::mle::QualityGroups;
 use cqm_stats::probabilities::TailProbabilities;
 use cqm_stats::threshold::{optimal_threshold, Threshold};
@@ -163,11 +164,31 @@ pub struct TrainedCqm {
 ///   paper's requirement of right *and* wrong samples.
 /// * [`CqmError::Anfis`] / [`CqmError::Stats`] propagated from the
 ///   substrates.
+// lint: allow(ASSERT_DENSITY) -- thin delegation; the pooled variant validates via Result
 pub fn train_cqm(
     classifier: &dyn Classifier,
     cues: &[Vec<f64>],
     truth: &[ClassId],
     config: &CqmTrainingConfig,
+) -> Result<TrainedCqm> {
+    train_cqm_with(classifier, cues, truth, config, &WorkerPool::serial())
+}
+
+/// [`train_cqm`] on a worker pool: subtractive clustering, the ANFIS hybrid
+/// loop and the analysis-set evaluation all run on `pool` with deterministic
+/// chunking, so the trained measure, threshold and probabilities are
+/// bit-identical at any thread count (including the serial pool used by
+/// [`train_cqm`]).
+///
+/// # Errors
+///
+/// Same conditions as [`train_cqm`].
+pub fn train_cqm_with(
+    classifier: &dyn Classifier,
+    cues: &[Vec<f64>],
+    truth: &[ClassId],
+    config: &CqmTrainingConfig,
+    pool: &WorkerPool,
 ) -> Result<TrainedCqm> {
     config.validate()?;
     if cues.len() != truth.len() {
@@ -234,11 +255,14 @@ pub fn train_cqm(
     let check_set = strip(&check_part)?;
 
     // 3. Automated FIS construction + hybrid learning with early stopping.
-    let mut fis = genfis(&train_set, &config.genfis)?;
-    let report = train_hybrid(&mut fis, &train_set, Some(&check_set), &config.hybrid)?;
+    let mut fis = genfis_with(&train_set, &config.genfis, pool)?;
+    let report = train_hybrid_with(&mut fis, &train_set, Some(&check_set), &config.hybrid, pool)?;
     let measure = QualityMeasure::new(fis)?;
 
-    // 4. Statistical analysis on the held-out analysis set.
+    // 4. Statistical analysis on the held-out analysis set, through the
+    //    allocation-free kernel (bit-identical to QualityMeasure::measure).
+    let kernel = measure.kernel();
+    let mut scratch = crate::quality::QualityScratch::new();
     let mut analysis_samples = Vec::with_capacity(analysis_part.len());
     let mut labeled: Vec<(f64, bool)> = Vec::new();
     for (row, target) in analysis_part.iter() {
@@ -247,7 +271,7 @@ pub fn train_cqm(
         let predicted = ClassId(row[n] as usize);
         let truth_class = ClassId(row[n + 2] as usize);
         let was_right = target > 0.5;
-        let quality = measure.measure(cue_part, predicted)?;
+        let quality = kernel.measure_into(cue_part, predicted, &mut scratch)?;
         if let Quality::Value(q) = quality {
             labeled.push((q, was_right));
         }

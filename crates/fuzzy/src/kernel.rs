@@ -1,0 +1,396 @@
+//! Struct-of-arrays TSK evaluation kernel (DESIGN.md §9).
+//!
+//! [`crate::TskFis`] stores rules as an array of structs — natural for
+//! construction and training, but every [`TskFis::eval`] walks `m` small
+//! heap objects and allocates three trace `Vec`s. The runtime path of a
+//! smart appliance evaluates the same FIS millions of times, so this module
+//! flattens the rule base once into contiguous slabs:
+//!
+//! * `mu` / `sigma` — rule-major Gaussian parameters, `m·n` each (used when
+//!   every antecedent is Gaussian — the paper's systems always are);
+//! * `antecedents` — the general rule-major membership slab, the fallback
+//!   that keeps the kernel exact for mixed shapes;
+//! * `consequents` — rule-major `m·(n+1)` linear coefficients.
+//!
+//! [`TskKernel::eval_into`] then runs the full inference with **zero heap
+//! allocations** in the steady state: the only mutable storage is a
+//! caller-provided [`TskScratch`] whose firing buffer is reused across
+//! calls. Results are bit-identical to [`TskFis::eval`] — same operations,
+//! same order — which the tests assert via `f64::to_bits`.
+//!
+//! [`TskFis::eval`]: crate::TskFis::eval
+
+// analyze: hot-path
+
+use cqm_parallel::WorkerPool;
+
+use crate::membership::MembershipFunction;
+use crate::tnorm::TNorm;
+use crate::tsk::TskFis;
+use crate::{FuzzyError, Result};
+
+/// Input rows per parallel work item in [`TskKernel::eval_batch_with`].
+const BATCH_CHUNK: usize = 64;
+
+/// Reusable per-caller evaluation scratch. One instance per thread of
+/// control; the firing buffer grows to the rule count on first use and is
+/// only reused afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct TskScratch {
+    firing: Vec<f64>,
+}
+
+impl TskScratch {
+    /// An empty scratch (sizes itself on first evaluation).
+    pub fn new() -> Self {
+        TskScratch::default()
+    }
+
+    /// A scratch pre-sized for `rules` rules, so even the first evaluation
+    /// allocates nothing.
+    pub fn with_rules(rules: usize) -> Self {
+        TskScratch {
+            firing: Vec::with_capacity(rules),
+        }
+    }
+
+    /// The firing strengths of the most recent evaluation (empty before the
+    /// first call).
+    pub fn firing(&self) -> &[f64] {
+        &self.firing
+    }
+}
+
+/// Flat struct-of-arrays snapshot of a [`TskFis`], built once per trained
+/// model and evaluated many times. Construction allocates; evaluation does
+/// not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TskKernel {
+    n_inputs: usize,
+    n_rules: usize,
+    tnorm: TNorm,
+    /// Rule-major Gaussian centers, `m·n`; meaningful iff `gaussian_only`.
+    mu: Vec<f64>,
+    /// Rule-major Gaussian widths, `m·n`; meaningful iff `gaussian_only`.
+    sigma: Vec<f64>,
+    /// Whether every antecedent is Gaussian (enables the slab fast path).
+    gaussian_only: bool,
+    /// Rule-major antecedent slab, `m·n` — the exact fallback path.
+    antecedents: Vec<MembershipFunction>,
+    /// Rule-major consequent slab, `m·(n+1)`.
+    consequents: Vec<f64>,
+}
+
+impl TskKernel {
+    /// Flatten `fis` into slabs. The kernel snapshots the FIS: later premise
+    /// or consequent updates require rebuilding it.
+    pub fn from_fis(fis: &TskFis) -> Self {
+        let n = fis.input_dim();
+        let m = fis.rule_count();
+        let mut mu = Vec::with_capacity(m * n);
+        let mut sigma = Vec::with_capacity(m * n);
+        let mut antecedents = Vec::with_capacity(m * n);
+        let mut consequents = Vec::with_capacity(m * (n + 1));
+        let mut gaussian_only = true;
+        for rule in fis.rules() {
+            for mf in rule.antecedents() {
+                if let MembershipFunction::Gaussian { mu: m_, sigma: s_ } = *mf {
+                    mu.push(m_);
+                    sigma.push(s_);
+                } else {
+                    gaussian_only = false;
+                    mu.push(0.0);
+                    sigma.push(1.0);
+                }
+                // lint: allow(HOT_LOOP_ALLOC) -- one-time kernel construction, bounded by rule count
+                antecedents.push(mf.clone());
+            }
+            consequents.extend_from_slice(rule.consequent());
+        }
+        TskKernel {
+            n_inputs: n,
+            n_rules: m,
+            tnorm: fis.tnorm(),
+            mu,
+            sigma,
+            gaussian_only,
+            antecedents,
+            consequents,
+        }
+    }
+
+    /// Number of inputs `n`.
+    pub fn input_dim(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of rules `m`.
+    pub fn rule_count(&self) -> usize {
+        self.n_rules
+    }
+
+    /// Whether the Gaussian slab fast path is active.
+    pub fn is_gaussian_only(&self) -> bool {
+        self.gaussian_only
+    }
+
+    /// Evaluate one input using caller-provided scratch. Steady state (a
+    /// scratch that has seen this kernel before) performs **zero heap
+    /// allocations**; the result is bit-identical to [`TskFis::eval`].
+    ///
+    /// # Errors
+    ///
+    /// * [`FuzzyError::DimensionMismatch`] if `v.len() != input_dim()`.
+    /// * [`FuzzyError::NoRuleFired`] if every firing strength underflows to
+    ///   zero.
+    pub fn eval_into(&self, v: &[f64], scratch: &mut TskScratch) -> Result<f64> {
+        if v.len() != self.n_inputs {
+            return Err(FuzzyError::DimensionMismatch {
+                expected: self.n_inputs,
+                actual: v.len(),
+            });
+        }
+        let n = self.n_inputs;
+        scratch.firing.clear();
+        scratch.firing.reserve(self.n_rules);
+        if self.gaussian_only {
+            for j in 0..self.n_rules {
+                let base = j * n;
+                // lint: allow(PANIC_IN_LIB) -- slab slices are m·n by construction in from_fis
+                let (mus, sigmas) = (&self.mu[base..base + n], &self.sigma[base..base + n]);
+                let mut w = 1.0;
+                for ((&x, &mu), &sig) in v.iter().zip(mus).zip(sigmas) {
+                    // Exactly MembershipFunction::eval for the Gaussian arm.
+                    let z = (x - mu) / sig;
+                    let f = (-0.5 * z * z).exp();
+                    w = self.tnorm.apply(w, f);
+                }
+                scratch.firing.push(w);
+            }
+        } else {
+            for j in 0..self.n_rules {
+                let base = j * n;
+                let w = self.tnorm.fold(
+                    self.antecedents[base..base + n]
+                        .iter()
+                        .zip(v)
+                        .map(|(mf, &x)| mf.eval(x)),
+                );
+                scratch.firing.push(w);
+            }
+        }
+        let total: f64 = scratch.firing.iter().sum();
+        if !(total > 0.0) || !total.is_finite() {
+            return Err(FuzzyError::NoRuleFired);
+        }
+        let mut output = 0.0;
+        for (j, w) in scratch.firing.iter().enumerate() {
+            let base = j * (n + 1);
+            // lint: allow(PANIC_IN_LIB) -- consequent slab is m·(n+1) by construction in from_fis
+            let cons = &self.consequents[base..base + n + 1];
+            let (coeffs, bias) = cons.split_at(n);
+            let fj = coeffs.iter().zip(v).map(|(a, x)| a * x).sum::<f64>() + bias[0];
+            output += (w / total) * fj;
+        }
+        Ok(output)
+    }
+
+    /// Evaluate a batch on `pool`, propagating the lowest-index error.
+    /// Rows are independent, so the outputs are bit-identical to serial
+    /// row-wise evaluation at any thread count; each chunk carries its own
+    /// scratch.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TskKernel::eval_into`] for any row.
+    // lint: allow(ASSERT_DENSITY) -- delegates row-wise to eval_into, which validates via Result
+    pub fn eval_batch_with(&self, inputs: &[Vec<f64>], pool: &WorkerPool) -> Result<Vec<f64>> {
+        let chunks = pool.run_chunks(inputs.len(), BATCH_CHUNK, |c| {
+            let mut scratch = TskScratch::with_rules(self.n_rules);
+            let mut out = Vec::with_capacity(c.len());
+            for v in &inputs[c.start..c.end] {
+                out.push(self.eval_into(v, &mut scratch));
+            }
+            out
+        });
+        // In-order flatten: the error returned is always the first by row
+        // index, independent of scheduling.
+        chunks.into_iter().flatten().collect()
+    }
+}
+
+impl TskFis {
+    /// Build the flat evaluation kernel for this FIS (see [`TskKernel`]).
+    pub fn kernel(&self) -> TskKernel {
+        TskKernel::from_fis(self)
+    }
+
+    /// Evaluate a batch of inputs on a worker pool via a freshly built
+    /// kernel. For repeated batches, build the kernel once with
+    /// [`TskFis::kernel`] and call [`TskKernel::eval_batch_with`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TskFis::eval`] for any row.
+    // lint: allow(ASSERT_DENSITY) -- thin delegation; the kernel validates via Result
+    pub fn eval_batch_with(&self, inputs: &[Vec<f64>], pool: &WorkerPool) -> Result<Vec<f64>> {
+        self.kernel().eval_batch_with(inputs, pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tsk::TskRule;
+
+    fn gaussian(mu: f64, sigma: f64) -> MembershipFunction {
+        MembershipFunction::gaussian(mu, sigma).unwrap()
+    }
+
+    fn gaussian_fis() -> TskFis {
+        TskFis::new(vec![
+            TskRule::new(
+                vec![gaussian(0.0, 0.3), gaussian(1.0, 0.5)],
+                vec![1.0, -0.5, 0.2],
+            )
+            .unwrap(),
+            TskRule::new(
+                vec![gaussian(1.0, 0.4), gaussian(0.0, 0.25)],
+                vec![-2.0, 0.75, 1.1],
+            )
+            .unwrap(),
+            TskRule::new(
+                vec![gaussian(0.5, 0.2), gaussian(0.5, 0.6)],
+                vec![0.0, 0.0, 3.0],
+            )
+            .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn mixed_fis() -> TskFis {
+        TskFis::new(vec![
+            TskRule::new(
+                vec![
+                    MembershipFunction::triangular(-1.0, 0.0, 1.0).unwrap(),
+                    gaussian(0.0, 0.5),
+                ],
+                vec![1.0, 2.0, 0.0],
+            )
+            .unwrap(),
+            TskRule::new(
+                vec![gaussian(1.0, 0.5), MembershipFunction::sigmoid(2.0, 0.5).unwrap()],
+                vec![0.5, -1.0, 0.25],
+            )
+            .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn grid() -> Vec<Vec<f64>> {
+        let mut g = Vec::new();
+        for i in 0..17 {
+            for j in 0..17 {
+                g.push(vec![i as f64 / 8.0 - 1.0, j as f64 / 8.0 - 1.0]);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn kernel_matches_fis_bitwise_gaussian() {
+        let fis = gaussian_fis();
+        let kernel = fis.kernel();
+        assert!(kernel.is_gaussian_only());
+        let mut scratch = TskScratch::new();
+        for v in grid() {
+            let a = fis.eval(&v).unwrap();
+            let b = kernel.eval_into(&v, &mut scratch).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "at {v:?}");
+        }
+    }
+
+    #[test]
+    fn kernel_matches_fis_bitwise_mixed_shapes() {
+        let fis = mixed_fis();
+        let kernel = fis.kernel();
+        assert!(!kernel.is_gaussian_only());
+        let mut scratch = TskScratch::new();
+        for v in grid() {
+            let a = fis.eval(&v).unwrap();
+            let b = kernel.eval_into(&v, &mut scratch).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "at {v:?}");
+        }
+    }
+
+    #[test]
+    fn kernel_error_parity() {
+        let fis = gaussian_fis();
+        let kernel = fis.kernel();
+        let mut scratch = TskScratch::new();
+        assert!(matches!(
+            kernel.eval_into(&[0.1], &mut scratch),
+            Err(FuzzyError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            kernel.eval_into(&[4.0e4, -4.0e4], &mut scratch),
+            Err(FuzzyError::NoRuleFired)
+        ));
+        // The FIS agrees on both.
+        assert!(fis.eval(&[0.1]).is_err());
+        assert!(fis.eval(&[4.0e4, -4.0e4]).is_err());
+    }
+
+    #[test]
+    fn batch_eval_bit_identical_across_thread_counts() {
+        let fis = gaussian_fis();
+        let inputs = grid();
+        let reference = fis
+            .eval_batch_with(&inputs, &WorkerPool::serial())
+            .unwrap();
+        let plain = fis.eval_batch(&inputs).unwrap();
+        for (a, b) in reference.iter().zip(&plain) {
+            assert_eq!(a.to_bits(), b.to_bits(), "kernel batch vs eval_batch");
+        }
+        for threads in [2usize, 3, 8] {
+            let got = fis
+                .eval_batch_with(&inputs, &WorkerPool::new(threads))
+                .unwrap();
+            for (a, b) in got.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_eval_error_is_first_by_row_order() {
+        let fis = gaussian_fis();
+        let mut inputs = grid();
+        inputs[5] = vec![9.0e4, 9.0e4]; // NoRuleFired
+        inputs[200] = vec![0.0]; // DimensionMismatch (later row)
+        for threads in [1usize, 4] {
+            let err = fis
+                .eval_batch_with(&inputs, &WorkerPool::new(threads))
+                .unwrap_err();
+            assert!(
+                matches!(err, FuzzyError::NoRuleFired),
+                "threads={threads}: expected the row-5 error, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_kernels() {
+        let g = gaussian_fis();
+        let m = mixed_fis();
+        let (kg, km) = (g.kernel(), m.kernel());
+        let mut scratch = TskScratch::with_rules(3);
+        let v = vec![0.25, 0.5];
+        let a1 = kg.eval_into(&v, &mut scratch).unwrap();
+        let b1 = km.eval_into(&v, &mut scratch).unwrap();
+        let a2 = kg.eval_into(&v, &mut scratch).unwrap();
+        assert_eq!(a1.to_bits(), a2.to_bits());
+        assert_eq!(b1.to_bits(), km.eval_into(&v, &mut scratch).unwrap().to_bits());
+        assert_eq!(scratch.firing().len(), 2, "last eval was the 2-rule kernel");
+    }
+}

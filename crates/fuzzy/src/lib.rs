@@ -46,12 +46,14 @@
 
 pub mod builder;
 pub mod defuzz;
+pub mod kernel;
 pub mod linguistic;
 pub mod mamdani;
 pub mod membership;
 pub mod tnorm;
 pub mod tsk;
 
+pub use kernel::{TskKernel, TskScratch};
 pub use membership::MembershipFunction;
 pub use tsk::{TskFis, TskRule};
 

@@ -49,4 +49,15 @@ grep -q "^SUMMARY " /tmp/cqm_recover.log || {
     exit 1
 }
 
+echo "==> perf baseline smoke (BENCH_PR4.json schema + core-aware gate)"
+# perfbase --smoke times the parallel hot paths on small workloads, writes the
+# baseline JSON, re-reads it, validates the cqm-bench/perfbase/v1 schema and
+# applies the core-aware regression gate (see crates/bench/src/perf.rs). Any
+# schema drift or pathological 4-thread slowdown fails the gate.
+./target/release/perfbase --smoke --out "$CRASH_DIR/BENCH_PR4.json"
+test -s "$CRASH_DIR/BENCH_PR4.json" || {
+    echo "check.sh: perfbase did not write the baseline JSON" >&2
+    exit 1
+}
+
 echo "check.sh: all gates passed"

@@ -54,6 +54,7 @@ pub use cqm_cluster as cluster;
 pub use cqm_core as core;
 pub use cqm_fuzzy as fuzzy;
 pub use cqm_math as math;
+pub use cqm_parallel as parallel;
 pub use cqm_persist as persist;
 pub use cqm_resilience as resilience;
 pub use cqm_sensors as sensors;

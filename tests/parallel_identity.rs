@@ -1,0 +1,160 @@
+//! Serial-vs-parallel bit-identity and allocation-freedom: the two
+//! contracts of the PR 4 data-parallel runtime.
+//!
+//! * every pooled code path (`*_with(..., pool)`) produces **bit-identical**
+//!   (`f64::to_bits`) results at any worker count, because chunk boundaries
+//!   and reduction order are pure functions of the data layout, never of
+//!   scheduling;
+//! * steady-state FIS evaluation through [`cqm::fuzzy::TskKernel`] performs
+//!   **zero heap allocations** once the caller-provided scratch has warmed
+//!   up.
+//!
+//! The allocation counter needs a `#[global_allocator]` shim, which requires
+//! `unsafe` — allowed in this one test target only (the workspace denies it
+//! everywhere else, and library targets `forbid` it).
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cqm::anfis::{train_hybrid_with, Dataset, GenfisParams, HybridConfig};
+use cqm::fuzzy::{MembershipFunction, TskFis, TskRule, TskScratch};
+use cqm::parallel::WorkerPool;
+
+/// System allocator wrapped with a global allocation counter.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A small Gaussian TSK rule base over 2 inputs.
+fn gaussian_fis() -> TskFis {
+    let rule = |mu1: f64, mu2: f64, cons: [f64; 3]| {
+        TskRule::new(
+            vec![
+                MembershipFunction::gaussian(mu1, 0.5).expect("valid mf"),
+                MembershipFunction::gaussian(mu2, 0.7).expect("valid mf"),
+            ],
+            cons.to_vec(),
+        )
+        .expect("valid rule")
+    };
+    TskFis::new(vec![
+        rule(0.0, 0.2, [1.0, -0.5, 0.1]),
+        rule(0.8, 0.5, [-0.3, 0.9, 0.0]),
+        rule(0.4, 0.9, [0.2, 0.2, -0.7]),
+    ])
+    .expect("valid fis")
+}
+
+/// A smooth nonlinear training set (fixed closed form, no RNG).
+fn training_data(n: usize) -> Dataset {
+    let mut data = Dataset::new(2);
+    for i in 0..n {
+        let a = -1.0 + 2.0 * (i as f64) / (n as f64 - 1.0);
+        let b = (1.3 * a + 0.4).sin();
+        let y = (3.0 * a).sin() * 0.5 + b * b - 0.3 * a * b;
+        data.push(vec![a, b], y).expect("finite sample");
+    }
+    data
+}
+
+#[test]
+fn steady_state_kernel_eval_allocates_nothing() {
+    let fis = gaussian_fis();
+    let kernel = fis.kernel();
+    assert!(kernel.is_gaussian_only());
+    let mut scratch = TskScratch::new();
+    let inputs: Vec<[f64; 2]> = (0..256)
+        .map(|i| [(i as f64) / 255.0, 1.0 - (i as f64) / 255.0])
+        .collect();
+
+    // Warm-up: the first eval may grow the scratch buffers.
+    let mut warm = 0.0f64;
+    for v in &inputs {
+        warm += kernel.eval_into(v, &mut scratch).expect("eval");
+    }
+    assert!(warm.is_finite());
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut acc = 0.0f64;
+    for _ in 0..50 {
+        for v in &inputs {
+            acc += kernel.eval_into(v, &mut scratch).expect("eval");
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(acc.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state TskKernel::eval_into must not touch the heap"
+    );
+}
+
+#[test]
+fn anfis_training_is_bit_identical_across_thread_counts() {
+    let data = training_data(300);
+    let params = GenfisParams::with_radius(0.5);
+    let config = HybridConfig {
+        epochs: 2,
+        patience: 2,
+        ..HybridConfig::default()
+    };
+
+    let train_at = |pool: &WorkerPool| {
+        let mut fis = cqm::anfis::genfis_with(&data, &params, pool).expect("genfis");
+        train_hybrid_with(&mut fis, &data, None, &config, pool).expect("training");
+        fis
+    };
+
+    let reference = train_at(&WorkerPool::serial());
+    for threads in [1usize, 2, 3, 8] {
+        let fis = train_at(&WorkerPool::new(threads));
+        assert_eq!(fis.rules().len(), reference.rules().len(), "threads={threads}");
+        for (i, (a, b)) in fis.rules().iter().zip(reference.rules()).enumerate() {
+            for (ma, mb) in a.antecedents().iter().zip(b.antecedents()) {
+                match (ma, mb) {
+                    (
+                        MembershipFunction::Gaussian { mu: mu_a, sigma: s_a },
+                        MembershipFunction::Gaussian { mu: mu_b, sigma: s_b },
+                    ) => {
+                        assert_eq!(mu_a.to_bits(), mu_b.to_bits(), "threads={threads} rule {i}");
+                        assert_eq!(s_a.to_bits(), s_b.to_bits(), "threads={threads} rule {i}");
+                    }
+                    (ma, mb) => panic!("non-Gaussian antecedents {ma:?} / {mb:?}"),
+                }
+            }
+            for (ca, cb) in a.consequent().iter().zip(b.consequent()) {
+                assert_eq!(ca.to_bits(), cb.to_bits(), "threads={threads} rule {i}");
+            }
+        }
+        // Same premises + same consequents ⇒ same predictions, but check the
+        // output surface too (guards the evaluation path itself).
+        for j in 0..40 {
+            let x = [-1.0 + j as f64 * 0.05, (j as f64 * 0.11).sin()];
+            let ya = fis.eval(&x).expect("eval");
+            let yb = reference.eval(&x).expect("eval");
+            assert_eq!(ya.to_bits(), yb.to_bits(), "threads={threads} sample {j}");
+        }
+    }
+}

@@ -395,6 +395,60 @@ fn torn_tail_is_repaired_and_run_resumes() {
 }
 
 #[test]
+fn replay_verifies_when_recovery_retrains_on_a_different_thread_count() {
+    use cqm::core::training::train_cqm_with;
+    use cqm::parallel::WorkerPool;
+
+    // A run journaled by a serially-trained process must verify in a
+    // recovering process that retrains its model on a multi-thread worker
+    // pool: the data-parallel runtime is bit-identical at every worker
+    // count, so the retrained model — and therefore every replayed step —
+    // matches the journal exactly.
+    let dir = scratch("thread_counts");
+    let serial_model = trained_model();
+    crashy_run(&dir, &serial_model, 16, 8);
+    let mgr = RecoveryManager::new(dir.clone(), 1).expect("manager");
+    let recovered = mgr.recover().expect("recover");
+    assert_eq!(recovered.verify_replay(classifier()).expect("verify"), 16);
+
+    let cues: Vec<Vec<f64>> = (0..300).map(|i| vec![i as f64 / 299.0]).collect();
+    let truth: Vec<ClassId> = cues
+        .iter()
+        .map(|c| ClassId(usize::from(c[0] > 0.45)))
+        .collect();
+    for threads in [2usize, 8] {
+        let pool = WorkerPool::new(threads);
+        let trained = train_cqm_with(
+            &classifier(),
+            &cues,
+            &truth,
+            &CqmTrainingConfig::fast(),
+            &pool,
+        )
+        .expect("pooled training");
+        let pooled_model = CqmModel::from_trained(&trained, "recovery suite");
+        assert_eq!(
+            pooled_model, serial_model,
+            "model trained on {threads} threads must be bit-identical to serial"
+        );
+
+        // Re-execute the journaled run with the pooled model: every step
+        // report must match what the serial process journaled.
+        let plan = recovered.header.fault_plan().expect("plan");
+        let mut sup = SupervisedSystem::new(system_from(&pooled_model), recovered.header.config);
+        let mut src = WindowSource::new(
+            recovered.header.windows.clone(),
+            FaultInjector::new(&plan),
+        );
+        for (i, journaled) in recovered.steps.iter().enumerate() {
+            let report = sup.step(&mut src).expect("replay step");
+            assert_eq!(&report, journaled, "threads={threads}, step {i} diverged");
+        }
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn verify_replay_detects_tampered_journal() {
     let dir = scratch("tamper");
     let model = trained_model();
