@@ -3,10 +3,12 @@
 //! Durability is a chain of checked syscalls: a `write_all` that fails
 //! unnoticed leaves a checkpoint that will not survive the crash it exists
 //! for, and a swallowed `sync_all` turns "fsynced" into "probably cached".
-//! In persistence paths, discarding an I/O `Result` via `let _ = ...` or a
-//! trailing `.ok()` is therefore a durability bug unless the suppression is
-//! reasoned about explicitly with a pragma (the one legitimate site is a
-//! `Drop` impl, which cannot propagate errors).
+//! The same holds on the wire: a `write_all` to a socket that fails
+//! unnoticed drops a response the client is parked waiting for. In
+//! persistence and service paths, discarding an I/O `Result` via
+//! `let _ = ...` or a trailing `.ok()` is therefore a durability bug unless
+//! the suppression is reasoned about explicitly with a pragma (the one
+//! legitimate site is a `Drop` impl, which cannot propagate errors).
 
 use super::{Finding, Level, LintPass};
 use crate::scanner::SourceFile;
@@ -39,7 +41,7 @@ const IO_CALLS: &[&str] = &[
 impl Default for IoSwallowed {
     fn default() -> Self {
         IoSwallowed {
-            path_filters: vec!["persist/src/"],
+            path_filters: vec!["persist/src/", "serve/src/"],
         }
     }
 }
@@ -178,6 +180,16 @@ impl Drop for W {
 }
 ";
         assert!(run_at("crates/persist/src/journal.rs", src).is_empty());
+    }
+
+    #[test]
+    fn serve_crate_is_covered_by_default() {
+        let f = run_at(
+            "crates/serve/src/protocol.rs",
+            "fn reply(s: &mut std::net::TcpStream, b: &[u8]) {\n    use std::io::Write;\n    let _ = s.write_all(b);\n}\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("write_all"));
     }
 
     #[test]

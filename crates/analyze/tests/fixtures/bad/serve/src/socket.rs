@@ -1,0 +1,12 @@
+//! Fixture: service code that swallows I/O errors on a socket path.
+
+use std::io::Write;
+use std::net::TcpStream;
+
+pub fn careless_reply(stream: &mut TcpStream, frame: &[u8]) {
+    let _ = stream.write_all(frame);
+}
+
+pub fn careless_drain(stream: &mut TcpStream) {
+    stream.flush().ok();
+}

@@ -1,0 +1,14 @@
+//! Fixture: service code that checks every socket I/O result.
+
+use std::io::{Result, Write};
+use std::net::TcpStream;
+
+pub fn careful_reply(stream: &mut TcpStream, frame: &[u8]) -> Result<()> {
+    stream.write_all(frame)?;
+    stream.flush()
+}
+
+pub fn goodbye_on_teardown(stream: &mut TcpStream, frame: &[u8]) {
+    // lint: allow(IO_SWALLOWED) -- best-effort goodbye: the transport may already be gone
+    let _ = stream.write_all(frame);
+}

@@ -71,6 +71,24 @@ fn swallowed_io_in_persistence_is_flagged() {
 }
 
 #[test]
+fn swallowed_io_on_socket_paths_is_flagged() {
+    let r = analyze("bad/serve/src/socket.rs");
+    // One `let _ = write_all()` and one trailing `.ok()` on flush.
+    assert_eq!(count(&r, "IO_SWALLOWED"), 2, "{:#?}", r.findings);
+    assert!(r.failed(false), "IO_SWALLOWED is deny-level");
+}
+
+#[test]
+fn checked_socket_io_with_reasoned_goodbye_passes() {
+    let r = analyze("clean/serve/src/socket.rs");
+    assert!(
+        !r.failed(true),
+        "checked socket I/O must not be flagged:\n{}",
+        render(&r)
+    );
+}
+
+#[test]
 fn hot_loop_allocations_are_flagged() {
     let r = analyze("bad/math/src/hot_alloc.rs");
     // `.clone()` and `.collect()` in the `for` body, `vec![` in the `while`.
@@ -92,14 +110,14 @@ fn hot_clean_fixture_passes() {
 #[test]
 fn bad_tree_fails_even_without_deny_all() {
     let r = analyze("bad");
-    assert_eq!(r.files_scanned, 7);
+    assert_eq!(r.files_scanned, 8);
     assert!(r.failed(false));
 }
 
 #[test]
 fn clean_fixtures_pass_deny_all() {
     let r = analyze("clean");
-    assert_eq!(r.files_scanned, 4);
+    assert_eq!(r.files_scanned, 5);
     assert!(
         !r.failed(true),
         "clean fixtures produced findings:\n{}",

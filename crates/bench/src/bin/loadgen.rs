@@ -1,0 +1,299 @@
+//! LOADGEN — the service load baseline harness (PR 5).
+//!
+//! Starts an in-process [`cqm_serve::CqmServer`] on an ephemeral port with
+//! the trained AwarePen model, drives it over real TCP with concurrent
+//! client connections (single-classify and batch request shapes), and
+//! writes throughput + latency percentiles as `BENCH_PR5.json` (schema
+//! documented in `cqm_bench::servebench`).
+//!
+//! ```sh
+//! cargo run --release -p cqm-bench --bin loadgen            # full load
+//! cargo run --release -p cqm-bench --bin loadgen -- --smoke # CI gate
+//! cargo run --release -p cqm-bench --bin loadgen -- --out /tmp/serve.json
+//! cargo run --release -p cqm-bench --bin loadgen -- --connections 8 --requests 100
+//! ```
+//!
+//! `--smoke` shrinks the load to CI size and applies the service gate
+//! (`ServeBaseline::gate`): every issued request must be answered (overload
+//! is absorbed by bounded client retries and reported, never dropped) and
+//! the measured throughput must be positive.
+
+// lint: allow(PANIC_IN_LIB, file) -- perf driver: abort loudly on setup failure instead of degrading
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use cqm_appliance::pen::train_pen;
+use cqm_bench::servebench::{available_cores, percentile_micros, ServeBaseline, ServeSection, SCHEMA};
+use cqm_core::model::CqmModel;
+use cqm_serve::{ClientConfig, CqmClient, CqmServer, ModelSource, ServedModel, ServerConfig, ServeError};
+use cqm_serve::protocol::WireErrorKind;
+
+/// Rows per batch request in the `classify_batch` section.
+const BATCH_ROWS: usize = 8;
+
+/// Overload retries each load-generator client absorbs before declaring a
+/// request unanswered.
+const MAX_RETRIES: u32 = 50;
+
+/// Deterministic synthetic cue vectors: a plain LCG so the workload is
+/// identical on every run and machine (same generator as `perfbase`).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_unit(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn cues(&mut self, dim: usize) -> Vec<f64> {
+        (0..dim).map(|_| self.next_unit() * 2.0).collect()
+    }
+}
+
+/// Per-thread tally of one load run.
+#[derive(Default)]
+struct Tally {
+    ok: u64,
+    overloaded_retries: u64,
+    latencies_micros: Vec<f64>,
+}
+
+/// Issue `request` with bounded overload retries, recording the full
+/// round-trip latency (including retries) on success.
+fn timed_call<T>(
+    tally: &mut Tally,
+    mut call: impl FnMut() -> Result<T, ServeError>,
+) -> Result<(), ServeError> {
+    let start = Instant::now();
+    let mut retries_left = MAX_RETRIES;
+    loop {
+        match call() {
+            Ok(_answer) => {
+                tally.ok += 1;
+                tally
+                    .latencies_micros
+                    .push(start.elapsed().as_secs_f64() * 1e6);
+                return Ok(());
+            }
+            Err(ServeError::Remote(e)) if e.kind == WireErrorKind::Overloaded && retries_left > 0 => {
+                retries_left -= 1;
+                tally.overloaded_retries += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Drive one section: `connections` client threads, barrier-released
+/// together, each issuing `requests` calls produced by `shape`.
+fn run_section(
+    name: &str,
+    workload: String,
+    addr: SocketAddr,
+    connections: usize,
+    requests: usize,
+    cue_dim: usize,
+    batch: bool,
+) -> ServeSection {
+    let barrier = Barrier::new(connections + 1);
+    let (elapsed, tallies) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    // Retries are counted manually, so the client itself
+                    // must not retry behind our back.
+                    let mut client = CqmClient::connect(
+                        addr,
+                        ClientConfig {
+                            retries: 0,
+                            ..ClientConfig::default()
+                        },
+                    )
+                    .expect("connect load client");
+                    let mut rng = Lcg(0x5EED_0000 + c as u64);
+                    let mut tally = Tally::default();
+                    barrier.wait();
+                    for _ in 0..requests {
+                        if batch {
+                            let rows: Vec<Vec<f64>> =
+                                (0..BATCH_ROWS).map(|_| rng.cues(cue_dim)).collect();
+                            timed_call(&mut tally, || client.classify_batch(&rows))
+                                .expect("batch request answered");
+                        } else {
+                            let cues = rng.cues(cue_dim);
+                            timed_call(&mut tally, || client.classify(&cues))
+                                .expect("classify request answered");
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        let tallies: Vec<Tally> = handles
+            .into_iter()
+            .map(|h| h.join().expect("load client thread"))
+            .collect();
+        (start.elapsed(), tallies)
+    });
+
+    let total = (connections * requests) as u64;
+    let ok: u64 = tallies.iter().map(|t| t.ok).sum();
+    let overloaded_retries: u64 = tallies.iter().map(|t| t.overloaded_retries).sum();
+    let latencies: Vec<f64> = tallies
+        .iter()
+        .flat_map(|t| t.latencies_micros.iter().copied())
+        .collect();
+    let elapsed_millis = (elapsed.as_secs_f64() * 1e3).max(f64::MIN_POSITIVE);
+    ServeSection {
+        name: name.into(),
+        workload,
+        requests: total,
+        ok,
+        overloaded_retries,
+        elapsed_millis,
+        throughput_rps: total as f64 / (elapsed_millis / 1e3),
+        p50_micros: percentile_micros(&latencies, 0.50),
+        p99_micros: percentile_micros(&latencies, 0.99),
+        max_micros: percentile_micros(&latencies, 1.0),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let connections = flag_value(&args, "--connections").unwrap_or(if smoke { 4 } else { 8 });
+    let requests = flag_value(&args, "--requests").unwrap_or(if smoke { 32 } else { 200 });
+    let workers = 2usize;
+
+    println!("== loadgen: service load baseline ({}) ==", if smoke { "smoke" } else { "full" });
+    let cores = available_cores();
+    println!("available parallelism: {cores} core(s)");
+    println!("{connections} connection(s) x {requests} request(s), {workers} worker(s)\n");
+
+    println!("[1/3] training the AwarePen model ...");
+    let build = train_pen(7, 1).expect("train_pen");
+    let model = ServedModel::new(
+        build.classifier,
+        CqmModel::from_trained(&build.trained_cqm, "loadgen baseline"),
+    )
+    .expect("served model");
+    let cue_dim = model.cue_dim();
+
+    let server = CqmServer::start(
+        ModelSource::Fresh(model),
+        ServerConfig {
+            workers,
+            queue_capacity: (connections * 2).max(8),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+    println!("serving on {addr}");
+
+    println!("[2/3] single-classify load ...");
+    let classify = run_section(
+        "classify",
+        format!("{connections} connections x {requests} single-classify requests, dim={cue_dim}"),
+        addr,
+        connections,
+        requests,
+        cue_dim,
+        false,
+    );
+    println!("[3/3] batch-classify load ...");
+    let classify_batch = run_section(
+        "classify_batch",
+        format!(
+            "{connections} connections x {requests} batch requests of {BATCH_ROWS} rows, dim={cue_dim}"
+        ),
+        addr,
+        connections,
+        requests,
+        cue_dim,
+        true,
+    );
+
+    let final_health = server.shutdown().expect("server shutdown");
+    println!(
+        "\nserver: {} requests, {} rows, {} rejected, queue highwater {}",
+        final_health.requests,
+        final_health.rows_classified,
+        final_health.rejected,
+        final_health.queue_highwater
+    );
+
+    let baseline = ServeBaseline {
+        schema: SCHEMA.to_string(),
+        smoke,
+        available_parallelism: cores,
+        workers,
+        connections,
+        requests_per_connection: requests,
+        sections: vec![classify, classify_batch],
+    };
+
+    println!(
+        "\n{:16} {:>9} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        "section", "requests", "retries", "rps", "p50 us", "p99 us", "max us"
+    );
+    for s in &baseline.sections {
+        println!(
+            "{:16} {:>9} {:>7} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            s.name, s.requests, s.overloaded_retries, s.throughput_rps, s.p50_micros, s.p99_micros, s.max_micros
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
+    std::fs::write(&out_path, &json).expect("write baseline file");
+    println!("\nwrote {out_path}");
+
+    // Validate by re-parsing what was actually written.
+    let written = std::fs::read_to_string(&out_path).expect("read baseline back");
+    let parsed: ServeBaseline = match serde_json::from_str(&written) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("loadgen: written JSON does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = parsed.validate() {
+        eprintln!("loadgen: schema validation failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("schema validation: ok ({SCHEMA})");
+
+    if smoke {
+        match parsed.gate() {
+            Ok(()) => println!("serve gate: ok"),
+            Err(e) => {
+                eprintln!("loadgen: serve gate failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -26,6 +26,7 @@
 
 pub mod experiments;
 pub mod perf;
+pub mod servebench;
 
 use cqm_appliance::pen::{train_pen, PenBuild};
 use cqm_core::classifier::Classifier;

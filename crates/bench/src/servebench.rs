@@ -1,0 +1,300 @@
+//! Service load baseline harness behind the `loadgen` binary.
+//!
+//! Drives a live [`cqm_serve::CqmServer`] over real TCP connections with
+//! concurrent client threads and records throughput and latency
+//! percentiles for the two request shapes, writing the results as
+//! `BENCH_PR5.json`.
+//!
+//! # `BENCH_PR5.json` schema (`cqm-bench/servebase/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "cqm-bench/servebase/v1",
+//!   "smoke": true,
+//!   "available_parallelism": 8,
+//!   "workers": 2,
+//!   "connections": 4,
+//!   "requests_per_connection": 64,
+//!   "sections": [
+//!     {
+//!       "name": "classify",
+//!       "workload": "4 connections x 64 single-classify requests",
+//!       "requests": 256,
+//!       "ok": 256,
+//!       "overloaded_retries": 0,
+//!       "elapsed_millis": 41.7,
+//!       "throughput_rps": 6139.1,
+//!       "p50_micros": 580.0,
+//!       "p99_micros": 1890.0,
+//!       "max_micros": 2410.0
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! * `schema` — exact constant [`SCHEMA`]; bump on layout changes.
+//! * `smoke` — whether the fast CI workload sizes were used.
+//! * `available_parallelism` — cores visible to the process; single-core
+//!   containers serialize client and worker threads, so absolute numbers
+//!   must be read alongside this field.
+//! * `workers` / `connections` / `requests_per_connection` — the load
+//!   shape the sections were measured under.
+//! * `sections[*].name` — one of `classify`, `classify_batch` (both
+//!   required; `requests` counts wire requests in both — the batch
+//!   section's per-request row count is recorded in its `workload`).
+//! * `sections[*].ok` — answered requests; the gate requires every
+//!   request to be answered (`ok == requests`), overload is absorbed by
+//!   client retries and surfaced in `overloaded_retries`.
+//! * latency fields are wall-clock microseconds per request/response
+//!   round trip as observed by the client, including retries.
+
+// lint: allow(PANIC_IN_LIB, file) -- perf driver: abort loudly on setup failure instead of degrading
+
+use serde::{Deserialize, Serialize};
+
+pub use crate::perf::available_cores;
+
+/// Schema identifier written to and expected in `BENCH_PR5.json`.
+pub const SCHEMA: &str = "cqm-bench/servebase/v1";
+
+/// Section names that must be present in a valid baseline.
+pub const SECTION_NAMES: [&str; 2] = ["classify", "classify_batch"];
+
+/// One measured request shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSection {
+    /// Section name (see [`SECTION_NAMES`]).
+    pub name: String,
+    /// Human-readable load description (connections, request counts).
+    pub workload: String,
+    /// Requests issued across all connections.
+    pub requests: u64,
+    /// Requests answered with a classification (after retries).
+    pub ok: u64,
+    /// `Overloaded` answers absorbed by client-side retries.
+    pub overloaded_retries: u64,
+    /// Wall-clock milliseconds from first request to last response.
+    pub elapsed_millis: f64,
+    /// `requests / elapsed` in requests per second.
+    pub throughput_rps: f64,
+    /// Median per-request round-trip latency in microseconds.
+    pub p50_micros: f64,
+    /// 99th-percentile per-request round-trip latency in microseconds.
+    pub p99_micros: f64,
+    /// Worst per-request round-trip latency in microseconds.
+    pub max_micros: f64,
+}
+
+/// The complete `BENCH_PR5.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeBaseline {
+    /// Schema identifier ([`SCHEMA`]).
+    pub schema: String,
+    /// Whether smoke (CI-sized) load was used.
+    pub smoke: bool,
+    /// Cores visible to the process at measurement time.
+    pub available_parallelism: usize,
+    /// Server-side worker threads.
+    pub workers: usize,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Requests issued per connection.
+    pub requests_per_connection: usize,
+    /// The measured request shapes.
+    pub sections: Vec<ServeSection>,
+}
+
+impl ServeBaseline {
+    /// Look up a section by name.
+    pub fn section(&self, name: &str) -> Option<&ServeSection> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// Validate the document against the schema contract: identifier,
+    /// required sections, consistent counters, positive finite timings
+    /// and ordered percentiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != SCHEMA {
+            return Err(format!("schema is {:?}, expected {SCHEMA:?}", self.schema));
+        }
+        if self.available_parallelism == 0 {
+            return Err("available_parallelism must be >= 1".into());
+        }
+        if self.workers == 0 || self.connections == 0 || self.requests_per_connection == 0 {
+            return Err("workers, connections and requests_per_connection must be >= 1".into());
+        }
+        for name in SECTION_NAMES {
+            let section = self
+                .section(name)
+                .ok_or_else(|| format!("missing section {name:?}"))?;
+            if section.workload.is_empty() {
+                return Err(format!("section {name:?}: empty workload description"));
+            }
+            if section.requests == 0 {
+                return Err(format!("section {name:?}: zero requests"));
+            }
+            if section.ok > section.requests {
+                return Err(format!(
+                    "section {name:?}: ok {} exceeds requests {}",
+                    section.ok, section.requests
+                ));
+            }
+            for (field, value) in [
+                ("elapsed_millis", section.elapsed_millis),
+                ("throughput_rps", section.throughput_rps),
+                ("p50_micros", section.p50_micros),
+                ("p99_micros", section.p99_micros),
+                ("max_micros", section.max_micros),
+            ] {
+                if !(value > 0.0 && value.is_finite()) {
+                    return Err(format!(
+                        "section {name:?}: {field} {value} not positive finite"
+                    ));
+                }
+            }
+            if section.p50_micros > section.p99_micros
+                || section.p99_micros > section.max_micros
+            {
+                return Err(format!(
+                    "section {name:?}: percentiles out of order \
+                     (p50 {} / p99 {} / max {})",
+                    section.p50_micros, section.p99_micros, section.max_micros
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The CI gate: the service must have answered *every* request in both
+    /// sections (overload is allowed only as absorbed retries) and measured
+    /// nonzero throughput. No absolute latency floor — CI machines vary too
+    /// much for one — the regression signal is "requests went unanswered".
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violation.
+    pub fn gate(&self) -> Result<(), String> {
+        for name in SECTION_NAMES {
+            let section = self
+                .section(name)
+                .ok_or_else(|| format!("missing section {name:?}"))?;
+            if section.ok != section.requests {
+                return Err(format!(
+                    "section {name:?}: only {}/{} requests answered",
+                    section.ok, section.requests
+                ));
+            }
+            if !(section.throughput_rps > 0.0 && section.throughput_rps.is_finite()) {
+                return Err(format!(
+                    "section {name:?}: throughput {} rps is not positive finite",
+                    section.throughput_rps
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Nearest-rank percentile (`q` in `[0, 1]`) of a latency sample in
+/// microseconds. Sorts a copy; fine at load-generator sample sizes.
+///
+/// # Panics
+///
+/// Panics on an empty sample or a `q` outside `[0, 1]` — both are harness
+/// bugs, not measurement outcomes.
+pub fn percentile_micros(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "percentile rank {q} outside [0, 1]");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn section(name: &str) -> ServeSection {
+        ServeSection {
+            name: name.into(),
+            workload: "test".into(),
+            requests: 128,
+            ok: 128,
+            overloaded_retries: 2,
+            elapsed_millis: 20.0,
+            throughput_rps: 6400.0,
+            p50_micros: 500.0,
+            p99_micros: 1500.0,
+            max_micros: 2000.0,
+        }
+    }
+
+    fn baseline() -> ServeBaseline {
+        ServeBaseline {
+            schema: SCHEMA.into(),
+            smoke: true,
+            available_parallelism: 4,
+            workers: 2,
+            connections: 4,
+            requests_per_connection: 32,
+            sections: vec![section("classify"), section("classify_batch")],
+        }
+    }
+
+    #[test]
+    fn valid_baseline_passes_validate_and_gate() {
+        let b = baseline();
+        b.validate().unwrap();
+        b.gate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_schema_drift() {
+        let mut b = baseline();
+        b.schema = "other/v0".into();
+        assert!(b.validate().is_err());
+
+        let mut b = baseline();
+        b.sections.retain(|s| s.name != "classify_batch");
+        assert!(b.validate().unwrap_err().contains("classify_batch"));
+
+        let mut b = baseline();
+        b.sections[0].throughput_rps = f64::NAN;
+        assert!(b.validate().is_err());
+
+        let mut b = baseline();
+        b.sections[0].p50_micros = 1800.0; // above p99
+        assert!(b.validate().unwrap_err().contains("percentiles"));
+    }
+
+    #[test]
+    fn gate_requires_every_request_answered() {
+        let mut b = baseline();
+        b.sections[1].ok = 127;
+        assert!(b.gate().unwrap_err().contains("127/128"));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let samples = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(percentile_micros(&samples, 0.5), 3.0);
+        assert_eq!(percentile_micros(&samples, 0.0), 1.0);
+        assert_eq!(percentile_micros(&samples, 1.0), 5.0);
+        assert_eq!(percentile_micros(&samples, 0.99), 5.0);
+        assert_eq!(percentile_micros(&[7.5], 0.5), 7.5);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let b = baseline();
+        let json = serde_json::to_string_pretty(&b).expect("serialize");
+        let back: ServeBaseline = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, b);
+        back.validate().unwrap();
+    }
+}

@@ -38,7 +38,7 @@ pub mod tsk;
 pub use centroid::NearestCentroid;
 pub use dataset::ClassifiedDataset;
 pub use knn::KnnClassifier;
-pub use tsk::FisClassifier;
+pub use tsk::{ClassifierKernel, FisClassifier};
 
 /// Errors produced by classifier construction and training.
 #[derive(Debug, Clone, PartialEq)]

@@ -11,7 +11,7 @@ use cqm_anfis::genfis::{genfis, GenfisParams};
 use cqm_anfis::hybrid::{train_hybrid, HybridConfig};
 use cqm_core::classifier::{ClassId, Classifier};
 use cqm_core::CqmError;
-use cqm_fuzzy::TskFis;
+use cqm_fuzzy::{TskFis, TskKernel, TskScratch};
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::ClassifiedDataset;
@@ -111,6 +111,16 @@ impl FisClassifier {
             .map_err(|e| ClassifyError::Core(CqmError::Fuzzy(e)))
     }
 
+    /// Build the allocation-free runtime evaluator for this classifier
+    /// (see [`ClassifierKernel`]). The kernel snapshots the FIS; retraining
+    /// requires rebuilding it.
+    pub fn kernel(&self) -> ClassifierKernel {
+        ClassifierKernel {
+            kernel: self.fis.kernel(),
+            num_classes: self.num_classes,
+        }
+    }
+
     /// Accuracy over a labeled dataset (uncovered samples count as wrong).
     pub fn accuracy(&self, data: &ClassifiedDataset) -> f64 {
         if data.is_empty() {
@@ -138,6 +148,102 @@ impl Classifier for FisClassifier {
 
     fn num_classes(&self) -> usize {
         self.num_classes
+    }
+}
+
+/// Flat struct-of-arrays evaluator of a [`FisClassifier`]: the
+/// [`TskKernel`] of the class-axis FIS plus the rounding/clamping step of
+/// [`FisClassifier::classify`]. With a caller-provided [`TskScratch`],
+/// [`ClassifierKernel::classify_into`] classifies with zero steady-state
+/// heap allocations, and [`ClassifierKernel::classify_batch_into`] sweeps a
+/// request-sized batch through [`TskKernel::eval_batch_into`]. Results are
+/// bit-identical to the plain [`Classifier::classify`] path.
+#[derive(Debug, Clone)]
+pub struct ClassifierKernel {
+    kernel: TskKernel,
+    num_classes: usize,
+}
+
+impl ClassifierKernel {
+    /// Expected cue dimensionality `n`.
+    pub fn cue_dim(&self) -> usize {
+        self.kernel.input_dim()
+    }
+
+    /// Number of context classes the classifier can emit.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn check_cues(&self, cues: &[f64]) -> cqm_core::Result<()> {
+        if cues.len() != self.kernel.input_dim() {
+            return Err(CqmError::InvalidInput(format!(
+                "cue vector has {} entries, classifier expects {}",
+                cues.len(),
+                self.kernel.input_dim()
+            )));
+        }
+        if cues.iter().any(|x| !x.is_finite()) {
+            return Err(CqmError::InvalidInput(
+                "cue vector contains non-finite values".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn round_class(&self, raw: f64) -> ClassId {
+        ClassId(raw.round().clamp(0.0, (self.num_classes - 1) as f64) as usize)
+    }
+
+    /// Allocation-free [`Classifier::classify`] — same validation, same
+    /// rounding, bit-identical class.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Classifier::classify`] on [`FisClassifier`].
+    pub fn classify_into(
+        &self,
+        cues: &[f64],
+        scratch: &mut TskScratch,
+    ) -> cqm_core::Result<ClassId> {
+        self.check_cues(cues)?;
+        let raw = self
+            .kernel
+            .eval_into(cues, scratch)
+            .map_err(CqmError::Fuzzy)?;
+        Ok(self.round_class(raw))
+    }
+
+    /// Classify a request-sized batch in one kernel sweep. `out` is cleared
+    /// and refilled with one class per row; the sweep stops at the first
+    /// failing row (matching [`CqmSystem`-style first-error semantics]) and
+    /// allocates nothing beyond `out`'s growth.
+    ///
+    /// [`CqmSystem`-style first-error semantics]: cqm_core::pipeline::CqmSystem::classify_batch
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClassifierKernel::classify_into`] for any row;
+    /// `out` holds the classes of the rows preceding the failure.
+    pub fn classify_batch_into(
+        &self,
+        rows: &[Vec<f64>],
+        scratch: &mut TskScratch,
+        raw_buf: &mut Vec<f64>,
+        out: &mut Vec<ClassId>,
+    ) -> cqm_core::Result<()> {
+        out.clear();
+        for row in rows {
+            self.check_cues(row)?;
+        }
+        self.kernel
+            .eval_batch_into(rows, scratch, raw_buf)
+            .map_err(CqmError::Fuzzy)?;
+        out.reserve(raw_buf.len());
+        for &raw in raw_buf.iter() {
+            out.push(self.round_class(raw));
+        }
+        Ok(())
     }
 }
 
@@ -220,6 +326,50 @@ mod tests {
         };
         let clf = FisClassifier::train(&data, &config).unwrap();
         assert!(clf.accuracy(&data) > 0.8);
+    }
+
+    #[test]
+    fn kernel_classify_bit_identical_to_plain_path() {
+        let data = three_band_data(150);
+        let clf = FisClassifier::train(&data, &FisClassifierConfig::default()).unwrap();
+        let kernel = clf.kernel();
+        assert_eq!(kernel.cue_dim(), clf.cue_dim());
+        assert_eq!(kernel.num_classes(), Classifier::num_classes(&clf));
+        let mut scratch = TskScratch::new();
+        for i in 0..120 {
+            let cues = [3.2 * i as f64 / 120.0 - 0.1];
+            let plain = clf.classify(&cues).unwrap();
+            let fast = kernel.classify_into(&cues, &mut scratch).unwrap();
+            assert_eq!(plain, fast, "cue {:?}", cues);
+        }
+        // Error parity: dimension mismatch and non-finite cues.
+        assert!(kernel.classify_into(&[0.5, 0.5], &mut scratch).is_err());
+        assert!(kernel.classify_into(&[f64::NAN], &mut scratch).is_err());
+    }
+
+    #[test]
+    fn kernel_batch_matches_row_wise() {
+        let data = three_band_data(150);
+        let clf = FisClassifier::train(&data, &FisClassifierConfig::default()).unwrap();
+        let kernel = clf.kernel();
+        let mut scratch = TskScratch::new();
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![3.0 * i as f64 / 40.0]).collect();
+        let mut raw_buf = Vec::new();
+        let mut classes = Vec::new();
+        kernel
+            .classify_batch_into(&rows, &mut scratch, &mut raw_buf, &mut classes)
+            .unwrap();
+        assert_eq!(classes.len(), rows.len());
+        for (row, &class) in rows.iter().zip(classes.iter()) {
+            assert_eq!(class, clf.classify(row).unwrap());
+        }
+        // A bad row anywhere rejects the batch before any kernel sweep.
+        let mut bad = rows.clone();
+        bad[7] = vec![f64::INFINITY];
+        assert!(kernel
+            .classify_batch_into(&bad, &mut scratch, &mut raw_buf, &mut classes)
+            .is_err());
+        assert!(classes.is_empty());
     }
 
     #[test]

@@ -195,6 +195,34 @@ impl TskKernel {
         Ok(output)
     }
 
+    /// Evaluate a small batch serially into `out` — the micro-batch entry
+    /// point sized for request batches (network services coalescing a few
+    /// dozen in-flight requests), where pool dispatch would cost more than
+    /// the sweep itself. `out` is cleared and refilled with one output per
+    /// row; beyond `out`'s growth to the batch size, the sweep performs
+    /// zero heap allocations in the steady state. Results are bit-identical
+    /// to row-wise [`TskKernel::eval_into`] and stop at the first failing
+    /// row (matching [`TskKernel::eval_batch_with`]'s first-error order).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TskKernel::eval_into`] for any row; `out` holds
+    /// the outputs of the rows preceding the failure.
+    // lint: allow(ASSERT_DENSITY) -- delegates row-wise to eval_into, which validates via Result
+    pub fn eval_batch_into(
+        &self,
+        inputs: &[Vec<f64>],
+        scratch: &mut TskScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        out.clear();
+        out.reserve(inputs.len());
+        for v in inputs {
+            out.push(self.eval_into(v, scratch)?);
+        }
+        Ok(())
+    }
+
     /// Evaluate a batch on `pool`, propagating the lowest-index error.
     /// Rows are independent, so the outputs are bit-identical to serial
     /// row-wise evaluation at any thread count; each chunk carries its own
@@ -339,6 +367,43 @@ mod tests {
         // The FIS agrees on both.
         assert!(fis.eval(&[0.1]).is_err());
         assert!(fis.eval(&[4.0e4, -4.0e4]).is_err());
+    }
+
+    #[test]
+    fn micro_batch_eval_matches_row_wise_bitwise() {
+        let fis = gaussian_fis();
+        let kernel = fis.kernel();
+        let inputs = grid();
+        let mut scratch = TskScratch::with_rules(kernel.rule_count());
+        let mut out = Vec::new();
+        kernel.eval_batch_into(&inputs, &mut scratch, &mut out).unwrap();
+        assert_eq!(out.len(), inputs.len());
+        let mut reference_scratch = TskScratch::new();
+        for (v, got) in inputs.iter().zip(&out) {
+            let want = kernel.eval_into(v, &mut reference_scratch).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "at {v:?}");
+        }
+        // Reuse across sweeps: the buffers survive and results stay put.
+        let mut second = Vec::new();
+        kernel.eval_batch_into(&inputs, &mut scratch, &mut second).unwrap();
+        for (a, b) in out.iter().zip(&second) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn micro_batch_eval_stops_at_first_bad_row() {
+        let fis = gaussian_fis();
+        let kernel = fis.kernel();
+        let mut inputs = grid();
+        inputs[3] = vec![9.0e4, 9.0e4]; // NoRuleFired
+        let mut scratch = TskScratch::new();
+        let mut out = Vec::new();
+        let err = kernel
+            .eval_batch_into(&inputs, &mut scratch, &mut out)
+            .unwrap_err();
+        assert!(matches!(err, FuzzyError::NoRuleFired));
+        assert_eq!(out.len(), 3, "outputs of the rows before the failure");
     }
 
     #[test]

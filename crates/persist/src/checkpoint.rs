@@ -165,6 +165,67 @@ pub fn load_checkpoint<T: Deserialize>(path: &Path) -> Result<T> {
     Ok(serde_json::from_str(text)?)
 }
 
+/// A reusable handle on one checkpoint path: the same atomic-save /
+/// validated-load discipline as the free functions, packaged so a long-lived
+/// component (e.g. a server doing warm start + shutdown checkpointing) can
+/// hold the destination once instead of threading a `&Path` everywhere.
+#[derive(Debug, Clone)]
+pub struct CheckpointHandle {
+    path: PathBuf,
+}
+
+impl CheckpointHandle {
+    /// Bind the handle to `path`. Nothing is touched on disk until a
+    /// save/load call.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointHandle { path: path.into() }
+    }
+
+    /// The bound checkpoint path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether a file currently exists at the bound path (it may still fail
+    /// validation on load).
+    pub fn exists(&self) -> bool {
+        self.path.exists()
+    }
+
+    /// Atomically replace the checkpoint; see [`save_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`save_checkpoint`].
+    pub fn save<T: Serialize>(&self, value: &T) -> Result<()> {
+        save_checkpoint(&self.path, value)
+    }
+
+    /// Load and validate the checkpoint; see [`load_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`load_checkpoint`].
+    pub fn load<T: Deserialize>(&self) -> Result<T> {
+        load_checkpoint(&self.path)
+    }
+
+    /// Like [`CheckpointHandle::load`], but maps the missing-file case to
+    /// `None` so "cold start" is not an error path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`load_checkpoint`] except
+    /// [`PersistError::NoCheckpoint`], which becomes `Ok(None)`.
+    pub fn try_load<T: Deserialize>(&self) -> Result<Option<T>> {
+        match load_checkpoint(&self.path) {
+            Ok(v) => Ok(Some(v)),
+            Err(PersistError::NoCheckpoint(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +329,28 @@ mod tests {
                 "truncation to {keep} bytes went undetected"
             );
         }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn handle_round_trip_and_cold_start() {
+        let dir = scratch_dir("handle");
+        let handle = CheckpointHandle::new(dir.join("ckpt.bin"));
+        assert!(!handle.exists());
+        assert_eq!(handle.try_load::<Payload>().unwrap(), None);
+        assert!(matches!(
+            handle.load::<Payload>().unwrap_err(),
+            PersistError::NoCheckpoint(_)
+        ));
+        handle.save(&payload()).unwrap();
+        assert!(handle.exists());
+        assert_eq!(handle.load::<Payload>().unwrap(), payload());
+        assert_eq!(handle.try_load::<Payload>().unwrap(), Some(payload()));
+        // Corruption is still an error through try_load, not a silent None.
+        let mut bytes = fs::read(handle.path()).unwrap();
+        bytes[30] ^= 0xff;
+        fs::write(handle.path(), &bytes).unwrap();
+        assert!(handle.try_load::<Payload>().is_err());
         fs::remove_dir_all(&dir).ok();
     }
 

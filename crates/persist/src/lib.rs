@@ -28,7 +28,9 @@ pub mod journal;
 pub mod records;
 pub mod recovery;
 
-pub use checkpoint::{load_checkpoint, save_checkpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
+pub use checkpoint::{
+    load_checkpoint, save_checkpoint, CheckpointHandle, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
 pub use journal::{JournalScan, JournalWriter};
 pub use records::{JournalRecord, RunHeader, RuntimeCheckpoint};
 pub use recovery::{RecoveredRun, RecoveryManager};

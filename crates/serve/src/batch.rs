@@ -1,0 +1,374 @@
+// analyze: hot-path
+//! The evaluation engine and the worker loop — the service's request hot
+//! path.
+//!
+//! Every queued request is answered here through the allocation-free
+//! kernel paths: [`ClassifierKernel`] for the class, [`QualityKernel`] for
+//! `q`, both proven bit-identical to the plain `CqmSystem` evaluation.
+//! Workers pop up to `micro_batch` queued jobs at a time and fold every
+//! single-classify request in the batch into **one** kernel sweep
+//! ([`ClassifierKernel::classify_batch_into`]); because the batched sweep
+//! is itself bit-identical to row-wise evaluation, micro-batching is
+//! invisible in the answers — only in the throughput.
+//!
+//! Failure containment: jobs in a micro-batch are independent requests
+//! from unrelated clients, so one malformed row must not fail its batch
+//! peers. The sweep is optimistic; if any row errors, the worker falls
+//! back to row-wise evaluation and each job gets its own verdict.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use cqm_classify::ClassifierKernel;
+use cqm_core::classifier::ClassId;
+use cqm_core::pipeline::QualifiedClassification;
+use cqm_core::{CqmError, QualityFilter, QualityKernel, QualityScratch};
+use cqm_fuzzy::TskScratch;
+
+use crate::model::ServedModel;
+use crate::protocol::{Response, WireError};
+use crate::queue::BoundedQueue;
+use crate::Result;
+
+/// The work carried by one queued job.
+#[derive(Debug)]
+pub(crate) enum Work {
+    /// One `Classify` request.
+    One(Vec<f64>),
+    /// One `ClassifyBatch` request (atomic: first error rejects it whole).
+    Many(Vec<Vec<f64>>),
+}
+
+/// A queued request plus the channel its session is parked on.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub(crate) work: Work,
+    pub(crate) reply: mpsc::Sender<Response>,
+}
+
+/// Reusable per-worker evaluation state: FIS scratch, quality scratch and
+/// the sweep buffers. One instance per worker thread.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    tsk: TskScratch,
+    quality: QualityScratch,
+    raw: Vec<f64>,
+    classes: Vec<ClassId>,
+}
+
+impl EngineScratch {
+    /// An empty scratch (sizes itself on first evaluation).
+    pub fn new() -> Self {
+        EngineScratch::default()
+    }
+}
+
+/// The immutable evaluation core shared by all workers: classifier kernel,
+/// quality kernel and the filter at the model's operating threshold.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    classifier: ClassifierKernel,
+    quality: QualityKernel,
+    filter: QualityFilter,
+}
+
+impl Engine {
+    /// Build the kernels from a validated model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ServeError::InvalidConfig`] on an invalid stored
+    /// threshold (guarded at model construction, practically unreachable).
+    pub fn new(model: &ServedModel) -> Result<Engine> {
+        Ok(Engine {
+            classifier: model.classifier().kernel(),
+            quality: model.model().measure.kernel(),
+            filter: model.filter()?,
+        })
+    }
+
+    /// Cue dimensionality the engine expects.
+    pub fn cue_dim(&self) -> usize {
+        self.classifier.cue_dim()
+    }
+
+    fn finish(
+        &self,
+        cues: &[f64],
+        class: ClassId,
+        quality_scratch: &mut QualityScratch,
+    ) -> std::result::Result<QualifiedClassification, CqmError> {
+        let quality = self.quality.measure_into(cues, class, quality_scratch)?;
+        Ok(QualifiedClassification {
+            class,
+            quality,
+            decision: self.filter.decide(quality),
+        })
+    }
+
+    /// Answer one cue vector — class, quality, verdict — bit-identical to
+    /// `CqmSystem::classify_with_quality` on the same model.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the plain pipeline: malformed cues and
+    /// uncovered-classifier inputs.
+    pub fn classify_one(
+        &self,
+        cues: &[f64],
+        scratch: &mut EngineScratch,
+    ) -> std::result::Result<QualifiedClassification, CqmError> {
+        let class = self.classifier.classify_into(cues, &mut scratch.tsk)?;
+        self.finish(cues, class, &mut scratch.quality)
+    }
+
+    /// Answer an atomic batch in one kernel sweep; the first failing row
+    /// rejects the whole batch (matching `CqmSystem::classify_batch`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::classify_one`] for any row.
+    pub fn classify_rows(
+        &self,
+        rows: &[Vec<f64>],
+        scratch: &mut EngineScratch,
+        out: &mut Vec<QualifiedClassification>,
+    ) -> std::result::Result<(), CqmError> {
+        out.clear();
+        self.classifier.classify_batch_into(
+            rows,
+            &mut scratch.tsk,
+            &mut scratch.raw,
+            &mut scratch.classes,
+        )?;
+        out.reserve(rows.len());
+        for (row, &class) in rows.iter().zip(scratch.classes.iter()) {
+            let qc = self.finish(row, class, &mut scratch.quality)?;
+            out.push(qc);
+        }
+        Ok(())
+    }
+
+    /// Evaluate independent single-classify rows, one verdict per row.
+    /// Optimistically sweeps all rows through one kernel pass; on any
+    /// failure, falls back to row-wise evaluation so each row gets its own
+    /// verdict and one bad row cannot fail its micro-batch peers.
+    fn eval_singles(
+        &self,
+        rows: &[Vec<f64>],
+        scratch: &mut EngineScratch,
+        out: &mut Vec<std::result::Result<QualifiedClassification, CqmError>>,
+    ) {
+        out.clear();
+        out.reserve(rows.len());
+        let swept = self
+            .classifier
+            .classify_batch_into(rows, &mut scratch.tsk, &mut scratch.raw, &mut scratch.classes)
+            .is_ok()
+            && scratch.classes.len() == rows.len();
+        if swept {
+            for (row, &class) in rows.iter().zip(scratch.classes.iter()) {
+                out.push(self.finish(row, class, &mut scratch.quality));
+            }
+        } else {
+            for row in rows {
+                out.push(self.classify_one(row, scratch));
+            }
+        }
+    }
+}
+
+/// Translate an evaluation failure into wire vocabulary: input-dependent
+/// failures (bad dimension, non-finite cues, input outside the rule
+/// support) are the client's to fix; anything else is the server's fault.
+pub(crate) fn to_wire(e: &CqmError) -> WireError {
+    match e {
+        CqmError::InvalidInput(_) | CqmError::Fuzzy(_) => WireError::bad_request(e.to_string()),
+        other => WireError::internal(other.to_string()),
+    }
+}
+
+/// One worker's life: pop micro-batches until the queue closes and is
+/// drained, answer every job on its reply channel. `eval_delay` is a
+/// load-shaping knob for tests and the load generator — it simulates a
+/// slower model by sleeping once per popped batch.
+pub(crate) fn run_worker(
+    engine: &Engine,
+    queue: &BoundedQueue<Job>,
+    micro_batch: usize,
+    eval_delay: Option<Duration>,
+    rows_classified: &AtomicU64,
+) {
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut scratch = EngineScratch::new();
+    let mut single_rows: Vec<Vec<f64>> = Vec::new();
+    let mut single_results: Vec<std::result::Result<QualifiedClassification, CqmError>> =
+        Vec::new();
+    while queue.pop_batch(micro_batch, &mut jobs) {
+        if let Some(delay) = eval_delay {
+            std::thread::sleep(delay);
+        }
+        // Gather every single-classify row in this micro-batch for one
+        // combined kernel sweep. The cue vectors are moved out (not
+        // cloned); the jobs keep empty husks.
+        single_rows.clear();
+        for job in jobs.iter_mut() {
+            if let Work::One(cues) = &mut job.work {
+                single_rows.push(std::mem::take(cues));
+            }
+        }
+        engine.eval_singles(&single_rows, &mut scratch, &mut single_results);
+        let mut answered_rows = 0u64;
+        let mut singles = single_results.drain(..);
+        for job in jobs.drain(..) {
+            let response = match job.work {
+                Work::One(_) => match singles.next() {
+                    Some(Ok(result)) => {
+                        answered_rows += 1;
+                        Response::Classified { result }
+                    }
+                    Some(Err(e)) => Response::Error { error: to_wire(&e) },
+                    // Bookkeeping mismatch; typed rather than asserted.
+                    None => Response::Error {
+                        error: WireError::internal("micro-batch bookkeeping mismatch"),
+                    },
+                },
+                Work::Many(rows) => {
+                    let mut results = Vec::with_capacity(rows.len());
+                    match engine.classify_rows(&rows, &mut scratch, &mut results) {
+                        Ok(()) => {
+                            answered_rows += results.len() as u64;
+                            Response::ClassifiedBatch { results }
+                        }
+                        Err(e) => Response::Error { error: to_wire(&e) },
+                    }
+                }
+            };
+            // The session may have hung up while its job was queued; a
+            // dead reply channel only means nobody is listening anymore.
+            let _ = job.reply.send(response);
+        }
+        rows_classified.fetch_add(answered_rows, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::test_support::tiny_model;
+    use crate::queue::AdmissionPolicy;
+    use cqm_core::{CqmSystem, QualityFilter};
+
+    fn reference(model: &crate::model::ServedModel) -> CqmSystem<cqm_classify::FisClassifier> {
+        CqmSystem::new(
+            model.classifier().clone(),
+            model.model().measure.clone(),
+            QualityFilter::new(model.model().threshold).expect("filter"),
+        )
+        .expect("system")
+    }
+
+    fn bits(q: &QualifiedClassification) -> (usize, Option<u64>, bool) {
+        (
+            q.class.0,
+            q.quality.value().map(f64::to_bits),
+            q.decision.is_accept(),
+        )
+    }
+
+    #[test]
+    fn engine_matches_in_process_system_bitwise() {
+        let model = tiny_model();
+        let engine = Engine::new(&model).expect("engine");
+        let system = reference(&model);
+        let mut scratch = EngineScratch::new();
+        let mut x = -0.2;
+        while x <= 1.2 {
+            let served = engine.classify_one(&[x], &mut scratch).expect("serve");
+            let local = system.classify_with_quality(&[x]).expect("local");
+            assert_eq!(bits(&served), bits(&local), "x={x}");
+            x += 0.04;
+        }
+    }
+
+    #[test]
+    fn batch_rows_match_single_rows_bitwise() {
+        let model = tiny_model();
+        let engine = Engine::new(&model).expect("engine");
+        let mut scratch = EngineScratch::new();
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 29.0]).collect();
+        let mut batch = Vec::new();
+        engine
+            .classify_rows(&rows, &mut scratch, &mut batch)
+            .expect("batch");
+        for (row, b) in rows.iter().zip(batch.iter()) {
+            let single = engine.classify_one(row, &mut scratch).expect("single");
+            assert_eq!(bits(b), bits(&single));
+        }
+    }
+
+    #[test]
+    fn one_bad_row_rejects_an_atomic_batch_but_not_micro_batch_peers() {
+        let model = tiny_model();
+        let engine = Engine::new(&model).expect("engine");
+        let mut scratch = EngineScratch::new();
+        let mut out = Vec::new();
+        let rows = vec![vec![0.1], vec![f64::NAN], vec![0.9]];
+        assert!(engine.classify_rows(&rows, &mut scratch, &mut out).is_err());
+        // The same rows as independent singles: good rows still answer.
+        let mut results = Vec::new();
+        engine.eval_singles(&rows, &mut scratch, &mut results);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn worker_answers_every_admitted_job_then_exits_on_close() {
+        let model = tiny_model();
+        let engine = Engine::new(&model).expect("engine");
+        let queue = BoundedQueue::new(32);
+        let rows_classified = AtomicU64::new(0);
+        let mut receivers = Vec::new();
+        for i in 0..10 {
+            let (tx, rx) = mpsc::channel();
+            let work = if i % 3 == 0 {
+                Work::Many(vec![vec![0.2], vec![0.8]])
+            } else {
+                Work::One(vec![i as f64 / 9.0])
+            };
+            assert!(matches!(
+                queue.push(Job { work, reply: tx }, &AdmissionPolicy::Reject),
+                crate::queue::Admission::Enqueued
+            ));
+            receivers.push(rx);
+        }
+        queue.close();
+        run_worker(&engine, &queue, 4, None, &rows_classified);
+        for rx in receivers {
+            let resp = rx.try_recv().expect("every admitted job is answered");
+            assert!(matches!(
+                resp,
+                Response::Classified { .. } | Response::ClassifiedBatch { .. }
+            ));
+        }
+        // 6 singles + 4 batches x 2 rows
+        assert_eq!(rows_classified.load(Ordering::Relaxed), 14);
+    }
+
+    #[test]
+    fn uncovered_input_is_bad_request_not_internal() {
+        let model = tiny_model();
+        let engine = Engine::new(&model).expect("engine");
+        let mut scratch = EngineScratch::new();
+        let err = engine
+            .classify_one(&[1.0e6], &mut scratch)
+            .expect_err("outside support");
+        assert_eq!(
+            to_wire(&err).kind,
+            crate::protocol::WireErrorKind::BadRequest
+        );
+    }
+}

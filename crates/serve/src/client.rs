@@ -1,0 +1,188 @@
+//! The blocking client: timeouts, typed errors, retry-on-`Overloaded`.
+//!
+//! One [`CqmClient`] owns one connection and one in-flight request at a
+//! time (the protocol is strictly request/response per connection; open
+//! more clients for more concurrency). Two failure families are kept
+//! apart deliberately:
+//!
+//! * [`ServeError::Remote`] — the server answered, with a typed refusal.
+//!   `Overloaded` is the retryable one, and [`CqmClient::classify`] /
+//!   [`CqmClient::classify_batch`] retry it with a fixed backoff up to
+//!   [`ClientConfig::retries`] times before giving up.
+//! * Everything else — timeouts, torn frames, closed connections — is a
+//!   transport failure; the connection is not trustworthy afterwards and
+//!   the client does not retry on its own.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use cqm_core::pipeline::QualifiedClassification;
+
+use crate::protocol::{
+    read_frame, write_frame, FrameRead, Request, Response, ServerHealth, SnapshotInfo,
+    WireErrorKind,
+};
+use crate::{Result, ServeError};
+
+/// Client tunables.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Longest to wait for the TCP connect.
+    pub connect_timeout: Duration,
+    /// Per-call read/write timeout.
+    pub io_timeout: Duration,
+    /// Retries after an `Overloaded` answer (0 = give up immediately).
+    pub retries: u32,
+    /// Fixed pause between overload retries.
+    pub retry_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(30),
+            retries: 3,
+            retry_backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+/// A connected client; see the module docs for the failure model.
+pub struct CqmClient {
+    stream: TcpStream,
+    config: ClientConfig,
+}
+
+impl CqmClient {
+    /// Connect with the configured timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if the connection cannot be established
+    /// or the timeouts cannot be set.
+    pub fn connect(addr: SocketAddr, config: ClientConfig) -> Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)
+            .map_err(|e| ServeError::io(format!("connecting to {addr}"), &e))?;
+        stream
+            .set_read_timeout(Some(config.io_timeout))
+            .map_err(|e| ServeError::io("configuring read timeout", &e))?;
+        stream
+            .set_write_timeout(Some(config.io_timeout))
+            .map_err(|e| ServeError::io("configuring write timeout", &e))?;
+        Ok(CqmClient { stream, config })
+    }
+
+    /// One request/response exchange.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures ([`ServeError::Io`] / [`ServeError::Protocol`] /
+    /// [`ServeError::Timeout`] / [`ServeError::ConnectionClosed`]); a
+    /// server-side [`Response::Error`] is returned as `Ok` here and mapped
+    /// by the typed wrappers.
+    fn call(&mut self, request: &Request) -> Result<Response> {
+        write_frame(&mut self.stream, request)?;
+        match read_frame::<_, Response>(&mut self.stream)? {
+            FrameRead::Frame(response) => Ok(response),
+            FrameRead::Eof => Err(ServeError::ConnectionClosed),
+            FrameRead::Idle => Err(ServeError::Timeout("waiting for the response".into())),
+        }
+    }
+
+    /// Run `request`, retrying typed `Overloaded` answers with backoff.
+    fn call_retrying(&mut self, request: &Request) -> Result<Response> {
+        let mut attempts_left = self.config.retries;
+        loop {
+            let response = self.call(request)?;
+            let Response::Error { error } = &response else {
+                return Ok(response);
+            };
+            if error.kind != WireErrorKind::Overloaded || attempts_left == 0 {
+                return Ok(response);
+            }
+            attempts_left -= 1;
+            std::thread::sleep(self.config.retry_backoff);
+        }
+    }
+
+    /// Classify one cue vector.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as for [`CqmClient::call`], or
+    /// [`ServeError::Remote`] once overload retries are exhausted or for
+    /// any non-retryable refusal.
+    pub fn classify(&mut self, cues: &[f64]) -> Result<QualifiedClassification> {
+        let request = Request::Classify {
+            cues: cues.to_vec(),
+        };
+        match self.call_retrying(&request)? {
+            Response::Classified { result } => Ok(result),
+            Response::Error { error } => Err(ServeError::Remote(error)),
+            other => Err(unexpected("Classified", &other)),
+        }
+    }
+
+    /// Classify a batch atomically; all rows answer or the batch fails.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CqmClient::classify`].
+    pub fn classify_batch(&mut self, rows: &[Vec<f64>]) -> Result<Vec<QualifiedClassification>> {
+        let request = Request::ClassifyBatch {
+            rows: rows.to_vec(),
+        };
+        match self.call_retrying(&request)? {
+            Response::ClassifiedBatch { results } => Ok(results),
+            Response::Error { error } => Err(ServeError::Remote(error)),
+            other => Err(unexpected("ClassifiedBatch", &other)),
+        }
+    }
+
+    /// Describe the served model.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CqmClient::classify`] (no overload retries —
+    /// introspection is never queued).
+    pub fn snapshot(&mut self) -> Result<SnapshotInfo> {
+        match self.call(&Request::Snapshot)? {
+            Response::Snapshot { info } => Ok(info),
+            Response::Error { error } => Err(ServeError::Remote(error)),
+            other => Err(unexpected("Snapshot", &other)),
+        }
+    }
+
+    /// Read the server's load counters.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CqmClient::snapshot`].
+    pub fn health(&mut self) -> Result<ServerHealth> {
+        match self.call(&Request::Health)? {
+            Response::Health { health } => Ok(health),
+            Response::Error { error } => Err(ServeError::Remote(error)),
+            other => Err(unexpected("Health", &other)),
+        }
+    }
+
+    /// Ask the server to drain and stop. The acknowledgement only means
+    /// the drain has begun; the server's owner observes completion via
+    /// `CqmServer::join`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CqmClient::snapshot`].
+    pub fn shutdown(&mut self) -> Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error { error } => Err(ServeError::Remote(error)),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ServeError {
+    ServeError::Protocol(format!("expected {wanted} response, got {got:?}"))
+}

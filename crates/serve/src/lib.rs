@@ -1,0 +1,153 @@
+//! `cqm-serve` — the CQM inference service.
+//!
+//! The paper's §2 pipeline answers one question — "what is the context, and
+//! how much should I trust it?" — but after training, that answer has to
+//! reach the appliances that act on it. This crate is the service layer in
+//! between: a std-only TCP server that loads a trained classifier + quality
+//! measure (optionally warm-started from a `cqm-persist` checkpoint), fields
+//! concurrent classify requests over a CRC-guarded binary protocol, and
+//! answers every one with the full [`QualifiedClassification`] — class,
+//! quality `q`, and the filter's accept/discard verdict — so downstream
+//! consumers can act on quality, not just on class.
+//!
+//! Layering, bottom to top:
+//!
+//! * [`protocol`] — length-prefixed, versioned, CRC-32-guarded frames and
+//!   the request/response vocabulary. Torn and corrupt frames are typed
+//!   errors, never panics, reusing the discipline of `cqm-persist`'s
+//!   journal.
+//! * [`queue`] — a bounded request queue with explicit admission control
+//!   ([`AdmissionPolicy::Reject`] / [`AdmissionPolicy::DropOldest`] /
+//!   [`AdmissionPolicy::Block`], the `EventBus` policy vocabulary applied to
+//!   ingress): under overload clients get a typed `Overloaded` answer,
+//!   never unbounded buffering.
+//! * [`model`] — the served artifact ([`ServedModel`]) and where it comes
+//!   from ([`ModelSource`]): fresh, or warm-started from a checkpoint.
+//! * [`batch`] — the evaluation engine: allocation-free
+//!   `ClassifierKernel`/`QualityKernel` paths, micro-batching queued
+//!   requests into single kernel sweeps, bit-identical to the in-process
+//!   `CqmSystem` answers.
+//! * [`server`] / [`client`] — the acceptor/worker server with graceful
+//!   drain-then-checkpoint shutdown, and the blocking client with timeouts
+//!   and retry-on-`Overloaded`.
+//!
+//! [`QualifiedClassification`]: cqm_core::pipeline::QualifiedClassification
+//! [`AdmissionPolicy::Reject`]: queue::AdmissionPolicy::Reject
+//! [`AdmissionPolicy::DropOldest`]: queue::AdmissionPolicy::DropOldest
+//! [`AdmissionPolicy::Block`]: queue::AdmissionPolicy::Block
+//! [`ServedModel`]: model::ServedModel
+//! [`ModelSource`]: model::ModelSource
+
+pub mod batch;
+pub mod client;
+pub mod model;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use batch::{Engine, EngineScratch};
+pub use client::{ClientConfig, CqmClient};
+pub use model::{ModelSource, ResolvedModel, ServeCheckpoint, ServedModel};
+pub use protocol::{
+    Request, Response, ServerHealth, SnapshotInfo, WireError, WireErrorKind, PROTOCOL_VERSION,
+};
+pub use queue::{Admission, AdmissionPolicy, BoundedQueue, QueueStats};
+pub use server::{CqmServer, ServerConfig};
+
+/// Everything that can go wrong serving or consuming the service.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An OS-level I/O failure, annotated with the operation that failed.
+    Io {
+        /// What the service was doing.
+        op: String,
+        /// The underlying error rendered to text.
+        detail: String,
+    },
+    /// A malformed frame: torn, truncated, or failing its CRC.
+    Protocol(String),
+    /// A frame announced a payload larger than the protocol allows.
+    FrameTooLarge {
+        /// Claimed payload length.
+        len: u64,
+        /// The protocol's cap.
+        max: u64,
+    },
+    /// A frame written by a newer protocol than this build speaks.
+    ProtocolVersion {
+        /// Version found in the frame header.
+        found: u32,
+        /// Newest version this build supports.
+        supported: u32,
+    },
+    /// An intact frame whose payload does not decode as the expected type.
+    Decode(String),
+    /// The peer answered with a typed error (overload, bad request, ...).
+    Remote(WireError),
+    /// The connection closed while a response was still owed.
+    ConnectionClosed,
+    /// A blocking operation ran out of time.
+    Timeout(String),
+    /// The service was configured inconsistently.
+    InvalidConfig(String),
+    /// A failure in the underlying CQM evaluation machinery.
+    Core(cqm_core::CqmError),
+    /// A checkpoint load/store failure.
+    Persist(cqm_persist::PersistError),
+}
+
+impl ServeError {
+    pub(crate) fn io(op: impl Into<String>, e: &std::io::Error) -> Self {
+        ServeError::Io {
+            op: op.into(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io { op, detail } => write!(f, "I/O failure while {op}: {detail}"),
+            ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ServeError::FrameTooLarge { len, max } => {
+                write!(f, "frame claims {len}-byte payload, protocol caps at {max}")
+            }
+            ServeError::ProtocolVersion { found, supported } => {
+                write!(f, "frame version {found} newer than supported {supported}")
+            }
+            ServeError::Decode(msg) => write!(f, "payload decode failure: {msg}"),
+            ServeError::Remote(e) => write!(f, "server error: {e}"),
+            ServeError::ConnectionClosed => write!(f, "connection closed mid-exchange"),
+            ServeError::Timeout(what) => write!(f, "timed out {what}"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ServeError::Core(e) => write!(f, "evaluation failure: {e}"),
+            ServeError::Persist(e) => write!(f, "persistence failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            ServeError::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cqm_core::CqmError> for ServeError {
+    fn from(e: cqm_core::CqmError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<cqm_persist::PersistError> for ServeError {
+    fn from(e: cqm_persist::PersistError) -> Self {
+        ServeError::Persist(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,552 @@
+//! The wire protocol: length-prefixed, versioned, CRC-guarded frames.
+//!
+//! On-the-wire frame layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length in bytes (u32)
+//! 4       4     protocol version (u32)
+//! 8       4     CRC-32 (IEEE) over length ‖ version ‖ payload (u32)
+//! 12      n     payload: JSON of a [`Request`] or [`Response`]
+//! ```
+//!
+//! The CRC covers the length and version fields as well as the payload, so
+//! a bit flip anywhere in the frame is detected — the same discipline as
+//! `cqm-persist`'s journal records, applied to a socket instead of a file.
+//! Quality values ride the wire as JSON floats; the vendored `serde_json`
+//! is built with `float_roundtrip`, so an `f64` survives encode → decode
+//! bit-exactly (the same property the checkpoint tests prove), which is
+//! what makes "served answers match in-process answers bit-for-bit" a
+//! meaningful claim rather than an approximation.
+//!
+//! Reading distinguishes three non-frame outcomes, all typed and none a
+//! panic: a clean EOF before any header byte ([`FrameRead::Eof`], the peer
+//! hung up between frames), a read timeout before any header byte
+//! ([`FrameRead::Idle`], nothing in flight — the server's shutdown poll
+//! tick), and everything else — torn headers, truncated payloads, CRC
+//! mismatches, impossible lengths — as [`ServeError`] values.
+
+use std::io::{ErrorKind, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use cqm_core::pipeline::QualifiedClassification;
+use cqm_persist::crc32::Crc32;
+
+use crate::{Result, ServeError};
+
+/// Current protocol version, stamped into every frame.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Bytes before the payload: length, version, CRC.
+pub const FRAME_HEADER_LEN: usize = 4 + 4 + 4;
+
+/// Refuse frames beyond this payload size (a corrupt or hostile length
+/// field must not turn into an OOM): 16 MiB.
+pub const MAX_FRAME_LEN: u32 = 16 << 20;
+
+/// Consecutive mid-frame read timeouts tolerated before the peer is
+/// declared gone. Only reachable on sockets with a read timeout set (the
+/// server polls at ~50 ms, so this is roughly a five-second stall budget).
+const MAX_MID_FRAME_STALLS: u32 = 100;
+
+/// A parsed frame header, CRC not yet verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Payload length in bytes.
+    pub payload_len: u32,
+    /// Protocol version the frame was written with.
+    pub version: u32,
+    /// CRC-32 over length ‖ version ‖ payload.
+    pub crc: u32,
+}
+
+/// What a client asks the service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Classify one cue vector.
+    Classify {
+        /// The cue vector `v_C`.
+        cues: Vec<f64>,
+    },
+    /// Classify a batch atomically: all rows answer or none do.
+    ClassifyBatch {
+        /// One cue vector per row.
+        rows: Vec<Vec<f64>>,
+    },
+    /// Describe the model being served.
+    Snapshot,
+    /// Report server load counters.
+    Health,
+    /// Ask the server to drain and stop.
+    Shutdown,
+}
+
+/// What the service answers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Classify`].
+    Classified {
+        /// Class, quality and filter verdict.
+        result: QualifiedClassification,
+    },
+    /// Answer to [`Request::ClassifyBatch`].
+    ClassifiedBatch {
+        /// One result per request row, in request order.
+        results: Vec<QualifiedClassification>,
+    },
+    /// Answer to [`Request::Snapshot`].
+    Snapshot {
+        /// The served model's description.
+        info: SnapshotInfo,
+    },
+    /// Answer to [`Request::Health`].
+    Health {
+        /// Load counters at the time of the request.
+        health: ServerHealth,
+    },
+    /// Acknowledgement of [`Request::Shutdown`].
+    ShuttingDown,
+    /// Any request the server could not serve, with a typed reason.
+    Error {
+        /// Why the request failed.
+        error: WireError,
+    },
+}
+
+/// Why a request failed, in vocabulary a client can act on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireErrorKind {
+    /// The bounded queue was full and admission control rejected the
+    /// request. Retryable.
+    Overloaded,
+    /// The request itself was unserviceable (wrong cue dimension,
+    /// non-finite cues, uncovered input, malformed frame). Not retryable.
+    BadRequest,
+    /// The server failed internally. Not the client's fault.
+    Internal,
+    /// The server is draining; no new work is admitted. Not retryable on
+    /// this server instance.
+    ShuttingDown,
+}
+
+/// A typed error shipped back over the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Machine-actionable category.
+    pub kind: WireErrorKind,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl WireError {
+    /// An admission-control rejection.
+    pub fn overloaded() -> Self {
+        WireError {
+            kind: WireErrorKind::Overloaded,
+            detail: "request queue full".into(),
+        }
+    }
+
+    /// A request the server refuses on its merits.
+    pub fn bad_request(detail: impl Into<String>) -> Self {
+        WireError {
+            kind: WireErrorKind::BadRequest,
+            detail: detail.into(),
+        }
+    }
+
+    /// A server-side failure.
+    pub fn internal(detail: impl Into<String>) -> Self {
+        WireError {
+            kind: WireErrorKind::Internal,
+            detail: detail.into(),
+        }
+    }
+
+    /// The drain-phase refusal.
+    pub fn shutting_down() -> Self {
+        WireError {
+            kind: WireErrorKind::ShuttingDown,
+            detail: "server is draining".into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.kind {
+            WireErrorKind::Overloaded => "overloaded",
+            WireErrorKind::BadRequest => "bad request",
+            WireErrorKind::Internal => "internal",
+            WireErrorKind::ShuttingDown => "shutting down",
+        };
+        write!(f, "{kind}: {}", self.detail)
+    }
+}
+
+/// Description of the model a server is holding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotInfo {
+    /// Checkpoint sequence the server started from (0 = fresh).
+    pub checkpoint_seq: u64,
+    /// Whether the model came from a checkpoint rather than a fresh load.
+    pub warm_started: bool,
+    /// Cue dimensionality `n` the model expects.
+    pub cue_dim: usize,
+    /// Number of context classes the classifier can emit.
+    pub num_classes: usize,
+    /// The quality filter's operating threshold.
+    pub threshold: f64,
+    /// Provenance note carried by the model.
+    pub note: String,
+}
+
+/// Server load counters, as answered to [`Request::Health`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerHealth {
+    /// Requests admitted into the queue.
+    pub requests: u64,
+    /// Cue rows successfully classified.
+    pub rows_classified: u64,
+    /// Requests turned away by admission control.
+    pub rejected: u64,
+    /// Admitted requests later evicted by [`DropOldest`].
+    ///
+    /// [`DropOldest`]: crate::queue::AdmissionPolicy::DropOldest
+    pub shed: u64,
+    /// Deepest the queue has been.
+    pub queue_highwater: u64,
+    /// Sessions that ended on a protocol or I/O error.
+    pub session_errors: u64,
+    /// Worker threads evaluating requests.
+    pub workers: usize,
+    /// Whether the server is draining toward shutdown.
+    pub draining: bool,
+}
+
+/// Encode one message as a complete frame.
+///
+/// # Errors
+///
+/// * [`ServeError::Decode`] if the message does not serialize;
+/// * [`ServeError::FrameTooLarge`] if the payload exceeds
+///   [`MAX_FRAME_LEN`].
+pub fn encode_frame<T: Serialize>(msg: &T) -> Result<Vec<u8>> {
+    let payload = serde_json::to_string(msg).map_err(|e| ServeError::Decode(e.to_string()))?;
+    let payload = payload.as_bytes();
+    if payload.len() as u64 > u64::from(MAX_FRAME_LEN) {
+        return Err(ServeError::FrameTooLarge {
+            len: payload.len() as u64,
+            max: u64::from(MAX_FRAME_LEN),
+        });
+    }
+    let len_le = (payload.len() as u32).to_le_bytes();
+    let version_le = PROTOCOL_VERSION.to_le_bytes();
+    let mut crc = Crc32::new();
+    crc.update(&len_le);
+    crc.update(&version_le);
+    crc.update(payload);
+    let mut bytes = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    bytes.extend_from_slice(&len_le);
+    bytes.extend_from_slice(&version_le);
+    bytes.extend_from_slice(&crc.finalize().to_le_bytes());
+    bytes.extend_from_slice(payload);
+    Ok(bytes)
+}
+
+/// Parse and sanity-check a frame header.
+///
+/// # Errors
+///
+/// * [`ServeError::FrameTooLarge`] on a length beyond [`MAX_FRAME_LEN`]
+///   (rejected before any allocation);
+/// * [`ServeError::ProtocolVersion`] on a frame from a newer protocol.
+pub fn parse_header(bytes: &[u8; FRAME_HEADER_LEN]) -> Result<FrameHeader> {
+    let payload_len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    let crc = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if payload_len > MAX_FRAME_LEN {
+        return Err(ServeError::FrameTooLarge {
+            len: u64::from(payload_len),
+            max: u64::from(MAX_FRAME_LEN),
+        });
+    }
+    if version > PROTOCOL_VERSION {
+        return Err(ServeError::ProtocolVersion {
+            found: version,
+            supported: PROTOCOL_VERSION,
+        });
+    }
+    Ok(FrameHeader {
+        payload_len,
+        version,
+        crc,
+    })
+}
+
+/// Verify the CRC and decode the payload.
+///
+/// # Errors
+///
+/// * [`ServeError::Protocol`] on CRC mismatch or non-UTF-8 payload;
+/// * [`ServeError::Decode`] if the intact payload is not a `T`.
+pub fn decode_payload<T: Deserialize>(header: &FrameHeader, payload: &[u8]) -> Result<T> {
+    let mut crc = Crc32::new();
+    crc.update(&header.payload_len.to_le_bytes());
+    crc.update(&header.version.to_le_bytes());
+    crc.update(payload);
+    let actual = crc.finalize();
+    if actual != header.crc {
+        return Err(ServeError::Protocol(format!(
+            "frame CRC mismatch (stored {:#010x}, computed {actual:#010x})",
+            header.crc
+        )));
+    }
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| ServeError::Protocol(format!("frame payload not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| ServeError::Decode(e.to_string()))
+}
+
+/// Write one message as a frame and flush it.
+///
+/// # Errors
+///
+/// Same conditions as [`encode_frame`], plus [`ServeError::Io`] on the
+/// socket write.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> Result<()> {
+    let bytes = encode_frame(msg)?;
+    w.write_all(&bytes)
+        .map_err(|e| ServeError::io("writing frame", &e))?;
+    w.flush().map_err(|e| ServeError::io("flushing frame", &e))
+}
+
+/// Outcome of one read attempt.
+#[derive(Debug)]
+pub enum FrameRead<T> {
+    /// A complete, CRC-verified, decoded frame.
+    Frame(T),
+    /// Clean EOF before any header byte: the peer hung up between frames.
+    Eof,
+    /// Read timeout before any header byte: nothing in flight. Only
+    /// reachable on sockets with a read timeout configured.
+    Idle,
+}
+
+/// How far a fill got.
+enum Fill {
+    Done,
+    Eof { got: usize },
+    Idle,
+}
+
+/// Read exactly `buf.len()` bytes, tolerating interrupts and bounded
+/// mid-frame stalls. `started` says whether earlier bytes of this frame
+/// were already consumed (a timeout then is a stall, not idleness).
+fn fill<R: Read>(r: &mut R, buf: &mut [u8], started: bool) -> Result<Fill> {
+    let mut got = 0usize;
+    let mut stalls = 0u32;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => return Ok(Fill::Eof { got }),
+            Ok(n) => {
+                got += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if got == 0 && !started {
+                    return Ok(Fill::Idle);
+                }
+                stalls += 1;
+                if stalls >= MAX_MID_FRAME_STALLS {
+                    return Err(ServeError::Protocol(
+                        "torn frame: peer stalled mid-frame".into(),
+                    ));
+                }
+            }
+            Err(e) => return Err(ServeError::io("reading frame", &e)),
+        }
+    }
+    Ok(Fill::Done)
+}
+
+/// Read one frame, distinguishing idle and EOF from corruption.
+///
+/// # Errors
+///
+/// * [`ServeError::Protocol`] on a torn header or payload (EOF or a stall
+///   mid-frame) and on CRC mismatch;
+/// * [`ServeError::FrameTooLarge`] / [`ServeError::ProtocolVersion`] /
+///   [`ServeError::Decode`] as for [`parse_header`] and
+///   [`decode_payload`];
+/// * [`ServeError::Io`] on any other socket failure.
+pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> Result<FrameRead<T>> {
+    let mut header_bytes = [0u8; FRAME_HEADER_LEN];
+    match fill(r, &mut header_bytes, false)? {
+        Fill::Done => {}
+        Fill::Eof { got: 0 } => return Ok(FrameRead::Eof),
+        Fill::Eof { got } => {
+            return Err(ServeError::Protocol(format!(
+                "torn frame: EOF after {got} of {FRAME_HEADER_LEN} header bytes"
+            )));
+        }
+        Fill::Idle => return Ok(FrameRead::Idle),
+    }
+    let header = parse_header(&header_bytes)?;
+    let mut payload = vec![0u8; header.payload_len as usize];
+    match fill(r, &mut payload, true)? {
+        Fill::Done => {}
+        Fill::Eof { got } => {
+            return Err(ServeError::Protocol(format!(
+                "torn frame: EOF after {got} of {} payload bytes",
+                header.payload_len
+            )));
+        }
+        // Unreachable with started=true, but typed rather than asserted.
+        Fill::Idle => {
+            return Err(ServeError::Protocol(
+                "torn frame: peer stalled before payload".into(),
+            ));
+        }
+    }
+    Ok(FrameRead::Frame(decode_payload(&header, &payload)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn request() -> Request {
+        Request::ClassifyBatch {
+            rows: vec![vec![0.25, 1.0 / 3.0], vec![-7.5e-3, 42.0]],
+        }
+    }
+
+    fn read_one<T: Deserialize>(bytes: &[u8]) -> Result<FrameRead<T>> {
+        read_frame(&mut Cursor::new(bytes))
+    }
+
+    #[test]
+    fn round_trip_preserves_floats_bit_exactly() {
+        let bytes = encode_frame(&request()).unwrap();
+        let back = match read_one::<Request>(&bytes).unwrap() {
+            FrameRead::Frame(r) => r,
+            other => panic!("expected frame, got {other:?}"),
+        };
+        let sent = request();
+        let (Request::ClassifyBatch { rows: a }, Request::ClassifyBatch { rows: b }) =
+            (&sent, &back)
+        else {
+            panic!("variant changed in transit: {back:?}");
+        };
+        for (ra, rb) in a.iter().zip(b.iter()) {
+            for (x, y) in ra.iter().zip(rb.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn clean_eof_between_frames_is_not_an_error() {
+        assert!(matches!(
+            read_one::<Request>(&[]).unwrap(),
+            FrameRead::Eof
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_torn_or_eof_never_a_panic() {
+        let bytes = encode_frame(&request()).unwrap();
+        for keep in 1..bytes.len() {
+            let r = read_one::<Request>(&bytes[..keep]);
+            assert!(
+                r.is_err(),
+                "truncation to {keep} of {} bytes went undetected",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = encode_frame(&request()).unwrap();
+        for i in 0..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0x01;
+            match read_one::<Request>(&corrupted) {
+                Err(_) => {}
+                Ok(FrameRead::Frame(back)) => {
+                    panic!("byte {i} flip went undetected, decoded {back:?}")
+                }
+                Ok(other) => panic!("byte {i} flip read as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut bytes = encode_frame(&Request::Health).unwrap();
+        bytes[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_one::<Request>(&bytes).unwrap_err();
+        assert!(matches!(err, ServeError::FrameTooLarge { .. }), "{err}");
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        // Rebuild a frame claiming a future version with a valid CRC, so
+        // the version check (not the CRC) is what rejects it.
+        let payload = b"{}";
+        let len_le = (payload.len() as u32).to_le_bytes();
+        let version_le = (PROTOCOL_VERSION + 1).to_le_bytes();
+        let mut crc = Crc32::new();
+        crc.update(&len_le);
+        crc.update(&version_le);
+        crc.update(payload);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&len_le);
+        bytes.extend_from_slice(&version_le);
+        bytes.extend_from_slice(&crc.finalize().to_le_bytes());
+        bytes.extend_from_slice(payload);
+        let err = read_one::<Request>(&bytes).unwrap_err();
+        assert!(matches!(err, ServeError::ProtocolVersion { .. }), "{err}");
+    }
+
+    #[test]
+    fn wrong_type_payload_is_decode_error_not_panic() {
+        let bytes = encode_frame(&Response::ShuttingDown).unwrap();
+        let err = read_one::<Request>(&bytes).unwrap_err();
+        assert!(matches!(err, ServeError::Decode(_)), "{err}");
+    }
+
+    #[test]
+    fn back_to_back_frames_stream() {
+        let mut bytes = encode_frame(&Request::Health).unwrap();
+        bytes.extend_from_slice(&encode_frame(&Request::Snapshot).unwrap());
+        let mut cursor = Cursor::new(&bytes[..]);
+        assert!(matches!(
+            read_frame::<_, Request>(&mut cursor).unwrap(),
+            FrameRead::Frame(Request::Health)
+        ));
+        assert!(matches!(
+            read_frame::<_, Request>(&mut cursor).unwrap(),
+            FrameRead::Frame(Request::Snapshot)
+        ));
+        assert!(matches!(
+            read_frame::<_, Request>(&mut cursor).unwrap(),
+            FrameRead::Eof
+        ));
+    }
+
+    #[test]
+    fn oversized_message_refused_at_encode_time() {
+        let rows = vec![vec![1.0 / 3.0; 1 << 16]; 16];
+        let req = Request::ClassifyBatch { rows };
+        // ~1M floats at ~19 JSON chars each ≈ 20 MB, past the 16 MiB cap.
+        assert!(matches!(
+            encode_frame(&req),
+            Err(ServeError::FrameTooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,540 @@
+//! The TCP server: acceptor, sessions, worker pool, graceful shutdown.
+//!
+//! Thread architecture:
+//!
+//! * one **acceptor** thread owns the listener and spawns a session thread
+//!   per connection;
+//! * one **runtime** thread hosts a [`WorkerPool`] whose scoped threads
+//!   *are* the worker loops ([`run_worker`]) — they pop micro-batches from
+//!   the bounded queue until it closes and drains;
+//! * each **session** thread speaks the frame protocol with one client,
+//!   enqueues classification jobs, and parks on a reply channel. Sessions
+//!   poll with a short read timeout, so an idle connection notices
+//!   shutdown within one tick.
+//!
+//! Shutdown ordering (see DESIGN.md §10): mark draining (sessions answer
+//! `ShuttingDown` to new work) → close the queue (workers finish what was
+//! admitted, then exit) → unblock and join the acceptor → join workers and
+//! sessions → write the checkpoint. Every admitted request is answered
+//! before the checkpoint is written; nothing is dropped silently.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cqm_parallel::WorkerPool;
+use cqm_persist::CheckpointHandle;
+
+use crate::batch::{run_worker, Engine, Job, Work};
+use crate::model::{ModelSource, ServeCheckpoint, ServedModel};
+use crate::protocol::{
+    read_frame, write_frame, FrameRead, Request, Response, ServerHealth, SnapshotInfo, WireError,
+};
+use crate::queue::{Admission, AdmissionPolicy, BoundedQueue};
+use crate::{Result, ServeError};
+
+/// How often an idle session wakes to check for shutdown.
+const SESSION_POLL: Duration = Duration::from_millis(50);
+
+/// Longest a session waits for a worker to answer an admitted job. Workers
+/// answer every admitted job, so this only fires if a worker died — it
+/// converts a hung client into a typed internal error.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads evaluating requests (clamped to at least 1).
+    pub workers: usize,
+    /// Bounded queue capacity (clamped to at least 1).
+    pub queue_capacity: usize,
+    /// What happens to requests arriving at a full queue.
+    pub admission: AdmissionPolicy,
+    /// Most jobs a worker folds into one kernel sweep (clamped to at
+    /// least 1).
+    pub micro_batch: usize,
+    /// Where to write the shutdown checkpoint; `None` disables it.
+    pub checkpoint: Option<PathBuf>,
+    /// Artificial per-micro-batch evaluation delay — a load-shaping knob
+    /// for overload tests and the load generator. `None` in production.
+    pub eval_delay: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 256,
+            admission: AdmissionPolicy::Reject,
+            micro_batch: 16,
+            checkpoint: None,
+            eval_delay: None,
+        }
+    }
+}
+
+/// State shared by acceptor, sessions and workers.
+struct Shared {
+    engine: Engine,
+    queue: BoundedQueue<Job>,
+    admission: AdmissionPolicy,
+    /// Set first during shutdown: sessions refuse new work, the acceptor
+    /// stops accepting.
+    draining: AtomicBool,
+    /// Signalled when somebody (a client's `Shutdown` request, or the
+    /// owner) asks the server to stop; `join` waits on it.
+    stop_requested: Mutex<bool>,
+    stop_cv: Condvar,
+    requests: AtomicU64,
+    rows_classified: AtomicU64,
+    session_errors: AtomicU64,
+    snapshot: SnapshotInfo,
+    workers: usize,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn request_stop(&self) {
+        let mut stop = self
+            .stop_requested
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *stop = true;
+        self.stop_cv.notify_all();
+    }
+
+    fn wait_for_stop(&self) {
+        let mut stop = self
+            .stop_requested
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while !*stop {
+            stop = self
+                .stop_cv
+                .wait(stop)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn health(&self) -> ServerHealth {
+        let qs = self.queue.stats();
+        ServerHealth {
+            requests: self.requests.load(Ordering::Relaxed),
+            rows_classified: self.rows_classified.load(Ordering::Relaxed),
+            rejected: qs.rejected,
+            shed: qs.shed,
+            queue_highwater: qs.highwater,
+            session_errors: self.session_errors.load(Ordering::Relaxed),
+            workers: self.workers,
+            draining: self.draining(),
+        }
+    }
+}
+
+/// A running server. Dropping it performs a full graceful shutdown; call
+/// [`CqmServer::shutdown`] to get the final health and checkpoint result
+/// explicitly.
+pub struct CqmServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    runtime: Option<JoinHandle<()>>,
+    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    checkpoint: Option<CheckpointHandle>,
+    model: ServedModel,
+    start_seq: u64,
+    finished: bool,
+}
+
+impl CqmServer {
+    /// Resolve the model, bind the listener, start workers and acceptor.
+    ///
+    /// # Errors
+    ///
+    /// * model resolution failures (see [`ModelSource::resolve`]);
+    /// * [`ServeError::Io`] if the address cannot be bound.
+    pub fn start(source: ModelSource, config: ServerConfig) -> Result<CqmServer> {
+        let resolved = source.resolve()?;
+        let engine = Engine::new(&resolved.model)?;
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ServeError::io(format!("binding {}", config.addr), &e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::io("reading bound address", &e))?;
+
+        let workers = config.workers.max(1);
+        let micro_batch = config.micro_batch.max(1);
+        let snapshot = SnapshotInfo {
+            checkpoint_seq: resolved.seq,
+            warm_started: resolved.warm_started,
+            cue_dim: resolved.model.cue_dim(),
+            num_classes: resolved.model.num_classes(),
+            threshold: resolved.model.model().threshold,
+            note: resolved.model.model().note.clone(),
+        };
+        let shared = Arc::new(Shared {
+            engine,
+            queue: BoundedQueue::new(config.queue_capacity),
+            admission: config.admission,
+            draining: AtomicBool::new(false),
+            stop_requested: Mutex::new(false),
+            stop_cv: Condvar::new(),
+            requests: AtomicU64::new(0),
+            rows_classified: AtomicU64::new(0),
+            session_errors: AtomicU64::new(0),
+            snapshot,
+            workers,
+        });
+
+        let runtime = {
+            let shared = Arc::clone(&shared);
+            let eval_delay = config.eval_delay;
+            std::thread::spawn(move || {
+                // The pool's scoped threads are the worker loops: one
+                // chunk per worker, each blocking on the queue until it
+                // closes and drains.
+                let pool = WorkerPool::new(workers);
+                pool.run_chunks(workers, 1, |_chunk| {
+                    run_worker(
+                        &shared.engine,
+                        &shared.queue,
+                        micro_batch,
+                        eval_delay,
+                        &shared.rows_classified,
+                    );
+                });
+            })
+        };
+
+        let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let sessions = Arc::clone(&sessions);
+            std::thread::spawn(move || accept_loop(&listener, &shared, &sessions))
+        };
+
+        Ok(CqmServer {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            runtime: Some(runtime),
+            sessions,
+            checkpoint: config.checkpoint.map(CheckpointHandle::new),
+            model: resolved.model,
+            start_seq: resolved.seq,
+            finished: false,
+        })
+    }
+
+    /// The address the server actually bound (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current load counters.
+    pub fn health(&self) -> ServerHealth {
+        self.shared.health()
+    }
+
+    /// Block until a client's `Shutdown` request (or a concurrent
+    /// [`CqmServer::shutdown`]) stops the server, then finish the drain
+    /// and return the final health.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Persist`] if the shutdown checkpoint cannot
+    /// be written; the drain itself always completes.
+    pub fn join(mut self) -> Result<ServerHealth> {
+        self.shared.wait_for_stop();
+        self.finish()
+    }
+
+    /// Drain and stop now: refuse new work, answer everything admitted,
+    /// tear down the threads, write the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CqmServer::join`].
+    pub fn shutdown(mut self) -> Result<ServerHealth> {
+        self.shared.request_stop();
+        self.finish()
+    }
+
+    fn finish(&mut self) -> Result<ServerHealth> {
+        if self.finished {
+            return Ok(self.shared.health());
+        }
+        self.finished = true;
+        // 1. No new work: sessions answer ShuttingDown, acceptor stops.
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.request_stop();
+        // 2. Workers drain every admitted job, then exit.
+        self.shared.queue.close();
+        // 3. The acceptor is parked in accept(); a throwaway connection
+        //    wakes it so it can observe the draining flag. A failed
+        //    connect only means the listener is already gone.
+        drop(TcpStream::connect(self.addr));
+        if let Some(h) = self.acceptor.take() {
+            let _joined = h.join();
+        }
+        if let Some(h) = self.runtime.take() {
+            let _joined = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut sessions = self
+                .sessions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            sessions.drain(..).collect()
+        };
+        for h in handles {
+            let _joined = h.join();
+        }
+        // 4. Only now — with every answer delivered — write the
+        //    checkpoint the next instance warm-starts from.
+        if let Some(handle) = &self.checkpoint {
+            let ck = ServeCheckpoint {
+                seq: self.start_seq + 1,
+                model: self.model.clone(),
+            };
+            handle.save(&ck)?;
+        }
+        Ok(self.shared.health())
+    }
+}
+
+impl Drop for CqmServer {
+    fn drop(&mut self) {
+        // Best-effort graceful shutdown for servers dropped without an
+        // explicit call; Drop cannot propagate the checkpoint error.
+        if !self.finished {
+            let _result = self.finish();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    sessions: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.draining() {
+                    // The shutdown self-connect (or a late client); the
+                    // connection is dropped unanswered.
+                    break;
+                }
+                let shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || run_session(stream, &shared));
+                sessions
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(handle);
+            }
+            Err(_accept_error) => {
+                // Transient accept failures (e.g. aborted handshake) are
+                // not fatal; leave only when shutting down.
+                if shared.draining() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn run_session(mut stream: TcpStream, shared: &Shared) {
+    if let Err(e) = session(&mut stream, shared) {
+        shared.session_errors.fetch_add(1, Ordering::Relaxed);
+        // Best-effort typed goodbye: tell the client *why* before closing.
+        // The transport may already be gone, in which case there is nobody
+        // left to tell and the counter above is the only trace.
+        let goodbye = Response::Error {
+            error: WireError::bad_request(format!("closing connection: {e}")),
+        };
+        if write_frame(&mut stream, &goodbye).is_err() {
+            // Connection unusable; already counted.
+        }
+    }
+}
+
+/// Speak the protocol with one client until EOF, shutdown, or a protocol
+/// error (which the caller turns into a typed goodbye).
+fn session(stream: &mut TcpStream, shared: &Shared) -> Result<()> {
+    stream
+        .set_read_timeout(Some(SESSION_POLL))
+        .map_err(|e| ServeError::io("configuring session socket", &e))?;
+    // One reply channel per session: a session has at most one job in
+    // flight, so the channel is reused across requests.
+    let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+    loop {
+        match read_frame::<_, Request>(stream)? {
+            FrameRead::Idle => {
+                if shared.draining() {
+                    return Ok(());
+                }
+            }
+            FrameRead::Eof => return Ok(()),
+            FrameRead::Frame(request) => {
+                let response = handle_request(request, shared, &reply_tx, &reply_rx);
+                write_frame(stream, &response)?;
+            }
+        }
+    }
+}
+
+fn handle_request(
+    request: Request,
+    shared: &Shared,
+    reply_tx: &mpsc::Sender<Response>,
+    reply_rx: &mpsc::Receiver<Response>,
+) -> Response {
+    match request {
+        Request::Classify { cues } => submit(shared, Work::One(cues), reply_tx, reply_rx),
+        Request::ClassifyBatch { rows } => submit(shared, Work::Many(rows), reply_tx, reply_rx),
+        Request::Snapshot => Response::Snapshot {
+            info: shared.snapshot.clone(),
+        },
+        Request::Health => Response::Health {
+            health: shared.health(),
+        },
+        Request::Shutdown => {
+            shared.request_stop();
+            Response::ShuttingDown
+        }
+    }
+}
+
+fn submit(
+    shared: &Shared,
+    work: Work,
+    reply_tx: &mpsc::Sender<Response>,
+    reply_rx: &mpsc::Receiver<Response>,
+) -> Response {
+    if shared.draining() {
+        return Response::Error {
+            error: WireError::shutting_down(),
+        };
+    }
+    let job = Job {
+        work,
+        reply: reply_tx.clone(),
+    };
+    match shared.queue.push(job, &shared.admission) {
+        Admission::Enqueued => {
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            await_reply(reply_rx)
+        }
+        Admission::Shed(evicted) => {
+            // The evicted job's session is parked on its reply channel;
+            // complete it with the typed overload answer. A dead channel
+            // only means that session already gave up.
+            let _ = evicted.reply.send(Response::Error {
+                error: WireError::overloaded(),
+            });
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            await_reply(reply_rx)
+        }
+        Admission::Rejected(_job) => Response::Error {
+            error: WireError::overloaded(),
+        },
+    }
+}
+
+fn await_reply(reply_rx: &mpsc::Receiver<Response>) -> Response {
+    match reply_rx.recv_timeout(REPLY_TIMEOUT) {
+        Ok(response) => response,
+        Err(mpsc::RecvTimeoutError::Timeout) => Response::Error {
+            error: WireError::internal("worker did not answer within the reply timeout"),
+        },
+        Err(mpsc::RecvTimeoutError::Disconnected) => Response::Error {
+            error: WireError::shutting_down(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{ClientConfig, CqmClient};
+    use crate::model::test_support::tiny_model;
+
+    fn quick_client(addr: SocketAddr) -> CqmClient {
+        CqmClient::connect(addr, ClientConfig::default()).expect("connect")
+    }
+
+    #[test]
+    fn serves_classify_and_introspection_then_shuts_down() {
+        let server = CqmServer::start(
+            ModelSource::Fresh(tiny_model()),
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("start");
+        let mut client = quick_client(server.local_addr());
+
+        let one = client.classify(&[0.9]).expect("classify");
+        assert_eq!(one.class.0, 1);
+        let many = client
+            .classify_batch(&[vec![0.1], vec![0.9]])
+            .expect("batch");
+        assert_eq!(many.len(), 2);
+        assert_eq!(many[0].class.0, 0);
+
+        let info = client.snapshot().expect("snapshot");
+        assert_eq!(info.cue_dim, 1);
+        assert!(!info.warm_started);
+        let health = client.health().expect("health");
+        assert_eq!(health.requests, 2);
+        assert_eq!(health.rows_classified, 3);
+
+        let final_health = server.shutdown().expect("shutdown");
+        assert_eq!(final_health.rows_classified, 3);
+        assert!(final_health.draining);
+    }
+
+    #[test]
+    fn bad_cues_get_typed_errors_not_disconnects() {
+        let server = CqmServer::start(ModelSource::Fresh(tiny_model()), ServerConfig::default())
+            .expect("start");
+        let mut client = quick_client(server.local_addr());
+        let err = client.classify(&[0.1, 0.2]).expect_err("dim mismatch");
+        assert!(matches!(
+            err,
+            ServeError::Remote(WireError {
+                kind: crate::protocol::WireErrorKind::BadRequest,
+                ..
+            })
+        ));
+        // The connection survives a bad request.
+        assert!(client.classify(&[0.5]).is_ok());
+        server.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn client_shutdown_request_stops_join() {
+        let server = CqmServer::start(ModelSource::Fresh(tiny_model()), ServerConfig::default())
+            .expect("start");
+        let addr = server.local_addr();
+        let stopper = std::thread::spawn(move || {
+            let mut client = quick_client(addr);
+            client.shutdown().expect("shutdown request");
+        });
+        let health = server.join().expect("join");
+        stopper.join().expect("stopper");
+        assert!(health.draining);
+    }
+}

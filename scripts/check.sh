@@ -60,4 +60,26 @@ test -s "$CRASH_DIR/BENCH_PR4.json" || {
     exit 1
 }
 
+echo "==> serve suite (torn frames, overload, worker-count determinism)"
+cargo test -q --test serve
+
+echo "==> served-office drill (office session over TCP, bit-for-bit vs in-process)"
+cargo build -q --release --example served_office
+./target/release/examples/served_office | tee /tmp/cqm_served.log
+grep -q "^SUMMARY .*match=ok" /tmp/cqm_served.log || {
+    echo "check.sh: served answers diverged from the in-process pipeline" >&2
+    exit 1
+}
+
+echo "==> serve load smoke (BENCH_PR5.json schema + answered-everything gate)"
+# loadgen --smoke drives a live server over TCP with concurrent connections,
+# writes the baseline JSON, re-reads it, validates the cqm-bench/servebase/v1
+# schema and applies the gate (every request answered, nonzero throughput);
+# see crates/bench/src/servebench.rs.
+./target/release/loadgen --smoke --out "$CRASH_DIR/BENCH_PR5.json"
+test -s "$CRASH_DIR/BENCH_PR5.json" || {
+    echo "check.sh: loadgen did not write the baseline JSON" >&2
+    exit 1
+}
+
 echo "check.sh: all gates passed"

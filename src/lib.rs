@@ -25,6 +25,7 @@
 //! | [`sensors`] | `cqm-sensors` | synthetic AwarePen accelerometer substrate |
 //! | [`classify`] | `cqm-classify` | TSK-FIS classifier + k-NN/centroid baselines |
 //! | [`appliance`] | `cqm-appliance` | AwareOffice simulation: pen, bus, camera |
+//! | [`serve`] | `cqm-serve` | networked inference service: protocol, server, client |
 //!
 //! ## End-to-end example
 //!
@@ -58,6 +59,7 @@ pub use cqm_parallel as parallel;
 pub use cqm_persist as persist;
 pub use cqm_resilience as resilience;
 pub use cqm_sensors as sensors;
+pub use cqm_serve as serve;
 pub use cqm_stats as stats;
 
 /// Workspace version.

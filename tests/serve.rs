@@ -1,0 +1,420 @@
+//! Chaos → determinism → warm-restart integration suite for `cqm-serve`.
+//!
+//! The contract under test (ISSUE: networked inference service):
+//!
+//! * malformed input — torn frames, truncated frames, flipped bytes,
+//!   oversized length prefixes — surfaces as typed wire errors or clean
+//!   disconnects, **never** a panic, and never takes the server down for
+//!   other clients (mirrors `tests/recovery.rs` for the journal);
+//! * the same requests produce **bit-identical** responses at any worker
+//!   count and from any mix of concurrent connections;
+//! * overload produces typed `Overloaded` answers, not hangs or drops;
+//! * a drain-then-checkpoint shutdown warm-starts a second instance that
+//!   answers bit-identically and resumes the checkpoint sequence.
+
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use cqm::classify::FisClassifier;
+use cqm::core::model::{CqmModel, MODEL_VERSION};
+use cqm::core::normalize::Quality;
+use cqm::core::pipeline::{CqmSystem, QualifiedClassification};
+use cqm::core::QualityMeasure;
+use cqm::fuzzy::{MembershipFunction, TskFis, TskRule};
+use cqm::serve::protocol::{encode_frame, read_frame, FrameRead, Request, Response};
+use cqm::serve::{
+    AdmissionPolicy, ClientConfig, CqmClient, CqmServer, ModelSource, ServedModel, ServerConfig,
+    ServeError, WireErrorKind,
+};
+
+/// Hand-built two-class model over one cue in [0, 1]: cheap enough that
+/// every test can build its own server (no ANFIS training in this suite).
+fn tiny_model() -> ServedModel {
+    let g = |mu: f64, s: f64| MembershipFunction::gaussian(mu, s).expect("gaussian");
+    let class_fis = TskFis::new(vec![
+        TskRule::new(vec![g(0.0, 0.3)], vec![0.0, 0.0]).expect("rule"),
+        TskRule::new(vec![g(1.0, 0.3)], vec![0.0, 1.0]).expect("rule"),
+    ])
+    .expect("class fis");
+    let classifier = FisClassifier::from_fis(class_fis, 2).expect("classifier");
+    let quality_fis = TskFis::new(vec![
+        TskRule::new(vec![g(0.0, 0.25), g(0.0, 0.25)], vec![0.0, 0.0, 1.0]).expect("rule"),
+        TskRule::new(vec![g(1.0, 0.25), g(1.0, 0.25)], vec![0.0, 0.0, 1.0]).expect("rule"),
+        TskRule::new(vec![g(0.0, 0.25), g(1.0, 0.25)], vec![0.0, 0.0, 0.0]).expect("rule"),
+        TskRule::new(vec![g(1.0, 0.25), g(0.0, 0.25)], vec![0.0, 0.0, 0.0]).expect("rule"),
+    ])
+    .expect("quality fis");
+    let model = CqmModel {
+        version: MODEL_VERSION,
+        measure: QualityMeasure::new(quality_fis).expect("measure"),
+        threshold: 0.5,
+        note: "serve chaos suite".into(),
+    };
+    ServedModel::new(classifier, model).expect("served model")
+}
+
+/// The in-process reference the served answers must match bit-for-bit.
+fn reference_system(model: &ServedModel) -> CqmSystem<FisClassifier> {
+    CqmSystem::new(
+        model.classifier().clone(),
+        model.model().measure.clone(),
+        model.model().filter().expect("threshold"),
+    )
+    .expect("reference system")
+}
+
+fn start_default() -> CqmServer {
+    CqmServer::start(ModelSource::Fresh(tiny_model()), ServerConfig::default()).expect("start")
+}
+
+fn client(addr: SocketAddr) -> CqmClient {
+    CqmClient::connect(addr, ClientConfig::default()).expect("connect")
+}
+
+/// Deterministic probe cues spread over (and slightly past) the covered
+/// range, so the set exercises accepts, discards and both classes.
+fn probe_cues(n: usize) -> Vec<Vec<f64>> {
+    (0..n).map(|i| vec![-0.1 + 1.2 * i as f64 / n as f64]).collect()
+}
+
+fn assert_bit_identical(a: &QualifiedClassification, b: &QualifiedClassification, tag: &str) {
+    assert_eq!(a.class, b.class, "{tag}: class");
+    assert_eq!(a.decision, b.decision, "{tag}: decision");
+    match (a.quality, b.quality) {
+        (Quality::Value(x), Quality::Value(y)) => {
+            assert_eq!(x.to_bits(), y.to_bits(), "{tag}: quality bits");
+        }
+        (x, y) => assert_eq!(x, y, "{tag}: quality variant"),
+    }
+}
+
+/// Send raw bytes, close the write side, and collect whatever the server
+/// answers before hanging up. Returns the typed goodbye if one arrived.
+fn send_raw(addr: SocketAddr, bytes: &[u8]) -> Option<Response> {
+    let mut stream = TcpStream::connect(addr).expect("connect raw");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    // The server may rightfully hang up mid-send (e.g. it already refused
+    // a corrupted length prefix); a failed write/half-close is then part
+    // of the chaos, not a test failure.
+    if stream.write_all(bytes).is_err() {
+        return None;
+    }
+    if stream.shutdown(Shutdown::Write).is_err() {
+        return None;
+    }
+    match read_frame::<_, Response>(&mut stream) {
+        Ok(FrameRead::Frame(response)) => Some(response),
+        // A torn exchange may race the goodbye; EOF and transport errors
+        // are acceptable — the assertions below only require that the
+        // server itself stays up.
+        Ok(FrameRead::Eof) | Ok(FrameRead::Idle) | Err(_) => None,
+    }
+}
+
+/// After any chaos, the server must still answer a clean client.
+fn assert_still_serving(addr: SocketAddr, reference: &CqmSystem<FisClassifier>) {
+    let mut c = client(addr);
+    let served = c.classify(&[0.9]).expect("server still serving");
+    let expected = reference.classify_with_quality(&[0.9]).expect("reference");
+    assert_bit_identical(&served, &expected, "post-chaos probe");
+}
+
+#[test]
+fn truncated_frames_never_kill_the_server() {
+    let model = tiny_model();
+    let reference = reference_system(&model);
+    let server = start_default();
+    let addr = server.local_addr();
+
+    let frame = encode_frame(&Request::Classify { cues: vec![0.5] }).expect("encode");
+    // Every strict prefix of a valid frame: header cut short, payload cut
+    // short, empty connection.
+    for cut in [0, 1, 4, 11, 12, 13, frame.len() / 2, frame.len() - 1] {
+        assert!(cut < frame.len());
+        let goodbye = send_raw(addr, &frame[..cut]);
+        if let Some(Response::Error { error }) = goodbye {
+            assert_eq!(error.kind, WireErrorKind::BadRequest, "cut={cut}");
+        }
+    }
+    assert_still_serving(addr, &reference);
+    let health = server.shutdown().expect("shutdown");
+    // Mid-frame EOFs are session errors; an empty connection (cut=0) is a
+    // clean EOF and must NOT be counted as one.
+    assert!(health.session_errors >= 6, "health: {health:?}");
+}
+
+#[test]
+fn corrupt_frame_fuzzing_yields_typed_errors() {
+    let model = tiny_model();
+    let reference = reference_system(&model);
+    let server = start_default();
+    let addr = server.local_addr();
+
+    let frame = encode_frame(&Request::Classify { cues: vec![0.25] }).expect("encode");
+    // Flip one byte at a time across the whole frame — length prefix,
+    // version, CRC and payload alike. No flip may panic the server or
+    // produce a silently-wrong classification: every answer must be a
+    // typed error (or a dropped torn exchange).
+    for i in 0..frame.len() {
+        let mut corrupted = frame.clone();
+        corrupted[i] ^= 0x40;
+        match send_raw(addr, &corrupted) {
+            Some(Response::Error { error }) => {
+                assert_eq!(error.kind, WireErrorKind::BadRequest, "flip at {i}");
+            }
+            Some(other) => panic!("flip at {i} produced a non-error answer: {other:?}"),
+            None => {}
+        }
+    }
+    assert_still_serving(addr, &reference);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn oversized_frames_are_rejected_before_allocation() {
+    let model = tiny_model();
+    let reference = reference_system(&model);
+    let server = start_default();
+    let addr = server.local_addr();
+
+    // A header announcing a payload far beyond MAX_FRAME_LEN. The server
+    // must refuse from the 12 header bytes alone — the gigabyte is never
+    // allocated, let alone awaited.
+    let mut header = Vec::new();
+    header.extend_from_slice(&(1u32 << 30).to_le_bytes());
+    header.extend_from_slice(&1u32.to_le_bytes());
+    header.extend_from_slice(&0u32.to_le_bytes());
+    let goodbye = send_raw(addr, &header).expect("typed rejection");
+    let Response::Error { error } = goodbye else {
+        panic!("expected an error, got {goodbye:?}");
+    };
+    assert_eq!(error.kind, WireErrorKind::BadRequest);
+    assert!(
+        error.detail.contains("caps"),
+        "detail should name the cap: {}",
+        error.detail
+    );
+    assert_still_serving(addr, &reference);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_answers_at_any_worker_count() {
+    let model = tiny_model();
+    let reference = reference_system(&model);
+    let cues = probe_cues(24);
+    let expected: Vec<QualifiedClassification> = cues
+        .iter()
+        .map(|c| reference.classify_with_quality(c).expect("reference"))
+        .collect();
+
+    for workers in [1usize, 4] {
+        let server = CqmServer::start(
+            ModelSource::Fresh(tiny_model()),
+            ServerConfig {
+                workers,
+                micro_batch: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("start");
+        let addr = server.local_addr();
+
+        let clients = 4usize;
+        let barrier = Barrier::new(clients);
+        std::thread::scope(|scope| {
+            for _ in 0..clients {
+                scope.spawn(|| {
+                    let mut c = client(addr);
+                    barrier.wait();
+                    // Interleave singles and batches so micro-batching has
+                    // mixed work to fold.
+                    for (i, cue) in cues.iter().enumerate() {
+                        let served = c.classify(cue).expect("classify");
+                        assert_bit_identical(&served, &expected[i], &format!("workers={workers} row={i}"));
+                    }
+                    let batched = c.classify_batch(&cues).expect("batch");
+                    assert_eq!(batched.len(), expected.len());
+                    for (i, served) in batched.iter().enumerate() {
+                        assert_bit_identical(served, &expected[i], &format!("workers={workers} batch row={i}"));
+                    }
+                });
+            }
+        });
+
+        let health = server.shutdown().expect("shutdown");
+        assert_eq!(
+            health.rows_classified,
+            (clients * cues.len() * 2) as u64,
+            "workers={workers}"
+        );
+        assert_eq!(health.session_errors, 0, "workers={workers}");
+    }
+}
+
+#[test]
+fn batch_requests_are_atomic_and_survivable() {
+    let model = tiny_model();
+    let reference = reference_system(&model);
+    let server = start_default();
+    let mut c = client(server.local_addr());
+
+    // A NaN row never even reaches the wire: JSON cannot represent it, so
+    // the client refuses at encode time with a typed local error.
+    let err = c
+        .classify_batch(&[vec![0.2], vec![f64::NAN]])
+        .expect_err("NaN row");
+    assert!(matches!(err, ServeError::Decode(_)), "got {err}");
+
+    // One bad (wrong-dimension) row rejects the whole batch with a typed
+    // remote error...
+    let err = c
+        .classify_batch(&[vec![0.2], vec![0.3, 0.4], vec![0.8]])
+        .expect_err("dimension mismatch row");
+    match err {
+        ServeError::Remote(e) => assert_eq!(e.kind, WireErrorKind::BadRequest),
+        other => panic!("expected a typed remote error, got {other}"),
+    }
+    // ...and the connection survives to serve the corrected batch.
+    let ok = c
+        .classify_batch(&[vec![0.2], vec![0.8]])
+        .expect("clean batch");
+    assert_eq!(ok.len(), 2);
+    let expected = reference.classify_with_quality(&[0.8]).expect("reference");
+    assert_bit_identical(&ok[1], &expected, "batch after failure");
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn overload_produces_typed_answers_and_the_server_recovers() {
+    let model = tiny_model();
+    let reference = reference_system(&model);
+    let server = CqmServer::start(
+        ModelSource::Fresh(tiny_model()),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            micro_batch: 1,
+            admission: AdmissionPolicy::Reject,
+            // Each micro-batch takes ~100 ms, so concurrent requests pile
+            // up against the 1-slot queue.
+            eval_delay: Some(Duration::from_millis(100)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = server.local_addr();
+
+    let clients = 6usize;
+    let barrier = Barrier::new(clients);
+    let outcomes: Vec<Result<QualifiedClassification, ServeError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut c = CqmClient::connect(
+                        addr,
+                        ClientConfig {
+                            retries: 0, // surface Overloaded instead of absorbing it
+                            ..ClientConfig::default()
+                        },
+                    )
+                    .expect("connect");
+                    barrier.wait();
+                    c.classify(&[0.75])
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread"))
+            .collect()
+    });
+
+    let mut answered = 0usize;
+    let mut overloaded = 0usize;
+    for outcome in outcomes {
+        match outcome {
+            Ok(result) => {
+                answered += 1;
+                let expected = reference.classify_with_quality(&[0.75]).expect("reference");
+                assert_bit_identical(&result, &expected, "answered under load");
+            }
+            Err(ServeError::Remote(e)) => {
+                assert_eq!(e.kind, WireErrorKind::Overloaded);
+                overloaded += 1;
+            }
+            Err(other) => panic!("overload must stay typed, got {other}"),
+        }
+    }
+    assert!(answered >= 1, "someone must get through");
+    assert!(overloaded >= 1, "the 1-slot queue must shed under 6 clients");
+
+    // Overload is a condition, not a failure: the drained server has
+    // rejected counters but zero session errors, and still serves.
+    assert_still_serving(addr, &reference);
+    let health = server.shutdown().expect("shutdown");
+    assert!(health.rejected >= overloaded as u64);
+    assert_eq!(health.session_errors, 0);
+}
+
+#[test]
+fn warm_restart_resumes_sequence_and_answers_bitwise() {
+    let dir = std::env::temp_dir().join(format!("cqm_serve_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let ck = dir.join("serve.ckpt");
+    let model = tiny_model();
+    let reference = reference_system(&model);
+    let cues = probe_cues(12);
+
+    let first = CqmServer::start(
+        ModelSource::Fresh(tiny_model()),
+        ServerConfig {
+            checkpoint: Some(ck.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start fresh");
+    let mut c = client(first.local_addr());
+    let first_answers: Vec<QualifiedClassification> = cues
+        .iter()
+        .map(|cue| c.classify(cue).expect("first generation"))
+        .collect();
+    drop(c);
+    first.shutdown().expect("first shutdown");
+    assert!(ck.exists(), "shutdown must write the checkpoint");
+
+    // Generation 2: warm-started, sequence advanced, same answers.
+    let second = CqmServer::start(
+        ModelSource::WarmStart(ck.clone()),
+        ServerConfig {
+            checkpoint: Some(ck.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("warm start");
+    let mut c = client(second.local_addr());
+    let info = c.snapshot().expect("snapshot");
+    assert!(info.warm_started);
+    assert_eq!(info.checkpoint_seq, 1);
+    for (i, cue) in cues.iter().enumerate() {
+        let served = c.classify(cue).expect("second generation");
+        assert_bit_identical(&served, &first_answers[i], &format!("generation 2 row {i}"));
+        let expected = reference.classify_with_quality(cue).expect("reference");
+        assert_bit_identical(&served, &expected, &format!("generation 2 vs in-process row {i}"));
+    }
+    drop(c);
+    second.shutdown().expect("second shutdown");
+
+    // Generation 3 sees the advanced sequence.
+    let third = CqmServer::start(ModelSource::WarmStart(ck.clone()), ServerConfig::default())
+        .expect("third start");
+    let mut c = client(third.local_addr());
+    assert_eq!(c.snapshot().expect("snapshot").checkpoint_seq, 2);
+    drop(c);
+    third.shutdown().expect("third shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
