@@ -1,9 +1,13 @@
-//! CLI driver: `cqm-analyze [--deny-all] [--list] [--root DIR] [PATH...]`
+//! CLI driver: `cqm-analyze [--deny-all] [--list] [--format FMT] [--root DIR] [PATH...]`
 //!
 //! With no `PATH` arguments the tool walks `crates/*/src` under the root
 //! (default: the current directory, or the nearest ancestor containing
 //! `Cargo.toml` with a `crates/` sibling). Findings print one per line as
-//! `file:line: [LINT_ID] message`.
+//! `file:line: [LINT_ID] message`; `--format=json` instead emits one JSON
+//! document on stdout (schema `cqm-analyze/report/v1`: `files_scanned`,
+//! `deny`, `warn`, `suppressed`, and a `findings` array of
+//! `{file, line, lint, level, message}`), keeping the human summary on
+//! stderr so the artifact stays machine-parseable.
 //!
 //! Exit status: 0 clean, 1 findings, 2 usage or I/O error.
 
@@ -13,17 +17,19 @@ use std::process::ExitCode;
 use cqm_analyze::passes::{default_passes, Level};
 
 fn usage() -> &'static str {
-    "usage: cqm-analyze [--deny-all] [--list] [--root DIR] [PATH...]\n\
+    "usage: cqm-analyze [--deny-all] [--list] [--format FMT] [--root DIR] [PATH...]\n\
      \n\
-     --deny-all   treat warn-level findings as errors (CI mode)\n\
-     --list       list the lint passes and exit\n\
-     --root DIR   workspace root to scan when no PATHs are given\n\
-     PATH...      files or directories to scan instead of crates/*/src"
+     --deny-all     treat warn-level findings as errors (CI mode)\n\
+     --list         list the lint passes and exit\n\
+     --format FMT   output format: text (default) or json\n\
+     --root DIR     workspace root to scan when no PATHs are given\n\
+     PATH...        files or directories to scan instead of crates/*/src"
 }
 
 fn main() -> ExitCode {
     let mut deny_all = false;
     let mut list = false;
+    let mut json = false;
     let mut root: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
 
@@ -32,6 +38,26 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--deny-all" => deny_all = true,
             "--list" => list = true,
+            "--format" | "--format=text" | "--format=json" => {
+                let fmt = match arg.strip_prefix("--format=") {
+                    Some(inline) => inline.to_string(),
+                    None => match argv.next() {
+                        Some(next) => next,
+                        None => {
+                            eprintln!("error: --format needs `text` or `json`\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                };
+                match fmt.as_str() {
+                    "text" => json = false,
+                    "json" => json = true,
+                    other => {
+                        eprintln!("error: unknown format `{other}`\n{}", usage());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--root" => match argv.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -54,8 +80,17 @@ fn main() -> ExitCode {
     let passes = default_passes();
     if list {
         for p in &passes {
-            println!("{:16} {}", p.id(), p.description());
+            println!("{:20} {}", p.id(), p.description());
         }
+        // Driver-owned integrity checks: not passes, cannot be suppressed.
+        println!(
+            "{:20} {}",
+            "PRAGMA", "malformed or unknown-id suppression pragmas (driver check)"
+        );
+        println!(
+            "{:20} {}",
+            "STALE_SUPPRESS", "well-formed pragmas whose lint no longer fires (driver check)"
+        );
         return ExitCode::SUCCESS;
     }
 
@@ -91,20 +126,25 @@ fn main() -> ExitCode {
         }
     };
 
-    for f in &report.findings {
-        let tag = match f.level {
-            Level::Deny => "",
-            Level::Warn => if deny_all { "" } else { " (warn)" },
-        };
-        println!("{f}{tag}");
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            let tag = match f.level {
+                Level::Deny => "",
+                Level::Warn => if deny_all { "" } else { " (warn)" },
+            };
+            println!("{f}{tag}");
+        }
     }
 
     let failed = report.failed(deny_all);
     eprintln!(
-        "cqm-analyze: {} file(s), {} deny, {} warn -> {}",
+        "cqm-analyze: {} file(s), {} deny, {} warn, {} suppressed -> {}",
         report.files_scanned,
         report.deny_count(),
         report.warn_count(),
+        report.suppressed,
         if failed { "FAIL" } else { "ok" }
     );
     if failed {

@@ -13,7 +13,12 @@
 //! `file:line: [LINT_ID] message`, and exits nonzero when any deny-level
 //! finding (or, under `--deny-all`, any finding at all) survives the
 //! suppression pragmas. Suppressions are never silent: each pragma must
-//! carry `-- reason` text, and malformed pragmas are themselves findings.
+//! carry `-- reason` text, malformed pragmas are themselves findings, and
+//! suppression is applied *centrally* by the driver — passes emit every
+//! match, the driver cancels findings against pragmas and tracks which
+//! pragmas actually fired. A pragma that no longer cancels anything is a
+//! deny-level `STALE_SUPPRESS` finding, so the suppression ledger can only
+//! shrink.
 
 pub mod passes;
 pub mod scanner;
@@ -31,6 +36,8 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Findings cancelled by suppression pragmas across all files.
+    pub suppressed: usize,
 }
 
 impl Report {
@@ -49,6 +56,61 @@ impl Report {
     pub fn failed(&self, deny_all: bool) -> bool {
         self.deny_count() > 0 || (deny_all && !self.findings.is_empty())
     }
+
+    /// Serialize as `cqm-analyze/report/v1` JSON (std-only, stable field
+    /// order) so CI can archive and diff reports across PRs.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"cqm-analyze/report/v1\",\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"deny\": {},\n", self.deny_count()));
+        s.push_str(&format!("  \"warn\": {},\n", self.warn_count()));
+        s.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            s.push_str(&format!(
+                "\"file\": \"{}\", ",
+                json_escape(&f.file.display().to_string())
+            ));
+            s.push_str(&format!("\"line\": {}, ", f.line));
+            s.push_str(&format!("\"lint\": \"{}\", ", json_escape(f.lint)));
+            s.push_str(&format!(
+                "\"level\": \"{}\", ",
+                match f.level {
+                    Level::Deny => "deny",
+                    Level::Warn => "warn",
+                }
+            ));
+            s.push_str(&format!("\"message\": \"{}\"", json_escape(&f.message)));
+            s.push('}');
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Recursively collect `.rs` files under `root` (or `root` itself if it is
@@ -84,17 +146,52 @@ fn collect_into(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Analyze one already-scanned file with `passes`, including the
-/// pragma-integrity checks the driver owns: malformed pragmas and pragmas
-/// naming unknown lint ids are deny-level findings, so a typo can never
-/// silently disable a lint.
-pub fn analyze_file(file: &SourceFile, passes: &[Box<dyn LintPass>]) -> Vec<Finding> {
-    let mut findings = Vec::new();
+/// Result of analyzing one file: surviving findings plus how many were
+/// cancelled by pragmas.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Findings that survived suppression.
+    pub findings: Vec<Finding>,
+    /// Findings cancelled by a pragma.
+    pub suppressed: usize,
+}
+
+/// Analyze one already-scanned file with `passes`.
+///
+/// Passes emit every match; suppression is applied here, centrally, so the
+/// driver knows which pragmas actually cancelled something. On top of the
+/// pass findings the driver owns three integrity checks:
+///
+/// * `PRAGMA` (deny) — malformed pragmas (missing reason, bad syntax), so a
+///   typo can never silently disable a lint;
+/// * `PRAGMA` (deny) — pragmas naming a lint id no registered pass owns
+///   (this includes `PRAGMA` and `STALE_SUPPRESS` themselves: the
+///   driver-owned checks cannot be suppressed);
+/// * `STALE_SUPPRESS` (deny) — a well-formed pragma outside test code whose
+///   lint no longer fires on its target. The suppression ledger can only
+///   shrink: when the underlying hazard is fixed, the pragma must go too.
+pub fn analyze_file(file: &SourceFile, passes: &[Box<dyn LintPass>]) -> FileAnalysis {
+    let mut raw = Vec::new();
     for pass in passes {
-        pass.check(file, &mut findings);
+        pass.check(file, &mut raw);
     }
+
+    let mut used = vec![false; file.pragmas.len()];
+    let mut out = FileAnalysis::default();
+    for f in raw {
+        match file.suppression(f.lint, f.line) {
+            Some(idx) => {
+                if let Some(hit) = used.get_mut(idx) {
+                    *hit = true;
+                }
+                out.suppressed += 1;
+            }
+            None => out.findings.push(f),
+        }
+    }
+
     for (line, text) in &file.malformed_pragmas {
-        findings.push(Finding {
+        out.findings.push(Finding {
             file: file.path.clone(),
             line: *line,
             lint: "PRAGMA",
@@ -104,10 +201,12 @@ pub fn analyze_file(file: &SourceFile, passes: &[Box<dyn LintPass>]) -> Vec<Find
             level: Level::Deny,
         });
     }
-    for pragma in &file.pragmas {
+    for (pragma, fired) in file.pragmas.iter().zip(&used) {
+        let mut unknown_id = false;
         for id in &pragma.lint_ids {
             if !passes.iter().any(|p| p.id() == id) {
-                findings.push(Finding {
+                unknown_id = true;
+                out.findings.push(Finding {
                     file: file.path.clone(),
                     line: pragma.line,
                     lint: "PRAGMA",
@@ -116,8 +215,31 @@ pub fn analyze_file(file: &SourceFile, passes: &[Box<dyn LintPass>]) -> Vec<Find
                 });
             }
         }
+        // A pragma whose lint never fires on its target is dead weight and
+        // hides drift; report it unless it is in test code (passes skip
+        // test code, so test-region pragmas can never fire) or already
+        // reported as unknown-id.
+        let in_test = file
+            .lines
+            .get(pragma.line.wrapping_sub(1))
+            .map(|l| l.in_test)
+            .unwrap_or(false);
+        if !*fired && !unknown_id && !in_test {
+            out.findings.push(Finding {
+                file: file.path.clone(),
+                line: pragma.line,
+                lint: "STALE_SUPPRESS",
+                message: format!(
+                    "suppression `allow({})` never fired: the lint no longer \
+                     matches its target — remove the pragma (reason was: {})",
+                    pragma.lint_ids.join(", "),
+                    pragma.reason
+                ),
+                level: Level::Deny,
+            });
+        }
     }
-    findings
+    out
 }
 
 /// Run `passes` over every `.rs` file reachable from `roots`.
@@ -131,7 +253,9 @@ pub fn run(roots: &[PathBuf], passes: &[Box<dyn LintPass>]) -> std::io::Result<R
         for path in collect_rs_files(root)? {
             let text = fs::read_to_string(&path)?;
             let file = SourceFile::scan(&path, &text);
-            report.findings.extend(analyze_file(&file, passes));
+            let analysis = analyze_file(&file, passes);
+            report.findings.extend(analysis.findings);
+            report.suppressed += analysis.suppressed;
             report.files_scanned += 1;
         }
     }
@@ -147,6 +271,10 @@ mod tests {
     use passes::default_passes;
 
     fn analyze_src(src: &str) -> Vec<Finding> {
+        analyze_full(src).findings
+    }
+
+    fn analyze_full(src: &str) -> FileAnalysis {
         let file = SourceFile::scan(Path::new("crates/x/src/t.rs"), src);
         analyze_file(&file, &default_passes())
     }
@@ -172,6 +300,81 @@ mod tests {
             "pub fn pick(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.total_cmp(b));\n}\n",
         );
         assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn suppression_is_applied_centrally_and_counted() {
+        let a = analyze_full(
+            "pub fn f(x: Option<u8>) -> u8 {\n    \
+             x.unwrap() // lint: allow(PANIC_IN_LIB) -- caller checked is_some\n}\n",
+        );
+        assert!(a.findings.is_empty(), "got {:?}", a.findings);
+        assert_eq!(a.suppressed, 1);
+    }
+
+    #[test]
+    fn stale_pragma_is_a_deny_finding() {
+        let a = analyze_full(
+            "pub fn f() -> u8 {\n    \
+             // lint: allow(PANIC_IN_LIB) -- the unwrap below was removed\n    0\n}\n",
+        );
+        assert_eq!(a.findings.len(), 1, "got {:?}", a.findings);
+        assert_eq!(a.findings[0].lint, "STALE_SUPPRESS");
+        assert_eq!(a.findings[0].level, Level::Deny);
+        assert_eq!(a.findings[0].line, 2);
+        assert_eq!(a.suppressed, 0);
+    }
+
+    #[test]
+    fn stale_check_skips_test_code_and_unknown_ids() {
+        // Pragmas inside #[cfg(test)] can never fire (passes skip test
+        // code) — they are exempt, not stale.
+        let a = analyze_full(
+            "#[cfg(test)]\nmod tests {\n    \
+             // lint: allow(PANIC_IN_LIB) -- test-only\n    \
+             #[test]\n    fn t() { x.unwrap(); }\n}\n",
+        );
+        assert!(a.findings.is_empty(), "got {:?}", a.findings);
+
+        // An unknown-id pragma is already a PRAGMA finding; it must not
+        // also double-report as stale.
+        let f = analyze_src("// lint: allow(NO_SUCH_LINT) -- oops\nfn f() {}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "PRAGMA");
+    }
+
+    #[test]
+    fn stale_suppress_itself_cannot_be_suppressed() {
+        // allow(STALE_SUPPRESS) names no registered pass → unknown id.
+        let f = analyze_src("// lint: allow(STALE_SUPPRESS) -- nice try\nfn f() {}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "PRAGMA");
+        assert!(f[0].message.contains("STALE_SUPPRESS"));
+    }
+
+    #[test]
+    fn json_report_schema() {
+        let mut r = Report {
+            findings: vec![Finding {
+                file: PathBuf::from("crates/x/src/a.rs"),
+                line: 3,
+                lint: "PANIC_IN_LIB",
+                message: "say \"no\" to\npanics".to_string(),
+                level: Level::Deny,
+            }],
+            files_scanned: 2,
+            suppressed: 5,
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"cqm-analyze/report/v1\""));
+        assert!(json.contains("\"files_scanned\": 2"));
+        assert!(json.contains("\"deny\": 1"));
+        assert!(json.contains("\"warn\": 0"));
+        assert!(json.contains("\"suppressed\": 5"));
+        assert!(json.contains("\"line\": 3"));
+        assert!(json.contains("say \\\"no\\\" to\\npanics"));
+        r.findings.clear();
+        assert!(r.to_json().contains("\"findings\": []"));
     }
 
     #[test]

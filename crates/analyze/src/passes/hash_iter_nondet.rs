@@ -1,0 +1,326 @@
+//! HASH_ITER_NONDET — HashMap/HashSet iteration in bit-identity paths.
+//!
+//! `HashMap`/`HashSet` iteration order depends on `RandomState`, which is
+//! seeded per process. Any iteration that feeds serialization, checkpoint
+//! bytes, wire frames, or a `// analyze: hot-path` computation therefore
+//! produces different bytes on different runs — breaking the workspace's
+//! core guarantee that served answers and recovery replay are bit-identical
+//! to the in-process pipeline. The deterministic fixes are mechanical:
+//! `BTreeMap`/`BTreeSet`, or collect-and-sort before emitting.
+//!
+//! The pass runs on `persist` and `serve` sources plus any file tagged
+//! `// analyze: hot-path`. It tracks names declared with a
+//! `HashMap`/`HashSet` type (let bindings, struct fields, parameters) and
+//! flags iteration over those names: `for … in name`, `.iter()`, `.keys()`,
+//! `.values()`, `.drain(…)`, `.into_iter()`.
+
+use std::collections::BTreeSet;
+
+use super::{find_all, word_boundary_before, Finding, Level, LintPass};
+use crate::scanner::SourceFile;
+
+/// See module docs.
+pub struct HashIterNondet {
+    /// Path fragments this pass applies to; empty means every file.
+    /// Files tagged `hot-path` are always in scope.
+    path_filters: Vec<&'static str>,
+}
+
+const ID: &str = "HASH_ITER_NONDET";
+
+/// Method calls on a hash container that iterate it.
+const ITER_METHODS: [&str; 7] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".drain(",
+];
+
+impl Default for HashIterNondet {
+    fn default() -> Self {
+        HashIterNondet {
+            path_filters: vec!["persist/src", "serve/src"],
+        }
+    }
+}
+
+impl HashIterNondet {
+    /// A variant with no path restriction (used by tests and fixtures).
+    pub fn unrestricted() -> Self {
+        HashIterNondet {
+            path_filters: Vec::new(),
+        }
+    }
+}
+
+impl LintPass for HashIterNondet {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "serialization/checkpoint/wire/hot-path code must not iterate \
+         HashMap/HashSet (order is per-process random); use BTreeMap/\
+         BTreeSet or sort first"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if !self.path_filters.is_empty() && !file.has_tag(super::HOT_PATH_TAG) {
+            let p = file.path.to_string_lossy().replace('\\', "/");
+            if !self.path_filters.iter().any(|frag| p.contains(frag)) {
+                return;
+            }
+        }
+        let names = hash_typed_names(file);
+        if names.is_empty() {
+            return;
+        }
+        for (idx, l) in file.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if l.in_test {
+                continue;
+            }
+            let code = &l.code;
+            for name in &names {
+                for pos in find_all(code, name) {
+                    if !word_boundary_before(code, pos) {
+                        continue;
+                    }
+                    let after = &code[pos + name.len()..];
+                    if after
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                    {
+                        continue; // longer identifier, not this name
+                    }
+                    let method_iter = ITER_METHODS.iter().any(|m| after.starts_with(m));
+                    let for_in_iter = is_for_in_operand(&code[..pos]);
+                    if method_iter || for_in_iter {
+                        findings.push(Finding {
+                            file: file.path.clone(),
+                            line: lineno,
+                            lint: ID,
+                            message: format!(
+                                "iterating hash container `{name}` here is \
+                                 nondeterministic (RandomState order) and breaks \
+                                 bit-identity; use BTreeMap/BTreeSet or sort the \
+                                 entries before emitting"
+                            ),
+                            level: Level::Deny,
+                        });
+                        // One finding per line per name is enough.
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Names declared with a `HashMap`/`HashSet` type anywhere in the file:
+/// `let name: HashMap<…>`, `name: HashMap<…>` (field or parameter), and
+/// `let name = HashMap::new()` / `HashSet::with_capacity(…)` bindings.
+fn hash_typed_names(file: &SourceFile) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for l in &file.lines {
+        let code = &l.code;
+        for ty in ["HashMap", "HashSet"] {
+            for pos in find_all(code, ty) {
+                if !word_boundary_before(code, pos) {
+                    continue;
+                }
+                let mut b = code[..pos].trim_end();
+                // Strip a qualifying path: `std::collections::HashMap`.
+                while b.ends_with("::") {
+                    b = b[..b.len() - 2].trim_end();
+                    match trailing_ident(b) {
+                        Some(id) => b = b[..b.len() - id.len()].trim_end(),
+                        None => break,
+                    }
+                }
+                // Strip reference sigils: `&HashMap`, `&mut HashMap`.
+                if let Some(s) = b.strip_suffix("mut") {
+                    let s = s.trim_end();
+                    if s.ends_with('&') {
+                        b = s;
+                    }
+                }
+                if let Some(s) = b.strip_suffix('&') {
+                    b = s.trim_end();
+                }
+                // `name: HashMap<…>` — type annotation on a let, field, or
+                // parameter.
+                if let Some(head) = b.strip_suffix(':') {
+                    if let Some(name) = trailing_ident(head) {
+                        names.insert(name.to_string());
+                        continue;
+                    }
+                }
+                // `let name = HashMap::new()` — constructor binding.
+                if let Some(head) = b.strip_suffix('=') {
+                    let head = head.trim_end();
+                    if let Some(name) = trailing_ident(head) {
+                        let lead = head[..head.len() - name.len()].trim_end();
+                        if lead.ends_with("let") || lead.ends_with("mut") {
+                            names.insert(name.to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// The identifier ending `text`, if `text` ends with one.
+fn trailing_ident(text: &str) -> Option<&str> {
+    let t = text.trim_end();
+    let start = t
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let ident = &t[start..];
+    (!ident.is_empty() && ident.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_'))
+        .then_some(ident)
+}
+
+/// Does the text before an operand end with the `in` of a `for … in`?
+/// Reference forms (`in &name`, `in &mut name`) count too.
+fn is_for_in_operand(before: &str) -> bool {
+    let mut b = before.trim_end();
+    b = b.strip_suffix("&mut").unwrap_or(b).trim_end();
+    b = b.strip_suffix('&').unwrap_or(b).trim_end();
+    b.ends_with(" in") || b == "in"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn run_at(path: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::scan(Path::new(path), src);
+        let mut out = Vec::new();
+        HashIterNondet::default().check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_for_in_over_hashmap() {
+        let src = "\
+use std::collections::HashMap;
+fn dump(m: &HashMap<String, u64>, out: &mut Vec<u8>) {
+    for (k, v) in m {
+        out.extend(k.as_bytes());
+        out.extend(v.to_le_bytes());
+    }
+}
+";
+        let f = run_at("crates/persist/src/checkpoint.rs", src);
+        assert_eq!(f.len(), 1, "got {f:?}");
+        assert_eq!(f[0].line, 3);
+        assert_eq!(f[0].level, Level::Deny);
+        assert!(f[0].message.contains("`m`"));
+    }
+
+    #[test]
+    fn flags_iter_methods() {
+        let src = "\
+use std::collections::HashSet;
+fn frame(ids: &HashSet<u32>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for id in ids.iter() {
+        out.extend(id.to_le_bytes());
+    }
+    let _ = ids.keys();
+    out
+}
+";
+        let f = run_at("crates/serve/src/protocol.rs", src);
+        // Line 4 (`ids.iter()`) and line 7 (`ids.keys()`).
+        assert_eq!(f.len(), 2, "got {f:?}");
+    }
+
+    #[test]
+    fn constructor_binding_is_tracked() {
+        let src = "\
+fn build() -> Vec<u8> {
+    let mut seen = std::collections::HashMap::new();
+    seen.insert(1u8, 2u8);
+    let mut out = Vec::new();
+    for (k, v) in seen.drain() {
+        out.push(k);
+        out.push(v);
+    }
+    out
+}
+";
+        let f = run_at("crates/persist/src/journal.rs", src);
+        assert_eq!(f.len(), 1, "got {f:?}");
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn btreemap_is_clean() {
+        let src = "\
+use std::collections::BTreeMap;
+fn dump(m: &BTreeMap<String, u64>, out: &mut Vec<u8>) {
+    for (k, v) in m {
+        out.extend(k.as_bytes());
+        out.extend(v.to_le_bytes());
+    }
+}
+";
+        assert!(run_at("crates/persist/src/checkpoint.rs", src).is_empty());
+    }
+
+    #[test]
+    fn point_lookups_are_clean() {
+        let src = "\
+use std::collections::HashMap;
+fn get(m: &HashMap<String, u64>, k: &str) -> Option<u64> {
+    m.get(k).copied()
+}
+";
+        assert!(run_at("crates/serve/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_files_need_the_tag() {
+        let src = "\
+use std::collections::HashMap;
+fn sum(m: &HashMap<u8, u64>) -> u64 {
+    m.values().sum()
+}
+";
+        assert!(run_at("crates/appliance/src/cup.rs", src).is_empty());
+        let tagged = format!("// analyze: hot-path\n{src}");
+        let f = run_at("crates/appliance/src/cup.rs", &tagged);
+        assert_eq!(f.len(), 1, "hot-path tag opts the file in, got {f:?}");
+    }
+
+    #[test]
+    fn tests_and_pragmas_skipped() {
+        let src = "\
+use std::collections::HashMap;
+fn dump(m: &HashMap<u8, u8>) -> Vec<u8> {
+    let mut v: Vec<(u8, u8)> = Vec::new();
+    // lint: allow(HASH_ITER_NONDET) -- collected into v and sorted before emit below
+    for (k, val) in m.iter() {
+        v.push((*k, *val));
+    }
+    v.sort_unstable();
+    v.iter().flat_map(|(a, b)| [*a, *b]).collect()
+}
+";
+        let file = SourceFile::scan(Path::new("crates/persist/src/snapshot.rs"), src);
+        let passes: Vec<Box<dyn LintPass>> = vec![Box::new(HashIterNondet::default())];
+        let a = crate::analyze_file(&file, &passes);
+        assert!(a.findings.is_empty(), "got {:?}", a.findings);
+        assert_eq!(a.suppressed, 1);
+    }
+}

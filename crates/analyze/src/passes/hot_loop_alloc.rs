@@ -9,16 +9,15 @@
 //!
 //! The pass is opt-in per file: it only runs on files carrying the
 //! `// analyze: hot-path` marker comment, so ordinary setup/config code is
-//! not flooded with findings. Loop bodies are recovered from the code view
-//! (`for`/`while`/`loop` keyword → body braces); allocations that are
-//! genuinely bounded (e.g. once per accepted cluster center, not once per
-//! data point) are suppressed the usual way with
-//! `// lint: allow(HOT_LOOP_ALLOC) -- reason`.
+//! not flooded with findings. Loop bodies come from the scanner's block
+//! tree ([`BlockKind::Loop`] spans); allocations that are genuinely bounded
+//! (e.g. once per accepted cluster center, not once per data point) are
+//! suppressed the usual way with `// lint: allow(HOT_LOOP_ALLOC) -- reason`.
 
 use std::collections::BTreeSet;
 
-use super::{find_all, matching_brace, word_boundary_before, Finding, Level, LintPass};
-use crate::scanner::SourceFile;
+use super::{find_all, word_boundary_before, Finding, Level, LintPass};
+use crate::scanner::{BlockKind, SourceFile};
 
 /// See module docs.
 pub struct HotLoopAlloc;
@@ -34,8 +33,8 @@ impl LintPass for HotLoopAlloc {
     }
 
     fn description(&self) -> &'static str {
-        "flags Vec::new/vec![/.collect()/.clone() inside loops of files \
-         tagged `// analyze: hot-path`"
+        "flags Vec::new/vec![/.collect()/.clone()/format!/.to_string()/\
+         Box::new inside loops of files tagged `// analyze: hot-path`"
     }
 
     fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
@@ -43,13 +42,13 @@ impl LintPass for HotLoopAlloc {
             return;
         }
         let joined = file.joined_code();
-        let ranges = loop_body_ranges(&joined);
+        let ranges = loop_body_ranges(file);
         if ranges.is_empty() {
             return;
         }
         // Nested loop bodies overlap; report each match site once.
         let mut seen = BTreeSet::new();
-        for (pos, alloc) in allocation_sites(&joined) {
+        for (pos, alloc) in allocation_sites(joined) {
             if !ranges.iter().any(|&(lo, hi)| pos >= lo && pos < hi) {
                 continue;
             }
@@ -60,7 +59,7 @@ impl LintPass for HotLoopAlloc {
             let Some(l) = file.lines.get(lineno - 1) else {
                 continue;
             };
-            if l.in_test || file.is_allowed(ID, lineno) {
+            if l.in_test {
                 continue;
             }
             findings.push(Finding {
@@ -79,47 +78,19 @@ impl LintPass for HotLoopAlloc {
 }
 
 /// Byte ranges (in the joined code view) of `for`/`while`/`loop` bodies,
-/// opening brace excluded.
+/// opening brace excluded — straight from the scanner's block tree.
 ///
 /// Loop headers are excluded: `for x in ys.clone()` runs its allocation
-/// once, not per iteration. An `impl Trait for Type` is told apart from a
-/// `for` loop by requiring the ` in ` token in the header.
-fn loop_body_ranges(joined: &str) -> Vec<(usize, usize)> {
-    let bytes = joined.as_bytes();
-    let mut ranges = Vec::new();
-    for kw in ["for", "while", "loop"] {
-        for pos in find_all(joined, kw) {
-            if !word_boundary_before(joined, pos) {
-                continue;
-            }
-            let after = pos + kw.len();
-            // Identifier continues (`form`, `loops`) — not the keyword.
-            if bytes
-                .get(after)
-                .is_some_and(|&b| (b as char).is_alphanumeric() || b == b'_')
-            {
-                continue;
-            }
-            let Some(rel) = joined[after..].find('{') else {
-                continue;
-            };
-            let open = after + rel;
-            let header = &joined[after..open];
-            match kw {
-                // `for` must be a loop header, not `impl T for U` or a
-                // higher-ranked `for<'a>` bound.
-                "for" if !header.contains(" in ") => continue,
-                // `loop` takes no header at all.
-                "loop" if !header.trim().is_empty() => continue,
-                _ => {}
-            }
-            let Some(close) = matching_brace(joined, open) else {
-                continue;
-            };
-            ranges.push((open + 1, close.saturating_sub(1)));
-        }
-    }
-    ranges
+/// once, not per iteration. The tree classifier already tells an
+/// `impl Trait for Type` apart from a `for` loop (the ` in ` token) and a
+/// bare `loop {` from a method called `loop` (empty header required).
+fn loop_body_ranges(file: &SourceFile) -> Vec<(usize, usize)> {
+    file.block_tree()
+        .blocks
+        .iter()
+        .filter(|b| b.kind == BlockKind::Loop)
+        .map(|b| b.body())
+        .collect()
 }
 
 /// `(byte offset, pattern)` of every allocation site in the code view.
@@ -143,6 +114,22 @@ fn allocation_sites(joined: &str) -> Vec<(usize, &'static str)> {
         }
     }
     out.extend(find_all(joined, ".clone()").into_iter().map(|p| (p, ".clone()")));
+    // String formatting and boxing allocate every iteration just the same.
+    for pos in find_all(joined, "format!") {
+        if word_boundary_before(joined, pos) {
+            out.push((pos, "format!"));
+        }
+    }
+    out.extend(
+        find_all(joined, ".to_string()")
+            .into_iter()
+            .map(|p| (p, ".to_string()")),
+    );
+    for pos in find_all(joined, "Box::new") {
+        if word_boundary_before(joined, pos) {
+            out.push((pos, "Box::new"));
+        }
+    }
     out
 }
 
@@ -250,6 +237,7 @@ mod tests {
 
     #[test]
     fn pragma_and_test_code_suppress() {
+        // Suppression is the driver's job now, so route through analyze_file.
         let src = format!(
             "{TAG}fn f(n: usize) {{\n\
              \x20   for _ in 0..n {{\n\
@@ -266,7 +254,61 @@ mod tests {
              \x20   }}\n\
              }}\n"
         );
+        let file = SourceFile::scan(Path::new("t.rs"), &src);
+        let passes: Vec<Box<dyn LintPass>> = vec![Box::new(HotLoopAlloc)];
+        let a = crate::analyze_file(&file, &passes);
+        assert!(a.findings.is_empty(), "got {:?}", a.findings);
+        assert_eq!(a.suppressed, 1);
+    }
+
+    #[test]
+    fn flags_format_to_string_and_box_in_loops() {
+        let src = format!(
+            "{TAG}fn f(n: usize) {{\n\
+             \x20   for i in 0..n {{\n\
+             \x20       let a = format!(\"step {{i}}\");\n\
+             \x20       let b = i.to_string();\n\
+             \x20       let c = Box::new(i);\n\
+             \x20       let _ = (a, b, c);\n\
+             \x20   }}\n\
+             }}\n"
+        );
+        let f = run(&src);
+        assert_eq!(f.len(), 3, "got {f:?}");
+        let msgs: Vec<&str> = f.iter().map(|x| x.message.as_str()).collect();
+        for pat in ["format!", ".to_string()", "Box::new"] {
+            assert!(msgs.iter().any(|m| m.contains(pat)), "missing {pat}");
+        }
+    }
+
+    #[test]
+    fn format_and_box_outside_loops_are_clean() {
+        let src = format!(
+            "{TAG}fn f(code: u8) -> String {{\n\
+             \x20   let header = format!(\"code={{code}}\");\n\
+             \x20   let boxed = Box::new(code);\n\
+             \x20   let _ = boxed;\n\
+             \x20   header.to_string()\n\
+             }}\n"
+        );
         let f = run(&src);
         assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn closure_body_inside_loop_is_still_the_loop_body() {
+        // Block-tree spans nest: an allocation inside a closure that is
+        // itself inside a loop body is still per-iteration work.
+        let src = format!(
+            "{TAG}fn f(n: usize, xs: &[Vec<f64>]) {{\n\
+             \x20   for i in 0..n {{\n\
+             \x20       let _ = xs.iter().map(|x| x.clone()).count();\n\
+             \x20       let _ = i;\n\
+             \x20   }}\n\
+             }}\n"
+        );
+        let f = run(&src);
+        assert_eq!(f.len(), 1, "got {f:?}");
+        assert!(f[0].message.contains(".clone()"));
     }
 }

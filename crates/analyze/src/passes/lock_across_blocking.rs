@@ -1,0 +1,382 @@
+//! LOCK_ACROSS_BLOCKING — a lock guard held across a blocking call.
+//!
+//! The serve/parallel/resilience layers follow a strict locking discipline:
+//! guards protect in-memory state transitions and are released *before*
+//! anything that can park the thread — socket and file I/O, `join()`,
+//! channel `recv()`, or `sleep`. A guard held across such a call turns a
+//! slow peer into a stalled lock and, with the wrong pairing, a deadlock
+//! (e.g. the session table held while `join()`ing a session thread that
+//! needs the table to exit). These bugs pass every fast test and appear
+//! only under production timing.
+//!
+//! The pass finds `let g = ….lock()/.read()/.write()…;` bindings and walks
+//! the rest of the *enclosing block* (from the scanner's block tree) for
+//! blocking calls, stopping early at an explicit `drop(g)`. Condvar
+//! `wait`/`wait_timeout` are deliberately not in the blocking list: they
+//! release the guard while parked, which is the sanctioned way to sleep
+//! with a lock. The fix is almost always an inner scope:
+//!
+//! ```text
+//! let h = { let mut s = table.lock().unwrap(); s.remove(id) };
+//! h.join();   // guard already dropped
+//! ```
+//!
+//! Findings anchor on the binding line; suppress there when the blocking
+//! call provably cannot park (and say why).
+
+use super::{find_all, word_boundary_before, Finding, Level, LintPass};
+use crate::scanner::SourceFile;
+
+/// See module docs.
+pub struct LockAcrossBlocking;
+
+const ID: &str = "LOCK_ACROSS_BLOCKING";
+
+/// Call suffixes that bind a lock guard when they end a `let` initializer.
+const GUARD_CALLS: [&str; 3] = [".lock()", ".read()", ".write()"];
+
+/// Blocking-call patterns: `(pattern, needs word boundary before)`.
+/// Method-shaped patterns (leading `.`) need no extra boundary; bare names
+/// do, so `sleep(` does not fire inside `nosleep(`. `.join()` requires the
+/// empty-parens form: `Path::join`/`[&str]::join` always take an argument,
+/// thread/session handles do not.
+const BLOCKING: &[(&str, bool)] = &[
+    (".recv()", false),
+    (".recv_timeout(", false),
+    (".recv_deadline(", false),
+    (".join()", false),
+    (".accept()", false),
+    ("connect(", true),
+    (".write_all(", false),
+    (".read_exact(", false),
+    (".read_to_end(", false),
+    (".read_to_string(", false),
+    (".flush()", false),
+    (".sync_all()", false),
+    (".sync_data()", false),
+    ("sleep(", true),
+    ("read_frame(", true),
+    ("write_frame(", true),
+];
+
+impl LintPass for LockAcrossBlocking {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "flags MutexGuard/RwLockGuard bindings still live at socket/file \
+         I/O, join(), recv(), or sleep in the same block; drop or scope the \
+         guard first"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        let joined = file.joined_code();
+        let tree = file.block_tree();
+        for pos in find_all(joined, "let ") {
+            if !word_boundary_before(joined, pos) {
+                continue;
+            }
+            let line = file.line_of(pos + 1);
+            if file.lines[line - 1].in_test {
+                continue;
+            }
+            let Some((stmt_end, name, rhs)) = parse_let(joined, pos) else {
+                continue;
+            };
+            if !binds_guard(rhs) {
+                continue;
+            }
+            // The guard lives from the end of its statement to the end of
+            // the enclosing block (or an explicit drop, whichever first).
+            let Some(block_end) = tree
+                .enclosing_at(pos)
+                .and_then(|bi| tree.blocks.get(bi))
+                .map(|b| b.end)
+            else {
+                continue;
+            };
+            if block_end <= stmt_end {
+                continue;
+            }
+            let mut region = &joined[stmt_end..block_end];
+            for cut_pat in [format!("drop({name})"), format!("drop(&{name})")] {
+                if let Some(cut) = region.find(&cut_pat) {
+                    region = &region[..cut];
+                }
+            }
+            'blocking: for &(pat, needs_boundary) in BLOCKING {
+                for off in find_all(region, pat) {
+                    if needs_boundary && !word_boundary_before(region, off) {
+                        continue;
+                    }
+                    let site_line = file.line_of(stmt_end + off + 1);
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line,
+                        lint: ID,
+                        message: format!(
+                            "guard `{name}` is still live at blocking call \
+                             `{pat}` (line {site_line}); drop it or scope it \
+                             in an inner block before blocking",
+                            pat = pat.trim_start_matches('.').trim_end_matches('('),
+                        ),
+                        level: Level::Deny,
+                    });
+                    // One finding per binding keeps the report readable.
+                    break 'blocking;
+                }
+            }
+        }
+    }
+}
+
+/// Parse the `let` statement starting at `pos` (which points at `let `):
+/// `(byte just past the terminating ';', bound name, initializer text)`.
+/// Returns `None` for patterns that cannot bind a guard we can track — a
+/// tuple/struct pattern, a `let … else`, or a `let` without initializer.
+fn parse_let(joined: &str, pos: usize) -> Option<(usize, &str, &str)> {
+    let bytes = joined.as_bytes();
+    let start = pos + "let ".len();
+    // Find the `=` introducing the initializer and the closing `;`, both at
+    // bracket depth 0 relative to the statement.
+    let mut depth = 0i32;
+    let mut eq = None;
+    let mut end = None;
+    let mut i = start;
+    while let Some(&cur) = bytes.get(i) {
+        match cur {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    // Ran out of the enclosing block: no terminating `;`.
+                    return None;
+                }
+            }
+            b'=' if depth == 0 && eq.is_none() => {
+                let prev = bytes[i - 1];
+                let next = bytes.get(i + 1).copied().unwrap_or(b' ');
+                let is_compound = matches!(
+                    prev,
+                    b'=' | b'!' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|'
+                        | b'^'
+                ) || matches!(next, b'=' | b'>');
+                if !is_compound {
+                    eq = Some(i);
+                }
+            }
+            b';' if depth == 0 => {
+                end = Some(i + 1);
+                break;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let (eq, end) = (eq?, end?);
+    if eq >= end {
+        return None;
+    }
+    let mut name = joined[start..eq].trim();
+    name = name.strip_prefix("mut ").unwrap_or(name).trim_start();
+    name = name.strip_prefix("ref ").unwrap_or(name).trim_start();
+    if let Some(colon) = name.find(':') {
+        name = name[..colon].trim_end();
+    }
+    let simple_ident = !name.is_empty()
+        && name != "_"
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+        && name.chars().all(|c| c.is_alphanumeric() || c == '_');
+    if !simple_ident {
+        return None;
+    }
+    let rhs = joined[eq + 1..end - 1].trim();
+    if rhs.contains("else") && rhs.ends_with('}') {
+        return None; // `let … else { … }` diverges, nothing is bound past it
+    }
+    Some((end, name, rhs))
+}
+
+/// Does the initializer text end in a lock acquisition? Handles the bare
+/// call, `?`, `.unwrap()`, and the poison-tolerant
+/// `unwrap_or_else(PoisonError::into_inner)` idiom used in this workspace.
+fn binds_guard(rhs: &str) -> bool {
+    let mut t = rhs.trim();
+    if let Some(s) = t.strip_suffix('?') {
+        t = s.trim_end();
+    }
+    if let Some(s) = t.strip_suffix(".unwrap()") {
+        t = s.trim_end();
+    }
+    if GUARD_CALLS.iter().any(|g| t.ends_with(g)) {
+        return true;
+    }
+    t.ends_with("unwrap_or_else(PoisonError::into_inner)")
+        && GUARD_CALLS.iter().any(|g| t.contains(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::scan(Path::new("crates/serve/src/t.rs"), src);
+        let mut out = Vec::new();
+        LockAcrossBlocking.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_guard_across_join() {
+        let src = "\
+fn finish(&self) {
+    let mut sessions = self.sessions.lock().unwrap();
+    for h in sessions.drain(..) {
+        h.join().unwrap();
+    }
+}
+";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "got {f:?}");
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[0].level, Level::Deny);
+        assert!(f[0].message.contains("sessions"));
+        assert!(f[0].message.contains("join"));
+    }
+
+    #[test]
+    fn flags_guard_across_socket_write() {
+        let src = "\
+fn reply(&self, s: &mut std::net::TcpStream) -> std::io::Result<()> {
+    let state = self.state.read().unwrap();
+    s.write_all(&state.bytes)?;
+    Ok(())
+}
+";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "got {f:?}");
+        assert!(f[0].message.contains("write_all"));
+    }
+
+    #[test]
+    fn poison_tolerant_idiom_is_still_a_guard() {
+        let src = "\
+fn wait(&self) {
+    let stop = self
+        .stop_requested
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    self.rx.recv().unwrap();
+    let _ = stop;
+}
+";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "got {f:?}");
+        assert!(f[0].message.contains("stop"));
+    }
+
+    #[test]
+    fn inner_scope_releases_the_guard() {
+        let src = "\
+fn finish(&self) {
+    let handle = {
+        let mut sessions = self.sessions.lock().unwrap();
+        sessions.pop()
+    };
+    handle.join().unwrap();
+}
+";
+        assert!(run(src).is_empty(), "scoped guard must not fire");
+    }
+
+    #[test]
+    fn explicit_drop_releases_the_guard() {
+        let src = "\
+fn step(&self) {
+    let queue = self.queue.lock().unwrap();
+    let n = queue.len();
+    drop(queue);
+    std::thread::sleep(wait_for(n));
+}
+";
+        assert!(run(src).is_empty(), "dropped guard must not fire");
+    }
+
+    #[test]
+    fn condvar_wait_is_sanctioned() {
+        let src = "\
+fn pop(&self) -> Job {
+    let mut inner = self.inner.lock().unwrap();
+    loop {
+        if let Some(j) = inner.take() {
+            return j;
+        }
+        inner = self.not_empty.wait(inner).unwrap();
+    }
+}
+";
+        assert!(run(src).is_empty(), "condvar wait releases the guard");
+    }
+
+    #[test]
+    fn path_join_with_args_is_not_blocking() {
+        let src = "\
+fn place(&self) -> std::path::PathBuf {
+    let cfg = self.cfg.lock().unwrap();
+    cfg.dir.join(\"checkpoint\")
+}
+";
+        assert!(run(src).is_empty(), "Path::join takes an argument");
+    }
+
+    #[test]
+    fn non_guard_bindings_are_ignored() {
+        let src = "\
+fn run(&self) {
+    let n = self.count();
+    self.rx.recv().unwrap();
+    let _ = n;
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t(h: std::thread::JoinHandle<()>) {
+        let g = LOCK.lock().unwrap();
+        h.join().unwrap();
+        let _ = g;
+    }
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn pragma_on_binding_line_suppresses() {
+        let src = "\
+fn flushy(&self, w: &mut impl std::io::Write) {
+    // lint: allow(LOCK_ACROSS_BLOCKING) -- single-threaded drain at shutdown, no contention
+    let log = self.log.lock().unwrap();
+    w.write_all(&log.tail).unwrap();
+}
+";
+        let file = SourceFile::scan(Path::new("crates/serve/src/t.rs"), src);
+        let passes: Vec<Box<dyn LintPass>> = vec![Box::new(LockAcrossBlocking)];
+        let a = crate::analyze_file(&file, &passes);
+        // The write_all unwrap is PanicInLib's business, not ours; with only
+        // this pass registered the pragma must cancel the single finding.
+        assert!(a.findings.is_empty(), "got {:?}", a.findings);
+        assert_eq!(a.suppressed, 1);
+    }
+}

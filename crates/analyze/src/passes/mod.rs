@@ -4,17 +4,25 @@
 
 mod assert_density;
 mod epsilon_domain;
+mod hash_iter_nondet;
 mod hot_loop_alloc;
 mod io_swallowed;
+mod lock_across_blocking;
 mod nan_cmp;
 mod panic_lib;
+mod time_in_logic;
+mod unbounded_channel;
 
 pub use assert_density::AssertDensity;
 pub use epsilon_domain::EpsilonDomain;
+pub use hash_iter_nondet::HashIterNondet;
 pub use hot_loop_alloc::{HotLoopAlloc, HOT_PATH_TAG};
 pub use io_swallowed::IoSwallowed;
+pub use lock_across_blocking::LockAcrossBlocking;
 pub use nan_cmp::NanUnsafeCmp;
 pub use panic_lib::PanicInLib;
+pub use time_in_logic::TimeInLogic;
+pub use unbounded_channel::UnboundedChannel;
 
 use crate::scanner::SourceFile;
 use std::path::PathBuf;
@@ -62,9 +70,11 @@ pub trait LintPass {
     fn id(&self) -> &'static str;
     /// One-line description for `--list`.
     fn description(&self) -> &'static str;
-    /// Run over one file, appending findings. Implementations must honor
-    /// suppression pragmas via [`SourceFile::is_allowed`] and skip test
-    /// code via [`crate::scanner::Line::in_test`].
+    /// Run over one file, appending findings. Implementations must skip
+    /// test code via [`crate::scanner::Line::in_test`] but must NOT apply
+    /// suppression pragmas — [`crate::analyze_file`] cancels findings
+    /// against pragmas centrally so it can tell which pragmas actually
+    /// fired (the `STALE_SUPPRESS` check depends on this).
     fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>);
 }
 
@@ -77,6 +87,10 @@ pub fn default_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(EpsilonDomain::default()),
         Box::new(IoSwallowed::default()),
         Box::new(HotLoopAlloc),
+        Box::new(LockAcrossBlocking),
+        Box::new(UnboundedChannel::default()),
+        Box::new(HashIterNondet::default()),
+        Box::new(TimeInLogic::default()),
     ]
 }
 

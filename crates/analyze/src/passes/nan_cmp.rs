@@ -30,9 +30,9 @@ impl LintPass for NanUnsafeCmp {
         // Rule 1 + 3: `partial_cmp` chained into unwrap/expect (Deny), or
         // used inside a comparator without unwrap (Warn — still NaN-unsound
         // ordering when swallowed with unwrap_or).
-        for pos in find_all(&joined, ".partial_cmp") {
+        for pos in find_all(joined, ".partial_cmp") {
             let line = file.line_of(pos + 1);
-            if file.lines[line - 1].in_test || file.is_allowed(ID, line) {
+            if file.lines[line - 1].in_test {
                 continue;
             }
             let after_name = pos + ".partial_cmp".len();
@@ -43,7 +43,7 @@ impl LintPass for NanUnsafeCmp {
             else {
                 continue;
             };
-            let Some(end) = matching_paren(&joined, open) else {
+            let Some(end) = matching_paren(joined, open) else {
                 continue;
             };
             let tail = joined[end..].trim_start();
@@ -73,7 +73,7 @@ impl LintPass for NanUnsafeCmp {
         // Rule 2: `==` / `!=` against a float literal or float constant.
         for (idx, l) in file.lines.iter().enumerate() {
             let lineno = idx + 1;
-            if l.in_test || file.is_allowed(ID, lineno) {
+            if l.in_test {
                 continue;
             }
             let code = &l.code;
@@ -245,9 +245,14 @@ mod tests {
 
     #[test]
     fn respects_pragma_and_tests() {
-        let f = run(
+        // Suppression is the driver's job now, so route through analyze_file.
+        let file = SourceFile::scan(
+            Path::new("t.rs"),
             "fn f(v: &mut Vec<f64>) {\n    // lint: allow(NAN_UNSAFE_CMP) -- inputs validated finite at api boundary\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n#[cfg(test)]\nmod tests {\n    fn t(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n}\n",
         );
-        assert!(f.is_empty(), "got {f:?}");
+        let passes: Vec<Box<dyn LintPass>> = vec![Box::new(NanUnsafeCmp)];
+        let a = crate::analyze_file(&file, &passes);
+        assert!(a.findings.is_empty(), "got {:?}", a.findings);
+        assert_eq!(a.suppressed, 1);
     }
 }

@@ -1,0 +1,217 @@
+//! TIME_IN_LOGIC — wall-clock reads inside deterministic compute paths.
+//!
+//! Every numeric result in this workspace must be a pure function of its
+//! inputs: that is what makes served answers comparable bit-for-bit with
+//! the in-process pipeline and recovery provable by replay. An
+//! `Instant::now()` or `SystemTime::now()` inside a compute path smuggles
+//! the scheduler into the dataflow — two identical requests stop producing
+//! identical answers, and a journal replay can no longer reconstruct the
+//! original run. Time is legitimate at the service edge (timeouts,
+//! metrics, backoff); inside the pipeline it must arrive *as data* (an
+//! explicit timestamp argument, like the sensor cue ages in the context
+//! quality measure).
+//!
+//! The pass runs on the compute crates (`math`, `fuzzy`, `cluster`,
+//! `anfis`, `classify`, `stats`, `core`, `sensors`, `persist`,
+//! `parallel`) plus any file tagged `// analyze: hot-path`. It is
+//! warn-level: the string match cannot see where the value flows, so
+//! deadline arithmetic inside a tagged file needs a reasoned pragma rather
+//! than a code change.
+
+use super::{find_all, word_boundary_before, Finding, Level, LintPass};
+use crate::scanner::SourceFile;
+
+/// See module docs.
+pub struct TimeInLogic {
+    /// Path fragments this pass applies to; empty means every file.
+    /// Files tagged `hot-path` are always in scope.
+    path_filters: Vec<&'static str>,
+}
+
+const ID: &str = "TIME_IN_LOGIC";
+
+/// Wall-clock reads. `.elapsed()` is included: it reads the clock *now*
+/// even when the start instant arrived as a parameter.
+const CLOCK_READS: &[(&str, bool)] = &[
+    ("Instant::now", true),
+    ("SystemTime::now", true),
+    (".elapsed()", false),
+];
+
+impl Default for TimeInLogic {
+    fn default() -> Self {
+        TimeInLogic {
+            path_filters: vec![
+                "math/src",
+                "fuzzy/src",
+                "cluster/src",
+                "anfis/src",
+                "classify/src",
+                "stats/src",
+                "core/src",
+                "sensors/src",
+                "persist/src",
+                "parallel/src",
+            ],
+        }
+    }
+}
+
+impl TimeInLogic {
+    /// A variant with no path restriction (used by tests and fixtures).
+    pub fn unrestricted() -> Self {
+        TimeInLogic {
+            path_filters: Vec::new(),
+        }
+    }
+}
+
+impl LintPass for TimeInLogic {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "compute paths must not read the wall clock (Instant/SystemTime); \
+         results must be pure functions of inputs — pass timestamps in as \
+         data"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if !self.path_filters.is_empty() && !file.has_tag(super::HOT_PATH_TAG) {
+            let p = file.path.to_string_lossy().replace('\\', "/");
+            if !self.path_filters.iter().any(|frag| p.contains(frag)) {
+                return;
+            }
+        }
+        for (idx, l) in file.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if l.in_test {
+                continue;
+            }
+            let code = &l.code;
+            for &(pat, needs_boundary) in CLOCK_READS {
+                for pos in find_all(code, pat) {
+                    if needs_boundary && !word_boundary_before(code, pos) {
+                        continue;
+                    }
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line: lineno,
+                        lint: ID,
+                        message: format!(
+                            "`{pat}` reads the wall clock in a deterministic \
+                             compute path; results must be pure functions of \
+                             inputs — inject the timestamp as data, or keep the \
+                             read at the service edge (pragma if this is \
+                             metrics/timeout plumbing)"
+                        ),
+                        level: Level::Warn,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn run_at(path: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::scan(Path::new(path), src);
+        let mut out = Vec::new();
+        TimeInLogic::default().check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_instant_now_in_compute_crate() {
+        let src = "\
+pub fn decayed(q: f64, born: std::time::Instant) -> f64 {
+    let age = std::time::Instant::now() - born;
+    q * (-age.as_secs_f64()).exp()
+}
+";
+        let f = run_at("crates/sensors/src/cue.rs", src);
+        assert_eq!(f.len(), 1, "got {f:?}");
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[0].level, Level::Warn);
+    }
+
+    #[test]
+    fn flags_elapsed_and_system_time() {
+        let src = "\
+pub fn staleness(start: std::time::Instant) -> f64 {
+    start.elapsed().as_secs_f64()
+}
+pub fn stamp() -> u64 {
+    std::time::SystemTime::now().elapsed().unwrap().as_secs()
+}
+";
+        let f = run_at("crates/core/src/model.rs", src);
+        // Line 2 (.elapsed), line 5 (SystemTime::now + .elapsed).
+        assert_eq!(f.len(), 3, "got {f:?}");
+    }
+
+    #[test]
+    fn timestamp_as_data_is_clean() {
+        let src = "\
+pub fn decayed(q: f64, age_s: f64) -> f64 {
+    debug_assert!(age_s >= 0.0);
+    q * (-age_s).exp()
+}
+";
+        assert!(run_at("crates/sensors/src/cue.rs", src).is_empty());
+    }
+
+    #[test]
+    fn service_edge_crates_are_out_of_scope() {
+        let src = "\
+fn backoff() {
+    let t0 = std::time::Instant::now();
+    let _ = t0;
+}
+";
+        assert!(run_at("crates/resilience/src/supervisor.rs", src).is_empty());
+        assert!(run_at("crates/serve/src/server.rs", src).is_empty());
+        assert!(run_at("crates/bench/src/perf.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_tag_opts_a_file_in() {
+        let src = "\
+// analyze: hot-path
+fn deadline() {
+    let t0 = std::time::Instant::now();
+    let _ = t0;
+}
+";
+        let f = run_at("crates/serve/src/queue.rs", src);
+        assert_eq!(f.len(), 1, "got {f:?}");
+    }
+
+    #[test]
+    fn tests_and_pragmas_skipped() {
+        let src = "\
+fn stamp() -> u64 {
+    // lint: allow(TIME_IN_LOGIC) -- journal header metadata only, never replayed into results
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let _ = std::time::Instant::now();
+    }
+}
+";
+        let file = SourceFile::scan(Path::new("crates/persist/src/journal.rs"), src);
+        let passes: Vec<Box<dyn LintPass>> = vec![Box::new(TimeInLogic::default())];
+        let a = crate::analyze_file(&file, &passes);
+        assert!(a.findings.is_empty(), "got {:?}", a.findings);
+        assert_eq!(a.suppressed, 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! UNBOUNDED_CHANNEL — unbounded `mpsc::channel()` in service paths.
+//!
+//! The serve layer's overload story is *bounded-queue admission control*:
+//! every buffer between accept and answer has a fixed capacity and an
+//! explicit policy (reject, drop-oldest, block) for when it fills. One
+//! `mpsc::channel()` hidden behind that story reintroduces an elastic
+//! buffer that absorbs overload silently until the process dies of memory
+//! pressure instead of shedding load at admission — the exact failure mode
+//! the `BoundedQueue` exists to prevent.
+//!
+//! In `serve`, `resilience`, and `parallel` source, every channel must be
+//! `mpsc::sync_channel(cap)` with a documented capacity (or carry a pragma
+//! explaining why backpressure is enforced upstream). The pattern matches
+//! `channel(` and the turbofish `channel::<T>(` at a word boundary, which
+//! skips `sync_channel` and helper names like `apply_channel` on its own.
+
+use super::{find_all, word_boundary_before, Finding, Level, LintPass};
+use crate::scanner::SourceFile;
+
+/// See module docs.
+pub struct UnboundedChannel {
+    /// Path fragments this pass applies to; empty means every file.
+    path_filters: Vec<&'static str>,
+}
+
+const ID: &str = "UNBOUNDED_CHANNEL";
+
+impl Default for UnboundedChannel {
+    fn default() -> Self {
+        UnboundedChannel {
+            path_filters: vec!["serve/src", "resilience/src", "parallel/src"],
+        }
+    }
+}
+
+impl UnboundedChannel {
+    /// A variant with no path restriction (used by tests and fixtures).
+    pub fn unrestricted() -> Self {
+        UnboundedChannel {
+            path_filters: Vec::new(),
+        }
+    }
+}
+
+impl LintPass for UnboundedChannel {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "serve/resilience/parallel paths must use mpsc::sync_channel(cap), \
+         not the unbounded mpsc::channel(); elastic buffers defeat \
+         bounded-queue admission control"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if !self.path_filters.is_empty() {
+            let p = file.path.to_string_lossy().replace('\\', "/");
+            if !self.path_filters.iter().any(|frag| p.contains(frag)) {
+                return;
+            }
+        }
+        for (idx, l) in file.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if l.in_test {
+                continue;
+            }
+            let code = &l.code;
+            for pat in ["channel(", "channel::<"] {
+                for pos in find_all(code, pat) {
+                    if !word_boundary_before(code, pos) {
+                        continue;
+                    }
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line: lineno,
+                        lint: ID,
+                        message: "unbounded `mpsc::channel()` in a bounded-queue \
+                                  service path; use `mpsc::sync_channel(cap)` with \
+                                  a documented capacity (or a pragma saying where \
+                                  backpressure is enforced)"
+                            .to_string(),
+                        level: Level::Deny,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn run_at(path: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::scan(Path::new(path), src);
+        let mut out = Vec::new();
+        UnboundedChannel::default().check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unbounded_channel_in_serve() {
+        let f = run_at(
+            "crates/serve/src/server.rs",
+            "fn session() {\n    let (tx, rx) = std::sync::mpsc::channel::<u8>();\n    let _ = (tx, rx);\n}\n",
+        );
+        assert_eq!(f.len(), 1, "got {f:?}");
+        assert_eq!(f[0].level, Level::Deny);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn flags_plain_call_form() {
+        let f = run_at(
+            "crates/resilience/src/supervisor.rs",
+            "use std::sync::mpsc::channel;\nfn f() {\n    let (tx, rx) = channel();\n    let _ = (tx, rx);\n}\n",
+        );
+        // The `use` line ends in `;`, not `(` — only the call fires.
+        assert_eq!(f.len(), 1, "got {f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn sync_channel_is_clean() {
+        let f = run_at(
+            "crates/serve/src/server.rs",
+            "fn session() {\n    let (tx, rx) = std::sync::mpsc::sync_channel::<u8>(1);\n    let _ = (tx, rx);\n}\n",
+        );
+        assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn helper_names_are_not_channels() {
+        let f = run_at(
+            "crates/parallel/src/pool.rs",
+            "fn f() {\n    apply_channel(3);\n    let c = make_channel();\n    let _ = c;\n}\n",
+        );
+        assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn out_of_scope_crates_ignored_by_default() {
+        let f = run_at(
+            "crates/appliance/src/bus.rs",
+            "fn f() {\n    let (tx, rx) = std::sync::mpsc::channel::<u8>();\n    let _ = (tx, rx);\n}\n",
+        );
+        assert!(f.is_empty());
+        let file = SourceFile::scan(
+            Path::new("crates/appliance/src/bus.rs"),
+            "fn f() {\n    let (tx, rx) = std::sync::mpsc::channel::<u8>();\n    let _ = (tx, rx);\n}\n",
+        );
+        let mut out = Vec::new();
+        UnboundedChannel::unrestricted().check(&file, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn tests_and_pragmas_skipped() {
+        let src = "\
+fn f() {
+    // lint: allow(UNBOUNDED_CHANNEL) -- producer is rate-limited by the admission queue
+    let (tx, rx) = std::sync::mpsc::channel::<u8>();
+    let _ = (tx, rx);
+}
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let (tx, rx) = std::sync::mpsc::channel::<u8>();
+        let _ = (tx, rx);
+    }
+}
+";
+        let file = SourceFile::scan(Path::new("crates/serve/src/server.rs"), src);
+        let passes: Vec<Box<dyn LintPass>> = vec![Box::new(UnboundedChannel::default())];
+        let a = crate::analyze_file(&file, &passes);
+        assert!(a.findings.is_empty(), "got {:?}", a.findings);
+        assert_eq!(a.suppressed, 1);
+    }
+}

@@ -11,7 +11,11 @@
 //!   [`Pragma`]); the reason text is mandatory;
 //! * test regions — bodies of `#[cfg(test)]` modules and `#[test]`
 //!   functions, so passes can skip test code;
-//! * per-line brace depth, which passes use to recover function spans.
+//! * per-line brace depth, which passes use to recover function spans;
+//! * the **block tree** ([`BlockTree`]): every `{…}` span in the code view,
+//!   paired and nested, classified as `fn`/`impl`/closure/loop/… so passes
+//!   can reason about *what happens while a binding is live* instead of
+//!   matching single lines.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -52,6 +56,227 @@ pub struct Line {
     pub depth_at_start: i32,
 }
 
+/// What kind of construct a `{…}` block belongs to, judged from its header
+/// (the code between the previous statement boundary and the opening brace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// `fn name(...) {` — free function or method body.
+    Fn,
+    /// `impl Type {` / `impl Trait for Type {`.
+    Impl,
+    /// `trait Name {`.
+    Trait,
+    /// `mod name {`.
+    Mod,
+    /// `for … in … {`, `while … {`, `loop {` body.
+    Loop,
+    /// `match … {` arms.
+    Match,
+    /// Closure body: header ends in `|` or `| -> Type`.
+    Closure,
+    /// Anything else: `if`/`else`, bare scopes, struct literals, arms.
+    Plain,
+}
+
+/// One brace-delimited span in the code view.
+///
+/// Offsets index into [`SourceFile::joined_code`]; `start` is the byte of
+/// the opening `{`, `end` the byte of the closing `}` (or the end of the
+/// file when the brace is unclosed). A block *contains* an offset `o` when
+/// `start < o < end` — the braces themselves belong to the block, the
+/// header does not.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Index of the parent block in [`BlockTree::blocks`], `None` at top level.
+    pub parent: Option<usize>,
+    /// Construct kind, judged from the header text.
+    pub kind: BlockKind,
+    /// Byte offset of the opening `{` in the joined code view.
+    pub start: usize,
+    /// Byte offset of the closing `}` (or file end when unclosed).
+    pub end: usize,
+    /// 1-based line of the opening brace.
+    pub open_line: usize,
+    /// 1-based line of the closing brace.
+    pub close_line: usize,
+    /// Byte range of the header text in the joined view: from the previous
+    /// `;`/`{`/`}` boundary up to (not including) the opening brace.
+    pub header: (usize, usize),
+}
+
+impl Block {
+    /// Whether this block's span contains the joined-view byte `offset`.
+    /// The braces themselves count as inside; the header does not.
+    pub fn contains(&self, offset: usize) -> bool {
+        self.start <= offset && offset <= self.end
+    }
+
+    /// The interior span (between, not including, the braces).
+    pub fn body(&self) -> (usize, usize) {
+        (self.start + 1, self.end)
+    }
+}
+
+/// All brace-paired blocks of a file, in opening order.
+#[derive(Debug, Clone, Default)]
+pub struct BlockTree {
+    /// Blocks ordered by `start`; children always follow their parent.
+    pub blocks: Vec<Block>,
+}
+
+impl BlockTree {
+    /// Innermost block whose span contains joined-view byte `offset`
+    /// (braces inclusive), as an index into [`BlockTree::blocks`].
+    pub fn enclosing_at(&self, offset: usize) -> Option<usize> {
+        // Blocks nest strictly, so among all containing blocks the one that
+        // opened last is the innermost.
+        let mut best: Option<(usize, usize)> = None;
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.contains(offset) && best.map(|(_, s)| s < b.start).unwrap_or(true) {
+                best = Some((i, b.start));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Walk `start` and its ancestors until a block of `kind` is found.
+    pub fn ancestor_of_kind(&self, start: usize, kind: BlockKind) -> Option<usize> {
+        let mut cur = Some(start);
+        while let Some(i) = cur {
+            let b = self.blocks.get(i)?;
+            if b.kind == kind {
+                return Some(i);
+            }
+            cur = b.parent;
+        }
+        None
+    }
+}
+
+/// Build the block tree from the joined code view.
+///
+/// Headers run from the previous statement boundary (`;`, `{`, `}`) to the
+/// opening brace; classification looks for construct keywords at word
+/// boundaries inside that header. Known limit, shared with the flat model
+/// this replaces: a closure literal with braces *inside a loop header*
+/// (`for x in ys.map(|y| { … }) {`) cuts the header at the closure's `}`,
+/// so the outer loop is classified from the truncated text.
+fn build_block_tree(joined: &str) -> BlockTree {
+    let bytes = joined.as_bytes();
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+    let mut boundary = 0usize; // just past the last `;`, `{` or `}`
+    let mut line = 1usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'\n' => line += 1,
+            b';' => boundary = i + 1,
+            b'{' => {
+                let header = (boundary, i);
+                let kind = classify_header(&joined[header.0..header.1]);
+                blocks.push(Block {
+                    parent: stack.last().copied(),
+                    kind,
+                    start: i,
+                    end: joined.len(),
+                    open_line: line,
+                    close_line: 0,
+                    header,
+                });
+                stack.push(blocks.len() - 1);
+                boundary = i + 1;
+            }
+            b'}' => {
+                if let Some(blk) = stack.pop().and_then(|idx| blocks.get_mut(idx)) {
+                    blk.end = i;
+                    blk.close_line = line;
+                }
+                boundary = i + 1;
+            }
+            _ => {}
+        }
+    }
+    // Unclosed blocks (truncated input) end at EOF. The joined view always
+    // ends in `\n`, so the line counter sits one past the last real line.
+    let eof_line = if joined.ends_with('\n') {
+        (line - 1).max(1)
+    } else {
+        line
+    };
+    for idx in stack {
+        if let Some(blk) = blocks.get_mut(idx) {
+            blk.close_line = eof_line;
+        }
+    }
+    BlockTree { blocks }
+}
+
+/// Classify a block header. Priority order matters: a method inside an
+/// `impl` block has `fn` in its own header, and a closure argument at the
+/// end of a header outranks the call it is passed to.
+fn classify_header(header: &str) -> BlockKind {
+    let t = header.trim_end();
+    // `|args| {` or `|args| -> T {`: closure body.
+    if t.ends_with('|') {
+        return BlockKind::Closure;
+    }
+    if let Some(arrow) = t.rfind("->") {
+        if t[..arrow].trim_end().ends_with('|') {
+            return BlockKind::Closure;
+        }
+    }
+    if has_keyword(header, "fn") {
+        return BlockKind::Fn;
+    }
+    if has_keyword(header, "impl") {
+        return BlockKind::Impl;
+    }
+    if has_keyword(header, "trait") {
+        return BlockKind::Trait;
+    }
+    if has_keyword(header, "mod") {
+        return BlockKind::Mod;
+    }
+    if has_keyword(header, "while") || (has_keyword(header, "for") && header.contains(" in ")) {
+        return BlockKind::Loop;
+    }
+    if has_keyword(header, "loop") && {
+        let after = &header[header.rfind("loop").map(|p| p + 4).unwrap_or(0)..];
+        after.trim().is_empty()
+    } {
+        return BlockKind::Loop;
+    }
+    if has_keyword(header, "match") {
+        return BlockKind::Match;
+    }
+    BlockKind::Plain
+}
+
+/// Whether `word` occurs in `text` delimited by non-identifier characters.
+fn has_keyword(text: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(rel) = text[from..].find(word) {
+        let pos = from + rel;
+        let before_ok = pos == 0
+            || !text[..pos]
+                .chars()
+                .next_back()
+                .map(|c| c.is_alphanumeric() || c == '_')
+                .unwrap_or(false);
+        let after = pos + word.len();
+        let after_ok = !text[after..]
+            .chars()
+            .next()
+            .map(|c| c.is_alphanumeric() || c == '_')
+            .unwrap_or(false);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = after;
+    }
+    false
+}
+
 /// A fully scanned file, ready for lint passes.
 #[derive(Debug, Clone)]
 pub struct SourceFile {
@@ -67,6 +292,12 @@ pub struct SourceFile {
     /// File tags from `// analyze: <tag>` marker comments (e.g. `hot-path`),
     /// used by passes that only apply to opted-in files.
     pub tags: Vec<String>,
+    /// Whole-file code view, lines joined with `\n` (precomputed).
+    joined: String,
+    /// Byte offset in `joined` where each line starts; index 0 = line 1.
+    line_starts: Vec<usize>,
+    /// Brace-paired block spans over `joined`.
+    tree: BlockTree,
 }
 
 impl SourceFile {
@@ -82,7 +313,14 @@ impl SourceFile {
 
     /// Whether `lint_id` is suppressed on 1-based `line`.
     pub fn is_allowed(&self, lint_id: &str, line: usize) -> bool {
-        self.pragmas.iter().any(|p| {
+        self.suppression(lint_id, line).is_some()
+    }
+
+    /// Index into [`SourceFile::pragmas`] of the pragma suppressing
+    /// `lint_id` on 1-based `line`, if any. The driver uses the index to
+    /// track which pragmas actually fired (see `STALE_SUPPRESS`).
+    pub fn suppression(&self, lint_id: &str, line: usize) -> Option<usize> {
+        self.pragmas.iter().position(|p| {
             p.lint_ids.iter().any(|id| id == lint_id)
                 && match p.scope {
                     PragmaScope::File => true,
@@ -101,25 +339,69 @@ impl SourceFile {
 
     /// Whole-file code view joined with `\n` — for matching multi-line
     /// patterns. Byte offsets map back to lines via [`SourceFile::line_of`].
-    pub fn joined_code(&self) -> String {
-        let mut s = String::new();
-        for l in &self.lines {
-            s.push_str(&l.code);
-            s.push('\n');
-        }
-        s
+    pub fn joined_code(&self) -> &str {
+        &self.joined
     }
 
     /// Map a byte offset in [`SourceFile::joined_code`] to a 1-based line.
     pub fn line_of(&self, joined_offset: usize) -> usize {
-        let mut offset = joined_offset;
-        for (i, l) in self.lines.iter().enumerate() {
-            if offset <= l.code.len() {
-                return i + 1;
-            }
-            offset -= l.code.len() + 1;
+        match self.line_starts.binary_search(&joined_offset) {
+            Ok(i) => i + 1,
+            Err(i) => i.max(1),
         }
-        self.lines.len().max(1)
+    }
+
+    /// Byte offset in [`SourceFile::joined_code`] where 1-based `line`
+    /// starts (file end when out of range).
+    pub fn offset_of_line(&self, line: usize) -> usize {
+        self.line_starts
+            .get(line.wrapping_sub(1))
+            .copied()
+            .unwrap_or(self.joined.len())
+    }
+
+    /// The brace-paired block spans of this file.
+    pub fn block_tree(&self) -> &BlockTree {
+        &self.tree
+    }
+
+    /// Innermost block containing the first code character of 1-based
+    /// `line` (index into [`BlockTree::blocks`]). Lines that only *open* a
+    /// block (header + `{`) belong to the enclosing block, not the one they
+    /// open, because the query is anchored at the line's first character.
+    pub fn enclosing_block(&self, line: usize) -> Option<usize> {
+        let start = self.offset_of_line(line);
+        let code = self.code(line);
+        let lead = code.len() - code.trim_start().len();
+        self.tree.enclosing_at(start + lead)
+    }
+
+    /// Whether the joined-view byte `span` contains a call of `pat` — the
+    /// pattern followed by `(`, at an identifier boundary on the left.
+    /// `pat` may itself end in `(` or a full call shape like `.recv()`.
+    pub fn span_contains_call(&self, span: (usize, usize), pat: &str) -> bool {
+        let (lo, hi) = (span.0.min(self.joined.len()), span.1.min(self.joined.len()));
+        if lo >= hi {
+            return false;
+        }
+        let hay = &self.joined[lo..hi];
+        let mut from = 0;
+        while let Some(rel) = hay[from..].find(pat) {
+            let pos = from + rel;
+            // A leading `.` is its own boundary (method-call pattern).
+            let boundary = pat.starts_with('.') || pos == 0 || {
+                let prev = hay.as_bytes()[pos - 1] as char;
+                !(prev.is_alphanumeric() || prev == '_')
+            };
+            let called = pat.ends_with('(')
+                || pat.ends_with(')')
+                || hay[pos + pat.len()..].starts_with('(');
+            if boundary && called {
+                return true;
+            }
+            from = pos + pat.len();
+        }
+        false
     }
 }
 
@@ -392,12 +674,25 @@ impl<'a> Scanner<'a> {
             }
         }
 
+        // Pass 4: precompute the joined code view, line offsets, block tree.
+        let mut joined = String::new();
+        let mut line_starts = Vec::with_capacity(lines.len());
+        for l in &lines {
+            line_starts.push(joined.len());
+            joined.push_str(&l.code);
+            joined.push('\n');
+        }
+        let tree = build_block_tree(&joined);
+
         SourceFile {
             path: path.to_path_buf(),
             lines,
             pragmas,
             malformed_pragmas: malformed,
             tags,
+            joined,
+            line_starts,
+            tree,
         }
     }
 
@@ -619,5 +914,170 @@ fn f() {
         assert_eq!(f.lines[0].depth_at_start, 0);
         assert_eq!(f.lines[2].depth_at_start, 2);
         assert_eq!(f.lines[4].depth_at_start, 1);
+    }
+
+    fn kinds(f: &SourceFile) -> Vec<BlockKind> {
+        f.block_tree().blocks.iter().map(|b| b.kind).collect()
+    }
+
+    #[test]
+    fn block_tree_basic_nesting() {
+        let src = "\
+mod m {
+    impl Foo {
+        fn bar(&self) {
+            for x in xs {
+                match x {
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+";
+        let f = scan(src);
+        assert_eq!(
+            kinds(&f),
+            vec![
+                BlockKind::Mod,
+                BlockKind::Impl,
+                BlockKind::Fn,
+                BlockKind::Loop,
+                BlockKind::Match,
+                BlockKind::Plain,
+            ]
+        );
+        let t = f.block_tree();
+        assert_eq!(t.blocks[0].parent, None);
+        assert_eq!(t.blocks[1].parent, Some(0));
+        assert_eq!(t.blocks[2].parent, Some(1));
+        assert_eq!(t.blocks[3].parent, Some(2));
+        // Line 5 (`match x {`) is anchored at `match`, inside the loop body.
+        assert_eq!(f.enclosing_block(5), Some(3));
+        // Line 6 (`_ => {}`) anchors inside the match.
+        assert_eq!(f.enclosing_block(6), Some(4));
+        // Fn ancestor from the innermost arm block.
+        assert_eq!(t.ancestor_of_kind(5, BlockKind::Fn), Some(2));
+    }
+
+    #[test]
+    fn block_tree_ignores_braces_in_literals_and_comments() {
+        let src = "\
+fn f() {
+    let a = \"{ not a block }\";
+    let b = '{';
+    // { also not a block
+    /* } nor this { */
+    let c = r#\"{ \"raw\" }\"#;
+}
+";
+        let f = scan(src);
+        assert_eq!(kinds(&f), vec![BlockKind::Fn]);
+        let b = &f.block_tree().blocks[0];
+        assert_eq!(b.open_line, 1);
+        assert_eq!(b.close_line, 7);
+        for line in 2..=6 {
+            assert_eq!(f.enclosing_block(line), Some(0), "line {line}");
+        }
+    }
+
+    #[test]
+    fn block_tree_nested_closures() {
+        let src = "\
+fn f() {
+    spawn(move || {
+        xs.retain(|x| {
+            *x > 0
+        });
+    });
+}
+";
+        let f = scan(src);
+        assert_eq!(
+            kinds(&f),
+            vec![BlockKind::Fn, BlockKind::Closure, BlockKind::Closure]
+        );
+        assert_eq!(f.block_tree().blocks[2].parent, Some(1));
+        assert_eq!(f.enclosing_block(4), Some(2));
+    }
+
+    #[test]
+    fn block_tree_closure_with_return_type() {
+        let f = scan("fn f() {\n    let g = |x: f64| -> f64 {\n        x\n    };\n}\n");
+        assert_eq!(kinds(&f), vec![BlockKind::Fn, BlockKind::Closure]);
+    }
+
+    #[test]
+    fn block_tree_multibyte_lines() {
+        // Multi-byte UTF-8 before and around braces must not skew offsets.
+        let src = "fn f() {\n    let s = \"héllo wörld\"; // café ☕\n    if päivä {\n        g();\n    }\n}\n";
+        let f = scan(src);
+        assert_eq!(kinds(&f), vec![BlockKind::Fn, BlockKind::Plain]);
+        let t = f.block_tree();
+        assert_eq!(t.blocks[1].open_line, 3);
+        assert_eq!(t.blocks[1].close_line, 5);
+        assert_eq!(f.enclosing_block(4), Some(1));
+        assert_eq!(f.enclosing_block(2), Some(0));
+    }
+
+    #[test]
+    fn block_tree_loop_variants() {
+        let src = "\
+fn f() {
+    loop {
+        break;
+    }
+    while x < 3 {
+        x += 1;
+    }
+    'outer: for i in 0..n {
+        g(i);
+    }
+}
+";
+        let f = scan(src);
+        assert_eq!(
+            kinds(&f),
+            vec![BlockKind::Fn, BlockKind::Loop, BlockKind::Loop, BlockKind::Loop]
+        );
+    }
+
+    #[test]
+    fn block_tree_struct_literal_is_plain() {
+        let f = scan("fn f() -> P {\n    P { x: 1, y: 2 }\n}\n");
+        assert_eq!(kinds(&f), vec![BlockKind::Fn, BlockKind::Plain]);
+    }
+
+    #[test]
+    fn block_tree_unclosed_block_ends_at_eof() {
+        let f = scan("fn f() {\n    g();\n");
+        let t = f.block_tree();
+        assert_eq!(t.blocks.len(), 1);
+        assert_eq!(t.blocks[0].close_line, f.lines.len());
+        assert_eq!(f.enclosing_block(2), Some(0));
+    }
+
+    #[test]
+    fn span_contains_call_queries() {
+        let f = scan("fn f() {\n    rx.recv().unwrap();\n    let sleepy = 1;\n}\n");
+        let t = f.block_tree();
+        let span = t.blocks[0].body();
+        assert!(f.span_contains_call(span, ".recv()"));
+        assert!(f.span_contains_call(span, "recv"));
+        assert!(f.span_contains_call(span, "unwrap"));
+        assert!(!f.span_contains_call(span, "sleep"), "`sleepy` is not a call");
+        assert!(!f.span_contains_call((0, 4), "recv"), "outside the span");
+    }
+
+    #[test]
+    fn header_ranges_cover_the_signature() {
+        let f = scan("impl Foo {\n    pub fn bar(\n        &self,\n    ) -> u8 {\n        0\n    }\n}\n");
+        let t = f.block_tree();
+        assert_eq!(t.blocks.len(), 2);
+        let (h0, h1) = t.blocks[1].header;
+        let header = &f.joined_code()[h0..h1];
+        assert!(header.contains("pub fn bar"), "header = {header:?}");
+        assert!(header.contains("-> u8"), "multi-line header survives");
+        assert_eq!(t.blocks[1].kind, BlockKind::Fn);
     }
 }

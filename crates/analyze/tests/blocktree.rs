@@ -1,0 +1,197 @@
+//! Property test: the scanner's block tree against a structural oracle.
+//!
+//! A deterministic LCG drives a generator that emits nested Rust-ish
+//! source — fns, loops, closures, inner scopes — salted with every
+//! construct that has historically confused brace pairing: braces inside
+//! string literals, char literals, raw strings, line comments, and
+//! multi-byte UTF-8 text. The generator records, per emitted line, how
+//! many blocks enclose that line's first non-whitespace character; the
+//! test then checks that the scanned tree agrees and that the tree's
+//! structural invariants hold:
+//!
+//! * every line maps to exactly one innermost block (the set of blocks
+//!   containing its anchor is a single parent chain);
+//! * block spans nest strictly — any two blocks are disjoint or one
+//!   contains the other;
+//! * `open_line..=close_line` brackets every line the span covers.
+
+use std::path::Path;
+
+use cqm_analyze::scanner::SourceFile;
+
+/// Deterministic 64-bit LCG (MMIX constants); no external crates, no
+/// process-dependent state — every run generates the same corpus.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn pick(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// The generated file plus the oracle: `depth[i]` is the number of blocks
+/// that must enclose line `i + 1`'s first non-whitespace character.
+#[derive(Default)]
+struct Generated {
+    src: String,
+    depth: Vec<usize>,
+}
+
+impl Generated {
+    fn push_line(&mut self, indent: usize, text: &str, depth: usize) {
+        for _ in 0..indent {
+            self.src.push_str("    ");
+        }
+        self.src.push_str(text);
+        self.src.push('\n');
+        self.depth.push(depth);
+    }
+}
+
+/// Statement lines whose literals and comments contain stray braces; none
+/// of them may open or close a block.
+const TRAP_LINES: [&str; 7] = [
+    r#"let s = "brace } inside { string";"#,
+    "// comment with } stray { braces",
+    r"let c = '{';",
+    r"let d = '}';",
+    r##"let raw = r#"raw } brace { text"#;"##,
+    r#"let café = "多字节 } テキスト { text";"#,
+    "let n = 1 + 2; // trailing } comment {",
+];
+
+/// Emit one block (header, body, close) at `depth`, recursing while the
+/// LCG allows. `depth` counts the blocks enclosing the *header* line.
+fn gen_block(lcg: &mut Lcg, out: &mut Generated, depth: usize, budget: &mut u32) {
+    if *budget == 0 {
+        return;
+    }
+    *budget -= 1;
+    let header = match lcg.pick(5) {
+        0 => format!("fn f{}() {{", lcg.pick(1000)),
+        1 => "for x in 0..4 {".to_string(),
+        2 => "while x < 3 {".to_string(),
+        3 => "let cl = |y: u64| {".to_string(),
+        _ => "{".to_string(),
+    };
+    let closer = if header.contains('|') { "};" } else { "}" };
+    // A bare `{` header's first non-whitespace char is the opening brace
+    // itself, which the (inclusive) span contains; keyword headers anchor
+    // before the brace, outside the new block.
+    let header_depth = if header == "{" { depth + 1 } else { depth };
+    out.push_line(depth, &header, header_depth);
+    let inner = depth + 1;
+    let stmts = 1 + lcg.pick(3);
+    for _ in 0..stmts {
+        let trap = TRAP_LINES[lcg.pick(TRAP_LINES.len() as u64) as usize];
+        out.push_line(inner, trap, inner);
+        if lcg.pick(3) == 0 {
+            gen_block(lcg, out, inner, budget);
+        }
+    }
+    // The closing line's anchor is the `}` itself, which the span contains.
+    out.push_line(depth, closer, inner);
+}
+
+fn generate(seed: u64) -> Generated {
+    let mut lcg = Lcg(seed);
+    let mut out = Generated::default();
+    out.push_line(0, "// generated corpus — top level", 0);
+    let mut budget = 40;
+    while budget > 0 {
+        gen_block(&mut lcg, &mut out, 0, &mut budget);
+        out.push_line(0, TRAP_LINES[lcg.pick(7) as usize], 0);
+    }
+    out
+}
+
+#[test]
+fn every_line_maps_to_its_oracle_depth() {
+    for seed in [1u64, 7, 42, 1234, 99991] {
+        let gen = generate(seed);
+        let file = SourceFile::scan(Path::new("crates/math/src/generated.rs"), &gen.src);
+        let tree = file.block_tree();
+        for (i, &want) in gen.depth.iter().enumerate() {
+            let line = i + 1;
+            // Chain length from the innermost block to the root must equal
+            // the oracle depth exactly.
+            let mut got = 0;
+            let mut cur = file.enclosing_block(line);
+            while let Some(bi) = cur {
+                got += 1;
+                cur = tree.blocks[bi].parent;
+            }
+            assert_eq!(
+                got, want,
+                "seed {seed} line {line} ({:?}): depth {got} != {want}",
+                file.code(line)
+            );
+        }
+    }
+}
+
+#[test]
+fn containing_blocks_form_a_single_parent_chain() {
+    for seed in [3u64, 2026] {
+        let gen = generate(seed);
+        let file = SourceFile::scan(Path::new("crates/math/src/generated.rs"), &gen.src);
+        let tree = file.block_tree();
+        for line in 1..=gen.depth.len() {
+            let code = file.code(line);
+            let lead = code.len() - code.trim_start().len();
+            let anchor = file.offset_of_line(line) + lead;
+            // All blocks containing the anchor…
+            let containing: Vec<usize> = (0..tree.blocks.len())
+                .filter(|&bi| tree.blocks[bi].contains(anchor))
+                .collect();
+            // …must be exactly the innermost block's ancestor chain: one
+            // innermost block per line, everything else its ancestors.
+            let mut chain = Vec::new();
+            let mut cur = tree.enclosing_at(anchor);
+            while let Some(bi) = cur {
+                chain.push(bi);
+                cur = tree.blocks[bi].parent;
+            }
+            chain.sort_unstable();
+            assert_eq!(
+                containing, chain,
+                "seed {seed} line {line}: containing set is not one chain"
+            );
+        }
+    }
+}
+
+#[test]
+fn block_spans_nest_strictly() {
+    let gen = generate(8675309);
+    let file = SourceFile::scan(Path::new("crates/math/src/generated.rs"), &gen.src);
+    let blocks = &file.block_tree().blocks;
+    for (i, a) in blocks.iter().enumerate() {
+        assert!(a.start < a.end, "block {i} has an empty or inverted span");
+        assert!(
+            a.open_line <= a.close_line,
+            "block {i} closes before it opens"
+        );
+        for b in blocks.iter().skip(i + 1) {
+            let disjoint = a.end < b.start || b.end < a.start;
+            let a_in_b = b.start <= a.start && a.end <= b.end;
+            let b_in_a = a.start <= b.start && b.end <= a.end;
+            assert!(
+                disjoint || a_in_b || b_in_a,
+                "blocks {}..{} and {}..{} overlap without nesting",
+                a.start,
+                a.end,
+                b.start,
+                b.end
+            );
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: wall-clock reads inside the quality computation — two
+//! identical inputs stop producing identical outputs.
+
+use std::time::Instant;
+
+pub fn decayed_quality(q: f64, born: Instant) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&q), "quality in [0, 1]");
+    let age = born.elapsed().as_secs_f64();
+    q * (-age).exp()
+}
+
+pub fn age_seconds(born: Instant) -> f64 {
+    let now = Instant::now();
+    now.duration_since(born).as_secs_f64()
+}

@@ -1,0 +1,28 @@
+// analyze: hot-path
+//! Fixture: formatting and boxing allocations inside the loops of a
+//! hot-path-tagged file — one heap allocation per iteration, three ways.
+
+pub fn render_rows(rows: &[f64]) -> Vec<String> {
+    debug_assert!(rows.iter().all(|r| r.is_finite()), "rows must be finite");
+    let mut out = Vec::with_capacity(rows.len());
+    for r in rows {
+        out.push(format!("{r:.3}"));
+    }
+    out
+}
+
+pub fn label_rows(rows: &[u64]) -> Vec<String> {
+    let mut out = Vec::with_capacity(rows.len());
+    for r in rows {
+        out.push(r.to_string());
+    }
+    out
+}
+
+pub fn boxed_rows(rows: &[u64]) -> Vec<Box<u64>> {
+    let mut out = Vec::with_capacity(rows.len());
+    for r in rows {
+        out.push(Box::new(*r));
+    }
+    out
+}

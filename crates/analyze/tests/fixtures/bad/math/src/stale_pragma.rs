@@ -1,0 +1,9 @@
+//! Fixture: a suppression that outlived its hazard. The bare index this
+//! pragma once excused was rewritten to `.first()`, so the pragma cancels
+//! nothing — and is itself the finding.
+
+pub fn first_or_zero(qs: &[f64]) -> f64 {
+    debug_assert!(qs.iter().all(|q| q.is_finite()), "qualities must be finite");
+    // lint: allow(PANIC_IN_LIB) -- caller guarantees non-empty input
+    qs.first().copied().unwrap_or(0.0)
+}

@@ -1,0 +1,19 @@
+//! Fixture: checkpoint bytes produced by iterating a hash container — the
+//! emitted order changes from process to process.
+
+use std::collections::HashMap;
+
+pub fn dump(table: &HashMap<String, u64>, out: &mut Vec<u8>) {
+    for (k, v) in table {
+        out.extend_from_slice(k.as_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+pub fn key_digest(table: &HashMap<String, u64>) -> u64 {
+    let mut acc = 0u64;
+    for k in table.keys() {
+        acc = acc.wrapping_add(k.len() as u64);
+    }
+    acc
+}

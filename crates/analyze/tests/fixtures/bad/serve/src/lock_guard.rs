@@ -1,0 +1,22 @@
+//! Fixture: mutex guards held across blocking calls — the session thread
+//! stalls every other thread contending for the lock while it waits on
+//! the network or a channel.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{mpsc, Mutex, PoisonError};
+
+pub fn flush_stats(stats: &Mutex<Vec<u8>>, sock: &mut TcpStream) -> std::io::Result<()> {
+    let snapshot = stats.lock().unwrap_or_else(PoisonError::into_inner);
+    sock.write_all(&snapshot)?;
+    sock.flush()?;
+    Ok(())
+}
+
+pub fn drain_one(state: &Mutex<u64>, rx: &mpsc::Receiver<u64>) -> u64 {
+    let total = state.lock().unwrap_or_else(PoisonError::into_inner);
+    match rx.recv() {
+        Ok(v) => *total + v,
+        Err(_) => *total,
+    }
+}

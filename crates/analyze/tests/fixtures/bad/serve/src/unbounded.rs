@@ -1,0 +1,12 @@
+//! Fixture: elastic buffers hiding inside the bounded-queue service path —
+//! both the plain call and the turbofish form.
+
+use std::sync::mpsc;
+
+pub fn reply_channel() -> (mpsc::Sender<u8>, mpsc::Receiver<u8>) {
+    mpsc::channel()
+}
+
+pub fn typed_channel() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {
+    mpsc::channel::<u64>()
+}

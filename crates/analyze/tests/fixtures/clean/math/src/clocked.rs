@@ -1,0 +1,8 @@
+//! Fixture: time arrives as data — the caller samples the clock at the
+//! service edge and the computation stays a pure function of its inputs.
+
+pub fn decayed_quality(q: f64, age_s: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&q), "quality in [0, 1]");
+    debug_assert!(age_s >= 0.0, "cue age is non-negative");
+    q * (-age_s).exp()
+}

@@ -1,0 +1,14 @@
+// analyze: hot-path
+//! Fixture: formatting without per-iteration allocation — one reused
+//! String written into with `write!` instead of `format!` per row.
+
+use std::fmt::Write as _;
+
+pub fn render_rows(rows: &[f64]) -> String {
+    debug_assert!(rows.iter().all(|r| r.is_finite()), "rows must be finite");
+    let mut out = String::new();
+    for r in rows {
+        let _ = write!(out, "{r:.3} ");
+    }
+    out
+}

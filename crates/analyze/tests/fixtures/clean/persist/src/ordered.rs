@@ -1,0 +1,15 @@
+//! Fixture: deterministic checkpoint bytes — iterate an ordered map, and
+//! keep hash containers for point lookups only.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn dump(table: &BTreeMap<String, u64>, out: &mut Vec<u8>) {
+    for (k, v) in table {
+        out.extend_from_slice(k.as_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+pub fn lookup(index: &HashMap<String, u64>, key: &str) -> Option<u64> {
+    index.get(key).copied()
+}

@@ -1,0 +1,9 @@
+//! Fixture: every service-path buffer has a fixed capacity and a reason
+//! for it.
+
+use std::sync::mpsc;
+
+/// One slot: a session has at most one job in flight.
+pub fn reply_channel() -> (mpsc::SyncSender<u8>, mpsc::Receiver<u8>) {
+    mpsc::sync_channel(1)
+}

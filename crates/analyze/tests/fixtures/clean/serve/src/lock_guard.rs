@@ -1,0 +1,24 @@
+//! Fixture: the same work as the bad twin, but every guard is released —
+//! scoped to an inner block or explicitly dropped — before anything
+//! blocks.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{mpsc, Mutex, PoisonError};
+
+pub fn flush_stats(stats: &Mutex<Vec<u8>>, sock: &mut TcpStream) -> std::io::Result<()> {
+    let snapshot = {
+        let guard = stats.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.to_vec()
+    };
+    sock.write_all(&snapshot)?;
+    sock.flush()?;
+    Ok(())
+}
+
+pub fn drain_one(state: &Mutex<u64>, rx: &mpsc::Receiver<u64>) -> u64 {
+    let mut total = state.lock().unwrap_or_else(PoisonError::into_inner);
+    *total += 1;
+    drop(total);
+    rx.recv().unwrap_or(0)
+}

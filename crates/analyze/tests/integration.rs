@@ -108,21 +108,83 @@ fn hot_clean_fixture_passes() {
 }
 
 #[test]
+fn guard_across_blocking_call_is_flagged() {
+    let r = analyze("bad/serve/src/lock_guard.rs");
+    // `snapshot` live across write_all, `total` live across recv.
+    assert_eq!(count(&r, "LOCK_ACROSS_BLOCKING"), 2, "{:#?}", r.findings);
+    assert!(r.failed(false), "LOCK_ACROSS_BLOCKING is deny-level");
+}
+
+#[test]
+fn scoped_or_dropped_guards_pass() {
+    let r = analyze("clean/serve/src/lock_guard.rs");
+    assert!(
+        !r.failed(true),
+        "released guards must not be flagged:\n{}",
+        render(&r)
+    );
+}
+
+#[test]
+fn unbounded_channel_in_service_path_is_flagged() {
+    let r = analyze("bad/serve/src/unbounded.rs");
+    // The plain call and the turbofish form.
+    assert_eq!(count(&r, "UNBOUNDED_CHANNEL"), 2, "{:#?}", r.findings);
+    assert!(r.failed(false), "UNBOUNDED_CHANNEL is deny-level");
+}
+
+#[test]
+fn hash_iteration_in_checkpoint_path_is_flagged() {
+    let r = analyze("bad/persist/src/hash_iter.rs");
+    // `for … in table` and `table.keys()`.
+    assert_eq!(count(&r, "HASH_ITER_NONDET"), 2, "{:#?}", r.findings);
+    assert!(r.failed(false), "HASH_ITER_NONDET is deny-level");
+}
+
+#[test]
+fn wall_clock_in_compute_path_is_flagged() {
+    let r = analyze("bad/math/src/clocked.rs");
+    // `.elapsed()` in decayed_quality, `Instant::now` in age_seconds.
+    assert_eq!(count(&r, "TIME_IN_LOGIC"), 2, "{:#?}", r.findings);
+    assert!(!r.failed(false), "TIME_IN_LOGIC is warn-level");
+    assert!(r.failed(true), "--deny-all must fail on it");
+}
+
+#[test]
+fn stale_suppression_is_flagged() {
+    let r = analyze("bad/math/src/stale_pragma.rs");
+    assert_eq!(count(&r, "STALE_SUPPRESS"), 1, "{:#?}", r.findings);
+    assert!(r.failed(false), "STALE_SUPPRESS is deny-level");
+}
+
+#[test]
+fn hot_loop_format_allocations_are_flagged() {
+    let r = analyze("bad/math/src/hot_fmt.rs");
+    // `format!`, `.to_string()` and `Box::new` — one finding each.
+    assert_eq!(count(&r, "HOT_LOOP_ALLOC"), 3, "{:#?}", r.findings);
+    assert!(!r.failed(false), "HOT_LOOP_ALLOC is warn-level");
+}
+
+#[test]
 fn bad_tree_fails_even_without_deny_all() {
     let r = analyze("bad");
-    assert_eq!(r.files_scanned, 8);
+    assert_eq!(r.files_scanned, 14);
     assert!(r.failed(false));
 }
 
 #[test]
 fn clean_fixtures_pass_deny_all() {
     let r = analyze("clean");
-    assert_eq!(r.files_scanned, 5);
+    assert_eq!(r.files_scanned, 10);
     assert!(
         !r.failed(true),
         "clean fixtures produced findings:\n{}",
         render(&r)
     );
+    // The clean tree carries live pragmas (e.g. the bounded allocation in
+    // hot_clean.rs); they must fire — i.e. suppress something — or the
+    // STALE_SUPPRESS check would have failed the tree above.
+    assert!(r.suppressed >= 1, "expected live pragmas to fire");
 }
 
 /// The self-check the whole exercise exists for: the workspace's own

@@ -60,7 +60,6 @@ impl PremiseGradients {
 ///
 /// * [`AnfisError::InvalidData`] if the dataset is empty, disagrees on
 ///   dimension, or no sample fires any rule.
-// lint: allow(ASSERT_DENSITY) -- thin delegation; the pooled variant validates via Result
 pub fn premise_gradients(fis: &TskFis, data: &Dataset) -> Result<PremiseGradients> {
     premise_gradients_with(fis, data, &WorkerPool::serial())
 }

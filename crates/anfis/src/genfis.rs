@@ -64,7 +64,6 @@ impl GenfisParams {
 /// * [`AnfisError::InvalidData`] for an empty dataset.
 /// * [`AnfisError::Cluster`] if clustering fails.
 /// * [`AnfisError::Math`] if the least-squares fit fails.
-// lint: allow(ASSERT_DENSITY) -- thin delegation; the pooled variant validates via Result
 pub fn genfis(data: &Dataset, params: &GenfisParams) -> Result<TskFis> {
     genfis_with(data, params, &WorkerPool::serial())
 }

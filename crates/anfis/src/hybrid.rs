@@ -149,7 +149,6 @@ impl TrainReport {
 /// * [`AnfisError::InvalidData`] if train/check sets are empty or disagree
 ///   with the FIS dimension.
 /// * [`AnfisError::Math`] if the LSE forward pass fails.
-// lint: allow(ASSERT_DENSITY) -- thin delegation; the pooled variant validates via Result
 pub fn train_hybrid(
     fis: &mut TskFis,
     train: &Dataset,

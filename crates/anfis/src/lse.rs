@@ -39,7 +39,6 @@ const DESIGN_CHUNK: usize = 64;
 ///
 /// * [`AnfisError::InvalidData`] if the dataset is empty, disagrees with the
 ///   FIS input dimension, or *no* sample activates any rule.
-// lint: allow(ASSERT_DENSITY) -- thin delegation; the pooled variant validates via Result
 pub fn design_matrix(fis: &TskFis, data: &Dataset) -> Result<(Matrix, Vec<f64>, Vec<usize>)> {
     design_matrix_with(fis, data, &WorkerPool::serial())
 }
@@ -119,7 +118,6 @@ pub fn design_matrix_with(
 /// * Propagates [`design_matrix`] failures.
 /// * [`AnfisError::Math`] if the chosen backend cannot solve the system
 ///   (e.g. QR on rank-deficient activations — use SVD).
-// lint: allow(ASSERT_DENSITY) -- thin delegation; the pooled variant validates via Result
 pub fn fit_consequents(fis: &mut TskFis, data: &Dataset, method: LstsqMethod) -> Result<f64> {
     fit_consequents_with(fis, data, method, &WorkerPool::serial())
 }

@@ -9,8 +9,6 @@
 //! cargo run -p cqm-bench --bin fig5
 //! ```
 
-// lint: allow(PANIC_IN_LIB, file) -- experiment driver: abort loudly on setup failure instead of degrading
-
 use cqm_bench::experiments::{paper_eval, run_fig5};
 use cqm_bench::paper_testbed;
 

@@ -13,8 +13,6 @@
 //! cargo run -p cqm-bench --bin fig6
 //! ```
 
-// lint: allow(PANIC_IN_LIB, file) -- experiment driver: abort loudly on setup failure instead of degrading
-
 use cqm_bench::experiments::{paper_eval, run_fig6};
 use cqm_bench::paper_testbed;
 

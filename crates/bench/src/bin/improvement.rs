@@ -17,8 +17,6 @@
 //! cargo run -p cqm-bench --bin improvement
 //! ```
 
-// lint: allow(PANIC_IN_LIB, file) -- experiment driver: abort loudly on setup failure instead of degrading
-
 use cqm_bench::experiments::{paper_eval, run_improvement};
 use cqm_bench::paper_testbed;
 

@@ -8,8 +8,6 @@
 //! cargo run -p cqm-bench --bin large_set
 //! ```
 
-// lint: allow(PANIC_IN_LIB, file) -- experiment driver: abort loudly on setup failure instead of degrading
-
 use cqm_bench::{evaluation_pool, labeled_qualities, paper_testbed, select_test_set};
 use cqm_stats::bootstrap::auc_ci;
 use cqm_stats::mle::QualityGroups;

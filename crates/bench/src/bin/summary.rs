@@ -7,8 +7,6 @@
 //! cargo run --release -p cqm-bench --bin summary
 //! ```
 
-// lint: allow(PANIC_IN_LIB, file) -- experiment driver: abort loudly on setup failure instead of degrading
-
 use cqm_bench::experiments::{paper_eval, run_fig5, run_fig6, run_improvement, run_summary};
 use cqm_bench::paper_testbed;
 

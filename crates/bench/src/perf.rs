@@ -48,8 +48,6 @@
 //! multi-core machines measure the same computation, not a numerically
 //! different one.
 
-// lint: allow(PANIC_IN_LIB, file) -- perf driver: abort loudly on setup failure instead of degrading
-
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};

@@ -48,8 +48,6 @@
 //! * latency fields are wall-clock microseconds per request/response
 //!   round trip as observed by the client, including retries.
 
-// lint: allow(PANIC_IN_LIB, file) -- perf driver: abort loudly on setup failure instead of degrading
-
 use serde::{Deserialize, Serialize};
 
 pub use crate::perf::available_cores;

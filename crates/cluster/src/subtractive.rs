@@ -150,7 +150,6 @@ impl SubtractiveClustering {
     ///
     /// * [`ClusterError::InvalidData`] on empty/ragged/non-finite data.
     /// * [`ClusterError::InvalidParameter`] from parameter validation.
-    // lint: allow(ASSERT_DENSITY) -- thin delegation; cluster_with validates data and parameters via Result
     pub fn cluster(&self, data: &[Vec<f64>]) -> Result<SubtractiveResult> {
         self.cluster_with(data, &WorkerPool::serial())
     }

@@ -156,7 +156,6 @@ impl TskKernel {
         if self.gaussian_only {
             for j in 0..self.n_rules {
                 let base = j * n;
-                // lint: allow(PANIC_IN_LIB) -- slab slices are m·n by construction in from_fis
                 let (mus, sigmas) = (&self.mu[base..base + n], &self.sigma[base..base + n]);
                 let mut w = 1.0;
                 for ((&x, &mu), &sig) in v.iter().zip(mus).zip(sigmas) {
@@ -186,7 +185,6 @@ impl TskKernel {
         let mut output = 0.0;
         for (j, w) in scratch.firing.iter().enumerate() {
             let base = j * (n + 1);
-            // lint: allow(PANIC_IN_LIB) -- consequent slab is m·(n+1) by construction in from_fis
             let cons = &self.consequents[base..base + n + 1];
             let (coeffs, bias) = cons.split_at(n);
             let fj = coeffs.iter().zip(v).map(|(a, x)| a * x).sum::<f64>() + bias[0];

@@ -44,7 +44,7 @@ pub(crate) enum Work {
 #[derive(Debug)]
 pub(crate) struct Job {
     pub(crate) work: Work,
-    pub(crate) reply: mpsc::Sender<Response>,
+    pub(crate) reply: mpsc::SyncSender<Response>,
 }
 
 /// Reusable per-worker evaluation state: FIS scratch, quality scratch and
@@ -245,9 +245,11 @@ pub(crate) fn run_worker(
                     }
                 }
             };
-            // The session may have hung up while its job was queued; a
-            // dead reply channel only means nobody is listening anymore.
-            let _ = job.reply.send(response);
+            // The session may have hung up while its job was queued (dead
+            // channel), or stopped waiting after a reply timeout (full
+            // buffer); either way nobody is listening — never block a
+            // worker on a session's single reply slot.
+            let _ = job.reply.try_send(response);
         }
         rows_classified.fetch_add(answered_rows, Ordering::Relaxed);
     }
@@ -333,7 +335,7 @@ mod tests {
         let rows_classified = AtomicU64::new(0);
         let mut receivers = Vec::new();
         for i in 0..10 {
-            let (tx, rx) = mpsc::channel();
+            let (tx, rx) = mpsc::sync_channel(1);
             let work = if i % 3 == 0 {
                 Work::Many(vec![vec![0.2], vec![0.8]])
             } else {

@@ -149,8 +149,10 @@ impl<T> BoundedQueue<T> {
                 }
             },
             AdmissionPolicy::Block { timeout } => {
+                // lint: allow(TIME_IN_LOGIC) -- admission deadline: bounds how long a producer may park, never flows into a classified result
                 let deadline = Instant::now() + *timeout;
                 while inner.items.len() >= self.capacity && !inner.closed {
+                    // lint: allow(TIME_IN_LOGIC) -- re-read for the condvar wait budget; timeout plumbing only
                     let now = Instant::now();
                     if now >= deadline {
                         inner.rejected += 1;

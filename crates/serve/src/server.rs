@@ -376,8 +376,12 @@ fn session(stream: &mut TcpStream, shared: &Shared) -> Result<()> {
         .set_read_timeout(Some(SESSION_POLL))
         .map_err(|e| ServeError::io("configuring session socket", &e))?;
     // One reply channel per session: a session has at most one job in
-    // flight, so the channel is reused across requests.
-    let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+    // flight, so the channel is reused across requests. Capacity 1 — one
+    // slot for that single in-flight answer; workers `try_send`, so a
+    // stale reply arriving after `await_reply` timed out is dropped by the
+    // full buffer (and `submit` drains any leftover before the next job)
+    // instead of accumulating or being mistaken for the next answer.
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
     loop {
         match read_frame::<_, Request>(stream)? {
             FrameRead::Idle => {
@@ -397,7 +401,7 @@ fn session(stream: &mut TcpStream, shared: &Shared) -> Result<()> {
 fn handle_request(
     request: Request,
     shared: &Shared,
-    reply_tx: &mpsc::Sender<Response>,
+    reply_tx: &mpsc::SyncSender<Response>,
     reply_rx: &mpsc::Receiver<Response>,
 ) -> Response {
     match request {
@@ -419,7 +423,7 @@ fn handle_request(
 fn submit(
     shared: &Shared,
     work: Work,
-    reply_tx: &mpsc::Sender<Response>,
+    reply_tx: &mpsc::SyncSender<Response>,
     reply_rx: &mpsc::Receiver<Response>,
 ) -> Response {
     if shared.draining() {
@@ -427,6 +431,9 @@ fn submit(
             error: WireError::shutting_down(),
         };
     }
+    // A previous job may have answered after its `await_reply` timed out;
+    // clear the slot so this job cannot receive the stale response.
+    while reply_rx.try_recv().is_ok() {}
     let job = Job {
         work,
         reply: reply_tx.clone(),
@@ -438,9 +445,9 @@ fn submit(
         }
         Admission::Shed(evicted) => {
             // The evicted job's session is parked on its reply channel;
-            // complete it with the typed overload answer. A dead channel
-            // only means that session already gave up.
-            let _ = evicted.reply.send(Response::Error {
+            // complete it with the typed overload answer. A dead or full
+            // channel only means that session already gave up.
+            let _ = evicted.reply.try_send(Response::Error {
                 error: WireError::overloaded(),
             });
             shared.requests.fetch_add(1, Ordering::Relaxed);

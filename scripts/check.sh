@@ -4,18 +4,35 @@
 #
 #   ./scripts/check.sh
 #
-# The analyzer step runs `cqm-analyze --deny-all`, which promotes warn-level
-# findings (ASSERT_DENSITY, bare-index PANIC_IN_LIB, float `==`) to failures.
-# Suppressions must use `// lint: allow(LINT_ID) -- reason` pragmas with a
-# written reason; see DESIGN.md section 6.
+# The analyzer step runs `cqm-analyze --deny-all --format=json`, which
+# promotes warn-level findings (ASSERT_DENSITY, bare-index PANIC_IN_LIB,
+# float `==`, TIME_IN_LOGIC, HOT_LOOP_ALLOC) to failures and writes the
+# machine-readable report to ANALYZE_REPORT.json (schema
+# cqm-analyze/report/v1). Suppressions must use
+# `// lint: allow(LINT_ID) -- reason` pragmas with a written reason; a
+# pragma whose lint no longer fires is itself a failure (STALE_SUPPRESS),
+# gated here explicitly so dead suppressions can never ride along. See
+# DESIGN.md sections 6 and 11.
 set -eu
 cd "$(dirname "$0")/.."
 
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cqm-analyze --deny-all"
-cargo run -q --release -p cqm-analyze -- --deny-all
+echo "==> cqm-analyze --deny-all (report: ANALYZE_REPORT.json)"
+ANALYZE_OK=0
+cargo run -q --release -p cqm-analyze -- --deny-all --format=json \
+    > ANALYZE_REPORT.json || ANALYZE_OK=$?
+# Belt and braces: even if the analyzer exit code regresses, a stale
+# suppression in the report must fail the gate on its own.
+if grep -q '"lint": "STALE_SUPPRESS"' ANALYZE_REPORT.json; then
+    echo "check.sh: stale suppression pragma(s) in ANALYZE_REPORT.json" >&2
+    exit 1
+fi
+if [ "$ANALYZE_OK" -ne 0 ]; then
+    echo "check.sh: cqm-analyze found violations (see ANALYZE_REPORT.json)" >&2
+    exit "$ANALYZE_OK"
+fi
 
 echo "==> cargo test"
 cargo test -q --workspace
