@@ -9,6 +9,7 @@ mod hot_loop_alloc;
 mod io_swallowed;
 mod lock_across_blocking;
 mod nan_cmp;
+mod no_deadline_io;
 mod panic_lib;
 mod time_in_logic;
 mod unbounded_channel;
@@ -20,6 +21,7 @@ pub use hot_loop_alloc::{HotLoopAlloc, HOT_PATH_TAG};
 pub use io_swallowed::IoSwallowed;
 pub use lock_across_blocking::LockAcrossBlocking;
 pub use nan_cmp::NanUnsafeCmp;
+pub use no_deadline_io::NoDeadlineIo;
 pub use panic_lib::PanicInLib;
 pub use time_in_logic::TimeInLogic;
 pub use unbounded_channel::UnboundedChannel;
@@ -91,6 +93,7 @@ pub fn default_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(UnboundedChannel::default()),
         Box::new(HashIterNondet::default()),
         Box::new(TimeInLogic::default()),
+        Box::new(NoDeadlineIo::default()),
     ]
 }
 

@@ -1,0 +1,14 @@
+//! Fixture: deadline-free socket I/O in a service path — the bare connect
+//! and both timeout-clearing calls.
+
+use std::io::Result;
+use std::net::TcpStream;
+
+pub fn dial(addr: &str) -> Result<TcpStream> {
+    TcpStream::connect(addr)
+}
+
+pub fn wait_forever(stream: &TcpStream) -> Result<()> {
+    stream.set_read_timeout(None)?;
+    stream.set_write_timeout(None)
+}

@@ -1,0 +1,14 @@
+//! Fixture: every blocking socket operation carries an explicit budget.
+
+use std::io::Result;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+pub fn dial(addr: &SocketAddr, budget: Duration) -> Result<TcpStream> {
+    TcpStream::connect_timeout(addr, budget)
+}
+
+pub fn bound(stream: &TcpStream, budget: Duration) -> Result<()> {
+    stream.set_read_timeout(Some(budget))?;
+    stream.set_write_timeout(Some(budget))
+}

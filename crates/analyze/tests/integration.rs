@@ -166,16 +166,34 @@ fn hot_loop_format_allocations_are_flagged() {
 }
 
 #[test]
+fn deadline_free_socket_io_is_flagged() {
+    let r = analyze("bad/serve/src/deadline.rs");
+    // The bare connect plus both timeout-clearing calls.
+    assert_eq!(count(&r, "NO_DEADLINE_IO"), 3, "{:#?}", r.findings);
+    assert!(r.failed(false), "NO_DEADLINE_IO is deny-level");
+}
+
+#[test]
+fn budgeted_socket_io_passes() {
+    let r = analyze("clean/serve/src/deadline.rs");
+    assert!(
+        !r.failed(true),
+        "budgeted socket I/O must not be flagged:\n{}",
+        render(&r)
+    );
+}
+
+#[test]
 fn bad_tree_fails_even_without_deny_all() {
     let r = analyze("bad");
-    assert_eq!(r.files_scanned, 14);
+    assert_eq!(r.files_scanned, 15);
     assert!(r.failed(false));
 }
 
 #[test]
 fn clean_fixtures_pass_deny_all() {
     let r = analyze("clean");
-    assert_eq!(r.files_scanned, 10);
+    assert_eq!(r.files_scanned, 11);
     assert!(
         !r.failed(true),
         "clean fixtures produced findings:\n{}",

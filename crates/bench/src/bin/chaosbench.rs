@@ -1,0 +1,318 @@
+//! CHAOSBENCH — the exactly-once-under-chaos baseline harness (PR 7).
+//!
+//! Starts an in-process [`cqm_serve::CqmServer`], puts a seeded
+//! [`cqm_resilience::ChaosProxy`] in front of it (torn chunks, injected
+//! delays, bit flips, connection resets on a replayable schedule), drives
+//! it with concurrent retrying clients, and writes the exactly-once
+//! accounting as `BENCH_PR7.json` (schema documented in
+//! `cqm_bench::chaosbench`).
+//!
+//! ```sh
+//! cargo run --release -p cqm-bench --bin chaosbench            # full soak
+//! cargo run --release -p cqm-bench --bin chaosbench -- --smoke # CI gate
+//! cargo run --release -p cqm-bench --bin chaosbench -- --out /tmp/chaos.json
+//! cargo run --release -p cqm-bench --bin chaosbench -- --clients 8 --requests 100
+//! cargo run --release -p cqm-bench --bin chaosbench -- --seed 99
+//! ```
+//!
+//! The gate (`ChaosBaseline::gate`, always applied): every issued request
+//! is delivered or fails typed (`lost == 0`), the server never executed a
+//! request twice (`duplicated == 0`), and the soak delivered answers.
+
+// lint: allow(PANIC_IN_LIB, file) -- perf driver: abort loudly on setup failure instead of degrading
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use cqm_bench::chaosbench::{
+    available_cores, percentile_micros, ChaosBaseline, ChaosPlanRecord, SCHEMA,
+};
+use cqm_classify::FisClassifier;
+use cqm_core::model::{CqmModel, MODEL_VERSION};
+use cqm_core::QualityMeasure;
+use cqm_fuzzy::{MembershipFunction, TskFis, TskRule};
+use cqm_resilience::{ChaosProxy, DegradationPolicy, NetFaultPlan};
+use cqm_serve::{
+    ClientConfig, CqmClient, CqmServer, ModelSource, ServeError, ServedModel, ServerConfig,
+};
+
+/// Hand-built two-class model over one cue in [0, 1] — the soak measures
+/// the transport, not the kernels, so no ANFIS training here.
+fn tiny_model() -> ServedModel {
+    let g = |mu: f64, s: f64| MembershipFunction::gaussian(mu, s).expect("gaussian");
+    let class_fis = TskFis::new(vec![
+        TskRule::new(vec![g(0.0, 0.3)], vec![0.0, 0.0]).expect("rule"),
+        TskRule::new(vec![g(1.0, 0.3)], vec![0.0, 1.0]).expect("rule"),
+    ])
+    .expect("class fis");
+    let classifier = FisClassifier::from_fis(class_fis, 2).expect("classifier");
+    let quality_fis = TskFis::new(vec![
+        TskRule::new(vec![g(0.0, 0.25), g(0.0, 0.25)], vec![0.0, 0.0, 1.0]).expect("rule"),
+        TskRule::new(vec![g(1.0, 0.25), g(1.0, 0.25)], vec![0.0, 0.0, 1.0]).expect("rule"),
+        TskRule::new(vec![g(0.0, 0.25), g(1.0, 0.25)], vec![0.0, 0.0, 0.0]).expect("rule"),
+        TskRule::new(vec![g(1.0, 0.25), g(0.0, 0.25)], vec![0.0, 0.0, 0.0]).expect("rule"),
+    ])
+    .expect("quality fis");
+    let model = CqmModel {
+        version: MODEL_VERSION,
+        measure: QualityMeasure::new(quality_fis).expect("measure"),
+        threshold: 0.5,
+        note: "chaosbench".into(),
+    };
+    ServedModel::new(classifier, model).expect("served model")
+}
+
+/// The measured fault schedule: hostile enough to exercise retries,
+/// dedup replays and torn frames, survivable enough that the soak
+/// delivers the vast majority of requests.
+fn soak_plan(seed: u64) -> NetFaultPlan {
+    NetFaultPlan {
+        warmup_ops: 6,
+        partial_p: 0.12,
+        latency_p: 0.02,
+        latency: Duration::from_millis(2),
+        corrupt_p: 0.015,
+        reset_p: 0.008,
+        ..NetFaultPlan::clean(seed)
+    }
+}
+
+/// Per-client tally of one soak run.
+#[derive(Default)]
+struct Tally {
+    delivered: u64,
+    typed_failures: u64,
+    /// `attempts[i]` = logical calls that took `i + 1` transport attempts.
+    attempts: Vec<u64>,
+    latencies_micros: Vec<f64>,
+}
+
+impl Tally {
+    fn bump_attempts(&mut self, attempts: u32) {
+        let slot = attempts.max(1) as usize - 1;
+        if self.attempts.len() <= slot {
+            self.attempts.resize(slot + 1, 0);
+        }
+        self.attempts[slot] += 1;
+    }
+}
+
+/// Drive one retrying client through the proxy. Every outcome must be a
+/// delivered classification or a typed error; a panic here fails the run.
+fn drive(addr: SocketAddr, session: u64, requests: usize, barrier: &Barrier) -> Tally {
+    let mut client = CqmClient::connect(
+        addr,
+        ClientConfig {
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: Duration::from_millis(300),
+            retries: 8,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(40),
+            call_deadline: Duration::from_secs(20),
+            session_id: Some(session),
+            seed: 7,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect through chaos proxy");
+    let mut tally = Tally::default();
+    barrier.wait();
+    for i in 0..requests {
+        // Deterministic cues over (and slightly past) the covered range.
+        let cue = -0.1 + 1.2 * (i % 16) as f64 / 16.0;
+        let start = Instant::now();
+        match client.classify(&[cue]) {
+            Ok(_answer) => {
+                tally.delivered += 1;
+                tally
+                    .latencies_micros
+                    .push(start.elapsed().as_secs_f64() * 1e6);
+            }
+            Err(
+                ServeError::Remote(_)
+                | ServeError::RetriesExhausted { .. }
+                | ServeError::Io { .. }
+                | ServeError::Timeout(_)
+                | ServeError::Protocol(_)
+                | ServeError::ConnectionClosed
+                | ServeError::Decode(_),
+            ) => {
+                tally.typed_failures += 1;
+                tally
+                    .latencies_micros
+                    .push(start.elapsed().as_secs_f64() * 1e6);
+            }
+            Err(other) => panic!("chaos soak produced an untyped failure: {other}"),
+        }
+        tally.bump_attempts(client.last_attempts());
+    }
+    tally
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+    let clients = flag_value(&args, "--clients").unwrap_or(if smoke { 4 } else { 8 }) as usize;
+    let requests =
+        flag_value(&args, "--requests").unwrap_or(if smoke { 50 } else { 200 }) as usize;
+    let seed = flag_value(&args, "--seed").unwrap_or(0xCA05);
+    let workers = 2usize;
+    let plan = soak_plan(seed);
+
+    println!(
+        "== chaosbench: exactly-once under network chaos ({}) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+    let cores = available_cores();
+    println!("available parallelism: {cores} core(s)");
+    println!(
+        "{clients} client(s) x {requests} request(s), {workers} worker(s), chaos seed {seed}\n"
+    );
+
+    println!("[1/3] starting server and chaos proxy ...");
+    let server = CqmServer::start(
+        ModelSource::Fresh(tiny_model()),
+        ServerConfig {
+            workers,
+            micro_batch: 4,
+            frame_deadline: Some(Duration::from_millis(500)),
+            ladder: Some(DegradationPolicy::default()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let mut proxy = ChaosProxy::start(server.local_addr(), plan).expect("start chaos proxy");
+    let addr = proxy.local_addr();
+    println!("serving on {} via chaos proxy {addr}", server.local_addr());
+
+    println!("[2/3] soaking ...");
+    let started = Instant::now();
+    let barrier = Barrier::new(clients);
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|k| {
+                let barrier = &barrier;
+                scope.spawn(move || drive(addr, 0xBE7C + k as u64, requests, barrier))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("soak client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    println!("[3/3] draining ...");
+    proxy.stop();
+    let health = server.shutdown().expect("server shutdown");
+
+    let issued = (clients * requests) as u64;
+    let delivered: u64 = tallies.iter().map(|t| t.delivered).sum();
+    let typed_failures: u64 = tallies.iter().map(|t| t.typed_failures).sum();
+    let lost = issued.saturating_sub(delivered + typed_failures);
+    let mut retry_histogram: Vec<u64> = Vec::new();
+    for t in &tallies {
+        if retry_histogram.len() < t.attempts.len() {
+            retry_histogram.resize(t.attempts.len(), 0);
+        }
+        for (slot, n) in t.attempts.iter().enumerate() {
+            retry_histogram[slot] += n;
+        }
+    }
+    let latencies: Vec<f64> = tallies
+        .iter()
+        .flat_map(|t| t.latencies_micros.iter().copied())
+        .collect();
+
+    let baseline = ChaosBaseline {
+        schema: SCHEMA.to_string(),
+        smoke,
+        available_parallelism: cores,
+        seed,
+        workers,
+        clients,
+        requests_per_client: requests,
+        plan: ChaosPlanRecord {
+            warmup_ops: plan.warmup_ops,
+            partial_p: plan.partial_p,
+            latency_p: plan.latency_p,
+            latency_micros: plan.latency.as_micros() as u64,
+            corrupt_p: plan.corrupt_p,
+            reset_p: plan.reset_p,
+        },
+        issued,
+        delivered,
+        typed_failures,
+        lost,
+        duplicated: health.duplicate_executions,
+        dedup_hits: health.dedup_hits,
+        degraded_served: health.degraded_served,
+        retry_histogram,
+        p50_micros: percentile_micros(&latencies, 0.50),
+        p99_micros: percentile_micros(&latencies, 0.99),
+    };
+
+    println!(
+        "\nissued {issued}, delivered {delivered}, typed failures {typed_failures}, lost {lost}"
+    );
+    println!(
+        "server: {} executed, {} dedup hits, {} duplicate executions, {} degraded",
+        health.rows_classified, health.dedup_hits, health.duplicate_executions,
+        health.degraded_served
+    );
+    println!(
+        "latency: p50 {:.1} us, p99 {:.1} us over {:.1} ms wall",
+        baseline.p50_micros,
+        baseline.p99_micros,
+        elapsed.as_secs_f64() * 1e3
+    );
+    print!("retry histogram:");
+    for (slot, n) in baseline.retry_histogram.iter().enumerate() {
+        print!(" {}x{}", slot + 1, n);
+    }
+    println!();
+
+    let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
+    std::fs::write(&out_path, &json).expect("write baseline file");
+    println!("\nwrote {out_path}");
+
+    // Validate and gate by re-parsing what was actually written.
+    let written = std::fs::read_to_string(&out_path).expect("read baseline back");
+    let parsed: ChaosBaseline = match serde_json::from_str(&written) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("chaosbench: written JSON does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = parsed.validate() {
+        eprintln!("chaosbench: schema validation failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("schema validation: ok ({SCHEMA})");
+    match parsed.gate() {
+        Ok(()) => {
+            println!("chaos gate: ok (every request accounted, zero duplicate executions)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("chaosbench: chaos gate failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -24,6 +24,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaosbench;
 pub mod experiments;
 pub mod perf;
 pub mod servebench;

@@ -25,6 +25,13 @@
 //! * [`breaker`] — per-source [`breaker::CircuitBreaker`]s and the
 //!   [`breaker::QuarantineFuser`] feeding `cqm_core::fusion`, so a flapping
 //!   sensor is quarantined instead of fused into the office aggregate.
+//! * [`netfault`] — the same injector discipline applied to the *network*:
+//!   [`netfault::ChaosStream`] wraps any `Read + Write` transport with
+//!   seeded partial I/O, latency, bit corruption and connection resets on a
+//!   replayable per-operation schedule, and [`netfault::ChaosProxy`] puts
+//!   it on a live TCP path (with a retargetable backend for warm-restart
+//!   drills) so `cqm-serve`'s chaos soak can prove exactly-once delivery
+//!   under transport faults.
 //!
 //! The chaos suite (`tests/chaos.rs` at the workspace root) asserts, for
 //! every fault class, that the supervised pipeline never panics, escalates
@@ -37,11 +44,13 @@
 pub mod breaker;
 pub mod degrade;
 pub mod fault;
+pub mod netfault;
 pub mod supervisor;
 
 pub use breaker::{BreakerSnapshot, BreakerState, CircuitBreaker, FuserSnapshot, QuarantineFuser};
 pub use degrade::{DegradationLadder, DegradationPolicy, HealthState, LadderSnapshot};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultyReading, ScheduledFault};
+pub use netfault::{ChaosProxy, ChaosStats, ChaosStream, NetFaultPlan, MAX_CHAOS_LATENCY};
 pub use supervisor::{
     CacheSnapshot, CueSource, Poll, Reading, ServedContext, StepFault, StepReport,
     SupervisedSystem, SupervisorConfig, SupervisorSnapshot, WindowSource,
@@ -52,6 +61,8 @@ pub use supervisor::{
 pub enum ResilienceError {
     /// A fault plan or policy parameter was out of its valid domain.
     InvalidConfig(String),
+    /// An OS-level I/O failure in the network chaos layer.
+    Io(String),
     /// Propagated from the CQM core.
     Core(cqm_core::CqmError),
 }
@@ -60,6 +71,7 @@ impl std::fmt::Display for ResilienceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ResilienceError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            ResilienceError::Io(msg) => write!(f, "I/O failure: {msg}"),
             ResilienceError::Core(e) => write!(f, "core error: {e}"),
         }
     }
@@ -69,7 +81,7 @@ impl std::error::Error for ResilienceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ResilienceError::Core(e) => Some(e),
-            ResilienceError::InvalidConfig(_) => None,
+            ResilienceError::InvalidConfig(_) | ResilienceError::Io(_) => None,
         }
     }
 }

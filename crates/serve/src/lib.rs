@@ -27,9 +27,14 @@
 //!   `ClassifierKernel`/`QualityKernel` paths, micro-batching queued
 //!   requests into single kernel sweeps, bit-identical to the in-process
 //!   `CqmSystem` answers.
-//! * [`server`] / [`client`] — the acceptor/worker server with graceful
-//!   drain-then-checkpoint shutdown, and the blocking client with timeouts
-//!   and retry-on-`Overloaded`.
+//! * [`dedup`] — the bounded per-session exactly-once window: a retried
+//!   `(session, request)` id replays the cached answer instead of
+//!   executing twice.
+//! * [`server`] / [`client`] — the acceptor/worker server with per-frame
+//!   deadlines, dedup, a degradation ladder on admission, and graceful
+//!   drain-then-checkpoint shutdown; and the blocking client with a
+//!   per-call deadline budget, capped exponential backoff with seeded
+//!   jitter, and idempotent retries on transient transport faults.
 //!
 //! [`QualifiedClassification`]: cqm_core::pipeline::QualifiedClassification
 //! [`AdmissionPolicy::Reject`]: queue::AdmissionPolicy::Reject
@@ -40,16 +45,19 @@
 
 pub mod batch;
 pub mod client;
+pub mod dedup;
 pub mod model;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
 pub use batch::{Engine, EngineScratch};
-pub use client::{ClientConfig, CqmClient};
+pub use client::{ClientConfig, CqmClient, ServedAnswer};
+pub use dedup::{Claim, DedupConfig, DedupStats, DedupWindow};
 pub use model::{ModelSource, ResolvedModel, ServeCheckpoint, ServedModel};
 pub use protocol::{
-    Request, Response, ServerHealth, SnapshotInfo, WireError, WireErrorKind, PROTOCOL_VERSION,
+    Request, RequestId, Response, ServerHealth, SnapshotInfo, WireError, WireErrorKind,
+    PROTOCOL_VERSION,
 };
 pub use queue::{Admission, AdmissionPolicy, BoundedQueue, QueueStats};
 pub use server::{CqmServer, ServerConfig};
@@ -88,6 +96,18 @@ pub enum ServeError {
     ConnectionClosed,
     /// A blocking operation ran out of time.
     Timeout(String),
+    /// The client's retry budget — attempts and/or the per-call deadline —
+    /// ran out. Carries the budget it exhausted and the last failure.
+    RetriesExhausted {
+        /// Attempts made (including the first).
+        attempts: u32,
+        /// Wall-clock time spent across all attempts.
+        elapsed: std::time::Duration,
+        /// The per-call deadline budget that bounded the attempts.
+        deadline: std::time::Duration,
+        /// The error the final attempt died on.
+        last: Box<ServeError>,
+    },
     /// The service was configured inconsistently.
     InvalidConfig(String),
     /// A failure in the underlying CQM evaluation machinery.
@@ -120,6 +140,16 @@ impl std::fmt::Display for ServeError {
             ServeError::Remote(e) => write!(f, "server error: {e}"),
             ServeError::ConnectionClosed => write!(f, "connection closed mid-exchange"),
             ServeError::Timeout(what) => write!(f, "timed out {what}"),
+            ServeError::RetriesExhausted {
+                attempts,
+                elapsed,
+                deadline,
+                last,
+            } => write!(
+                f,
+                "retry budget exhausted after {attempts} attempt(s) in {elapsed:?} \
+                 (deadline {deadline:?}); last error: {last}"
+            ),
             ServeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             ServeError::Core(e) => write!(f, "evaluation failure: {e}"),
             ServeError::Persist(e) => write!(f, "persistence failure: {e}"),
@@ -132,6 +162,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Core(e) => Some(e),
             ServeError::Persist(e) => Some(e),
+            ServeError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }

@@ -27,6 +27,7 @@
 //! mismatches, impossible lengths — as [`ServeError`] values.
 
 use std::io::{ErrorKind, Read, Write};
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
@@ -36,7 +37,16 @@ use cqm_persist::crc32::Crc32;
 use crate::{Result, ServeError};
 
 /// Current protocol version, stamped into every frame.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// Version history:
+///
+/// * **1** — PR 5: anonymous `Classify`/`ClassifyBatch` requests.
+/// * **2** — PR 7: classify requests carry a client-assigned
+///   [`RequestId`] so retries are idempotent; responses gained
+///   [`Response::ClassifiedDegraded`] (a last-good answer served in
+///   Failsafe, flagged as degraded on the wire); [`ServerHealth`] gained
+///   the dedup/ladder counters.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Bytes before the payload: length, version, CRC.
 pub const FRAME_HEADER_LEN: usize = 4 + 4 + 4;
@@ -48,6 +58,11 @@ pub const MAX_FRAME_LEN: u32 = 16 << 20;
 /// Consecutive mid-frame read timeouts tolerated before the peer is
 /// declared gone. Only reachable on sockets with a read timeout set (the
 /// server polls at ~50 ms, so this is roughly a five-second stall budget).
+///
+/// This counter resets on any byte of progress, so on its own it does not
+/// stop a slow-loris peer trickling one byte per poll interval; the
+/// overall frame deadline of [`read_frame_within`] is the real defense,
+/// and this is the backstop for callers without one.
 const MAX_MID_FRAME_STALLS: u32 = 100;
 
 /// A parsed frame header, CRC not yet verified.
@@ -61,16 +76,41 @@ pub struct FrameHeader {
     pub crc: u32,
 }
 
+/// A client-assigned idempotency key: `(session, request)`.
+///
+/// The client owns both halves — `session` is unique per client instance,
+/// `request` increments per logical call — and a retry *reuses* the id of
+/// the call it retries. The server's dedup window keys on the pair, so a
+/// request whose answer was lost in transit is replayed from cache rather
+/// than executed twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RequestId {
+    /// The issuing client session (unique per client instance).
+    pub session: u64,
+    /// Monotone per-session call counter.
+    pub request: u64,
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.session, self.request)
+    }
+}
+
 /// What a client asks the service.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
     /// Classify one cue vector.
     Classify {
+        /// Idempotency key; retries reuse it.
+        id: RequestId,
         /// The cue vector `v_C`.
         cues: Vec<f64>,
     },
     /// Classify a batch atomically: all rows answer or none do.
     ClassifyBatch {
+        /// Idempotency key; retries reuse it.
+        id: RequestId,
         /// One cue vector per row.
         rows: Vec<Vec<f64>>,
     },
@@ -94,6 +134,15 @@ pub enum Response {
     ClassifiedBatch {
         /// One result per request row, in request order.
         results: Vec<QualifiedClassification>,
+    },
+    /// A *degraded* answer to [`Request::Classify`]: the server is in
+    /// Failsafe and serves its last known-good classification instead of
+    /// evaluating. The degradation is typed on the wire — a consumer can
+    /// (and should) treat this with the suspicion the quality measure
+    /// exists to encode, rather than mistake it for a fresh answer.
+    ClassifiedDegraded {
+        /// The last fresh classification the server produced.
+        result: QualifiedClassification,
     },
     /// Answer to [`Request::Snapshot`].
     Snapshot {
@@ -219,6 +268,19 @@ pub struct ServerHealth {
     pub queue_highwater: u64,
     /// Sessions that ended on a protocol or I/O error.
     pub session_errors: u64,
+    /// Retried requests answered from the dedup window instead of being
+    /// re-executed.
+    pub dedup_hits: u64,
+    /// Requests the server executed more than once. The exactly-once
+    /// invariant is precisely "this stays 0"; the chaos soak asserts it.
+    pub duplicate_executions: u64,
+    /// Failsafe answers served from the last-good cache, flagged as
+    /// [`Response::ClassifiedDegraded`] on the wire.
+    pub degraded_served: u64,
+    /// Current degradation-ladder state (`"healthy"`, `"degraded"`,
+    /// `"failsafe"`, `"recovering"`), or `None` when no ladder is
+    /// configured.
+    pub ladder: Option<String>,
     /// Worker threads evaluating requests.
     pub workers: usize,
     /// Whether the server is draining toward shutdown.
@@ -343,10 +405,33 @@ enum Fill {
 /// Read exactly `buf.len()` bytes, tolerating interrupts and bounded
 /// mid-frame stalls. `started` says whether earlier bytes of this frame
 /// were already consumed (a timeout then is a stall, not idleness).
-fn fill<R: Read>(r: &mut R, buf: &mut [u8], started: bool) -> Result<Fill> {
+///
+/// `deadline` is the shared per-frame deadline: it is armed from `budget`
+/// the moment the first byte of the frame has been consumed (never while
+/// idling between frames) and then carried across the header and payload
+/// fills, so a peer cannot reset the clock with one byte of progress.
+fn fill<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    started: bool,
+    budget: Option<Duration>,
+    deadline: &mut Option<Instant>,
+) -> Result<Fill> {
     let mut got = 0usize;
     let mut stalls = 0u32;
     while got < buf.len() {
+        if started || got > 0 {
+            if deadline.is_none() {
+                *deadline = budget.map(|b| Instant::now() + b);
+            }
+            if let Some(d) = *deadline {
+                if Instant::now() >= d {
+                    return Err(ServeError::Protocol(
+                        "torn frame: per-frame deadline exceeded mid-frame".into(),
+                    ));
+                }
+            }
+        }
         match r.read(&mut buf[got..]) {
             Ok(0) => return Ok(Fill::Eof { got }),
             Ok(n) => {
@@ -373,6 +458,9 @@ fn fill<R: Read>(r: &mut R, buf: &mut [u8], started: bool) -> Result<Fill> {
 
 /// Read one frame, distinguishing idle and EOF from corruption.
 ///
+/// Equivalent to [`read_frame_within`] with no frame deadline: the only
+/// stall defense is the [`MAX_MID_FRAME_STALLS`] backstop.
+///
 /// # Errors
 ///
 /// * [`ServeError::Protocol`] on a torn header or payload (EOF or a stall
@@ -382,8 +470,31 @@ fn fill<R: Read>(r: &mut R, buf: &mut [u8], started: bool) -> Result<Fill> {
 ///   [`decode_payload`];
 /// * [`ServeError::Io`] on any other socket failure.
 pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> Result<FrameRead<T>> {
+    read_frame_within(r, None)
+}
+
+/// Read one frame with an overall per-frame deadline — the slow-loris
+/// defense.
+///
+/// The clock starts when the first byte of a frame arrives (idling
+/// between frames costs nothing) and covers the whole frame: header and
+/// payload share one budget, and byte-at-a-time progress does **not**
+/// reset it, unlike the stall counter. A peer that starts a frame and
+/// cannot finish it within `budget` gets a typed torn-frame error.
+///
+/// `budget: None` disables the deadline and behaves as [`read_frame`].
+///
+/// # Errors
+///
+/// As [`read_frame`], plus [`ServeError::Protocol`] with a
+/// "deadline exceeded" detail when the budget runs out mid-frame.
+pub fn read_frame_within<R: Read, T: Deserialize>(
+    r: &mut R,
+    budget: Option<Duration>,
+) -> Result<FrameRead<T>> {
+    let mut deadline: Option<Instant> = None;
     let mut header_bytes = [0u8; FRAME_HEADER_LEN];
-    match fill(r, &mut header_bytes, false)? {
+    match fill(r, &mut header_bytes, false, budget, &mut deadline)? {
         Fill::Done => {}
         Fill::Eof { got: 0 } => return Ok(FrameRead::Eof),
         Fill::Eof { got } => {
@@ -395,7 +506,7 @@ pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> Result<FrameRead<T>> {
     }
     let header = parse_header(&header_bytes)?;
     let mut payload = vec![0u8; header.payload_len as usize];
-    match fill(r, &mut payload, true)? {
+    match fill(r, &mut payload, true, budget, &mut deadline)? {
         Fill::Done => {}
         Fill::Eof { got } => {
             return Err(ServeError::Protocol(format!(
@@ -418,8 +529,16 @@ mod tests {
     use super::*;
     use std::io::Cursor;
 
+    fn rid(request: u64) -> RequestId {
+        RequestId {
+            session: 11,
+            request,
+        }
+    }
+
     fn request() -> Request {
         Request::ClassifyBatch {
+            id: rid(1),
             rows: vec![vec![0.25, 1.0 / 3.0], vec![-7.5e-3, 42.0]],
         }
     }
@@ -436,11 +555,14 @@ mod tests {
             other => panic!("expected frame, got {other:?}"),
         };
         let sent = request();
-        let (Request::ClassifyBatch { rows: a }, Request::ClassifyBatch { rows: b }) =
-            (&sent, &back)
+        let (
+            Request::ClassifyBatch { id: ia, rows: a },
+            Request::ClassifyBatch { id: ib, rows: b },
+        ) = (&sent, &back)
         else {
             panic!("variant changed in transit: {back:?}");
         };
+        assert_eq!(ia, ib);
         for (ra, rb) in a.iter().zip(b.iter()) {
             for (x, y) in ra.iter().zip(rb.iter()) {
                 assert_eq!(x.to_bits(), y.to_bits());
@@ -542,11 +664,65 @@ mod tests {
     #[test]
     fn oversized_message_refused_at_encode_time() {
         let rows = vec![vec![1.0 / 3.0; 1 << 16]; 16];
-        let req = Request::ClassifyBatch { rows };
+        let req = Request::ClassifyBatch {
+            id: rid(9),
+            rows,
+        };
         // ~1M floats at ~19 JSON chars each ≈ 20 MB, past the 16 MiB cap.
         assert!(matches!(
             encode_frame(&req),
             Err(ServeError::FrameTooLarge { .. })
         ));
+    }
+
+    /// Yields one byte per read call, sleeping `delay` before each — a
+    /// slow-loris peer that always makes progress (so the stall counter
+    /// never fires) but never finishes in time.
+    struct Trickle {
+        bytes: Vec<u8>,
+        pos: usize,
+        delay: Duration,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            std::thread::sleep(self.delay);
+            if self.pos >= self.bytes.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.bytes[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_deadline_cuts_off_a_byte_at_a_time_trickler() {
+        let mut trickle = Trickle {
+            bytes: encode_frame(&request()).unwrap(),
+            pos: 0,
+            delay: Duration::from_millis(5),
+        };
+        let err = read_frame_within::<_, Request>(&mut trickle, Some(Duration::from_millis(25)))
+            .unwrap_err();
+        assert!(
+            matches!(&err, ServeError::Protocol(msg) if msg.contains("deadline")),
+            "expected a deadline error, got {err}"
+        );
+        // Progress was made (the deadline, not the first read, cut it off)
+        // but the frame never completed.
+        assert!(trickle.pos > 0 && trickle.pos < trickle.bytes.len());
+    }
+
+    #[test]
+    fn frame_deadline_does_not_fire_on_a_frame_that_fits_the_budget() {
+        let mut trickle = Trickle {
+            bytes: encode_frame(&Request::Health).unwrap(),
+            pos: 0,
+            delay: Duration::from_millis(0),
+        };
+        let got = read_frame_within::<_, Request>(&mut trickle, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(matches!(got, FrameRead::Frame(Request::Health)));
     }
 }

@@ -65,6 +65,11 @@ pub struct QueueStats {
 struct Inner<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// Effective admission limit, `1..=capacity`. The degradation ladder
+    /// lowers it under sustained overload and restores it on recovery;
+    /// items already queued above a lowered limit stay queued (the limit
+    /// gates admission, it never discards admitted work).
+    limit: usize,
     pushed: u64,
     rejected: u64,
     shed: u64,
@@ -87,6 +92,7 @@ impl<T> BoundedQueue<T> {
             inner: Mutex::new(Inner {
                 items: VecDeque::with_capacity(capacity.max(1)),
                 closed: false,
+                limit: capacity.max(1),
                 pushed: 0,
                 rejected: 0,
                 shed: 0,
@@ -98,9 +104,30 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// The fixed capacity.
+    /// The fixed capacity — the ceiling [`BoundedQueue::set_limit`] can
+    /// never raise the effective limit above.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The current effective admission limit.
+    pub fn limit(&self) -> usize {
+        self.lock().limit
+    }
+
+    /// Set the effective admission limit, clamped to `1..=capacity`.
+    /// Raising it wakes blocked producers; lowering it never discards
+    /// already-admitted items. Returns the clamped value applied.
+    pub fn set_limit(&self, limit: usize) -> usize {
+        let clamped = limit.clamp(1, self.capacity);
+        let mut inner = self.lock();
+        let raised = clamped > inner.limit;
+        inner.limit = clamped;
+        drop(inner);
+        if raised {
+            self.not_full.notify_all();
+        }
+        clamped
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner<T>> {
@@ -126,7 +153,7 @@ impl<T> BoundedQueue<T> {
             inner.rejected += 1;
             return Admission::Rejected(item);
         }
-        if inner.items.len() < self.capacity {
+        if inner.items.len() < inner.limit {
             self.enqueue(&mut inner, item);
             return Admission::Enqueued;
         }
@@ -151,7 +178,7 @@ impl<T> BoundedQueue<T> {
             AdmissionPolicy::Block { timeout } => {
                 // lint: allow(TIME_IN_LOGIC) -- admission deadline: bounds how long a producer may park, never flows into a classified result
                 let deadline = Instant::now() + *timeout;
-                while inner.items.len() >= self.capacity && !inner.closed {
+                while inner.items.len() >= inner.limit && !inner.closed {
                     // lint: allow(TIME_IN_LOGIC) -- re-read for the condvar wait budget; timeout plumbing only
                     let now = Instant::now();
                     if now >= deadline {
@@ -381,6 +408,53 @@ mod tests {
         assert_eq!(admitted, 200);
         assert_eq!(consumed, admitted);
         assert_eq!(q.stats().pushed, 200);
+    }
+
+    #[test]
+    fn lowered_limit_gates_admission_below_capacity() {
+        let q = BoundedQueue::new(8);
+        assert_eq!(q.set_limit(2), 2);
+        q.push(1, &AdmissionPolicy::Reject);
+        q.push(2, &AdmissionPolicy::Reject);
+        assert!(matches!(
+            q.push(3, &AdmissionPolicy::Reject),
+            Admission::Rejected(3)
+        ));
+        // Restoring the limit re-opens admission without losing anything.
+        assert_eq!(q.set_limit(8), 8);
+        assert!(matches!(q.push(3, &AdmissionPolicy::Reject), Admission::Enqueued));
+        let mut out = Vec::new();
+        assert!(q.pop_batch(8, &mut out));
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn set_limit_clamps_to_one_and_to_capacity() {
+        let q = BoundedQueue::<u32>::new(4);
+        assert_eq!(q.set_limit(0), 1);
+        assert_eq!(q.limit(), 1);
+        assert_eq!(q.set_limit(100), 4);
+        assert_eq!(q.limit(), 4);
+    }
+
+    #[test]
+    fn raising_the_limit_wakes_blocked_producers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.set_limit(1);
+        q.push(1, &AdmissionPolicy::Reject);
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let policy = AdmissionPolicy::Block {
+                    timeout: Duration::from_secs(5),
+                };
+                matches!(q.push(2, &policy), Admission::Enqueued)
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.set_limit(4);
+        assert!(producer.join().expect("producer"));
+        assert_eq!(q.len(), 2);
     }
 
     #[test]

@@ -26,13 +26,17 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use cqm_core::pipeline::QualifiedClassification;
 use cqm_parallel::WorkerPool;
 use cqm_persist::CheckpointHandle;
+use cqm_resilience::degrade::{DegradationLadder, DegradationPolicy, HealthState};
 
 use crate::batch::{run_worker, Engine, Job, Work};
+use crate::dedup::{Claim, DedupConfig, DedupWindow};
 use crate::model::{ModelSource, ServeCheckpoint, ServedModel};
 use crate::protocol::{
-    read_frame, write_frame, FrameRead, Request, Response, ServerHealth, SnapshotInfo, WireError,
+    read_frame_within, write_frame, FrameRead, Request, RequestId, Response, ServerHealth,
+    SnapshotInfo, WireError,
 };
 use crate::queue::{Admission, AdmissionPolicy, BoundedQueue};
 use crate::{Result, ServeError};
@@ -64,6 +68,18 @@ pub struct ServerConfig {
     /// Artificial per-micro-batch evaluation delay — a load-shaping knob
     /// for overload tests and the load generator. `None` in production.
     pub eval_delay: Option<Duration>,
+    /// Overall budget for reading one frame once its first byte arrived —
+    /// the slow-loris defense. `None` leaves only the stall-count backstop.
+    pub frame_deadline: Option<Duration>,
+    /// Socket write timeout for responses; a peer that stops draining its
+    /// receive buffer is cut off rather than parking the session forever.
+    pub write_timeout: Option<Duration>,
+    /// Bounds of the exactly-once dedup window.
+    pub dedup: DedupConfig,
+    /// Degradation ladder driven by admission outcomes: sustained overload
+    /// tightens the effective queue limit, Failsafe serves typed last-good
+    /// answers. `None` disables the ladder (admission behaves as PR 5).
+    pub ladder: Option<DegradationPolicy>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +92,10 @@ impl Default for ServerConfig {
             micro_batch: 16,
             checkpoint: None,
             eval_delay: None,
+            frame_deadline: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            dedup: DedupConfig::default(),
+            ladder: None,
         }
     }
 }
@@ -95,13 +115,75 @@ struct Shared {
     requests: AtomicU64,
     rows_classified: AtomicU64,
     session_errors: AtomicU64,
+    degraded_served: AtomicU64,
     snapshot: SnapshotInfo,
     workers: usize,
+    /// The exactly-once window; every Classify/ClassifyBatch id passes
+    /// through it.
+    dedup: DedupWindow,
+    /// Admission-driven degradation ladder; `None` when not configured.
+    ladder: Option<Mutex<DegradationLadder>>,
+    /// Last fresh single classification, served (typed as degraded) in
+    /// Failsafe instead of a bare rejection.
+    last_good: Mutex<Option<QualifiedClassification>>,
+    frame_deadline: Option<Duration>,
+    write_timeout: Option<Duration>,
 }
 
 impl Shared {
     fn draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Feed one admission outcome into the ladder (if any) and map the
+    /// resulting state onto the queue's effective limit. Returns the state
+    /// after the event. The ladder lock is released before touching the
+    /// queue, so no lock is ever held across another lock or a notify.
+    fn ladder_event(&self, success: bool) -> Option<HealthState> {
+        let ladder = self.ladder.as_ref()?;
+        let state = {
+            let mut guard = ladder.lock().unwrap_or_else(PoisonError::into_inner);
+            if success {
+                guard.on_success()
+            } else {
+                guard.on_fault()
+            }
+        };
+        let cap = self.queue.capacity();
+        let limit = match state {
+            HealthState::Healthy => cap,
+            HealthState::Degraded | HealthState::Recovering => (cap / 2).max(1),
+            HealthState::Failsafe => 1,
+        };
+        self.queue.set_limit(limit);
+        Some(state)
+    }
+
+    fn ladder_name(&self) -> Option<String> {
+        let ladder = self.ladder.as_ref()?;
+        let guard = ladder.lock().unwrap_or_else(PoisonError::into_inner);
+        Some(guard.state().name().to_string())
+    }
+
+    /// The Failsafe answer: the last fresh classification, if any, typed
+    /// as degraded on the wire.
+    fn degraded_answer(&self) -> Option<Response> {
+        let cached = self
+            .last_good
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let result = cached?;
+        self.degraded_served.fetch_add(1, Ordering::Relaxed);
+        Some(Response::ClassifiedDegraded { result })
+    }
+
+    fn remember_good(&self, result: &QualifiedClassification) {
+        let mut guard = self
+            .last_good
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *guard = Some(result.clone());
     }
 
     fn request_stop(&self) {
@@ -128,6 +210,7 @@ impl Shared {
 
     fn health(&self) -> ServerHealth {
         let qs = self.queue.stats();
+        let ds = self.dedup.stats();
         ServerHealth {
             requests: self.requests.load(Ordering::Relaxed),
             rows_classified: self.rows_classified.load(Ordering::Relaxed),
@@ -135,6 +218,10 @@ impl Shared {
             shed: qs.shed,
             queue_highwater: qs.highwater,
             session_errors: self.session_errors.load(Ordering::Relaxed),
+            dedup_hits: ds.dedup_hits,
+            duplicate_executions: ds.duplicate_executions,
+            degraded_served: self.degraded_served.load(Ordering::Relaxed),
+            ladder: self.ladder_name(),
             workers: self.workers,
             draining: self.draining(),
         }
@@ -192,8 +279,16 @@ impl CqmServer {
             requests: AtomicU64::new(0),
             rows_classified: AtomicU64::new(0),
             session_errors: AtomicU64::new(0),
+            degraded_served: AtomicU64::new(0),
             snapshot,
             workers,
+            dedup: DedupWindow::new(config.dedup),
+            ladder: config
+                .ladder
+                .map(|policy| Mutex::new(DegradationLadder::new(policy))),
+            last_good: Mutex::new(None),
+            frame_deadline: config.frame_deadline,
+            write_timeout: config.write_timeout,
         });
 
         let runtime = {
@@ -282,8 +377,12 @@ impl CqmServer {
         self.shared.queue.close();
         // 3. The acceptor is parked in accept(); a throwaway connection
         //    wakes it so it can observe the draining flag. A failed
-        //    connect only means the listener is already gone.
-        drop(TcpStream::connect(self.addr));
+        //    connect only means the listener is already gone. Bounded, so
+        //    a pathological network stack cannot park shutdown forever.
+        drop(TcpStream::connect_timeout(
+            &self.addr,
+            Duration::from_secs(2),
+        ));
         if let Some(h) = self.acceptor.take() {
             let _joined = h.join();
         }
@@ -375,6 +474,9 @@ fn session(stream: &mut TcpStream, shared: &Shared) -> Result<()> {
     stream
         .set_read_timeout(Some(SESSION_POLL))
         .map_err(|e| ServeError::io("configuring session socket", &e))?;
+    stream
+        .set_write_timeout(shared.write_timeout)
+        .map_err(|e| ServeError::io("configuring session socket", &e))?;
     // One reply channel per session: a session has at most one job in
     // flight, so the channel is reused across requests. Capacity 1 — one
     // slot for that single in-flight answer; workers `try_send`, so a
@@ -383,7 +485,7 @@ fn session(stream: &mut TcpStream, shared: &Shared) -> Result<()> {
     // instead of accumulating or being mistaken for the next answer.
     let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
     loop {
-        match read_frame::<_, Request>(stream)? {
+        match read_frame_within::<_, Request>(stream, shared.frame_deadline)? {
             FrameRead::Idle => {
                 if shared.draining() {
                     return Ok(());
@@ -405,8 +507,16 @@ fn handle_request(
     reply_rx: &mpsc::Receiver<Response>,
 ) -> Response {
     match request {
-        Request::Classify { cues } => submit(shared, Work::One(cues), reply_tx, reply_rx),
-        Request::ClassifyBatch { rows } => submit(shared, Work::Many(rows), reply_tx, reply_rx),
+        Request::Classify { id, cues } => {
+            with_dedup(shared, id, || {
+                submit(shared, Work::One(cues), reply_tx, reply_rx)
+            })
+        }
+        Request::ClassifyBatch { id, rows } => {
+            with_dedup(shared, id, || {
+                submit(shared, Work::Many(rows), reply_tx, reply_rx)
+            })
+        }
         Request::Snapshot => Response::Snapshot {
             info: shared.snapshot.clone(),
         },
@@ -417,6 +527,28 @@ fn handle_request(
             shared.request_stop();
             Response::ShuttingDown
         }
+    }
+}
+
+/// Route one classify request through the exactly-once window: first
+/// arrival executes, concurrent duplicates park for the same answer,
+/// later duplicates replay the cache.
+fn with_dedup(shared: &Shared, id: RequestId, run: impl FnOnce() -> Response) -> Response {
+    match shared.dedup.begin(id) {
+        Claim::Execute => {
+            let response = run();
+            shared.dedup.complete(id, &response);
+            response
+        }
+        Claim::Replay(response) => response,
+        Claim::Wait(rx) => match rx.recv_timeout(REPLY_TIMEOUT) {
+            Ok(response) => response,
+            // The executing arrival's slot was evicted (window overflow)
+            // or it never completed; answer typed rather than hanging.
+            Err(_) => Response::Error {
+                error: WireError::internal("duplicate request lost its executing twin"),
+            },
+        },
     }
 }
 
@@ -441,7 +573,7 @@ fn submit(
     match shared.queue.push(job, &shared.admission) {
         Admission::Enqueued => {
             shared.requests.fetch_add(1, Ordering::Relaxed);
-            await_reply(reply_rx)
+            settle(shared, await_reply(reply_rx))
         }
         Admission::Shed(evicted) => {
             // The evicted job's session is parked on its reply channel;
@@ -451,12 +583,51 @@ fn submit(
                 error: WireError::overloaded(),
             });
             shared.requests.fetch_add(1, Ordering::Relaxed);
-            await_reply(reply_rx)
+            settle(shared, await_reply(reply_rx))
         }
-        Admission::Rejected(_job) => Response::Error {
-            error: WireError::overloaded(),
-        },
+        Admission::Rejected(job) => {
+            let state = shared.ladder_event(false);
+            // In Failsafe a rejected *single* classify is served the
+            // last-good answer, typed as degraded; batches and cold
+            // caches still get the honest overload error.
+            if state == Some(HealthState::Failsafe) {
+                if let Work::One(_) = &job.work {
+                    if let Some(degraded) = shared.degraded_answer() {
+                        return degraded;
+                    }
+                }
+            }
+            Response::Error {
+                error: WireError::overloaded(),
+            }
+        }
     }
+}
+
+/// Post-process an answered job: remember fresh singles for Failsafe and
+/// feed the ladder (success for served classifications, fault for
+/// overload/internal outcomes).
+fn settle(shared: &Shared, response: Response) -> Response {
+    match &response {
+        Response::Classified { result } => {
+            shared.remember_good(result);
+            shared.ladder_event(true);
+        }
+        Response::ClassifiedBatch { .. } => {
+            shared.ladder_event(true);
+        }
+        Response::Error { error } => match error.kind {
+            crate::protocol::WireErrorKind::Overloaded
+            | crate::protocol::WireErrorKind::Internal => {
+                shared.ladder_event(false);
+            }
+            // A bad request is the client's fault, not server pressure.
+            crate::protocol::WireErrorKind::BadRequest
+            | crate::protocol::WireErrorKind::ShuttingDown => {}
+        },
+        _ => {}
+    }
+    response
 }
 
 fn await_reply(reply_rx: &mpsc::Receiver<Response>) -> Response {

@@ -99,4 +99,19 @@ test -s "$CRASH_DIR/BENCH_PR5.json" || {
     exit 1
 }
 
+echo "==> chaos soak suite (exactly-once under scheduled network chaos)"
+cargo test -q --test chaos_net
+
+echo "==> chaos soak smoke (BENCH_PR7.json schema + every-request-accounted gate)"
+# chaosbench --smoke drives a live server through the seeded ChaosProxy with
+# retrying clients, writes the baseline JSON, re-reads it, validates the
+# cqm-bench/chaosbase/v1 schema and applies the exactly-once gate (every
+# request delivered or typed-failed, zero duplicate executions); see
+# crates/bench/src/chaosbench.rs.
+./target/release/chaosbench --smoke --out "$CRASH_DIR/BENCH_PR7.json"
+test -s "$CRASH_DIR/BENCH_PR7.json" || {
+    echo "check.sh: chaosbench did not write the baseline JSON" >&2
+    exit 1
+}
+
 echo "check.sh: all gates passed"

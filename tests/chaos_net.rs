@@ -1,0 +1,507 @@
+//! Exactly-once inference under network chaos.
+//!
+//! These tests put a real client/server pair behind a seeded
+//! [`ChaosProxy`] (torn chunks, delays, bit flips, connection resets on a
+//! schedule that is a pure function of the seed) and assert the PR 7
+//! contract:
+//!
+//! * every logical request is answered **exactly once** — the retry path
+//!   never re-executes work (`duplicate_executions == 0`), and every
+//!   delivered answer is bit-identical to the in-process `CqmSystem`
+//!   reference — or it fails with a **typed** error; never a panic, a
+//!   hang, or a silently wrong answer;
+//! * a duplicate `(session, request)` id replays the cached answer
+//!   instead of re-executing (`dedup_hits` counts it);
+//! * sustained overload walks the degradation ladder down to Failsafe,
+//!   where single-cue requests get typed last-good answers flagged
+//!   `degraded` on the wire;
+//! * the fault schedule replays from the seed at the protocol level;
+//! * a warm restart mid-soak (backend swapped under the proxy) preserves
+//!   bit-identical answers and the exactly-once invariant across both
+//!   generations.
+
+use std::io::{Cursor, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use cqm::classify::FisClassifier;
+use cqm::core::model::{CqmModel, MODEL_VERSION};
+use cqm::core::normalize::Quality;
+use cqm::core::pipeline::{CqmSystem, QualifiedClassification};
+use cqm::core::QualityMeasure;
+use cqm::fuzzy::{MembershipFunction, TskFis, TskRule};
+use cqm::resilience::{ChaosProxy, ChaosStream, DegradationPolicy, NetFaultPlan};
+use cqm::serve::protocol::{encode_frame, read_frame, FrameRead, Request, RequestId, Response};
+use cqm::serve::{
+    AdmissionPolicy, ClientConfig, CqmClient, CqmServer, ModelSource, ServeError, ServedModel,
+    ServerConfig,
+};
+
+/// Same hand-built two-class model as `tests/serve.rs`: cheap enough that
+/// every test builds its own server.
+fn tiny_model() -> ServedModel {
+    let g = |mu: f64, s: f64| MembershipFunction::gaussian(mu, s).expect("gaussian");
+    let class_fis = TskFis::new(vec![
+        TskRule::new(vec![g(0.0, 0.3)], vec![0.0, 0.0]).expect("rule"),
+        TskRule::new(vec![g(1.0, 0.3)], vec![0.0, 1.0]).expect("rule"),
+    ])
+    .expect("class fis");
+    let classifier = FisClassifier::from_fis(class_fis, 2).expect("classifier");
+    let quality_fis = TskFis::new(vec![
+        TskRule::new(vec![g(0.0, 0.25), g(0.0, 0.25)], vec![0.0, 0.0, 1.0]).expect("rule"),
+        TskRule::new(vec![g(1.0, 0.25), g(1.0, 0.25)], vec![0.0, 0.0, 1.0]).expect("rule"),
+        TskRule::new(vec![g(0.0, 0.25), g(1.0, 0.25)], vec![0.0, 0.0, 0.0]).expect("rule"),
+        TskRule::new(vec![g(1.0, 0.25), g(0.0, 0.25)], vec![0.0, 0.0, 0.0]).expect("rule"),
+    ])
+    .expect("quality fis");
+    let model = CqmModel {
+        version: MODEL_VERSION,
+        measure: QualityMeasure::new(quality_fis).expect("measure"),
+        threshold: 0.5,
+        note: "chaos soak".into(),
+    };
+    ServedModel::new(classifier, model).expect("served model")
+}
+
+fn reference_system(model: &ServedModel) -> CqmSystem<FisClassifier> {
+    CqmSystem::new(
+        model.classifier().clone(),
+        model.model().measure.clone(),
+        model.model().filter().expect("threshold"),
+    )
+    .expect("reference system")
+}
+
+fn probe_cues(n: usize) -> Vec<Vec<f64>> {
+    (0..n).map(|i| vec![-0.1 + 1.2 * i as f64 / n as f64]).collect()
+}
+
+fn assert_bit_identical(a: &QualifiedClassification, b: &QualifiedClassification, tag: &str) {
+    assert_eq!(a.class, b.class, "{tag}: class");
+    assert_eq!(a.decision, b.decision, "{tag}: decision");
+    match (a.quality, b.quality) {
+        (Quality::Value(x), Quality::Value(y)) => {
+            assert_eq!(x.to_bits(), y.to_bits(), "{tag}: quality bits");
+        }
+        (x, y) => assert_eq!(x, y, "{tag}: quality variant"),
+    }
+}
+
+/// A noisy-but-survivable plan: most requests get through on the first
+/// try, enough get torn/corrupted/reset that the retry and dedup paths
+/// are genuinely exercised.
+fn soak_plan(seed: u64) -> NetFaultPlan {
+    NetFaultPlan {
+        warmup_ops: 6,
+        partial_p: 0.12,
+        latency_p: 0.02,
+        latency: Duration::from_millis(2),
+        corrupt_p: 0.015,
+        reset_p: 0.008,
+        ..NetFaultPlan::clean(seed)
+    }
+}
+
+/// Client tuned for chaos: fast typed failure detection, generous retry
+/// budget, seeded jitter, fixed session id so the run is replayable.
+fn chaos_client(addr: SocketAddr, session: u64) -> CqmClient {
+    CqmClient::connect(
+        addr,
+        ClientConfig {
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: Duration::from_millis(300),
+            retries: 8,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(40),
+            call_deadline: Duration::from_secs(20),
+            session_id: Some(session),
+            seed: 7,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect through proxy")
+}
+
+/// Per-thread soak tally, merged after the scope joins.
+#[derive(Default)]
+struct Tally {
+    issued: usize,
+    delivered: usize,
+    degraded: usize,
+    typed_failures: usize,
+    attempts: usize,
+}
+
+/// Drive `requests` cues through one client; every outcome must be a
+/// bit-identical answer or a typed error.
+fn drive(
+    client: &mut CqmClient,
+    cues: &[Vec<f64>],
+    requests: usize,
+    expected: &[QualifiedClassification],
+    tag: &str,
+) -> Tally {
+    let mut tally = Tally::default();
+    for i in 0..requests {
+        let cue = i % cues.len();
+        tally.issued += 1;
+        match client.classify_answer(&cues[cue]) {
+            Ok(answer) if answer.degraded => {
+                // A Failsafe last-good answer is typed and flagged; it is
+                // deliberately *not* compared against this cue's reference.
+                tally.delivered += 1;
+                tally.degraded += 1;
+            }
+            Ok(answer) => {
+                assert_bit_identical(&answer.result, &expected[cue], &format!("{tag} req {i}"));
+                tally.delivered += 1;
+            }
+            // Chaos may corrupt a request (CRC rejects it as BadRequest),
+            // exhaust the retry budget, or tear the transport — all of
+            // those are *typed*; anything else is a contract violation.
+            Err(
+                ServeError::Remote(_)
+                | ServeError::RetriesExhausted { .. }
+                | ServeError::Io { .. }
+                | ServeError::Timeout(_)
+                | ServeError::Protocol(_)
+                | ServeError::ConnectionClosed
+                | ServeError::Decode(_),
+            ) => tally.typed_failures += 1,
+            Err(other) => panic!("{tag} req {i}: untyped failure {other}"),
+        }
+        tally.attempts += client.last_attempts() as usize;
+    }
+    tally
+}
+
+#[test]
+fn soak_exactly_once_under_scheduled_chaos() {
+    let model = tiny_model();
+    let reference = reference_system(&model);
+    let cues = probe_cues(16);
+    let expected: Vec<QualifiedClassification> = cues
+        .iter()
+        .map(|c| reference.classify_with_quality(c).expect("reference"))
+        .collect();
+
+    for workers in [1usize, 4] {
+        let server = CqmServer::start(
+            ModelSource::Fresh(tiny_model()),
+            ServerConfig {
+                workers,
+                micro_batch: 4,
+                // Torn frames must not park sessions for the default 10 s
+                // during the drain.
+                frame_deadline: Some(Duration::from_millis(500)),
+                ladder: Some(DegradationPolicy::default()),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("start");
+        let mut proxy =
+            ChaosProxy::start(server.local_addr(), soak_plan(0xCA05 + workers as u64))
+                .expect("proxy");
+        let addr = proxy.local_addr();
+
+        let clients = 6usize;
+        let per_client = 80usize;
+        let started = std::time::Instant::now();
+        let barrier = Barrier::new(clients);
+        let tallies: Vec<Tally> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|k| {
+                    let (cues, expected, barrier) = (&cues, &expected, &barrier);
+                    scope.spawn(move || {
+                        let mut c = chaos_client(addr, 1000 + k as u64);
+                        barrier.wait();
+                        drive(
+                            &mut c,
+                            cues,
+                            per_client,
+                            expected,
+                            &format!("workers={workers} client={k}"),
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("soak thread")).collect()
+        });
+
+        eprintln!("soak wave workers={workers}: {:?}", started.elapsed());
+        let issued: usize = tallies.iter().map(|t| t.issued).sum();
+        let delivered: usize = tallies.iter().map(|t| t.delivered).sum();
+        let typed: usize = tallies.iter().map(|t| t.typed_failures).sum();
+        assert_eq!(issued, clients * per_client);
+        assert_eq!(
+            delivered + typed,
+            issued,
+            "workers={workers}: every request accounted for"
+        );
+        assert!(
+            delivered * 100 >= issued * 85,
+            "workers={workers}: retries should deliver most requests through chaos \
+             (delivered {delivered}/{issued})"
+        );
+
+        proxy.stop();
+        let health = server.shutdown().expect("shutdown");
+        let attempts: usize = tallies.iter().map(|t| t.attempts).sum();
+        eprintln!(
+            "soak wave workers={workers}: delivered={delivered} typed={typed} attempts={attempts} health={health:?}"
+        );
+        assert_eq!(
+            health.duplicate_executions, 0,
+            "workers={workers}: exactly-once means zero re-executions: {health:?}"
+        );
+    }
+}
+
+#[test]
+fn duplicate_request_ids_replay_cached_answers_exactly_once() {
+    let model = tiny_model();
+    let reference = reference_system(&model);
+    let server = CqmServer::start(ModelSource::Fresh(tiny_model()), ServerConfig::default())
+        .expect("start");
+    let addr = server.local_addr();
+
+    // A raw client that *misbehaves on purpose*: the same (session,
+    // request) id sent twice on one connection, as a retrying client
+    // whose first answer was lost in transit would.
+    let frame = encode_frame(&Request::Classify {
+        id: RequestId {
+            session: 77,
+            request: 9,
+        },
+        cues: vec![0.8],
+    })
+    .expect("encode");
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stream.write_all(&frame).expect("first send");
+    stream.write_all(&frame).expect("duplicate send");
+    stream.flush().expect("flush");
+
+    let mut answers = Vec::new();
+    for round in 0..2 {
+        match read_frame::<_, Response>(&mut stream).expect("read") {
+            FrameRead::Frame(Response::Classified { result }) => answers.push(result),
+            other => panic!("round {round}: expected a classified answer, got {other:?}"),
+        }
+    }
+    let expected = reference.classify_with_quality(&[0.8]).expect("reference");
+    assert_bit_identical(&answers[0], &expected, "first execution");
+    assert_bit_identical(&answers[1], &answers[0], "replayed duplicate");
+    drop(stream);
+
+    let health = server.shutdown().expect("shutdown");
+    assert_eq!(health.dedup_hits, 1, "the duplicate must hit the window");
+    assert_eq!(health.duplicate_executions, 0, "and must not re-execute");
+    assert_eq!(health.rows_classified, 1, "one row, despite two requests");
+}
+
+#[test]
+fn failsafe_ladder_serves_typed_degraded_answers_under_sustained_overload() {
+    let model = tiny_model();
+    let reference = reference_system(&model);
+    let server = CqmServer::start(
+        ModelSource::Fresh(tiny_model()),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            micro_batch: 1,
+            admission: AdmissionPolicy::Reject,
+            eval_delay: Some(Duration::from_millis(50)),
+            // Two rejections are enough to hit Failsafe, and recovery is
+            // set far out of reach so the state holds for the assertion.
+            ladder: Some(DegradationPolicy {
+                degrade_after: 1,
+                failsafe_after: 2,
+                recover_after: 1000,
+                healthy_after: 1000,
+            }),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = server.local_addr();
+
+    // Prime the last-good cache with a clean answer before the storm.
+    let mut primer = CqmClient::connect(addr, ClientConfig::default()).expect("connect");
+    let primed = primer.classify(&[0.75]).expect("prime last-good");
+    let expected = reference.classify_with_quality(&[0.75]).expect("reference");
+    assert_bit_identical(&primed, &expected, "primed answer");
+
+    // Storm: single-shot clients against a 1-slot queue with a slow
+    // worker. Early rejections surface as Overloaded and walk the ladder
+    // down; once Failsafe is reached, rejected singles get the last-good
+    // answer flagged degraded.
+    let clients = 10usize;
+    let rounds = 4usize;
+    let barrier = Barrier::new(clients);
+    let degraded_seen: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut c = CqmClient::connect(
+                        addr,
+                        ClientConfig {
+                            retries: 0, // surface Overloaded instead of absorbing it
+                            ..ClientConfig::default()
+                        },
+                    )
+                    .expect("connect");
+                    barrier.wait();
+                    let mut degraded = 0usize;
+                    for _ in 0..rounds {
+                        match c.classify_answer(&[0.75]) {
+                            Ok(answer) if answer.degraded => degraded += 1,
+                            Ok(_fresh) => {}
+                            Err(ServeError::Remote(_)) => {}
+                            Err(other) => panic!("storm answers must stay typed: {other}"),
+                        }
+                    }
+                    degraded
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("storm thread")).sum()
+    });
+    assert!(
+        degraded_seen >= 1,
+        "sustained overload must reach Failsafe and serve degraded answers"
+    );
+
+    let health = server.shutdown().expect("shutdown");
+    assert_eq!(health.degraded_served as usize, degraded_seen);
+    assert_eq!(
+        health.ladder.as_deref(),
+        Some("failsafe"),
+        "recovery thresholds are unreachable, so the ladder must still be down: {health:?}"
+    );
+}
+
+#[test]
+fn fault_schedule_replays_from_seed_at_the_protocol_level() {
+    // The soak's replayability claim, pinned at the protocol layer: the
+    // same (plan, stream id) applied to the same frame bytes produces the
+    // identical mutilated byte stream, and therefore the identical decode
+    // outcome — pass, typed CRC rejection, or typed torn frame.
+    let frame = encode_frame(&Request::Classify {
+        id: RequestId {
+            session: 3,
+            request: 1,
+        },
+        cues: vec![0.4],
+    })
+    .expect("encode");
+    let plan = NetFaultPlan {
+        partial_p: 0.5,
+        corrupt_p: 1.0,
+        ..NetFaultPlan::clean(0xBEEF)
+    };
+    let run = || {
+        let mut chaos =
+            ChaosStream::new(Cursor::new(frame.clone()), &plan, 0).expect("chaos stream");
+        let mut mutilated = Vec::new();
+        chaos.read_to_end(&mut mutilated).expect("read through chaos");
+        let decode = read_frame::<_, Request>(&mut Cursor::new(mutilated.clone()));
+        (mutilated, format!("{decode:?}"), chaos.stats())
+    };
+    let (bytes_a, outcome_a, stats_a) = run();
+    let (bytes_b, outcome_b, stats_b) = run();
+    assert_eq!(bytes_a, bytes_b, "same seed => same mutilation");
+    assert_eq!(outcome_a, outcome_b, "=> same protocol outcome");
+    assert_eq!(stats_a, stats_b);
+    assert_ne!(bytes_a, frame, "corrupt_p = 1 must actually flip bits");
+    assert!(
+        outcome_a.contains("Err"),
+        "a bit-flipped frame must decode to a typed error, got {outcome_a}"
+    );
+}
+
+#[test]
+fn warm_restart_mid_soak_preserves_bit_identical_answers() {
+    let dir = std::env::temp_dir().join(format!("cqm_chaos_restart_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let ck = dir.join("serve.ckpt");
+    let model = tiny_model();
+    let reference = reference_system(&model);
+    let cues = probe_cues(12);
+    let expected: Vec<QualifiedClassification> = cues
+        .iter()
+        .map(|c| reference.classify_with_quality(c).expect("reference"))
+        .collect();
+
+    let config = |checkpoint: Option<std::path::PathBuf>| ServerConfig {
+        workers: 2,
+        checkpoint,
+        frame_deadline: Some(Duration::from_millis(500)),
+        ladder: Some(DegradationPolicy::default()),
+        ..ServerConfig::default()
+    };
+
+    // Generation 1 behind the chaos proxy.
+    let first = CqmServer::start(ModelSource::Fresh(tiny_model()), config(Some(ck.clone())))
+        .expect("start gen 1");
+    let mut proxy =
+        ChaosProxy::start(first.local_addr(), soak_plan(0x0DD5EED)).expect("proxy");
+    let addr = proxy.local_addr();
+
+    let clients = 4usize;
+    let per_phase = 40usize;
+    let phase = |tag: &str| -> Vec<Tally> {
+        let barrier = Barrier::new(clients);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|k| {
+                    let (cues, expected, barrier, tag) = (&cues, &expected, &barrier, tag);
+                    scope.spawn(move || {
+                        let mut c = chaos_client(addr, 2000 + k as u64);
+                        barrier.wait();
+                        drive(&mut c, cues, per_phase, expected, &format!("{tag} client={k}"))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("phase thread")).collect()
+        })
+    };
+
+    let phase1 = phase("gen1");
+    let delivered1: usize = phase1.iter().map(|t| t.delivered).sum();
+    assert!(delivered1 > 0, "phase 1 must deliver through the chaos");
+
+    // Warm restart mid-soak: drain generation 1 (writes the checkpoint),
+    // warm-start generation 2 on a fresh port, and swap it in under the
+    // proxy. The clients' pooled connections die with the old backend and
+    // their retries carry the next phase to the new one.
+    let health1 = first.shutdown().expect("gen 1 shutdown");
+    assert_eq!(health1.duplicate_executions, 0, "gen 1 exactly-once: {health1:?}");
+    assert!(ck.exists(), "drain must write the checkpoint");
+    let second =
+        CqmServer::start(ModelSource::WarmStart(ck.clone()), config(None)).expect("warm start");
+    proxy.retarget(second.local_addr());
+
+    let phase2 = phase("gen2");
+    let delivered2: usize = phase2.iter().map(|t| t.delivered).sum();
+    let typed2: usize = phase2.iter().map(|t| t.typed_failures).sum();
+    assert_eq!(delivered2 + typed2, clients * per_phase, "phase 2 accounted");
+    assert!(delivered2 > 0, "phase 2 must deliver through the restarted backend");
+
+    // The restarted generation is genuinely warm-started — asked through
+    // the chaos proxy, like everything else.
+    let mut prober = chaos_client(addr, 2999);
+    let info = prober.snapshot().expect("snapshot through chaos");
+    assert!(info.warm_started, "generation 2 must be a warm start");
+    assert_eq!(info.checkpoint_seq, 1);
+    drop(prober);
+
+    proxy.stop();
+    let health2 = second.shutdown().expect("gen 2 shutdown");
+    assert_eq!(health2.duplicate_executions, 0, "gen 2 exactly-once: {health2:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}

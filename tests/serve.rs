@@ -23,7 +23,7 @@ use cqm::core::normalize::Quality;
 use cqm::core::pipeline::{CqmSystem, QualifiedClassification};
 use cqm::core::QualityMeasure;
 use cqm::fuzzy::{MembershipFunction, TskFis, TskRule};
-use cqm::serve::protocol::{encode_frame, read_frame, FrameRead, Request, Response};
+use cqm::serve::protocol::{encode_frame, read_frame, FrameRead, Request, RequestId, Response};
 use cqm::serve::{
     AdmissionPolicy, ClientConfig, CqmClient, CqmServer, ModelSource, ServedModel, ServerConfig,
     ServeError, WireErrorKind,
@@ -130,7 +130,14 @@ fn truncated_frames_never_kill_the_server() {
     let server = start_default();
     let addr = server.local_addr();
 
-    let frame = encode_frame(&Request::Classify { cues: vec![0.5] }).expect("encode");
+    let frame = encode_frame(&Request::Classify {
+        id: RequestId {
+            session: 500,
+            request: 1,
+        },
+        cues: vec![0.5],
+    })
+    .expect("encode");
     // Every strict prefix of a valid frame: header cut short, payload cut
     // short, empty connection.
     for cut in [0, 1, 4, 11, 12, 13, frame.len() / 2, frame.len() - 1] {
@@ -154,7 +161,14 @@ fn corrupt_frame_fuzzing_yields_typed_errors() {
     let server = start_default();
     let addr = server.local_addr();
 
-    let frame = encode_frame(&Request::Classify { cues: vec![0.25] }).expect("encode");
+    let frame = encode_frame(&Request::Classify {
+        id: RequestId {
+            session: 501,
+            request: 1,
+        },
+        cues: vec![0.25],
+    })
+    .expect("encode");
     // Flip one byte at a time across the whole frame — length prefix,
     // version, CRC and payload alike. No flip may panic the server or
     // produce a silently-wrong classification: every answer must be a
@@ -416,5 +430,160 @@ fn warm_restart_resumes_sequence_and_answers_bitwise() {
     assert_eq!(c.snapshot().expect("snapshot").checkpoint_seq, 2);
     drop(c);
     third.shutdown().expect("third shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn warm_restart_survives_kills_mid_handshake_and_mid_batch() {
+    let dir = std::env::temp_dir().join(format!("cqm_serve_kill_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let ck = dir.join("serve.ckpt");
+    let model = tiny_model();
+    let reference = reference_system(&model);
+    let cues = probe_cues(8);
+
+    let first = CqmServer::start(
+        ModelSource::Fresh(tiny_model()),
+        ServerConfig {
+            checkpoint: Some(ck.clone()),
+            // Short frame deadline so the torn connections below cannot
+            // park the drain for the default ten seconds.
+            frame_deadline: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start fresh");
+    let addr = first.local_addr();
+
+    // Answer something real first, so the restart has work to reproduce.
+    let mut c = client(addr);
+    let first_answers: Vec<QualifiedClassification> = cues
+        .iter()
+        .map(|cue| c.classify(cue).expect("first generation"))
+        .collect();
+    drop(c);
+
+    // Kill #1 lands mid-handshake: a connection that has sent only part
+    // of a frame *header* when the shutdown begins.
+    let mut mid_handshake = TcpStream::connect(addr).expect("connect");
+    let frame = encode_frame(&Request::Classify {
+        id: RequestId {
+            session: 600,
+            request: 1,
+        },
+        cues: vec![0.5],
+    })
+    .expect("encode");
+    mid_handshake.write_all(&frame[..5]).expect("partial header");
+    mid_handshake.flush().expect("flush");
+
+    // Kill #2 lands mid-batch: a ClassifyBatch frame torn halfway through
+    // its payload — the analogue of a torn record at the journal boundary.
+    let mut mid_batch = TcpStream::connect(addr).expect("connect");
+    let batch_frame = encode_frame(&Request::ClassifyBatch {
+        id: RequestId {
+            session: 600,
+            request: 2,
+        },
+        rows: cues.clone(),
+    })
+    .expect("encode batch");
+    let cut = batch_frame.len() / 2;
+    mid_batch.write_all(&batch_frame[..cut]).expect("partial batch");
+    mid_batch.flush().expect("flush");
+
+    // Wait for the frame deadline to cut both torn connections off while
+    // the server is still live — shutting down immediately would race the
+    // acceptor: a connection still in the kernel backlog when draining
+    // begins is dropped unanswered instead of counted.
+    let mut probe = client(addr);
+    let waited = std::time::Instant::now();
+    let health = loop {
+        let h = probe.health().expect("health probe");
+        if h.session_errors >= 2 || waited.elapsed() > Duration::from_secs(10) {
+            break h;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(
+        health.session_errors >= 2,
+        "both torn connections are session errors: {health:?}"
+    );
+    drop(probe);
+    drop(mid_handshake);
+    drop(mid_batch);
+
+    // The drain still writes the checkpoint.
+    first.shutdown().expect("shutdown with torn connections");
+    assert!(ck.exists(), "checkpoint written despite torn connections");
+
+    // The restarted generation warm-starts and answers bit-identically.
+    let second = CqmServer::start(
+        ModelSource::WarmStart(ck.clone()),
+        ServerConfig::default(),
+    )
+    .expect("warm start after torn shutdown");
+    let mut c = client(second.local_addr());
+    let info = c.snapshot().expect("snapshot");
+    assert!(info.warm_started);
+    assert_eq!(info.checkpoint_seq, 1);
+    for (i, cue) in cues.iter().enumerate() {
+        let served = c.classify(cue).expect("second generation");
+        assert_bit_identical(&served, &first_answers[i], &format!("post-kill row {i}"));
+        let expected = reference.classify_with_quality(cue).expect("reference");
+        assert_bit_identical(&served, &expected, &format!("post-kill vs in-process row {i}"));
+    }
+    drop(c);
+    second.shutdown().expect("second shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_checkpoint_tail_is_a_typed_error_never_a_silent_fallback() {
+    let dir = std::env::temp_dir().join(format!("cqm_serve_torn_ck_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let ck = dir.join("serve.ckpt");
+
+    let first = CqmServer::start(
+        ModelSource::Fresh(tiny_model()),
+        ServerConfig {
+            checkpoint: Some(ck.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start fresh");
+    first.shutdown().expect("shutdown");
+    let bytes = std::fs::read(&ck).expect("checkpoint bytes");
+    assert!(bytes.len() > 16);
+
+    // Tear the tail off — the crash-mid-write shape a journal boundary
+    // leaves behind.
+    std::fs::write(&ck, &bytes[..bytes.len() - 7]).expect("torn write");
+
+    // WarmStart refuses with a typed error, not a panic...
+    let Err(err) = CqmServer::start(ModelSource::WarmStart(ck.clone()), ServerConfig::default())
+    else {
+        panic!("torn checkpoint must refuse");
+    };
+    assert!(matches!(err, ServeError::Persist(_)), "got {err}");
+
+    // ...and WarmStartOr also refuses: corruption is never silently
+    // papered over by the fallback (only a *missing* file is).
+    let Err(err) = CqmServer::start(
+        ModelSource::WarmStartOr {
+            path: ck.clone(),
+            fallback: Box::new(tiny_model()),
+        },
+        ServerConfig::default(),
+    ) else {
+        panic!("torn checkpoint must refuse even with a fallback");
+    };
+    assert!(matches!(err, ServeError::Persist(_)), "got {err}");
+
+    // Restoring the intact bytes restores the warm start.
+    std::fs::write(&ck, &bytes).expect("restore");
+    let second = CqmServer::start(ModelSource::WarmStart(ck.clone()), ServerConfig::default())
+        .expect("intact checkpoint warm-starts");
+    second.shutdown().expect("second shutdown");
     std::fs::remove_dir_all(&dir).ok();
 }
