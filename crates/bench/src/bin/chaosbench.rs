@@ -158,8 +158,59 @@ fn flag_value(args: &[String], flag: &str) -> Option<u64> {
         .and_then(|v| v.parse().ok())
 }
 
+fn usage() {
+    println!(
+        "chaosbench — exactly-once under network chaos (writes BENCH_PR7.json)\n\
+         \n\
+         USAGE:\n\
+         \x20   chaosbench [OPTIONS]\n\
+         \n\
+         OPTIONS:\n\
+         \x20   --smoke           quick CI-sized run (4 clients x 50 requests)\n\
+         \x20   --out <PATH>      output JSON path (default: BENCH_PR7.json)\n\
+         \x20   --clients <N>     concurrent retrying clients (default: 8, smoke: 4)\n\
+         \x20   --requests <N>    requests per client (default: 200, smoke: 50)\n\
+         \x20   --seed <N>        chaos schedule seed (default: 0xCA05)\n\
+         \x20   -h, --help        print this help and exit\n\
+         \n\
+         EXIT CODES:\n\
+         \x20   0  baseline written and the exactly-once gate passed\n\
+         \x20   1  gate failed or the run errored\n\
+         \x20   2  unknown flag or malformed invocation"
+    );
+}
+
+/// Strict flag validation: every token must be a known flag or the value
+/// of the preceding value-taking flag. Unknown input is a usage error
+/// (exit 2), not a silent ignore.
+fn validate_args(args: &[String]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => i += 1,
+            "--out" | "--clients" | "--requests" | "--seed" => {
+                if args.get(i + 1).is_none() {
+                    return Err(format!("flag {} is missing its value", args[i]));
+                }
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return ExitCode::SUCCESS;
+    }
+    if let Err(problem) = validate_args(&args) {
+        eprintln!("chaosbench: {problem}\n");
+        usage();
+        return ExitCode::from(2);
+    }
     let smoke = args.iter().any(|a| a == "--smoke");
     let out_path = args
         .iter()

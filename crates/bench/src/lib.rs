@@ -26,6 +26,7 @@
 
 pub mod chaosbench;
 pub mod experiments;
+pub mod fleetbench;
 pub mod perf;
 pub mod servebench;
 

@@ -117,7 +117,21 @@ pub fn load_checkpoint<T: Deserialize>(path: &Path) -> Result<T> {
     let mut bytes = Vec::new();
     f.read_to_end(&mut bytes)
         .map_err(|e| PersistError::io("reading checkpoint", &e))?;
+    decode_checkpoint_bytes(&bytes)
+}
 
+/// Validate and decode checkpoint *bytes* already in memory — the envelope
+/// half of [`load_checkpoint`] without the filesystem half, for callers that
+/// source the bytes elsewhere (e.g. a fault-injected read path that mutilates
+/// the returned copy, where the CRC here is exactly what catches it).
+///
+/// # Errors
+///
+/// * [`PersistError::Corrupt`] on bad magic, impossible length, short input
+///   or CRC mismatch;
+/// * [`PersistError::SchemaVersion`] if written by a newer format;
+/// * [`PersistError::Decode`] if the intact payload does not decode as `T`.
+pub fn decode_checkpoint_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T> {
     if bytes.len() < HEADER_LEN {
         return Err(PersistError::Corrupt(format!(
             "checkpoint shorter than its {HEADER_LEN}-byte header ({} bytes)",

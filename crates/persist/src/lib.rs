@@ -11,6 +11,9 @@
 //! * [`journal`] — a write-ahead log of length-prefixed, CRC-guarded
 //!   records with batched fsync. A torn tail (crash mid-append) is detected
 //!   and truncated back to the last valid record instead of failing;
+//! * [`store`] — [`store::CheckpointStore`], a tenant-keyed directory of
+//!   checkpoints (`<dir>/<key>.ckpt` with strict key validation) so a model
+//!   fleet can treat disk as the source of truth for which tenants exist;
 //! * [`recovery`] — [`recovery::RecoveryManager`], which reloads the last
 //!   good checkpoint, replays the journal tail to rebuild the supervisor
 //!   (ladder position, last-good-context cache, monitor history), and can
@@ -27,10 +30,13 @@ pub mod crc32;
 pub mod journal;
 pub mod records;
 pub mod recovery;
+pub mod store;
 
 pub use checkpoint::{
-    load_checkpoint, save_checkpoint, CheckpointHandle, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+    decode_checkpoint_bytes, load_checkpoint, save_checkpoint, CheckpointHandle, CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
 };
+pub use store::{validate_key, CheckpointStore, MAX_KEY_LEN};
 pub use journal::{JournalScan, JournalWriter};
 pub use records::{JournalRecord, RunHeader, RuntimeCheckpoint};
 pub use recovery::{RecoveredRun, RecoveryManager};

@@ -1,0 +1,292 @@
+//! Deterministic disk fault injection for checkpoint loads.
+//!
+//! [`crate::netfault`] makes the *transport* hostile; this module does the
+//! same for the *storage* a warm-load reads from. A [`DiskFaultPlan`] is a
+//! seeded, validated description of how reads from disk misbehave; a
+//! [`DiskFaultInjector`] applies it to whole-file reads on a schedule that
+//! is a pure function of `(seed, operation index)` — the same determinism
+//! contract as `NetFaultPlan`, so a fleet soak that quarantines a tenant on
+//! a corrupt checkpoint replays identically from its seed.
+//!
+//! | fault | effect on the read |
+//! |---|---|
+//! | corruption | one bit of the returned bytes is flipped |
+//! | torn read | the file is truncated at a scheduled fraction |
+//! | delay | the read sleeps before returning (a slow disk, not a bad one) |
+//!
+//! The injector only mutates the bytes *returned to the caller* — the file
+//! on disk is never touched — so the damage model is a read-path fault
+//! (bad cable, bitrot caught later, interrupted page-in), and a retry after
+//! the breaker's cooldown can genuinely succeed, which is exactly the
+//! HalfOpen probe semantics the model registry builds on it.
+
+use std::io::Read;
+use std::path::Path;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{ResilienceError, Result};
+
+/// Longest artificial delay a plan may configure (same rationale as
+/// [`crate::netfault::MAX_CHAOS_LATENCY`]: a typo must not hang a soak).
+pub const MAX_DISK_DELAY: Duration = Duration::from_secs(1);
+
+/// Domain-separation constant so disk and network schedules drawn from the
+/// same seed do not correlate.
+const DISK_SEED_SALT: u64 = 0xD15C_FA17_5EED_0B57;
+
+/// Mixes the operation index into the per-operation RNG seed.
+const OP_SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A validated, seeded description of how checkpoint reads misbehave.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskFaultPlan {
+    /// RNG seed; the whole schedule is a pure function of it.
+    pub seed: u64,
+    /// Reads at the start of the schedule that are guaranteed fault-free
+    /// (lets initial warm-loads through so chaos lands on the reload and
+    /// swap paths, where it hurts).
+    pub warmup_ops: u64,
+    /// Per-read probability that one bit of the returned bytes flips.
+    pub corrupt_p: f64,
+    /// Per-read probability that the returned bytes are truncated.
+    pub torn_p: f64,
+    /// Per-read probability of an added delay.
+    pub delay_p: f64,
+    /// The delay added when it fires (capped at [`MAX_DISK_DELAY`]).
+    pub delay: Duration,
+}
+
+impl DiskFaultPlan {
+    /// A plan that injects nothing (the identity read path).
+    pub fn clean(seed: u64) -> Self {
+        DiskFaultPlan {
+            seed,
+            warmup_ops: 0,
+            corrupt_p: 0.0,
+            torn_p: 0.0,
+            delay_p: 0.0,
+            delay: Duration::ZERO,
+        }
+    }
+
+    /// Validate the probabilities and the delay bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResilienceError::InvalidConfig`] on a probability outside
+    /// `[0, 1]`, a non-finite probability, or a delay beyond
+    /// [`MAX_DISK_DELAY`].
+    pub fn validate(&self) -> Result<()> {
+        for (name, p) in [
+            ("corrupt_p", self.corrupt_p),
+            ("torn_p", self.torn_p),
+            ("delay_p", self.delay_p),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(ResilienceError::InvalidConfig(format!(
+                    "{name} {p} must be a probability in [0, 1]"
+                )));
+            }
+        }
+        if self.delay > MAX_DISK_DELAY {
+            return Err(ResilienceError::InvalidConfig(format!(
+                "disk delay {:?} exceeds the {:?} cap",
+                self.delay, MAX_DISK_DELAY
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// What an injector has done so far. Two injectors with the same plan and
+/// read sequence report identical stats — the replayability assertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskFaultStats {
+    /// Read operations attempted.
+    pub reads: u64,
+    /// Reads whose bytes were truncated.
+    pub torn: u64,
+    /// Reads with a flipped bit.
+    pub corruptions: u64,
+    /// Reads that were delayed.
+    pub delays: u64,
+}
+
+/// Applies a [`DiskFaultPlan`] to whole-file reads; see the module docs for
+/// the fault vocabulary and the determinism contract.
+#[derive(Debug)]
+pub struct DiskFaultInjector {
+    plan: DiskFaultPlan,
+    ops: u64,
+    stats: DiskFaultStats,
+}
+
+impl DiskFaultInjector {
+    /// Build an injector from a validated plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResilienceError::InvalidConfig`] if the plan fails
+    /// [`DiskFaultPlan::validate`].
+    pub fn new(plan: DiskFaultPlan) -> Result<Self> {
+        plan.validate()?;
+        Ok(DiskFaultInjector {
+            plan,
+            ops: 0,
+            stats: DiskFaultStats::default(),
+        })
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> DiskFaultStats {
+        self.stats
+    }
+
+    /// Read the whole file at `path` through the fault schedule. The bytes
+    /// on disk are never modified; only the returned copy is mutilated.
+    ///
+    /// # Errors
+    ///
+    /// Any real I/O failure from the underlying read, unchanged — injected
+    /// faults corrupt or truncate the returned bytes rather than inventing
+    /// I/O errors, so a CRC-guarded consumer sees exactly what a real
+    /// read-path fault produces: bad bytes, caught by the envelope.
+    pub fn read(&mut self, path: &Path) -> std::io::Result<Vec<u8>> {
+        let op = self.ops;
+        self.ops += 1;
+        self.stats.reads += 1;
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        if op < self.plan.warmup_ops {
+            return Ok(bytes);
+        }
+        let seed = self.plan.seed ^ DISK_SEED_SALT ^ op.wrapping_mul(OP_SEED_MIX);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Decisions are drawn in a fixed order so the schedule never
+        // depends on file sizes (same discipline as `netfault::OpFaults`).
+        let delayed = rng.gen_bool(self.plan.delay_p);
+        let torn = rng.gen_bool(self.plan.torn_p);
+        let corrupt = rng.gen_bool(self.plan.corrupt_p);
+        let cut: f64 = rng.gen();
+        let corrupt_byte: f64 = rng.gen();
+        let corrupt_bit: u32 = rng.gen_range(0u32..8);
+        if delayed {
+            self.stats.delays += 1;
+            std::thread::sleep(self.plan.delay);
+        }
+        if torn && !bytes.is_empty() {
+            self.stats.torn += 1;
+            // cut in [0,1) over 0..len: a torn read can lose everything
+            // down to an empty file or almost nothing.
+            let keep = (cut * bytes.len() as f64) as usize;
+            bytes.truncate(keep.min(bytes.len().saturating_sub(1)));
+        }
+        if corrupt && !bytes.is_empty() {
+            self.stats.corruptions += 1;
+            let idx = ((corrupt_byte * bytes.len() as f64) as usize).min(bytes.len() - 1);
+            if let Some(byte) = bytes.get_mut(idx) {
+                *byte ^= 1u8 << corrupt_bit;
+            }
+        }
+        Ok(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch_file(tag: &str, bytes: &[u8]) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cqm_diskfault_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let path = dir.join("blob.bin");
+        std::fs::write(&path, bytes).expect("write blob");
+        path
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let mut p = DiskFaultPlan::clean(1);
+        p.corrupt_p = 1.5;
+        assert!(p.validate().is_err());
+        p.corrupt_p = f64::NAN;
+        assert!(p.validate().is_err());
+        p.corrupt_p = 0.0;
+        p.delay = Duration::from_secs(30);
+        assert!(p.validate().is_err());
+        assert!(DiskFaultPlan::clean(1).validate().is_ok());
+        assert!(DiskFaultInjector::new(p).is_err());
+    }
+
+    #[test]
+    fn clean_plan_is_the_identity_read() {
+        let data: Vec<u8> = (0..=255).collect();
+        let path = scratch_file("clean", &data);
+        let mut inj = DiskFaultInjector::new(DiskFaultPlan::clean(7)).expect("injector");
+        for _ in 0..4 {
+            assert_eq!(inj.read(&path).expect("read"), data);
+        }
+        assert_eq!(inj.stats().corruptions, 0);
+        assert_eq!(inj.stats().torn, 0);
+        std::fs::remove_dir_all(path.parent().expect("parent")).ok();
+    }
+
+    #[test]
+    fn schedule_is_replayable_and_never_touches_the_file() {
+        let data = vec![0xA5u8; 256];
+        let path = scratch_file("replay", &data);
+        let plan = DiskFaultPlan {
+            corrupt_p: 0.5,
+            torn_p: 0.4,
+            ..DiskFaultPlan::clean(42)
+        };
+        let run = || {
+            let mut inj = DiskFaultInjector::new(plan).expect("injector");
+            let reads: Vec<Vec<u8>> = (0..16).map(|_| inj.read(&path).expect("read")).collect();
+            (reads, inj.stats())
+        };
+        let (reads_a, stats_a) = run();
+        let (reads_b, stats_b) = run();
+        assert_eq!(reads_a, reads_b, "same seed, same ops => identical faults");
+        assert_eq!(stats_a, stats_b);
+        assert!(stats_a.torn + stats_a.corruptions > 0, "plan must actually fire");
+        assert!(
+            reads_a.iter().any(|r| r != &data),
+            "some read must be mutilated"
+        );
+        // The file itself was never modified.
+        assert_eq!(std::fs::read(&path).expect("reread"), data);
+        std::fs::remove_dir_all(path.parent().expect("parent")).ok();
+    }
+
+    #[test]
+    fn warmup_reads_are_fault_free() {
+        let data = vec![3u8; 64];
+        let path = scratch_file("warmup", &data);
+        let plan = DiskFaultPlan {
+            warmup_ops: 3,
+            torn_p: 1.0,
+            ..DiskFaultPlan::clean(9)
+        };
+        let mut inj = DiskFaultInjector::new(plan).expect("injector");
+        for _ in 0..3 {
+            assert_eq!(inj.read(&path).expect("warmup read"), data);
+        }
+        assert_ne!(inj.read(&path).expect("post-warmup read"), data);
+        assert_eq!(inj.stats().torn, 1);
+        std::fs::remove_dir_all(path.parent().expect("parent")).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_real_io_error_not_a_fault() {
+        let mut inj = DiskFaultInjector::new(DiskFaultPlan::clean(1)).expect("injector");
+        let err = inj
+            .read(Path::new("/nonexistent/cqm/ckpt.bin"))
+            .expect_err("missing file");
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+}

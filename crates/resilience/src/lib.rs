@@ -25,6 +25,11 @@
 //! * [`breaker`] — per-source [`breaker::CircuitBreaker`]s and the
 //!   [`breaker::QuarantineFuser`] feeding `cqm_core::fusion`, so a flapping
 //!   sensor is quarantined instead of fused into the office aggregate.
+//! * [`diskfault`] — the injector discipline applied to *storage reads*:
+//!   [`diskfault::DiskFaultInjector`] mutilates whole-file checkpoint reads
+//!   (bit flips, torn truncation, delays) on a seed-replayable per-operation
+//!   schedule, so the model registry's warm-load and quarantine paths can be
+//!   driven deterministically.
 //! * [`netfault`] — the same injector discipline applied to the *network*:
 //!   [`netfault::ChaosStream`] wraps any `Read + Write` transport with
 //!   seeded partial I/O, latency, bit corruption and connection resets on a
@@ -43,12 +48,14 @@
 
 pub mod breaker;
 pub mod degrade;
+pub mod diskfault;
 pub mod fault;
 pub mod netfault;
 pub mod supervisor;
 
 pub use breaker::{BreakerSnapshot, BreakerState, CircuitBreaker, FuserSnapshot, QuarantineFuser};
 pub use degrade::{DegradationLadder, DegradationPolicy, HealthState, LadderSnapshot};
+pub use diskfault::{DiskFaultInjector, DiskFaultPlan, DiskFaultStats, MAX_DISK_DELAY};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultyReading, ScheduledFault};
 pub use netfault::{ChaosProxy, ChaosStats, ChaosStream, NetFaultPlan, MAX_CHAOS_LATENCY};
 pub use supervisor::{

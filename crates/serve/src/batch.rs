@@ -17,7 +17,7 @@
 //! back to row-wise evaluation and each job gets its own verdict.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use cqm_classify::ClassifierKernel;
@@ -40,11 +40,17 @@ pub(crate) enum Work {
     Many(Vec<Vec<f64>>),
 }
 
-/// A queued request plus the channel its session is parked on.
+/// A queued request plus the channel its session is parked on and the
+/// engine that must answer it. The engine `Arc` is pinned at admission
+/// time by the model registry's routing slot, which is what makes hot
+/// swaps zero-drop: a swap flips the slot for *future* admissions, while
+/// every already-queued job still holds (and is answered by) the engine it
+/// was admitted under — never a half-loaded one.
 #[derive(Debug)]
 pub(crate) struct Job {
     pub(crate) work: Work,
     pub(crate) reply: mpsc::SyncSender<Response>,
+    pub(crate) engine: Arc<Engine>,
 }
 
 /// Reusable per-worker evaluation state: FIS scratch, quality scratch and
@@ -193,8 +199,15 @@ pub(crate) fn to_wire(e: &CqmError) -> WireError {
 /// drained, answer every job on its reply channel. `eval_delay` is a
 /// load-shaping knob for tests and the load generator — it simulates a
 /// slower model by sleeping once per popped batch.
+///
+/// With multi-tenant routing, jobs in one micro-batch may carry different
+/// engines. Single-classify rows are still folded into combined kernel
+/// sweeps, one sweep per maximal run of consecutive same-engine jobs
+/// (tenant traffic tends to arrive in bursts, so runs are long in
+/// practice); runs are compared by `Arc` identity, never by model
+/// contents. Because the batched sweep is bit-identical to row-wise
+/// evaluation, the grouping is invisible in the answers.
 pub(crate) fn run_worker(
-    engine: &Engine,
     queue: &BoundedQueue<Job>,
     micro_batch: usize,
     eval_delay: Option<Duration>,
@@ -203,22 +216,45 @@ pub(crate) fn run_worker(
     let mut jobs: Vec<Job> = Vec::new();
     let mut scratch = EngineScratch::new();
     let mut single_rows: Vec<Vec<f64>> = Vec::new();
+    let mut single_engines: Vec<Arc<Engine>> = Vec::new();
+    let mut run_results: Vec<std::result::Result<QualifiedClassification, CqmError>> = Vec::new();
     let mut single_results: Vec<std::result::Result<QualifiedClassification, CqmError>> =
         Vec::new();
     while queue.pop_batch(micro_batch, &mut jobs) {
         if let Some(delay) = eval_delay {
             std::thread::sleep(delay);
         }
-        // Gather every single-classify row in this micro-batch for one
-        // combined kernel sweep. The cue vectors are moved out (not
-        // cloned); the jobs keep empty husks.
+        // Gather every single-classify row in this micro-batch alongside
+        // the engine its lease pinned. The cue vectors are moved out (not
+        // cloned) and the engine refs are `Arc` bumps, not allocations;
+        // the jobs keep empty husks.
         single_rows.clear();
+        single_engines.clear();
         for job in jobs.iter_mut() {
             if let Work::One(cues) = &mut job.work {
                 single_rows.push(std::mem::take(cues));
+                single_engines.push(Arc::clone(&job.engine));
             }
         }
-        engine.eval_singles(&single_rows, &mut scratch, &mut single_results);
+        // Sweep each maximal consecutive same-engine run in one kernel
+        // pass; results land in request order. `run >= 1` always (the
+        // first element matches itself), so both splits are in bounds and
+        // the loop strictly shrinks.
+        single_results.clear();
+        let mut rows_left: &[Vec<f64>] = &single_rows;
+        let mut engines_left: &[Arc<Engine>] = &single_engines;
+        while let Some(engine) = engines_left.first() {
+            let run = engines_left
+                .iter()
+                .take_while(|e| Arc::ptr_eq(e, engine))
+                .count();
+            let (run_rows, rest_rows) = rows_left.split_at(run.min(rows_left.len()));
+            engine.eval_singles(run_rows, &mut scratch, &mut run_results);
+            single_results.extend(run_results.drain(..));
+            rows_left = rest_rows;
+            let (_, rest_engines) = engines_left.split_at(run);
+            engines_left = rest_engines;
+        }
         let mut answered_rows = 0u64;
         let mut singles = single_results.drain(..);
         for job in jobs.drain(..) {
@@ -236,7 +272,7 @@ pub(crate) fn run_worker(
                 },
                 Work::Many(rows) => {
                     let mut results = Vec::with_capacity(rows.len());
-                    match engine.classify_rows(&rows, &mut scratch, &mut results) {
+                    match job.engine.classify_rows(&rows, &mut scratch, &mut results) {
                         Ok(()) => {
                             answered_rows += results.len() as u64;
                             Response::ClassifiedBatch { results }
@@ -330,7 +366,7 @@ mod tests {
     #[test]
     fn worker_answers_every_admitted_job_then_exits_on_close() {
         let model = tiny_model();
-        let engine = Engine::new(&model).expect("engine");
+        let engine = Arc::new(Engine::new(&model).expect("engine"));
         let queue = BoundedQueue::new(32);
         let rows_classified = AtomicU64::new(0);
         let mut receivers = Vec::new();
@@ -342,13 +378,20 @@ mod tests {
                 Work::One(vec![i as f64 / 9.0])
             };
             assert!(matches!(
-                queue.push(Job { work, reply: tx }, &AdmissionPolicy::Reject),
+                queue.push(
+                    Job {
+                        work,
+                        reply: tx,
+                        engine: Arc::clone(&engine)
+                    },
+                    &AdmissionPolicy::Reject
+                ),
                 crate::queue::Admission::Enqueued
             ));
             receivers.push(rx);
         }
         queue.close();
-        run_worker(&engine, &queue, 4, None, &rows_classified);
+        run_worker(&queue, 4, None, &rows_classified);
         for rx in receivers {
             let resp = rx.try_recv().expect("every admitted job is answered");
             assert!(matches!(
@@ -358,6 +401,59 @@ mod tests {
         }
         // 6 singles + 4 batches x 2 rows
         assert_eq!(rows_classified.load(Ordering::Relaxed), 14);
+    }
+
+    #[test]
+    fn mixed_engine_micro_batch_routes_each_single_to_its_own_engine() {
+        // Two engines from bit-distinct models interleaved in one
+        // micro-batch: every answer must match the in-process system of
+        // the engine its job carried, proving run-grouping never crosses
+        // tenants.
+        let model_a = tiny_model();
+        let model_b = {
+            let m = tiny_model();
+            let mut cqm = m.model().clone();
+            cqm.threshold = 0.25;
+            crate::model::ServedModel::new(m.classifier().clone(), cqm).expect("model b")
+        };
+        let engine_a = Arc::new(Engine::new(&model_a).expect("engine a"));
+        let engine_b = Arc::new(Engine::new(&model_b).expect("engine b"));
+        let sys_a = reference(&model_a);
+        let sys_b = reference(&model_b);
+        let queue = BoundedQueue::new(32);
+        let rows_classified = AtomicU64::new(0);
+        let mut receivers = Vec::new();
+        let mut cues = Vec::new();
+        for i in 0..12 {
+            let x = 0.1 + (i as f64) * 0.07;
+            let (tx, rx) = mpsc::sync_channel(1);
+            let engine = if i % 3 == 0 { &engine_b } else { &engine_a };
+            assert!(matches!(
+                queue.push(
+                    Job {
+                        work: Work::One(vec![x]),
+                        reply: tx,
+                        engine: Arc::clone(engine)
+                    },
+                    &AdmissionPolicy::Reject
+                ),
+                crate::queue::Admission::Enqueued
+            ));
+            receivers.push(rx);
+            cues.push((x, i % 3 == 0));
+        }
+        queue.close();
+        run_worker(&queue, 12, None, &rows_classified);
+        for (rx, (x, is_b)) in receivers.into_iter().zip(cues) {
+            let resp = rx.try_recv().expect("answered");
+            let Response::Classified { result } = resp else {
+                panic!("expected Classified, got {resp:?}");
+            };
+            let sys = if is_b { &sys_b } else { &sys_a };
+            let local = sys.classify_with_quality(&[x]).expect("local");
+            assert_eq!(bits(&result), bits(&local), "x={x} is_b={is_b}");
+        }
+        assert_eq!(rows_classified.load(Ordering::Relaxed), 12);
     }
 
     #[test]

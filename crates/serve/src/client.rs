@@ -334,8 +334,27 @@ impl CqmClient {
     /// budget dies on transport faults, or the transport failure itself
     /// on a non-retryable first attempt.
     pub fn classify_answer(&mut self, cues: &[f64]) -> Result<ServedAnswer> {
+        self.classify_answer_for(None, cues)
+    }
+
+    /// Classify one cue vector against a named tenant's model (`None`
+    /// routes to the server's default tenant), surfacing the degradation
+    /// flag. Per-tenant sheds come back typed: `Overloaded` (the tenant's
+    /// bulkhead budget, retried like any overload) or `TenantQuarantined`
+    /// (the tenant's checkpoint failed to load — surfaced immediately as
+    /// [`ServeError::Remote`]; retrying is the caller's policy decision).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CqmClient::classify_answer`].
+    pub fn classify_answer_for(
+        &mut self,
+        tenant: Option<&str>,
+        cues: &[f64],
+    ) -> Result<ServedAnswer> {
         let request = Request::Classify {
             id: self.next_id(),
+            tenant: tenant.map(str::to_string),
             cues: cues.to_vec(),
         };
         match self.call_retrying(&request, true)? {
@@ -362,14 +381,42 @@ impl CqmClient {
         Ok(self.classify_answer(cues)?.result)
     }
 
+    /// Classify one cue vector against a named tenant's model.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CqmClient::classify_answer_for`], whose
+    /// `degraded` flag this discards.
+    pub fn classify_for(
+        &mut self,
+        tenant: Option<&str>,
+        cues: &[f64],
+    ) -> Result<QualifiedClassification> {
+        Ok(self.classify_answer_for(tenant, cues)?.result)
+    }
+
     /// Classify a batch atomically; all rows answer or the batch fails.
     ///
     /// # Errors
     ///
     /// Same conditions as [`CqmClient::classify_answer`].
     pub fn classify_batch(&mut self, rows: &[Vec<f64>]) -> Result<Vec<QualifiedClassification>> {
+        self.classify_batch_for(None, rows)
+    }
+
+    /// Classify a batch atomically against a named tenant's model.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CqmClient::classify_answer_for`].
+    pub fn classify_batch_for(
+        &mut self,
+        tenant: Option<&str>,
+        rows: &[Vec<f64>],
+    ) -> Result<Vec<QualifiedClassification>> {
         let request = Request::ClassifyBatch {
             id: self.next_id(),
+            tenant: tenant.map(str::to_string),
             rows: rows.to_vec(),
         };
         match self.call_retrying(&request, true)? {

@@ -49,6 +49,7 @@ pub mod dedup;
 pub mod model;
 pub mod protocol;
 pub mod queue;
+pub mod registry;
 pub mod server;
 
 pub use batch::{Engine, EngineScratch};
@@ -57,9 +58,10 @@ pub use dedup::{Claim, DedupConfig, DedupStats, DedupWindow};
 pub use model::{ModelSource, ResolvedModel, ServeCheckpoint, ServedModel};
 pub use protocol::{
     Request, RequestId, Response, ServerHealth, SnapshotInfo, WireError, WireErrorKind,
-    PROTOCOL_VERSION,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 pub use queue::{Admission, AdmissionPolicy, BoundedQueue, QueueStats};
+pub use registry::{FleetConfig, FleetStats, DEFAULT_TENANT};
 pub use server::{CqmServer, ServerConfig};
 
 /// Everything that can go wrong serving or consuming the service.
@@ -81,7 +83,8 @@ pub enum ServeError {
         /// The protocol's cap.
         max: u64,
     },
-    /// A frame written by a newer protocol than this build speaks.
+    /// A frame stamped with a protocol version outside this build's
+    /// supported window (older than the minimum or newer than the maximum).
     ProtocolVersion {
         /// Version found in the frame header.
         found: u32,
@@ -134,7 +137,11 @@ impl std::fmt::Display for ServeError {
                 write!(f, "frame claims {len}-byte payload, protocol caps at {max}")
             }
             ServeError::ProtocolVersion { found, supported } => {
-                write!(f, "frame version {found} newer than supported {supported}")
+                write!(
+                    f,
+                    "frame version {found} outside the supported window (this build \
+                     speaks up to {supported})"
+                )
             }
             ServeError::Decode(msg) => write!(f, "payload decode failure: {msg}"),
             ServeError::Remote(e) => write!(f, "server error: {e}"),

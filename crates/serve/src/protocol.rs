@@ -46,7 +46,24 @@ use crate::{Result, ServeError};
 ///   [`Response::ClassifiedDegraded`] (a last-good answer served in
 ///   Failsafe, flagged as degraded on the wire); [`ServerHealth`] gained
 ///   the dedup/ladder counters.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// * **3** — PR 8: classify requests carry an optional tenant key routed
+///   through the model registry (`None` = the default tenant); errors
+///   gained [`WireErrorKind::UnsupportedVersion`] and
+///   [`WireErrorKind::TenantQuarantined`]; [`ServerHealth`] gained the
+///   fleet counters. v2 `Classify` frames omit the tenant field, which
+///   would decode as `None` here — semantically compatible — but the
+///   dedup-window and degraded-answer semantics are keyed per tenant now,
+///   so cross-version traffic is refused outright (see
+///   [`MIN_PROTOCOL_VERSION`]) rather than half-supported.
+pub const PROTOCOL_VERSION: u32 = 3;
+
+/// Oldest protocol version this build still accepts. Frames older than
+/// this (and newer than [`PROTOCOL_VERSION`]) are rejected at the header —
+/// before any payload allocation — with a typed
+/// [`ServeError::ProtocolVersion`], which the server answers with a
+/// [`WireErrorKind::UnsupportedVersion`] goodbye instead of hanging or
+/// failing the CRC.
+pub const MIN_PROTOCOL_VERSION: u32 = 3;
 
 /// Bytes before the payload: length, version, CRC.
 pub const FRAME_HEADER_LEN: usize = 4 + 4 + 4;
@@ -104,6 +121,9 @@ pub enum Request {
     Classify {
         /// Idempotency key; retries reuse it.
         id: RequestId,
+        /// Which tenant's model answers; `None` routes to the default
+        /// tenant.
+        tenant: Option<String>,
         /// The cue vector `v_C`.
         cues: Vec<f64>,
     },
@@ -111,6 +131,9 @@ pub enum Request {
     ClassifyBatch {
         /// Idempotency key; retries reuse it.
         id: RequestId,
+        /// Which tenant's model answers; `None` routes to the default
+        /// tenant.
+        tenant: Option<String>,
         /// One cue vector per row.
         rows: Vec<Vec<f64>>,
     },
@@ -177,6 +200,14 @@ pub enum WireErrorKind {
     /// The server is draining; no new work is admitted. Not retryable on
     /// this server instance.
     ShuttingDown,
+    /// The peer spoke a protocol version outside
+    /// [`MIN_PROTOCOL_VERSION`]..=[`PROTOCOL_VERSION`]. Not retryable on
+    /// this connection; upgrade (or downgrade) the client.
+    UnsupportedVersion,
+    /// The addressed tenant's model is quarantined (its checkpoint failed
+    /// to load and the per-tenant breaker is open). Retryable after the
+    /// breaker cooldown; peers are unaffected.
+    TenantQuarantined,
 }
 
 /// A typed error shipped back over the wire.
@@ -220,6 +251,26 @@ impl WireError {
             detail: "server is draining".into(),
         }
     }
+
+    /// The version-negotiation refusal, naming the offending version and
+    /// the window this build accepts.
+    pub fn unsupported_version(found: u32) -> Self {
+        WireError {
+            kind: WireErrorKind::UnsupportedVersion,
+            detail: format!(
+                "frame version {found} outside supported \
+                 {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}"
+            ),
+        }
+    }
+
+    /// The bulkhead refusal for a quarantined tenant.
+    pub fn tenant_quarantined(tenant: &str, reason: impl Into<String>) -> Self {
+        WireError {
+            kind: WireErrorKind::TenantQuarantined,
+            detail: format!("tenant {tenant:?} quarantined: {}", reason.into()),
+        }
+    }
 }
 
 impl std::fmt::Display for WireError {
@@ -229,6 +280,8 @@ impl std::fmt::Display for WireError {
             WireErrorKind::BadRequest => "bad request",
             WireErrorKind::Internal => "internal",
             WireErrorKind::ShuttingDown => "shutting down",
+            WireErrorKind::UnsupportedVersion => "unsupported version",
+            WireErrorKind::TenantQuarantined => "tenant quarantined",
         };
         write!(f, "{kind}: {}", self.detail)
     }
@@ -285,6 +338,25 @@ pub struct ServerHealth {
     pub workers: usize,
     /// Whether the server is draining toward shutdown.
     pub draining: bool,
+    /// Tenants known to the registry (active + cold + quarantined).
+    pub tenants: u64,
+    /// Tenants currently quarantined.
+    pub tenants_quarantined: u64,
+    /// Models loaded from the checkpoint store (cold → active).
+    pub warm_loads: u64,
+    /// Active models evicted back to their checkpoints by the LRU.
+    pub evictions: u64,
+    /// Hot swaps that flipped a tenant's routing slot.
+    pub swaps: u64,
+    /// Hot swaps that failed validation and rolled back to last-good.
+    pub swap_rollbacks: u64,
+    /// Requests shed by a per-tenant admission budget (the global queue
+    /// counters above are untouched by these).
+    pub tenant_overloads: u64,
+    /// Requests answered with [`WireErrorKind::TenantQuarantined`].
+    pub quarantined_answers: u64,
+    /// Connections refused for speaking an unsupported protocol version.
+    pub version_rejections: u64,
 }
 
 /// Encode one message as a complete frame.
@@ -295,6 +367,18 @@ pub struct ServerHealth {
 /// * [`ServeError::FrameTooLarge`] if the payload exceeds
 ///   [`MAX_FRAME_LEN`].
 pub fn encode_frame<T: Serialize>(msg: &T) -> Result<Vec<u8>> {
+    encode_frame_with_version(PROTOCOL_VERSION, msg)
+}
+
+/// Encode one message as a frame stamped with an explicit `version` — the
+/// cross-version test surface (build the frames an older or newer peer
+/// would send) and the version-rejection goodbye path (a goodbye stamped
+/// with *our* version so the peer's own header check types the mismatch).
+///
+/// # Errors
+///
+/// Same conditions as [`encode_frame`].
+pub fn encode_frame_with_version<T: Serialize>(version: u32, msg: &T) -> Result<Vec<u8>> {
     let payload = serde_json::to_string(msg).map_err(|e| ServeError::Decode(e.to_string()))?;
     let payload = payload.as_bytes();
     if payload.len() as u64 > u64::from(MAX_FRAME_LEN) {
@@ -304,7 +388,7 @@ pub fn encode_frame<T: Serialize>(msg: &T) -> Result<Vec<u8>> {
         });
     }
     let len_le = (payload.len() as u32).to_le_bytes();
-    let version_le = PROTOCOL_VERSION.to_le_bytes();
+    let version_le = version.to_le_bytes();
     let mut crc = Crc32::new();
     crc.update(&len_le);
     crc.update(&version_le);
@@ -323,7 +407,8 @@ pub fn encode_frame<T: Serialize>(msg: &T) -> Result<Vec<u8>> {
 ///
 /// * [`ServeError::FrameTooLarge`] on a length beyond [`MAX_FRAME_LEN`]
 ///   (rejected before any allocation);
-/// * [`ServeError::ProtocolVersion`] on a frame from a newer protocol.
+/// * [`ServeError::ProtocolVersion`] on a frame outside
+///   [`MIN_PROTOCOL_VERSION`]..=[`PROTOCOL_VERSION`], in either direction.
 pub fn parse_header(bytes: &[u8; FRAME_HEADER_LEN]) -> Result<FrameHeader> {
     let payload_len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
     let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
@@ -334,7 +419,7 @@ pub fn parse_header(bytes: &[u8; FRAME_HEADER_LEN]) -> Result<FrameHeader> {
             max: u64::from(MAX_FRAME_LEN),
         });
     }
-    if version > PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
         return Err(ServeError::ProtocolVersion {
             found: version,
             supported: PROTOCOL_VERSION,
@@ -504,7 +589,35 @@ pub fn read_frame_within<R: Read, T: Deserialize>(
         }
         Fill::Idle => return Ok(FrameRead::Idle),
     }
-    let header = parse_header(&header_bytes)?;
+    let header = match parse_header(&header_bytes) {
+        Ok(header) => header,
+        Err(version_err @ ServeError::ProtocolVersion { .. }) => {
+            // Drain the payload before surfacing the error, leaving the
+            // stream at a frame boundary. Closing the socket with unread
+            // bytes resets the connection, which can destroy the typed
+            // `UnsupportedVersion` goodbye still in flight to the peer.
+            // The length already passed the `MAX_FRAME_LEN` cap (checked
+            // before the version), so the drain is bounded; a torn drain
+            // changes nothing — the version error stands either way.
+            let mut remaining = u32::from_le_bytes([
+                header_bytes[0],
+                header_bytes[1],
+                header_bytes[2],
+                header_bytes[3],
+            ]) as usize;
+            let mut scratch = [0u8; 4096];
+            while remaining > 0 {
+                let take = remaining.min(scratch.len());
+                let (chunk, _) = scratch.split_at_mut(take);
+                match fill(r, chunk, true, budget, &mut deadline) {
+                    Ok(Fill::Done) => remaining -= take,
+                    Ok(_) | Err(_) => break,
+                }
+            }
+            return Err(version_err);
+        }
+        Err(other) => return Err(other),
+    };
     let mut payload = vec![0u8; header.payload_len as usize];
     match fill(r, &mut payload, true, budget, &mut deadline)? {
         Fill::Done => {}
@@ -539,6 +652,7 @@ mod tests {
     fn request() -> Request {
         Request::ClassifyBatch {
             id: rid(1),
+            tenant: Some("office-7".into()),
             rows: vec![vec![0.25, 1.0 / 3.0], vec![-7.5e-3, 42.0]],
         }
     }
@@ -556,13 +670,14 @@ mod tests {
         };
         let sent = request();
         let (
-            Request::ClassifyBatch { id: ia, rows: a },
-            Request::ClassifyBatch { id: ib, rows: b },
+            Request::ClassifyBatch { id: ia, tenant: ta, rows: a },
+            Request::ClassifyBatch { id: ib, tenant: tb, rows: b },
         ) = (&sent, &back)
         else {
             panic!("variant changed in transit: {back:?}");
         };
         assert_eq!(ia, ib);
+        assert_eq!(ta, tb);
         for (ra, rb) in a.iter().zip(b.iter()) {
             for (x, y) in ra.iter().zip(rb.iter()) {
                 assert_eq!(x.to_bits(), y.to_bits());
@@ -617,22 +732,39 @@ mod tests {
 
     #[test]
     fn future_version_rejected() {
-        // Rebuild a frame claiming a future version with a valid CRC, so
-        // the version check (not the CRC) is what rejects it.
-        let payload = b"{}";
-        let len_le = (payload.len() as u32).to_le_bytes();
-        let version_le = (PROTOCOL_VERSION + 1).to_le_bytes();
-        let mut crc = Crc32::new();
-        crc.update(&len_le);
-        crc.update(&version_le);
-        crc.update(payload);
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&len_le);
-        bytes.extend_from_slice(&version_le);
-        bytes.extend_from_slice(&crc.finalize().to_le_bytes());
-        bytes.extend_from_slice(payload);
+        // A frame claiming a future version with a valid CRC, so the
+        // version check (not the CRC) is what rejects it.
+        let bytes =
+            encode_frame_with_version(PROTOCOL_VERSION + 1, &Request::Health).unwrap();
         let err = read_one::<Request>(&bytes).unwrap_err();
-        assert!(matches!(err, ServeError::ProtocolVersion { .. }), "{err}");
+        assert!(
+            matches!(err, ServeError::ProtocolVersion { found, .. } if found == PROTOCOL_VERSION + 1),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn below_min_version_rejected() {
+        // An old v2 peer's frame: valid CRC, version below the window.
+        // Rejected at the header, not as a CRC failure or a hang.
+        let bytes =
+            encode_frame_with_version(MIN_PROTOCOL_VERSION - 1, &Request::Health).unwrap();
+        let err = read_one::<Request>(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServeError::ProtocolVersion { found, supported }
+                    if found == MIN_PROTOCOL_VERSION - 1 && supported == PROTOCOL_VERSION
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn explicit_current_version_is_identical_to_default_encode() {
+        let a = encode_frame(&request()).unwrap();
+        let b = encode_frame_with_version(PROTOCOL_VERSION, &request()).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -666,6 +798,7 @@ mod tests {
         let rows = vec![vec![1.0 / 3.0; 1 << 16]; 16];
         let req = Request::ClassifyBatch {
             id: rid(9),
+            tenant: None,
             rows,
         };
         // ~1M floats at ~19 JSON chars each ≈ 20 MB, past the 16 MiB cap.

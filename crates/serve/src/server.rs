@@ -31,7 +31,7 @@ use cqm_parallel::WorkerPool;
 use cqm_persist::CheckpointHandle;
 use cqm_resilience::degrade::{DegradationLadder, DegradationPolicy, HealthState};
 
-use crate::batch::{run_worker, Engine, Job, Work};
+use crate::batch::{run_worker, Job, Work};
 use crate::dedup::{Claim, DedupConfig, DedupWindow};
 use crate::model::{ModelSource, ServeCheckpoint, ServedModel};
 use crate::protocol::{
@@ -39,6 +39,7 @@ use crate::protocol::{
     SnapshotInfo, WireError,
 };
 use crate::queue::{Admission, AdmissionPolicy, BoundedQueue};
+use crate::registry::{FleetConfig, ModelRegistry, DEFAULT_TENANT};
 use crate::{Result, ServeError};
 
 /// How often an idle session wakes to check for shutdown.
@@ -80,6 +81,9 @@ pub struct ServerConfig {
     /// tightens the effective queue limit, Failsafe serves typed last-good
     /// answers. `None` disables the ladder (admission behaves as PR 5).
     pub ladder: Option<DegradationPolicy>,
+    /// Multi-tenant fleet knobs: per-tenant bulkheads, the LRU model
+    /// capacity, the checkpoint store, and swap validation (DESIGN.md §13).
+    pub fleet: FleetConfig,
 }
 
 impl Default for ServerConfig {
@@ -96,13 +100,16 @@ impl Default for ServerConfig {
             write_timeout: Some(Duration::from_secs(10)),
             dedup: DedupConfig::default(),
             ladder: None,
+            fleet: FleetConfig::default(),
         }
     }
 }
 
 /// State shared by acceptor, sessions and workers.
 struct Shared {
-    engine: Engine,
+    /// The tenant router: every classify admission passes through it and
+    /// comes back with an engine lease (or a typed bulkhead answer).
+    registry: ModelRegistry,
     queue: BoundedQueue<Job>,
     admission: AdmissionPolicy,
     /// Set first during shutdown: sessions refuse new work, the acceptor
@@ -211,6 +218,7 @@ impl Shared {
     fn health(&self) -> ServerHealth {
         let qs = self.queue.stats();
         let ds = self.dedup.stats();
+        let fleet = self.registry.stats();
         ServerHealth {
             requests: self.requests.load(Ordering::Relaxed),
             rows_classified: self.rows_classified.load(Ordering::Relaxed),
@@ -224,6 +232,15 @@ impl Shared {
             ladder: self.ladder_name(),
             workers: self.workers,
             draining: self.draining(),
+            tenants: fleet.tenants,
+            tenants_quarantined: fleet.tenants_quarantined,
+            warm_loads: fleet.warm_loads,
+            evictions: fleet.evictions,
+            swaps: fleet.swaps,
+            swap_rollbacks: fleet.swap_rollbacks,
+            tenant_overloads: fleet.tenant_overloads,
+            quarantined_answers: fleet.quarantined_answers,
+            version_rejections: self.registry.version_rejections(),
         }
     }
 }
@@ -252,7 +269,8 @@ impl CqmServer {
     /// * [`ServeError::Io`] if the address cannot be bound.
     pub fn start(source: ModelSource, config: ServerConfig) -> Result<CqmServer> {
         let resolved = source.resolve()?;
-        let engine = Engine::new(&resolved.model)?;
+        let registry = ModelRegistry::new(config.fleet)?;
+        registry.install(DEFAULT_TENANT, resolved.model.clone(), resolved.seq)?;
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| ServeError::io(format!("binding {}", config.addr), &e))?;
         let addr = listener
@@ -270,7 +288,7 @@ impl CqmServer {
             note: resolved.model.model().note.clone(),
         };
         let shared = Arc::new(Shared {
-            engine,
+            registry,
             queue: BoundedQueue::new(config.queue_capacity),
             admission: config.admission,
             draining: AtomicBool::new(false),
@@ -300,13 +318,7 @@ impl CqmServer {
                 // closes and drains.
                 let pool = WorkerPool::new(workers);
                 pool.run_chunks(workers, 1, |_chunk| {
-                    run_worker(
-                        &shared.engine,
-                        &shared.queue,
-                        micro_batch,
-                        eval_delay,
-                        &shared.rows_classified,
-                    );
+                    run_worker(&shared.queue, micro_batch, eval_delay, &shared.rows_classified);
                 });
             })
         };
@@ -339,6 +351,40 @@ impl CqmServer {
     /// Current load counters.
     pub fn health(&self) -> ServerHealth {
         self.shared.health()
+    }
+
+    /// Install (or replace, *without* swap validation) a tenant's model.
+    /// This is the cold-provisioning path: the model is persisted to the
+    /// fleet store (when one is configured) and the slot flips immediately.
+    /// For a validated, zero-drop replacement of a live model use
+    /// [`CqmServer::swap_model`].
+    ///
+    /// # Errors
+    ///
+    /// See [`FleetConfig`]: invalid tenant key, or a store write failure.
+    pub fn install_model(&self, tenant: &str, model: ServedModel) -> Result<()> {
+        self.shared.registry.install(tenant, model, 0)
+    }
+
+    /// Zero-drop hot swap of `tenant`'s live model: the candidate is built
+    /// and validated beside the live engine (construction revalidation, a
+    /// bit-exact replay probe over `FleetConfig::probe_cues`, persist +
+    /// reload verification), then the routing slot flips atomically.
+    /// In-flight requests finish on the old engine; no request is dropped
+    /// and none is answered by a half-loaded model. A tenant evicted to
+    /// its checkpoint is an equally valid target: the new generation is
+    /// validated and persisted, and the next warm-load serves it. A
+    /// quarantined tenant is repaired by a successful swap — the verified
+    /// checkpoint replaces the corrupt one and its breaker closes.
+    /// Returns the new checkpoint generation.
+    ///
+    /// # Errors
+    ///
+    /// Any validation or persistence failure rolls back to last-good and
+    /// leaves routing untouched; see `ModelRegistry::swap` in
+    /// `registry.rs` for the variants.
+    pub fn swap_model(&self, tenant: &str, model: ServedModel) -> Result<u64> {
+        self.shared.registry.swap(tenant, model)
     }
 
     /// Block until a client's `Shutdown` request (or a concurrent
@@ -400,11 +446,19 @@ impl CqmServer {
             let _joined = h.join();
         }
         // 4. Only now — with every answer delivered — write the
-        //    checkpoint the next instance warm-starts from.
+        //    checkpoint the next instance warm-starts from. The default
+        //    tenant's *current* slot is what the next instance should
+        //    serve, so a hot swap survives the restart; the boot model is
+        //    only a fallback if that slot was evicted mid-drain.
         if let Some(handle) = &self.checkpoint {
+            let (model, seq) = self
+                .shared
+                .registry
+                .current(DEFAULT_TENANT)
+                .unwrap_or((self.model.clone(), self.start_seq));
             let ck = ServeCheckpoint {
-                seq: self.start_seq + 1,
-                model: self.model.clone(),
+                seq: seq + 1,
+                model,
             };
             handle.save(&ck)?;
         }
@@ -459,8 +513,19 @@ fn run_session(mut stream: TcpStream, shared: &Shared) {
         // Best-effort typed goodbye: tell the client *why* before closing.
         // The transport may already be gone, in which case there is nobody
         // left to tell and the counter above is the only trace.
-        let goodbye = Response::Error {
-            error: WireError::bad_request(format!("closing connection: {e}")),
+        let goodbye = match &e {
+            // Version negotiation: a frame from an older (or newer) build
+            // gets the typed refusal immediately — no retries, no parsing
+            // of a payload we do not understand.
+            ServeError::ProtocolVersion { found, .. } => {
+                shared.registry.note_version_rejection();
+                Response::Error {
+                    error: WireError::unsupported_version(*found),
+                }
+            }
+            _ => Response::Error {
+                error: WireError::bad_request(format!("closing connection: {e}")),
+            },
         };
         if write_frame(&mut stream, &goodbye).is_err() {
             // Connection unusable; already counted.
@@ -507,14 +572,14 @@ fn handle_request(
     reply_rx: &mpsc::Receiver<Response>,
 ) -> Response {
     match request {
-        Request::Classify { id, cues } => {
+        Request::Classify { id, tenant, cues } => {
             with_dedup(shared, id, || {
-                submit(shared, Work::One(cues), reply_tx, reply_rx)
+                submit(shared, tenant.as_deref(), Work::One(cues), reply_tx, reply_rx)
             })
         }
-        Request::ClassifyBatch { id, rows } => {
+        Request::ClassifyBatch { id, tenant, rows } => {
             with_dedup(shared, id, || {
-                submit(shared, Work::Many(rows), reply_tx, reply_rx)
+                submit(shared, tenant.as_deref(), Work::Many(rows), reply_tx, reply_rx)
             })
         }
         Request::Snapshot => Response::Snapshot {
@@ -554,6 +619,7 @@ fn with_dedup(shared: &Shared, id: RequestId, run: impl FnOnce() -> Response) ->
 
 fn submit(
     shared: &Shared,
+    tenant: Option<&str>,
     work: Work,
     reply_tx: &mpsc::SyncSender<Response>,
     reply_rx: &mpsc::Receiver<Response>,
@@ -563,12 +629,22 @@ fn submit(
             error: WireError::shutting_down(),
         };
     }
+    // The bulkhead: admit through the tenant's slot first. A typed shed
+    // here (Overloaded / TenantQuarantined / BadRequest) is that tenant's
+    // private problem — it never touches the shared queue or the global
+    // ladder, so peers are unaffected. The lease pins the engine for the
+    // whole exchange and releases the tenant budget when this fn returns.
+    let lease = match shared.registry.admit(tenant.unwrap_or(DEFAULT_TENANT)) {
+        Ok(lease) => lease,
+        Err(error) => return Response::Error { error },
+    };
     // A previous job may have answered after its `await_reply` timed out;
     // clear the slot so this job cannot receive the stale response.
     while reply_rx.try_recv().is_ok() {}
     let job = Job {
         work,
         reply: reply_tx.clone(),
+        engine: Arc::clone(&lease.engine),
     };
     match shared.queue.push(job, &shared.admission) {
         Admission::Enqueued => {
@@ -621,9 +697,14 @@ fn settle(shared: &Shared, response: Response) -> Response {
             | crate::protocol::WireErrorKind::Internal => {
                 shared.ladder_event(false);
             }
-            // A bad request is the client's fault, not server pressure.
+            // A bad request is the client's fault, not server pressure;
+            // per-tenant sheds never reach here (submit returns them
+            // before the queue), but an explicit no-op keeps the bulkhead
+            // invariant — tenant trouble must not move the global ladder.
             crate::protocol::WireErrorKind::BadRequest
-            | crate::protocol::WireErrorKind::ShuttingDown => {}
+            | crate::protocol::WireErrorKind::ShuttingDown
+            | crate::protocol::WireErrorKind::UnsupportedVersion
+            | crate::protocol::WireErrorKind::TenantQuarantined => {}
         },
         _ => {}
     }

@@ -114,4 +114,20 @@ test -s "$CRASH_DIR/BENCH_PR7.json" || {
     exit 1
 }
 
+echo "==> fleet suite (tenancy, bulkheads, hot swap, warm-load faults)"
+cargo test -q --test fleet
+
+echo "==> multi-tenant soak smoke (BENCH_PR8.json schema + isolation gate)"
+# fleetbench --smoke drives >= 8 tenants behind a 4-slot registry LRU through
+# the seeded ChaosProxy *and* a seeded checkpoint disk-fault injector, performs
+# >= 3 live hot swaps mid-traffic, writes the baseline JSON, re-reads it,
+# validates the cqm-bench/fleetbase/v1 schema and applies the isolation gate
+# (zero drops, zero cross-tenant leaks, zero mismatched answers); see
+# crates/bench/src/fleetbench.rs.
+./target/release/fleetbench --smoke --out "$CRASH_DIR/BENCH_PR8.json"
+test -s "$CRASH_DIR/BENCH_PR8.json" || {
+    echo "check.sh: fleetbench did not write the baseline JSON" >&2
+    exit 1
+}
+
 echo "check.sh: all gates passed"

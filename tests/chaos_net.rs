@@ -274,6 +274,7 @@ fn duplicate_request_ids_replay_cached_answers_exactly_once() {
             session: 77,
             request: 9,
         },
+        tenant: None,
         cues: vec![0.8],
     })
     .expect("encode");
@@ -396,6 +397,7 @@ fn fault_schedule_replays_from_seed_at_the_protocol_level() {
             session: 3,
             request: 1,
         },
+        tenant: None,
         cues: vec![0.4],
     })
     .expect("encode");

@@ -1,0 +1,436 @@
+//! Multi-tenant fleet drill: bulkhead isolation, checkpoint-backed LRU
+//! warm-load, and zero-drop hot swap at the *server* level.
+//!
+//! The contract under test (ISSUE: multi-tenant model registry):
+//!
+//! * per-tenant answers are **bit-identical** to an in-process `CqmSystem`
+//!   on that tenant's model, regardless of LRU capacity (eviction order),
+//!   warm-load timing, worker count, or how tenant traffic interleaves;
+//! * a corrupt checkpoint quarantines **only** its own tenant — peers keep
+//!   answering bit-identically while the sick tenant gets a typed
+//!   `TenantQuarantined`;
+//! * a failed swap (validation or persistence) rolls back to last-good and
+//!   the tenant keeps serving the old model; a kill-restart with a torn
+//!   swap temp file on disk recovers the last-good generation.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use cqm::classify::FisClassifier;
+use cqm::core::model::{CqmModel, MODEL_VERSION};
+use cqm::core::normalize::Quality;
+use cqm::core::pipeline::{CqmSystem, QualifiedClassification};
+use cqm::core::QualityMeasure;
+use cqm::fuzzy::{MembershipFunction, TskFis, TskRule};
+use cqm::resilience::DiskFaultPlan;
+use cqm::serve::{
+    ClientConfig, CqmClient, CqmServer, FleetConfig, ModelSource, ServeError, ServedModel,
+    ServerConfig, WireError, WireErrorKind,
+};
+
+/// One-cue two-class model whose quality surface depends on `threshold`,
+/// so distinct thresholds give bit-distinct accept/reject behavior — one
+/// model per tenant, cheap enough to build dozens.
+fn model_with_threshold(threshold: f64, note: &str) -> ServedModel {
+    let g = |mu: f64, s: f64| MembershipFunction::gaussian(mu, s).expect("gaussian");
+    let class_fis = TskFis::new(vec![
+        TskRule::new(vec![g(0.0, 0.3)], vec![0.0, 0.0]).expect("rule"),
+        TskRule::new(vec![g(1.0, 0.3)], vec![0.0, 1.0]).expect("rule"),
+    ])
+    .expect("class fis");
+    let classifier = FisClassifier::from_fis(class_fis, 2).expect("classifier");
+    let quality_fis = TskFis::new(vec![
+        TskRule::new(vec![g(0.0, 0.25), g(0.0, 0.25)], vec![0.0, 0.0, 1.0]).expect("rule"),
+        TskRule::new(vec![g(1.0, 0.25), g(1.0, 0.25)], vec![0.0, 0.0, 1.0]).expect("rule"),
+        TskRule::new(vec![g(0.0, 0.25), g(1.0, 0.25)], vec![0.0, 0.0, 0.0]).expect("rule"),
+        TskRule::new(vec![g(1.0, 0.25), g(0.0, 0.25)], vec![0.0, 0.0, 0.0]).expect("rule"),
+    ])
+    .expect("quality fis");
+    let model = CqmModel {
+        version: MODEL_VERSION,
+        measure: QualityMeasure::new(quality_fis).expect("measure"),
+        threshold,
+        note: note.into(),
+    };
+    ServedModel::new(classifier, model).expect("served model")
+}
+
+fn reference_system(model: &ServedModel) -> CqmSystem<FisClassifier> {
+    CqmSystem::new(
+        model.classifier().clone(),
+        model.model().measure.clone(),
+        model.model().filter().expect("threshold"),
+    )
+    .expect("reference system")
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cqm_fleet_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn client(addr: SocketAddr) -> CqmClient {
+    CqmClient::connect(addr, ClientConfig::default()).expect("connect")
+}
+
+fn assert_bit_identical(a: &QualifiedClassification, b: &QualifiedClassification, tag: &str) {
+    assert_eq!(a.class, b.class, "{tag}: class");
+    assert_eq!(a.decision, b.decision, "{tag}: decision");
+    match (a.quality, b.quality) {
+        (Quality::Value(x), Quality::Value(y)) => {
+            assert_eq!(x.to_bits(), y.to_bits(), "{tag}: quality bits");
+        }
+        (x, y) => assert_eq!(x, y, "{tag}: quality variant"),
+    }
+}
+
+/// Deterministic probe cues covering accepts, discards and both classes.
+fn probe_cues(n: usize) -> Vec<Vec<f64>> {
+    (0..n).map(|i| vec![-0.1 + 1.2 * i as f64 / n as f64]).collect()
+}
+
+/// The tenant fixture: six bit-distinct models keyed `t0..t5`.
+fn tenant_models() -> Vec<(String, ServedModel)> {
+    (0..6)
+        .map(|i| {
+            let key = format!("t{i}");
+            let model = model_with_threshold(0.2 + 0.1 * i as f64, &key);
+            (key, model)
+        })
+        .collect()
+}
+
+#[test]
+fn per_tenant_answers_are_bit_identical_across_fleet_shapes() {
+    // The property: eviction order, warm-load timing, worker count and
+    // request interleaving are all *invisible* in the answers. Every
+    // served classification must match the tenant's own in-process
+    // reference bit-for-bit, under every fleet shape tried.
+    let tenants = tenant_models();
+    let references: Vec<(String, CqmSystem<FisClassifier>)> = tenants
+        .iter()
+        .map(|(k, m)| (k.clone(), reference_system(m)))
+        .collect();
+    let cues = probe_cues(8);
+
+    for (max_active, workers) in [(1usize, 1usize), (2, 4), (8, 1), (8, 4)] {
+        let dir = scratch_dir(&format!("shapes_{max_active}_{workers}"));
+        let server = CqmServer::start(
+            ModelSource::Fresh(model_with_threshold(0.5, "default")),
+            ServerConfig {
+                workers,
+                fleet: FleetConfig {
+                    max_active,
+                    store_dir: Some(dir.clone()),
+                    ..FleetConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .expect("start");
+        for (key, model) in &tenants {
+            server.install_model(key, model.clone()).expect("install");
+        }
+        let mut c = client(server.local_addr());
+
+        // Order A: round-robin across tenants (every request may churn
+        // the LRU at max_active = 1). Order B: per-tenant blocks. Order
+        // C: reverse round-robin. Same answers demanded from all three.
+        let tag = format!("max_active={max_active} workers={workers}");
+        for cue in &cues {
+            for (key, reference) in &references {
+                let served = c.classify_for(Some(key), cue).expect("classify");
+                let expected = reference.classify_with_quality(cue).expect("reference");
+                assert_bit_identical(&served, &expected, &format!("{tag} rr {key}"));
+            }
+        }
+        for (key, reference) in &references {
+            for cue in &cues {
+                let served = c.classify_for(Some(key), cue).expect("classify");
+                let expected = reference.classify_with_quality(cue).expect("reference");
+                assert_bit_identical(&served, &expected, &format!("{tag} block {key}"));
+            }
+        }
+        for cue in &cues {
+            for (key, reference) in references.iter().rev() {
+                let served = c.classify_for(Some(key), cue).expect("classify");
+                let expected = reference.classify_with_quality(cue).expect("reference");
+                assert_bit_identical(&served, &expected, &format!("{tag} rev {key}"));
+            }
+        }
+
+        let health = server.shutdown().expect("shutdown");
+        if max_active == 1 {
+            assert!(
+                health.evictions > 0,
+                "round-robin at capacity 1 must evict: {health:?}"
+            );
+            assert!(health.warm_loads > 0, "evicted tenants must reload");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn corrupt_checkpoint_quarantines_only_its_tenant_at_the_server() {
+    let dir = scratch_dir("quarantine");
+    let good = model_with_threshold(0.3, "good");
+    let bad = model_with_threshold(0.6, "bad");
+    let reference = reference_system(&good);
+
+    // Seed both tenants, then corrupt bad's checkpoint on disk and
+    // restart, so the load failure happens on the warm path.
+    {
+        let seeder = CqmServer::start(
+            ModelSource::Fresh(model_with_threshold(0.5, "default")),
+            ServerConfig {
+                fleet: FleetConfig {
+                    store_dir: Some(dir.clone()),
+                    ..FleetConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .expect("seed start");
+        seeder.install_model("good", good.clone()).expect("install good");
+        seeder.install_model("bad", bad).expect("install bad");
+        seeder.shutdown().expect("seed shutdown");
+    }
+    let bad_path = dir.join("bad.ckpt");
+    let mut bytes = std::fs::read(&bad_path).expect("read bad.ckpt");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&bad_path, &bytes).expect("corrupt bad.ckpt");
+
+    let server = CqmServer::start(
+        ModelSource::Fresh(model_with_threshold(0.5, "default")),
+        ServerConfig {
+            fleet: FleetConfig {
+                store_dir: Some(dir.clone()),
+                breaker_cooldown: 1_000_000, // keep it quarantined for the test
+                ..FleetConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let mut c = client(server.local_addr());
+
+    let err = c.classify_for(Some("bad"), &[0.5]).expect_err("bad tenant");
+    match err {
+        ServeError::Remote(WireError { kind, detail }) => {
+            assert_eq!(kind, WireErrorKind::TenantQuarantined);
+            assert!(detail.contains("bad"), "detail names the tenant: {detail}");
+        }
+        other => panic!("want TenantQuarantined, got {other}"),
+    }
+    // The peer — and the default tenant — keep answering bit-identically.
+    for cue in probe_cues(6) {
+        let served = c.classify_for(Some("good"), &cue).expect("good serves");
+        let expected = reference.classify_with_quality(&cue).expect("reference");
+        assert_bit_identical(&served, &expected, "peer during quarantine");
+    }
+    c.classify(&[0.5]).expect("default tenant serves");
+    let health = server.shutdown().expect("shutdown");
+    assert_eq!(health.tenants_quarantined, 1, "health: {health:?}");
+    assert!(health.quarantined_answers >= 1, "health: {health:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn failed_swap_rolls_back_and_the_tenant_keeps_serving_last_good() {
+    // A swap whose persisted checkpoint cannot be read back (every read
+    // corrupted by the seeded injector) must fail, re-persist last-good,
+    // and leave the live engine untouched — requests never see the
+    // candidate.
+    let dir = scratch_dir("swapfail");
+    let old_model = model_with_threshold(0.5, "old");
+    let reference = reference_system(&old_model);
+    {
+        let seeder = CqmServer::start(
+            ModelSource::Fresh(model_with_threshold(0.5, "default")),
+            ServerConfig {
+                fleet: FleetConfig {
+                    store_dir: Some(dir.clone()),
+                    ..FleetConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .expect("seed start");
+        seeder.install_model("t", old_model.clone()).expect("install");
+        seeder.shutdown().expect("seed shutdown");
+    }
+    let server = CqmServer::start(
+        ModelSource::Fresh(model_with_threshold(0.5, "default")),
+        ServerConfig {
+            fleet: FleetConfig {
+                store_dir: Some(dir.clone()),
+                disk_faults: Some(DiskFaultPlan {
+                    corrupt_p: 1.0,
+                    warmup_ops: 1, // the warm-load itself succeeds...
+                    ..DiskFaultPlan::clean(99)
+                }),
+                probe_cues: probe_cues(4),
+                ..FleetConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let mut c = client(server.local_addr());
+
+    // Warm-load t (the one clean read), then serve it.
+    let before = c.classify_for(Some("t"), &[0.4]).expect("before swap");
+    assert_bit_identical(
+        &before,
+        &reference.classify_with_quality(&[0.4]).expect("reference"),
+        "before swap",
+    );
+
+    // ...but the swap's reload-verify read is corrupted: rollback.
+    let err = server
+        .swap_model("t", model_with_threshold(0.2, "candidate"))
+        .expect_err("swap must fail verification");
+    assert!(matches!(err, ServeError::Persist(_)), "got {err}");
+
+    // Still serving last-good, bit-identically.
+    for cue in probe_cues(6) {
+        let served = c.classify_for(Some("t"), &cue).expect("after rollback");
+        let expected = reference.classify_with_quality(&cue).expect("reference");
+        assert_bit_identical(&served, &expected, "after rollback");
+    }
+    let health = server.shutdown().expect("shutdown");
+    assert_eq!(health.swaps, 0, "health: {health:?}");
+    assert_eq!(health.swap_rollbacks, 1, "health: {health:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_restart_mid_swap_recovers_the_last_good_generation() {
+    // A crash between the swap's temp-file write and its rename leaves a
+    // torn `.ckpt.tmp` sibling beside an intact last-good checkpoint.
+    // The restarted server must list, load and serve the last-good
+    // generation and ignore the torn leftover.
+    let dir = scratch_dir("killswap");
+    let live = model_with_threshold(0.4, "live");
+    let reference = reference_system(&live);
+    {
+        let seeder = CqmServer::start(
+            ModelSource::Fresh(model_with_threshold(0.5, "default")),
+            ServerConfig {
+                fleet: FleetConfig {
+                    store_dir: Some(dir.clone()),
+                    ..FleetConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .expect("seed start");
+        seeder.install_model("t", live.clone()).expect("install");
+        // Prove a live swap *would* bump the generation, then "crash".
+        seeder
+            .swap_model("t", model_with_threshold(0.7, "next-gen"))
+            .expect("live swap");
+        seeder.shutdown().expect("seed shutdown");
+    }
+    // The kill: fake the torn mid-swap temp file of an interrupted
+    // *second* swap. The main checkpoint still holds the swapped-in model.
+    std::fs::write(dir.join("t.ckpt.tmp"), b"torn mid-rename").expect("torn tmp");
+
+    let reborn = CqmServer::start(
+        ModelSource::Fresh(model_with_threshold(0.5, "default")),
+        ServerConfig {
+            fleet: FleetConfig {
+                store_dir: Some(dir.clone()),
+                ..FleetConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("restart");
+    let mut c = client(reborn.local_addr());
+    let swapped_reference = reference_system(&model_with_threshold(0.7, "next-gen"));
+    for cue in probe_cues(6) {
+        let served = c.classify_for(Some("t"), &cue).expect("post-restart");
+        let expected = swapped_reference
+            .classify_with_quality(&cue)
+            .expect("reference");
+        assert_bit_identical(&served, &expected, "post-restart last-good");
+    }
+    // And the pre-swap model is genuinely different on at least one cue
+    // (sanity that the bit-identity above is not vacuous).
+    let x = [0.5];
+    let old = reference.classify_with_quality(&x).expect("old");
+    let new = swapped_reference.classify_with_quality(&x).expect("new");
+    assert_ne!(old.decision.is_accept(), new.decision.is_accept());
+    reborn.shutdown().expect("shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hot_tenant_is_shed_without_touching_peers() {
+    // Bulkhead sanity at the protocol level: a tenant at its in-flight
+    // budget answers `Overloaded` while a peer admits instantly. The
+    // budget is held by parked leases, which we simulate with a slow
+    // eval delay and a saturated queue of one tenant's requests.
+    let dir = scratch_dir("bulkhead");
+    let server = CqmServer::start(
+        ModelSource::Fresh(model_with_threshold(0.5, "default")),
+        ServerConfig {
+            workers: 1,
+            eval_delay: Some(Duration::from_millis(120)),
+            fleet: FleetConfig {
+                per_tenant_inflight: 1,
+                store_dir: Some(dir.clone()),
+                ..FleetConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    server
+        .install_model("hot", model_with_threshold(0.3, "hot"))
+        .expect("install hot");
+    server
+        .install_model("calm", model_with_threshold(0.6, "calm"))
+        .expect("install calm");
+    let addr = server.local_addr();
+
+    // Session 1 parks a request on "hot" (slow eval holds its lease).
+    let parked = std::thread::spawn(move || {
+        let mut c1 = client(addr);
+        c1.classify_for(Some("hot"), &[0.5]).expect("parked request")
+    });
+    std::thread::sleep(Duration::from_millis(30));
+
+    // Session 2: "hot" is over budget — immediate typed shed, no retry
+    // (retries disabled so the shed is observable).
+    let mut c2 = CqmClient::connect(
+        addr,
+        ClientConfig {
+            retries: 0,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect");
+    let err = c2
+        .classify_for(Some("hot"), &[0.5])
+        .expect_err("budget of 1 is held");
+    match err {
+        ServeError::Remote(WireError { kind, .. }) => {
+            assert_eq!(kind, WireErrorKind::Overloaded)
+        }
+        other => panic!("want Overloaded, got {other}"),
+    }
+    // The peer still admits (it waits behind the same single worker, but
+    // is never *refused*).
+    c2.classify_for(Some("calm"), &[0.5]).expect("peer admits");
+    parked.join().expect("parked thread");
+    let health = server.shutdown().expect("shutdown");
+    assert!(health.tenant_overloads >= 1, "health: {health:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}

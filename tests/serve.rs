@@ -23,7 +23,9 @@ use cqm::core::normalize::Quality;
 use cqm::core::pipeline::{CqmSystem, QualifiedClassification};
 use cqm::core::QualityMeasure;
 use cqm::fuzzy::{MembershipFunction, TskFis, TskRule};
-use cqm::serve::protocol::{encode_frame, read_frame, FrameRead, Request, RequestId, Response};
+use cqm::serve::protocol::{
+    encode_frame, encode_frame_with_version, read_frame, FrameRead, Request, RequestId, Response,
+};
 use cqm::serve::{
     AdmissionPolicy, ClientConfig, CqmClient, CqmServer, ModelSource, ServedModel, ServerConfig,
     ServeError, WireErrorKind,
@@ -135,6 +137,7 @@ fn truncated_frames_never_kill_the_server() {
             session: 500,
             request: 1,
         },
+        tenant: None,
         cues: vec![0.5],
     })
     .expect("encode");
@@ -166,6 +169,7 @@ fn corrupt_frame_fuzzing_yields_typed_errors() {
             session: 501,
             request: 1,
         },
+        tenant: None,
         cues: vec![0.25],
     })
     .expect("encode");
@@ -178,7 +182,15 @@ fn corrupt_frame_fuzzing_yields_typed_errors() {
         corrupted[i] ^= 0x40;
         match send_raw(addr, &corrupted) {
             Some(Response::Error { error }) => {
-                assert_eq!(error.kind, WireErrorKind::BadRequest, "flip at {i}");
+                // A flip landing in the version word (bytes 4..8) gets the
+                // dedicated negotiation refusal; anywhere else it is a
+                // generic malformed-frame goodbye.
+                let expected = if (4..8).contains(&i) {
+                    WireErrorKind::UnsupportedVersion
+                } else {
+                    WireErrorKind::BadRequest
+                };
+                assert_eq!(error.kind, expected, "flip at {i}");
             }
             Some(other) => panic!("flip at {i} produced a non-error answer: {other:?}"),
             None => {}
@@ -471,6 +483,7 @@ fn warm_restart_survives_kills_mid_handshake_and_mid_batch() {
             session: 600,
             request: 1,
         },
+        tenant: None,
         cues: vec![0.5],
     })
     .expect("encode");
@@ -485,6 +498,7 @@ fn warm_restart_survives_kills_mid_handshake_and_mid_batch() {
             session: 600,
             request: 2,
         },
+        tenant: None,
         rows: cues.clone(),
     })
     .expect("encode batch");
@@ -586,4 +600,93 @@ fn torn_checkpoint_tail_is_a_typed_error_never_a_silent_fallback() {
         .expect("intact checkpoint warm-starts");
     second.shutdown().expect("second shutdown");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn outdated_client_version_gets_typed_refusal_from_the_server() {
+    // Version negotiation, server side: a frame stamped with the retired
+    // v2 (or an unknown future v9) must be answered with the dedicated
+    // `UnsupportedVersion` refusal naming the build's window — not a
+    // generic bad-request, not a silent hangup, and never a crash.
+    let model = tiny_model();
+    let reference = reference_system(&model);
+    let server = CqmServer::start(ModelSource::Fresh(model), ServerConfig::default())
+        .expect("start");
+    let addr = server.local_addr();
+
+    for stale in [2u32, 9u32] {
+        let frame = encode_frame_with_version(
+            stale,
+            &Request::Classify {
+                id: RequestId {
+                    session: 700,
+                    request: u64::from(stale),
+                },
+                tenant: None,
+                cues: vec![0.5],
+            },
+        )
+        .expect("encode");
+        match send_raw(addr, &frame) {
+            Some(Response::Error { error }) => {
+                assert_eq!(error.kind, WireErrorKind::UnsupportedVersion, "v{stale}");
+                assert!(
+                    error.detail.contains(&format!("version {stale}")),
+                    "refusal must name the offending version: {}",
+                    error.detail
+                );
+            }
+            other => panic!("v{stale} frame got {other:?}, want a typed refusal"),
+        }
+    }
+    assert_still_serving(addr, &reference);
+    let health = server.shutdown().expect("shutdown");
+    assert_eq!(health.version_rejections, 2, "health: {health:?}");
+}
+
+#[test]
+fn outdated_server_version_fails_the_client_fast_without_retries() {
+    // Version negotiation, client side: an answer stamped v2 surfaces as
+    // `ServeError::ProtocolVersion { found: 2 }` on the *first* attempt.
+    // A version mismatch is deterministic — retrying would re-fail — so
+    // it must not be treated as a transient transport fault.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let fake_v2_server = std::thread::spawn(move || {
+        let (mut stream, _peer) = listener.accept().expect("accept");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        // Consume the (valid v3) request, then answer in yesterday's
+        // dialect.
+        match read_frame::<_, Request>(&mut stream) {
+            Ok(FrameRead::Frame(_)) => {}
+            other => panic!("fake server expected a request, got {other:?}"),
+        }
+        let reply = encode_frame_with_version(2, &Response::ShuttingDown).expect("encode v2");
+        stream.write_all(&reply).expect("write v2 reply");
+        stream.flush().expect("flush");
+        // Hold the socket open until the client has parsed the header, so
+        // the failure is the version check, not a racing disconnect.
+        std::thread::sleep(Duration::from_millis(200));
+    });
+
+    let mut c = CqmClient::connect(
+        addr,
+        ClientConfig {
+            retries: 3,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect");
+    let err = c.classify(&[0.5]).expect_err("v2 answer must fail");
+    match err {
+        ServeError::ProtocolVersion { found, supported } => {
+            assert_eq!(found, 2);
+            assert!(supported >= 3);
+        }
+        other => panic!("want ProtocolVersion, got {other}"),
+    }
+    assert_eq!(c.last_attempts(), 1, "version mismatch must not be retried");
+    fake_v2_server.join().expect("fake server");
 }
