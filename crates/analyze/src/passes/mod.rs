@@ -2,6 +2,7 @@
 //! [`SourceFile`]; adding a pass means implementing the trait and listing
 //! the pass in [`default_passes`].
 
+mod approx_math;
 mod assert_density;
 mod epsilon_domain;
 mod hash_iter_nondet;
@@ -14,6 +15,7 @@ mod panic_lib;
 mod time_in_logic;
 mod unbounded_channel;
 
+pub use approx_math::ApproxMath;
 pub use assert_density::AssertDensity;
 pub use epsilon_domain::EpsilonDomain;
 pub use hash_iter_nondet::HashIterNondet;
@@ -94,6 +96,7 @@ pub fn default_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(HashIterNondet::default()),
         Box::new(TimeInLogic::default()),
         Box::new(NoDeadlineIo::default()),
+        Box::new(ApproxMath),
     ]
 }
 

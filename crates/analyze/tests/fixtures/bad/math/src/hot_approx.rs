@@ -1,0 +1,19 @@
+// analyze: hot-path
+//! Fixture: raw transcendental calls in a hot-path-tagged file — both
+//! should route through the vetted `cqm_math` entry points.
+
+pub fn memberships(xs: &[f64], mu: f64, sigma: f64) -> f64 {
+    debug_assert!(sigma > 0.0, "gaussian width must be positive");
+    let mut acc = 0.0;
+    for &x in xs {
+        let z = (x - mu) / sigma;
+        // Bypasses cqm_math::fastexp — exactly what the pass exists for.
+        acc += (-0.5 * z * z).exp();
+    }
+    acc
+}
+
+pub fn scaled_width(sigma: f64, gamma: f64) -> f64 {
+    debug_assert!(sigma > 0.0, "gaussian width must be positive");
+    sigma.powf(gamma)
+}

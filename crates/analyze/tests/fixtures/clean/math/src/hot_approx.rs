@@ -1,0 +1,26 @@
+// analyze: hot-path
+//! Fixture: a hot-path-tagged file whose exponentials all go through the
+//! vetted `cqm_math::fastexp` funnel, so the precision contract stays in
+//! one module.
+
+use cqm_math::fastexp::{exp_bounded, exp_exact};
+
+pub fn memberships(xs: &[f64], mu: f64, sigma: f64) -> f64 {
+    debug_assert!(sigma > 0.0, "gaussian width must be positive");
+    let mut acc = 0.0;
+    for &x in xs {
+        let z = (x - mu) / sigma;
+        acc += exp_exact(-0.5 * z * z);
+    }
+    acc
+}
+
+pub fn memberships_bounded(xs: &[f64], mu: f64, sigma: f64) -> f64 {
+    debug_assert!(sigma > 0.0, "gaussian width must be positive");
+    let mut acc = 0.0;
+    for &x in xs {
+        let z = (x - mu) / sigma;
+        acc += exp_bounded(-0.5 * z * z);
+    }
+    acc
+}

@@ -166,6 +166,25 @@ fn hot_loop_format_allocations_are_flagged() {
 }
 
 #[test]
+fn raw_transcendentals_in_hot_path_are_flagged() {
+    let r = analyze("bad/math/src/hot_approx.rs");
+    // One `.exp()` in the loop, one `.powf()` — one finding each.
+    assert_eq!(count(&r, "APPROX_MATH"), 2, "{:#?}", r.findings);
+    assert!(!r.failed(false), "APPROX_MATH is warn-level");
+    assert!(r.failed(true), "--deny-all must fail on it");
+}
+
+#[test]
+fn funneled_transcendentals_pass_deny_all() {
+    let r = analyze("clean/math/src/hot_approx.rs");
+    assert!(
+        !r.failed(true),
+        "vetted cqm_math entry points must not be flagged:\n{}",
+        render(&r)
+    );
+}
+
+#[test]
 fn deadline_free_socket_io_is_flagged() {
     let r = analyze("bad/serve/src/deadline.rs");
     // The bare connect plus both timeout-clearing calls.
@@ -186,14 +205,14 @@ fn budgeted_socket_io_passes() {
 #[test]
 fn bad_tree_fails_even_without_deny_all() {
     let r = analyze("bad");
-    assert_eq!(r.files_scanned, 15);
+    assert_eq!(r.files_scanned, 16);
     assert!(r.failed(false));
 }
 
 #[test]
 fn clean_fixtures_pass_deny_all() {
     let r = analyze("clean");
-    assert_eq!(r.files_scanned, 11);
+    assert_eq!(r.files_scanned, 12);
     assert!(
         !r.failed(true),
         "clean fixtures produced findings:\n{}",

@@ -1,15 +1,16 @@
 //! Performance baseline harness behind the `perfbase` binary.
 //!
-//! Times the four hot paths of the runtime — subtractive clustering, one
-//! ANFIS training run, single-sample FIS evaluation and batch FIS
-//! evaluation — serial and on worker pools of 1/2/4/8 threads, and writes
-//! the results as `BENCH_PR4.json`.
+//! Times the six hot paths of the runtime — subtractive clustering, one
+//! ANFIS training run, single-sample FIS evaluation, batch FIS evaluation,
+//! the blocked exact batch kernel, and the bounded-ULP SIMD batch kernel —
+//! serial and (where pooling applies) on worker pools of 1/2/4/8 threads,
+//! and writes the results as `BENCH_PR9.json`.
 //!
-//! # `BENCH_PR4.json` schema (`cqm-bench/perfbase/v1`)
+//! # `BENCH_PR9.json` schema (`cqm-bench/perfbase/v2`)
 //!
 //! ```json
 //! {
-//!   "schema": "cqm-bench/perfbase/v1",
+//!   "schema": "cqm-bench/perfbase/v2",
 //!   "smoke": false,
 //!   "available_parallelism": 8,
 //!   "sections": [
@@ -34,14 +35,21 @@
 //!   numbers were taken; timings from a 1-core container show ≈1.0×
 //!   "speedups" by construction and must be read alongside this field.
 //! * `sections[*].name` — one of `clustering`, `anfis_epoch`,
-//!   `eval_single`, `eval_batch` (all four required).
+//!   `eval_single`, `eval_batch`, `eval_batch_blocked`, `eval_batch_simd`
+//!   (all six required; v2 added the last two).
 //! * `sections[*].serial_millis` — wall-clock milliseconds of the plain
 //!   serial API (`cluster`, `train_hybrid`, `eval`, `eval_batch`).
 //! * `sections[*].threaded` — wall-clock milliseconds of the pooled API at
 //!   each thread count; `clustering`, `anfis_epoch` and `eval_batch` carry
-//!   all of 1/2/4/8, `eval_single` carries a single `threads: 1` entry
-//!   timing the allocation-free kernel path (thread pools do not apply to
-//!   one sample).
+//!   all of 1/2/4/8, while the single-thread sections carry one
+//!   `threads: 1` entry each: `eval_single` times the allocation-free
+//!   kernel path, `eval_batch_blocked` times the rule-major blocked kernel
+//!   at default (bit-identical) precision against a row-wise serial
+//!   baseline, and `eval_batch_simd` times the blocked kernel under
+//!   `EvalPrecision::BoundedUlp` (lane-unrolled fast-exp path) against the
+//!   same row-wise exact baseline. The latter two are per-core throughput
+//!   measurements, so their `serial / t1` speedups are meaningful on any
+//!   machine, 1-core CI containers included.
 //!
 //! Every pooled path is bit-identical to its serial counterpart at any
 //! thread count (the property the runtime is built around), so timings on
@@ -52,14 +60,31 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-/// Schema identifier written to and expected in `BENCH_PR4.json`.
-pub const SCHEMA: &str = "cqm-bench/perfbase/v1";
+/// Schema identifier written to and expected in `BENCH_PR9.json`.
+pub const SCHEMA: &str = "cqm-bench/perfbase/v2";
 
 /// Thread counts every multi-threaded section must cover.
 pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// Section names that must be present in a valid baseline.
-pub const SECTION_NAMES: [&str; 4] = ["clustering", "anfis_epoch", "eval_single", "eval_batch"];
+pub const SECTION_NAMES: [&str; 6] = [
+    "clustering",
+    "anfis_epoch",
+    "eval_single",
+    "eval_batch",
+    "eval_batch_blocked",
+    "eval_batch_simd",
+];
+
+/// Sections that carry a single `threads: 1` timing instead of the full
+/// 1/2/4/8 ladder (single-sample or per-core throughput measurements).
+pub const SINGLE_THREAD_SECTIONS: [&str; 3] =
+    ["eval_single", "eval_batch_blocked", "eval_batch_simd"];
+
+/// Minimum `serial / t1` speedup the bounded-ULP SIMD batch path must show
+/// over the row-wise scalar baseline. Both sides are single-threaded, so
+/// the gate is immune to the container's core count.
+pub const SIMD_MIN_SPEEDUP: f64 = 1.8;
 
 /// Wall-clock timing of one pooled run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -151,7 +176,7 @@ impl PerfBaseline {
                     ));
                 }
             }
-            let required: &[usize] = if name == "eval_single" {
+            let required: &[usize] = if SINGLE_THREAD_SECTIONS.contains(&name) {
                 &[1]
             } else {
                 &THREAD_COUNTS
@@ -167,29 +192,59 @@ impl PerfBaseline {
         Ok(())
     }
 
-    /// The CI performance gate: the pooled clustering path at 4 threads must
-    /// not be slower than the serial path. The tolerance is core-aware —
-    /// with at least 4 cores the pool must genuinely win (ratio ≤ 1.0 with a
-    /// small noise margin); on fewer cores a 4-thread pool cannot physically
-    /// beat serial, so only bounded dispatch overhead is accepted (the
-    /// determinism guarantee means the speedup materialises unchanged on
-    /// multicore hardware).
+    /// The CI performance gate, in two halves.
+    ///
+    /// **SIMD gate** (always applied): the bounded-ULP blocked batch path
+    /// must be at least [`SIMD_MIN_SPEEDUP`]× faster than the row-wise
+    /// scalar baseline. Both measurements are single-threaded, so the gate
+    /// holds on a 1-core container exactly as it does on a workstation.
+    ///
+    /// **Thread-scaling gate**: the pooled clustering path at 4 threads
+    /// must not be slower than the serial path. The tolerance is
+    /// core-aware — with at least 4 cores the pool must genuinely win
+    /// (ratio ≤ 1.0 with a small noise margin); on 2–3 cores only bounded
+    /// dispatch overhead is accepted. On a **single core** the gate is
+    /// skipped entirely and [`GateOutcome::ThreadGateSkipped`] is returned
+    /// so the caller can warn loudly: a 4-thread pool time-slicing one
+    /// core measures the scheduler, not the runtime, and a baseline
+    /// regenerated there must not silently "pass" thread scaling.
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the violation.
-    pub fn gate(&self) -> Result<(), String> {
+    /// Returns a human-readable description of the first violation.
+    pub fn gate(&self) -> Result<GateOutcome, String> {
+        let simd = self
+            .section("eval_batch_simd")
+            .ok_or_else(|| "missing eval_batch_simd section".to_string())?;
+        let speedup = simd
+            .speedup_at(1)
+            .ok_or_else(|| "eval_batch_simd: no 1-thread timing".to_string())?;
+        if speedup < SIMD_MIN_SPEEDUP {
+            return Err(format!(
+                "bounded-ULP SIMD batch path is only {speedup:.2}x the scalar \
+                 baseline (gate {SIMD_MIN_SPEEDUP:.1}x): serial {:.2} ms vs \
+                 blocked t1 {:.2} ms",
+                simd.serial_millis,
+                simd.millis_at(1).unwrap_or(f64::NAN)
+            ));
+        }
+
         let section = self
             .section("clustering")
             .ok_or_else(|| "missing clustering section".to_string())?;
         let t4 = section
             .millis_at(4)
             .ok_or_else(|| "clustering: no 4-thread timing".to_string())?;
+        if self.available_parallelism == 1 {
+            return Ok(GateOutcome::ThreadGateSkipped {
+                cores: self.available_parallelism,
+            });
+        }
         let ratio = t4 / section.serial_millis;
         let limit = if self.available_parallelism >= 4 {
             1.05
         } else {
-            // On fewer cores the 4 threads time-slice one another; allow
+            // On 2-3 cores the 4 threads time-slice one another; allow
             // scheduling overhead but still catch pathological slowdowns.
             1.5
         };
@@ -200,8 +255,22 @@ impl PerfBaseline {
                 self.available_parallelism, section.serial_millis, t4
             ));
         }
-        Ok(())
+        Ok(GateOutcome::Passed)
     }
+}
+
+/// What [`PerfBaseline::gate`] concluded when no limit was violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateOutcome {
+    /// Both the SIMD gate and the thread-scaling gate were applied and held.
+    Passed,
+    /// The SIMD gate held, but the thread-scaling gate was skipped because
+    /// the baseline was taken on a single core — the caller must surface
+    /// this loudly, because 4-thread timings from one core are meaningless.
+    ThreadGateSkipped {
+        /// Cores visible when the baseline was taken (always 1 today).
+        cores: usize,
+    },
 }
 
 /// Cores visible to this process (1 if the runtime cannot tell).
@@ -226,7 +295,23 @@ pub fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 mod tests {
     use super::*;
 
+    fn single(name: &str, serial: f64, t1: f64) -> Section {
+        Section {
+            name: name.into(),
+            workload: "test".into(),
+            serial_millis: serial,
+            threaded: vec![ThreadTiming {
+                threads: 1,
+                millis: t1,
+            }],
+        }
+    }
+
     fn baseline(cores: usize, clustering_t4: f64) -> PerfBaseline {
+        baseline_with_simd(cores, clustering_t4, 2.0)
+    }
+
+    fn baseline_with_simd(cores: usize, clustering_t4: f64, simd_speedup: f64) -> PerfBaseline {
         let full = |name: &str, t4: f64| Section {
             name: name.into(),
             workload: "test".into(),
@@ -246,16 +331,10 @@ mod tests {
             sections: vec![
                 full("clustering", clustering_t4),
                 full("anfis_epoch", 100.0),
-                Section {
-                    name: "eval_single".into(),
-                    workload: "test".into(),
-                    serial_millis: 1.0,
-                    threaded: vec![ThreadTiming {
-                        threads: 1,
-                        millis: 0.8,
-                    }],
-                },
+                single("eval_single", 1.0, 0.8),
                 full("eval_batch", 100.0),
+                single("eval_batch_blocked", 100.0, 90.0),
+                single("eval_batch_simd", 100.0, 100.0 / simd_speedup),
             ],
         }
     }
@@ -289,12 +368,47 @@ mod tests {
 
     #[test]
     fn gate_is_core_aware() {
-        // 1 core: 4-thread pool may cost bounded overhead but not more.
-        assert!(baseline(1, 145.0).gate().is_ok());
-        assert!(baseline(1, 160.0).gate().is_err());
+        // 1 core: the thread-scaling half is skipped (and reported as such)
+        // no matter how bad the time-sliced 4-thread number looks.
+        assert_eq!(
+            baseline(1, 145.0).gate().unwrap(),
+            GateOutcome::ThreadGateSkipped { cores: 1 }
+        );
+        assert_eq!(
+            baseline(1, 500.0).gate().unwrap(),
+            GateOutcome::ThreadGateSkipped { cores: 1 }
+        );
+        // 2-3 cores: bounded dispatch overhead accepted, not more.
+        assert_eq!(baseline(2, 145.0).gate().unwrap(), GateOutcome::Passed);
+        assert!(baseline(2, 160.0).gate().is_err());
         // >= 4 cores: the pool must not be slower than serial.
-        assert!(baseline(8, 100.0).gate().is_ok());
+        assert_eq!(baseline(8, 100.0).gate().unwrap(), GateOutcome::Passed);
         assert!(baseline(8, 120.0).gate().is_err());
+    }
+
+    #[test]
+    fn simd_gate_is_core_count_immune() {
+        // The SIMD gate compares two single-threaded timings, so it is
+        // applied even where the thread gate is skipped.
+        let err = baseline_with_simd(1, 100.0, 1.2).gate().unwrap_err();
+        assert!(err.contains("1.8"), "{err}");
+        assert!(baseline_with_simd(8, 100.0, 1.2).gate().is_err());
+        // Exactly at the gate passes.
+        assert_eq!(
+            baseline_with_simd(8, 100.0, SIMD_MIN_SPEEDUP).gate().unwrap(),
+            GateOutcome::Passed
+        );
+    }
+
+    #[test]
+    fn validation_requires_the_v2_sections() {
+        let mut b = baseline(1, 100.0);
+        b.sections.retain(|s| s.name != "eval_batch_simd");
+        assert!(b.validate().unwrap_err().contains("eval_batch_simd"));
+
+        let mut b = baseline(1, 100.0);
+        b.sections.retain(|s| s.name != "eval_batch_blocked");
+        assert!(b.validate().unwrap_err().contains("eval_batch_blocked"));
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 use crate::normalize::UnitScaler;
 use crate::{check_data, ClusterError, Result};
+use cqm_math::fastexp::exp_exact;
 use cqm_math::vector::dist_sq;
 use cqm_parallel::WorkerPool;
 
@@ -248,7 +249,7 @@ impl SubtractiveClustering {
                 Some(cache) => {
                     let row = &cache[best * n..(best + 1) * n];
                     for (p, &d2) in potential.iter_mut().zip(row) {
-                        *p -= p_star * (-beta * d2).exp();
+                        *p -= p_star * exp_exact(-beta * d2);
                     }
                 }
                 None => {
@@ -258,7 +259,7 @@ impl SubtractiveClustering {
                         // lint: allow(HOT_LOOP_ALLOC) -- one row per accepted center (<= max_centers), cached for reuse
                         .collect();
                     for (p, &d2) in potential.iter_mut().zip(&row) {
-                        *p -= p_star * (-beta * d2).exp();
+                        *p -= p_star * exp_exact(-beta * d2);
                     }
                     center_rows.push(row);
                 }
@@ -313,7 +314,7 @@ fn potential_field(
             let mut p = 0.0f64;
             for xj in x {
                 let d2 = dist_sq(xi, xj).expect("equal dims");
-                p += (-alpha * d2).exp();
+                p += exp_exact(-alpha * d2);
                 if cache_matrix {
                     rows.push(d2);
                 }

@@ -14,14 +14,36 @@
 //!
 //! [`TskKernel::eval_into`] then runs the full inference with **zero heap
 //! allocations** in the steady state: the only mutable storage is a
-//! caller-provided [`TskScratch`] whose firing buffer is reused across
-//! calls. Results are bit-identical to [`TskFis::eval`] — same operations,
-//! same order — which the tests assert via `f64::to_bits`.
+//! caller-provided [`TskScratch`] whose buffers are reused across calls.
+//! Results are bit-identical to [`TskFis::eval`] — same operations, same
+//! order — which the tests assert via `f64::to_bits`.
+//!
+//! ## Blocked lanes and the precision contract (DESIGN.md §9)
+//!
+//! Batch sweeps over a Gaussian-only kernel run **rule-major blocked**:
+//! input rows are processed in blocks of [`LANES`] (transposed once into
+//! scratch), so each `mu`/`sigma`/`consequents` cache line is loaded once
+//! per block instead of once per row, and the per-lane arithmetic is
+//! carried by [`cqm_math::lanes::F64x4`], whose fixed-width loops the
+//! optimizer keeps in vector registers. Two precision modes
+//! ([`EvalPrecision`]) select the membership exponential:
+//!
+//! * [`EvalPrecision::Exact`] (default) — `exp` is `f64::exp` and every
+//!   per-lane operation replays the scalar sequence, so blocked results
+//!   are **bit-identical** to [`TskFis::eval`] at any batch size, block
+//!   position or worker count.
+//! * [`EvalPrecision::BoundedUlp`] — memberships go through
+//!   `cqm_math::fastexp::exp_bounded` (documented max-ULP bound). For the
+//!   Product t-norm the whole rule collapses to **one** exponential of the
+//!   summed exponents instead of one per input. Opt-in, deterministic:
+//!   a row's result never depends on its batch position.
 //!
 //! [`TskFis::eval`]: crate::TskFis::eval
 
 // analyze: hot-path
 
+use cqm_math::fastexp;
+use cqm_math::lanes::{F64x4, LANES};
 use cqm_parallel::WorkerPool;
 
 use crate::membership::MembershipFunction;
@@ -30,14 +52,40 @@ use crate::tsk::TskFis;
 use crate::{FuzzyError, Result};
 
 /// Input rows per parallel work item in [`TskKernel::eval_batch_with`].
+/// A multiple of [`LANES`], so pooled chunks never split a lane block.
 const BATCH_CHUNK: usize = 64;
 
+/// Numeric contract of an evaluation sweep (DESIGN.md §9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvalPrecision {
+    /// Bit-identical to [`TskFis::eval`]: only `f64::exp` is used and the
+    /// blocked per-lane operation sequence replays the scalar one exactly.
+    ///
+    /// [`TskFis::eval`]: crate::TskFis::eval
+    #[default]
+    Exact,
+    /// Gaussian memberships use `cqm_math::fastexp::exp_bounded` (max
+    /// error `EXP_BOUNDED_MAX_ULP` ULP per exponential, test-proven), and
+    /// under the Product t-norm each rule's factors collapse into a single
+    /// exponential of the summed exponents. Non-Gaussian kernels ignore
+    /// this and evaluate exactly. Deterministic: results are a pure
+    /// function of the row, never of batch position or worker count.
+    BoundedUlp,
+}
+
 /// Reusable per-caller evaluation scratch. One instance per thread of
-/// control; the firing buffer grows to the rule count on first use and is
-/// only reused afterwards.
+/// control; buffers grow on first use and are only reused afterwards. Use
+/// [`TskKernel::scratch`] to pre-size every buffer for a kernel so even
+/// the first evaluation allocates nothing.
 #[derive(Debug, Clone, Default)]
 pub struct TskScratch {
     firing: Vec<f64>,
+    /// Rule-major blocked firing slab (`LANES` lanes per rule), used by
+    /// the blocked batch path.
+    block: Vec<f64>,
+    /// Input-major transposed row block (`LANES` lanes per input), used by
+    /// the blocked batch path.
+    xt: Vec<f64>,
 }
 
 impl TskScratch {
@@ -46,16 +94,20 @@ impl TskScratch {
         TskScratch::default()
     }
 
-    /// A scratch pre-sized for `rules` rules, so even the first evaluation
-    /// allocates nothing.
+    /// A scratch pre-sized for `rules` rules, so even the first row-wise
+    /// evaluation allocates nothing. Blocked batch sweeps also need the
+    /// input dimension; prefer [`TskKernel::scratch`], which sizes both.
     pub fn with_rules(rules: usize) -> Self {
         TskScratch {
             firing: Vec::with_capacity(rules),
+            block: Vec::with_capacity(rules * LANES),
+            xt: Vec::new(),
         }
     }
 
-    /// The firing strengths of the most recent evaluation (empty before the
-    /// first call).
+    /// The firing strengths of the most recent **row-wise** evaluation
+    /// (empty before the first call; blocked batch sweeps keep their
+    /// firing strengths in an internal lane slab instead).
     pub fn firing(&self) -> &[f64] {
         &self.firing
     }
@@ -73,6 +125,11 @@ pub struct TskKernel {
     mu: Vec<f64>,
     /// Rule-major Gaussian widths, `m·n`; meaningful iff `gaussian_only`.
     sigma: Vec<f64>,
+    /// Rule-major reciprocal widths `1/sigma`, `m·n` — the bounded-ULP
+    /// path multiplies by these instead of dividing (one more rounding
+    /// step, covered by that path's error contract); the exact path never
+    /// reads them.
+    inv_sigma: Vec<f64>,
     /// Whether every antecedent is Gaussian (enables the slab fast path).
     gaussian_only: bool,
     /// Rule-major antecedent slab, `m·n` — the exact fallback path.
@@ -89,6 +146,7 @@ impl TskKernel {
         let m = fis.rule_count();
         let mut mu = Vec::with_capacity(m * n);
         let mut sigma = Vec::with_capacity(m * n);
+        let mut inv_sigma = Vec::with_capacity(m * n);
         let mut antecedents = Vec::with_capacity(m * n);
         let mut consequents = Vec::with_capacity(m * (n + 1));
         let mut gaussian_only = true;
@@ -97,10 +155,12 @@ impl TskKernel {
                 if let MembershipFunction::Gaussian { mu: m_, sigma: s_ } = *mf {
                     mu.push(m_);
                     sigma.push(s_);
+                    inv_sigma.push(1.0 / s_);
                 } else {
                     gaussian_only = false;
                     mu.push(0.0);
                     sigma.push(1.0);
+                    inv_sigma.push(1.0);
                 }
                 // lint: allow(HOT_LOOP_ALLOC) -- one-time kernel construction, bounded by rule count
                 antecedents.push(mf.clone());
@@ -113,6 +173,7 @@ impl TskKernel {
             tnorm: fis.tnorm(),
             mu,
             sigma,
+            inv_sigma,
             gaussian_only,
             antecedents,
             consequents,
@@ -134,6 +195,16 @@ impl TskKernel {
         self.gaussian_only
     }
 
+    /// A [`TskScratch`] with every buffer pre-sized for this kernel, so
+    /// even the first row or batch evaluated through it allocates nothing.
+    pub fn scratch(&self) -> TskScratch {
+        TskScratch {
+            firing: Vec::with_capacity(self.n_rules),
+            block: Vec::with_capacity(self.n_rules * LANES),
+            xt: Vec::with_capacity(self.n_inputs * LANES),
+        }
+    }
+
     /// Evaluate one input using caller-provided scratch. Steady state (a
     /// scratch that has seen this kernel before) performs **zero heap
     /// allocations**; the result is bit-identical to [`TskFis::eval`].
@@ -152,7 +223,7 @@ impl TskKernel {
         }
         let n = self.n_inputs;
         scratch.firing.clear();
-        scratch.firing.reserve(self.n_rules);
+        scratch.firing.reserve_exact(self.n_rules);
         if self.gaussian_only {
             for j in 0..self.n_rules {
                 let base = j * n;
@@ -161,7 +232,7 @@ impl TskKernel {
                 for ((&x, &mu), &sig) in v.iter().zip(mus).zip(sigmas) {
                     // Exactly MembershipFunction::eval for the Gaussian arm.
                     let z = (x - mu) / sig;
-                    let f = (-0.5 * z * z).exp();
+                    let f = fastexp::exp_exact(-0.5 * z * z);
                     w = self.tnorm.apply(w, f);
                 }
                 scratch.firing.push(w);
@@ -178,12 +249,88 @@ impl TskKernel {
                 scratch.firing.push(w);
             }
         }
-        let total: f64 = scratch.firing.iter().sum();
+        self.defuzz(v, &scratch.firing)
+    }
+
+    /// Evaluate one input under an explicit precision contract.
+    /// [`EvalPrecision::Exact`] is [`TskKernel::eval_into`];
+    /// [`EvalPrecision::BoundedUlp`] swaps the Gaussian memberships for
+    /// `exp_bounded` (and, under the Product t-norm, one exponential per
+    /// rule). The bounded result is a pure function of the row: evaluating
+    /// it here or inside any blocked batch yields the same bits.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TskKernel::eval_into`].
+    // lint: allow(ASSERT_DENSITY) -- row validity is checked via Result by eval paths
+    pub fn eval_into_prec(
+        &self,
+        v: &[f64],
+        precision: EvalPrecision,
+        scratch: &mut TskScratch,
+    ) -> Result<f64> {
+        match precision {
+            EvalPrecision::Exact => self.eval_into(v, scratch),
+            // BoundedUlp only changes Gaussian membership math; other
+            // shapes have nothing to approximate.
+            EvalPrecision::BoundedUlp if !self.gaussian_only => self.eval_into(v, scratch),
+            EvalPrecision::BoundedUlp => self.eval_row_bounded(v, scratch),
+        }
+    }
+
+    /// Scalar bounded-ULP row evaluation. Operation-for-operation the
+    /// per-lane sequence of [`TskKernel::eval_block`]'s bounded path, so
+    /// blocked and row-wise bounded results are bit-identical.
+    fn eval_row_bounded(&self, v: &[f64], scratch: &mut TskScratch) -> Result<f64> {
+        if v.len() != self.n_inputs {
+            return Err(FuzzyError::DimensionMismatch {
+                expected: self.n_inputs,
+                actual: v.len(),
+            });
+        }
+        let n = self.n_inputs;
+        scratch.firing.clear();
+        scratch.firing.reserve_exact(self.n_rules);
+        for j in 0..self.n_rules {
+            let base = j * n;
+            let (mus, invs) = (&self.mu[base..base + n], &self.inv_sigma[base..base + n]);
+            if matches!(self.tnorm, TNorm::Product) {
+                // Product of exponentials = exponential of the summed
+                // exponents: one exp per rule instead of one per input.
+                let mut acc = 0.0;
+                for ((&x, &mu), &inv) in v.iter().zip(mus).zip(invs) {
+                    let z = (x - mu) * inv;
+                    acc += -0.5 * z * z;
+                }
+                scratch.firing.push(fastexp::exp_bounded(acc));
+            } else {
+                let mut w = 1.0;
+                for ((&x, &mu), &inv) in v.iter().zip(mus).zip(invs) {
+                    let z = (x - mu) * inv;
+                    // Clamp so a final rounding upward can never push a
+                    // membership past the t-norm domain bound of 1.
+                    let f = fastexp::exp_bounded(-0.5 * z * z).min(1.0);
+                    w = self.tnorm.apply(w, f);
+                }
+                scratch.firing.push(w);
+            }
+        }
+        self.defuzz_bounded(v, &scratch.firing)
+    }
+
+    /// Normalize firing strengths and combine the rule consequents —
+    /// the shared epilogue of every scalar evaluation path, preserving
+    /// [`TskFis::eval`]'s exact operation order.
+    ///
+    /// [`TskFis::eval`]: crate::TskFis::eval
+    fn defuzz(&self, v: &[f64], firing: &[f64]) -> Result<f64> {
+        let n = self.n_inputs;
+        let total: f64 = firing.iter().sum();
         if !(total > 0.0) || !total.is_finite() {
             return Err(FuzzyError::NoRuleFired);
         }
         let mut output = 0.0;
-        for (j, w) in scratch.firing.iter().enumerate() {
+        for (j, w) in firing.iter().enumerate() {
             let base = j * (n + 1);
             let cons = &self.consequents[base..base + n + 1];
             let (coeffs, bias) = cons.split_at(n);
@@ -193,55 +340,261 @@ impl TskKernel {
         Ok(output)
     }
 
+    /// [`TskKernel::defuzz`] for the bounded-ULP path: one reciprocal of
+    /// the firing total, then multiplies — `m - 1` fewer divisions per
+    /// row, at one extra rounding step absorbed by the bounded contract.
+    /// Lane-for-lane the epilogue of [`TskKernel::eval_block`]'s bounded
+    /// path, so blocked and row-wise bounded results stay bit-identical.
+    fn defuzz_bounded(&self, v: &[f64], firing: &[f64]) -> Result<f64> {
+        let n = self.n_inputs;
+        let total: f64 = firing.iter().sum();
+        if !(total > 0.0) || !total.is_finite() {
+            return Err(FuzzyError::NoRuleFired);
+        }
+        let inv_total = 1.0 / total;
+        let mut output = 0.0;
+        for (j, w) in firing.iter().enumerate() {
+            let base = j * (n + 1);
+            let cons = &self.consequents[base..base + n + 1];
+            let (coeffs, bias) = cons.split_at(n);
+            let fj = coeffs.iter().zip(v).map(|(a, x)| a * x).sum::<f64>() + bias[0];
+            output += (w * inv_total) * fj;
+        }
+        Ok(output)
+    }
+
     /// Evaluate a small batch serially into `out` — the micro-batch entry
     /// point sized for request batches (network services coalescing a few
     /// dozen in-flight requests), where pool dispatch would cost more than
-    /// the sweep itself. `out` is cleared and refilled with one output per
-    /// row; beyond `out`'s growth to the batch size, the sweep performs
-    /// zero heap allocations in the steady state. Results are bit-identical
-    /// to row-wise [`TskKernel::eval_into`] and stop at the first failing
-    /// row (matching [`TskKernel::eval_batch_with`]'s first-error order).
+    /// the sweep itself. Gaussian-only kernels run the rule-major blocked
+    /// lane path; `out` is cleared, `reserve_exact`-sized and refilled with
+    /// one output per row, and beyond first-use buffer growth the sweep
+    /// performs zero heap allocations in the steady state (none at all
+    /// with a [`TskKernel::scratch`]-sized scratch). Results are
+    /// bit-identical to row-wise [`TskKernel::eval_into`] and stop at the
+    /// first failing row (matching [`TskKernel::eval_batch_with`]'s
+    /// first-error order).
     ///
     /// # Errors
     ///
     /// Same conditions as [`TskKernel::eval_into`] for any row; `out` holds
     /// the outputs of the rows preceding the failure.
-    // lint: allow(ASSERT_DENSITY) -- delegates row-wise to eval_into, which validates via Result
+    // lint: allow(ASSERT_DENSITY) -- row validity is checked via Result by eval paths
     pub fn eval_batch_into(
         &self,
         inputs: &[Vec<f64>],
         scratch: &mut TskScratch,
         out: &mut Vec<f64>,
     ) -> Result<()> {
+        self.eval_batch_into_prec(inputs, EvalPrecision::Exact, scratch, out)
+    }
+
+    /// [`TskKernel::eval_batch_into`] under an explicit precision
+    /// contract. The default-precision result is bit-identical to row-wise
+    /// [`TskKernel::eval_into`]; the bounded result is bit-identical to
+    /// row-wise [`TskKernel::eval_into_prec`] with the same precision.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TskKernel::eval_into`] for any row; `out` holds
+    /// the outputs of the rows preceding the failure.
+    // lint: allow(ASSERT_DENSITY) -- row validity is checked via Result by eval paths
+    pub fn eval_batch_into_prec(
+        &self,
+        inputs: &[Vec<f64>],
+        precision: EvalPrecision,
+        scratch: &mut TskScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
         out.clear();
-        out.reserve(inputs.len());
-        for v in inputs {
-            out.push(self.eval_into(v, scratch)?);
+        out.reserve_exact(inputs.len());
+        if !self.gaussian_only {
+            for v in inputs {
+                out.push(self.eval_into_prec(v, precision, scratch)?);
+            }
+            return Ok(());
+        }
+        let mut i = 0;
+        while i < inputs.len() {
+            let end = i + LANES;
+            if end <= inputs.len() && inputs[i..end].iter().all(|v| v.len() == self.n_inputs) {
+                let b = &inputs[i..end];
+                let rows = [b[0].as_slice(), b[1].as_slice(), b[2].as_slice(), b[3].as_slice()];
+                self.eval_block(&rows, precision, scratch, out)?;
+                i = end;
+            } else {
+                // Short tail, or an arity mismatch somewhere in the
+                // window: advance row-wise so the first failing row is
+                // still the first error reported.
+                let row = &inputs[i..][0];
+                out.push(self.eval_into_prec(row, precision, scratch)?);
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate one block of [`LANES`] equal-arity rows, rule-major:
+    /// transpose the rows once into scratch, then walk each `mu`/`sigma`
+    /// and consequent cache line exactly once for the whole block. Pushes
+    /// one output per lane in row order; a [`FuzzyError::NoRuleFired`]
+    /// lane truncates `out` before the failing row, exactly like the
+    /// row-wise path.
+    fn eval_block(
+        &self,
+        rows: &[&[f64]; LANES],
+        precision: EvalPrecision,
+        scratch: &mut TskScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        let n = self.n_inputs;
+        let m = self.n_rules;
+        // Input-major transpose: lane l of chunk i is rows[l][i], so every
+        // per-input gather below is one contiguous LANES-wide load.
+        scratch.xt.clear();
+        scratch.xt.resize(n * LANES, 0.0);
+        for (l, row) in rows.iter().enumerate() {
+            for (i, &x) in row.iter().enumerate() {
+                scratch.xt[i * LANES + l] = x;
+            }
+        }
+        let (xt, block) = (&scratch.xt, &mut scratch.block);
+        block.clear();
+        block.reserve_exact(m * LANES);
+        let bounded_product =
+            matches!(precision, EvalPrecision::BoundedUlp) && matches!(self.tnorm, TNorm::Product);
+        let bounded = matches!(precision, EvalPrecision::BoundedUlp);
+        for j in 0..m {
+            let base = j * n;
+            let mus = &self.mu[base..base + n];
+            let w = if bounded_product {
+                // One exponential of the summed exponents per rule, with
+                // precomputed reciprocal widths (one more rounding step,
+                // absorbed by the bounded error contract).
+                let invs = &self.inv_sigma[base..base + n];
+                let mut acc = F64x4::ZERO;
+                for ((&mu, &inv), x4) in mus.iter().zip(invs).zip(xt.chunks_exact(LANES)) {
+                    let x = F64x4::from_slice(x4);
+                    let z = (x - F64x4::splat(mu)) * F64x4::splat(inv);
+                    acc = acc + F64x4::splat(-0.5) * z * z;
+                }
+                acc.exp_bounded()
+            } else if bounded {
+                // Non-Product t-norm: one polynomial exponential per
+                // factor, still lane-parallel (exp_bounded is branch-free
+                // straight-line code, so lanes stay in vector registers).
+                let invs = &self.inv_sigma[base..base + n];
+                let mut w = F64x4::ONE;
+                for ((&mu, &inv), x4) in mus.iter().zip(invs).zip(xt.chunks_exact(LANES)) {
+                    let x = F64x4::from_slice(x4);
+                    let z = (x - F64x4::splat(mu)) * F64x4::splat(inv);
+                    let f = (F64x4::splat(-0.5) * z * z).exp_bounded().min_scalar(1.0);
+                    let mut lanes = w.to_array();
+                    for (wl, fl) in lanes.iter_mut().zip(f.to_array()) {
+                        *wl = self.tnorm.apply(*wl, fl);
+                    }
+                    w = F64x4(lanes);
+                }
+                w
+            } else {
+                // Exact: lane-major scalar memberships. f64::exp is an
+                // opaque libm call, so lane-structured code would spill
+                // the other three lanes around every call; running each
+                // row's factors in scalar order instead keeps the slab
+                // blocking benefit (mu/sigma lines stay hot across the
+                // four rows) at zero per-call overhead — and replays
+                // TskFis::eval's operation order exactly, which is what
+                // makes blocked exact results bit-identical.
+                let sigmas = &self.sigma[base..base + n];
+                let mut lanes = [0.0_f64; LANES];
+                for (wl, row) in lanes.iter_mut().zip(rows) {
+                    let mut w = 1.0;
+                    for ((&x, &mu), &sig) in row.iter().zip(mus).zip(sigmas) {
+                        let z = (x - mu) / sig;
+                        let f = fastexp::exp_exact(-0.5 * z * z);
+                        w = self.tnorm.apply(w, f);
+                    }
+                    *wl = w;
+                }
+                F64x4(lanes)
+            };
+            block.extend_from_slice(&w.to_array());
+        }
+        // Per-lane totals, summed in rule order — the scalar order.
+        let mut total = F64x4::ZERO;
+        for w4 in block.chunks_exact(LANES) {
+            total = total + F64x4::from_slice(w4);
+        }
+        // Consequent combination, rule-major; bad lanes (zero or non-finite
+        // totals) produce garbage that is never pushed. The bounded path
+        // takes one reciprocal per lane and multiplies (matching
+        // defuzz_bounded); the exact path divides per rule (matching
+        // defuzz).
+        let inv_total = F64x4::ONE / total;
+        let mut output = F64x4::ZERO;
+        for (j, w4) in block.chunks_exact(LANES).enumerate() {
+            let base = j * (n + 1);
+            let cons = &self.consequents[base..base + n + 1];
+            let (coeffs, bias) = cons.split_at(n);
+            let mut fj = F64x4::ZERO;
+            for (&a, x4) in coeffs.iter().zip(xt.chunks_exact(LANES)) {
+                fj = fj + F64x4::splat(a) * F64x4::from_slice(x4);
+            }
+            let fj = fj + F64x4::splat(bias[0]);
+            let w4v = F64x4::from_slice(w4);
+            let norm = if bounded { w4v * inv_total } else { w4v / total };
+            output = output + norm * fj;
+        }
+        for (t, o) in total.to_array().into_iter().zip(output.to_array()) {
+            if !(t > 0.0) || !t.is_finite() {
+                return Err(FuzzyError::NoRuleFired);
+            }
+            out.push(o);
         }
         Ok(())
     }
 
     /// Evaluate a batch on `pool`, propagating the lowest-index error.
-    /// Rows are independent, so the outputs are bit-identical to serial
-    /// row-wise evaluation at any thread count; each chunk carries its own
-    /// scratch.
+    /// Rows are independent and each chunk runs the blocked sweep with its
+    /// own scratch, so the outputs are bit-identical to serial row-wise
+    /// evaluation at any thread count ([`BATCH_CHUNK`] is a multiple of
+    /// [`LANES`], and lane results never depend on block position).
     ///
     /// # Errors
     ///
     /// Same conditions as [`TskKernel::eval_into`] for any row.
-    // lint: allow(ASSERT_DENSITY) -- delegates row-wise to eval_into, which validates via Result
+    // lint: allow(ASSERT_DENSITY) -- row validity is checked via Result by eval paths
     pub fn eval_batch_with(&self, inputs: &[Vec<f64>], pool: &WorkerPool) -> Result<Vec<f64>> {
+        self.eval_batch_with_prec(inputs, EvalPrecision::Exact, pool)
+    }
+
+    /// [`TskKernel::eval_batch_with`] under an explicit precision
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TskKernel::eval_into`] for any row.
+    // lint: allow(ASSERT_DENSITY) -- row validity is checked via Result by eval paths
+    pub fn eval_batch_with_prec(
+        &self,
+        inputs: &[Vec<f64>],
+        precision: EvalPrecision,
+        pool: &WorkerPool,
+    ) -> Result<Vec<f64>> {
         let chunks = pool.run_chunks(inputs.len(), BATCH_CHUNK, |c| {
-            let mut scratch = TskScratch::with_rules(self.n_rules);
+            let mut scratch = self.scratch();
             let mut out = Vec::with_capacity(c.len());
-            for v in &inputs[c.start..c.end] {
-                out.push(self.eval_into(v, &mut scratch));
-            }
-            out
+            self.eval_batch_into_prec(&inputs[c.start..c.end], precision, &mut scratch, &mut out)
+                .map(|()| out)
         });
-        // In-order flatten: the error returned is always the first by row
-        // index, independent of scheduling.
-        chunks.into_iter().flatten().collect()
+        // In-order flatten: chunks are in row order and each chunk stops at
+        // its first failing row, so the first Err seen is always the first
+        // by row index, independent of scheduling.
+        let mut all = Vec::with_capacity(inputs.len());
+        for chunk in chunks {
+            all.extend(chunk?);
+        }
+        Ok(all)
     }
 }
 
@@ -440,6 +793,152 @@ mod tests {
                 "threads={threads}: expected the row-5 error, got {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn bounded_blocked_matches_bounded_row_wise_bitwise() {
+        let fis = gaussian_fis();
+        let kernel = fis.kernel();
+        let inputs = grid();
+        let mut scratch = kernel.scratch();
+        let mut out = Vec::new();
+        kernel
+            .eval_batch_into_prec(&inputs, EvalPrecision::BoundedUlp, &mut scratch, &mut out)
+            .unwrap();
+        let mut row_scratch = TskScratch::new();
+        for (v, got) in inputs.iter().zip(&out) {
+            let want = kernel
+                .eval_into_prec(v, EvalPrecision::BoundedUlp, &mut row_scratch)
+                .unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "at {v:?}");
+        }
+    }
+
+    #[test]
+    fn bounded_result_does_not_depend_on_batch_position() {
+        let fis = gaussian_fis();
+        let kernel = fis.kernel();
+        let inputs = grid();
+        let mut scratch = kernel.scratch();
+        let mut full = Vec::new();
+        kernel
+            .eval_batch_into_prec(&inputs, EvalPrecision::BoundedUlp, &mut scratch, &mut full)
+            .unwrap();
+        // Shift the batch start by dropping rows off the front: every
+        // surviving row must keep its bits even though it now sits at a
+        // different lane/block offset.
+        for drop in 1..=5 {
+            let mut shifted = Vec::new();
+            kernel
+                .eval_batch_into_prec(
+                    &inputs[drop..],
+                    EvalPrecision::BoundedUlp,
+                    &mut scratch,
+                    &mut shifted,
+                )
+                .unwrap();
+            for (a, b) in full.iter().skip(drop).zip(&shifted) {
+                assert_eq!(a.to_bits(), b.to_bits(), "drop={drop}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_pooled_bit_identical_across_thread_counts() {
+        let fis = gaussian_fis();
+        let kernel = fis.kernel();
+        let inputs = grid();
+        let reference = kernel
+            .eval_batch_with_prec(&inputs, EvalPrecision::BoundedUlp, &WorkerPool::serial())
+            .unwrap();
+        for threads in [2usize, 3, 8] {
+            let got = kernel
+                .eval_batch_with_prec(&inputs, EvalPrecision::BoundedUlp, &WorkerPool::new(threads))
+                .unwrap();
+            for (a, b) in got.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_outputs_are_close_to_exact_in_ulp() {
+        use cqm_math::fastexp::ulp_diff;
+        let fis = gaussian_fis();
+        let kernel = fis.kernel();
+        let mut scratch = kernel.scratch();
+        let mut exact = Vec::new();
+        let mut bounded = Vec::new();
+        let inputs = grid();
+        kernel.eval_batch_into(&inputs, &mut scratch, &mut exact).unwrap();
+        kernel
+            .eval_batch_into_prec(&inputs, EvalPrecision::BoundedUlp, &mut scratch, &mut bounded)
+            .unwrap();
+        let mut worst = 0_u64;
+        for (a, b) in exact.iter().zip(&bounded) {
+            worst = worst.max(ulp_diff(*a, *b));
+        }
+        // End-to-end bound: per-exponential error is <= EXP_BOUNDED_MAX_ULP,
+        // but the Product path also reassociates the exponent sum, so the
+        // output error is larger than the primitive bound while still tiny.
+        // Keep the asserted ceiling honest and documented (DESIGN.md §9).
+        assert!(worst <= 256, "bounded output drifted {worst} ULP from exact");
+        assert!(worst > 0, "bounded path unexpectedly bit-identical; gate is stale");
+    }
+
+    #[test]
+    fn bounded_non_product_tnorm_matches_row_wise_and_stays_in_domain() {
+        let fis = TskFis::new(vec![
+            TskRule::new(vec![gaussian(0.0, 0.3), gaussian(1.0, 0.5)], vec![1.0, -0.5, 0.2])
+                .unwrap(),
+            TskRule::new(vec![gaussian(1.0, 0.4), gaussian(0.0, 0.25)], vec![-2.0, 0.75, 1.1])
+                .unwrap(),
+        ])
+        .unwrap()
+        .with_tnorm(TNorm::Minimum);
+        let kernel = fis.kernel();
+        let inputs = grid();
+        let mut scratch = kernel.scratch();
+        let mut out = Vec::new();
+        kernel
+            .eval_batch_into_prec(&inputs, EvalPrecision::BoundedUlp, &mut scratch, &mut out)
+            .unwrap();
+        let mut row_scratch = TskScratch::new();
+        for (v, got) in inputs.iter().zip(&out) {
+            let want = kernel
+                .eval_into_prec(v, EvalPrecision::BoundedUlp, &mut row_scratch)
+                .unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "at {v:?}");
+        }
+    }
+
+    #[test]
+    fn bounded_batch_stops_at_first_bad_row_mid_block() {
+        let fis = gaussian_fis();
+        let kernel = fis.kernel();
+        let mut inputs = grid();
+        inputs[6] = vec![9.0e4, 9.0e4]; // NoRuleFired in the middle of a block
+        inputs[9] = vec![0.25]; // DimensionMismatch later (degrades its window)
+        let mut scratch = kernel.scratch();
+        let mut out = Vec::new();
+        let err = kernel
+            .eval_batch_into_prec(&inputs, EvalPrecision::BoundedUlp, &mut scratch, &mut out)
+            .unwrap_err();
+        assert!(matches!(err, FuzzyError::NoRuleFired));
+        assert_eq!(out.len(), 6, "outputs of the rows before the failure");
+    }
+
+    #[test]
+    fn mixed_arity_rows_keep_first_error_order_in_blocked_path() {
+        let fis = gaussian_fis();
+        let kernel = fis.kernel();
+        let mut inputs = grid();
+        inputs[2] = vec![0.5]; // DimensionMismatch inside the first block
+        let mut scratch = kernel.scratch();
+        let mut out = Vec::new();
+        let err = kernel.eval_batch_into(&inputs, &mut scratch, &mut out).unwrap_err();
+        assert!(matches!(err, FuzzyError::DimensionMismatch { actual: 1, .. }));
+        assert_eq!(out.len(), 2);
     }
 
     #[test]

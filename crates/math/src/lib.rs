@@ -40,8 +40,10 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![allow(clippy::needless_range_loop)]
 
+pub mod fastexp;
 pub mod gaussian;
 pub mod histogram;
+pub mod lanes;
 pub mod linsolve;
 pub mod matrix;
 pub mod qr;

@@ -1,0 +1,166 @@
+//! ULP contract for `cqm_math::fastexp` (DESIGN.md section 9).
+//!
+//! Proves, by dense sweep, that `exp_bounded` stays within its documented
+//! `EXP_BOUNDED_MAX_ULP` bound against `f64::exp` over the Gaussian
+//! membership argument domain (`-0.5 * z * z`), over the wider fast range,
+//! and that every edge case (NaN, ±inf, overflow, denormal results)
+//! engages the scalar fallback bit-exactly.
+
+use cqm_math::fastexp::{exp4_bounded, exp_bounded, ulp_diff, EXP_BOUNDED_MAX_ULP};
+
+/// Deterministic LCG so the random sweeps are replayable.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0
+    }
+    /// Uniform in [lo, hi).
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+}
+
+fn assert_within_bound(x: f64) -> u64 {
+    let got = exp_bounded(x);
+    let want = x.exp();
+    let d = ulp_diff(got, want);
+    assert!(
+        d <= EXP_BOUNDED_MAX_ULP,
+        "exp_bounded({x:e}) = {got:e} vs std {want:e}: {d} ULP > bound {EXP_BOUNDED_MAX_ULP}"
+    );
+    d
+}
+
+/// The membership argument domain: `-0.5 * z * z` for standardized
+/// distances `z` an appliance kernel actually sees. A dense grid of
+/// `z` in [0, 37] covers arguments from 0 down to ~-684.5, past which a
+/// Gaussian firing strength underflows to zero anyway.
+#[test]
+fn membership_domain_dense_sweep_holds_bound() {
+    let mut worst = 0_u64;
+    let mut n = 0_u64;
+    let mut z = 0.0_f64;
+    while z <= 37.0 {
+        worst = worst.max(assert_within_bound(-0.5 * z * z));
+        z += 1.0 / 1024.0;
+        n += 1;
+    }
+    assert!(n > 37_000, "sweep unexpectedly small: {n} points");
+    // The bound is tight for this domain, not just an upper bound: the
+    // sweep must actually observe a nonzero error somewhere, otherwise
+    // the documented bound has gone stale and should be lowered.
+    assert!(worst >= 1, "documented ULP bound is stale: sweep saw {worst}");
+}
+
+/// Random sweep across the entire fast range, both signs.
+#[test]
+fn fast_range_random_sweep_holds_bound() {
+    let mut rng = Lcg(0x9e3779b97f4a7c15);
+    for _ in 0..200_000 {
+        let x = rng.uniform(-707.9, 708.9);
+        assert_within_bound(x);
+    }
+}
+
+/// Dense neighbourhood sweeps around the algebraically delicate points:
+/// zero (result exactly 1), the k-rounding tie points at multiples of
+/// ln(2)/2, and the fast-range borders.
+#[test]
+fn boundary_neighbourhoods_hold_bound() {
+    let ln2 = std::f64::consts::LN_2;
+    let centers = [
+        0.0,
+        ln2 / 2.0,
+        -ln2 / 2.0,
+        ln2,
+        -ln2,
+        10.5 * ln2,
+        -10.5 * ln2,
+        -707.99,
+        708.99,
+    ];
+    for c in centers {
+        let mut x = c;
+        // Walk 64 ULPs to each side of the center.
+        for _ in 0..64 {
+            x = next_down(x);
+        }
+        for _ in 0..128 {
+            if x > -708.0 && x < 709.0 {
+                assert_within_bound(x);
+            }
+            x = next_up(x);
+        }
+    }
+}
+
+fn next_up(x: f64) -> f64 {
+    f64::from_bits(if x >= 0.0 { x.to_bits() + 1 } else { x.to_bits() - 1 })
+}
+
+fn next_down(x: f64) -> f64 {
+    if x.to_bits() == 0 {
+        return -f64::from_bits(1);
+    }
+    f64::from_bits(if x > 0.0 { x.to_bits() - 1 } else { x.to_bits() + 1 })
+}
+
+/// Outside the fast range the result must be *bit-identical* to std —
+/// the fallback hands the argument straight to `f64::exp`.
+#[test]
+fn fallback_region_is_bit_exact_with_std() {
+    // Overflow side.
+    for x in [709.0, 709.7827, 710.0, 1.0e4, f64::MAX] {
+        assert_eq!(exp_bounded(x).to_bits(), x.exp().to_bits(), "x={x}");
+    }
+    // Denormal-result / underflow side: exp(x) for x in [-745.2, -708]
+    // produces denormals, then exact zero.
+    let mut rng = Lcg(42);
+    for _ in 0..20_000 {
+        let x = rng.uniform(-746.0, -708.0);
+        let got = exp_bounded(x);
+        assert_eq!(got.to_bits(), x.exp().to_bits(), "x={x}");
+    }
+    assert_eq!(exp_bounded(-746.0).to_bits(), (-746.0_f64).exp().to_bits());
+    assert_eq!(exp_bounded(-1.0e6).to_bits(), 0.0_f64.to_bits());
+    // Specials.
+    assert!(exp_bounded(f64::NAN).is_nan());
+    assert_eq!(exp_bounded(f64::INFINITY).to_bits(), f64::INFINITY.to_bits());
+    assert_eq!(exp_bounded(f64::NEG_INFINITY).to_bits(), 0.0_f64.to_bits());
+}
+
+/// A denormal *argument* is deep inside the fast range and must still be
+/// within bound (the answer is within an ULP of 1.0).
+#[test]
+fn denormal_arguments_hold_bound() {
+    for x in [f64::from_bits(1), -f64::from_bits(1), f64::MIN_POSITIVE, -f64::MIN_POSITIVE] {
+        assert_within_bound(x);
+    }
+}
+
+/// Lane results never depend on batch position: for random blocks mixing
+/// in-range and out-of-range lanes, exp4 agrees bitwise with four
+/// independent scalar calls.
+#[test]
+fn lanes_agree_with_scalar_for_mixed_blocks() {
+    let mut rng = Lcg(7);
+    for _ in 0..50_000 {
+        let mut block = [0.0_f64; 4];
+        for lane in block.iter_mut() {
+            // ~1/8 of lanes land outside the fast range.
+            let wide = rng.next_u64() % 8 == 0;
+            *lane = if wide {
+                rng.uniform(-900.0, 900.0)
+            } else {
+                rng.uniform(-700.0, 700.0)
+            };
+        }
+        let lanes = exp4_bounded(block);
+        for (l, x) in lanes.iter().zip(&block) {
+            assert_eq!(l.to_bits(), exp_bounded(*x).to_bits(), "x={x}");
+        }
+    }
+}

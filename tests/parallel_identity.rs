@@ -112,6 +112,34 @@ fn steady_state_kernel_eval_allocates_nothing() {
 }
 
 #[test]
+fn presized_scratch_first_batch_allocates_nothing() {
+    let fis = gaussian_fis();
+    let kernel = fis.kernel();
+    let inputs: Vec<Vec<f64>> = (0..256)
+        .map(|i| vec![(i as f64) / 255.0, 1.0 - (i as f64) / 255.0])
+        .collect();
+
+    // No warm-up: TskKernel::scratch pre-sizes every buffer from the rule
+    // count and input dimension, and eval_batch_into reserve_exacts `out`,
+    // so even the *first* blocked batch sweep must stay off the heap.
+    let mut scratch = kernel.scratch();
+    let mut out: Vec<f64> = Vec::with_capacity(inputs.len());
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    kernel
+        .eval_batch_into(&inputs, &mut scratch, &mut out)
+        .expect("batch eval");
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(out.len(), inputs.len());
+    assert!(out.iter().all(|y| y.is_finite()));
+    assert_eq!(
+        after - before,
+        0,
+        "first blocked batch through a pre-sized scratch must not touch the heap"
+    );
+}
+
+#[test]
 fn anfis_training_is_bit_identical_across_thread_counts() {
     let data = training_data(300);
     let params = GenfisParams::with_radius(0.5);
