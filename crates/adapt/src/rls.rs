@@ -1,0 +1,294 @@
+//! Streaming consequent updates via recursive least squares.
+//!
+//! [`StreamingConsequents`] layers on the LSE seam in `cqm-anfis`: each
+//! observation's design row is the same rule-major block
+//! `[w̄_j x_1, …, w̄_j x_n, w̄_j]` that `design_matrix_with` assembles, so a
+//! streaming replay of a dataset is **bit-identical** to the batch RLS
+//! sweep [`cqm_anfis::lse::fit_consequents_rls_with`] at any worker count
+//! (the parallel batch path only parallelizes row assembly, which is
+//! bit-deterministic; the recursion itself is serial in both). The
+//! difference to the batch SVD solution is *bounded*, not zero — see
+//! DESIGN.md §14 for the documented bound and why it is the best a
+//! rank-one recursion can promise.
+//!
+//! The forgetting factor `λ ∈ (0, 1]` down-weights old evidence; a
+//! covariance reset (`P = γI`) after a structural change (rule insertion,
+//! regime change) restarts the gain without discarding the coefficient
+//! estimate.
+
+use cqm_anfis::lse::{apply_theta, extract_theta, RecursiveLse};
+use cqm_fuzzy::TskFis;
+
+use crate::{AdaptError, Result};
+
+/// A recursive least-squares estimator warm-started from a TSK FIS's
+/// consequents, consuming one `(input, target)` observation at a time.
+#[derive(Debug, Clone)]
+pub struct StreamingConsequents {
+    rls: RecursiveLse,
+    input_dim: usize,
+    rule_count: usize,
+    /// Observations folded into the estimate.
+    updates: u64,
+    /// Observations skipped because no rule fired.
+    skipped: u64,
+    /// Scratch row, reused across updates (no steady-state allocation).
+    row: Vec<f64>,
+}
+
+impl StreamingConsequents {
+    /// Warm-start from the consequents of `fis` with covariance `γI` and
+    /// forgetting factor `λ`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RecursiveLse::from_theta`] domain checks (γ, λ) and
+    /// rejects a FIS with no rules.
+    pub fn new(fis: &TskFis, gamma: f64, lambda: f64) -> Result<Self> {
+        let theta = extract_theta(fis);
+        if theta.is_empty() {
+            return Err(AdaptError::InvalidConfig {
+                name: "rule_count",
+                value: 0.0,
+            });
+        }
+        let cols = theta.len();
+        let rls = RecursiveLse::from_theta(theta, gamma, lambda)?;
+        let input_dim = fis.input_dim();
+        let rule_count = fis.rule_count();
+        debug_assert_eq!(cols, rule_count * (input_dim + 1));
+        Ok(StreamingConsequents {
+            rls,
+            input_dim,
+            rule_count,
+            updates: 0,
+            skipped: 0,
+            row: vec![0.0; cols],
+        })
+    }
+
+    /// Observations folded into the estimate so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Observations skipped because no rule fired on them.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// The current coefficient estimate (rule-major blocks).
+    pub fn theta(&self) -> &[f64] {
+        self.rls.theta()
+    }
+
+    /// Fold in one observation. The design row is computed against the
+    /// premises of `fis` exactly as the batch path does; `fis` consequents
+    /// are not read, so the caller may defer [`Self::apply`] indefinitely.
+    /// Returns `false` (and counts a skip) when no rule fires on `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaptError::InvalidConfig`] on input-dimension mismatch
+    /// and propagates RLS update failures (non-finite values).
+    pub fn observe(&mut self, fis: &TskFis, input: &[f64], target: f64) -> Result<bool> {
+        if input.len() != self.input_dim || fis.rule_count() != self.rule_count {
+            return Err(AdaptError::InvalidConfig {
+                name: "input_dim",
+                value: input.len() as f64,
+            });
+        }
+        let eval = match fis.eval_detailed(input) {
+            Ok(e) => e,
+            Err(_) => {
+                self.skipped += 1;
+                return Ok(false);
+            }
+        };
+        let block = self.input_dim + 1;
+        for j in 0..self.rule_count {
+            // lint: allow(PANIC_IN_LIB) -- eval_detailed yields one normalized firing per rule, checked against rule_count above
+            let wbar = eval.normalized_firing[j];
+            let base = j * block;
+            for (i, &xi) in input.iter().enumerate() {
+                self.row[base + i] = wbar * xi;
+            }
+            self.row[base + self.input_dim] = wbar;
+        }
+        self.rls.update(&self.row, target)?;
+        self.updates += 1;
+        Ok(true)
+    }
+
+    /// Reset the covariance to `γI`, keeping the coefficient estimate —
+    /// call after a structural change so the gain re-opens.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RecursiveLse::reset_covariance`] domain checks.
+    pub fn reset_covariance(&mut self, gamma: f64) -> Result<()> {
+        self.rls.reset_covariance(gamma)?;
+        Ok(())
+    }
+
+    /// Write the current estimate into the consequents of `fis`.
+    pub fn apply(&self, fis: &mut TskFis) {
+        apply_theta(fis, self.rls.theta());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqm_anfis::lse::fit_consequents_rls_with;
+    use cqm_anfis::{genfis, Dataset, GenfisParams};
+    use cqm_parallel::WorkerPool;
+
+    const GAMMA: f64 = 1e6;
+
+    fn curve_data() -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..60 {
+            let x = i as f64 / 59.0;
+            let y = (1.0 - x) * 0.3;
+            d.push(vec![x, y], (2.5 * x - 1.2 * y).sin() * 0.5 + 0.5)
+                .unwrap();
+        }
+        d
+    }
+
+    fn fis_for(data: &Dataset) -> TskFis {
+        genfis(data, &GenfisParams::default()).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_domains() {
+        let data = curve_data();
+        let fis = fis_for(&data);
+        assert!(StreamingConsequents::new(&fis, 0.0, 1.0).is_err());
+        assert!(StreamingConsequents::new(&fis, GAMMA, 0.0).is_err());
+        assert!(StreamingConsequents::new(&fis, GAMMA, 1.5).is_err());
+        let mut s = StreamingConsequents::new(&fis, GAMMA, 1.0).unwrap();
+        assert!(s.observe(&fis, &[0.5], 0.0).is_err());
+        assert!(s.reset_covariance(-1.0).is_err());
+    }
+
+    #[test]
+    fn streaming_replay_is_bit_identical_to_batch_sweep_at_any_worker_count() {
+        let data = curve_data();
+        let base = fis_for(&data);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = if threads == 1 {
+                WorkerPool::serial()
+            } else {
+                WorkerPool::new(threads)
+            };
+            // Batch sweep on a worker pool.
+            let mut batch_fis = base.clone();
+            fit_consequents_rls_with(&mut batch_fis, &data, GAMMA, 1.0, &pool).unwrap();
+            // Streaming replay, strictly serial, one observation at a time.
+            let mut stream_fis = base.clone();
+            let mut s = StreamingConsequents::new(&stream_fis, GAMMA, 1.0).unwrap();
+            for (x, y) in data.iter() {
+                s.observe(&stream_fis, x, y).unwrap();
+            }
+            s.apply(&mut stream_fis);
+            let batch_bits: Vec<u64> = cqm_anfis::lse::extract_theta(&batch_fis)
+                .iter()
+                .map(|c| c.to_bits())
+                .collect();
+            let stream_bits: Vec<u64> = s.theta().iter().map(|c| c.to_bits()).collect();
+            assert_eq!(batch_bits, stream_bits, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn forgetting_tracks_a_regime_change() {
+        // y flips from +x to -x mid-stream; λ < 1 must track the new
+        // regime, λ = 1 stays anchored to the average.
+        let mut d = Dataset::new(1);
+        for i in 0..40 {
+            d.push(vec![i as f64 / 39.0], i as f64 / 39.0).unwrap();
+        }
+        let fis = fis_for(&d);
+        let run = |lambda: f64| {
+            let mut s = StreamingConsequents::new(&fis, GAMMA, lambda).unwrap();
+            for (x, y) in d.iter() {
+                s.observe(&fis, x, y).unwrap();
+            }
+            // Regime change: same inputs, negated targets.
+            for (x, y) in d.iter() {
+                for _ in 0..3 {
+                    s.observe(&fis, x, -y).unwrap();
+                }
+            }
+            let mut f = fis.clone();
+            s.apply(&mut f);
+            // Error against the *new* regime.
+            let mut err = 0.0;
+            for (x, y) in d.iter() {
+                let out = f.eval(x).unwrap();
+                err += (out - (-y)).powi(2);
+            }
+            (err / d.len() as f64).sqrt()
+        };
+        let anchored = run(1.0);
+        let tracking = run(0.9);
+        assert!(
+            tracking < anchored * 0.5,
+            "λ=0.9 rmse {tracking} vs λ=1 rmse {anchored}"
+        );
+    }
+
+    #[test]
+    fn covariance_reset_reopens_the_gain() {
+        let mut d = Dataset::new(1);
+        for i in 0..50 {
+            d.push(vec![i as f64 / 49.0], 0.5).unwrap();
+        }
+        let fis = fis_for(&d);
+        let mut s = StreamingConsequents::new(&fis, GAMMA, 1.0).unwrap();
+        for (x, y) in d.iter() {
+            s.observe(&fis, x, y).unwrap();
+        }
+        // The data contradicts the settled estimate at x near 0: target
+        // jumps from 0.5 to 1.5. A settled gain barely follows in 5
+        // updates; a reset gain snaps to the new target.
+        let probes: Vec<Vec<f64>> = d.inputs().iter().take(5).cloned().collect();
+        let output_err = |s: &StreamingConsequents| {
+            let mut f = fis.clone();
+            s.apply(&mut f);
+            probes
+                .iter()
+                .map(|x| (f.eval(x).unwrap() - 1.5).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let mut frozen = s.clone();
+        for x in &probes {
+            frozen.observe(&fis, x, 1.5).unwrap();
+        }
+        s.reset_covariance(GAMMA).unwrap();
+        for x in &probes {
+            s.observe(&fis, x, 1.5).unwrap();
+        }
+        let err_frozen = output_err(&frozen);
+        let err_reset = output_err(&s);
+        assert!(
+            err_reset < err_frozen * 0.5,
+            "reset err {err_reset} vs frozen err {err_frozen}"
+        );
+    }
+
+    #[test]
+    fn unfired_samples_are_skipped_not_fatal() {
+        let data = curve_data();
+        let fis = fis_for(&data);
+        let mut s = StreamingConsequents::new(&fis, GAMMA, 1.0).unwrap();
+        // A point absurdly far outside the data support: every Gaussian
+        // underflows to zero firing and the sample is skipped.
+        let fired = s.observe(&fis, &[1e9, -1e9], 0.0).unwrap();
+        assert!(!fired);
+        assert_eq!(s.skipped(), 1);
+        assert_eq!(s.updates(), 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The sliding-window sample store feeding online adaptation.
+//!
+//! A bounded FIFO of labeled observations: every push beyond the capacity
+//! deterministically evicts the oldest sample, so the window's contents are
+//! a pure function of the observation sequence — replaying the same stream
+//! reproduces the same window (and therefore the same retrain) bit for bit.
+//! Monotonic sequence numbers record how much history has scrolled past,
+//! and deterministic train/holdout splits are derived from position in the
+//! window, never from randomness.
+
+// analyze: streaming
+
+use std::collections::VecDeque;
+
+use cqm_core::classifier::ClassId;
+
+use crate::{AdaptError, Result};
+
+/// One labeled observation entering the adaptation loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptSample {
+    /// Cue vector as seen by the classifier.
+    pub cues: Vec<f64>,
+    /// Ground-truth context of the window (the supervision signal; in a
+    /// deployment this is user feedback or delayed labeling).
+    pub truth: ClassId,
+}
+
+/// Bounded FIFO over [`AdaptSample`] with deterministic oldest-first
+/// eviction.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    samples: VecDeque<AdaptSample>,
+    capacity: usize,
+    /// Sequence number of the next push (total samples ever observed).
+    next_seq: u64,
+    /// Samples evicted so far.
+    evicted: u64,
+}
+
+impl SlidingWindow {
+    /// Create a window holding at most `capacity` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaptError::InvalidConfig`] if `capacity == 0`.
+    pub fn new(capacity: usize) -> Result<Self> {
+        if capacity == 0 {
+            return Err(AdaptError::InvalidConfig {
+                name: "capacity",
+                value: 0.0,
+            });
+        }
+        Ok(SlidingWindow {
+            samples: VecDeque::with_capacity(capacity),
+            capacity,
+            next_seq: 0,
+            evicted: 0,
+        })
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window holds nothing yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Whether the window has reached its capacity (every further push
+    /// evicts).
+    pub fn is_full(&self) -> bool {
+        self.samples.len() == self.capacity
+    }
+
+    /// Total samples ever pushed.
+    pub fn observed(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Samples evicted by the capacity bound so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Push one sample, evicting the oldest if the window is full. Returns
+    /// the sample's sequence number.
+    pub fn push(&mut self, sample: AdaptSample) -> u64 {
+        while self.samples.len() >= self.capacity {
+            self.samples.pop_front();
+            self.evicted += 1;
+        }
+        self.samples.push_back(sample);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Iterate oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &AdaptSample> {
+        self.samples.iter()
+    }
+
+    /// Deterministic train/holdout split: every `holdout_every`-th sample
+    /// (by window position, starting at index `holdout_every - 1`) goes to
+    /// the holdout, the rest to training. Position-based, so the split is a
+    /// pure function of the window contents — no randomness, replayable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaptError::InvalidConfig`] if `holdout_every < 2` (the
+    /// holdout would swallow everything) and [`AdaptError::NotEnoughData`]
+    /// if either side of the split would be empty.
+    pub fn split(&self, holdout_every: usize) -> Result<(Vec<&AdaptSample>, Vec<&AdaptSample>)> {
+        if holdout_every < 2 {
+            return Err(AdaptError::InvalidConfig {
+                name: "holdout_every",
+                value: holdout_every as f64,
+            });
+        }
+        let mut train = Vec::new();
+        let mut holdout = Vec::new();
+        for (i, s) in self.samples.iter().enumerate() {
+            if (i + 1) % holdout_every == 0 {
+                holdout.push(s);
+            } else {
+                train.push(s);
+            }
+        }
+        if train.is_empty() || holdout.is_empty() {
+            return Err(AdaptError::NotEnoughData {
+                have: self.samples.len(),
+                need: holdout_every,
+            });
+        }
+        Ok((train, holdout))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(v: f64) -> AdaptSample {
+        AdaptSample {
+            cues: vec![v],
+            truth: ClassId(0),
+        }
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert!(SlidingWindow::new(0).is_err());
+    }
+
+    #[test]
+    fn eviction_is_oldest_first_and_counted() {
+        let mut w = SlidingWindow::new(3).unwrap();
+        for i in 0..5 {
+            let seq = w.push(sample(i as f64));
+            assert_eq!(seq, i);
+        }
+        assert_eq!(w.len(), 3);
+        assert!(w.is_full());
+        assert_eq!(w.observed(), 5);
+        assert_eq!(w.evicted(), 2);
+        let held: Vec<f64> = w.iter().map(|s| s.cues[0]).collect();
+        assert_eq!(held, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn window_contents_are_a_pure_function_of_the_stream() {
+        let mut a = SlidingWindow::new(4).unwrap();
+        let mut b = SlidingWindow::new(4).unwrap();
+        for i in 0..13 {
+            a.push(sample(i as f64 * 0.1));
+            b.push(sample(i as f64 * 0.1));
+        }
+        let xa: Vec<u64> = a.iter().map(|s| s.cues[0].to_bits()).collect();
+        let xb: Vec<u64> = b.iter().map(|s| s.cues[0].to_bits()).collect();
+        assert_eq!(xa, xb);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_disjoint() {
+        let mut w = SlidingWindow::new(10).unwrap();
+        for i in 0..10 {
+            w.push(sample(i as f64));
+        }
+        let (train, holdout) = w.split(5).unwrap();
+        assert_eq!(train.len(), 8);
+        assert_eq!(holdout.len(), 2);
+        let hv: Vec<f64> = holdout.iter().map(|s| s.cues[0]).collect();
+        assert_eq!(hv, vec![4.0, 9.0]);
+        // Split again: identical.
+        let (_, holdout2) = w.split(5).unwrap();
+        let hv2: Vec<f64> = holdout2.iter().map(|s| s.cues[0]).collect();
+        assert_eq!(hv, hv2);
+    }
+
+    #[test]
+    fn split_validation() {
+        let mut w = SlidingWindow::new(4).unwrap();
+        w.push(sample(0.0));
+        assert!(w.split(1).is_err());
+        // One sample: holdout side would be empty.
+        assert!(w.split(2).is_err());
+    }
+}

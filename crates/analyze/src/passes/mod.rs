@@ -14,6 +14,7 @@ mod no_deadline_io;
 mod panic_lib;
 mod time_in_logic;
 mod unbounded_channel;
+mod unbounded_window;
 
 pub use approx_math::ApproxMath;
 pub use assert_density::AssertDensity;
@@ -27,6 +28,7 @@ pub use no_deadline_io::NoDeadlineIo;
 pub use panic_lib::PanicInLib;
 pub use time_in_logic::TimeInLogic;
 pub use unbounded_channel::UnboundedChannel;
+pub use unbounded_window::{UnboundedWindow, STREAMING_TAG};
 
 use crate::scanner::SourceFile;
 use std::path::PathBuf;
@@ -97,6 +99,7 @@ pub fn default_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(TimeInLogic::default()),
         Box::new(NoDeadlineIo::default()),
         Box::new(ApproxMath),
+        Box::new(UnboundedWindow),
     ]
 }
 

@@ -1,0 +1,272 @@
+//! UNBOUNDED_WINDOW — growable collections without an eviction bound in
+//! streaming files.
+//!
+//! The online-adaptation contract (PR 10) is that every sample store on a
+//! long-lived streaming path is O(capacity) forever: the sliding window
+//! evicts oldest-first on every push past its bound. A `.push(...)` /
+//! `.insert(...)` / `.extend(...)` on a growable collection with no
+//! eviction or cap call anywhere in an enclosing block is the classic slow
+//! leak — it passes every test (tests run minutes, deployments run months)
+//! and only shows up as an OOM kill in week six.
+//!
+//! The pass is opt-in per file: it only runs on files carrying the
+//! `// analyze: streaming` marker comment, so batch training code that
+//! legitimately accumulates into a `Vec` is not flooded with findings. A
+//! growth call is bounded when any block on its ancestor chain (innermost
+//! statement block up through the `impl`) contains an eviction/cap call —
+//! `.pop_front()`, `.truncate()`, `.drain()`, … — so a `push` in one method
+//! is covered by the eviction its sibling method performs on the same
+//! store. Collections that are genuinely bounded some other way (split
+//! buffers capped by the window they copy from, say) are suppressed the
+//! usual way with `// lint: allow(UNBOUNDED_WINDOW) -- reason`.
+
+use std::collections::BTreeSet;
+
+use super::{find_all, Finding, Level, LintPass};
+use crate::scanner::SourceFile;
+
+/// See module docs.
+pub struct UnboundedWindow;
+
+const ID: &str = "UNBOUNDED_WINDOW";
+
+/// The file tag that opts a file into this pass.
+pub const STREAMING_TAG: &str = "streaming";
+
+/// Calls that grow a collection. Matched literally (trailing `(` included)
+/// so `.push(` does not also hit `.push_back(`.
+const GROWTH_CALLS: &[&str] = &[
+    ".push(",
+    ".push_back(",
+    ".push_front(",
+    ".insert(",
+    ".extend(",
+    ".extend_from_slice(",
+    ".append(",
+];
+
+/// Calls that evict, cap, or shrink a collection; any one of them in an
+/// enclosing block bounds the growth site.
+const EVICTION_CALLS: &[&str] = &[
+    ".pop(",
+    ".pop_front(",
+    ".pop_back(",
+    ".truncate(",
+    ".drain(",
+    ".clear(",
+    ".remove(",
+    ".split_off(",
+    ".retain(",
+    ".swap_remove(",
+    ".dedup(",
+];
+
+impl LintPass for UnboundedWindow {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "flags collection growth calls with no eviction/cap call in an \
+         enclosing block, in files tagged `// analyze: streaming`"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if !file.has_tag(STREAMING_TAG) {
+            return;
+        }
+        let joined = file.joined_code();
+        let mut seen = BTreeSet::new();
+        for &growth in GROWTH_CALLS {
+            for pos in find_all(joined, growth) {
+                let lineno = file.line_of(pos);
+                let Some(l) = file.lines.get(lineno - 1) else {
+                    continue;
+                };
+                if l.in_test {
+                    continue;
+                }
+                if !seen.insert((pos, growth)) {
+                    continue;
+                }
+                if bounded_by_ancestor(file, pos) {
+                    continue;
+                }
+                let shown = growth.trim_end_matches('(');
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: lineno,
+                    lint: ID,
+                    message: format!(
+                        "`{shown}(...)` grows a collection in a streaming \
+                         file with no eviction or cap call (.pop_front/\
+                         .truncate/.drain/...) in any enclosing block; bound \
+                         the window (suppress with a pragma if the growth is \
+                         capped another way)"
+                    ),
+                    level: Level::Warn,
+                });
+            }
+        }
+    }
+}
+
+/// Does any block on the ancestor chain of `pos` — innermost block out to
+/// the top-level item — contain an eviction/cap call? Checking the whole
+/// ancestor span (not just the growth site's own function) means a `push`
+/// in one method is bounded by the `pop_front` a sibling method of the same
+/// `impl` performs on the shared store.
+fn bounded_by_ancestor(file: &SourceFile, pos: usize) -> bool {
+    let tree = file.block_tree();
+    let mut at = tree.enclosing_at(pos);
+    while let Some(block) = at.and_then(|i| tree.blocks.get(i)) {
+        if EVICTION_CALLS
+            .iter()
+            .any(|&e| file.span_contains_call(block.body(), e))
+        {
+            return true;
+        }
+        at = block.parent;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::scan(Path::new("t.rs"), src);
+        let mut out = Vec::new();
+        UnboundedWindow.check(&file, &mut out);
+        out
+    }
+
+    const TAG: &str = "// analyze: streaming\n";
+
+    #[test]
+    fn untagged_file_is_ignored() {
+        let f = run(
+            "fn f(log: &mut Vec<f64>, x: f64) {\n\
+             \x20   log.push(x);\n\
+             }\n",
+        );
+        assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn growth_without_eviction_is_flagged() {
+        let src = format!(
+            "{TAG}fn observe(log: &mut Vec<f64>, x: f64) {{\n\
+             \x20   log.push(x);\n\
+             }}\n"
+        );
+        let f = run(&src);
+        assert_eq!(f.len(), 1, "got {f:?}");
+        assert_eq!(f[0].lint, ID);
+        assert_eq!(f[0].level, Level::Warn);
+        assert!(f[0].message.contains(".push(...)"), "got {}", f[0].message);
+    }
+
+    #[test]
+    fn eviction_in_same_function_bounds_the_growth() {
+        let src = format!(
+            "{TAG}use std::collections::VecDeque;\n\
+             fn observe(log: &mut VecDeque<f64>, cap: usize, x: f64) {{\n\
+             \x20   while log.len() >= cap {{\n\
+             \x20       log.pop_front();\n\
+             \x20   }}\n\
+             \x20   log.push_back(x);\n\
+             }}\n"
+        );
+        let f = run(&src);
+        assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn eviction_in_sibling_method_of_same_impl_bounds_the_growth() {
+        // The ancestor chain of the push reaches the impl block, whose span
+        // covers the sibling method that evicts from the shared store.
+        let src = format!(
+            "{TAG}struct W {{ xs: Vec<f64> }}\n\
+             impl W {{\n\
+             \x20   fn grow(&mut self, x: f64) {{\n\
+             \x20       self.xs.push(x);\n\
+             \x20   }}\n\
+             \x20   fn cap(&mut self, n: usize) {{\n\
+             \x20       self.xs.truncate(n);\n\
+             \x20   }}\n\
+             }}\n"
+        );
+        let f = run(&src);
+        assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn eviction_in_unrelated_item_does_not_bound() {
+        // `other` evicts its own store, but it is no ancestor of `grow`.
+        let src = format!(
+            "{TAG}fn grow(xs: &mut Vec<f64>, x: f64) {{\n\
+             \x20   xs.push(x);\n\
+             }}\n\
+             fn other(ys: &mut Vec<f64>) {{\n\
+             \x20   ys.clear();\n\
+             }}\n"
+        );
+        let f = run(&src);
+        assert_eq!(f.len(), 1, "got {f:?}");
+    }
+
+    #[test]
+    fn all_growth_patterns_are_recognized() {
+        let src = format!(
+            "{TAG}use std::collections::{{BTreeMap, VecDeque}};\n\
+             fn f(v: &mut Vec<f64>, d: &mut VecDeque<f64>, m: &mut BTreeMap<u64, f64>, o: Vec<f64>) {{\n\
+             \x20   v.push(1.0);\n\
+             \x20   v.extend(o.iter().copied());\n\
+             \x20   v.extend_from_slice(&[2.0]);\n\
+             \x20   d.push_back(3.0);\n\
+             \x20   d.push_front(4.0);\n\
+             \x20   m.insert(0, 5.0);\n\
+             \x20   let mut v2 = o;\n\
+             \x20   v.append(&mut v2);\n\
+             }}\n"
+        );
+        let f = run(&src);
+        assert_eq!(f.len(), 7, "got {f:?}");
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = format!(
+            "{TAG}#[cfg(test)]\n\
+             mod tests {{\n\
+             \x20   fn t(xs: &mut Vec<f64>) {{\n\
+             \x20       xs.push(0.0);\n\
+             \x20   }}\n\
+             }}\n"
+        );
+        let f = run(&src);
+        assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn pragma_suppresses_through_the_driver() {
+        let src = format!(
+            "{TAG}fn split(xs: &[f64]) -> Vec<f64> {{\n\
+             \x20   let mut out = Vec::new();\n\
+             \x20   for &x in xs {{\n\
+             \x20       // lint: allow(UNBOUNDED_WINDOW) -- bounded by the input slice length\n\
+             \x20       out.push(x);\n\
+             \x20   }}\n\
+             \x20   out\n\
+             }}\n"
+        );
+        let file = SourceFile::scan(Path::new("t.rs"), &src);
+        let passes: Vec<Box<dyn LintPass>> = vec![Box::new(UnboundedWindow)];
+        let a = crate::analyze_file(&file, &passes);
+        assert!(a.findings.is_empty(), "got {:?}", a.findings);
+        assert_eq!(a.suppressed, 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! BAD: streaming accumulators that grow forever — the slow leak
+//! UNBOUNDED_WINDOW exists to catch. No eviction or cap call anywhere on
+//! the ancestor chain of either growth site.
+
+// analyze: streaming
+
+use std::collections::VecDeque;
+
+/// Rolling log of quality margins with no capacity bound.
+pub struct MarginLog {
+    margins: Vec<f64>,
+}
+
+impl MarginLog {
+    /// Record one margin observation. Grows without bound.
+    pub fn observe(&mut self, margin: f64) {
+        self.margins.push(margin);
+    }
+
+    /// Observations recorded so far.
+    pub fn len(&self) -> usize {
+        self.margins.len()
+    }
+}
+
+/// Append to a queue that nothing ever drains.
+pub fn enqueue(backlog: &mut VecDeque<f64>, x: f64) {
+    backlog.push_back(x);
+}

@@ -1,0 +1,47 @@
+//! CLEAN: streaming stores whose growth is bounded — eviction in the same
+//! function, eviction in a sibling method of the same `impl`, and a
+//! pragma-suppressed copy that is capped by its input.
+
+// analyze: streaming
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO: every push past the capacity evicts oldest-first.
+pub struct Window {
+    samples: VecDeque<f64>,
+    capacity: usize,
+}
+
+impl Window {
+    /// Push one sample, evicting in the same function.
+    pub fn push(&mut self, x: f64) {
+        while self.samples.len() >= self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(x);
+    }
+
+    /// Growth here is bounded by the eviction `trim` performs on the same
+    /// store — the ancestor chain reaches the shared `impl` block.
+    pub fn push_unchecked(&mut self, x: f64) {
+        self.samples.push_back(x);
+    }
+
+    /// Cap the store from the other side.
+    pub fn trim(&mut self, keep: usize) {
+        self.samples.truncate(keep);
+    }
+}
+
+/// Copy out every other sample: output length is capped by the input
+/// window, so the growth is bounded another way.
+pub fn decimate(window: &Window) -> Vec<f64> {
+    let mut out = Vec::new();
+    for (i, &x) in window.samples.iter().enumerate() {
+        if i % 2 == 0 {
+            // lint: allow(UNBOUNDED_WINDOW) -- bounded by the window's own capacity
+            out.push(x);
+        }
+    }
+    out
+}

@@ -203,16 +203,35 @@ fn budgeted_socket_io_passes() {
 }
 
 #[test]
+fn unbounded_streaming_growth_is_flagged() {
+    let r = analyze("bad/adapt/src/window_leak.rs");
+    // The impl-local `push` and the free-function `push_back`.
+    assert_eq!(count(&r, "UNBOUNDED_WINDOW"), 2, "{:#?}", r.findings);
+    assert!(!r.failed(false), "UNBOUNDED_WINDOW is warn-level");
+    assert!(r.failed(true), "--deny-all must fail on it");
+}
+
+#[test]
+fn bounded_streaming_stores_pass_deny_all() {
+    let r = analyze("clean/adapt/src/window_bounded.rs");
+    assert!(
+        !r.failed(true),
+        "bounded/suppressed streaming growth must not be flagged:\n{}",
+        render(&r)
+    );
+}
+
+#[test]
 fn bad_tree_fails_even_without_deny_all() {
     let r = analyze("bad");
-    assert_eq!(r.files_scanned, 16);
+    assert_eq!(r.files_scanned, 17);
     assert!(r.failed(false));
 }
 
 #[test]
 fn clean_fixtures_pass_deny_all() {
     let r = analyze("clean");
-    assert_eq!(r.files_scanned, 12);
+    assert_eq!(r.files_scanned, 13);
     assert!(
         !r.failed(true),
         "clean fixtures produced findings:\n{}",

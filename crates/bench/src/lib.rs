@@ -24,6 +24,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod adaptbench;
 pub mod chaosbench;
 pub mod experiments;
 pub mod fleetbench;

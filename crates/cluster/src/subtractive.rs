@@ -170,6 +170,41 @@ impl SubtractiveClustering {
         Ok(potential_field(&x, alpha, pool, false).0)
     }
 
+    /// Potential of one **unit-normalized** point with respect to a set of
+    /// unit-normalized data points: `P(x) = Σ_j exp(−α ‖x − x_j‖²)`,
+    /// accumulated in ascending `j` — the same fixed-order row sum the
+    /// batch [`potential_field`] uses, so a point that *is* `data[i]`
+    /// scores bit-identically to row `i` of
+    /// [`SubtractiveClustering::initial_potentials`] on the same
+    /// normalization. This is the incremental entry point: streaming
+    /// adaptation (`cqm-adapt`) scores one new sample against a window
+    /// without rebuilding the O(n²) field.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::InvalidData`] on empty data or dimension mismatch.
+    /// * [`ClusterError::InvalidParameter`] from parameter validation.
+    pub fn potential_of(&self, point: &[f64], data_unit: &[Vec<f64>]) -> Result<f64> {
+        self.params.validate()?;
+        if data_unit.is_empty() {
+            return Err(ClusterError::InvalidData("empty data".into()));
+        }
+        let alpha = 4.0 / (self.params.radius * self.params.radius);
+        let mut p = 0.0f64;
+        for xj in data_unit {
+            let d2 = dist_sq(point, xj).map_err(|_| {
+                // lint: allow(HOT_LOOP_ALLOC) -- error path: allocates once and returns
+                ClusterError::InvalidData(format!(
+                    "point has {} dims, data has {}",
+                    point.len(),
+                    xj.len()
+                ))
+            })?;
+            p += exp_exact(-alpha * d2);
+        }
+        Ok(p)
+    }
+
     /// Run the algorithm with the O(n²) potential field distributed over
     /// `pool`. The result is bit-identical to the serial path at any thread
     /// count: every point's potential is an independent row sum accumulated
@@ -544,6 +579,31 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn potential_of_matches_field_rows_bit_for_bit() {
+        let mut data = blob(0.0, 0.0, 25, 0.3);
+        data.extend(blob(5.0, 2.0, 25, 0.4));
+        let runner = SubtractiveClustering::new(SubtractiveParams::default());
+        let field = runner
+            .initial_potentials(&data, &WorkerPool::serial())
+            .unwrap();
+        let scaler = UnitScaler::fit(&data).unwrap();
+        let x = scaler.transform_all(&data).unwrap();
+        for (i, xi) in x.iter().enumerate() {
+            let p = runner.potential_of(xi, &x).unwrap();
+            assert_eq!(p.to_bits(), field[i].to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn potential_of_validates_inputs() {
+        let runner = SubtractiveClustering::new(SubtractiveParams::default());
+        assert!(runner.potential_of(&[0.5], &[]).is_err());
+        assert!(runner
+            .potential_of(&[0.5], &[vec![0.1, 0.2]])
+            .is_err());
     }
 
     #[test]

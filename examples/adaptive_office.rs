@@ -1,0 +1,233 @@
+//! The office that notices its own drift: online adaptation end to end.
+//!
+//! A small office appliance classifies the room as *quiet* or *meeting*
+//! from one ambient-activity cue, served over TCP with the CQM filter in
+//! front of every answer. Mid-run the office is rearranged — the sensor
+//! now reads just above the classifier's decision boundary while the room
+//! is actually quiet — so the frozen classifier starts confidently giving
+//! wrong answers.
+//!
+//! An [`cqm::adapt::AdaptationSupervisor`] watches the labeled stream:
+//! the Page–Hinkley detector confirms the drift, the supervisor retrains
+//! the quality measure from its sliding window in the background,
+//! validates the candidate (holdout RMSE, checkpoint round-trip, replay
+//! probe) and promotes it through a live `swap_model` — while the client
+//! keeps classifying the whole time and never loses a request.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_office
+//! ```
+//!
+//! The final `SUMMARY` line is machine-readable (scripts/check.sh greps
+//! for `recovered=ok`).
+
+use cqm::adapt::{
+    holdout_rmse, AdaptSample, AdaptationConfig, AdaptationOutcome, AdaptationSupervisor,
+    DriftState, SlidingWindow,
+};
+use cqm::classify::FisClassifier;
+use cqm::core::classifier::ClassId;
+use cqm::core::model::{CqmModel, MODEL_VERSION};
+use cqm::fuzzy::{MembershipFunction, TskFis, TskRule};
+use cqm::serve::{
+    ClientConfig, CqmClient, CqmServer, FleetConfig, ModelSource, ServedModel, ServerConfig,
+    DEFAULT_TENANT,
+};
+
+const QUIET: ClassId = ClassId(0);
+
+/// The office model: class 0 (*quiet*) near cue 0, class 1 (*meeting*)
+/// near cue 1, quality high where prediction and cue agree. Deliberately
+/// tiny — the story is the adaptation loop, not the kernels.
+fn office_model() -> Result<ServedModel, Box<dyn std::error::Error>> {
+    let g = |mu: f64, s: f64| MembershipFunction::gaussian(mu, s);
+    let class_fis = TskFis::new(vec![
+        TskRule::new(vec![g(0.0, 0.3)?], vec![0.0, 0.0])?,
+        TskRule::new(vec![g(1.0, 0.3)?], vec![0.0, 1.0])?,
+    ])?;
+    let classifier = FisClassifier::from_fis(class_fis, 2)?;
+    let quality_fis = TskFis::new(vec![
+        TskRule::new(vec![g(0.0, 0.25)?, g(0.0, 0.25)?], vec![0.0, 0.0, 1.0])?,
+        TskRule::new(vec![g(1.0, 0.25)?, g(1.0, 0.25)?], vec![0.0, 0.0, 1.0])?,
+        TskRule::new(vec![g(0.0, 0.25)?, g(1.0, 0.25)?], vec![0.0, 0.0, 0.0])?,
+        TskRule::new(vec![g(1.0, 0.25)?, g(0.0, 0.25)?], vec![0.0, 0.0, 0.0])?,
+    ])?;
+    let model = CqmModel {
+        version: MODEL_VERSION,
+        measure: cqm::core::QualityMeasure::new(quality_fis)?,
+        threshold: 0.5,
+        note: "adaptive office".into(),
+    };
+    Ok(ServedModel::new(classifier, model)?)
+}
+
+/// Seeded ambient-activity sample for a normal office minute.
+fn office_minute(i: u64) -> (f64, ClassId) {
+    let r = (i.wrapping_mul(2654435761).wrapping_add(1) % 1000) as f64 / 1000.0;
+    let cue = if i % 4 == 0 {
+        0.3 + r * 0.4
+    } else if i % 2 == 0 {
+        r * 0.25
+    } else {
+        0.75 + r * 0.25
+    };
+    (cue, ClassId(usize::from(cue > 0.45)))
+}
+
+/// How many of the rearranged-office probes (cues the frozen classifier
+/// gets wrong) the served filter currently *accepts*. Recovery shows up
+/// as this number falling: the adapted quality measure learns to discard
+/// exactly the answers the drift made untrustworthy.
+fn wrong_band_accepts(client: &mut CqmClient) -> Result<usize, Box<dyn std::error::Error>> {
+    let mut accepted = 0usize;
+    for k in 0..20u32 {
+        let cue = 0.5 + 0.005 * f64::from(k);
+        let answer = client.classify(&[cue])?;
+        if answer.decision.is_accept() {
+            accepted += 1;
+        }
+    }
+    Ok(accepted)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== adaptive office: drift detection and validated live swap ==");
+    let stale = office_model()?;
+    let dir = std::env::temp_dir().join(format!("adaptive_office_{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let server = CqmServer::start(
+        ModelSource::Fresh(stale.clone()),
+        ServerConfig {
+            fleet: FleetConfig {
+                store_dir: Some(dir.clone()),
+                probe_cues: (0..4).map(|i| vec![0.1 + 0.25 * f64::from(i)]).collect(),
+                ..FleetConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )?;
+    let mut client = CqmClient::connect(server.local_addr(), ClientConfig::default())?;
+    println!("serving on {}", server.local_addr());
+
+    let config = AdaptationConfig::default();
+    let mut sup = AdaptationSupervisor::new(
+        config.clone(),
+        stale.clone(),
+        DEFAULT_TENANT,
+        dir.join("validate"),
+    )?;
+    let mut mirror = SlidingWindow::new(config.window_capacity)?;
+    let mut wire_answers = 0usize;
+    let mut wire_errors = 0usize;
+
+    // ---- phase 1: a normal morning; the detector must stay silent ----
+    println!("\n[morning] 400 labeled office minutes, stationary ...");
+    for i in 0..400u64 {
+        let (cue, truth) = office_minute(i);
+        sup.observe(&[cue], truth)?;
+        mirror.push(AdaptSample {
+            cues: vec![cue],
+            truth,
+        });
+        if i % 8 == 0 {
+            match client.classify(&[cue]) {
+                Ok(_) => wire_answers += 1,
+                Err(_) => wire_errors += 1,
+            }
+        }
+    }
+    let false_alarms = sup.stats().drift_events;
+    println!(
+        "detector: {:?}, {false_alarms} false alarm(s), {} retrain(s)",
+        sup.drift_state(),
+        sup.stats().retrains
+    );
+    let accepts_before = wrong_band_accepts(&mut client)?;
+    println!("wrong-band probes accepted by the stale filter: {accepts_before}/20");
+
+    // ---- phase 2: the office is rearranged mid-run ----
+    println!("\n[afternoon] sensor now reads 0.50–0.60 while the room is quiet ...");
+    let mut drift_at = 0u64;
+    let mut swap_seq = 0u64;
+    let mut promoted = false;
+    let mut i = 0u64;
+    while !promoted && i < 20_000 {
+        let r = (i.wrapping_mul(2654435761) % 1000) as f64 / 1000.0;
+        let wrong = 0.5 + r * 0.1;
+        sup.observe(&[wrong], QUIET)?;
+        mirror.push(AdaptSample {
+            cues: vec![wrong],
+            truth: QUIET,
+        });
+        let easy = if i % 2 == 0 { 0.05 + r * 0.1 } else { 0.85 + r * 0.1 };
+        let easy_truth = ClassId(usize::from(easy > 0.45));
+        sup.observe(&[easy], easy_truth)?;
+        mirror.push(AdaptSample {
+            cues: vec![easy],
+            truth: easy_truth,
+        });
+        if i % 10 == 0 {
+            match client.classify(&[wrong]) {
+                Ok(_) => wire_answers += 1,
+                Err(_) => wire_errors += 1,
+            }
+        }
+        i += 1;
+        if sup.drift_state() == DriftState::Drift {
+            if drift_at == 0 {
+                drift_at = sup.stats().observed;
+                println!("drift confirmed at observation {drift_at}");
+            }
+            match sup.step(&server)? {
+                AdaptationOutcome::Promoted {
+                    swap_seq: seq,
+                    candidate,
+                } => {
+                    swap_seq = seq;
+                    promoted = true;
+                    println!(
+                        "retrained + swapped at seq {seq}: holdout rmse {:.4} (was {:.4})",
+                        candidate.holdout_rmse, candidate.live_holdout_rmse
+                    );
+                }
+                AdaptationOutcome::Rejected { reason } => {
+                    println!("candidate rejected, retrying: {reason}");
+                }
+                _ => {}
+            }
+        }
+    }
+    if !promoted {
+        return Err("the context shift never produced a promotion".into());
+    }
+
+    // ---- recovery: the same probes, the same holdout, after the swap ----
+    let accepts_after = wrong_band_accepts(&mut client)?;
+    println!("\nwrong-band probes accepted after the swap: {accepts_after}/20");
+    let (_, holdout) = mirror.split(config.holdout_every)?;
+    let stale_rmse = holdout_rmse(&stale, &holdout)?;
+    let adapted_rmse = holdout_rmse(sup.live(), &holdout)?;
+    println!("holdout rmse: stale {stale_rmse:.4}, adapted {adapted_rmse:.4}");
+
+    drop(client);
+    let health = server.shutdown()?;
+    std::fs::remove_dir_all(&dir).ok();
+
+    let recovered = false_alarms == 0
+        && promoted
+        && adapted_rmse < stale_rmse
+        && wire_errors == 0
+        && health.swap_rollbacks == 0;
+    println!(
+        "\nSUMMARY false_alarms={false_alarms} drift_at={drift_at} retrains={} \
+         swapped_seq={swap_seq} accepts_before={accepts_before} accepts_after={accepts_after} \
+         stale_rmse={stale_rmse:.4} adapted_rmse={adapted_rmse:.4} wire_answers={wire_answers} \
+         wire_errors={wire_errors} recovered={}",
+        sup.stats().retrains,
+        if recovered { "ok" } else { "FAILED" },
+    );
+    if !recovered {
+        return Err("the office did not recover from the context shift".into());
+    }
+    Ok(())
+}

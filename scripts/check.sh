@@ -140,4 +140,45 @@ test -s "$CRASH_DIR/BENCH_PR8.json" || {
     exit 1
 }
 
+echo "==> adaptation suite (stationary no-op soak + drift e2e)"
+# The soak is the provable-no-op half of the PR 10 contract: a drift-free
+# labeled stream must trigger zero drift events, zero retrains, zero swaps,
+# and leave the served answers bit-identical (see tests/adapt.rs).
+cargo test -q --test adapt
+
+echo "==> adaptive-office drill (mid-run context shift over a live server)"
+cargo build -q --release --example adaptive_office
+./target/release/examples/adaptive_office | tee /tmp/cqm_adaptive.log
+grep -q "^SUMMARY .*recovered=ok" /tmp/cqm_adaptive.log || {
+    echo "check.sh: the adaptive office did not recover from the shift" >&2
+    exit 1
+}
+
+echo "==> drift-recovery smoke (BENCH_PR10.json schema + recovery/zero-drop gate)"
+# adaptbench --smoke serves a stale model under live client traffic with a
+# seeded disk-fault plan beneath the checkpoint store, holds the detector
+# silent through a stationary phase, forces a rollback via the fault
+# schedule, then drives a context shift to a validated live swap; the gate
+# requires zero false alarms, >= 1 promotion, >= 1 exercised rollback,
+# adapted holdout RMSE beating the stale model and within the documented
+# bound of a from-scratch retrain, and zero dropped requests; see
+# crates/bench/src/adaptbench.rs.
+./target/release/adaptbench --smoke --out "$CRASH_DIR/BENCH_PR10.json"
+test -s "$CRASH_DIR/BENCH_PR10.json" || {
+    echo "check.sh: adaptbench did not write the baseline JSON" >&2
+    exit 1
+}
+
+echo "==> bench binary arg hygiene (--help exits 0, unknown flag exits 2)"
+for bench in loadgen chaosbench fleetbench adaptbench; do
+    ./target/release/"$bench" --help > /dev/null || {
+        echo "check.sh: $bench --help should exit 0" >&2
+        exit 1
+    }
+    if ./target/release/"$bench" --definitely-not-a-flag > /dev/null 2>&1; then
+        echo "check.sh: $bench should reject unknown flags" >&2
+        exit 1
+    fi
+done
+
 echo "check.sh: all gates passed"

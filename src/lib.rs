@@ -26,6 +26,7 @@
 //! | [`classify`] | `cqm-classify` | TSK-FIS classifier + k-NN/centroid baselines |
 //! | [`appliance`] | `cqm-appliance` | AwareOffice simulation: pen, bus, camera |
 //! | [`serve`] | `cqm-serve` | networked inference service: protocol, server, client |
+//! | [`adapt`] | `cqm-adapt` | online adaptation: sliding window, RLS, drift, live swap |
 //!
 //! ## End-to-end example
 //!
@@ -48,6 +49,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use cqm_adapt as adapt;
 pub use cqm_anfis as anfis;
 pub use cqm_appliance as appliance;
 pub use cqm_classify as classify;

@@ -1,0 +1,245 @@
+//! Online adaptation end to end (PR 10 acceptance suite).
+//!
+//! Two seeded scenarios over a real served fleet:
+//!
+//! * **stationary soak** — a healthy labeled stream must be a *provable
+//!   no-op*: zero drift events, zero retrains, zero swaps, and the served
+//!   answers on a fixed probe grid are bit-identical before and after the
+//!   soak. The adaptation layer earns its keep only when the world moves.
+//! * **drift e2e** — a mid-run context shift must walk the whole ladder:
+//!   Page–Hinkley confirms drift, the supervisor retrains from its window,
+//!   validates the candidate and promotes it through a live `swap_model`,
+//!   and the adapted model beats the stale one on the shared holdout.
+
+use std::path::PathBuf;
+
+use cqm::adapt::{
+    holdout_rmse, AdaptSample, AdaptationConfig, AdaptationOutcome, AdaptationSupervisor,
+    DriftState, SlidingWindow,
+};
+use cqm::classify::FisClassifier;
+use cqm::core::classifier::ClassId;
+use cqm::core::model::{CqmModel, MODEL_VERSION};
+use cqm::core::normalize::Quality;
+use cqm::core::pipeline::QualifiedClassification;
+use cqm::fuzzy::{MembershipFunction, TskFis, TskRule};
+use cqm::serve::{
+    ClientConfig, CqmClient, CqmServer, FleetConfig, ModelSource, ServedModel, ServerConfig,
+    DEFAULT_TENANT,
+};
+
+/// The 1-cue 2-class model the adapt suites share: class 0 near cue 0,
+/// class 1 near cue 1, quality high on the agreement diagonal.
+fn tiny_model() -> ServedModel {
+    let g = |mu: f64, s: f64| MembershipFunction::gaussian(mu, s).expect("gaussian");
+    let class_fis = TskFis::new(vec![
+        TskRule::new(vec![g(0.0, 0.3)], vec![0.0, 0.0]).expect("rule"),
+        TskRule::new(vec![g(1.0, 0.3)], vec![0.0, 1.0]).expect("rule"),
+    ])
+    .expect("class fis");
+    let classifier = FisClassifier::from_fis(class_fis, 2).expect("classifier");
+    let quality_fis = TskFis::new(vec![
+        TskRule::new(vec![g(0.0, 0.25), g(0.0, 0.25)], vec![0.0, 0.0, 1.0]).expect("rule"),
+        TskRule::new(vec![g(1.0, 0.25), g(1.0, 0.25)], vec![0.0, 0.0, 1.0]).expect("rule"),
+        TskRule::new(vec![g(0.0, 0.25), g(1.0, 0.25)], vec![0.0, 0.0, 0.0]).expect("rule"),
+        TskRule::new(vec![g(1.0, 0.25), g(0.0, 0.25)], vec![0.0, 0.0, 0.0]).expect("rule"),
+    ])
+    .expect("quality fis");
+    let model = CqmModel {
+        version: MODEL_VERSION,
+        measure: cqm::core::QualityMeasure::new(quality_fis).expect("measure"),
+        threshold: 0.5,
+        note: "adapt suite".into(),
+    };
+    ServedModel::new(classifier, model).expect("served model")
+}
+
+/// Seeded stationary sample: mostly easy cues near the poles, some
+/// ambiguous — the same Weyl pattern the supervisor's unit soak uses.
+fn stationary_sample(i: u64) -> (f64, ClassId) {
+    let r = (i.wrapping_mul(2654435761).wrapping_add(1) % 1000) as f64 / 1000.0;
+    let cue = if i % 4 == 0 {
+        0.3 + r * 0.4
+    } else if i % 2 == 0 {
+        r * 0.25
+    } else {
+        0.75 + r * 0.25
+    };
+    (cue, ClassId(usize::from(cue > 0.45)))
+}
+
+fn probe_grid() -> Vec<Vec<f64>> {
+    (0..24).map(|k| vec![-0.1 + 0.05 * f64::from(k)]).collect()
+}
+
+fn answers_on(client: &mut CqmClient, grid: &[Vec<f64>]) -> Vec<QualifiedClassification> {
+    grid.iter()
+        .map(|cue| client.classify(cue).expect("probe classify"))
+        .collect()
+}
+
+fn assert_bit_identical(a: &[QualifiedClassification], b: &[QualifiedClassification]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.class, y.class, "class diverged at probe {i}");
+        assert_eq!(x.decision, y.decision, "decision diverged at probe {i}");
+        match (x.quality, y.quality) {
+            (Quality::Value(p), Quality::Value(q)) => {
+                assert_eq!(p.to_bits(), q.to_bits(), "quality bits diverged at probe {i}");
+            }
+            (p, q) => assert_eq!(p, q, "quality kind diverged at probe {i}"),
+        }
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cqm_adapt_test_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn start_server(dir: &std::path::Path) -> CqmServer {
+    CqmServer::start(
+        ModelSource::Fresh(tiny_model()),
+        ServerConfig {
+            fleet: FleetConfig {
+                store_dir: Some(dir.to_path_buf()),
+                probe_cues: (0..4).map(|i| vec![0.1 + 0.25 * f64::from(i)]).collect(),
+                ..FleetConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server")
+}
+
+#[test]
+fn stationary_soak_is_a_provable_noop() {
+    let dir = scratch_dir("soak");
+    let server = start_server(&dir);
+    let mut client =
+        CqmClient::connect(server.local_addr(), ClientConfig::default()).expect("connect");
+    let grid = probe_grid();
+    let before = answers_on(&mut client, &grid);
+
+    let config = AdaptationConfig::default();
+    let mut sup = AdaptationSupervisor::new(
+        config,
+        tiny_model(),
+        DEFAULT_TENANT,
+        dir.join("validate"),
+    )
+    .expect("supervisor");
+    for i in 0..600u64 {
+        let (cue, truth) = stationary_sample(i);
+        sup.observe(&[cue], truth).expect("observe");
+        assert_ne!(
+            sup.drift_state(),
+            DriftState::Drift,
+            "stationary stream must never confirm drift (sample {i})"
+        );
+    }
+
+    let stats = sup.stats();
+    assert_eq!(stats.drift_events, 0, "stationary soak raised a false alarm");
+    assert_eq!(stats.retrains, 0, "stationary soak retrained");
+    assert_eq!(stats.promotions, 0, "stationary soak promoted a model");
+    assert_eq!(stats.swap_failures, 0);
+
+    // The served answers are untouched: same bits on every probe.
+    let after = answers_on(&mut client, &grid);
+    assert_bit_identical(&before, &after);
+
+    drop(client);
+    let health = server.shutdown().expect("shutdown");
+    assert_eq!(health.swaps, 0, "no-op soak must not swap models");
+    assert_eq!(health.swap_rollbacks, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn context_shift_is_detected_retrained_and_swapped() {
+    let dir = scratch_dir("drift");
+    let server = start_server(&dir);
+    let stale = tiny_model();
+
+    let config = AdaptationConfig::default();
+    let mut sup = AdaptationSupervisor::new(
+        config.clone(),
+        stale.clone(),
+        DEFAULT_TENANT,
+        dir.join("validate"),
+    )
+    .expect("supervisor");
+    let mut mirror = SlidingWindow::new(config.window_capacity).expect("mirror");
+
+    // Healthy warm-up, then the shift: cues just above the classifier's
+    // boundary while the truth stays class 0, interleaved with easy
+    // samples so the window keeps both outcomes.
+    for i in 0..400u64 {
+        let (cue, truth) = stationary_sample(i);
+        sup.observe(&[cue], truth).expect("observe");
+        mirror.push(AdaptSample {
+            cues: vec![cue],
+            truth,
+        });
+    }
+    let mut promoted = false;
+    let mut drift_seen = false;
+    let mut i = 0u64;
+    while !promoted && i < 20_000 {
+        let r = (i.wrapping_mul(2654435761) % 1000) as f64 / 1000.0;
+        let wrong = 0.5 + r * 0.1;
+        sup.observe(&[wrong], ClassId(0)).expect("observe");
+        mirror.push(AdaptSample {
+            cues: vec![wrong],
+            truth: ClassId(0),
+        });
+        let easy = if i % 2 == 0 { 0.05 + r * 0.1 } else { 0.85 + r * 0.1 };
+        let easy_truth = ClassId(usize::from(easy > 0.45));
+        sup.observe(&[easy], easy_truth).expect("observe");
+        mirror.push(AdaptSample {
+            cues: vec![easy],
+            truth: easy_truth,
+        });
+        i += 1;
+        if sup.drift_state() == DriftState::Drift {
+            drift_seen = true;
+            match sup.step(&server).expect("step") {
+                AdaptationOutcome::Promoted { candidate, .. } => {
+                    promoted = true;
+                    assert!(
+                        candidate.holdout_rmse <= candidate.live_holdout_rmse,
+                        "promotion must not regress the holdout: {} > {}",
+                        candidate.holdout_rmse,
+                        candidate.live_holdout_rmse
+                    );
+                }
+                AdaptationOutcome::Rejected { .. } => {}
+                _ => {}
+            }
+        }
+    }
+    assert!(drift_seen, "the context shift was never detected");
+    assert!(promoted, "the context shift never produced a promotion");
+
+    let stats = sup.stats();
+    assert!(stats.drift_events >= 1);
+    assert!(stats.retrains >= 1);
+    assert_eq!(stats.promotions, 1);
+
+    // The adapted model beats the stale one on the shared holdout.
+    let (_, holdout) = mirror.split(config.holdout_every).expect("split");
+    let stale_rmse = holdout_rmse(&stale, &holdout).expect("stale rmse");
+    let adapted_rmse = holdout_rmse(sup.live(), &holdout).expect("adapted rmse");
+    assert!(
+        adapted_rmse < stale_rmse,
+        "adapted {adapted_rmse} must beat stale {stale_rmse}"
+    );
+
+    let health = server.shutdown().expect("shutdown");
+    assert!(health.swaps >= 1, "promotion must reach the server");
+    assert_eq!(health.swap_rollbacks, 0, "clean store must not roll back");
+    std::fs::remove_dir_all(&dir).ok();
+}
